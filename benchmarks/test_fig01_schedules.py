@@ -1,0 +1,17 @@
+"""Figure 1: simulated schedules and bubble shares per system.
+
+Paper shape: pipeline parallelism with separate or hybrid batching leaves
+visible bubbles; TD-Pipe's temporally-disaggregated schedule is compact.
+"""
+
+from repro.experiments import fig01_schedules
+
+
+def test_fig01_schedules(run_once, scale):
+    views = run_once(fig01_schedules.run, scale=scale)
+    print("\n" + fig01_schedules.format_results(views))
+    by = {v.system: v for v in views}
+    # TD-Pipe's mid-run window has fewer bubbles than both PP baselines.
+    assert by["TD-Pipe"].bubble_ratio < by["PP+SB"].bubble_ratio
+    assert by["TD-Pipe"].bubble_ratio < by["PP+HB"].bubble_ratio
+    assert by["TD-Pipe"].bubble_ratio < 0.15

@@ -1,0 +1,23 @@
+"""Figure 6: TP prefill computation/communication breakdown.
+
+Paper shape: communication grows with device count, reaching roughly half of
+the execution time at 4 GPUs (47.4% on L20, 53.9% on A100), and scaling from
+1 to 4 devices is far below linear (1.84x / 1.64x).
+"""
+
+from repro.experiments import fig06_tp_breakdown
+
+
+def test_fig06_breakdown(run_once):
+    points = run_once(fig06_tp_breakdown.run)
+    print("\n" + fig06_tp_breakdown.format_results(points))
+    by_key = {(p.node, p.num_gpus): p for p in points}
+    for node in ("L20", "A100"):
+        # Communication share grows with the device count.
+        assert by_key[(node, 1)].comm_fraction == 0.0
+        assert by_key[(node, 2)].comm_fraction < by_key[(node, 4)].comm_fraction
+        # ~half the time is communication at 4 GPUs (paper: 47-54%).
+        assert 0.30 <= by_key[(node, 4)].comm_fraction <= 0.65
+        # Far-below-linear scaling: 4 GPUs give < 2.8x, > 1.3x.
+        speedup = 1.0 / by_key[(node, 4)].normalized_total
+        assert 1.3 <= speedup <= 2.8

@@ -1,0 +1,44 @@
+"""Figure 11: overall throughput across systems, combos and device counts.
+
+Paper shape checks encoded below:
+* OOM where weights cannot fit (32B on 1x L20, 70B on 1x A100);
+* TD-Pipe is the best system at 4 devices in every combo;
+* TP+SB and TP+HB are close; PP+HB >= PP+SB at 4 devices;
+* TD-Pipe's 4-device advantage over TP+SB / PP+SB is a meaningful factor;
+* throughput grows with device count (super-linearly where memory binds).
+"""
+
+from repro.experiments import fig11_overall
+
+
+def test_fig11_overall(run_once, scale_large):
+    # The paper's regime needs a deep request backlog: with too few requests
+    # the KV cache never saturates and the decode tail (which penalises
+    # pipeline layouts) dominates the run, flipping the comparison.
+    fig11 = run_once(fig11_overall.run, scale=scale_large)
+    print("\n" + fig11_overall.format_results(fig11))
+
+    # OOM cells (paper Figure 11 b and d).
+    assert fig11.throughput("L20", "32B", 1, "TP+SB") is None
+    assert fig11.throughput("A100", "70B", 1, "PP+SB") is None
+
+    # TD-Pipe wins every 4-device combo.
+    for node, model in (("L20", "13B"), ("L20", "32B"), ("A100", "32B"), ("A100", "70B")):
+        assert fig11.best_system(node, model, 4) == "TD-Pipe", (node, model)
+
+    # Meaningful factors at 4 devices (paper: up to 1.91x / 2.73x).
+    assert fig11.speedup("A100", "70B", 4, "TD-Pipe", "TP+SB") > 1.3
+    assert fig11.speedup("A100", "32B", 4, "TD-Pipe", "PP+SB") > 1.3
+
+    # TP+SB ~ TP+HB ("fewer differences"), PP+HB >= PP+SB.
+    for node, model in (("L20", "32B"), ("A100", "70B")):
+        r = fig11.speedup(node, model, 4, "TP+HB", "TP+SB")
+        assert r is not None and 0.75 <= r <= 1.35, (node, model, r)
+        r = fig11.speedup(node, model, 4, "PP+HB", "PP+SB")
+        assert r is not None and r >= 0.9, (node, model, r)
+
+    # Scaling: more devices -> more throughput for TD-Pipe.
+    for node, model in (("L20", "13B"), ("A100", "32B")):
+        t1 = fig11.throughput(node, model, 1, "TD-Pipe")
+        t4 = fig11.throughput(node, model, 4, "TD-Pipe")
+        assert t1 is not None and t4 is not None and t4 > 1.8 * t1

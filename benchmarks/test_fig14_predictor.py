@@ -1,0 +1,24 @@
+"""Figure 14 + Section 4.4.1: predictor accuracy and accumulated error.
+
+Paper shape: per-request bin accuracy 0.52-0.58 (well above the 0.2 chance
+level); accumulated relative error decreases with group size, becoming small
+(paper: 2.8-6.2% at 256 requests); prediction overhead is negligible.
+"""
+
+from repro.experiments import fig14_predictor
+
+
+def test_fig14_predictor(run_once):
+    from repro.experiments import default_scale
+
+    # Predictor quality needs the full corpus protocol at a reasonable size.
+    ev = run_once(fig14_predictor.run, scale=default_scale(factor=0.3))
+    print("\n" + fig14_predictor.format_results(ev))
+    assert ev.bin_accuracy > 2 * ev.chance_level  # far above random guessing
+    assert 0.45 <= ev.bin_accuracy <= 0.70  # the paper's regime
+    # Error shrinks as groups grow and is small for large groups.
+    assert ev.accumulated_errors[0] > ev.accumulated_errors[-1]
+    assert ev.error_at(256) < 0.12
+    assert ev.error_at(2) > ev.error_at(64)
+    # Overhead: microseconds per request (paper: <0.16% of total runtime).
+    assert ev.prediction_time_per_request_s < 1e-3

@@ -1,0 +1,19 @@
+"""Figure 15: inter-batch work stealing ablation (Approach 2).
+
+Paper shape: enabling stealing improves throughput by 1.14x (L20+32B) and
+1.07x (A100+70B).
+"""
+
+from repro.experiments import fig15_work_stealing
+
+
+def test_fig15_work_stealing(run_once, scale_large):
+    abls = run_once(fig15_work_stealing.run, scale=scale_large)
+    print("\n" + fig15_work_stealing.format_results(abls))
+    for a in abls:
+        # Stealing never hurts materially and helps on average.  The paper
+        # reports 1.07-1.14x; our roofline decode cost is dominated by weight
+        # streaming, which mutes the batch-imbalance penalty, so the simulated
+        # gain is directionally right but smaller (see EXPERIMENTS.md).
+        assert a.gain > 0.985, (a.node, a.model, a.gain)
+    assert max(a.gain for a in abls) > 1.005

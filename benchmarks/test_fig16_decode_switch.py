@@ -1,0 +1,16 @@
+"""Figure 16: decode->prefill switch ablation (Approach 3 vs finish ratios).
+
+Paper shape: hand-tuned finish ratios perform reasonably (memory is plentiful
+on these configs), but the spatial-temporal intensity comparison consistently
+achieves the highest throughput.
+"""
+
+from repro.experiments import fig16_decode_switch
+
+
+def test_fig16_decode_switch(run_once, scale_large):
+    abls = run_once(fig16_decode_switch.run, scale=scale_large)
+    print("\n" + fig16_decode_switch.format_results(abls))
+    for a in abls:
+        best_ratio_tp = max(a.ratio_throughputs.values())
+        assert a.tdpipe_throughput >= 0.95 * best_ratio_tp, (a.node, a.model)

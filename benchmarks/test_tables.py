@@ -1,0 +1,27 @@
+"""Tables 1 and 2: configuration tables (consistency checks)."""
+
+from repro.experiments import tables
+
+
+def test_table1(benchmark):
+    rows = benchmark(tables.table1_rows)
+    print("\n" + tables.format_table1())
+    l20, a100 = rows
+    assert l20["FP16 Tensor Core (TFLOPS)"] == 119.5
+    assert a100["Memory (GB)"] == 80.0
+
+
+def test_table2(benchmark):
+    rows = benchmark(tables.table2_rows)
+    print("\n" + tables.format_table2())
+    by_name = {r["Name"]: r for r in rows}
+    # Parameter-derived weights must match Table 2 within a few GB.
+    assert abs(by_name["Llama2-13B-chat"]["Parameters (GB)"] - 26) <= 1
+    assert abs(by_name["Qwen2.5-32B-Instruct"]["Parameters (GB)"] - 64) <= 3
+    assert abs(by_name["Llama2-70B-chat"]["Parameters (GB)"] - 140) <= 3
+    # GQA models have much smaller KV per token.
+    assert by_name["Llama2-70B-chat"]["GQA"]
+    assert (
+        by_name["Llama2-70B-chat"]["KV cache (MB/token)"]
+        < by_name["Llama2-13B-chat"]["KV cache (MB/token)"]
+    )

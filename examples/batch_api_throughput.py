@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Offline batch-API scenario: compare all five systems on one node.
+
+The paper's motivating use case (Section 1): batch APIs process large request
+backlogs with no latency SLO — throughput is everything.  This example runs
+the same backlog through TP+SB, TP+HB, PP+SB, PP+HB and TD-Pipe on a 4-GPU
+PCIe node and prints a comparison table plus per-GPU utilisation.
+
+Run:
+    python examples/batch_api_throughput.py [--gpu L20|A100] [--model 13B|32B|70B]
+"""
+
+import argparse
+
+from repro import (
+    PPHybridEngine,
+    PPSeparateEngine,
+    TDPipeEngine,
+    TPHybridEngine,
+    TPSeparateEngine,
+    get_model,
+    make_node,
+)
+from repro.kvcache import OutOfMemoryError
+from repro.predictor import train_length_predictor
+from repro.workload import build_dataset, sample_eval_requests
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--gpu", default="L20", choices=["L20", "A100"])
+    parser.add_argument("--model", default="32B", choices=["13B", "32B", "70B"])
+    parser.add_argument("--num-gpus", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=800)
+    args = parser.parse_args()
+
+    node = make_node(args.gpu, args.num_gpus)
+    model = get_model(args.model)
+    corpus = build_dataset(total=3000, seed=0)
+    predictor = train_length_predictor(corpus.train, corpus.val, seed=0)
+
+    print(f"backlog: {args.requests} requests on {node.name} + {model.short_name}\n")
+    rows = []
+    for name, build in (
+        ("TP+SB", lambda: TPSeparateEngine(node, model)),
+        ("TP+HB", lambda: TPHybridEngine(node, model)),
+        ("PP+SB", lambda: PPSeparateEngine(node, model)),
+        ("PP+HB", lambda: PPHybridEngine(node, model)),
+        ("TD-Pipe", lambda: TDPipeEngine(node, model, predictor)),
+    ):
+        requests = sample_eval_requests(corpus, n=args.requests, seed=1)
+        try:
+            res = build().run(requests)
+            rows.append((name, res))
+        except OutOfMemoryError as e:
+            print(f"{name:8s} OOM: {e}")
+
+    print(f"{'system':8s} {'tokens/s':>10s} {'makespan':>10s} {'util':>7s} "
+          f"{'recompute':>10s}")
+    best = max(r.throughput for _, r in rows)
+    for name, res in rows:
+        marker = "  <-- best" if res.throughput == best else ""
+        print(
+            f"{name:8s} {res.throughput:10.1f} {res.makespan:9.1f}s "
+            f"{res.mean_utilization * 100:6.1f}% {res.recomputations:10d}{marker}"
+        )
+
+
+if __name__ == "__main__":
+    main()

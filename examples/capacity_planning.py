@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Capacity planning: which layout serves a model best on a given fleet?
+
+A downstream-user utility built on the substrate: for each (GPU, count,
+model) combination, report whether the model fits, the KV-token capacity, the
+resulting maximum decode concurrency, and a quick TD-Pipe throughput probe.
+This reproduces the reasoning behind the paper's node-model pairings
+(Section 4.2: "taking the ratio between memory capacity and model size into
+consideration").
+
+Run:
+    python examples/capacity_planning.py
+"""
+
+from repro import TDPipeEngine, get_model, make_node
+from repro.kvcache import OutOfMemoryError, kv_token_capacity
+from repro.models import pipeline_shards
+from repro.predictor import OraclePredictor
+from repro.workload import generate_requests
+
+GPUS = ("L20", "A100")
+COUNTS = (1, 2, 4)
+MODELS = ("13B", "32B", "70B")
+#: Average context length assumed for concurrency estimates.
+TYPICAL_CONTEXT = 500
+
+
+def main() -> None:
+    probe = generate_requests(200, seed=3)
+    print(
+        f"{'layout':12s} {'model':5s} {'fits':>5s} {'KV tokens':>10s} "
+        f"{'max seqs':>9s} {'probe tok/s':>12s}"
+    )
+    for gpu_name in GPUS:
+        for n in COUNTS:
+            node = make_node(gpu_name, n)
+            for model_name in MODELS:
+                model = get_model(model_name)
+                layout = f"{n}x{gpu_name}"
+                try:
+                    cap = kv_token_capacity(model, node.gpu, pp_degree=n)
+                except OutOfMemoryError:
+                    print(f"{layout:12s} {model_name:5s} {'no':>5s} {'-':>10s} {'-':>9s} {'-':>12s}")
+                    continue
+                max_seqs = cap // TYPICAL_CONTEXT
+                engine = TDPipeEngine(node, model, OraclePredictor())
+                result = engine.run(
+                    [
+                        type(r)(r.request_id, r.prompt_len, r.output_len, r.features, r.intent)
+                        for r in probe
+                    ]
+                )
+                print(
+                    f"{layout:12s} {model_name:5s} {'yes':>5s} {cap:10d} "
+                    f"{max_seqs:9d} {result.throughput:12.1f}"
+                )
+    print("\nper-stage weight footprint for the 4-GPU pipeline layouts:")
+    for model_name in MODELS:
+        model = get_model(model_name)
+        shards = pipeline_shards(model, 4)
+        sizes = ", ".join(f"{s.weight_bytes_per_gpu / 1e9:.1f}" for s in shards)
+        print(f"  {model_name}: [{sizes}] GB per stage")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Quickstart: run TD-Pipe on a synthetic ShareGPT-like workload.
+
+Builds the paper's 4xA100 node, loads the Llama2-70B spec, trains the
+output-length predictor on a small corpus, runs TD-Pipe, and prints the
+throughput, utilisation and phase structure.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import TDPipeEngine, get_model, make_node
+from repro.predictor import train_length_predictor
+from repro.workload import build_dataset, sample_eval_requests
+
+
+def main() -> None:
+    # 1. Hardware and model: the paper's 4xA100 + Llama2-70B combination.
+    node = make_node("A100", 4)
+    model = get_model("70B")
+    print(f"node: {node.name}  model: {model.name} ({model.weight_bytes / 1e9:.0f} GB)")
+
+    # 2. Train the output-length predictor (paper Figure 8 protocol:
+    #    60/20/20 split of a historical corpus).
+    corpus = build_dataset(total=3000, seed=0)
+    predictor = train_length_predictor(corpus.train, corpus.val, seed=0)
+    print(f"predictor bin accuracy: {predictor.bin_accuracy(corpus.test):.3f}")
+
+    # 3. Sample an evaluation workload and run TD-Pipe.
+    requests = sample_eval_requests(corpus, n=600, seed=0)
+    engine = TDPipeEngine(node, model, predictor)
+    result = engine.run(requests)
+
+    # 4. Report.
+    print()
+    print(result.summary())
+    print(f"phase switches: {result.phase_switches}")
+    for span in result.phase_spans[:8]:
+        print(f"  {span.phase:8s} {span.start:8.1f}s -> {span.end:8.1f}s "
+              f"({span.duration:6.1f}s)")
+    if len(result.phase_spans) > 8:
+        print(f"  ... {len(result.phase_spans) - 8} more phases")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""TD-Pipe reproduction: temporally-disaggregated pipeline parallelism.
+
+Simulation-based reproduction of *TD-Pipe: Temporally-Disaggregated Pipeline
+Parallelism Architecture for High-Throughput LLM Inference* (ICPP 2025).
+
+Quickstart::
+
+    from repro import TDPipeEngine, make_node, get_model, generate_requests
+    from repro.predictor import OraclePredictor
+
+    node = make_node("A100", 4)
+    engine = TDPipeEngine(node, get_model("70B"), OraclePredictor())
+    result = engine.run(generate_requests(500, seed=0))
+    print(result.summary())
+
+See ``repro.experiments`` for regenerating every paper table and figure, and
+DESIGN.md for the system inventory.
+"""
+
+from .baselines import PPHybridEngine, PPSeparateEngine, TPHybridEngine, TPSeparateEngine
+from .core import TDPipeEngine
+from .hardware import A100, A100_NODE, L20, L20_NODE, GPUSpec, NodeSpec, make_node
+from .kvcache import BlockManager, OutOfMemoryError, kv_token_capacity
+from .metrics import RunResult
+from .models import LLAMA2_13B, LLAMA2_70B, QWEN25_32B, ModelSpec, get_model
+from .predictor import (
+    ConstantPredictor,
+    LengthPredictor,
+    OraclePredictor,
+    train_length_predictor,
+)
+from .runtime import EngineConfig
+from .workload import Request, ShareGPTSynthesizer, build_dataset, generate_requests
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # systems
+    "TDPipeEngine",
+    "TPSeparateEngine",
+    "TPHybridEngine",
+    "PPSeparateEngine",
+    "PPHybridEngine",
+    "EngineConfig",
+    # hardware
+    "GPUSpec",
+    "NodeSpec",
+    "L20",
+    "A100",
+    "L20_NODE",
+    "A100_NODE",
+    "make_node",
+    # models
+    "ModelSpec",
+    "LLAMA2_13B",
+    "QWEN25_32B",
+    "LLAMA2_70B",
+    "get_model",
+    # memory
+    "BlockManager",
+    "kv_token_capacity",
+    "OutOfMemoryError",
+    # workload + prediction
+    "Request",
+    "ShareGPTSynthesizer",
+    "generate_requests",
+    "build_dataset",
+    "LengthPredictor",
+    "OraclePredictor",
+    "ConstantPredictor",
+    "train_length_predictor",
+    # results
+    "RunResult",
+]

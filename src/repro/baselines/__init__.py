@@ -1,0 +1,16 @@
+"""Baseline systems the paper compares against (vLLM 0.5.3 equivalents)."""
+
+from .hybrid import HybridBatchingEngine, PPHybridEngine, TPHybridEngine
+from .offloading import OffloadingEstimate, estimate_offloading_throughput
+from .separate import PPSeparateEngine, SeparateBatchingEngine, TPSeparateEngine
+
+__all__ = [
+    "SeparateBatchingEngine",
+    "TPSeparateEngine",
+    "PPSeparateEngine",
+    "HybridBatchingEngine",
+    "TPHybridEngine",
+    "PPHybridEngine",
+    "OffloadingEstimate",
+    "estimate_offloading_throughput",
+]

@@ -1,0 +1,190 @@
+"""Hybrid-batching baselines: TP+HB and PP+HB (chunked prefill, Sarathi-style).
+
+Every scheduler step builds one *hybrid* batch per stream within a token
+budget (vLLM ``max_num_batched_tokens`` with ``enable_chunked_prefill``):
+all running requests contribute one decode token each, and the remaining
+budget is filled with chunks of pending prompts.  Chunking smooths per-step
+workloads (better inter-batch balance than PP+SB) but, as the paper stresses,
+(1) mixes decode into every batch, tightening data dependencies, (2) still
+suffers under variable lengths, and (3) re-reads the growing prefix KV cache
+on every chunk — all modelled here via
+:meth:`repro.costmodel.StageCostModel.hybrid_time`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..costmodel.roofline import PrefillChunk
+from ..hardware.node import NodeSpec
+from ..models.spec import ModelSpec
+from ..runtime.base_engine import InferenceEngine
+from ..runtime.config import EngineConfig
+from ..runtime.state import RequestState
+from ..runtime.tasks import BatchTask
+from ..sim.engine import SimulationError
+
+__all__ = ["HybridBatchingEngine", "TPHybridEngine", "PPHybridEngine"]
+
+
+@dataclass
+class _Stream:
+    """One in-flight scheduler stream with an optional in-progress prompt."""
+
+    index: int
+    running: list[RequestState] = field(default_factory=list)
+    partial: RequestState | None = None
+    idle: bool = True
+
+
+class HybridBatchingEngine(InferenceEngine):
+    """Shared chunked-prefill scheduler; parallel mode decides stream count."""
+
+    system_name = "HB"
+
+    def __init__(
+        self,
+        node: NodeSpec,
+        model: ModelSpec,
+        parallel: str,
+        config: EngineConfig | None = None,
+    ) -> None:
+        super().__init__(node, model, parallel=parallel, config=config, async_transfer=False)
+        self.streams = [_Stream(i) for i in range(self.num_stages)]
+
+    # ------------------------------------------------------------------ #
+    # Chunk admission.
+    # ------------------------------------------------------------------ #
+    def _admit_chunk(self, state: RequestState, chunk_len: int) -> bool:
+        """Reserve KV blocks for ``chunk_len`` more prompt tokens."""
+        bm = self.block_manager
+        if bm.contains(state.request_id):
+            if not bm.can_append(state.request_id, chunk_len):
+                return False
+            bm.append(state.request_id, chunk_len)
+            return True
+        needed = bm.blocks_needed(chunk_len)
+        if needed + self.watermark_blocks > bm.free_blocks:
+            return False
+        bm.allocate(state.request_id, chunk_len)
+        return True
+
+    def _build_chunks(
+        self, stream: _Stream, budget: int
+    ) -> list[tuple[RequestState, PrefillChunk]]:
+        """Fill the remaining token budget with prompt chunks."""
+        chunks: list[tuple[RequestState, PrefillChunk]] = []
+        while budget > 0:
+            if stream.partial is None:
+                if not self.waiting or len(stream.running) >= self.config.max_num_seqs:
+                    break
+                stream.partial = self.waiting.popleft()
+            p = stream.partial
+            remaining = p.prefill_len - p.prefix_done
+            chunk_len = min(budget, remaining)
+            if not self._admit_chunk(p, chunk_len):
+                # Memory full: put an untouched prompt back, keep a started one.
+                if p.prefix_done == 0 and not self.block_manager.contains(p.request_id):
+                    self.waiting.appendleft(p)
+                    stream.partial = None
+                break
+            chunks.append((p, PrefillChunk(chunk_len=chunk_len, prefix_len=p.prefix_done)))
+            p.advance_chunk(chunk_len)
+            budget -= chunk_len
+            if p.prompt_complete:
+                stream.partial = None
+        return chunks
+
+    # ------------------------------------------------------------------ #
+    def _bootstrap(self) -> None:
+        for s in self.streams:
+            self._schedule_stream(s)
+
+    def _schedule_stream(self, stream: _Stream) -> None:
+        stream.idle = False
+        decode_batch: list[RequestState] = []
+        if stream.running:
+            decode_batch, _evicted = self.reserve_decode_tokens(stream.running)
+            stream.running = decode_batch
+        budget = self.config.chunk_budget_tokens - len(decode_batch)
+        chunks = self._build_chunks(stream, max(budget, 0))
+        if not decode_batch and not chunks:
+            stream.idle = True
+            self._check_stalled()
+            return
+        finished_prefills = [s.request_id for s, _ in chunks if s.prompt_complete]
+        task = self.make_hybrid_task(decode_batch, chunks, stream=stream.index)
+        task.meta["finished_prefills"] = finished_prefills
+        self.submit(task)
+
+    def _kick_idle(self) -> None:
+        for s in self.streams:
+            if s.idle:
+                self._schedule_stream(s)
+
+    def _on_arrival(self, state) -> None:
+        """Online arrival: wake any idle scheduler streams."""
+        self._kick_idle()
+
+    def _check_stalled(self) -> None:
+        if (
+            self.waiting
+            and all(s.idle for s in self.streams)
+            and all(s.partial is None for s in self.streams)
+            and not self.inflight
+            and self.block_manager.num_requests == 0
+        ):
+            raise SimulationError(
+                f"{self.system_name}: request {self.waiting[0].request_id} "
+                "exceeds KV capacity; cannot make progress"
+            )
+
+    # ------------------------------------------------------------------ #
+    def _on_task_complete(self, task: BatchTask, end_time: float) -> None:
+        self._clear_inflight(task)
+        stream = self.streams[task.meta["stream"]]
+        survivors = []
+        for rid in task.request_ids:
+            s = self.states[rid]
+            s.complete_decode_step()
+            if s.done:
+                self.finish_request(s)
+            else:
+                survivors.append(s)
+        stream.running = survivors
+        for rid in task.meta.get("finished_prefills", ()):
+            s = self.states[rid]
+            self.stamp_first_token(s)
+            if s.done:  # single-token outputs finish at prefill completion
+                self.finish_request(s)
+            else:
+                stream.running.append(s)
+        self.log_kv(task.kind)
+        n_seqs = len(task.request_ids) + len(task.meta.get("chunks", ()))
+        delay = self.driver_delay(n_seqs)
+        if delay > 0:
+            self.sim.schedule(delay, lambda: self._resume_stream(stream))
+        else:
+            self._resume_stream(stream)
+
+    def _resume_stream(self, stream: _Stream) -> None:
+        self._schedule_stream(stream)
+        self._kick_idle()
+
+
+class TPHybridEngine(HybridBatchingEngine):
+    """TP+HB: tensor parallelism + chunked-prefill hybrid batching."""
+
+    system_name = "TP+HB"
+
+    def __init__(self, node: NodeSpec, model: ModelSpec, config: EngineConfig | None = None):
+        super().__init__(node, model, parallel="tp", config=config)
+
+
+class PPHybridEngine(HybridBatchingEngine):
+    """PP+HB: pipeline parallelism + chunked-prefill hybrid batching."""
+
+    system_name = "PP+HB"
+
+    def __init__(self, node: NodeSpec, model: ModelSpec, config: EngineConfig | None = None):
+        super().__init__(node, model, parallel="pp", config=config)

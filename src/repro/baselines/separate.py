@@ -1,0 +1,161 @@
+"""Separate-batching baselines: TP+SB and PP+SB (paper Section 4.1).
+
+These model vLLM 0.5.3's default scheduler: continuous batching where a
+scheduler step is either a *prefill batch* (whole prompts, scheduled with
+priority whenever waiting requests fit in memory) or a *decode step* over the
+stream's running requests — never both in one batch.
+
+Under pipeline parallelism vLLM keeps ``pipeline_parallel_size`` scheduler
+streams ("virtual engines") in flight, each owning its running set; all
+streams share one waiting queue and one KV pool.  Prefill/decode imbalance
+and inter-batch imbalance between streams produce the pipeline bubbles of
+paper Figure 1.  Under tensor parallelism there is a single stream and every
+running request decodes in one big batch (higher intensity, but two
+all-reduces per layer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hardware.node import NodeSpec
+from ..models.spec import ModelSpec
+from ..runtime.base_engine import InferenceEngine
+from ..runtime.config import EngineConfig
+from ..runtime.state import RequestState
+from ..runtime.tasks import PREFILL, BatchTask
+from ..sim.engine import SimulationError
+
+__all__ = ["SeparateBatchingEngine", "TPSeparateEngine", "PPSeparateEngine"]
+
+
+@dataclass
+class _Stream:
+    """One in-flight scheduler stream (vLLM virtual engine)."""
+
+    index: int
+    running: list[RequestState] = field(default_factory=list)
+    idle: bool = True
+
+
+class SeparateBatchingEngine(InferenceEngine):
+    """Shared implementation; parallel mode decides the stream count."""
+
+    system_name = "SB"
+
+    def __init__(
+        self,
+        node: NodeSpec,
+        model: ModelSpec,
+        parallel: str,
+        config: EngineConfig | None = None,
+    ) -> None:
+        # Baseline pipelines use blocking device-to-device sends (Section 3.2).
+        super().__init__(node, model, parallel=parallel, config=config, async_transfer=False)
+        n_streams = self.num_stages
+        self.streams = [_Stream(i) for i in range(n_streams)]
+
+    # ------------------------------------------------------------------ #
+    def _bootstrap(self) -> None:
+        for s in self.streams:
+            self._schedule_stream(s)
+
+    def _schedule_stream(self, stream: _Stream) -> None:
+        stream.idle = False
+        # vLLM default: prefill has priority whenever something fits.
+        if (
+            self.waiting
+            and len(stream.running) < self.config.max_num_seqs
+            and self.can_admit(self.waiting[0])
+        ):
+            batch = self.pack_prefill_batch()
+            if batch:
+                self.submit(self.make_prefill_task(batch, stream=stream.index))
+                return
+        if stream.running:
+            batch, evicted = self.reserve_decode_tokens(stream.running)
+            stream.running = batch
+            if evicted and not batch:
+                # Whole stream evicted; retry scheduling (prefill may now fit).
+                self._schedule_stream(stream)
+                return
+            if batch:
+                self.submit(self.make_decode_task(batch, stream=stream.index))
+                return
+        stream.idle = True
+        self._check_stalled()
+
+    def _kick_idle(self) -> None:
+        for s in self.streams:
+            if s.idle:
+                self._schedule_stream(s)
+
+    def _on_arrival(self, state) -> None:
+        """Online arrival: wake any idle scheduler streams."""
+        self._kick_idle()
+
+    def _check_stalled(self) -> None:
+        """Detect the pathological case where nothing can ever be scheduled."""
+        if (
+            self.waiting
+            and all(s.idle for s in self.streams)
+            and not self.inflight
+            and self.block_manager.num_requests == 0
+        ):
+            raise SimulationError(
+                f"{self.system_name}: request {self.waiting[0].request_id} "
+                "exceeds KV capacity; cannot make progress"
+            )
+
+    # ------------------------------------------------------------------ #
+    def _on_task_complete(self, task: BatchTask, end_time: float) -> None:
+        self._clear_inflight(task)
+        stream = self.streams[task.meta["stream"]]
+        if task.kind == PREFILL:
+            for rid in task.request_ids:
+                s = self.states[rid]
+                s.complete_prefill()
+                self.stamp_first_token(s)
+                if s.done:
+                    self.finish_request(s)
+                else:
+                    stream.running.append(s)
+        else:
+            survivors = []
+            for rid in task.request_ids:
+                s = self.states[rid]
+                s.complete_decode_step()
+                if s.done:
+                    self.finish_request(s)
+                else:
+                    survivors.append(s)
+            stream.running = survivors
+        self.log_kv(task.kind)
+        # The next step for this stream waits for the synchronous driver.
+        delay = self.driver_delay(len(task.request_ids))
+        if delay > 0:
+            self.sim.schedule(delay, lambda: self._resume_stream(stream))
+        else:
+            self._resume_stream(stream)
+
+    def _resume_stream(self, stream: _Stream) -> None:
+        self._schedule_stream(stream)
+        self._kick_idle()
+
+
+class TPSeparateEngine(SeparateBatchingEngine):
+    """TP+SB: tensor parallelism + separate batching (vLLM default)."""
+
+    system_name = "TP+SB"
+
+    def __init__(self, node: NodeSpec, model: ModelSpec, config: EngineConfig | None = None):
+        super().__init__(node, model, parallel="tp", config=config)
+
+
+class PPSeparateEngine(SeparateBatchingEngine):
+    """PP+SB: pipeline parallelism + separate batching."""
+
+    system_name = "PP+SB"
+
+    def __init__(self, node: NodeSpec, model: ModelSpec, config: EngineConfig | None = None):
+        super().__init__(node, model, parallel="pp", config=config)

@@ -1,0 +1,93 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Examples
+--------
+::
+
+    tdpipe-bench table1
+    tdpipe-bench fig11 --scale 0.2
+    tdpipe-bench fig11 --full          # the paper's 5,000-request scale
+    tdpipe-bench all --scale 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import (
+    fig01_schedules,
+    default_scale,
+    fig02_utilization,
+    fig06_tp_breakdown,
+    fig11_overall,
+    fig12_kv_usage,
+    fig13_prefill_switch,
+    fig14_predictor,
+    fig15_work_stealing,
+    fig16_decode_switch,
+    tables,
+)
+
+__all__ = ["main"]
+
+_SCALED = {
+    "fig01": (fig01_schedules.run, fig01_schedules.format_results),
+    "fig02": (fig02_utilization.run, fig02_utilization.format_results),
+    "fig11": (fig11_overall.run, fig11_overall.format_results),
+    "fig12": (fig12_kv_usage.run, fig12_kv_usage.format_results),
+    "fig13": (fig13_prefill_switch.run, fig13_prefill_switch.format_results),
+    "fig14": (fig14_predictor.run, fig14_predictor.format_results),
+    "fig15": (fig15_work_stealing.run, fig15_work_stealing.format_results),
+    "fig16": (fig16_decode_switch.run, fig16_decode_switch.format_results),
+}
+
+_STATIC = {
+    "table1": tables.format_table1,
+    "table2": tables.format_table2,
+    "fig06": lambda: fig06_tp_breakdown.format_results(fig06_tp_breakdown.run()),
+}
+
+EXPERIMENTS = sorted([*_SCALED, *_STATIC, "all"])
+
+
+def _run_one(name: str, scale) -> str:
+    if name in _STATIC:
+        return _STATIC[name]()
+    runner, formatter = _SCALED[name]
+    return formatter(runner(scale=scale))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tdpipe-bench",
+        description="Regenerate TD-Pipe paper tables and figures on the simulator.",
+    )
+    parser.add_argument("experiment", choices=EXPERIMENTS, help="which artifact to regenerate")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.1,
+        help="workload scale relative to the paper's 5,000 requests (default 0.1)",
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="run at the paper's full scale (scale=1.0)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload/predictor seed")
+    args = parser.parse_args(argv)
+
+    scale = default_scale(factor=1.0 if args.full else args.scale, seed=args.seed)
+    names = sorted([*_SCALED, *_STATIC]) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        t0 = time.time()
+        output = _run_one(name, scale)
+        dt = time.time() - t0
+        print(f"=== {name} (elapsed {dt:.1f}s) ===")
+        print(output)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

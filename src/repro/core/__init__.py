@@ -1,0 +1,37 @@
+"""TD-Pipe core: the paper's primary contribution."""
+
+from .greedy_prefill import (
+    AdmissionPlan,
+    GreedyPrefillPlanner,
+    default_future_points,
+    plan_prefill_admission,
+)
+from .intensity import DecodeRateProfile, spatial_intensity, temporal_intensity
+from .policies import (
+    DecodeSwitchPolicy,
+    FinishRatioPolicy,
+    GreedyPrefillPolicy,
+    IntensityPolicy,
+    OccupancyRatioPolicy,
+    PrefillSwitchPolicy,
+)
+from .tdpipe import TDPipeEngine
+from .work_stealing import WorkStealingBalancer
+
+__all__ = [
+    "TDPipeEngine",
+    "GreedyPrefillPlanner",
+    "AdmissionPlan",
+    "plan_prefill_admission",
+    "default_future_points",
+    "WorkStealingBalancer",
+    "DecodeRateProfile",
+    "spatial_intensity",
+    "temporal_intensity",
+    "GreedyPrefillPolicy",
+    "OccupancyRatioPolicy",
+    "IntensityPolicy",
+    "FinishRatioPolicy",
+    "PrefillSwitchPolicy",
+    "DecodeSwitchPolicy",
+]

@@ -1,0 +1,149 @@
+"""Approach 1 — AI-based greedy prefill (paper Section 3.3, Algorithm 1).
+
+The planner decides *when to stop prefilling*: it maintains a map of predicted
+KV-cache usage at a grid of future decode steps (``futurePoints`` = 32, 64, …,
+1024).  Launching a prefill of input length ``L`` whose predicted output
+length is ``P`` adds ``L + p`` tokens of usage at every future point ``p <= P``
+(the request is predicted to be alive and to have grown by ``p`` tokens; once
+it finishes — ``p > P`` — its KV is freed and it contributes nothing).  The
+engine switches to decode as soon as the predicted usage at any future point
+exceeds the KV capacity.
+
+:func:`plan_prefill_admission` is the vectorised "what-if" version used by the
+spatial-temporal intensity comparison (Approach 3) to size the *next* prefill
+phase without mutating any state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["default_future_points", "GreedyPrefillPlanner", "AdmissionPlan", "plan_prefill_admission"]
+
+
+def default_future_points(stride: int = 32, horizon: int = 1024) -> tuple[int, ...]:
+    """The paper's decision grid: the 32nd, 64th, ..., 1024th decode steps."""
+    if stride < 1 or horizon < stride:
+        raise ValueError("need 1 <= stride <= horizon")
+    return tuple(range(stride, horizon + 1, stride))
+
+
+@dataclass
+class GreedyPrefillPlanner:
+    """Incremental Algorithm 1 state for the *current* prefill phase."""
+
+    kv_capacity_tokens: int
+    future_points: tuple[int, ...] = field(default_factory=default_future_points)
+    _usage: np.ndarray = field(init=False, repr=False)
+    _points: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.kv_capacity_tokens <= 0:
+            raise ValueError("kv_capacity_tokens must be positive")
+        if not self.future_points:
+            raise ValueError("need at least one future point")
+        self._points = np.asarray(self.future_points, dtype=float)
+        self._usage = np.zeros_like(self._points)
+
+    # ------------------------------------------------------------------ #
+    def reset(self, carry_over: Iterable[tuple[float, float]] = ()) -> None:
+        """Start a new prefill phase.
+
+        ``carry_over`` holds ``(context_len, predicted_remaining_output)`` for
+        requests still mid-generation from the previous decode phase: they keep
+        their KV and keep growing, so they pre-load the usage map.
+        """
+        self._usage = np.zeros_like(self._points)
+        for ctx, remaining in carry_over:
+            alive = self._points <= max(remaining, 0.0)
+            self._usage[alive] += ctx + self._points[alive]
+
+    def update(self, input_len: float, predicted_len: float) -> None:
+        """Algorithm 1 ``UpdateUsage``: account a newly launched prefill."""
+        alive = self._points <= max(predicted_len, 0.0)
+        self._usage[alive] += input_len + self._points[alive]
+        # A request predicted to finish before the first future point still
+        # occupies its prompt KV until then; charge it at the first point.
+        if not alive.any():
+            self._usage[0] += input_len + predicted_len
+
+    def predicted_peak(self) -> float:
+        """Largest predicted usage over the future-point grid (tokens)."""
+        return float(self._usage.max())
+
+    def should_switch(self) -> bool:
+        """Algorithm 1 ``CheckSwitch``: True -> switch to decode now."""
+        return self.predicted_peak() > self.kv_capacity_tokens
+
+    def usage_map(self) -> dict[int, float]:
+        """Snapshot of the predicted usage per future point (for inspection)."""
+        return {int(p): float(u) for p, u in zip(self._points, self._usage)}
+
+
+@dataclass(frozen=True)
+class AdmissionPlan:
+    """Result of a what-if admission plan for the next prefill phase."""
+
+    n_requests: int
+    admitted_tokens: int
+    predicted_peak: float
+
+    @property
+    def any_admissible(self) -> bool:
+        return self.n_requests > 0
+
+
+def plan_prefill_admission(
+    prefill_lens: Sequence[float],
+    predicted_lens: Sequence[float],
+    kv_capacity_tokens: float,
+    carry_over: Iterable[tuple[float, float]] = (),
+    future_points: tuple[int, ...] | None = None,
+) -> AdmissionPlan:
+    """Vectorised Algorithm 1: how many waiting requests *would* be admitted.
+
+    Replays ``UpdateUsage``/``CheckSwitch`` over the waiting queue in order and
+    returns the request count admitted before the predicted peak first exceeds
+    capacity (inclusive of the batch that crosses the line, matching the
+    launch-then-check order of ``SchedulePrefill``).
+    """
+    points = np.asarray(future_points or default_future_points(), dtype=float)
+    L = np.asarray(prefill_lens, dtype=float)
+    P = np.asarray(predicted_lens, dtype=float)
+    if L.shape != P.shape:
+        raise ValueError("prefill_lens and predicted_lens must align")
+    base = np.zeros_like(points)
+    for ctx, remaining in carry_over:
+        alive = points <= max(remaining, 0.0)
+        base[alive] += ctx + points[alive]
+    base_peak = float(base.max()) if base.size else 0.0
+    if L.size == 0 or base_peak > kv_capacity_tokens:
+        # Nothing to admit, or the carried-over requests alone are predicted
+        # to exceed capacity: the next prefill phase would launch nothing, so
+        # report zero admissible (prevents switch thrashing when memory is
+        # saturated by mid-generation requests).
+        return AdmissionPlan(0, 0, base_peak)
+
+    # contribution[i, p] = (L_i + p) if P_i >= p else 0 ; cumulative over i.
+    alive = P[:, None] >= points[None, :]
+    contrib = (L[:, None] + points[None, :]) * alive
+    # Requests predicted to finish before the first future point still occupy
+    # their prompt KV until then (mirrors GreedyPrefillPlanner.update).
+    short = ~alive.any(axis=1)
+    contrib[short, 0] += L[short] + P[short]
+    cum = base[None, :] + np.cumsum(contrib, axis=0)
+    peaks = cum.max(axis=1)  # predicted peak after admitting first i+1 requests
+    over = peaks > kv_capacity_tokens
+    if not over.any():
+        n = int(L.size)
+    else:
+        # Admit up to and including the first crossing request (launch, then check).
+        n = int(np.argmax(over)) + 1
+    return AdmissionPlan(
+        n_requests=n,
+        admitted_tokens=int(L[:n].sum()),
+        predicted_peak=float(peaks[n - 1]),
+    )

@@ -1,0 +1,81 @@
+"""Approach 3 — spatial-temporal intensity comparison (Section 3.5, Figure 10).
+
+*Spatial intensity* measures how efficiently the decode phase currently uses
+the hardware: ``SI = Achieved(b) / Peak`` where ``Achieved(b)`` is the
+per-request service rate at the current batch size and ``Peak`` the rate at a
+saturating batch size (both derived from the same profiled/modelled decode
+step time, exactly as the paper profiles real kernels offline).
+
+*Temporal intensity* measures how efficiently a switch to prefill would use
+time: ``TI = 1 - bubble / total``, where the bubble is the pipeline-refill
+mismatch between the longest pending prefill batch and the current decode
+step, and ``total`` is the whole next prefill cycle.
+
+TD-Pipe switches from decode to prefill as soon as ``SI < TI``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..costmodel.roofline import StageCostModel
+
+__all__ = ["DecodeRateProfile", "spatial_intensity", "temporal_intensity"]
+
+
+@dataclass
+class DecodeRateProfile:
+    """Achieved/Peak decode rates from a stage cost model.
+
+    The paper profiles the reciprocal of per-request execution time on real
+    kernels; we evaluate the same quantity on the roofline model.  Rates are
+    context-dependent, so the profile is parameterised by the mean context
+    length of the running requests.
+    """
+
+    stage_model: StageCostModel
+    #: Batch size treated as "sufficiently large" to reach peak rate.
+    peak_batch_size: int = 256
+
+    def rate(self, batch_size: int, mean_context: float) -> float:
+        """Requests served per second at this batch size (one stage step)."""
+        if batch_size <= 0:
+            return 0.0
+        t = self.stage_model.decode_time(batch_size, batch_size * (mean_context + 1.0))
+        return batch_size / t
+
+    def peak(self, mean_context: float) -> float:
+        return self.rate(self.peak_batch_size, mean_context)
+
+
+def spatial_intensity(
+    profile: DecodeRateProfile, batch_size: int, mean_context: float
+) -> float:
+    """``Achieved / Peak`` at the current per-pipeline-batch size."""
+    peak = profile.peak(mean_context)
+    if peak <= 0:
+        return 0.0
+    return min(profile.rate(batch_size, mean_context) / peak, 1.0)
+
+
+def temporal_intensity(
+    pending_prefill_stage_times: list[float],
+    current_decode_stage_time: float,
+) -> float:
+    """``1 - bubble / total`` for a hypothetical switch to prefill now.
+
+    ``pending_prefill_stage_times`` are per-stage execution times of the
+    prefill batches the next phase would launch (empty -> returns ``-inf`` so
+    the engine never switches with nothing to prefill).  The bubble is the
+    mismatch between the longest pending prefill and the decode step draining
+    behind it as the pipeline changes phase (paper: "the difference between
+    the longest prefill and the current decode").
+    """
+    if not pending_prefill_stage_times:
+        return float("-inf")
+    longest = max(pending_prefill_stage_times)
+    bubble = max(longest - current_decode_stage_time, 0.0)
+    total = sum(pending_prefill_stage_times) + bubble
+    if total <= 0:
+        return float("-inf")
+    return 1.0 - bubble / total

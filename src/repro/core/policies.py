@@ -1,0 +1,210 @@
+"""Phase-switch policies for the temporally-disaggregated scheduler.
+
+TD-Pipe proper uses :class:`GreedyPrefillPolicy` (Approach 1) for the
+prefill->decode switch and :class:`IntensityPolicy` (Approach 3) for the
+decode->prefill switch.  The ratio-based policies implement the hand-tuned
+heuristics the paper's ablations (Figures 13 and 16) compare against.
+
+Policies receive the engine itself; the engine attributes they may read are
+part of the :class:`repro.core.tdpipe.TDPipeEngine` public surface
+(``waiting``, ``running``, ``block_manager``, ``predicted_len``,
+``stage_models``, ``config``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Protocol, Sequence
+
+from ..runtime.state import RequestState
+from .greedy_prefill import GreedyPrefillPlanner, default_future_points, plan_prefill_admission
+from .intensity import DecodeRateProfile, spatial_intensity, temporal_intensity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .tdpipe import TDPipeEngine
+
+__all__ = [
+    "PrefillSwitchPolicy",
+    "DecodeSwitchPolicy",
+    "GreedyPrefillPolicy",
+    "OccupancyRatioPolicy",
+    "IntensityPolicy",
+    "FinishRatioPolicy",
+]
+
+
+class PrefillSwitchPolicy(Protocol):
+    """Decides when the prefill phase should stop launching and hand over."""
+
+    def reset_phase(self, engine: "TDPipeEngine") -> None: ...
+
+    def on_batch_launched(self, engine: "TDPipeEngine", batch: Sequence[RequestState]) -> None: ...
+
+    def should_switch(self, engine: "TDPipeEngine") -> bool: ...
+
+
+class DecodeSwitchPolicy(Protocol):
+    """Decides when the decode phase should hand back to prefill."""
+
+    def reset_phase(self, engine: "TDPipeEngine") -> None: ...
+
+    def should_switch(self, engine: "TDPipeEngine") -> bool: ...
+
+
+# ---------------------------------------------------------------------- #
+# Prefill -> decode.
+# ---------------------------------------------------------------------- #
+@dataclass
+class GreedyPrefillPolicy:
+    """Approach 1: AI-based greedy prefill (Algorithm 1)."""
+
+    future_points: tuple[int, ...] = field(default_factory=default_future_points)
+    _planner: GreedyPrefillPlanner | None = field(default=None, repr=False)
+
+    def reset_phase(self, engine: "TDPipeEngine") -> None:
+        self._planner = GreedyPrefillPlanner(
+            kv_capacity_tokens=engine.block_manager.capacity_tokens,
+            future_points=self.future_points,
+        )
+        carry = [
+            (float(s.kv_len), engine.predicted_remaining(s)) for s in engine.running.values()
+        ]
+        self._planner.reset(carry)
+
+    def on_batch_launched(self, engine: "TDPipeEngine", batch: Sequence[RequestState]) -> None:
+        assert self._planner is not None, "reset_phase not called"
+        for s in batch:
+            self._planner.update(s.prefill_len, engine.predicted_len(s))
+
+    def should_switch(self, engine: "TDPipeEngine") -> bool:
+        assert self._planner is not None, "reset_phase not called"
+        return self._planner.should_switch()
+
+
+@dataclass
+class OccupancyRatioPolicy:
+    """Figure 13 baseline: switch once KV occupancy reaches a fixed ratio."""
+
+    ratio: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ratio <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {self.ratio}")
+
+    def reset_phase(self, engine: "TDPipeEngine") -> None:  # noqa: ARG002
+        return None
+
+    def on_batch_launched(self, engine: "TDPipeEngine", batch: Sequence[RequestState]) -> None:
+        return None
+
+    def should_switch(self, engine: "TDPipeEngine") -> bool:
+        return engine.block_manager.usage_ratio >= self.ratio
+
+
+# ---------------------------------------------------------------------- #
+# Decode -> prefill.
+# ---------------------------------------------------------------------- #
+@dataclass
+class IntensityPolicy:
+    """Approach 3: switch when spatial intensity < temporal intensity.
+
+    The temporal side sizes the *next* prefill phase with a what-if replay of
+    Algorithm 1 over the waiting queue; the check is throttled to once per
+    pipeline round (``check_interval`` batch returns) because its inputs only
+    drift a little per step.
+    """
+
+    peak_batch_size: int = 256
+    check_interval: int | None = None  # default: number of stages
+    _calls: int = field(default=0, repr=False)
+    _profile: DecodeRateProfile | None = field(default=None, repr=False)
+    last_si: float = field(default=float("nan"), repr=False)
+    last_ti: float = field(default=float("nan"), repr=False)
+
+    def reset_phase(self, engine: "TDPipeEngine") -> None:
+        self._calls = 0
+        self._profile = DecodeRateProfile(
+            stage_model=engine.stage_models[0],
+            peak_batch_size=min(self.peak_batch_size, engine.config.max_num_seqs),
+        )
+
+    def should_switch(self, engine: "TDPipeEngine") -> bool:
+        assert self._profile is not None, "reset_phase not called"
+        interval = self.check_interval or engine.num_stages
+        self._calls += 1
+        if (self._calls - 1) % interval:
+            return False
+        running = list(engine.running.values())
+        if not running or not engine.waiting:
+            return False
+        n_batches = min(engine.num_stages, len(running))
+        batch_size = max(len(running) // n_batches, 1)
+        mean_ctx = sum(s.kv_len for s in running) / len(running)
+        # "Peak" is the rate at a saturating batch — but never larger than the
+        # batch the KV capacity could actually hold right after a full prefill
+        # phase.  Without this cap, memory-tight configurations would report
+        # SI < 1 permanently and the policy would thrash between phases.
+        reachable = int(
+            engine.block_manager.capacity_tokens / (engine.num_stages * (mean_ctx + 1.0))
+        )
+        self._profile.peak_batch_size = max(
+            1, min(self.peak_batch_size, engine.config.max_num_seqs, reachable)
+        )
+        si = spatial_intensity(self._profile, batch_size, mean_ctx)
+
+        ti = self._temporal(engine, batch_size, mean_ctx)
+        self.last_si, self.last_ti = si, ti
+        return si < ti
+
+    def _temporal(self, engine: "TDPipeEngine", batch_size: int, mean_ctx: float) -> float:
+        waiting = list(engine.waiting)
+        plan = plan_prefill_admission(
+            prefill_lens=[s.prefill_len for s in waiting],
+            predicted_lens=[engine.predicted_len(s) for s in waiting],
+            kv_capacity_tokens=engine.block_manager.capacity_tokens,
+            carry_over=[
+                (float(s.kv_len), engine.predicted_remaining(s))
+                for s in engine.running.values()
+            ],
+        )
+        if not plan.any_admissible:
+            return float("-inf")
+        stage = engine.stage_models[0]
+        budget = engine.config.max_prefill_tokens
+        times: list[float] = []
+        batch: list[int] = []
+        tokens = 0
+        for s in waiting[: plan.n_requests]:
+            if batch and tokens + s.prefill_len > budget:
+                times.append(stage.prefill_time(batch))
+                batch, tokens = [], 0
+            batch.append(s.prefill_len)
+            tokens += s.prefill_len
+        if batch:
+            times.append(stage.prefill_time(batch))
+        decode_t = stage.decode_time(batch_size, batch_size * (mean_ctx + 1.0))
+        return temporal_intensity(times, decode_t)
+
+
+@dataclass
+class FinishRatioPolicy:
+    """Figure 16 baseline: switch once a fixed fraction of the decode phase's
+    initial requests have completed."""
+
+    ratio: float
+    _initial: int = field(default=0, repr=False)
+    _finished_at_start: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ratio <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {self.ratio}")
+
+    def reset_phase(self, engine: "TDPipeEngine") -> None:
+        self._initial = len(engine.running)
+        self._finished_at_start = len(engine.finished)
+
+    def should_switch(self, engine: "TDPipeEngine") -> bool:
+        if self._initial == 0 or not engine.waiting:
+            return False
+        done = len(engine.finished) - self._finished_at_start
+        return done / self._initial >= self.ratio

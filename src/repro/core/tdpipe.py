@@ -1,0 +1,259 @@
+"""TD-Pipe: the temporally-disaggregated pipeline-parallel engine (Section 3).
+
+The engine runs a two-phase state machine:
+
+* **Prefill phase** — whole-prompt batches are launched back to back into the
+  pipeline (no inter-batch dependencies, so stages stay saturated).  The
+  prefill-switch policy (Approach 1, AI-based greedy prefill by default)
+  decides after each launch whether predicted future memory use demands a
+  switch; in-flight prefills then drain and the decode phase begins.
+* **Decode phase** — all resident requests are split into one batch per
+  pipeline stage; batches circulate through the pipeline, each traversal
+  being one decode step.  The work-stealing balancer (Approach 2) keeps the
+  circulating batch sizes even as requests finish; the decode-switch policy
+  (Approach 3, spatial-temporal intensity comparison by default) decides when
+  to drain and return to prefill.
+
+Requests mid-generation keep their KV cache across prefill phases (temporal,
+not spatial, disaggregation) and rejoin the next decode phase.
+"""
+
+from __future__ import annotations
+
+from ..hardware.node import NodeSpec
+from ..models.spec import ModelSpec
+from ..predictor.length_predictor import OutputLengthPredictor
+from ..runtime.base_engine import InferenceEngine
+from ..runtime.config import EngineConfig
+from ..runtime.state import RequestState
+from ..runtime.tasks import PREFILL, BatchTask
+from ..metrics.results import PhaseSpan
+from ..sim.engine import SimulationError
+from .policies import (
+    DecodeSwitchPolicy,
+    GreedyPrefillPolicy,
+    IntensityPolicy,
+    PrefillSwitchPolicy,
+)
+from .work_stealing import WorkStealingBalancer
+
+__all__ = ["TDPipeEngine"]
+
+
+class TDPipeEngine(InferenceEngine):
+    """The paper's system: temporally-disaggregated pipeline parallelism."""
+
+    system_name = "TD-Pipe"
+
+    def __init__(
+        self,
+        node: NodeSpec,
+        model: ModelSpec,
+        predictor: OutputLengthPredictor,
+        config: EngineConfig | None = None,
+        prefill_policy: PrefillSwitchPolicy | None = None,
+        decode_policy: DecodeSwitchPolicy | None = None,
+        work_stealing: bool = True,
+    ) -> None:
+        # Hierarchy-controller: asynchronous P2P transfers (Section 3.2).
+        super().__init__(node, model, parallel="pp", config=config, async_transfer=True)
+        self.predictor = predictor
+        self.prefill_policy = prefill_policy or GreedyPrefillPolicy()
+        self.decode_policy = decode_policy or IntensityPolicy()
+        self.balancer = WorkStealingBalancer(
+            window_size=self.num_stages,
+            max_batch_size=self.config.max_num_seqs,
+            enabled=work_stealing,
+        )
+        #: Requests with KV resident and generation unfinished.
+        self.running: dict[int, RequestState] = {}
+        self.phase: str | None = None
+        self._phase_started_at = 0.0
+        self._prefill_inflight = 0
+        self._prefill_stopped = False
+        self._decode_active = 0
+        self._switch_requested = False
+        self._idle = False
+        self._predictions: dict[int, float] = {}
+        #: Queue depth kept at stage 0 during prefill (pipeline depth + 1
+        #: keeps every stage fed while bounding memory commitment).
+        self.prefill_queue_depth = self.num_stages + 1
+
+    # ------------------------------------------------------------------ #
+    # Prediction helpers (used by the policies).
+    # ------------------------------------------------------------------ #
+    def predicted_len(self, state: RequestState) -> float:
+        """Predicted output length of a request (cached, one model call each)."""
+        rid = state.request_id
+        if rid not in self._predictions:
+            self._predictions[rid] = float(self.predictor.predict_length(state.request))
+        return self._predictions[rid]
+
+    def predicted_remaining(self, state: RequestState) -> float:
+        """Predicted output tokens still to come for a mid-generation request."""
+        return max(self.predicted_len(state) - state.generated, 0.0)
+
+    # ------------------------------------------------------------------ #
+    # Phase bookkeeping.
+    # ------------------------------------------------------------------ #
+    def _phase_start(self, phase: str) -> None:
+        now = self.sim.now
+        if self.phase is not None:
+            self.phase_spans.append(PhaseSpan(self.phase, self._phase_started_at, now))
+        self.phase = phase
+        self._phase_started_at = now
+
+    def _finalize_phases(self) -> None:
+        if self.phase is not None:
+            self.phase_spans.append(
+                PhaseSpan(self.phase, self._phase_started_at, self.trace.makespan)
+            )
+            self.phase = None
+
+    # ------------------------------------------------------------------ #
+    # Bootstrap / dispatch.
+    # ------------------------------------------------------------------ #
+    def _bootstrap(self) -> None:
+        self._enter_prefill()
+
+    def _on_arrival(self, state: RequestState) -> None:
+        """Online arrival: restart the phase machine if it had gone idle."""
+        if self._idle:
+            self._idle = False
+            self._enter_prefill()
+
+    def _on_task_complete(self, task: BatchTask, end_time: float) -> None:
+        self._clear_inflight(task)
+        if task.kind == PREFILL:
+            self._complete_prefill(task)
+        else:
+            self._complete_decode(task)
+        if not self.sim.pending and len(self.finished) == len(self.states):
+            self._finalize_phases()
+
+    # ------------------------------------------------------------------ #
+    # Prefill phase.
+    # ------------------------------------------------------------------ #
+    def _enter_prefill(self) -> None:
+        self._idle = False
+        self._phase_start("prefill")
+        self.prefill_policy.reset_phase(self)
+        self._prefill_stopped = False
+        self._prefill_pump()
+
+    def _prefill_pump(self) -> None:
+        while not self._prefill_stopped and self._prefill_inflight < self.prefill_queue_depth:
+            if not self.waiting or self.prefill_policy.should_switch(self):
+                # No work, or the carried-over requests already exceed the
+                # predicted memory budget: nothing can be launched this phase.
+                self._prefill_stopped = True
+                break
+            batch = self.pack_prefill_batch()
+            if not batch:
+                # Memory (watermark) refuses even one prompt: decode must free KV.
+                self._prefill_stopped = True
+                break
+            self._prefill_inflight += 1
+            self.submit(self.make_prefill_task(batch))
+            self.prefill_policy.on_batch_launched(self, batch)
+            if self.prefill_policy.should_switch(self):
+                self._prefill_stopped = True
+        if self._prefill_stopped and self._prefill_inflight == 0:
+            self._enter_decode()
+
+    def _complete_prefill(self, task: BatchTask) -> None:
+        for rid in task.request_ids:
+            s = self.states[rid]
+            s.complete_prefill()
+            self.stamp_first_token(s)
+            if s.done:
+                self.finish_request(s)
+            else:
+                self.running[rid] = s
+        self.log_kv("prefill")
+        self._prefill_inflight -= 1
+        if not self._prefill_stopped:
+            self._prefill_pump()
+        if self._prefill_stopped and self._prefill_inflight == 0:
+            self._enter_decode()
+
+    # ------------------------------------------------------------------ #
+    # Decode phase.
+    # ------------------------------------------------------------------ #
+    def _enter_decode(self) -> None:
+        if not self.running:
+            if self.waiting:
+                if self.block_manager.num_requests == 0 and not self.can_admit(self.waiting[0]):
+                    raise SimulationError(
+                        "TD-Pipe: nothing admitted but requests remain waiting — "
+                        "a single request exceeds KV capacity"
+                    )
+                # Requests arrived after the prefill pump stopped (online
+                # mode): go straight back to prefill.
+                self._enter_prefill()
+                return
+            # Locally complete; future arrivals (if any) will wake us up.
+            self._idle = True
+            return
+        self._phase_start("decode")
+        self.decode_policy.reset_phase(self)
+        self._switch_requested = False
+        batches = self.balancer.init_batches(list(self.running.values()), self.num_stages)
+        batches = [b for b in batches if b]
+        self._decode_active = len(batches)
+        for b in batches:
+            self._submit_decode(b)
+
+    def _submit_decode(self, batch: list[RequestState]) -> None:
+        survivors, evicted = self.reserve_decode_tokens(batch)
+        for s in evicted:
+            # Evicted for re-computation: back to waiting, out of running.
+            self.running.pop(s.request_id, None)
+        if not survivors:
+            self._decode_active -= 1
+            self._maybe_end_decode()
+            return
+        self.submit(self.make_decode_task(survivors))
+
+    def _complete_decode(self, task: BatchTask) -> None:
+        survivors: list[RequestState] = []
+        n_finished = 0
+        for rid in task.request_ids:
+            s = self.states[rid]
+            s.complete_decode_step()
+            if s.done:
+                self.finish_request(s)
+                self.running.pop(rid, None)
+                n_finished += 1
+            else:
+                survivors.append(s)
+        self.log_kv("decode")
+        if not self._switch_requested and self.waiting and self.decode_policy.should_switch(self):
+            self._switch_requested = True
+        if self._switch_requested:
+            # Survivors stay resident and rejoin the next decode phase.
+            self._decode_active -= 1
+            self._maybe_end_decode()
+            return
+        batch = self.balancer.on_batch_return(survivors, n_finished)
+        if not batch:
+            self._decode_active -= 1
+            self._maybe_end_decode()
+            return
+        self._submit_decode(batch)
+
+    def _maybe_end_decode(self) -> None:
+        if self._decode_active > 0:
+            return
+        # Withheld requests are still in `running`; clear the pool so the next
+        # phase re-partitions everything.
+        self.balancer.drain_withheld()
+        if self.waiting:
+            self._enter_prefill()
+        elif self.running:
+            # Drained for a switch but prefill has nothing to do (can happen
+            # if eviction re-queued requests that then got re-admitted).
+            self._enter_decode()
+        else:
+            self._idle = True
+            self._finalize_phases()

@@ -1,0 +1,102 @@
+"""Approach 2 — inter-batch work stealing (paper Section 3.4, Figure 9).
+
+During the decode phase requests finish at random, so the G circulating
+batches drift apart in size and the pipeline develops bubbles (a stage idles
+while waiting for a smaller batch).  The balancer keeps a sliding window of
+the last G submitted batch sizes; on every batch return it computes the
+window average (minus the requests that just finished), *withholds* the
+excess of over-average batches, and tops under-average batches up from the
+withheld pool.  Batch size is deliberately the sole balance metric — the
+paper argues linear layers dominate and large batches smooth out
+sequence-length variance.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Sequence, TypeVar
+
+__all__ = ["WorkStealingBalancer"]
+
+T = TypeVar("T")
+
+
+@dataclass
+class WorkStealingBalancer:
+    """Sliding-window decode load balancer over generic request items."""
+
+    window_size: int
+    #: Hard cap on any single batch (vLLM ``max_num_seqs``).
+    max_batch_size: int = 256
+    #: When False the balancer is inert (the paper's "wo" ablation): initial
+    #: equal division still happens, but no dynamic stealing.
+    enabled: bool = True
+    _window: deque[int] = field(default_factory=deque, repr=False)
+    _withheld: list = field(default_factory=list, repr=False)
+    steals: int = field(default=0, repr=False)
+    supplements: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def withheld_count(self) -> int:
+        return len(self._withheld)
+
+    def drain_withheld(self) -> list:
+        """Remove and return all withheld items (used when a phase ends)."""
+        out, self._withheld = self._withheld, []
+        return out
+
+    def init_batches(self, items: Sequence[T], n_batches: int) -> list[list[T]]:
+        """Divide requests into ``n_batches`` equal batches (phase start).
+
+        Items beyond ``n_batches * max_batch_size`` are withheld and fed back
+        by the stealing mechanism as running requests finish.
+        """
+        if n_batches < 1:
+            raise ValueError("n_batches must be >= 1")
+        items = list(items)
+        capacity = n_batches * self.max_batch_size
+        overflow = items[capacity:]
+        items = items[:capacity]
+        batches: list[list[T]] = [[] for _ in range(n_batches)]
+        for i, item in enumerate(items):
+            batches[i % n_batches].append(item)
+        self._withheld = overflow
+        self._window = deque((len(b) for b in batches), maxlen=self.window_size)
+        return batches
+
+    def on_batch_return(self, batch: list[T], n_finished: int) -> list[T]:
+        """Rebalance one returning batch; returns the batch to resubmit.
+
+        ``batch`` holds the surviving requests (finished ones already removed);
+        ``n_finished`` is how many completed in this step.
+        """
+        if not self.enabled:
+            # Ablation mode: withheld items (phase-start overflow) still trickle
+            # in, but no average-based stealing happens.
+            while self._withheld and len(batch) < self.max_batch_size:
+                batch.append(self._withheld.pop())
+            return batch
+        if not self._window:
+            self._window.append(len(batch))
+        avg = max(1, -(-(sum(self._window) - n_finished) // len(self._window)))
+        avg = min(avg, self.max_batch_size)
+        if len(batch) > avg:
+            excess = len(batch) - avg
+            self._withheld.extend(batch[-excess:])
+            del batch[-excess:]
+            self.steals += excess
+        elif len(batch) < avg and self._withheld:
+            need = min(avg - len(batch), len(self._withheld))
+            for _ in range(need):
+                batch.append(self._withheld.pop())
+            self.supplements += need
+        self._window.append(len(batch))
+        return batch

@@ -1,0 +1,5 @@
+"""Analytic roofline cost model replacing CUDA execution."""
+
+from .roofline import FullModelCostModel, PrefillChunk, StageCostModel
+
+__all__ = ["StageCostModel", "FullModelCostModel", "PrefillChunk"]

@@ -1,0 +1,266 @@
+"""Roofline execution-time model for transformer inference batches.
+
+This module replaces CUDA execution with an analytic model built from the
+published hardware constants (Table 1) and architectural constants (Table 2):
+
+* **Prefill** is compute-bound: time = FLOPs / (peak FLOPS x efficiency).
+* **Decode** is bandwidth-bound: every step must stream the layer weights and
+  the whole KV cache of the batch from HBM, so
+  time = bytes / (peak bandwidth x efficiency); the compute term is also
+  evaluated and the per-layer time is the max of the two (classic roofline).
+* **Tensor parallelism** divides FLOPs/bytes by the TP degree and adds two
+  all-reduces of the activation per layer (paper Section 2.2.3 / Figure 6).
+* **Hybrid (chunked-prefill) batches** combine a decode batch with one or more
+  prompt chunks; each chunk re-reads the KV cache of its already-processed
+  prefix — the "repeated KV cache loading overhead" of Section 2.3.
+
+A fixed per-layer kernel overhead makes tiny decode batches inefficient, which
+produces the saturating Achieved/Peak curve that TD-Pipe's spatial intensity
+(Approach 3) relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..hardware.gpu import GPUSpec
+from ..hardware.interconnect import InterconnectSpec, allreduce_time
+from ..models.partition import StageShard
+from ..models.spec import ModelSpec
+
+__all__ = ["PrefillChunk", "StageCostModel", "FullModelCostModel"]
+
+
+@dataclass(frozen=True)
+class PrefillChunk:
+    """A slice of one prompt processed inside a hybrid batch.
+
+    ``prefix_len`` tokens of the prompt already have KV cache; the chunk
+    appends ``chunk_len`` new tokens that attend over ``prefix_len + chunk_len``
+    positions.
+    """
+
+    chunk_len: int
+    prefix_len: int = 0
+
+    def __post_init__(self) -> None:
+        if self.chunk_len < 0 or self.prefix_len < 0:
+            raise ValueError("chunk_len and prefix_len must be non-negative")
+
+    @property
+    def context_len(self) -> int:
+        return self.prefix_len + self.chunk_len
+
+
+@dataclass
+class StageCostModel:
+    """Execution-time model for one pipeline stage on one GPU (or TP group).
+
+    Parameters
+    ----------
+    shard:
+        The model slice this stage executes (layers + optional embedding/head).
+    gpu:
+        Device executing the shard.
+    interconnect:
+        Fabric used for TP all-reduces (ignored when ``shard.tp_degree == 1``).
+    """
+
+    shard: StageShard
+    gpu: GPUSpec
+    interconnect: InterconnectSpec | None = None
+    #: Per-batch CPU-side launch overhead at this stage (input prep, sampling).
+    step_overhead_s: float = 300e-6
+    _model: ModelSpec = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.shard.tp_degree > 1 and self.interconnect is None:
+            raise ValueError("tensor parallelism requires an interconnect spec")
+        self._model = self.shard.model
+
+    # ------------------------------------------------------------------ #
+    # Building blocks.
+    # ------------------------------------------------------------------ #
+    @property
+    def n_layers(self) -> int:
+        return self.shard.n_layers
+
+    @property
+    def tp(self) -> int:
+        return self.shard.tp_degree
+
+    def _allreduce_per_layer(self, tokens: float) -> float:
+        """Two activation all-reduces per transformer layer under TP."""
+        if self.tp <= 1:
+            return 0.0
+        assert self.interconnect is not None
+        nbytes = tokens * self._model.hidden_size * self._model.dtype_bytes
+        return 2.0 * allreduce_time(nbytes, self.tp, self.interconnect)
+
+    def _dense_layer_time(self, flops: float, tokens: float, read_bytes: float) -> float:
+        """Roofline time of one layer's dense work over ``tokens`` rows.
+
+        Bandwidth-bound layers (small token counts) are governed purely by the
+        bytes streamed; compute-bound layers additionally pay the small-GEMM
+        tile-quantisation penalty (``gemm_halfsat_tokens``), which is what
+        separates 512-token chunked-prefill steps from 2048-token prefill
+        batches.  Applying the penalty only in the compute-bound regime avoids
+        double-counting: tiny batches are already charged the full byte cost.
+        """
+        weight_bytes = self._model.params_per_layer * self._model.dtype_bytes / self.tp
+        mem = (weight_bytes + read_bytes) / self.gpu.effective_mem_bandwidth
+        comp = flops / self.tp / self.gpu.effective_flops
+        if comp >= mem and tokens > 0:
+            sat = tokens / (tokens + self.gpu.gemm_halfsat_tokens)
+            return comp / max(sat, 1e-9)
+        return max(mem, comp)
+
+    def _head_time(self, tokens: float) -> float:
+        """Embedding + LM-head time for stages that own them (compute-bound)."""
+        m = self._model
+        flops = 0.0
+        if self.shard.has_lm_head:
+            flops += m.lm_head_flops(tokens) / self.tp
+        if flops == 0.0:
+            return 0.0
+        return flops / self.gpu.effective_flops
+
+    # ------------------------------------------------------------------ #
+    # Phase-specific costs.
+    # ------------------------------------------------------------------ #
+    def prefill_time(self, seq_lens: Sequence[int]) -> float:
+        """Time for this stage to process a prefill batch of whole prompts."""
+        if not len(seq_lens):
+            return 0.0
+        m = self._model
+        tokens = float(sum(seq_lens))
+        flops_per_layer = m.linear_flops_per_token_per_layer() * tokens
+        flops_per_layer += sum(m.prefill_attn_flops_per_layer(s) for s in seq_lens)
+        per_layer = self._dense_layer_time(flops_per_layer, tokens, read_bytes=0.0)
+        per_layer += self.gpu.kernel_overhead_s + self._allreduce_per_layer(tokens)
+        # Sampling happens for one token per sequence on the last stage.
+        return self.n_layers * per_layer + self._head_time(len(seq_lens)) + self.step_overhead_s
+
+    def decode_time(self, batch_size: int, kv_tokens: float) -> float:
+        """Time for one decode step of ``batch_size`` requests at this stage.
+
+        ``kv_tokens`` is the total context length summed over the batch (the
+        number of KV-cache token entries that must be streamed from HBM).
+        """
+        if batch_size <= 0:
+            return 0.0
+        m = self._model
+        # Bandwidth term: weights of this stage's layers + KV of the batch.
+        weight_bytes = m.params_per_layer * m.dtype_bytes / self.tp
+        kv_bytes = kv_tokens * m.kv_bytes_per_token_per_layer / self.tp
+        mem_per_layer = (weight_bytes + kv_bytes) / self.gpu.effective_mem_bandwidth
+        # Compute term: one token per request through the projections, plus
+        # attention over the context.
+        flops_per_layer = (
+            m.linear_flops_per_token_per_layer() * batch_size
+            + m.attn_score_flops_per_layer(kv_tokens, 1.0)
+        )
+        comp_per_layer = flops_per_layer / self.tp / self.gpu.effective_flops_decode
+        per_layer = max(mem_per_layer, comp_per_layer)
+        per_layer += self.gpu.kernel_overhead_s + self._allreduce_per_layer(batch_size)
+        return self.n_layers * per_layer + self._head_time(batch_size) + self.step_overhead_s
+
+    def hybrid_time(
+        self,
+        decode_batch_size: int,
+        decode_kv_tokens: float,
+        prefill_chunks: Iterable[PrefillChunk] = (),
+    ) -> float:
+        """Time of one hybrid (chunked-prefill) step at this stage.
+
+        The decode part contributes its bandwidth demand; every prompt chunk
+        contributes compute for its new tokens **and** a re-read of its
+        prefix KV cache (the chunked-prefill overhead the paper highlights).
+        """
+        chunks = list(prefill_chunks)
+        m = self._model
+        chunk_tokens = float(sum(c.chunk_len for c in chunks))
+        total_tokens = decode_batch_size + chunk_tokens
+        if total_tokens <= 0:
+            return 0.0
+
+        kv_read_tokens = decode_kv_tokens + sum(c.context_len for c in chunks)
+        kv_bytes = kv_read_tokens * m.kv_bytes_per_token_per_layer / self.tp
+
+        flops_per_layer = m.linear_flops_per_token_per_layer() * total_tokens
+        flops_per_layer += m.attn_score_flops_per_layer(decode_kv_tokens, 1.0)
+        for c in chunks:
+            # New tokens attend over prefix + (causal) themselves.
+            flops_per_layer += m.attn_score_flops_per_layer(c.prefix_len, c.chunk_len)
+            flops_per_layer += 0.5 * m.attn_score_flops_per_layer(c.chunk_len, c.chunk_len)
+
+        per_layer = self._dense_layer_time(flops_per_layer, total_tokens, kv_bytes)
+        per_layer += self.gpu.kernel_overhead_s + self._allreduce_per_layer(total_tokens)
+        sampled = decode_batch_size + sum(1 for c in chunks if c.chunk_len > 0)
+        return self.n_layers * per_layer + self._head_time(sampled) + self.step_overhead_s
+
+    # ------------------------------------------------------------------ #
+    # Introspection used by experiments (Figure 6 breakdown).
+    # ------------------------------------------------------------------ #
+    def prefill_breakdown(self, seq_lens: Sequence[int]) -> tuple[float, float]:
+        """(computation_time, communication_time) of a prefill batch."""
+        total = self.prefill_time(seq_lens)
+        comm = self.n_layers * self._allreduce_per_layer(float(sum(seq_lens)))
+        return total - comm, comm
+
+    def activation_bytes(self, tokens: int) -> float:
+        """Size of the activation tensor handed to the next pipeline stage."""
+        return tokens * self._model.hidden_size * self._model.dtype_bytes
+
+
+@dataclass
+class FullModelCostModel:
+    """Whole-model iteration cost under pure tensor parallelism (PP = 1).
+
+    Convenience wrapper: a single stage containing every layer, the embedding
+    and the LM head.
+    """
+
+    model: ModelSpec
+    gpu: GPUSpec
+    interconnect: InterconnectSpec | None = None
+    tp_degree: int = 1
+    step_overhead_s: float = 1e-3
+
+    def __post_init__(self) -> None:
+        shard = StageShard(
+            model=self.model,
+            stage_index=0,
+            n_stages=1,
+            layer_start=0,
+            n_layers=self.model.n_layers,
+            tp_degree=self.tp_degree,
+        )
+        self._stage = StageCostModel(
+            shard=shard,
+            gpu=self.gpu,
+            interconnect=self.interconnect,
+            step_overhead_s=self.step_overhead_s,
+        )
+
+    @property
+    def stage(self) -> StageCostModel:
+        return self._stage
+
+    def prefill_time(self, seq_lens: Sequence[int]) -> float:
+        return self._stage.prefill_time(seq_lens)
+
+    def decode_time(self, batch_size: int, kv_tokens: float) -> float:
+        return self._stage.decode_time(batch_size, kv_tokens)
+
+    def hybrid_time(
+        self,
+        decode_batch_size: int,
+        decode_kv_tokens: float,
+        prefill_chunks: Iterable[PrefillChunk] = (),
+    ) -> float:
+        return self._stage.hybrid_time(decode_batch_size, decode_kv_tokens, prefill_chunks)
+
+    def prefill_breakdown(self, seq_lens: Sequence[int]) -> tuple[float, float]:
+        return self._stage.prefill_breakdown(seq_lens)

@@ -1,0 +1,47 @@
+"""Experiment harness: one module per paper table/figure (see DESIGN.md §4)."""
+
+from . import (
+    fig01_schedules,
+    fig02_utilization,
+    fig06_tp_breakdown,
+    fig11_overall,
+    fig12_kv_usage,
+    fig13_prefill_switch,
+    fig14_predictor,
+    fig15_work_stealing,
+    fig16_decode_switch,
+    sweeps,
+    tables,
+)
+from .common import (
+    PAPER_COMBOS,
+    SYSTEMS,
+    ExperimentScale,
+    default_scale,
+    eval_requests,
+    get_dataset,
+    get_predictor,
+    run_system,
+)
+
+__all__ = [
+    "run_system",
+    "ExperimentScale",
+    "default_scale",
+    "eval_requests",
+    "get_dataset",
+    "get_predictor",
+    "SYSTEMS",
+    "PAPER_COMBOS",
+    "tables",
+    "fig01_schedules",
+    "fig02_utilization",
+    "fig06_tp_breakdown",
+    "fig11_overall",
+    "fig12_kv_usage",
+    "fig13_prefill_switch",
+    "fig14_predictor",
+    "fig15_work_stealing",
+    "fig16_decode_switch",
+    "sweeps",
+]

@@ -1,0 +1,149 @@
+"""Shared experiment runner: build any system, run any workload, one call.
+
+Every figure/table module in this package funnels through :func:`run_system`,
+so all experiments share identical substrates, workloads and predictor
+training.  ``scale`` shrinks the paper's 5,000-request runs proportionally for
+fast benchmark execution (the paper's full scale is ``scale=1.0``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from ..baselines import PPHybridEngine, PPSeparateEngine, TPHybridEngine, TPSeparateEngine
+from ..core import TDPipeEngine
+from ..core.policies import DecodeSwitchPolicy, PrefillSwitchPolicy
+from ..hardware.node import NodeSpec, make_node
+from ..kvcache.capacity import OutOfMemoryError
+from ..metrics.results import RunResult
+from ..models.spec import ModelSpec, get_model
+from ..predictor import LengthPredictor, OutputLengthPredictor, train_length_predictor
+from ..runtime.config import EngineConfig
+from ..workload import DatasetSplits, Request, build_dataset, sample_eval_requests
+
+__all__ = [
+    "SYSTEMS",
+    "PAPER_COMBOS",
+    "ExperimentScale",
+    "default_scale",
+    "get_dataset",
+    "get_predictor",
+    "eval_requests",
+    "run_system",
+    "OOM",
+]
+
+#: System name -> constructor signature used by :func:`run_system`.
+SYSTEMS = ("TP+SB", "TP+HB", "PP+SB", "PP+HB", "TD-Pipe")
+
+#: The paper's four node-model combinations (Figure 11).
+PAPER_COMBOS: tuple[tuple[str, str], ...] = (
+    ("L20", "13B"),
+    ("L20", "32B"),
+    ("A100", "32B"),
+    ("A100", "70B"),
+)
+
+#: Sentinel throughput for OOM configurations in result tables.
+OOM = None
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Workload sizing for one experiment execution.
+
+    The paper trains the predictor on a 86,612-pair corpus and evaluates on
+    5,000 sampled requests.  ``factor`` scales both down for quick runs.
+    """
+
+    factor: float = 0.1
+    seed: int = 0
+
+    @property
+    def corpus_size(self) -> int:
+        return max(int(20_000 * self.factor), 600)
+
+    @property
+    def eval_requests(self) -> int:
+        return max(int(5_000 * self.factor), 100)
+
+
+def default_scale(factor: float = 0.1, seed: int = 0) -> ExperimentScale:
+    return ExperimentScale(factor=factor, seed=seed)
+
+
+@lru_cache(maxsize=4)
+def _dataset_cached(corpus_size: int, seed: int) -> DatasetSplits:
+    return build_dataset(total=corpus_size, seed=seed)
+
+
+def get_dataset(scale: ExperimentScale) -> DatasetSplits:
+    """The 60/20/20 corpus for this scale (cached across experiments)."""
+    return _dataset_cached(scale.corpus_size, scale.seed)
+
+
+@lru_cache(maxsize=4)
+def _predictor_cached(corpus_size: int, seed: int) -> LengthPredictor:
+    splits = _dataset_cached(corpus_size, seed)
+    return train_length_predictor(splits.train, splits.val, seed=seed)
+
+
+def get_predictor(scale: ExperimentScale) -> LengthPredictor:
+    """The trained output-length predictor for this scale (cached)."""
+    return _predictor_cached(scale.corpus_size, scale.seed)
+
+
+def eval_requests(scale: ExperimentScale) -> list[Request]:
+    """The evaluation request sample (fresh copies each call)."""
+    return sample_eval_requests(get_dataset(scale), n=scale.eval_requests, seed=scale.seed)
+
+
+def run_system(
+    system: str,
+    node: NodeSpec | str,
+    model: ModelSpec | str,
+    requests: list[Request] | None = None,
+    scale: ExperimentScale | None = None,
+    num_gpus: int | None = None,
+    config: EngineConfig | None = None,
+    predictor: OutputLengthPredictor | None = None,
+    prefill_policy: PrefillSwitchPolicy | None = None,
+    decode_policy: DecodeSwitchPolicy | None = None,
+    work_stealing: bool = True,
+) -> RunResult:
+    """Run one system on one configuration.
+
+    Raises :class:`OutOfMemoryError` for layouts that cannot hold the model
+    (the paper's "OOM" bars in Figure 11).
+    """
+    scale = scale or default_scale()
+    if isinstance(node, str):
+        node = make_node(node, num_gpus or 4)
+    elif num_gpus is not None and node.num_gpus != num_gpus:
+        node = node.with_num_gpus(num_gpus)
+    if isinstance(model, str):
+        model = get_model(model)
+    if requests is None:
+        requests = eval_requests(scale)
+    if system == "TP+SB":
+        engine = TPSeparateEngine(node, model, config=config)
+    elif system == "TP+HB":
+        engine = TPHybridEngine(node, model, config=config)
+    elif system == "PP+SB":
+        engine = PPSeparateEngine(node, model, config=config)
+    elif system == "PP+HB":
+        engine = PPHybridEngine(node, model, config=config)
+    elif system == "TD-Pipe":
+        engine = TDPipeEngine(
+            node,
+            model,
+            predictor=predictor or get_predictor(scale),
+            config=config,
+            prefill_policy=prefill_policy,
+            decode_policy=decode_policy,
+            work_stealing=work_stealing,
+        )
+    else:
+        raise ValueError(f"unknown system {system!r}; options: {SYSTEMS}")
+    return engine.run(requests)

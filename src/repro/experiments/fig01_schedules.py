@@ -1,0 +1,65 @@
+"""Figure 1: pipeline schedules and their bubbles, rendered as Gantt rows.
+
+The paper's Figure 1 sketches why separate and hybrid batching bubble in
+pipeline parallelism.  This experiment runs PP+SB, PP+HB and TD-Pipe on the
+same short workload window and renders the actual simulated schedules,
+with bubble ratios per system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..viz.gantt import gantt
+from .common import ExperimentScale, default_scale, eval_requests, run_system
+
+__all__ = ["ScheduleView", "run", "format_results"]
+
+
+@dataclass
+class ScheduleView:
+    system: str
+    rendering: str
+    bubble_ratio: float
+    throughput: float
+
+
+def run(
+    scale: ExperimentScale | None = None,
+    gpu_name: str = "L20",
+    model_name: str = "32B",
+    num_gpus: int = 4,
+    window_frac: tuple[float, float] = (0.2, 0.5),
+    width: int = 80,
+    systems: tuple[str, ...] = ("PP+SB", "PP+HB", "TD-Pipe"),
+) -> list[ScheduleView]:
+    """Render a mid-run window (avoiding warm-up and tail) per system."""
+    scale = scale or default_scale()
+    views = []
+    for system in systems:
+        res = run_system(
+            system, gpu_name, model_name, requests=eval_requests(scale), scale=scale,
+            num_gpus=num_gpus,
+        )
+        t0 = res.makespan * window_frac[0]
+        t1 = res.makespan * window_frac[1]
+        views.append(
+            ScheduleView(
+                system=system,
+                rendering=gantt(res.trace, t0=t0, t1=t1, width=width),
+                bubble_ratio=1.0 - res.trace.mean_utilization(t0, t1),
+                throughput=res.throughput,
+            )
+        )
+    return views
+
+
+def format_results(views: list[ScheduleView]) -> str:
+    out = []
+    for v in views:
+        out.append(
+            f"-- {v.system}: bubbles {v.bubble_ratio * 100:.1f}% in window, "
+            f"{v.throughput:.0f} tok/s overall --"
+        )
+        out.append(v.rendering)
+    return "\n".join(out)

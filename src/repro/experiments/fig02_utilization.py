@@ -1,0 +1,69 @@
+"""Figure 2: GPU utilisation over time — vLLM chunked-prefill PP vs TD-Pipe.
+
+The paper's motivating figure: the chunked-prefill pipeline (PP+HB) suffers
+oscillating, often low utilisation, while TD-Pipe stays near-saturated.  We
+regenerate the two utilisation-versus-time series and summary statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .common import ExperimentScale, default_scale, eval_requests, run_system
+
+__all__ = ["UtilizationSeries", "run", "format_results"]
+
+
+@dataclass
+class UtilizationSeries:
+    system: str
+    times: np.ndarray
+    utilization: np.ndarray
+    mean: float
+    throughput: float
+
+
+def run(
+    scale: ExperimentScale | None = None,
+    gpu_name: str = "A100",
+    model_name: str = "70B",
+    num_gpus: int = 4,
+    window_s: float = 2.0,
+    systems: tuple[str, ...] = ("PP+HB", "TD-Pipe"),
+) -> list[UtilizationSeries]:
+    """Regenerate the two Figure 2 panels."""
+    scale = scale or default_scale()
+    out = []
+    for system in systems:
+        res = run_system(
+            system, gpu_name, model_name, requests=eval_requests(scale), scale=scale, num_gpus=num_gpus
+        )
+        t, u = res.trace.utilization_series(window_s)
+        out.append(
+            UtilizationSeries(
+                system=system,
+                times=t,
+                utilization=u,
+                mean=res.mean_utilization,
+                throughput=res.throughput,
+            )
+        )
+    return out
+
+
+def format_results(series: list[UtilizationSeries], width: int = 60) -> str:
+    """ASCII rendition: one sparkline row per system plus summary stats."""
+    blocks = " ▁▂▃▄▅▆▇█"
+    lines = []
+    for s in series:
+        # Resample to `width` buckets for display.
+        idx = np.linspace(0, len(s.utilization) - 1, num=min(width, len(s.utilization)))
+        u = s.utilization[idx.astype(int)]
+        spark = "".join(blocks[int(round(x * (len(blocks) - 1)))] for x in np.clip(u, 0, 1))
+        lines.append(
+            f"{s.system:8s} mean util {s.mean * 100:5.1f}%  "
+            f"throughput {s.throughput:8.1f} tok/s\n  |{spark}|"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""Figure 11: overall throughput of all five systems.
+
+Four node-model combinations (L20+13B, L20+32B, A100+32B, A100+70B), device
+counts 1/2/4, five systems.  Expected shape (paper Section 4.2):
+
+* TD-Pipe is the best system in (almost) all 4-device cases — up to 1.91x
+  over TP+SB and 2.73x over PP+SB;
+* TP+SB and TP+HB are close to each other; PP+HB beats PP+SB;
+* 32B-on-L20 and 70B-on-A100 are OOM at 1 device;
+* TD-Pipe scales super-linearly where added memory capacity lifts decode
+  intensity (paper: L20+32B grows 2.97x from 2 to 4 GPUs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..kvcache.capacity import OutOfMemoryError
+from ..metrics.results import RunResult
+from .common import PAPER_COMBOS, SYSTEMS, ExperimentScale, default_scale, eval_requests, run_system
+
+__all__ = ["Fig11Cell", "Fig11Result", "run", "format_results"]
+
+
+@dataclass(frozen=True)
+class Fig11Cell:
+    node: str
+    model: str
+    num_gpus: int
+    system: str
+    throughput: float | None  # None -> OOM
+    utilization: float | None = None
+
+    @property
+    def oom(self) -> bool:
+        return self.throughput is None
+
+
+@dataclass
+class Fig11Result:
+    cells: list[Fig11Cell] = field(default_factory=list)
+
+    def throughput(self, node: str, model: str, num_gpus: int, system: str) -> float | None:
+        for c in self.cells:
+            if (c.node, c.model, c.num_gpus, c.system) == (node, model, num_gpus, system):
+                return c.throughput
+        raise KeyError((node, model, num_gpus, system))
+
+    def speedup(
+        self, node: str, model: str, num_gpus: int, system: str, over: str
+    ) -> float | None:
+        a = self.throughput(node, model, num_gpus, system)
+        b = self.throughput(node, model, num_gpus, over)
+        if a is None or b is None or b == 0:
+            return None
+        return a / b
+
+    def best_system(self, node: str, model: str, num_gpus: int) -> str:
+        live = [
+            c
+            for c in self.cells
+            if (c.node, c.model, c.num_gpus) == (node, model, num_gpus) and not c.oom
+        ]
+        if not live:
+            return "OOM"
+        return max(live, key=lambda c: c.throughput or 0.0).system
+
+
+def run(
+    scale: ExperimentScale | None = None,
+    combos: tuple[tuple[str, str], ...] = PAPER_COMBOS,
+    device_counts: tuple[int, ...] = (1, 2, 4),
+    systems: tuple[str, ...] = SYSTEMS,
+) -> Fig11Result:
+    """Regenerate Figure 11 at the given workload scale."""
+    scale = scale or default_scale()
+    requests = eval_requests(scale)
+    result = Fig11Result()
+    for gpu_name, model_name in combos:
+        for n in device_counts:
+            for system in systems:
+                try:
+                    r: RunResult = run_system(
+                        system,
+                        gpu_name,
+                        model_name,
+                        requests=[_clone(x) for x in requests],
+                        scale=scale,
+                        num_gpus=n,
+                    )
+                    cell = Fig11Cell(
+                        gpu_name, model_name, n, system, r.throughput, r.mean_utilization
+                    )
+                except OutOfMemoryError:
+                    cell = Fig11Cell(gpu_name, model_name, n, system, None)
+                result.cells.append(cell)
+    return result
+
+
+def _clone(request):
+    """Fresh Request copy so engine runs never share mutable state."""
+    from ..workload.request import Request
+
+    return Request(
+        request_id=request.request_id,
+        prompt_len=request.prompt_len,
+        output_len=request.output_len,
+        features=request.features,
+        intent=request.intent,
+    )
+
+
+def format_results(result: Fig11Result) -> str:
+    lines = []
+    combos = sorted({(c.node, c.model) for c in result.cells})
+    counts = sorted({c.num_gpus for c in result.cells})
+    systems = [s for s in SYSTEMS if any(c.system == s for c in result.cells)]
+    for node, model in combos:
+        lines.append(f"-- {node} + {model} (throughput tokens/s) --")
+        header = f"{'#GPUs':>6s} " + " ".join(f"{s:>9s}" for s in systems)
+        lines.append(header)
+        for n in counts:
+            row = [f"{n:6d}"]
+            for s in systems:
+                t = result.throughput(node, model, n, s)
+                row.append(f"{'OOM':>9s}" if t is None else f"{t:9.0f}")
+            lines.append(" ".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Figure 13: ablation of the prefill-to-decode switch (Approach 1).
+
+The AI-based greedy prefill is replaced by a hand-tuned "KV cache occupancy
+ratio" heuristic (switch once X% of the KV blocks are occupied) at ratios
+20..95%, on 4xL20+32B and 4xA100+70B.  Expected shape: TD-Pipe's adaptive
+policy matches or beats the best hand-tuned ratio on both configs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.policies import OccupancyRatioPolicy
+from .common import ExperimentScale, default_scale, eval_requests, run_system
+
+__all__ = ["PrefillSwitchAblation", "run", "format_results", "DEFAULT_RATIOS", "DEFAULT_CONFIGS"]
+
+DEFAULT_RATIOS: tuple[float, ...] = (0.20, 0.35, 0.50, 0.65, 0.80, 0.95)
+DEFAULT_CONFIGS: tuple[tuple[str, str], ...] = (("L20", "32B"), ("A100", "70B"))
+
+
+@dataclass
+class PrefillSwitchAblation:
+    node: str
+    model: str
+    ratio_throughputs: dict[float, float]
+    tdpipe_throughput: float
+
+    @property
+    def best_ratio(self) -> float:
+        return max(self.ratio_throughputs, key=lambda r: self.ratio_throughputs[r])
+
+    @property
+    def tdpipe_wins(self) -> bool:
+        return self.tdpipe_throughput >= max(self.ratio_throughputs.values())
+
+
+def run(
+    scale: ExperimentScale | None = None,
+    ratios: tuple[float, ...] = DEFAULT_RATIOS,
+    configs: tuple[tuple[str, str], ...] = DEFAULT_CONFIGS,
+    num_gpus: int = 4,
+) -> list[PrefillSwitchAblation]:
+    scale = scale or default_scale()
+    out = []
+    for gpu_name, model_name in configs:
+        ratio_tp: dict[float, float] = {}
+        for r in ratios:
+            res = run_system(
+                "TD-Pipe",
+                gpu_name,
+                model_name,
+                requests=eval_requests(scale),
+                scale=scale,
+                num_gpus=num_gpus,
+                prefill_policy=OccupancyRatioPolicy(ratio=r),
+            )
+            ratio_tp[r] = res.throughput
+        td = run_system(
+            "TD-Pipe",
+            gpu_name,
+            model_name,
+            requests=eval_requests(scale),
+            scale=scale,
+            num_gpus=num_gpus,
+        )
+        out.append(
+            PrefillSwitchAblation(
+                node=gpu_name,
+                model=model_name,
+                ratio_throughputs=ratio_tp,
+                tdpipe_throughput=td.throughput,
+            )
+        )
+    return out
+
+
+def format_results(abls: list[PrefillSwitchAblation]) -> str:
+    lines = []
+    for a in abls:
+        lines.append(f"-- 4x{a.node} + {a.model}: prefill->decode switch ablation --")
+        for r, t in sorted(a.ratio_throughputs.items()):
+            lines.append(f"  occupancy {r * 100:4.0f}% : {t:9.1f} tok/s")
+        flag = "best" if a.tdpipe_wins else f"vs best ratio {a.best_ratio:.0%}"
+        lines.append(f"  TD-Pipe (greedy) : {a.tdpipe_throughput:9.1f} tok/s  [{flag}]")
+    return "\n".join(lines)

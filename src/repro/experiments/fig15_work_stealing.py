@@ -1,0 +1,78 @@
+"""Figure 15: ablation of inter-batch work stealing (Approach 2).
+
+TD-Pipe with ("wi") and without ("wo") dynamic work stealing during the decode
+phase.  The load-balanced split at the prefill-to-decode switch is kept in
+both modes — only the dynamic rebalancing is removed.  Paper result: 1.14x
+(L20+32B) and 1.07x (A100+70B) throughput gain with stealing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .common import ExperimentScale, default_scale, eval_requests, run_system
+
+__all__ = ["WorkStealingAblation", "run", "format_results", "DEFAULT_CONFIGS"]
+
+DEFAULT_CONFIGS: tuple[tuple[str, str], ...] = (("L20", "32B"), ("A100", "70B"))
+
+
+@dataclass
+class WorkStealingAblation:
+    node: str
+    model: str
+    with_stealing: float
+    without_stealing: float
+
+    @property
+    def gain(self) -> float:
+        if self.without_stealing == 0:
+            return float("nan")
+        return self.with_stealing / self.without_stealing
+
+
+def run(
+    scale: ExperimentScale | None = None,
+    configs: tuple[tuple[str, str], ...] = DEFAULT_CONFIGS,
+    num_gpus: int = 4,
+) -> list[WorkStealingAblation]:
+    scale = scale or default_scale()
+    out = []
+    for gpu_name, model_name in configs:
+        wi = run_system(
+            "TD-Pipe",
+            gpu_name,
+            model_name,
+            requests=eval_requests(scale),
+            scale=scale,
+            num_gpus=num_gpus,
+            work_stealing=True,
+        )
+        wo = run_system(
+            "TD-Pipe",
+            gpu_name,
+            model_name,
+            requests=eval_requests(scale),
+            scale=scale,
+            num_gpus=num_gpus,
+            work_stealing=False,
+        )
+        out.append(
+            WorkStealingAblation(
+                node=gpu_name,
+                model=model_name,
+                with_stealing=wi.throughput,
+                without_stealing=wo.throughput,
+            )
+        )
+    return out
+
+
+def format_results(abls: list[WorkStealingAblation]) -> str:
+    lines = []
+    for a in abls:
+        lines.append(
+            f"4x{a.node} + {a.model}: wo={a.without_stealing:9.1f}  "
+            f"wi={a.with_stealing:9.1f} tok/s  gain={a.gain:.2f}x"
+        )
+    return "\n".join(lines)

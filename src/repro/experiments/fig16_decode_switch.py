@@ -1,0 +1,87 @@
+"""Figure 16: ablation of the decode-to-prefill switch (Approach 3).
+
+The spatial-temporal intensity comparison is replaced by a "request finish
+ratio" heuristic (switch once X% of the decode phase's requests completed) at
+ratios 80..5%, on 4xL20+32B and 4xA100+70B.  Expected shape: hand-tuned
+ratios perform respectably (memory is plentiful on these configs) but the
+intensity comparison consistently achieves the highest throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.policies import FinishRatioPolicy
+from .common import ExperimentScale, default_scale, eval_requests, run_system
+
+__all__ = ["DecodeSwitchAblation", "run", "format_results", "DEFAULT_RATIOS", "DEFAULT_CONFIGS"]
+
+DEFAULT_RATIOS: tuple[float, ...] = (0.80, 0.65, 0.50, 0.35, 0.20, 0.05)
+DEFAULT_CONFIGS: tuple[tuple[str, str], ...] = (("L20", "32B"), ("A100", "70B"))
+
+
+@dataclass
+class DecodeSwitchAblation:
+    node: str
+    model: str
+    ratio_throughputs: dict[float, float]
+    tdpipe_throughput: float
+
+    @property
+    def best_ratio(self) -> float:
+        return max(self.ratio_throughputs, key=lambda r: self.ratio_throughputs[r])
+
+    @property
+    def tdpipe_wins(self) -> bool:
+        return self.tdpipe_throughput >= max(self.ratio_throughputs.values())
+
+
+def run(
+    scale: ExperimentScale | None = None,
+    ratios: tuple[float, ...] = DEFAULT_RATIOS,
+    configs: tuple[tuple[str, str], ...] = DEFAULT_CONFIGS,
+    num_gpus: int = 4,
+) -> list[DecodeSwitchAblation]:
+    scale = scale or default_scale()
+    out = []
+    for gpu_name, model_name in configs:
+        ratio_tp: dict[float, float] = {}
+        for r in ratios:
+            res = run_system(
+                "TD-Pipe",
+                gpu_name,
+                model_name,
+                requests=eval_requests(scale),
+                scale=scale,
+                num_gpus=num_gpus,
+                decode_policy=FinishRatioPolicy(ratio=r),
+            )
+            ratio_tp[r] = res.throughput
+        td = run_system(
+            "TD-Pipe",
+            gpu_name,
+            model_name,
+            requests=eval_requests(scale),
+            scale=scale,
+            num_gpus=num_gpus,
+        )
+        out.append(
+            DecodeSwitchAblation(
+                node=gpu_name,
+                model=model_name,
+                ratio_throughputs=ratio_tp,
+                tdpipe_throughput=td.throughput,
+            )
+        )
+    return out
+
+
+def format_results(abls: list[DecodeSwitchAblation]) -> str:
+    lines = []
+    for a in abls:
+        lines.append(f"-- 4x{a.node} + {a.model}: decode->prefill switch ablation --")
+        for r, t in sorted(a.ratio_throughputs.items(), reverse=True):
+            lines.append(f"  finish ratio {r * 100:4.0f}% : {t:9.1f} tok/s")
+        flag = "best" if a.tdpipe_wins else f"vs best ratio {a.best_ratio:.0%}"
+        lines.append(f"  TD-Pipe (SI/TI)   : {a.tdpipe_throughput:9.1f} tok/s  [{flag}]")
+    return "\n".join(lines)

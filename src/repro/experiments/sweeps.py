@@ -1,0 +1,131 @@
+"""Sensitivity sweeps over simulation and scheduler parameters.
+
+Beyond the paper's own ablations, these sweeps quantify how the headline
+comparison depends on (a) calibrated simulation constants (all-reduce
+efficiency, driver overhead) and (b) scheduler knobs the paper fixes
+(chunked-prefill budget, decode batch cap).  They back the robustness
+discussion in EXPERIMENTS.md: TD-Pipe's advantage should not hinge on any
+single calibration choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from ..hardware.node import NodeSpec, make_node
+from ..models.spec import ModelSpec, get_model
+from ..runtime.config import EngineConfig
+from .common import ExperimentScale, default_scale, eval_requests, run_system
+
+__all__ = [
+    "SweepPoint",
+    "chunk_budget_sweep",
+    "driver_overhead_sweep",
+    "allreduce_efficiency_sweep",
+    "max_num_seqs_sweep",
+]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    parameter: str
+    value: float
+    system: str
+    throughput: float
+
+
+def _requests(scale: ExperimentScale):
+    return eval_requests(scale)
+
+
+def chunk_budget_sweep(
+    budgets: Sequence[int] = (256, 512, 1024, 2048),
+    gpu_name: str = "A100",
+    model_name: str = "70B",
+    scale: ExperimentScale | None = None,
+) -> list[SweepPoint]:
+    """PP+HB throughput vs chunked-prefill token budget.
+
+    The paper criticises chunked prefill for depending on the prefill-to-
+    decode ratio; the budget is the knob that trades the two off.
+    """
+    scale = scale or default_scale()
+    out = []
+    for b in budgets:
+        cfg = EngineConfig(chunk_budget_tokens=b)
+        res = run_system(
+            "PP+HB", gpu_name, model_name, requests=_requests(scale), scale=scale, config=cfg
+        )
+        out.append(SweepPoint("chunk_budget_tokens", b, "PP+HB", res.throughput))
+    return out
+
+
+def driver_overhead_sweep(
+    per_seq_overheads: Sequence[float] = (0.0, 5e-5, 1.5e-4, 3e-4),
+    gpu_name: str = "A100",
+    model_name: str = "70B",
+    scale: ExperimentScale | None = None,
+) -> list[SweepPoint]:
+    """Baseline (TP+SB) and TD-Pipe throughput vs driver cost.
+
+    TD-Pipe's hierarchy-controller hides driver work, so only the baselines
+    move; this sweep bounds how much of TD-Pipe's win is driver-related.
+    """
+    scale = scale or default_scale()
+    out = []
+    for ov in per_seq_overheads:
+        cfg = EngineConfig(driver_per_seq_overhead_s=ov)
+        for system in ("TP+SB", "TD-Pipe"):
+            res = run_system(
+                system, gpu_name, model_name, requests=_requests(scale), scale=scale, config=cfg
+            )
+            out.append(SweepPoint("driver_per_seq_overhead_s", ov, system, res.throughput))
+    return out
+
+
+def allreduce_efficiency_sweep(
+    efficiencies: Sequence[float] = (0.4, 0.6, 0.85, 1.0),
+    gpu_name: str = "A100",
+    model_name: str = "70B",
+    scale: ExperimentScale | None = None,
+) -> list[SweepPoint]:
+    """TP+SB vs TD-Pipe sensitivity to the achieved all-reduce bandwidth.
+
+    TD-Pipe barely communicates, so its line should be flat while TP's
+    rises with fabric efficiency — the paper's core architectural argument.
+    """
+    scale = scale or default_scale()
+    base = make_node(gpu_name, 4)
+    out = []
+    for eff in efficiencies:
+        node = NodeSpec(
+            name=base.name,
+            gpu=base.gpu,
+            num_gpus=base.num_gpus,
+            interconnect=replace(base.interconnect, allreduce_efficiency=eff),
+        )
+        for system in ("TP+SB", "TD-Pipe"):
+            res = run_system(
+                system, node, get_model(model_name), requests=_requests(scale), scale=scale
+            )
+            out.append(SweepPoint("allreduce_efficiency", eff, system, res.throughput))
+    return out
+
+
+def max_num_seqs_sweep(
+    caps: Sequence[int] = (128, 256, 512),
+    gpu_name: str = "L20",
+    model_name: str = "32B",
+    scale: ExperimentScale | None = None,
+) -> list[SweepPoint]:
+    """Decode batch cap sweep for TD-Pipe (intensity vs memory trade-off)."""
+    scale = scale or default_scale()
+    out = []
+    for cap in caps:
+        cfg = EngineConfig(max_num_seqs=cap)
+        res = run_system(
+            "TD-Pipe", gpu_name, model_name, requests=_requests(scale), scale=scale, config=cfg
+        )
+        out.append(SweepPoint("max_num_seqs", cap, "TD-Pipe", res.throughput))
+    return out

@@ -1,0 +1,65 @@
+"""Tables 1 and 2: hardware and model configurations.
+
+These regenerate the paper's setup tables from the presets, doubling as a
+consistency check that the substrate carries the published constants.
+"""
+
+from __future__ import annotations
+
+from ..hardware.gpu import A100, L20, GPUSpec
+from ..models.spec import LLAMA2_13B, LLAMA2_70B, QWEN25_32B, ModelSpec
+
+__all__ = ["table1_rows", "table2_rows", "format_table1", "format_table2"]
+
+
+def table1_rows(gpus: tuple[GPUSpec, ...] = (L20, A100)) -> list[dict]:
+    """Paper Table 1: GPU configurations."""
+    return [
+        {
+            "Device": g.name,
+            "FP16 Tensor Core (TFLOPS)": g.fp16_tflops,
+            "Bandwidth (GB/s)": g.mem_bandwidth_gbps,
+            "Memory (GB)": g.memory_gb,
+            "AllReduce (GB/s)": g.allreduce_bw_gbps,
+        }
+        for g in gpus
+    ]
+
+
+def table2_rows(
+    models: tuple[ModelSpec, ...] = (LLAMA2_13B, QWEN25_32B, LLAMA2_70B),
+) -> list[dict]:
+    """Paper Table 2: model specifications (weights derived, not hard-coded)."""
+    return [
+        {
+            "Name": m.name,
+            "Parameters (GB)": round(m.weight_bytes / 1e9),
+            "Layers": m.n_layers,
+            "Heads": m.n_heads,
+            "Hidden Size": m.hidden_size,
+            "KV cache (MB/token)": round(m.kv_bytes_per_token / 1e6, 2),
+            "GQA": m.n_kv_heads < m.n_heads,
+        }
+        for m in models
+    ]
+
+
+def _format(rows: list[dict]) -> str:
+    if not rows:
+        return ""
+    cols = list(rows[0])
+    widths = [max(len(str(c)), *(len(str(r[c])) for r in rows)) for c in cols]
+    line = " | ".join(str(c).ljust(w) for c, w in zip(cols, widths))
+    sep = "-+-".join("-" * w for w in widths)
+    body = "\n".join(
+        " | ".join(str(r[c]).ljust(w) for c, w in zip(cols, widths)) for r in rows
+    )
+    return f"{line}\n{sep}\n{body}"
+
+
+def format_table1() -> str:
+    return _format(table1_rows())
+
+
+def format_table2() -> str:
+    return _format(table2_rows())

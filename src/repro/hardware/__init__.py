@@ -1,0 +1,25 @@
+"""Hardware substrate: GPU specs, interconnect, and node presets (Table 1)."""
+
+from .gpu import A10, A100, GPU_PRESETS, L20, L40S, RTX4090, GPUSpec, get_gpu
+from .interconnect import InterconnectSpec, allreduce_time, p2p_time, pcie_switch
+from .node import A100_NODE, L20_NODE, NODE_PRESETS, NodeSpec, make_node
+
+__all__ = [
+    "GPUSpec",
+    "L20",
+    "A100",
+    "A10",
+    "RTX4090",
+    "L40S",
+    "GPU_PRESETS",
+    "get_gpu",
+    "InterconnectSpec",
+    "pcie_switch",
+    "allreduce_time",
+    "p2p_time",
+    "NodeSpec",
+    "L20_NODE",
+    "A100_NODE",
+    "NODE_PRESETS",
+    "make_node",
+]

@@ -1,0 +1,92 @@
+"""Interconnect models for the multi-GPU node (paper Figure 4).
+
+The paper's testbeds connect 4 GPUs to one CPU through a PCIe switch with
+GPUDirect P2P; measured all-reduce bandwidth is 14.65 GB/s (L20 node) and
+14.82 GB/s (A100 node).  Tensor parallelism pays two all-reduces per
+transformer layer; pipeline parallelism pays one point-to-point activation
+transfer per stage boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["InterconnectSpec", "pcie_switch", "allreduce_time", "p2p_time"]
+
+_GB = 1e9
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Latency/bandwidth description of the intra-node fabric.
+
+    ``allreduce_bw_gbps`` is the *algorithm* bandwidth of a ring all-reduce as
+    measured end to end (the Table 1 numbers), so the time of one all-reduce is
+    simply ``latency + bytes / bw``.
+    """
+
+    name: str
+    #: Measured peak all-reduce algorithm bandwidth in GB/s (Table 1).
+    allreduce_bw_gbps: float
+    #: Fraction of the peak algorithm bandwidth achieved by the MB-sized
+    #: per-layer all-reduces inside a transformer forward pass.  The Table 1
+    #: numbers are large-message peaks; NCCL over a PCIe switch reaches
+    #: roughly half of that at the 1-30 MB message sizes TP emits, which is
+    #: what drives the ~50% communication share in the paper's Figure 6.
+    allreduce_efficiency: float = 0.6
+    #: Fixed all-reduce launch/synchronisation latency per operation in s.
+    allreduce_latency_s: float = 60e-6
+    #: GPUDirect P2P bandwidth through the PCIe switch in GB/s.
+    p2p_bw_gbps: float = 12.0
+    #: P2P transfer latency in s.
+    p2p_latency_s: float = 25e-6
+    #: Control-plane RPC latency (engine <-> worker metadata messages) in s.
+    rpc_latency_s: float = 150e-6
+
+    @property
+    def allreduce_bandwidth(self) -> float:
+        """Achieved all-reduce algorithm bandwidth in B/s."""
+        return self.allreduce_bw_gbps * _GB * self.allreduce_efficiency
+
+    @property
+    def p2p_bandwidth(self) -> float:
+        """P2P bandwidth in B/s."""
+        return self.p2p_bw_gbps * _GB
+
+
+def pcie_switch(
+    allreduce_bw_gbps: float,
+    name: str = "pcie-switch",
+    allreduce_efficiency: float | None = None,
+) -> InterconnectSpec:
+    """Build the paper's PCIe-switch interconnect with a measured all-reduce bw."""
+    if allreduce_efficiency is None:
+        return InterconnectSpec(name=name, allreduce_bw_gbps=allreduce_bw_gbps)
+    return InterconnectSpec(
+        name=name,
+        allreduce_bw_gbps=allreduce_bw_gbps,
+        allreduce_efficiency=allreduce_efficiency,
+    )
+
+
+def allreduce_time(nbytes: float, world_size: int, spec: InterconnectSpec) -> float:
+    """Time of one all-reduce of ``nbytes`` across ``world_size`` ranks.
+
+    A single-rank "all-reduce" is a no-op.  The measured algorithm bandwidth
+    already folds in the ``2(n-1)/n`` ring factor, so we charge plain
+    ``bytes / bw`` plus a fixed latency.
+    """
+    if world_size <= 1:
+        return 0.0
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+    return spec.allreduce_latency_s + nbytes / spec.allreduce_bandwidth
+
+
+def p2p_time(nbytes: float, spec: InterconnectSpec) -> float:
+    """Time of one point-to-point activation transfer between pipeline stages."""
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+    if nbytes == 0:
+        return 0.0
+    return spec.p2p_latency_s + nbytes / spec.p2p_bandwidth

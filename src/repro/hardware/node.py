@@ -1,0 +1,77 @@
+"""Multi-GPU node descriptions (paper Figure 4 and Table 1).
+
+A :class:`NodeSpec` bundles a homogeneous set of GPUs with the PCIe-switch
+interconnect they share.  The two presets correspond to the paper's testbeds:
+a 4x L20 node and a 4x A100 node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .gpu import A100, L20, GPUSpec, get_gpu
+from .interconnect import InterconnectSpec, pcie_switch
+
+__all__ = ["NodeSpec", "L20_NODE", "A100_NODE", "make_node", "NODE_PRESETS"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A single multi-GPU server."""
+
+    name: str
+    gpu: GPUSpec
+    num_gpus: int
+    interconnect: InterconnectSpec
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise ValueError(f"num_gpus must be >= 1, got {self.num_gpus}")
+
+    @property
+    def total_memory_bytes(self) -> float:
+        """Aggregate device memory across the node in bytes."""
+        return self.gpu.memory_bytes * self.num_gpus
+
+    def with_num_gpus(self, num_gpus: int) -> "NodeSpec":
+        """Return a copy of this node restricted/expanded to ``num_gpus`` devices."""
+        return replace(self, num_gpus=num_gpus, name=f"{num_gpus}x{self.gpu.name}")
+
+
+# Per-node achieved all-reduce efficiency at transformer message sizes,
+# calibrated against the paper's Figure 6 communication shares (47% on L20,
+# 54% on A100 at 4 GPUs).
+_L20_AR_EFF = 0.45
+_A100_AR_EFF = 0.85
+
+#: The paper's 4x NVIDIA L20 testbed (PCIe switch, 14.65 GB/s all-reduce).
+L20_NODE = NodeSpec(
+    name="4xL20",
+    gpu=L20,
+    num_gpus=4,
+    interconnect=pcie_switch(L20.allreduce_bw_gbps, name="L20-pcie", allreduce_efficiency=_L20_AR_EFF),
+)
+
+#: The paper's 4x NVIDIA A100 testbed (PCIe switch, 14.82 GB/s all-reduce).
+A100_NODE = NodeSpec(
+    name="4xA100",
+    gpu=A100,
+    num_gpus=4,
+    interconnect=pcie_switch(A100.allreduce_bw_gbps, name="A100-pcie", allreduce_efficiency=_A100_AR_EFF),
+)
+
+NODE_PRESETS: dict[str, NodeSpec] = {"L20": L20_NODE, "A100": A100_NODE}
+
+
+def make_node(gpu_name: str, num_gpus: int) -> NodeSpec:
+    """Build a node of ``num_gpus`` GPUs of the named preset type."""
+    gpu = get_gpu(gpu_name)
+    eff = {"L20": _L20_AR_EFF, "A100": _A100_AR_EFF}.get(gpu.name)
+    return NodeSpec(
+        name=f"{num_gpus}x{gpu.name}",
+        gpu=gpu,
+        num_gpus=num_gpus,
+        interconnect=pcie_switch(
+            gpu.allreduce_bw_gbps, name=f"{gpu.name}-pcie", allreduce_efficiency=eff
+        ),
+    )

@@ -1,0 +1,13 @@
+"""Paged KV-cache substrate: block manager and capacity accounting."""
+
+from .block_manager import BlockManager, KVCacheOverflow, RequestAllocation
+from .capacity import OutOfMemoryError, fits_in_memory, kv_token_capacity
+
+__all__ = [
+    "BlockManager",
+    "KVCacheOverflow",
+    "RequestAllocation",
+    "OutOfMemoryError",
+    "kv_token_capacity",
+    "fits_in_memory",
+]

@@ -1,0 +1,173 @@
+"""Paged KV-cache block manager (vLLM-style PagedAttention bookkeeping).
+
+The scheduler side of vLLM only needs the *accounting* semantics of paged
+attention: tokens are stored in fixed-size blocks, a request's last block may
+be partially filled, and blocks return to the free pool when a request
+finishes or is preempted.  This module reproduces those semantics exactly;
+physical copies are irrelevant to scheduling decisions and are not modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["KVCacheOverflow", "RequestAllocation", "BlockManager"]
+
+
+class KVCacheOverflow(RuntimeError):
+    """Raised when an allocation is forced beyond capacity."""
+
+
+@dataclass
+class RequestAllocation:
+    """KV-cache bookkeeping of one request."""
+
+    request_id: int
+    num_tokens: int
+    num_blocks: int
+    #: Monotonic admission stamp; larger = more recently admitted.  The
+    #: paper's re-computation policy evicts the most recent requests first.
+    admit_seq: int
+
+
+class BlockManager:
+    """Fixed-capacity paged allocator measured in tokens.
+
+    Parameters
+    ----------
+    capacity_tokens:
+        Total KV-cache capacity of the (pipeline-stage-limited) system in
+        tokens; see :func:`repro.kvcache.capacity.kv_token_capacity`.
+    block_size:
+        Tokens per block (vLLM default 16).
+    """
+
+    def __init__(self, capacity_tokens: int, block_size: int = 16) -> None:
+        if capacity_tokens < 0:
+            raise ValueError(f"capacity_tokens must be >= 0, got {capacity_tokens}")
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        self.block_size = block_size
+        self.num_blocks = capacity_tokens // block_size
+        self._free_blocks = self.num_blocks
+        self._allocs: dict[int, RequestAllocation] = {}
+        self._admit_counter = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection.
+    # ------------------------------------------------------------------ #
+    @property
+    def capacity_tokens(self) -> int:
+        """Usable capacity (rounded down to whole blocks)."""
+        return self.num_blocks * self.block_size
+
+    @property
+    def free_blocks(self) -> int:
+        return self._free_blocks
+
+    @property
+    def used_blocks(self) -> int:
+        return self.num_blocks - self._free_blocks
+
+    @property
+    def num_requests(self) -> int:
+        return len(self._allocs)
+
+    @property
+    def total_tokens(self) -> int:
+        """Tokens currently stored (partial blocks count their actual tokens)."""
+        return sum(a.num_tokens for a in self._allocs.values())
+
+    @property
+    def usage_ratio(self) -> float:
+        """Fraction of blocks in use — the paper's Figure 12 y-axis."""
+        if self.num_blocks == 0:
+            return 0.0
+        return self.used_blocks / self.num_blocks
+
+    def tokens_of(self, request_id: int) -> int:
+        return self._allocs[request_id].num_tokens
+
+    def contains(self, request_id: int) -> bool:
+        return request_id in self._allocs
+
+    def blocks_needed(self, num_tokens: int) -> int:
+        return -(-num_tokens // self.block_size)
+
+    def can_allocate(self, num_tokens: int) -> bool:
+        """Whether a fresh request of ``num_tokens`` fits right now."""
+        return self.blocks_needed(num_tokens) <= self._free_blocks
+
+    def can_append(self, request_id: int, n: int = 1) -> bool:
+        """Whether ``n`` more tokens fit onto an existing request."""
+        a = self._allocs[request_id]
+        new_blocks = self.blocks_needed(a.num_tokens + n) - a.num_blocks
+        return new_blocks <= self._free_blocks
+
+    # ------------------------------------------------------------------ #
+    # Mutation.
+    # ------------------------------------------------------------------ #
+    def allocate(self, request_id: int, num_tokens: int) -> None:
+        """Admit a request with ``num_tokens`` of KV (its prompt)."""
+        if request_id in self._allocs:
+            raise KVCacheOverflow(f"request {request_id} already allocated")
+        if num_tokens < 1:
+            raise ValueError(f"num_tokens must be >= 1, got {num_tokens}")
+        blocks = self.blocks_needed(num_tokens)
+        if blocks > self._free_blocks:
+            raise KVCacheOverflow(
+                f"need {blocks} blocks for request {request_id}, "
+                f"only {self._free_blocks} free"
+            )
+        self._free_blocks -= blocks
+        self._allocs[request_id] = RequestAllocation(
+            request_id=request_id,
+            num_tokens=num_tokens,
+            num_blocks=blocks,
+            admit_seq=self._admit_counter,
+        )
+        self._admit_counter += 1
+
+    def append(self, request_id: int, n: int = 1) -> None:
+        """Grow a request by ``n`` decoded tokens."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        a = self._allocs[request_id]
+        new_total = a.num_tokens + n
+        new_blocks = self.blocks_needed(new_total)
+        extra = new_blocks - a.num_blocks
+        if extra > self._free_blocks:
+            raise KVCacheOverflow(
+                f"request {request_id} needs {extra} more blocks, "
+                f"only {self._free_blocks} free"
+            )
+        self._free_blocks -= extra
+        a.num_tokens = new_total
+        a.num_blocks = new_blocks
+
+    def free(self, request_id: int) -> int:
+        """Release a request's blocks; returns the tokens freed."""
+        a = self._allocs.pop(request_id)
+        self._free_blocks += a.num_blocks
+        return a.num_tokens
+
+    def evict_newest(self) -> int:
+        """Free the most recently admitted request (re-computation policy).
+
+        Returns the evicted ``request_id``.  The caller is responsible for
+        pushing the victim back onto the waiting queue so its prompt is
+        re-prefetched ("re-computation" in the paper's terminology).
+        """
+        if not self._allocs:
+            raise KVCacheOverflow("no requests to evict")
+        victim = max(self._allocs.values(), key=lambda a: a.admit_seq)
+        self.free(victim.request_id)
+        return victim.request_id
+
+    def admit_seq_of(self, request_id: int) -> int:
+        """Admission stamp of a request (newest = largest)."""
+        return self._allocs[request_id].admit_seq
+
+    def request_ids(self) -> list[int]:
+        """Currently admitted request ids (admission order)."""
+        return sorted(self._allocs, key=lambda r: self._allocs[r].admit_seq)

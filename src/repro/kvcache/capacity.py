@@ -1,0 +1,73 @@
+"""KV-cache capacity computation for a given parallel layout.
+
+How many tokens of KV cache fit is the central resource constraint in the
+paper: it bounds decode batch sizes (and therefore computational intensity)
+and drives both phase-switching policies.
+
+* Under **tensor parallelism**, every GPU stores ``1/tp`` of each token's KV
+  for *all* layers, next to ``1/tp`` of all weights.
+* Under **pipeline parallelism**, each stage stores the *full* KV of its own
+  layers for *every* running token, next to that stage's weights.  System
+  capacity is the minimum over stages.
+"""
+
+from __future__ import annotations
+
+from ..hardware.gpu import GPUSpec
+from ..models.partition import pipeline_shards
+from ..models.spec import ModelSpec
+
+__all__ = ["OutOfMemoryError", "kv_token_capacity", "fits_in_memory"]
+
+
+class OutOfMemoryError(RuntimeError):
+    """Model weights (plus reserve) do not fit in the given layout."""
+
+
+def kv_token_capacity(
+    model: ModelSpec,
+    gpu: GPUSpec,
+    pp_degree: int = 1,
+    tp_degree: int = 1,
+    min_tokens: int = 2048,
+) -> int:
+    """Number of KV-cache tokens the layout can hold system-wide.
+
+    Raises :class:`OutOfMemoryError` when the weights do not fit or fewer than
+    ``min_tokens`` tokens would remain — matching the paper's "OOM" entries in
+    Figure 11 (a configuration that cannot hold even one modest batch is
+    unusable in practice).
+    """
+    capacity = None
+    for shard in pipeline_shards(model, pp_degree, tp_degree):
+        free = gpu.usable_memory_bytes - shard.weight_bytes_per_gpu
+        if free <= 0:
+            raise OutOfMemoryError(
+                f"{model.short_name} weights ({shard.weight_bytes_per_gpu / 1e9:.1f} GB "
+                f"on stage {shard.stage_index}) exceed {gpu.name} usable memory "
+                f"({gpu.usable_memory_bytes / 1e9:.1f} GB) with pp={pp_degree}, tp={tp_degree}"
+            )
+        stage_tokens = int(free / shard.kv_bytes_per_token_per_gpu)
+        capacity = stage_tokens if capacity is None else min(capacity, stage_tokens)
+    assert capacity is not None
+    if capacity < min_tokens:
+        raise OutOfMemoryError(
+            f"{model.short_name} on {gpu.name} (pp={pp_degree}, tp={tp_degree}) leaves "
+            f"room for only {capacity} KV tokens (< {min_tokens}); effectively OOM"
+        )
+    return capacity
+
+
+def fits_in_memory(
+    model: ModelSpec,
+    gpu: GPUSpec,
+    pp_degree: int = 1,
+    tp_degree: int = 1,
+    min_tokens: int = 2048,
+) -> bool:
+    """True when the layout is runnable (inverse of the Figure 11 OOM cases)."""
+    try:
+        kv_token_capacity(model, gpu, pp_degree, tp_degree, min_tokens)
+    except OutOfMemoryError:
+        return False
+    return True

@@ -1,0 +1,14 @@
+"""Metrics: run results, throughput, utilisation and KV-usage logs."""
+
+from .latency import LatencyStats, compute_latency_stats
+from .report import ComparisonReport
+from .results import KVUsageSample, PhaseSpan, RunResult
+
+__all__ = [
+    "RunResult",
+    "KVUsageSample",
+    "PhaseSpan",
+    "ComparisonReport",
+    "LatencyStats",
+    "compute_latency_stats",
+]

@@ -1,0 +1,76 @@
+"""Per-request latency metrics for online-serving experiments.
+
+TTFT (time to first token) and TPOT (time per output token) are the standard
+online-serving metrics (the paper cites them when discussing chunked prefill);
+the offline systems here still expose them so the throughput/latency
+trade-off of temporal disaggregation can be quantified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from ..runtime.state import RequestState
+
+__all__ = ["LatencyStats", "compute_latency_stats"]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics over completed requests (seconds)."""
+
+    count: int
+    ttft_mean: float
+    ttft_p50: float
+    ttft_p99: float
+    tpot_mean: float
+    tpot_p99: float
+    latency_mean: float
+    latency_p99: float
+
+    def summary(self) -> str:
+        return (
+            f"TTFT mean {self.ttft_mean:.2f}s p99 {self.ttft_p99:.2f}s | "
+            f"TPOT mean {self.tpot_mean * 1e3:.1f}ms p99 {self.tpot_p99 * 1e3:.1f}ms | "
+            f"latency mean {self.latency_mean:.2f}s p99 {self.latency_p99:.2f}s"
+        )
+
+
+def compute_latency_stats(states: Iterable[RequestState]) -> LatencyStats:
+    """Aggregate TTFT/TPOT/total latency over finished request states.
+
+    TTFT is measured from the request's arrival to its first generated token;
+    TPOT is the mean gap between subsequent tokens (total decode span divided
+    by ``output_len - 1``; single-token outputs contribute no TPOT sample).
+    """
+    ttfts: list[float] = []
+    tpots: list[float] = []
+    latencies: list[float] = []
+    for s in states:
+        if s.finish_time is None or s.first_token_time is None:
+            continue
+        arrival = s.request.arrival_time
+        ttfts.append(s.first_token_time - arrival)
+        latencies.append(s.finish_time - arrival)
+        n_out = s.request.output_len
+        if n_out > 1:
+            tpots.append((s.finish_time - s.first_token_time) / (n_out - 1))
+    if not ttfts:
+        nan = float("nan")
+        return LatencyStats(0, nan, nan, nan, nan, nan, nan, nan)
+    t = np.asarray(ttfts)
+    lat = np.asarray(latencies)
+    tp = np.asarray(tpots) if tpots else np.asarray([0.0])
+    return LatencyStats(
+        count=len(ttfts),
+        ttft_mean=float(t.mean()),
+        ttft_p50=float(np.percentile(t, 50)),
+        ttft_p99=float(np.percentile(t, 99)),
+        tpot_mean=float(tp.mean()),
+        tpot_p99=float(np.percentile(tp, 99)),
+        latency_mean=float(lat.mean()),
+        latency_p99=float(np.percentile(lat, 99)),
+    )

@@ -1,0 +1,102 @@
+"""Multi-run comparison reports.
+
+Aggregates :class:`~repro.metrics.results.RunResult` objects into comparison
+tables and markdown summaries — the building block behind the CLI output and
+EXPERIMENTS.md bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..viz.ascii import table
+from .results import RunResult
+
+__all__ = ["ComparisonReport"]
+
+
+@dataclass
+class ComparisonReport:
+    """A set of runs over the same workload, compared against a reference."""
+
+    title: str
+    reference_system: str = "TD-Pipe"
+    runs: list[RunResult] = field(default_factory=list)
+
+    def add(self, result: RunResult) -> None:
+        self.runs.append(result)
+
+    def get(self, system: str) -> RunResult:
+        for r in self.runs:
+            if r.system == system:
+                return r
+        raise KeyError(system)
+
+    @property
+    def reference(self) -> RunResult | None:
+        try:
+            return self.get(self.reference_system)
+        except KeyError:
+            return None
+
+    def speedup_of_reference_over(self, system: str) -> float:
+        ref = self.reference
+        other = self.get(system)
+        if ref is None or other.throughput == 0:
+            return float("nan")
+        return ref.throughput / other.throughput
+
+    def best(self) -> RunResult:
+        if not self.runs:
+            raise ValueError("empty report")
+        return max(self.runs, key=lambda r: r.throughput)
+
+    def validate_same_workload(self) -> None:
+        """All runs must have processed identical token totals."""
+        totals = {r.total_tokens for r in self.runs}
+        if len(totals) > 1:
+            raise ValueError(f"runs cover different workloads: totals {sorted(totals)}")
+
+    # ------------------------------------------------------------------ #
+    def rows(self) -> list[list[object]]:
+        ref = self.reference
+        out: list[list[object]] = []
+        for r in sorted(self.runs, key=lambda x: -x.throughput):
+            rel = "" if ref is None else f"{ref.throughput / r.throughput:.2f}x"
+            out.append(
+                [
+                    r.system,
+                    f"{r.throughput:.1f}",
+                    f"{r.makespan:.1f}",
+                    f"{r.mean_utilization * 100:.1f}%",
+                    r.phase_switches,
+                    r.recomputations,
+                    rel,
+                ]
+            )
+        return out
+
+    def render(self) -> str:
+        header = [
+            "system",
+            "tokens/s",
+            "makespan (s)",
+            "util",
+            "switches",
+            "recompute",
+            f"{self.reference_system} speedup",
+        ]
+        return f"== {self.title} ==\n" + table(header, self.rows())
+
+    def to_markdown(self) -> str:
+        header = "| system | tokens/s | makespan | util | speedup |"
+        sep = "|---|---|---|---|---|"
+        ref = self.reference
+        lines = [f"### {self.title}", "", header, sep]
+        for r in sorted(self.runs, key=lambda x: -x.throughput):
+            rel = "-" if ref is None else f"{ref.throughput / r.throughput:.2f}x"
+            lines.append(
+                f"| {r.system} | {r.throughput:.1f} | {r.makespan:.1f} s | "
+                f"{r.mean_utilization * 100:.1f}% | {rel} |"
+            )
+        return "\n".join(lines)

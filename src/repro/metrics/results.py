@@ -1,0 +1,105 @@
+"""Run results and throughput metrics.
+
+The paper's headline metric is throughput in tokens/s over a fixed request
+set, measured "from the start of the first prefill to the finish of all decode
+batches" and counting both prompt and generated tokens (Section 4.1/4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..sim.trace import TraceRecorder
+from .latency import LatencyStats
+
+__all__ = ["KVUsageSample", "PhaseSpan", "RunResult"]
+
+
+@dataclass(frozen=True)
+class KVUsageSample:
+    """One KV-cache usage observation (paper Figure 12 data point)."""
+
+    step: int
+    time: float
+    usage_ratio: float
+    phase: str  # "prefill" | "decode"
+
+
+@dataclass(frozen=True)
+class PhaseSpan:
+    """One temporally-disaggregated phase interval."""
+
+    phase: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class RunResult:
+    """Outcome of simulating one system on one workload."""
+
+    system: str
+    node: str
+    model: str
+    num_devices: int
+    makespan: float
+    completed_requests: int
+    total_prompt_tokens: int
+    total_output_tokens: int
+    trace: TraceRecorder
+    kv_log: list[KVUsageSample] = field(default_factory=list)
+    phase_spans: list[PhaseSpan] = field(default_factory=list)
+    phase_switches: int = 0
+    recomputations: int = 0
+    decode_steps: int = 0
+    prefill_batches: int = 0
+    latency: LatencyStats | None = None
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def total_tokens(self) -> int:
+        """Prompt + generated tokens of completed requests."""
+        return self.total_prompt_tokens + self.total_output_tokens
+
+    @property
+    def throughput(self) -> float:
+        """Tokens per second — the paper's Figure 11 metric."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.total_tokens / self.makespan
+
+    @property
+    def output_throughput(self) -> float:
+        """Generated tokens per second (secondary metric)."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.total_output_tokens / self.makespan
+
+    @property
+    def mean_utilization(self) -> float:
+        return self.trace.mean_utilization(0.0, self.makespan)
+
+    @property
+    def bubble_ratio(self) -> float:
+        return 1.0 - self.mean_utilization
+
+    def kv_usage_arrays(self) -> tuple[np.ndarray, np.ndarray, list[str]]:
+        """(steps, usage ratios, phases) for Figure 12-style plots."""
+        steps = np.array([s.step for s in self.kv_log])
+        usage = np.array([s.usage_ratio for s in self.kv_log])
+        phases = [s.phase for s in self.kv_log]
+        return steps, usage, phases
+
+    def summary(self) -> str:
+        return (
+            f"{self.system:8s} {self.node:7s} {self.model:4s} x{self.num_devices} | "
+            f"throughput {self.throughput:9.1f} tok/s | makespan {self.makespan:8.1f} s | "
+            f"util {self.mean_utilization * 100:5.1f}% | "
+            f"completed {self.completed_requests} | recompute {self.recomputations}"
+        )

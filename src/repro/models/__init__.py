@@ -1,0 +1,26 @@
+"""Model substrate: transformer specs (Table 2) and device partitioning."""
+
+from .partition import StageShard, partition_layers, pipeline_shards, weight_bytes_per_gpu
+from .spec import (
+    LLAMA2_13B,
+    LLAMA2_70B,
+    LLAMA_30B,
+    MODEL_PRESETS,
+    QWEN25_32B,
+    ModelSpec,
+    get_model,
+)
+
+__all__ = [
+    "ModelSpec",
+    "LLAMA2_13B",
+    "QWEN25_32B",
+    "LLAMA2_70B",
+    "LLAMA_30B",
+    "MODEL_PRESETS",
+    "get_model",
+    "StageShard",
+    "partition_layers",
+    "pipeline_shards",
+    "weight_bytes_per_gpu",
+]

@@ -1,0 +1,111 @@
+"""Model partitioning across devices for pipeline and tensor parallelism.
+
+Pipeline parallelism splits the model layer-wise into contiguous stages; tensor
+parallelism shards every layer (and the KV cache) evenly across ranks.  The
+helpers here compute per-device weight footprints, which in turn bound the
+KV-cache capacity (see :mod:`repro.kvcache.capacity`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .spec import ModelSpec
+
+__all__ = ["StageShard", "partition_layers", "pipeline_shards", "weight_bytes_per_gpu"]
+
+
+def partition_layers(n_layers: int, n_stages: int) -> list[int]:
+    """Split ``n_layers`` into ``n_stages`` contiguous, balanced chunks.
+
+    Remainder layers go to the earliest stages, matching vLLM's partitioning.
+
+    >>> partition_layers(80, 4)
+    [20, 20, 20, 20]
+    >>> partition_layers(62, 4)
+    [16, 16, 15, 15]
+    """
+    if n_stages < 1:
+        raise ValueError(f"n_stages must be >= 1, got {n_stages}")
+    if n_layers < n_stages:
+        raise ValueError(f"cannot split {n_layers} layers over {n_stages} stages")
+    base, rem = divmod(n_layers, n_stages)
+    return [base + (1 if s < rem else 0) for s in range(n_stages)]
+
+
+@dataclass(frozen=True)
+class StageShard:
+    """The slice of a model owned by one pipeline stage (possibly TP-sharded)."""
+
+    model: ModelSpec
+    stage_index: int
+    n_stages: int
+    layer_start: int
+    n_layers: int
+    tp_degree: int = 1
+
+    @property
+    def is_first(self) -> bool:
+        return self.stage_index == 0
+
+    @property
+    def is_last(self) -> bool:
+        return self.stage_index == self.n_stages - 1
+
+    @property
+    def has_embedding(self) -> bool:
+        """The input embedding lives on the first stage."""
+        return self.is_first
+
+    @property
+    def has_lm_head(self) -> bool:
+        """The LM head lives on the last stage."""
+        return self.is_last
+
+    @property
+    def weight_bytes_per_gpu(self) -> float:
+        """Weight footprint of this stage on each of its ``tp_degree`` GPUs."""
+        m = self.model
+        params = self.n_layers * m.params_per_layer
+        emb = m.vocab_size * m.hidden_size
+        if self.has_embedding:
+            params += emb
+        if self.has_lm_head and not m.tie_embeddings:
+            params += emb
+        return params * m.dtype_bytes / self.tp_degree
+
+    @property
+    def kv_bytes_per_token_per_gpu(self) -> float:
+        """KV-cache bytes one token costs on each GPU of this stage.
+
+        TP shards the KV heads across ranks (GQA models cap the effective
+        sharding at ``n_kv_heads``, in which case heads are replicated in
+        real systems; vLLM divides evenly, which we mirror).
+        """
+        m = self.model
+        return self.n_layers * m.kv_bytes_per_token_per_layer / self.tp_degree
+
+
+def pipeline_shards(model: ModelSpec, pp_degree: int, tp_degree: int = 1) -> list[StageShard]:
+    """Build the stage shards for a ``pp_degree`` x ``tp_degree`` layout."""
+    counts = partition_layers(model.n_layers, pp_degree)
+    shards: list[StageShard] = []
+    start = 0
+    for s, n in enumerate(counts):
+        shards.append(
+            StageShard(
+                model=model,
+                stage_index=s,
+                n_stages=pp_degree,
+                layer_start=start,
+                n_layers=n,
+                tp_degree=tp_degree,
+            )
+        )
+        start += n
+    return shards
+
+
+def weight_bytes_per_gpu(model: ModelSpec, pp_degree: int, tp_degree: int = 1) -> float:
+    """Largest per-GPU weight footprint across all stages of the layout."""
+    return max(s.weight_bytes_per_gpu for s in pipeline_shards(model, pp_degree, tp_degree))

@@ -1,0 +1,197 @@
+"""Transformer model specifications (paper Table 2).
+
+The cost model needs exact parameter counts, FLOPs-per-token and KV-cache
+bytes-per-token, all of which derive from the architectural constants below.
+The three presets are the paper's evaluation models; ``LLAMA_30B`` is the model
+used in the paper's Figure 6 tensor-parallel breakdown study (its KV cache is
+1.52 MB/token, the number quoted in Section 2.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ModelSpec",
+    "LLAMA2_13B",
+    "QWEN25_32B",
+    "LLAMA2_70B",
+    "LLAMA_30B",
+    "MODEL_PRESETS",
+    "get_model",
+]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Architectural description of a decoder-only transformer.
+
+    All byte quantities assume ``dtype_bytes`` per element (2 for FP16/BF16).
+    Models with ``n_kv_heads < n_heads`` use grouped-query attention (GQA),
+    which shrinks the KV cache as the paper notes for the 32B/70B models.
+    """
+
+    name: str
+    short_name: str
+    n_layers: int
+    hidden_size: int
+    n_heads: int
+    n_kv_heads: int
+    intermediate_size: int
+    vocab_size: int
+    dtype_bytes: int = 2
+    #: Whether input embedding and LM head share weights (not for these models).
+    tie_embeddings: bool = False
+
+    def __post_init__(self) -> None:
+        if self.hidden_size % self.n_heads:
+            raise ValueError(
+                f"hidden_size {self.hidden_size} not divisible by n_heads {self.n_heads}"
+            )
+        if self.n_heads % self.n_kv_heads:
+            raise ValueError(
+                f"n_heads {self.n_heads} not divisible by n_kv_heads {self.n_kv_heads}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Parameter accounting.
+    # ------------------------------------------------------------------ #
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_size // self.n_heads
+
+    @property
+    def kv_dim(self) -> int:
+        """Width of the K (or V) projection output."""
+        return self.n_kv_heads * self.head_dim
+
+    @property
+    def attn_params_per_layer(self) -> int:
+        """Q, K, V and output projection parameters of one layer."""
+        h = self.hidden_size
+        return h * h + 2 * h * self.kv_dim + h * h
+
+    @property
+    def mlp_params_per_layer(self) -> int:
+        """Gate, up and down projections of one SwiGLU MLP."""
+        return 3 * self.hidden_size * self.intermediate_size
+
+    @property
+    def params_per_layer(self) -> int:
+        return self.attn_params_per_layer + self.mlp_params_per_layer
+
+    @property
+    def embedding_params(self) -> int:
+        """Input embedding (+ untied LM head) parameters."""
+        n = self.vocab_size * self.hidden_size
+        return n if self.tie_embeddings else 2 * n
+
+    @property
+    def total_params(self) -> int:
+        return self.n_layers * self.params_per_layer + self.embedding_params
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.total_params * self.dtype_bytes
+
+    # ------------------------------------------------------------------ #
+    # KV-cache accounting.
+    # ------------------------------------------------------------------ #
+    @property
+    def kv_bytes_per_token_per_layer(self) -> int:
+        """K and V vectors of one token in one layer."""
+        return 2 * self.kv_dim * self.dtype_bytes
+
+    @property
+    def kv_bytes_per_token(self) -> int:
+        """Whole-model KV-cache footprint of one token."""
+        return self.n_layers * self.kv_bytes_per_token_per_layer
+
+    # ------------------------------------------------------------------ #
+    # FLOPs accounting (multiply-adds counted as 2 FLOPs).
+    # ------------------------------------------------------------------ #
+    def linear_flops_per_token_per_layer(self) -> float:
+        """Dense-projection FLOPs for one token passing one layer."""
+        return 2.0 * self.params_per_layer
+
+    def attn_score_flops_per_layer(self, context_len: float, new_tokens: float = 1.0) -> float:
+        """QK^T and AV FLOPs when ``new_tokens`` attend over ``context_len`` keys.
+
+        All ``n_heads`` query heads participate regardless of GQA, so the cost
+        is ``4 * hidden * new_tokens * context_len`` (2 matmuls, 2 FLOPs each).
+        """
+        return 4.0 * self.hidden_size * new_tokens * context_len
+
+    def prefill_attn_flops_per_layer(self, seq_len: float) -> float:
+        """Causal self-attention FLOPs of one full prompt in one layer."""
+        # Causal masking halves the full seq_len x seq_len score matrix.
+        return 0.5 * self.attn_score_flops_per_layer(seq_len, seq_len)
+
+    def lm_head_flops(self, tokens: float) -> float:
+        """Final-projection FLOPs for ``tokens`` positions."""
+        return 2.0 * self.vocab_size * self.hidden_size * tokens
+
+
+LLAMA2_13B = ModelSpec(
+    name="Llama2-13B-chat",
+    short_name="13B",
+    n_layers=40,
+    hidden_size=5120,
+    n_heads=40,
+    n_kv_heads=40,
+    intermediate_size=13824,
+    vocab_size=32000,
+)
+
+QWEN25_32B = ModelSpec(
+    name="Qwen2.5-32B-Instruct",
+    short_name="32B",
+    n_layers=64,
+    hidden_size=5120,
+    n_heads=40,
+    n_kv_heads=8,
+    intermediate_size=27648,
+    vocab_size=152064,
+)
+
+LLAMA2_70B = ModelSpec(
+    name="Llama2-70B-chat",
+    short_name="70B",
+    n_layers=80,
+    hidden_size=8192,
+    n_heads=64,
+    n_kv_heads=8,
+    intermediate_size=28672,
+    vocab_size=32000,
+)
+
+#: Llama-30B, used by the paper's Figure 6 TP-breakdown case study
+#: (1.52 MB KV cache per token, Section 2.2.1).
+LLAMA_30B = ModelSpec(
+    name="Llama-30B",
+    short_name="30B",
+    n_layers=60,
+    hidden_size=6656,
+    n_heads=52,
+    n_kv_heads=52,
+    intermediate_size=17920,
+    vocab_size=32000,
+)
+
+MODEL_PRESETS: dict[str, ModelSpec] = {
+    "13B": LLAMA2_13B,
+    "32B": QWEN25_32B,
+    "70B": LLAMA2_70B,
+    "30B": LLAMA_30B,
+}
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a model preset by short name ("13B", "32B", "70B", "30B")."""
+    key = name.upper()
+    if key in MODEL_PRESETS:
+        return MODEL_PRESETS[key]
+    for spec in MODEL_PRESETS.values():
+        if spec.name.lower() == name.lower():
+            return spec
+    raise KeyError(f"unknown model {name!r}; presets: {sorted(MODEL_PRESETS)}")

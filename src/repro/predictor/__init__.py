@@ -1,0 +1,27 @@
+"""Output-length prediction substrate (paper Figure 8 / µ-Serve model)."""
+
+from .bins import DEFAULT_PERCENTILES, PercentileBins
+from .classifier import SoftmaxClassifier, TrainStats
+from .evaluate import AccumulatedErrorResult, accumulated_error, accumulated_error_curve
+from .length_predictor import (
+    ConstantPredictor,
+    LengthPredictor,
+    OraclePredictor,
+    OutputLengthPredictor,
+    train_length_predictor,
+)
+
+__all__ = [
+    "PercentileBins",
+    "DEFAULT_PERCENTILES",
+    "SoftmaxClassifier",
+    "TrainStats",
+    "LengthPredictor",
+    "OraclePredictor",
+    "ConstantPredictor",
+    "OutputLengthPredictor",
+    "train_length_predictor",
+    "AccumulatedErrorResult",
+    "accumulated_error",
+    "accumulated_error_curve",
+]

@@ -1,0 +1,72 @@
+"""Percentile bins for output-length classification (paper Figure 8).
+
+The µ-Serve predictor classifies each request into one of five output-length
+ranges: [P0, P25), [P25, P50), [P50, P75), [P75, P99), [P99, +inf).  The
+predicted length assigned to a request is the *mean* output length of its
+predicted bin in the training set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PercentileBins", "DEFAULT_PERCENTILES"]
+
+DEFAULT_PERCENTILES: tuple[float, ...] = (25.0, 50.0, 75.0, 99.0)
+
+
+@dataclass
+class PercentileBins:
+    """Length bins with training-set means per bin."""
+
+    edges: np.ndarray  # ascending inner boundaries, len = n_bins - 1
+    bin_means: np.ndarray  # mean training length per bin, len = n_bins
+
+    @classmethod
+    def fit(
+        cls, lengths: np.ndarray, percentiles: tuple[float, ...] = DEFAULT_PERCENTILES
+    ) -> "PercentileBins":
+        """Derive bin boundaries and means from training output lengths."""
+        lengths = np.asarray(lengths, dtype=float)
+        if lengths.size == 0:
+            raise ValueError("cannot fit bins on an empty training set")
+        if list(percentiles) != sorted(percentiles):
+            raise ValueError("percentiles must be ascending")
+        edges = np.percentile(lengths, percentiles)
+        # Collapse duplicate edges (degenerate distributions) while keeping
+        # the bin count; np.searchsorted handles equal edges consistently.
+        labels = np.searchsorted(edges, lengths, side="right")
+        n_bins = len(percentiles) + 1
+        means = np.empty(n_bins)
+        for b in range(n_bins):
+            sel = lengths[labels == b]
+            # An empty bin (possible with tiny training sets) falls back to the
+            # nearest boundary so predictions stay finite.
+            if sel.size:
+                means[b] = sel.mean()
+            elif b < len(edges):
+                means[b] = edges[b]
+            else:
+                means[b] = edges[-1]
+        return cls(edges=np.asarray(edges, dtype=float), bin_means=means)
+
+    @property
+    def n_bins(self) -> int:
+        return len(self.bin_means)
+
+    def bin_of(self, lengths: np.ndarray | float) -> np.ndarray:
+        """Map true lengths to bin indices."""
+        return np.searchsorted(self.edges, np.asarray(lengths, dtype=float), side="right")
+
+    def length_of(self, bins: np.ndarray | int) -> np.ndarray:
+        """Map bin indices to predicted lengths (training-set bin means)."""
+        return self.bin_means[np.asarray(bins, dtype=int)]
+
+    def describe(self) -> list[str]:
+        """Human-readable bin ranges, e.g. for documentation tables."""
+        bounds = [0.0, *self.edges.tolist(), float("inf")]
+        return [
+            f"[{bounds[i]:.0f}, {bounds[i + 1]:.0f})" for i in range(self.n_bins)
+        ]

@@ -1,0 +1,134 @@
+"""Multinomial logistic-regression classifier (NumPy, no external ML deps).
+
+Stand-in for the BERT-based multi-class classifier of µ-Serve / paper
+Figure 8: the paper's model feeds the [CLS] hidden state through a two-layer
+feed-forward head; here the synthetic workload already provides a compact
+feature embedding per request, so a linear softmax head (trained with
+mini-batch Adam and early stopping on a validation split) plays the role of
+that head.  What the scheduler consumes is identical: a predicted length bin
+per request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SoftmaxClassifier", "TrainStats"]
+
+
+@dataclass
+class TrainStats:
+    """Summary of one training run."""
+
+    epochs_run: int
+    final_train_loss: float
+    best_val_accuracy: float
+
+
+def _softmax(z: np.ndarray) -> np.ndarray:
+    z = z - z.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+@dataclass
+class SoftmaxClassifier:
+    """L2-regularised multinomial logistic regression trained with Adam."""
+
+    n_classes: int
+    lr: float = 0.05
+    l2: float = 1e-4
+    epochs: int = 200
+    batch_size: int = 256
+    patience: int = 12
+    seed: int = 0
+    W: np.ndarray | None = field(default=None, repr=False)
+    b: np.ndarray | None = field(default=None, repr=False)
+    _mu: np.ndarray | None = field(default=None, repr=False)
+    _sigma: np.ndarray | None = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------ #
+    def _standardize(self, X: np.ndarray) -> np.ndarray:
+        assert self._mu is not None and self._sigma is not None
+        return (X - self._mu) / self._sigma
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        X_val: np.ndarray | None = None,
+        y_val: np.ndarray | None = None,
+    ) -> TrainStats:
+        """Train; early-stops on validation accuracy when a val split is given."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=int)
+        if X.ndim != 2 or len(X) != len(y):
+            raise ValueError("X must be 2-D with one row per label")
+        if y.min() < 0 or y.max() >= self.n_classes:
+            raise ValueError("labels out of range")
+        n, d = X.shape
+        self._mu = X.mean(axis=0)
+        self._sigma = X.std(axis=0) + 1e-8
+        Xs = self._standardize(X)
+        rng = np.random.default_rng(self.seed)
+        W = rng.normal(scale=0.01, size=(d, self.n_classes))
+        b = np.zeros(self.n_classes)
+        # Adam state.
+        mW = np.zeros_like(W); vW = np.zeros_like(W)
+        mb = np.zeros_like(b); vb = np.zeros_like(b)
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        t = 0
+
+        onehot = np.eye(self.n_classes)[y]
+        best_val, best_W, best_b, stall = -1.0, W.copy(), b.copy(), 0
+        loss = float("nan")
+        epochs_run = 0
+        for epoch in range(self.epochs):
+            epochs_run = epoch + 1
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                xb, yb = Xs[idx], onehot[idx]
+                probs = _softmax(xb @ W + b)
+                grad = probs - yb
+                gW = xb.T @ grad / len(idx) + self.l2 * W
+                gb = grad.mean(axis=0)
+                t += 1
+                mW = beta1 * mW + (1 - beta1) * gW
+                vW = beta2 * vW + (1 - beta2) * gW**2
+                mb = beta1 * mb + (1 - beta1) * gb
+                vb = beta2 * vb + (1 - beta2) * gb**2
+                W -= self.lr * (mW / (1 - beta1**t)) / (np.sqrt(vW / (1 - beta2**t)) + eps)
+                b -= self.lr * (mb / (1 - beta1**t)) / (np.sqrt(vb / (1 - beta2**t)) + eps)
+            probs = _softmax(Xs @ W + b)
+            loss = float(-np.log(probs[np.arange(n), y] + 1e-12).mean())
+            if X_val is not None and y_val is not None:
+                self.W, self.b = W, b
+                acc = self.accuracy(X_val, y_val)
+                if acc > best_val:
+                    best_val, best_W, best_b, stall = acc, W.copy(), b.copy(), 0
+                else:
+                    stall += 1
+                    if stall >= self.patience:
+                        break
+        if X_val is not None and y_val is not None:
+            self.W, self.b = best_W, best_b
+        else:
+            self.W, self.b = W, b
+            best_val = float("nan")
+        return TrainStats(epochs_run=epochs_run, final_train_loss=loss, best_val_accuracy=best_val)
+
+    # ------------------------------------------------------------------ #
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.W is None or self.b is None:
+            raise RuntimeError("classifier is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return _softmax(self._standardize(X) @ self.W + self.b)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.predict_proba(X).argmax(axis=1)
+
+    def accuracy(self, X: np.ndarray, y: np.ndarray) -> float:
+        return float((self.predict(X) == np.asarray(y)).mean())

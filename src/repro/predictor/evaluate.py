@@ -1,0 +1,79 @@
+"""Predictor evaluation: accumulated relative error (paper Figure 14).
+
+The paper argues that although per-request bin accuracy is only ≈0.52–0.58,
+over- and under-estimates cancel when summed over a batch, so the *accumulated*
+error of the total predicted length shrinks with the group size (≈3–6 % at
+256 requests).  This module reproduces that measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..workload.request import Request
+from .length_predictor import LengthPredictor, OutputLengthPredictor
+
+__all__ = ["AccumulatedErrorResult", "accumulated_error", "accumulated_error_curve"]
+
+
+@dataclass
+class AccumulatedErrorResult:
+    """Mean relative |predicted_total - true_total| / true_total per group size."""
+
+    group_sizes: list[int]
+    errors: list[float]
+
+    def as_dict(self) -> dict[int, float]:
+        return dict(zip(self.group_sizes, self.errors))
+
+
+def _predict_all(predictor: OutputLengthPredictor, requests: Sequence[Request]) -> np.ndarray:
+    if isinstance(predictor, LengthPredictor):
+        return predictor.predict_lengths(requests)
+    return np.array([predictor.predict_length(r) for r in requests], dtype=float)
+
+
+def accumulated_error(
+    predictor: OutputLengthPredictor,
+    requests: Sequence[Request],
+    group_size: int,
+    seed: int = 0,
+) -> float:
+    """Mean relative error of total predicted length over random groups.
+
+    Requests are shuffled and partitioned into consecutive groups of
+    ``group_size``; the relative error of each group's predicted total output
+    length is averaged (the paper's "accumulating and averaging the relative
+    difference ... in all groups").
+    """
+    if group_size < 1:
+        raise ValueError(f"group_size must be >= 1, got {group_size}")
+    if len(requests) < group_size:
+        raise ValueError("not enough requests for one group")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(requests))
+    preds = _predict_all(predictor, requests)[order]
+    truth = np.array([r.output_len for r in requests], dtype=float)[order]
+    n_groups = len(requests) // group_size
+    errors = []
+    for g in range(n_groups):
+        sl = slice(g * group_size, (g + 1) * group_size)
+        t = truth[sl].sum()
+        p = preds[sl].sum()
+        errors.append(abs(p - t) / t)
+    return float(np.mean(errors))
+
+
+def accumulated_error_curve(
+    predictor: OutputLengthPredictor,
+    requests: Sequence[Request],
+    group_sizes: Sequence[int] = (2, 4, 8, 16, 32, 64, 128, 256, 512),
+    seed: int = 0,
+) -> AccumulatedErrorResult:
+    """Figure 14: accumulated error for each group size."""
+    sizes = [g for g in group_sizes if g <= len(requests)]
+    errs = [accumulated_error(predictor, requests, g, seed) for g in sizes]
+    return AccumulatedErrorResult(group_sizes=sizes, errors=errs)

@@ -1,0 +1,117 @@
+"""Output-length predictors used by the AI-based greedy prefill approach.
+
+:class:`LengthPredictor` is the trained bins + classifier pipeline (paper
+Figure 8).  :class:`OraclePredictor` and :class:`ConstantPredictor` exist for
+ablations: the oracle upper-bounds what prediction can buy, while constant
+predictors emulate static reservations (e.g. always assume P99 output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from ..workload.request import Request
+from .bins import DEFAULT_PERCENTILES, PercentileBins
+from .classifier import SoftmaxClassifier, TrainStats
+
+__all__ = [
+    "OutputLengthPredictor",
+    "LengthPredictor",
+    "OraclePredictor",
+    "ConstantPredictor",
+    "train_length_predictor",
+]
+
+
+class OutputLengthPredictor(Protocol):
+    """What the greedy-prefill scheduler needs from a predictor."""
+
+    def predict_length(self, request: Request) -> float:
+        """Predicted number of output tokens for the request."""
+        ...
+
+
+@dataclass
+class LengthPredictor:
+    """Trained percentile-bin classifier (the paper's predictor)."""
+
+    bins: PercentileBins
+    classifier: SoftmaxClassifier
+    train_stats: TrainStats | None = None
+
+    def predict_bin(self, request: Request) -> int:
+        return int(self.classifier.predict(request.features[None, :])[0])
+
+    def predict_length(self, request: Request) -> float:
+        return float(self.bins.length_of(self.predict_bin(request)))
+
+    def predict_lengths(self, requests: Sequence[Request]) -> np.ndarray:
+        """Vectorised prediction for many requests at once."""
+        if not requests:
+            return np.zeros(0)
+        X = np.stack([r.features for r in requests])
+        return self.bins.length_of(self.classifier.predict(X))
+
+    def bin_accuracy(self, requests: Sequence[Request]) -> float:
+        """Per-request bin accuracy (paper Section 4.4.1: 0.52–0.58)."""
+        if not requests:
+            return float("nan")
+        X = np.stack([r.features for r in requests])
+        y = self.bins.bin_of(np.array([r.output_len for r in requests]))
+        return self.classifier.accuracy(X, y)
+
+
+@dataclass
+class OraclePredictor:
+    """Knows the true output length (upper bound for ablations)."""
+
+    def predict_length(self, request: Request) -> float:
+        return float(request.output_len)
+
+    def predict_lengths(self, requests: Sequence[Request]) -> np.ndarray:
+        return np.array([r.output_len for r in requests], dtype=float)
+
+
+@dataclass
+class ConstantPredictor:
+    """Predicts the same length for every request (static reservation)."""
+
+    length: float
+
+    def predict_length(self, request: Request) -> float:
+        return self.length
+
+    def predict_lengths(self, requests: Sequence[Request]) -> np.ndarray:
+        return np.full(len(requests), self.length)
+
+
+def train_length_predictor(
+    train: Sequence[Request],
+    val: Sequence[Request] | None = None,
+    percentiles: tuple[float, ...] = DEFAULT_PERCENTILES,
+    seed: int = 0,
+    **clf_kwargs: object,
+) -> LengthPredictor:
+    """Fit bins on training output lengths, then train the classifier.
+
+    Mirrors the paper's protocol: bins are percentile ranges of the training
+    distribution; the classifier maps request features to a bin; the predicted
+    length is the training-set mean of the predicted bin.
+    """
+    if not train:
+        raise ValueError("empty training set")
+    lengths = np.array([r.output_len for r in train], dtype=float)
+    bins = PercentileBins.fit(lengths, percentiles)
+    X = np.stack([r.features for r in train])
+    y = bins.bin_of(lengths)
+    clf = SoftmaxClassifier(n_classes=bins.n_bins, seed=seed, **clf_kwargs)  # type: ignore[arg-type]
+    if val:
+        Xv = np.stack([r.features for r in val])
+        yv = bins.bin_of(np.array([r.output_len for r in val], dtype=float))
+        stats = clf.fit(X, y, Xv, yv)
+    else:
+        stats = clf.fit(X, y)
+    return LengthPredictor(bins=bins, classifier=clf, train_stats=stats)

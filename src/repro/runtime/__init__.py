@@ -1,0 +1,19 @@
+"""Hierarchy-controller runtime: control plane + execution plane (Section 3.2)."""
+
+from .base_engine import InferenceEngine
+from .config import EngineConfig
+from .pipeline import PipelineRuntime, StageWorker
+from .state import RequestState
+from .tasks import DECODE, HYBRID, PREFILL, BatchTask
+
+__all__ = [
+    "InferenceEngine",
+    "EngineConfig",
+    "PipelineRuntime",
+    "StageWorker",
+    "RequestState",
+    "BatchTask",
+    "PREFILL",
+    "DECODE",
+    "HYBRID",
+]

@@ -1,0 +1,367 @@
+"""Centralized engine base class (control plane of the hierarchy-controller).
+
+Concrete systems — TD-Pipe and the four baselines — subclass
+:class:`InferenceEngine` and implement only their scheduling policy
+(`_bootstrap` + `_on_task_complete`).  Everything else is shared: request
+state, KV-cache admission with watermark, recomputation-on-overflow, stage
+cost evaluation, tracing and final metrics, so all systems are compared on
+identical substrates.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from typing import Iterable, Sequence
+
+from ..costmodel.roofline import PrefillChunk, StageCostModel
+from ..hardware.node import NodeSpec
+from ..kvcache.block_manager import BlockManager
+from ..kvcache.capacity import kv_token_capacity
+from ..metrics.latency import compute_latency_stats
+from ..metrics.results import KVUsageSample, PhaseSpan, RunResult
+from ..models.partition import pipeline_shards
+from ..models.spec import ModelSpec
+from ..sim.engine import SimulationError, Simulator
+from ..sim.trace import TraceRecorder
+from ..workload.request import Request
+from .config import EngineConfig
+from .pipeline import PipelineRuntime
+from .state import RequestState
+from .tasks import DECODE, HYBRID, PREFILL, BatchTask
+
+__all__ = ["InferenceEngine"]
+
+
+class InferenceEngine(abc.ABC):
+    """Shared scaffolding for one inference system on one node.
+
+    Parameters
+    ----------
+    node:
+        Hardware description (GPU type, count, interconnect).
+    model:
+        Transformer being served.
+    parallel:
+        ``"pp"`` — one pipeline stage per GPU; ``"tp"`` — all GPUs form one
+        tensor-parallel group (a single logical stage).
+    async_transfer:
+        Whether inter-stage sends overlap with compute (hierarchy-controller
+        behaviour) or block the sender (naive SPMD pipeline).
+    """
+
+    system_name: str = "base"
+
+    def __init__(
+        self,
+        node: NodeSpec,
+        model: ModelSpec,
+        parallel: str = "pp",
+        config: EngineConfig | None = None,
+        async_transfer: bool = False,
+    ) -> None:
+        if parallel not in ("pp", "tp"):
+            raise ValueError(f"parallel must be 'pp' or 'tp', got {parallel!r}")
+        self.node = node
+        self.model = model
+        self.parallel = parallel
+        self.config = config or EngineConfig()
+        self.async_transfer = async_transfer
+
+        g = node.num_gpus
+        pp = g if parallel == "pp" else 1
+        tp = g if parallel == "tp" else 1
+        self.pp_degree, self.tp_degree = pp, tp
+        capacity = kv_token_capacity(
+            model, node.gpu, pp, tp, min_tokens=self.config.min_capacity_tokens
+        )
+        self.block_manager = BlockManager(capacity, self.config.block_size)
+
+        self.stage_models: list[StageCostModel] = [
+            StageCostModel(shard=s, gpu=node.gpu, interconnect=node.interconnect)
+            for s in pipeline_shards(model, pp, tp)
+        ]
+        if parallel == "pp":
+            gpu_groups = [(i,) for i in range(g)]
+        else:
+            gpu_groups = [tuple(range(g))]
+
+        self.sim = Simulator()
+        self.trace = TraceRecorder(g)
+        self.runtime = PipelineRuntime(
+            sim=self.sim,
+            trace=self.trace,
+            gpu_groups=gpu_groups,
+            interconnect=node.interconnect,
+            on_complete=self._on_task_complete,
+            async_transfer=async_transfer,
+        )
+
+        # Request bookkeeping.
+        self.states: dict[int, RequestState] = {}
+        self.waiting: deque[RequestState] = deque()
+        self.finished: list[RequestState] = []
+        self.inflight: dict[int, BatchTask] = {}
+
+        # Single-threaded synchronous driver (baselines only).
+        self._driver_free_at = 0.0
+
+        # Metrics.
+        self.kv_log: list[KVUsageSample] = []
+        self.phase_spans: list[PhaseSpan] = []
+        self.recomputations = 0
+        self.decode_steps = 0
+        self.prefill_batches = 0
+        self._kv_step = 0
+
+    # ------------------------------------------------------------------ #
+    # Cost evaluation.
+    # ------------------------------------------------------------------ #
+    @property
+    def num_stages(self) -> int:
+        return self.runtime.num_stages
+
+    def _activation_bytes(self, tokens: int) -> float:
+        if self.num_stages == 1:
+            return 0.0
+        return tokens * self.model.hidden_size * self.model.dtype_bytes
+
+    def make_prefill_task(self, batch: Sequence[RequestState], **meta: object) -> BatchTask:
+        seq_lens = [s.prefill_len for s in batch]
+        times = tuple(sm.prefill_time(seq_lens) for sm in self.stage_models)
+        return BatchTask(
+            kind=PREFILL,
+            request_ids=tuple(s.request_id for s in batch),
+            stage_times=times,
+            activation_bytes=self._activation_bytes(sum(seq_lens)),
+            meta=dict(meta),
+        )
+
+    def make_decode_task(self, batch: Sequence[RequestState], **meta: object) -> BatchTask:
+        bs = len(batch)
+        kv_tokens = float(sum(s.kv_len for s in batch) + bs)
+        times = tuple(sm.decode_time(bs, kv_tokens) for sm in self.stage_models)
+        return BatchTask(
+            kind=DECODE,
+            request_ids=tuple(s.request_id for s in batch),
+            stage_times=times,
+            activation_bytes=self._activation_bytes(bs),
+            meta=dict(meta),
+        )
+
+    def make_hybrid_task(
+        self,
+        decode_batch: Sequence[RequestState],
+        chunks: Sequence[tuple[RequestState, PrefillChunk]],
+        **meta: object,
+    ) -> BatchTask:
+        bs = len(decode_batch)
+        kv_tokens = float(sum(s.kv_len for s in decode_batch) + bs)
+        chunk_objs = [c for _, c in chunks]
+        times = tuple(sm.hybrid_time(bs, kv_tokens, chunk_objs) for sm in self.stage_models)
+        tokens = bs + sum(c.chunk_len for c in chunk_objs)
+        task = BatchTask(
+            kind=HYBRID,
+            request_ids=tuple(s.request_id for s in decode_batch),
+            stage_times=times,
+            activation_bytes=self._activation_bytes(tokens),
+            meta=dict(meta),
+        )
+        task.meta["chunks"] = [(s.request_id, c.chunk_len) for s, c in chunks]
+        return task
+
+    def submit(self, task: BatchTask) -> None:
+        for rid in task.request_ids:
+            self.inflight[rid] = task
+        for rid, _ in task.meta.get("chunks", []):
+            self.inflight[rid] = task
+        if task.kind == PREFILL:
+            self.prefill_batches += 1
+        else:
+            self.decode_steps += 1
+        self.runtime.submit(task)
+
+    def _clear_inflight(self, task: BatchTask) -> None:
+        for rid in task.request_ids:
+            self.inflight.pop(rid, None)
+        for rid, _ in task.meta.get("chunks", []):
+            self.inflight.pop(rid, None)
+
+    # ------------------------------------------------------------------ #
+    # Memory management.
+    # ------------------------------------------------------------------ #
+    @property
+    def watermark_blocks(self) -> int:
+        return int(self.block_manager.num_blocks * self.config.watermark_frac)
+
+    def can_admit(self, state: RequestState) -> bool:
+        """Whether a fresh prefill of this request fits above the watermark."""
+        needed = self.block_manager.blocks_needed(state.prefill_len)
+        return needed + self.watermark_blocks <= self.block_manager.free_blocks
+
+    def admit(self, state: RequestState) -> None:
+        self.block_manager.allocate(state.request_id, state.prefill_len)
+
+    def reserve_decode_tokens(
+        self, batch: list[RequestState]
+    ) -> tuple[list[RequestState], list[RequestState]]:
+        """Reserve one appended token per batch member, evicting on overflow.
+
+        Implements the paper's re-computation strategy: when blocks run out,
+        the most recently admitted requests *in this batch* are evicted (KV
+        freed, request re-queued for a future prefill).  Returns
+        ``(survivors, evicted)``; survivors keep their original order and the
+        evicted are already back on the waiting queue.
+        """
+        batch = list(batch)
+        evicted: list[RequestState] = []
+        while batch:
+            needed = 0
+            for s in batch:
+                if self.block_manager.tokens_of(s.request_id) % self.block_manager.block_size == 0:
+                    needed += 1
+            if needed <= self.block_manager.free_blocks:
+                break
+            victim = max(
+                batch,
+                key=lambda s: self.block_manager.admit_seq_of(s.request_id),
+            )
+            batch.remove(victim)
+            self.block_manager.free(victim.request_id)
+            victim.evict()
+            self.waiting.appendleft(victim)
+            evicted.append(victim)
+            self.recomputations += 1
+        for s in batch:
+            self.block_manager.append(s.request_id, 1)
+        return batch, evicted
+
+    def driver_delay(self, n_seqs: int) -> float:
+        """Delay until the synchronous driver has processed this step's output.
+
+        Models vLLM's single Python driver thread: each finished step queues
+        for the driver, which spends a fixed cost plus a per-sequence cost
+        before the next step for that stream can be issued.  Concurrent
+        streams (pipeline virtual engines) serialise on the same driver.
+        """
+        cfg = self.config
+        overhead = cfg.driver_base_overhead_s + cfg.driver_per_seq_overhead_s * n_seqs
+        if overhead <= 0:
+            return 0.0
+        start = max(self.sim.now, self._driver_free_at)
+        self._driver_free_at = start + overhead
+        return self._driver_free_at - self.sim.now
+
+    def finish_request(self, state: RequestState) -> None:
+        self.block_manager.free(state.request_id)
+        state.finish_time = self.sim.now
+        self.stamp_first_token(state)
+        self.finished.append(state)
+
+    def stamp_first_token(self, state: RequestState) -> None:
+        """Record TTFT the first time a request has produced a token."""
+        if state.first_token_time is None and state.generated >= 1:
+            state.first_token_time = self.sim.now
+
+    # ------------------------------------------------------------------ #
+    # Packing helpers shared by schedulers.
+    # ------------------------------------------------------------------ #
+    def pack_prefill_batch(self) -> list[RequestState]:
+        """Pop waiting requests into a prefill batch within budget and memory."""
+        cfg = self.config
+        batch: list[RequestState] = []
+        tokens = 0
+        while self.waiting and len(batch) < cfg.max_prefill_seqs:
+            nxt = self.waiting[0]
+            if batch and tokens + nxt.prefill_len > cfg.max_prefill_tokens:
+                break
+            if not self.can_admit(nxt):
+                break
+            self.waiting.popleft()
+            self.admit(nxt)
+            batch.append(nxt)
+            tokens += nxt.prefill_len
+        return batch
+
+    # ------------------------------------------------------------------ #
+    # Logging.
+    # ------------------------------------------------------------------ #
+    def log_kv(self, phase: str) -> None:
+        self._kv_step += 1
+        if self._kv_step % self.config.kv_log_stride:
+            return
+        self.kv_log.append(
+            KVUsageSample(
+                step=self._kv_step,
+                time=self.sim.now,
+                usage_ratio=self.block_manager.usage_ratio,
+                phase=phase,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Run loop.
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def _bootstrap(self) -> None:
+        """Schedule the initial work (called once, at t=0)."""
+
+    @abc.abstractmethod
+    def _on_task_complete(self, task: BatchTask, end_time: float) -> None:
+        """React to a batch finishing on the last stage."""
+
+    def _on_arrival(self, state: RequestState) -> None:
+        """Hook invoked when a request arrives after t=0 (online serving).
+
+        Subclasses that can go fully idle must override this to wake up.
+        """
+
+    def _admit_arrival(self, state: RequestState) -> None:
+        self.waiting.append(state)
+        self._on_arrival(state)
+
+    def run(self, requests: Iterable[Request]) -> RunResult:
+        reqs = list(requests)
+        if not reqs:
+            raise ValueError("empty workload")
+        self.states = {r.request_id: RequestState(r) for r in reqs}
+        # Offline requests (arrival <= 0) are available immediately; online
+        # arrivals enter the waiting queue at their stamped times.
+        self.waiting = deque(
+            s for s in self.states.values() if s.request.arrival_time <= 0
+        )
+        for s in self.states.values():
+            if s.request.arrival_time > 0:
+                self.sim.schedule_at(
+                    s.request.arrival_time, lambda st=s: self._admit_arrival(st)
+                )
+        self._bootstrap()
+        self.sim.run(max_events=self.config.max_events)
+
+        unfinished = len(self.states) - len(self.finished)
+        if unfinished:
+            raise SimulationError(
+                f"{self.system_name}: deadlock — {unfinished} of {len(self.states)} "
+                f"requests unfinished (waiting={len(self.waiting)}, "
+                f"inflight={len(self.inflight)})"
+            )
+        total_prompt = sum(s.request.prompt_len for s in self.finished)
+        total_output = sum(s.request.output_len for s in self.finished)
+        return RunResult(
+            system=self.system_name,
+            node=self.node.name,
+            model=self.model.short_name,
+            num_devices=self.node.num_gpus,
+            makespan=self.trace.makespan,
+            completed_requests=len(self.finished),
+            total_prompt_tokens=total_prompt,
+            total_output_tokens=total_output,
+            trace=self.trace,
+            kv_log=self.kv_log,
+            phase_spans=self.phase_spans,
+            phase_switches=max(len(self.phase_spans) - 1, 0),
+            recomputations=self.recomputations,
+            decode_steps=self.decode_steps,
+            prefill_batches=self.prefill_batches,
+            latency=compute_latency_stats(self.finished),
+        )

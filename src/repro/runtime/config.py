@@ -1,0 +1,49 @@
+"""Engine configuration knobs (vLLM-equivalent scheduler parameters)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EngineConfig"]
+
+
+@dataclass
+class EngineConfig:
+    """Scheduler parameters shared by TD-Pipe and the baselines.
+
+    Defaults follow vLLM 0.5.3: 16-token KV blocks, 256 sequences per batch,
+    2048-token prefill packing budget, 512-token chunked-prefill budget.
+    """
+
+    #: KV-cache block size in tokens.
+    block_size: int = 16
+    #: Token budget when packing whole prompts into one prefill batch.
+    max_prefill_tokens: int = 2048
+    #: Maximum prompts per prefill batch.
+    max_prefill_seqs: int = 64
+    #: Maximum sequences in one decode / hybrid batch (vLLM ``max_num_seqs``).
+    max_num_seqs: int = 256
+    #: Token budget of one hybrid (chunked-prefill) step.
+    chunk_budget_tokens: int = 512
+    #: Fraction of blocks kept free when admitting new requests.
+    watermark_frac: float = 0.01
+    #: Minimum KV capacity (tokens) below which a layout counts as OOM.
+    min_capacity_tokens: int = 2048
+    #: Synchronous-driver cost per scheduler step (vLLM-style engines): fixed
+    #: part — scheduling, output dispatch — plus a per-sequence part —
+    #: detokenisation, stop-checking, stream handling.  The baselines pay this
+    #: serially on one driver thread between a step finishing and the next
+    #: being issued; TD-Pipe's hierarchy-controller overlaps this work with
+    #: execution (Section 3.2) and therefore skips it.
+    #: Calibrated to vLLM 0.5.3, which was CPU-bound at large batch sizes
+    #: (the v0.6 release notes attribute multi-x speedups to removing this
+    #: driver overhead): ~8 ms scheduling/dispatch plus ~0.2 ms per sequence
+    #: for sampling post-processing, detokenisation and stop checking.
+    driver_base_overhead_s: float = 8e-3
+    driver_per_seq_overhead_s: float = 1.5e-4
+    #: Record a KV-usage sample every N engine events (Figure 12 resolution).
+    kv_log_stride: int = 1
+    #: Safety valve for the event loop (schedule bugs raise instead of hanging).
+    max_events: int = 30_000_000
+    #: Extra engine overrides for experiments (free-form).
+    extras: dict = field(default_factory=dict)

@@ -1,0 +1,156 @@
+"""Execution plane: pipeline stage workers on the discrete-event simulator.
+
+This is the distributed runtime of the paper's hierarchy-controller structure
+(Section 3.2).  Each :class:`StageWorker` is one GPU (or, for tensor
+parallelism, one SPMD group spanning several GPUs) executing tasks serially
+from a FIFO queue.  Completed stage outputs travel to the next stage over the
+P2P fabric; the final stage reports back to the centralized engine over RPC.
+
+Two transfer modes model the paper's key runtime distinction:
+
+* ``async_transfer=True`` — the hierarchy-controller behaviour: the sender's
+  GPU is free as soon as compute ends; the transfer overlaps with the next
+  task (decoupled scheduling/execution enables "unblocked transmission").
+* ``async_transfer=False`` — the naive SPMD behaviour the paper describes for
+  vLLM-style pipeline parallelism, where the device-to-device transfer "has to
+  be in a blocking style": the sender stays unavailable until the transfer
+  completes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..hardware.interconnect import InterconnectSpec, p2p_time
+from ..sim.engine import Simulator
+from ..sim.trace import TraceRecorder
+from .tasks import BatchTask
+
+__all__ = ["StageWorker", "PipelineRuntime"]
+
+
+@dataclass
+class StageWorker:
+    """One pipeline stage executing tasks serially."""
+
+    sim: Simulator
+    stage_index: int
+    gpu_indices: tuple[int, ...]
+    trace: TraceRecorder
+    on_finish: Callable[[BatchTask, float], None]
+    #: GPU unavailable during outbound transfer when False (blocking send).
+    async_transfer: bool = True
+    _queue: deque[BatchTask] = field(default_factory=deque, repr=False)
+    _busy: bool = field(default=False, repr=False)
+    _blocked_until: float = field(default=0.0, repr=False)
+    tasks_executed: int = field(default=0, repr=False)
+
+    def submit(self, task: BatchTask) -> None:
+        """Enqueue a task at the current simulated time."""
+        self._queue.append(task)
+        self._try_start()
+
+    def queue_depth(self) -> int:
+        return len(self._queue) + (1 if self._busy else 0)
+
+    # ------------------------------------------------------------------ #
+    def _try_start(self) -> None:
+        if self._busy or not self._queue:
+            return
+        now = self.sim.now
+        if now < self._blocked_until:
+            # Blocking transfer still draining; retry when it finishes.
+            self.sim.schedule_at(self._blocked_until, self._try_start)
+            return
+        task = self._queue.popleft()
+        self._busy = True
+        start = now
+        duration = task.stage_times[self.stage_index]
+        self.sim.schedule(duration, lambda: self._finish(task, start))
+
+    def _finish(self, task: BatchTask, start: float) -> None:
+        end = self.sim.now
+        if end > start:
+            for g in self.gpu_indices:
+                self.trace[g].record(start, end, tag=task.kind)
+        self.tasks_executed += 1
+        self._busy = False
+        self.on_finish(task, end)
+        self._try_start()
+
+    def block_until(self, t: float) -> None:
+        """Mark the GPU unavailable until ``t`` (blocking outbound transfer)."""
+        self._blocked_until = max(self._blocked_until, t)
+
+
+class PipelineRuntime:
+    """Chain of stage workers plus the engine-facing RPC boundary.
+
+    ``num_stages == 1`` degenerates to a tensor-parallel (or single-GPU)
+    executor whose single worker occupies every GPU in ``gpu_groups[0]``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        trace: TraceRecorder,
+        gpu_groups: list[tuple[int, ...]],
+        interconnect: InterconnectSpec,
+        on_complete: Callable[[BatchTask, float], None],
+        async_transfer: bool = True,
+        rpc_latency_s: float | None = None,
+    ) -> None:
+        if not gpu_groups:
+            raise ValueError("need at least one stage")
+        self.sim = sim
+        self.trace = trace
+        self.interconnect = interconnect
+        self.on_complete = on_complete
+        self.async_transfer = async_transfer
+        self.rpc_latency_s = (
+            interconnect.rpc_latency_s if rpc_latency_s is None else rpc_latency_s
+        )
+        self.workers: list[StageWorker] = []
+        for s, gpus in enumerate(gpu_groups):
+            self.workers.append(
+                StageWorker(
+                    sim=sim,
+                    stage_index=s,
+                    gpu_indices=tuple(gpus),
+                    trace=trace,
+                    on_finish=self._make_on_finish(s),
+                    async_transfer=async_transfer,
+                )
+            )
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.workers)
+
+    # ------------------------------------------------------------------ #
+    def submit(self, task: BatchTask) -> None:
+        """Control plane hands a task to stage 0 (one RPC hop away)."""
+        if task.num_stages != self.num_stages:
+            raise ValueError(
+                f"task has {task.num_stages} stage times, runtime has {self.num_stages}"
+            )
+        task.submit_time = self.sim.now
+        self.sim.schedule(self.rpc_latency_s, lambda: self.workers[0].submit(task))
+
+    def _make_on_finish(self, stage: int) -> Callable[[BatchTask, float], None]:
+        def handler(task: BatchTask, end_time: float) -> None:
+            if stage + 1 < self.num_stages:
+                transfer = p2p_time(task.activation_bytes, self.interconnect)
+                if not self.async_transfer:
+                    self.workers[stage].block_until(end_time + transfer)
+                next_worker = self.workers[stage + 1]
+                self.sim.schedule(transfer, lambda: next_worker.submit(task))
+            else:
+                # Sampled-token metadata returns to the engine over RPC.
+                self.sim.schedule(
+                    self.rpc_latency_s, lambda: self.on_complete(task, end_time)
+                )
+
+        return handler

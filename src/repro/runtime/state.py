@@ -1,0 +1,96 @@
+"""Per-request runtime state shared by all schedulers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workload.request import Request
+
+__all__ = ["RequestState"]
+
+
+@dataclass(eq=False)
+class RequestState:
+    """Mutable execution state of one request.
+
+    Identity semantics (``eq=False``): two states are the same only if they
+    are the same object, which makes membership tests O(1)-cheap and avoids
+    comparing embedded feature arrays.
+
+    Lifecycle: waiting -> (prefill) -> running -> finished, possibly cycling
+    back to waiting on a re-computation eviction.  After generating ``g``
+    tokens and being evicted, the request re-prefills ``prompt_len + g``
+    tokens (vLLM's recompute-preemption semantics: generated text is kept and
+    treated as prompt).
+
+    ``kv_len`` tracks tokens currently resident in the KV cache;
+    ``prefix_done`` tracks chunked-prefill progress within the current
+    (re)admission.
+    """
+
+    request: Request
+    generated: int = 0
+    kv_len: int = 0
+    prefix_done: int = 0
+    restarts: int = 0
+    finish_time: float | None = None
+    #: Simulated time the first output token was produced (for TTFT).
+    first_token_time: float | None = None
+    #: True once the current (re)admission's prompt is fully cached.  Needed
+    #: as an explicit flag because ``prefill_len`` itself moves when the final
+    #: chunk bumps ``generated``.
+    prompt_complete: bool = False
+
+    @property
+    def request_id(self) -> int:
+        return self.request.request_id
+
+    @property
+    def prefill_len(self) -> int:
+        """Tokens to prefill on (re)admission: prompt plus kept generations."""
+        return self.request.prompt_len + self.generated
+
+    @property
+    def remaining_output(self) -> int:
+        return self.request.output_len - self.generated
+
+    @property
+    def done(self) -> bool:
+        return self.generated >= self.request.output_len
+
+    # ------------------------------------------------------------------ #
+    # Transitions.
+    # ------------------------------------------------------------------ #
+    def complete_prefill(self) -> None:
+        """Whole-prompt prefill finished: KV resident, first token emitted."""
+        self.kv_len = self.prefill_len
+        self.prefix_done = self.kv_len
+        self.prompt_complete = True
+        self.generated += 1
+
+    def advance_chunk(self, chunk_len: int) -> None:
+        """A chunked-prefill step cached ``chunk_len`` more prompt tokens."""
+        if self.prompt_complete:
+            raise ValueError(f"request {self.request_id}: prompt already complete")
+        if self.prefix_done + chunk_len > self.prefill_len:
+            raise ValueError(
+                f"chunk overruns prompt: {self.prefix_done}+{chunk_len} > {self.prefill_len}"
+            )
+        self.prefix_done += chunk_len
+        self.kv_len += chunk_len
+        if self.prefix_done == self.prefill_len:
+            # Final chunk plays the prefill's role of emitting the first token.
+            self.prompt_complete = True
+            self.generated += 1
+
+    def complete_decode_step(self) -> None:
+        """One decode iteration: one more token generated and cached."""
+        self.kv_len += 1
+        self.generated += 1
+
+    def evict(self) -> None:
+        """Re-computation preemption: drop KV, go back to waiting."""
+        self.kv_len = 0
+        self.prefix_done = 0
+        self.prompt_complete = False
+        self.restarts += 1

@@ -1,0 +1,50 @@
+"""Batch tasks exchanged between the control plane and the execution plane."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["BatchTask", "PREFILL", "DECODE", "HYBRID"]
+
+PREFILL = "prefill"
+DECODE = "decode"
+HYBRID = "hybrid"
+
+_task_ids = itertools.count()
+
+
+@dataclass
+class BatchTask:
+    """One unit of work launched by the centralized engine.
+
+    The engine precomputes per-stage execution times (batch membership cannot
+    change mid-flight, so this is exact) and the activation payload size
+    handed between consecutive stages.
+    """
+
+    kind: str
+    request_ids: tuple[int, ...]
+    stage_times: tuple[float, ...]
+    activation_bytes: float = 0.0
+    batch_id: int = 0
+    meta: dict[str, Any] = field(default_factory=dict)
+    task_id: int = field(default_factory=lambda: next(_task_ids))
+    submit_time: float = float("nan")
+
+    def __post_init__(self) -> None:
+        if self.kind not in (PREFILL, DECODE, HYBRID):
+            raise ValueError(f"unknown task kind {self.kind!r}")
+        if not self.stage_times:
+            raise ValueError("stage_times must not be empty")
+        if any(t < 0 for t in self.stage_times):
+            raise ValueError("stage times must be non-negative")
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stage_times)
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.stage_times)

@@ -1,0 +1,16 @@
+"""Discrete-event simulation kernel and execution tracing."""
+
+from .chrome_trace import to_chrome_trace, write_chrome_trace
+from .engine import Event, SimulationError, Simulator
+from .trace import BusyInterval, Timeline, TraceRecorder
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "SimulationError",
+    "Timeline",
+    "BusyInterval",
+    "TraceRecorder",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

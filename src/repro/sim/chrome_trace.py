@@ -1,0 +1,82 @@
+"""Export execution traces to the Chrome trace-event format.
+
+The resulting JSON loads in ``chrome://tracing`` / Perfetto, giving the same
+kind of pipeline visualisation the paper's Figure 1 sketches: one row per
+GPU, one slice per batch execution, colour-keyed by phase.  Useful for
+debugging scheduler changes and for inspecting bubbles directly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+from .trace import TraceRecorder
+
+__all__ = ["to_chrome_trace", "write_chrome_trace"]
+
+#: Stable colour names (Chrome trace palette) per task kind.
+_COLORS = {
+    "prefill": "thread_state_running",
+    "decode": "thread_state_runnable",
+    "hybrid": "thread_state_iowait",
+}
+
+
+def to_chrome_trace(
+    trace: TraceRecorder,
+    process_name: str = "node",
+    time_unit_us: float = 1e6,
+) -> dict:
+    """Convert a :class:`TraceRecorder` into a Chrome trace-event dict.
+
+    ``time_unit_us`` scales simulated seconds to trace microseconds (the
+    default maps 1 simulated second to 1 trace second).
+    """
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for tl in trace.timelines:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tl.gpu_index,
+                "args": {"name": f"GPU {tl.gpu_index}"},
+            }
+        )
+        for iv in tl.intervals:
+            event = {
+                "name": iv.tag or "task",
+                "cat": iv.tag or "task",
+                "ph": "X",
+                "pid": 0,
+                "tid": tl.gpu_index,
+                "ts": iv.start * time_unit_us,
+                "dur": iv.duration * time_unit_us,
+            }
+            color = _COLORS.get(iv.tag)
+            if color:
+                event["cname"] = color
+            events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    trace: TraceRecorder,
+    fp: IO[str] | str,
+    process_name: str = "node",
+) -> None:
+    """Write the Chrome trace JSON to a path or open file object."""
+    doc = to_chrome_trace(trace, process_name=process_name)
+    if isinstance(fp, str):
+        with open(fp, "w") as fh:
+            json.dump(doc, fh)
+    else:
+        json.dump(doc, fp)

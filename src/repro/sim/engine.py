@@ -1,0 +1,116 @@
+"""Deterministic discrete-event simulation kernel.
+
+A minimal, allocation-light event loop: callbacks are scheduled at absolute or
+relative simulated times and executed in (time, insertion-order) order, so the
+simulation is fully deterministic.  All system simulators (TD-Pipe and the
+baselines) and the hierarchy-controller runtime are built on this kernel.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Event", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordering is (time, sequence number)."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (the heap entry is left in place)."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Event-driven clock.
+
+    >>> sim = Simulator()
+    >>> order = []
+    >>> _ = sim.schedule(2.0, lambda: order.append("b"))
+    >>> _ = sim.schedule(1.0, lambda: order.append("a"))
+    >>> sim.run()
+    >>> order
+    ['a', 'b']
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule at {time} < now {self._now}")
+        ev = Event(time=time, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False when the heap is empty."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            if ev.time < self._now:
+                raise SimulationError(
+                    f"event at {ev.time} before current time {self._now}"
+                )
+            self._now = ev.time
+            self._events_processed += 1
+            ev.callback()
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Drain the event heap, optionally stopping at time ``until``.
+
+        ``max_events`` guards against runaway schedulers (a scheduling bug in a
+        system simulator would otherwise loop forever).
+        """
+        processed = 0
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                self._now = until
+                return
+            if not self.step():
+                return
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; likely a scheduling livelock"
+                )
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for ev in self._heap if not ev.cancelled)

@@ -1,0 +1,134 @@
+"""Execution traces: per-GPU busy intervals and utilisation series.
+
+The paper's Figure 2 plots GPU utilisation over wall-clock time; bubbles are
+exactly the idle gaps in these timelines.  Every simulated task records a
+``BusyInterval`` on its GPU's :class:`Timeline`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BusyInterval", "Timeline", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class BusyInterval:
+    """A half-open interval [start, end) during which a GPU executed a task."""
+
+    start: float
+    end: float
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"interval end {self.end} < start {self.start}")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Timeline:
+    """Busy-interval log of one GPU.  Intervals must be appended in order."""
+
+    def __init__(self, gpu_index: int) -> None:
+        self.gpu_index = gpu_index
+        self._intervals: list[BusyInterval] = []
+
+    def record(self, start: float, end: float, tag: str = "") -> None:
+        """Append a busy interval; overlapping a previous one is a scheduler bug."""
+        if self._intervals and start < self._intervals[-1].end - 1e-12:
+            raise ValueError(
+                f"GPU {self.gpu_index}: interval [{start}, {end}) overlaps previous "
+                f"one ending at {self._intervals[-1].end}"
+            )
+        self._intervals.append(BusyInterval(start, end, tag))
+
+    @property
+    def intervals(self) -> list[BusyInterval]:
+        return list(self._intervals)
+
+    @property
+    def busy_time(self) -> float:
+        return sum(iv.duration for iv in self._intervals)
+
+    @property
+    def end_time(self) -> float:
+        return self._intervals[-1].end if self._intervals else 0.0
+
+    def busy_between(self, t0: float, t1: float) -> float:
+        """Busy time inside the window [t0, t1)."""
+        if t1 <= t0:
+            return 0.0
+        starts = [iv.start for iv in self._intervals]
+        i = max(bisect_left(starts, t0) - 1, 0)
+        busy = 0.0
+        for iv in self._intervals[i:]:
+            if iv.start >= t1:
+                break
+            busy += max(0.0, min(iv.end, t1) - max(iv.start, t0))
+        return busy
+
+    def utilization(self, t0: float | None = None, t1: float | None = None) -> float:
+        """Fraction of [t0, t1) spent busy (defaults to the whole trace)."""
+        lo = 0.0 if t0 is None else t0
+        hi = self.end_time if t1 is None else t1
+        if hi <= lo:
+            return 0.0
+        return self.busy_between(lo, hi) / (hi - lo)
+
+    def utilization_series(
+        self, window: float, t_end: float | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(window centres, utilisation per window), for Figure 2-style plots."""
+        if window <= 0:
+            raise ValueError("window must be positive")
+        end = self.end_time if t_end is None else t_end
+        n = max(int(np.ceil(end / window)), 1)
+        centres = (np.arange(n) + 0.5) * window
+        util = np.array(
+            [self.busy_between(k * window, (k + 1) * window) / window for k in range(n)]
+        )
+        return centres, util
+
+
+class TraceRecorder:
+    """Bundle of per-GPU timelines plus scalar run statistics."""
+
+    def __init__(self, num_gpus: int) -> None:
+        self.timelines = [Timeline(i) for i in range(num_gpus)]
+
+    def __getitem__(self, gpu_index: int) -> Timeline:
+        return self.timelines[gpu_index]
+
+    @property
+    def num_gpus(self) -> int:
+        return len(self.timelines)
+
+    @property
+    def makespan(self) -> float:
+        return max((t.end_time for t in self.timelines), default=0.0)
+
+    def mean_utilization(self, t0: float = 0.0, t1: float | None = None) -> float:
+        """Average utilisation over all GPUs for [t0, t1)."""
+        hi = self.makespan if t1 is None else t1
+        if hi <= t0:
+            return 0.0
+        return float(np.mean([t.utilization(t0, hi) for t in self.timelines]))
+
+    def bubble_ratio(self, t0: float = 0.0, t1: float | None = None) -> float:
+        """1 - mean utilisation: the paper's pipeline-bubble fraction."""
+        return 1.0 - self.mean_utilization(t0, t1)
+
+    def utilization_series(
+        self, window: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(window centres, mean utilisation across GPUs per window)."""
+        end = self.makespan
+        series = [t.utilization_series(window, end)[1] for t in self.timelines]
+        centres = self.timelines[0].utilization_series(window, end)[0]
+        return centres, np.mean(series, axis=0)

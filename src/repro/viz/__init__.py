@@ -1,0 +1,6 @@
+"""Terminal visualisation helpers for experiment output."""
+
+from .ascii import bar_chart, histogram, sparkline, table
+from .gantt import gantt
+
+__all__ = ["sparkline", "bar_chart", "table", "histogram", "gantt"]

@@ -1,0 +1,92 @@
+"""Terminal visualisation helpers: sparklines, bar charts, aligned tables.
+
+The experiment CLI and examples render results directly in the terminal;
+these helpers keep that rendering consistent and tested.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["sparkline", "bar_chart", "table", "histogram"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int | None = None, lo: float | None = None,
+              hi: float | None = None) -> str:
+    """One-line block-character plot of a series.
+
+    >>> sparkline([0, 0.5, 1.0])
+    ' ▄█'
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return ""
+    if width is not None and arr.size > width:
+        idx = np.linspace(0, arr.size - 1, num=width).astype(int)
+        arr = arr[idx]
+    lo = float(np.nanmin(arr)) if lo is None else lo
+    hi = float(np.nanmax(arr)) if hi is None else hi
+    span = hi - lo
+    if span <= 0:
+        return _BLOCKS[-1] * arr.size
+    scaled = np.clip((arr - lo) / span, 0.0, 1.0)
+    return "".join(_BLOCKS[int(round(x * (len(_BLOCKS) - 1)))] for x in scaled)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart with aligned labels and values.
+
+    >>> print(bar_chart(["a", "bb"], [1.0, 2.0], width=4))
+    a  |##   1.0
+    bb |#### 2.0
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        return ""
+    vmax = max(max(values), 1e-12)
+    lab_w = max(len(str(x)) for x in labels)
+    lines = []
+    for lab, val in zip(labels, values):
+        n = int(round(val / vmax * width))
+        lines.append(f"{str(lab):{lab_w}s} |{'#' * n:{width}s} {val:g}{unit}")
+    return "\n".join(lines)
+
+
+def table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Markdown-ish aligned table."""
+    rows = [list(map(str, r)) for r in rows]
+    cols = [str(h) for h in headers]
+    widths = [
+        max(len(cols[i]), *(len(r[i]) for r in rows)) if rows else len(cols[i])
+        for i in range(len(cols))
+    ]
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    out = [fmt(cols), "-+-".join("-" * w for w in widths)]
+    out.extend(fmt(r) for r in rows)
+    return "\n".join(out)
+
+
+def histogram(values: Sequence[float], bins: int = 10, width: int = 40) -> str:
+    """ASCII histogram of a sample (used for workload inspection)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return "(empty)"
+    counts, edges = np.histogram(arr, bins=bins)
+    cmax = max(counts.max(), 1)
+    lines = []
+    for c, lo, hi in zip(counts, edges, edges[1:]):
+        bar = "#" * int(round(c / cmax * width))
+        lines.append(f"[{lo:8.1f}, {hi:8.1f}) {bar} {c}")
+    return "\n".join(lines)

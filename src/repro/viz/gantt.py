@@ -1,0 +1,61 @@
+"""ASCII Gantt rendering of pipeline schedules (paper Figure 1 style).
+
+Renders each GPU's busy intervals as a row of characters — ``P`` for prefill,
+``d`` for decode, ``h`` for hybrid, ``.`` for idle (bubbles) — so the bubble
+structure of a schedule is visible directly in the terminal or in test
+output.
+"""
+
+from __future__ import annotations
+
+from ..sim.trace import TraceRecorder
+
+__all__ = ["gantt", "PHASE_CHARS"]
+
+PHASE_CHARS = {"prefill": "P", "decode": "d", "hybrid": "h", "": "#"}
+
+
+def gantt(
+    trace: TraceRecorder,
+    t0: float = 0.0,
+    t1: float | None = None,
+    width: int = 80,
+    idle_char: str = ".",
+) -> str:
+    """Render the window [t0, t1) of a trace as one row per GPU.
+
+    Each output cell covers ``(t1 - t0) / width`` seconds and shows the task
+    kind that occupied the majority of that cell (idle if nothing ran).
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    end = trace.makespan if t1 is None else t1
+    if end <= t0:
+        return ""
+    cell = (end - t0) / width
+    rows = []
+    for tl in trace.timelines:
+        # Accumulate busy time per (cell, task kind) across all intervals —
+        # individual intervals are typically much shorter than one cell.
+        per_kind: list[dict[str, float]] = [dict() for _ in range(width)]
+        for iv in tl.intervals:
+            if iv.end <= t0 or iv.start >= end:
+                continue
+            ch = PHASE_CHARS.get(iv.tag, "#")
+            lo = max(int((iv.start - t0) / cell), 0)
+            hi = min(int((iv.end - t0) / cell) + 1, width)
+            for k in range(lo, hi):
+                cs, ce = t0 + k * cell, t0 + (k + 1) * cell
+                overlap = max(0.0, min(iv.end, ce) - max(iv.start, cs))
+                if overlap > 0:
+                    per_kind[k][ch] = per_kind[k].get(ch, 0.0) + overlap
+        cells = []
+        for k in range(width):
+            busy = sum(per_kind[k].values())
+            if busy < 0.5 * cell:
+                cells.append(idle_char)
+            else:
+                cells.append(max(per_kind[k], key=per_kind[k].__getitem__))
+        rows.append(f"GPU{tl.gpu_index} |{''.join(cells)}|")
+    legend = "  ".join(f"{c}={k or 'task'}" for k, c in PHASE_CHARS.items() if k)
+    return "\n".join(rows) + f"\n      ({legend}, {idle_char}=idle/bubble)"

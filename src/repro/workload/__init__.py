@@ -1,0 +1,25 @@
+"""Workload substrate: requests and the synthetic ShareGPT-like generator."""
+
+from .arrivals import with_burst_arrivals, with_poisson_arrivals, with_uniform_arrivals
+from .dataset import DatasetSplits, build_dataset, sample_eval_requests
+from .request import Request
+from .sharegpt import (
+    DEFAULT_INTENTS,
+    IntentProfile,
+    ShareGPTSynthesizer,
+    generate_requests,
+)
+
+__all__ = [
+    "Request",
+    "IntentProfile",
+    "ShareGPTSynthesizer",
+    "DEFAULT_INTENTS",
+    "generate_requests",
+    "DatasetSplits",
+    "build_dataset",
+    "sample_eval_requests",
+    "with_poisson_arrivals",
+    "with_uniform_arrivals",
+    "with_burst_arrivals",
+]

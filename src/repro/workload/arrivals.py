@@ -1,0 +1,64 @@
+"""Arrival processes for online-serving experiments.
+
+The paper targets offline inference (all requests available at t=0), but the
+architecture raises an obvious follow-up: how does temporal disaggregation
+behave under *online* arrivals, where batching phases trade throughput for
+time-to-first-token?  These helpers stamp arrival times onto request lists so
+the engines (which honour ``Request.arrival_time``) can answer that.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .request import Request
+
+__all__ = ["with_poisson_arrivals", "with_uniform_arrivals", "with_burst_arrivals"]
+
+
+def _clone_at(request: Request, t: float) -> Request:
+    return Request(
+        request_id=request.request_id,
+        prompt_len=request.prompt_len,
+        output_len=request.output_len,
+        features=request.features,
+        intent=request.intent,
+        arrival_time=float(t),
+    )
+
+
+def with_poisson_arrivals(
+    requests: Sequence[Request], rate_rps: float, seed: int = 0
+) -> list[Request]:
+    """Stamp i.i.d. exponential inter-arrival gaps (Poisson process)."""
+    if rate_rps <= 0:
+        raise ValueError(f"rate_rps must be positive, got {rate_rps}")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(scale=1.0 / rate_rps, size=len(requests))
+    times = np.cumsum(gaps)
+    return [_clone_at(r, t) for r, t in zip(requests, times)]
+
+
+def with_uniform_arrivals(requests: Sequence[Request], rate_rps: float) -> list[Request]:
+    """Stamp evenly spaced arrivals at a fixed rate."""
+    if rate_rps <= 0:
+        raise ValueError(f"rate_rps must be positive, got {rate_rps}")
+    gap = 1.0 / rate_rps
+    return [_clone_at(r, (i + 1) * gap) for i, r in enumerate(requests)]
+
+
+def with_burst_arrivals(
+    requests: Sequence[Request],
+    burst_size: int,
+    burst_interval_s: float,
+) -> list[Request]:
+    """Arrivals in periodic bursts (batch-upload traffic patterns)."""
+    if burst_size < 1:
+        raise ValueError("burst_size must be >= 1")
+    if burst_interval_s < 0:
+        raise ValueError("burst_interval_s must be >= 0")
+    return [
+        _clone_at(r, (i // burst_size) * burst_interval_s) for i, r in enumerate(requests)
+    ]

@@ -1,0 +1,78 @@
+"""Dataset splits mirroring the paper's evaluation protocol.
+
+Section 4.1: from 86,612 input/output pairs, 60 % train / 20 % validation /
+20 % test for the length predictor; 5,000 requests sampled for each
+performance run.  We reproduce the protocol at a configurable scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .request import Request
+from .sharegpt import ShareGPTSynthesizer
+
+__all__ = ["DatasetSplits", "build_dataset", "sample_eval_requests"]
+
+
+@dataclass
+class DatasetSplits:
+    """Train/validation/test request splits."""
+
+    train: list[Request]
+    val: list[Request]
+    test: list[Request]
+
+    @property
+    def total(self) -> int:
+        return len(self.train) + len(self.val) + len(self.test)
+
+
+def build_dataset(
+    total: int = 20_000,
+    seed: int = 0,
+    train_frac: float = 0.6,
+    val_frac: float = 0.2,
+    **synth_kwargs: object,
+) -> DatasetSplits:
+    """Generate a corpus and split it 60/20/20 (paper Section 4.1)."""
+    if not 0 < train_frac < 1 or not 0 <= val_frac < 1 or train_frac + val_frac >= 1:
+        raise ValueError("invalid split fractions")
+    requests = ShareGPTSynthesizer(seed=seed, **synth_kwargs).generate(total)  # type: ignore[arg-type]
+    n_train = int(total * train_frac)
+    n_val = int(total * val_frac)
+    return DatasetSplits(
+        train=requests[:n_train],
+        val=requests[n_train : n_train + n_val],
+        test=requests[n_train + n_val :],
+    )
+
+
+def sample_eval_requests(
+    splits: DatasetSplits, n: int = 5000, seed: int = 0
+) -> list[Request]:
+    """Randomly sample ``n`` evaluation requests from the test split.
+
+    Sampling is with replacement when the test split is smaller than ``n``
+    (scaled-down runs), without replacement otherwise, and the sampled
+    requests get fresh, contiguous ids.
+    """
+    rng = np.random.default_rng(seed)
+    pool = splits.test
+    replace = n > len(pool)
+    idx = rng.choice(len(pool), size=n, replace=replace)
+    out = []
+    for new_id, i in enumerate(idx):
+        r = pool[int(i)]
+        out.append(
+            Request(
+                request_id=new_id,
+                prompt_len=r.prompt_len,
+                output_len=r.output_len,
+                features=r.features,
+                intent=r.intent,
+            )
+        )
+    return out

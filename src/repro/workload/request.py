@@ -1,0 +1,50 @@
+"""Request type shared by all schedulers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Request"]
+
+
+@dataclass(eq=False)
+class Request:
+    """One generative-inference request.
+
+    Identity semantics (``eq=False``): requests are unique objects keyed by
+    ``request_id``; value comparison over feature arrays is never meaningful.
+
+    ``output_len`` is the ground-truth number of tokens the model will emit;
+    schedulers must *not* read it for decisions (only the simulator does, to
+    know when generation stops) — that is exactly the information asymmetry
+    the paper's output-length predictor addresses.  ``features`` is the
+    request representation handed to the predictor (the stand-in for the BERT
+    [CLS] embedding of the prompt).
+    """
+
+    request_id: int
+    prompt_len: int
+    output_len: int
+    features: np.ndarray = field(default_factory=lambda: np.zeros(1))
+    #: Latent workload class used by the synthetic generator (hidden from
+    #: schedulers; exposed for analysis/tests only).
+    intent: int = 0
+    #: Simulated arrival time in seconds.  0 = available at start (the
+    #: paper's offline setting); see :mod:`repro.workload.arrivals`.
+    arrival_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.prompt_len < 1:
+            raise ValueError(f"prompt_len must be >= 1, got {self.prompt_len}")
+        if self.output_len < 1:
+            raise ValueError(f"output_len must be >= 1, got {self.output_len}")
+
+    @property
+    def total_len(self) -> int:
+        """Final context length once the request completes."""
+        return self.prompt_len + self.output_len
+
+    def __hash__(self) -> int:
+        return hash(self.request_id)

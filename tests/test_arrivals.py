@@ -1,0 +1,127 @@
+"""Tests for the online-arrivals extension and latency metrics."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PPHybridEngine, TPSeparateEngine
+from repro.core import TDPipeEngine
+from repro.hardware import make_node
+from repro.metrics import compute_latency_stats
+from repro.models import QWEN25_32B
+from repro.predictor import OraclePredictor
+from repro.workload import (
+    generate_requests,
+    with_burst_arrivals,
+    with_poisson_arrivals,
+    with_uniform_arrivals,
+)
+
+
+class TestArrivalProcesses:
+    def test_poisson_monotone_and_seeded(self):
+        reqs = generate_requests(50, seed=1)
+        a = with_poisson_arrivals(reqs, rate_rps=2.0, seed=5)
+        b = with_poisson_arrivals(reqs, rate_rps=2.0, seed=5)
+        times = [r.arrival_time for r in a]
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+        assert times == [r.arrival_time for r in b]
+
+    def test_poisson_rate_roughly_respected(self):
+        reqs = generate_requests(2000, seed=1)
+        a = with_poisson_arrivals(reqs, rate_rps=10.0, seed=0)
+        span = a[-1].arrival_time
+        assert 2000 / span == pytest.approx(10.0, rel=0.15)
+
+    def test_uniform_spacing(self):
+        reqs = generate_requests(5, seed=1)
+        a = with_uniform_arrivals(reqs, rate_rps=4.0)
+        gaps = np.diff([r.arrival_time for r in a])
+        np.testing.assert_allclose(gaps, 0.25)
+
+    def test_burst_structure(self):
+        reqs = generate_requests(10, seed=1)
+        a = with_burst_arrivals(reqs, burst_size=4, burst_interval_s=10.0)
+        assert [r.arrival_time for r in a] == [0, 0, 0, 0, 10, 10, 10, 10, 20, 20]
+
+    def test_originals_untouched(self):
+        reqs = generate_requests(3, seed=1)
+        with_poisson_arrivals(reqs, rate_rps=1.0)
+        assert all(r.arrival_time == 0.0 for r in reqs)
+
+    def test_invalid_rates(self):
+        reqs = generate_requests(3, seed=1)
+        with pytest.raises(ValueError):
+            with_poisson_arrivals(reqs, rate_rps=0.0)
+        with pytest.raises(ValueError):
+            with_uniform_arrivals(reqs, rate_rps=-1.0)
+        with pytest.raises(ValueError):
+            with_burst_arrivals(reqs, burst_size=0, burst_interval_s=1.0)
+
+
+class TestOnlineEngines:
+    def _run(self, engine_factory, requests):
+        return engine_factory().run(requests)
+
+    def test_tdpipe_completes_online_stream(self):
+        node = make_node("L20", 4)
+        stream = with_poisson_arrivals(generate_requests(120, seed=2), rate_rps=8.0, seed=1)
+        res = TDPipeEngine(node, QWEN25_32B, OraclePredictor()).run(stream)
+        assert res.completed_requests == 120
+
+    def test_baselines_complete_online_stream(self):
+        node = make_node("L20", 4)
+        for cls in (TPSeparateEngine, PPHybridEngine):
+            stream = with_poisson_arrivals(
+                generate_requests(80, seed=2), rate_rps=8.0, seed=1
+            )
+            res = cls(node, QWEN25_32B).run(stream)
+            assert res.completed_requests == 80, cls.system_name
+
+    def test_idle_gap_wakeup(self):
+        # Bursts separated by long idle gaps: the engine must wake on arrival.
+        node = make_node("L20", 4)
+        stream = with_burst_arrivals(
+            generate_requests(40, seed=3), burst_size=20, burst_interval_s=300.0
+        )
+        res = TDPipeEngine(node, QWEN25_32B, OraclePredictor()).run(stream)
+        assert res.completed_requests == 40
+        assert res.makespan > 300.0  # second burst processed after the gap
+
+    def test_makespan_respects_arrivals(self):
+        node = make_node("L20", 4)
+        stream = with_uniform_arrivals(generate_requests(30, seed=3), rate_rps=1.0)
+        res = TDPipeEngine(node, QWEN25_32B, OraclePredictor()).run(stream)
+        assert res.makespan >= 30.0  # last arrival at t=30s
+
+
+class TestLatencyStats:
+    def test_ttft_measured_from_arrival(self):
+        node = make_node("L20", 4)
+        stream = with_uniform_arrivals(generate_requests(40, seed=5), rate_rps=100.0)
+        res = TPSeparateEngine(node, QWEN25_32B).run(stream)
+        assert res.latency is not None
+        assert res.latency.count == 40
+        assert res.latency.ttft_mean > 0
+        assert res.latency.latency_mean > res.latency.ttft_mean
+
+    def test_tdpipe_trades_ttft_for_throughput(self):
+        # The documented trade-off: TD-Pipe's batching phases delay first
+        # tokens relative to the latency-oriented TP baseline.
+        node = make_node("L20", 4)
+        base = generate_requests(150, seed=6)
+        s1 = with_poisson_arrivals(base, rate_rps=5.0, seed=2)
+        s2 = with_poisson_arrivals(base, rate_rps=5.0, seed=2)
+        td = TDPipeEngine(node, QWEN25_32B, OraclePredictor()).run(s1)
+        tp = TPSeparateEngine(node, QWEN25_32B).run(s2)
+        assert td.latency.ttft_mean > tp.latency.ttft_mean
+
+    def test_empty_stats(self):
+        stats = compute_latency_stats([])
+        assert stats.count == 0
+        assert np.isnan(stats.ttft_mean)
+
+    def test_offline_runs_still_get_latency(self):
+        node = make_node("L20", 4)
+        res = TPSeparateEngine(node, QWEN25_32B).run(generate_requests(30, seed=7))
+        assert res.latency is not None and res.latency.count == 30

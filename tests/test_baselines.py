@@ -1,0 +1,139 @@
+"""Integration tests for the four vLLM-style baseline systems."""
+
+import pytest
+
+from repro.baselines import (
+    PPHybridEngine,
+    PPSeparateEngine,
+    TPHybridEngine,
+    TPSeparateEngine,
+)
+from repro.hardware import make_node
+from repro.models import LLAMA2_13B, QWEN25_32B
+from repro.runtime import EngineConfig
+from repro.workload import generate_requests
+
+ALL_BASELINES = [TPSeparateEngine, TPHybridEngine, PPSeparateEngine, PPHybridEngine]
+
+
+@pytest.mark.parametrize("engine_cls", ALL_BASELINES)
+class TestAllBaselines:
+    def test_completes_and_accounts_tokens(self, engine_cls):
+        node = make_node("L20", 4)
+        engine = engine_cls(node, QWEN25_32B)
+        reqs = generate_requests(100, seed=5)
+        result = engine.run(reqs)
+        assert result.completed_requests == 100
+        assert result.total_output_tokens == sum(r.output_len for r in reqs)
+        assert result.system == engine_cls.system_name
+
+    def test_kv_fully_freed(self, engine_cls):
+        node = make_node("L20", 4)
+        engine = engine_cls(node, QWEN25_32B)
+        engine.run(generate_requests(60, seed=5))
+        assert engine.block_manager.num_requests == 0
+
+    def test_deterministic(self, engine_cls):
+        node = make_node("L20", 4)
+        r1 = engine_cls(node, QWEN25_32B).run(generate_requests(60, seed=5))
+        r2 = engine_cls(node, QWEN25_32B).run(generate_requests(60, seed=5))
+        assert r1.makespan == r2.makespan
+
+    def test_two_gpus(self, engine_cls):
+        node = make_node("L20", 2)
+        result = engine_cls(node, LLAMA2_13B).run(generate_requests(50, seed=5))
+        assert result.completed_requests == 50
+
+
+class TestParallelLayouts:
+    def test_tp_uses_one_stage(self):
+        node = make_node("L20", 4)
+        engine = TPSeparateEngine(node, QWEN25_32B)
+        assert engine.num_stages == 1
+        assert engine.tp_degree == 4
+
+    def test_pp_uses_one_stage_per_gpu(self):
+        node = make_node("L20", 4)
+        engine = PPSeparateEngine(node, QWEN25_32B)
+        assert engine.num_stages == 4
+        assert engine.pp_degree == 4
+
+    def test_pp_streams_match_stages(self):
+        node = make_node("L20", 4)
+        assert len(PPSeparateEngine(node, QWEN25_32B).streams) == 4
+        assert len(TPSeparateEngine(node, QWEN25_32B).streams) == 1
+
+
+class TestHybridSemantics:
+    def test_chunked_prefill_splits_long_prompts(self):
+        node = make_node("L20", 4)
+        cfg = EngineConfig(chunk_budget_tokens=128)
+        engine = PPHybridEngine(node, QWEN25_32B, config=cfg)
+        reqs = generate_requests(20, seed=9)
+        assert max(r.prompt_len for r in reqs) > 128  # needs >1 chunk
+        result = engine.run(reqs)
+        assert result.completed_requests == 20
+        # Hybrid engines never issue pure prefill batches.
+        assert result.prefill_batches == 0
+        assert result.decode_steps > 0
+
+    def test_budget_respected(self):
+        node = make_node("L20", 4)
+        cfg = EngineConfig(chunk_budget_tokens=64)
+        engine = TPHybridEngine(node, QWEN25_32B, config=cfg)
+        seen = []
+        orig = engine.make_hybrid_task
+
+        def spy(decode_batch, chunks, **meta):
+            seen.append(len(decode_batch) + sum(c.chunk_len for _, c in chunks))
+            return orig(decode_batch, chunks, **meta)
+
+        engine.make_hybrid_task = spy
+        engine.run(generate_requests(30, seed=9))
+        assert seen and max(seen) <= 64
+
+    def test_separate_never_mixes(self):
+        node = make_node("L20", 4)
+        engine = PPSeparateEngine(node, QWEN25_32B)
+        kinds = []
+        orig = engine.submit
+
+        def spy(task):
+            kinds.append(task.kind)
+            orig(task)
+
+        engine.submit = spy
+        engine.run(generate_requests(40, seed=9))
+        assert set(kinds) <= {"prefill", "decode"}
+
+
+class TestMemoryPressureBaselines:
+    @pytest.mark.parametrize("engine_cls", ALL_BASELINES)
+    def test_small_capacity_still_completes(self, engine_cls):
+        # 13B on L20 (small KV capacity) with many requests: admission
+        # control and recomputation must keep the system live.
+        node = make_node("L20", 4)
+        engine = engine_cls(node, LLAMA2_13B)
+        result = engine.run(generate_requests(400, seed=3))
+        assert result.completed_requests == 400
+
+
+class TestDriverOverheadModel:
+    def test_driver_serialises(self):
+        node = make_node("L20", 4)
+        engine = PPSeparateEngine(node, QWEN25_32B)
+        d1 = engine.driver_delay(100)
+        d2 = engine.driver_delay(100)
+        assert d2 > d1  # second step queues behind the first
+
+    def test_driver_cost_scales_with_batch(self):
+        node = make_node("L20", 4)
+        e1 = PPSeparateEngine(node, QWEN25_32B)
+        e2 = PPSeparateEngine(node, QWEN25_32B)
+        assert e2.driver_delay(500) > e1.driver_delay(1)
+
+    def test_zero_overhead_config(self):
+        node = make_node("L20", 4)
+        cfg = EngineConfig(driver_base_overhead_s=0.0, driver_per_seq_overhead_s=0.0)
+        engine = PPSeparateEngine(node, QWEN25_32B, config=cfg)
+        assert engine.driver_delay(100) == 0.0

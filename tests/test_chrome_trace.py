@@ -1,0 +1,66 @@
+"""Unit tests for Chrome trace export."""
+
+import io
+import json
+
+from repro.sim import TraceRecorder, to_chrome_trace, write_chrome_trace
+
+
+def sample_trace():
+    tr = TraceRecorder(2)
+    tr[0].record(0.0, 1.0, tag="prefill")
+    tr[0].record(1.5, 2.0, tag="decode")
+    tr[1].record(0.5, 1.2, tag="decode")
+    return tr
+
+
+class TestChromeTrace:
+    def test_event_structure(self):
+        doc = to_chrome_trace(sample_trace())
+        events = doc["traceEvents"]
+        slices = [e for e in events if e["ph"] == "X"]
+        assert len(slices) == 3
+        meta = [e for e in events if e["ph"] == "M"]
+        # 1 process_name + 2 thread_name records.
+        assert len(meta) == 3
+
+    def test_timing_scaled_to_us(self):
+        doc = to_chrome_trace(sample_trace())
+        first = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+        assert first["ts"] == 0.0
+        assert first["dur"] == 1.0 * 1e6
+
+    def test_tags_become_names(self):
+        doc = to_chrome_trace(sample_trace())
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert names == {"prefill", "decode"}
+
+    def test_gpu_rows(self):
+        doc = to_chrome_trace(sample_trace())
+        tids = {e["tid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert tids == {0, 1}
+
+    def test_write_to_file_object(self):
+        buf = io.StringIO()
+        write_chrome_trace(sample_trace(), buf)
+        doc = json.loads(buf.getvalue())
+        assert "traceEvents" in doc
+
+    def test_write_to_path(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(sample_trace(), str(path))
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_roundtrip_from_real_run(self):
+        from repro.baselines import PPSeparateEngine
+        from repro.hardware import make_node
+        from repro.models import LLAMA2_13B
+        from repro.workload import generate_requests
+
+        engine = PPSeparateEngine(make_node("L20", 2), LLAMA2_13B)
+        res = engine.run(generate_requests(20, seed=4))
+        doc = to_chrome_trace(res.trace)
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) > 10
+        assert all(s["dur"] > 0 for s in slices)

@@ -1,0 +1,35 @@
+"""Tests for the command-line entry point."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_experiment_list_complete(self):
+        # One target per paper artifact plus "all".
+        for name in ("table1", "table2", "fig02", "fig06", "fig11", "fig12",
+                      "fig13", "fig14", "fig15", "fig16", "all"):
+            assert name in EXPERIMENTS
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "L20" in out and "A100" in out
+
+    def test_fig06(self, capsys):
+        assert main(["fig06"]) == 0
+        out = capsys.readouterr().out
+        assert "comm%" in out
+
+    def test_fig14_small_scale(self, capsys):
+        assert main(["fig14", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "bin accuracy" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_scale_flag_parsed(self, capsys):
+        assert main(["table2", "--scale", "0.5", "--seed", "3"]) == 0

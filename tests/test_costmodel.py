@@ -1,0 +1,136 @@
+"""Unit tests for the roofline cost model."""
+
+import pytest
+
+from repro.costmodel import FullModelCostModel, PrefillChunk, StageCostModel
+from repro.hardware import A100, L20, pcie_switch
+from repro.models import LLAMA2_13B, QWEN25_32B, pipeline_shards
+
+
+def stage_model(model=QWEN25_32B, gpu=L20, pp=4, tp=1, stage=0):
+    shards = pipeline_shards(model, pp, tp)
+    ic = pcie_switch(gpu.allreduce_bw_gbps) if tp > 1 else None
+    return StageCostModel(shard=shards[stage], gpu=gpu, interconnect=ic)
+
+
+class TestPrefill:
+    def test_empty_batch_free(self):
+        assert stage_model().prefill_time([]) == 0.0
+
+    def test_monotone_in_tokens(self):
+        cm = stage_model()
+        assert cm.prefill_time([256]) < cm.prefill_time([512]) < cm.prefill_time([1024])
+
+    def test_attention_superlinear(self):
+        cm = stage_model()
+        # One 1024-token prompt costs more than four 256-token prompts
+        # (quadratic attention).
+        assert cm.prefill_time([1024]) > cm.prefill_time([256, 256, 256, 256])
+
+    def test_faster_gpu_is_faster(self):
+        t_l20 = stage_model(gpu=L20).prefill_time([1024])
+        t_a100 = stage_model(gpu=A100).prefill_time([1024])
+        assert t_a100 < t_l20
+
+    def test_tp_requires_interconnect(self):
+        shards = pipeline_shards(QWEN25_32B, 1, 4)
+        with pytest.raises(ValueError):
+            StageCostModel(shard=shards[0], gpu=L20, interconnect=None)
+
+    def test_tp_adds_communication(self):
+        comp4, comm4 = stage_model(pp=1, tp=4).prefill_breakdown([512] * 4)
+        comp1, comm1 = stage_model(pp=1, tp=1).prefill_breakdown([512] * 4)
+        assert comm1 == 0.0
+        assert comm4 > 0.0
+        # TP divides the compute.
+        assert comp4 < comp1
+
+    def test_tp_total_speedup_sublinear(self):
+        t1 = stage_model(pp=1, tp=1).prefill_time([512] * 4)
+        t4 = stage_model(pp=1, tp=4).prefill_time([512] * 4)
+        assert t4 < t1  # still faster overall
+        assert t4 > t1 / 4  # but far from linear (paper Figure 6)
+
+
+class TestDecode:
+    def test_zero_batch_free(self):
+        assert stage_model().decode_time(0, 0) == 0.0
+
+    def test_monotone_in_batch_and_context(self):
+        cm = stage_model()
+        t1 = cm.decode_time(16, 16 * 300)
+        t2 = cm.decode_time(64, 64 * 300)
+        t3 = cm.decode_time(64, 64 * 900)
+        assert t1 < t2 < t3
+
+    def test_bandwidth_bound_floor(self):
+        # A batch of one still pays the full weight-streaming time.
+        cm = stage_model()
+        weight_bytes = (
+            cm.shard.n_layers * QWEN25_32B.params_per_layer * QWEN25_32B.dtype_bytes
+        )
+        floor = weight_bytes / L20.effective_mem_bandwidth
+        assert cm.decode_time(1, 300) > floor
+
+    def test_per_request_efficiency_improves_with_batch(self):
+        # The saturating Achieved(b) curve behind spatial intensity.
+        cm = stage_model()
+        r16 = 16 / cm.decode_time(16, 16 * 400)
+        r256 = 256 / cm.decode_time(256, 256 * 400)
+        assert r256 > 2 * r16
+
+
+class TestHybrid:
+    def test_empty_free(self):
+        assert stage_model().hybrid_time(0, 0, []) == 0.0
+
+    def test_decode_only_close_to_decode(self):
+        cm = stage_model()
+        hybrid = cm.hybrid_time(64, 64 * 300, [])
+        decode = cm.decode_time(64, 64 * 300)
+        assert hybrid == pytest.approx(decode, rel=0.35)
+
+    def test_chunk_prefix_reload_costs(self):
+        # Same chunk, longer already-cached prefix -> more KV re-reading.
+        cm = stage_model()
+        short = cm.hybrid_time(32, 32 * 300, [PrefillChunk(256, prefix_len=0)])
+        long = cm.hybrid_time(32, 32 * 300, [PrefillChunk(256, prefix_len=2048)])
+        assert long > short
+
+    def test_invalid_chunk(self):
+        with pytest.raises(ValueError):
+            PrefillChunk(-1, 0)
+        with pytest.raises(ValueError):
+            PrefillChunk(1, -5)
+
+    def test_hybrid_more_expensive_than_parts_interleaved(self):
+        # Splitting a prompt into chunks across hybrid steps costs more than
+        # one whole-prompt prefill (the chunked-prefill overhead).
+        cm = stage_model()
+        whole = cm.prefill_time([1024])
+        chunked = sum(
+            cm.hybrid_time(0, 0, [PrefillChunk(256, prefix_len=256 * i)]) for i in range(4)
+        )
+        assert chunked > whole
+
+
+class TestFullModel:
+    def test_wraps_all_layers(self):
+        cm = FullModelCostModel(LLAMA2_13B, L20)
+        assert cm.stage.n_layers == LLAMA2_13B.n_layers
+        assert cm.stage.shard.has_embedding and cm.stage.shard.has_lm_head
+
+    def test_consistent_with_stage_sum(self):
+        # Whole-model prefill ~ sum of the four stage prefills (same math).
+        full = FullModelCostModel(QWEN25_32B, L20, step_overhead_s=0.0)
+        stages = [
+            StageCostModel(shard=s, gpu=L20, step_overhead_s=0.0)
+            for s in pipeline_shards(QWEN25_32B, 4)
+        ]
+        t_full = full.prefill_time([512])
+        t_stages = sum(s.prefill_time([512]) for s in stages)
+        assert t_full == pytest.approx(t_stages, rel=1e-6)
+
+    def test_activation_bytes(self):
+        cm = stage_model()
+        assert cm.activation_bytes(10) == 10 * QWEN25_32B.hidden_size * 2

@@ -1,0 +1,114 @@
+"""Smoke tests for the experiment harness (tiny scale, structure checks).
+
+Full-fidelity shape checks live in benchmarks/; these verify the harness
+machinery itself: caching, OOM handling, result structures and formatting.
+"""
+
+import pytest
+
+from repro.experiments import (
+    PAPER_COMBOS,
+    SYSTEMS,
+    default_scale,
+    eval_requests,
+    fig06_tp_breakdown,
+    fig11_overall,
+    fig14_predictor,
+    get_dataset,
+    get_predictor,
+    run_system,
+    tables,
+)
+from repro.kvcache import OutOfMemoryError
+
+TINY = default_scale(factor=0.02, seed=0)  # 100 requests
+
+
+class TestCommon:
+    def test_dataset_cached(self):
+        assert get_dataset(TINY) is get_dataset(TINY)
+
+    def test_predictor_cached(self):
+        assert get_predictor(TINY) is get_predictor(TINY)
+
+    def test_eval_requests_fresh_copies(self):
+        a = eval_requests(TINY)
+        b = eval_requests(TINY)
+        assert a[0] is not b[0]
+        assert a[0].output_len == b[0].output_len
+
+    def test_scale_arithmetic(self):
+        s = default_scale(factor=0.5)
+        assert s.eval_requests == 2500
+        assert s.corpus_size == 10_000
+
+    def test_run_system_all_names(self):
+        for system in SYSTEMS:
+            res = run_system(system, "L20", "13B", scale=TINY, num_gpus=2)
+            assert res.completed_requests == TINY.eval_requests, system
+
+    def test_run_system_oom(self):
+        with pytest.raises(OutOfMemoryError):
+            run_system("TP+SB", "L20", "32B", scale=TINY, num_gpus=1)
+
+    def test_unknown_system(self):
+        with pytest.raises(ValueError):
+            run_system("ZeroBubble", "L20", "13B", scale=TINY)
+
+    def test_paper_combos(self):
+        assert len(PAPER_COMBOS) == 4
+
+
+class TestTables:
+    def test_table1_formatting(self):
+        out = tables.format_table1()
+        assert "L20" in out and "A100" in out and "14.65" in out
+
+    def test_table2_formatting(self):
+        out = tables.format_table2()
+        assert "Qwen2.5-32B-Instruct" in out
+
+
+class TestFig06:
+    def test_points_structure(self):
+        pts = fig06_tp_breakdown.run(device_counts=(1, 2))
+        assert len(pts) == 4  # 2 nodes x 2 counts
+        assert fig06_tp_breakdown.format_results(pts)
+
+    def test_normalised_to_one_gpu(self):
+        pts = fig06_tp_breakdown.run(device_counts=(1, 4))
+        for p in pts:
+            if p.num_gpus == 1:
+                assert p.normalized_total == pytest.approx(1.0)
+            else:
+                assert p.normalized_total < 1.0
+
+
+class TestFig11:
+    def test_small_grid(self):
+        res = fig11_overall.run(scale=TINY, combos=(("L20", "13B"),), device_counts=(1, 2))
+        assert len(res.cells) == 10
+        assert res.throughput("L20", "13B", 2, "TD-Pipe") > 0
+        assert fig11_overall.format_results(res)
+
+    def test_oom_cells_recorded(self):
+        res = fig11_overall.run(
+            scale=TINY, combos=(("L20", "32B"),), device_counts=(1,), systems=("TP+SB",)
+        )
+        assert res.cells[0].oom
+        assert res.best_system("L20", "32B", 1) == "OOM"
+
+    def test_speedup_handles_oom(self):
+        res = fig11_overall.run(
+            scale=TINY, combos=(("L20", "32B"),), device_counts=(1,),
+            systems=("TP+SB", "PP+SB"),
+        )
+        assert res.speedup("L20", "32B", 1, "TP+SB", "PP+SB") is None
+
+
+class TestFig14:
+    def test_structure(self):
+        ev = fig14_predictor.run(scale=default_scale(factor=0.05))
+        assert 0.0 < ev.bin_accuracy <= 1.0
+        assert len(ev.group_sizes) == len(ev.accumulated_errors)
+        assert fig14_predictor.format_results(ev)

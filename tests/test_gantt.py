@@ -1,0 +1,69 @@
+"""Tests for the ASCII Gantt schedule renderer."""
+
+import pytest
+
+from repro.sim import TraceRecorder
+from repro.viz import gantt
+
+
+def make_trace():
+    tr = TraceRecorder(2)
+    # GPU0: busy [0, 4) prefill, idle [4, 8)
+    tr[0].record(0.0, 4.0, tag="prefill")
+    # GPU1: idle [0, 4), busy [4, 8) decode
+    tr[1].record(4.0, 8.0, tag="decode")
+    return tr
+
+
+class TestGantt:
+    def test_phase_characters(self):
+        out = gantt(make_trace(), t0=0.0, t1=8.0, width=8)
+        lines = out.splitlines()
+        assert lines[0] == "GPU0 |PPPP....|"
+        assert lines[1] == "GPU1 |....dddd|"
+
+    def test_legend_present(self):
+        out = gantt(make_trace())
+        assert "idle/bubble" in out
+
+    def test_window_clipping(self):
+        out = gantt(make_trace(), t0=2.0, t1=6.0, width=4)
+        lines = out.splitlines()
+        assert lines[0] == "GPU0 |PP..|"
+        assert lines[1] == "GPU1 |..dd|"
+
+    def test_majority_kind_wins(self):
+        tr = TraceRecorder(1)
+        tr[0].record(0.0, 0.3, tag="decode")
+        tr[0].record(0.3, 1.0, tag="prefill")
+        out = gantt(tr, t0=0.0, t1=1.0, width=1)
+        assert out.splitlines()[0] == "GPU0 |P|"
+
+    def test_accumulates_short_intervals(self):
+        # Many sub-cell intervals must still register as busy.
+        tr = TraceRecorder(1)
+        for i in range(100):
+            tr[0].record(i * 0.01, i * 0.01 + 0.009, tag="decode")
+        out = gantt(tr, t0=0.0, t1=1.0, width=4)
+        assert out.splitlines()[0] == "GPU0 |dddd|"
+
+    def test_empty_window(self):
+        assert gantt(make_trace(), t0=5.0, t1=5.0) == ""
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            gantt(make_trace(), width=0)
+
+
+class TestFig01Experiment:
+    def test_structure(self):
+        from repro.experiments import default_scale, fig01_schedules
+
+        views = fig01_schedules.run(
+            scale=default_scale(factor=0.02), systems=("PP+SB", "TD-Pipe"), width=40
+        )
+        assert [v.system for v in views] == ["PP+SB", "TD-Pipe"]
+        for v in views:
+            assert "GPU0" in v.rendering and "GPU3" in v.rendering
+            assert 0.0 <= v.bubble_ratio <= 1.0
+        assert fig01_schedules.format_results(views)

@@ -1,0 +1,130 @@
+"""Unit + property tests for Approach 1 (Algorithm 1, AI-based greedy prefill)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    GreedyPrefillPlanner,
+    default_future_points,
+    plan_prefill_admission,
+)
+
+
+class TestFuturePoints:
+    def test_paper_grid(self):
+        pts = default_future_points()
+        assert pts[0] == 32
+        assert pts[-1] == 1024
+        assert all(b - a == 32 for a, b in zip(pts, pts[1:]))
+
+    def test_custom_grid(self):
+        assert default_future_points(stride=128, horizon=512) == (128, 256, 384, 512)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            default_future_points(stride=0)
+        with pytest.raises(ValueError):
+            default_future_points(stride=64, horizon=32)
+
+
+class TestPlanner:
+    def test_update_usage_semantics(self):
+        # Algorithm 1: usage[p] += (inputLen + p) for p <= predictLen.
+        planner = GreedyPrefillPlanner(10_000, future_points=(32, 64, 96))
+        planner.update(input_len=100, predicted_len=64)
+        usage = planner.usage_map()
+        assert usage[32] == 132
+        assert usage[64] == 164
+        assert usage[96] == 0  # predicted to have finished and freed its KV
+
+    def test_switch_when_capacity_exceeded(self):
+        planner = GreedyPrefillPlanner(300, future_points=(32,))
+        planner.update(100, 100)  # usage[32] = 132
+        assert not planner.should_switch()
+        planner.update(200, 100)  # usage[32] = 364 > 300
+        assert planner.should_switch()
+
+    def test_short_requests_still_charge_prompt(self):
+        # A request predicted to finish before the first future point still
+        # occupies memory until then.
+        planner = GreedyPrefillPlanner(10_000, future_points=(32, 64))
+        planner.update(input_len=500, predicted_len=10)
+        assert planner.predicted_peak() > 0
+
+    def test_carry_over_preloads_usage(self):
+        planner = GreedyPrefillPlanner(10_000, future_points=(32, 64))
+        planner.reset(carry_over=[(400.0, 50.0)])  # ctx 400, 50 steps left
+        usage = planner.usage_map()
+        assert usage[32] == 432
+        assert usage[64] == 0  # predicted complete by then
+
+    def test_reset_clears(self):
+        planner = GreedyPrefillPlanner(1000, future_points=(32,))
+        planner.update(100, 100)
+        planner.reset()
+        assert planner.predicted_peak() == 0.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GreedyPrefillPlanner(0)
+        with pytest.raises(ValueError):
+            GreedyPrefillPlanner(100, future_points=())
+
+
+class TestAdmissionPlan:
+    def test_admits_all_when_room(self):
+        plan = plan_prefill_admission([100, 100], [50, 50], kv_capacity_tokens=10_000)
+        assert plan.n_requests == 2
+        assert plan.admitted_tokens == 200
+
+    def test_stops_at_crossing_inclusive(self):
+        # Launch-then-check: the crossing request is included.
+        plan = plan_prefill_admission(
+            [100] * 10, [100] * 10, kv_capacity_tokens=500, future_points=(32,)
+        )
+        # usage[32] per request = 132; crosses 500 at the 4th request.
+        assert plan.n_requests == 4
+        assert plan.predicted_peak > 500
+
+    def test_zero_when_carry_over_saturates(self):
+        # Carried-over requests already exceed capacity -> nothing admissible.
+        plan = plan_prefill_admission(
+            [100], [100], kv_capacity_tokens=300, carry_over=[(400.0, 200.0)]
+        )
+        assert plan.n_requests == 0
+        assert not plan.any_admissible
+
+    def test_empty_waiting(self):
+        plan = plan_prefill_admission([], [], kv_capacity_tokens=100)
+        assert plan.n_requests == 0
+
+    def test_mismatched_inputs(self):
+        with pytest.raises(ValueError):
+            plan_prefill_admission([1, 2], [1], kv_capacity_tokens=100)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(st.integers(4, 1024), st.integers(1, 2048)), min_size=1, max_size=40
+    ),
+    capacity=st.integers(1_000, 200_000),
+)
+def test_plan_matches_incremental_planner(data, capacity):
+    """Property: the vectorised what-if plan replays Algorithm 1 exactly."""
+    lens = [d[0] for d in data]
+    preds = [d[1] for d in data]
+    plan = plan_prefill_admission(lens, preds, kv_capacity_tokens=capacity)
+
+    planner = GreedyPrefillPlanner(capacity)
+    n = 0
+    for L, P in zip(lens, preds):
+        planner.update(L, P)
+        n += 1
+        if planner.should_switch():
+            break
+    assert plan.n_requests == n
+    assert plan.admitted_tokens == sum(lens[:n])
+    assert plan.predicted_peak == pytest.approx(planner.predicted_peak())

@@ -1,0 +1,124 @@
+"""Unit tests for the hardware substrate (GPU specs, interconnect, nodes)."""
+
+import pytest
+
+from repro.hardware import (
+    A100,
+    A100_NODE,
+    L20,
+    L20_NODE,
+    GPUSpec,
+    allreduce_time,
+    get_gpu,
+    make_node,
+    p2p_time,
+    pcie_switch,
+)
+
+
+class TestGPUSpec:
+    def test_table1_l20(self):
+        assert L20.fp16_tflops == 119.5
+        assert L20.mem_bandwidth_gbps == 864.0
+        assert L20.memory_gb == 48.0
+        assert L20.allreduce_bw_gbps == 14.65
+
+    def test_table1_a100(self):
+        assert A100.fp16_tflops == 312.0
+        assert A100.mem_bandwidth_gbps == 1935.0
+        assert A100.memory_gb == 80.0
+        assert A100.allreduce_bw_gbps == 14.82
+
+    def test_derived_units(self):
+        assert L20.flops == pytest.approx(119.5e12)
+        assert L20.memory_bytes == pytest.approx(48e9)
+        assert L20.effective_flops < L20.flops
+        assert L20.effective_mem_bandwidth < L20.mem_bandwidth
+
+    def test_usable_memory_subtracts_reserve(self):
+        assert L20.usable_memory_bytes == pytest.approx(48e9 - L20.reserved_bytes)
+
+    def test_usable_memory_never_negative(self):
+        tiny = GPUSpec("tiny", 1.0, 1.0, 0.001, 1.0)
+        assert tiny.usable_memory_bytes == 0.0
+
+    def test_effective_flops_at_saturates(self):
+        small = L20.effective_flops_at(64)
+        large = L20.effective_flops_at(8192)
+        assert small < large <= L20.effective_flops
+        # Saturation: large batches approach the asymptote.
+        assert large > 0.95 * L20.effective_flops
+
+    def test_effective_flops_at_zero_tokens(self):
+        assert L20.effective_flops_at(0) == L20.effective_flops
+
+    def test_with_overrides(self):
+        fast = L20.with_overrides(fp16_tflops=200.0)
+        assert fast.fp16_tflops == 200.0
+        assert fast.memory_gb == L20.memory_gb
+        assert L20.fp16_tflops == 119.5  # original untouched
+
+    def test_get_gpu_lookup(self):
+        assert get_gpu("l20") is L20
+        assert get_gpu("A100") is A100
+        with pytest.raises(KeyError):
+            get_gpu("H100")
+
+
+class TestInterconnect:
+    def test_allreduce_single_rank_free(self):
+        ic = pcie_switch(14.65)
+        assert allreduce_time(1e6, 1, ic) == 0.0
+
+    def test_allreduce_scales_with_bytes(self):
+        ic = pcie_switch(14.65)
+        t1 = allreduce_time(1e6, 4, ic)
+        t2 = allreduce_time(2e6, 4, ic)
+        assert t2 > t1
+        # Doubling bytes less than doubles the time (latency floor).
+        assert t2 < 2 * t1
+
+    def test_allreduce_efficiency_slows_transfers(self):
+        fast = pcie_switch(14.65, allreduce_efficiency=1.0)
+        slow = pcie_switch(14.65, allreduce_efficiency=0.5)
+        assert allreduce_time(1e8, 4, slow) > allreduce_time(1e8, 4, fast)
+
+    def test_allreduce_negative_bytes_rejected(self):
+        ic = pcie_switch(14.65)
+        with pytest.raises(ValueError):
+            allreduce_time(-1, 4, ic)
+
+    def test_p2p_zero_bytes_free(self):
+        ic = pcie_switch(14.65)
+        assert p2p_time(0, ic) == 0.0
+
+    def test_p2p_latency_plus_bandwidth(self):
+        ic = pcie_switch(14.65)
+        t = p2p_time(12e9, ic)  # one second of payload at 12 GB/s
+        assert t == pytest.approx(1.0 + ic.p2p_latency_s)
+
+
+class TestNode:
+    def test_presets_match_paper_testbeds(self):
+        assert L20_NODE.num_gpus == 4
+        assert A100_NODE.num_gpus == 4
+        assert L20_NODE.gpu is L20
+        assert A100_NODE.interconnect.allreduce_bw_gbps == 14.82
+
+    def test_make_node(self):
+        n = make_node("L20", 2)
+        assert n.num_gpus == 2
+        assert n.gpu is L20
+        assert "2x" in n.name
+
+    def test_with_num_gpus(self):
+        n = L20_NODE.with_num_gpus(1)
+        assert n.num_gpus == 1
+        assert L20_NODE.num_gpus == 4
+
+    def test_invalid_gpu_count(self):
+        with pytest.raises(ValueError):
+            make_node("L20", 0)
+
+    def test_total_memory(self):
+        assert L20_NODE.total_memory_bytes == pytest.approx(4 * 48e9)

@@ -1,0 +1,103 @@
+"""Cross-system integration tests: invariants every engine must satisfy."""
+
+import pytest
+
+from repro.baselines import (
+    PPHybridEngine,
+    PPSeparateEngine,
+    TPHybridEngine,
+    TPSeparateEngine,
+)
+from repro.core import TDPipeEngine
+from repro.hardware import make_node
+from repro.models import LLAMA2_13B, QWEN25_32B
+from repro.predictor import OraclePredictor
+from repro.workload import generate_requests
+
+ALL_SYSTEMS = ["TP+SB", "TP+HB", "PP+SB", "PP+HB", "TD-Pipe"]
+
+
+def build(system, node, model):
+    if system == "TP+SB":
+        return TPSeparateEngine(node, model)
+    if system == "TP+HB":
+        return TPHybridEngine(node, model)
+    if system == "PP+SB":
+        return PPSeparateEngine(node, model)
+    if system == "PP+HB":
+        return PPHybridEngine(node, model)
+    return TDPipeEngine(node, model, OraclePredictor())
+
+
+@pytest.mark.parametrize("system", ALL_SYSTEMS)
+class TestUniversalInvariants:
+    """Every system, same workload, same substrate: shared guarantees."""
+
+    def test_token_conservation(self, system):
+        node = make_node("L20", 4)
+        reqs = generate_requests(120, seed=21)
+        res = build(system, node, QWEN25_32B).run(reqs)
+        assert res.completed_requests == 120
+        assert res.total_prompt_tokens == sum(r.prompt_len for r in reqs)
+        assert res.total_output_tokens == sum(r.output_len for r in reqs)
+
+    def test_per_request_final_state(self, system):
+        node = make_node("L20", 4)
+        reqs = generate_requests(60, seed=22)
+        engine = build(system, node, QWEN25_32B)
+        engine.run(reqs)
+        for s in engine.finished:
+            assert s.done
+            assert s.generated == s.request.output_len
+            assert s.finish_time is not None
+
+    def test_memory_clean_at_exit(self, system):
+        node = make_node("L20", 4)
+        engine = build(system, node, QWEN25_32B)
+        engine.run(generate_requests(60, seed=23))
+        assert engine.block_manager.num_requests == 0
+        assert engine.block_manager.total_tokens == 0
+
+    def test_trace_within_makespan(self, system):
+        node = make_node("L20", 4)
+        engine = build(system, node, QWEN25_32B)
+        res = engine.run(generate_requests(60, seed=24))
+        for tl in res.trace.timelines:
+            assert tl.end_time <= res.makespan + 1e-9
+
+    def test_memory_pressure_survival(self, system):
+        # 13B on 2x L20: small capacity, forced recompute/admission control.
+        node = make_node("L20", 2)
+        engine = build(system, node, LLAMA2_13B)
+        res = engine.run(generate_requests(300, seed=25))
+        assert res.completed_requests == 300
+
+
+class TestCrossSystemRelations:
+    @pytest.fixture(scope="class")
+    def results(self):
+        node = make_node("L20", 4)
+        reqs = generate_requests(400, seed=26)
+        out = {}
+        for system in ALL_SYSTEMS:
+            out[system] = build(system, node, QWEN25_32B).run(list(reqs))
+        return out
+
+    def test_same_tokens_all_systems(self, results):
+        totals = {r.total_tokens for r in results.values()}
+        assert len(totals) == 1, "every system must process the same workload"
+
+    def test_tdpipe_highest_utilization(self, results):
+        td = results["TD-Pipe"].mean_utilization
+        for name in ("PP+SB", "PP+HB"):
+            assert td > results[name].mean_utilization
+
+    def test_tdpipe_beats_pp_baselines(self, results):
+        td = results["TD-Pipe"].throughput
+        assert td > results["PP+SB"].throughput
+
+    def test_pp_systems_have_multi_stage_traces(self, results):
+        for name in ("PP+SB", "PP+HB", "TD-Pipe"):
+            trace = results[name].trace
+            busy = [t.busy_time for t in trace.timelines]
+            assert all(b > 0 for b in busy), f"{name}: some stage never worked"

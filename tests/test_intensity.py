@@ -1,0 +1,71 @@
+"""Unit tests for Approach 3 (spatial-temporal intensity comparison)."""
+
+import pytest
+
+from repro.core import DecodeRateProfile, spatial_intensity, temporal_intensity
+from repro.hardware import L20
+from repro.models import QWEN25_32B, pipeline_shards
+from repro.costmodel import StageCostModel
+
+
+@pytest.fixture(scope="module")
+def profile():
+    shard = pipeline_shards(QWEN25_32B, 4)[0]
+    cm = StageCostModel(shard=shard, gpu=L20)
+    return DecodeRateProfile(stage_model=cm, peak_batch_size=256)
+
+
+class TestSpatialIntensity:
+    def test_rate_increases_with_batch(self, profile):
+        assert profile.rate(8, 400) < profile.rate(64, 400) < profile.rate(256, 400)
+
+    def test_si_in_unit_interval(self, profile):
+        for b in (1, 16, 64, 256, 512):
+            si = spatial_intensity(profile, b, 400.0)
+            assert 0.0 <= si <= 1.0
+
+    def test_si_monotone_in_batch(self, profile):
+        sis = [spatial_intensity(profile, b, 400.0) for b in (8, 32, 128, 256)]
+        assert sis == sorted(sis)
+
+    def test_si_is_one_at_peak(self, profile):
+        assert spatial_intensity(profile, 256, 400.0) == pytest.approx(1.0)
+
+    def test_zero_batch(self, profile):
+        assert spatial_intensity(profile, 0, 400.0) == 0.0
+        assert profile.rate(0, 400.0) == 0.0
+
+
+class TestTemporalIntensity:
+    def test_no_pending_never_switch(self):
+        assert temporal_intensity([], 0.02) == float("-inf")
+
+    def test_bubble_free_when_decode_covers_prefill(self):
+        # Decode steps longer than the longest pending prefill -> no bubble.
+        ti = temporal_intensity([0.01, 0.01], current_decode_stage_time=0.02)
+        assert ti == pytest.approx(1.0)
+
+    def test_bubble_lowers_ti(self):
+        ti_small = temporal_intensity([0.5], current_decode_stage_time=0.02)
+        ti_big = temporal_intensity([0.5] * 10, current_decode_stage_time=0.02)
+        # The same bubble amortised over a longer prefill phase -> higher TI.
+        assert ti_big > ti_small
+        assert 0.0 < ti_small < 1.0
+
+    def test_formula(self):
+        # bubble = 0.5 - 0.1 = 0.4; total = (0.5 + 0.5) + 0.4 = 1.4.
+        ti = temporal_intensity([0.5, 0.5], current_decode_stage_time=0.1)
+        assert ti == pytest.approx(1.0 - 0.4 / 1.4)
+
+
+class TestDecisionDynamics:
+    def test_switch_happens_as_batch_shrinks(self, profile):
+        """As decode drains, SI drops below a fixed TI at some point."""
+        ti = 0.8
+        switched_at = None
+        for b in range(256, 0, -8):
+            if spatial_intensity(profile, b, 400.0) < ti:
+                switched_at = b
+                break
+        assert switched_at is not None
+        assert 0 < switched_at < 256

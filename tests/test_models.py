@@ -1,0 +1,121 @@
+"""Unit tests for model specs (Table 2) and device partitioning."""
+
+import pytest
+
+from repro.models import (
+    LLAMA2_13B,
+    LLAMA2_70B,
+    LLAMA_30B,
+    QWEN25_32B,
+    ModelSpec,
+    get_model,
+    partition_layers,
+    pipeline_shards,
+    weight_bytes_per_gpu,
+)
+
+
+class TestModelSpec:
+    def test_table2_weights(self):
+        # Paper Table 2: 26 GB / 64 GB / 140 GB.
+        assert LLAMA2_13B.weight_bytes / 1e9 == pytest.approx(26, rel=0.05)
+        assert QWEN25_32B.weight_bytes / 1e9 == pytest.approx(64, rel=0.05)
+        assert LLAMA2_70B.weight_bytes / 1e9 == pytest.approx(140, rel=0.05)
+
+    def test_table2_architecture(self):
+        assert (LLAMA2_13B.n_layers, LLAMA2_13B.hidden_size) == (40, 5120)
+        assert (QWEN25_32B.n_layers, QWEN25_32B.hidden_size) == (64, 5120)
+        assert (LLAMA2_70B.n_layers, LLAMA2_70B.hidden_size) == (80, 8192)
+
+    def test_gqa_shrinks_kv(self):
+        # Paper: GQA gives the 32B/70B models smaller KV than the 13B.
+        assert QWEN25_32B.n_kv_heads < QWEN25_32B.n_heads
+        assert QWEN25_32B.kv_bytes_per_token < LLAMA2_13B.kv_bytes_per_token
+        assert LLAMA2_70B.kv_bytes_per_token < LLAMA2_13B.kv_bytes_per_token
+
+    def test_llama30b_kv_matches_paper(self):
+        # Section 2.2.1: "KV cache of a single token in the Llama-30B occupies 1.52 MB".
+        assert LLAMA_30B.kv_bytes_per_token / 1e6 == pytest.approx(1.52, rel=0.06)
+
+    def test_head_dim(self):
+        assert LLAMA2_70B.head_dim == 128
+        assert LLAMA2_70B.kv_dim == 8 * 128
+
+    def test_flops_positive_and_ordered(self):
+        f13 = LLAMA2_13B.linear_flops_per_token_per_layer()
+        f70 = LLAMA2_70B.linear_flops_per_token_per_layer()
+        assert 0 < f13 < f70
+
+    def test_prefill_attention_quadratic(self):
+        m = LLAMA2_13B
+        a = m.prefill_attn_flops_per_layer(128)
+        b = m.prefill_attn_flops_per_layer(256)
+        assert b == pytest.approx(4 * a)
+
+    def test_invalid_heads_rejected(self):
+        with pytest.raises(ValueError):
+            ModelSpec("bad", "bad", 2, 100, 7, 7, 400, 1000)
+        with pytest.raises(ValueError):
+            ModelSpec("bad", "bad", 2, 128, 8, 3, 400, 1000)
+
+    def test_get_model(self):
+        assert get_model("13b") is LLAMA2_13B
+        assert get_model("Qwen2.5-32B-Instruct") is QWEN25_32B
+        with pytest.raises(KeyError):
+            get_model("405B")
+
+
+class TestPartition:
+    def test_partition_layers_balanced(self):
+        assert partition_layers(80, 4) == [20, 20, 20, 20]
+        assert partition_layers(62, 4) == [16, 16, 15, 15]
+        assert sum(partition_layers(63, 4)) == 63
+
+    def test_partition_single_stage(self):
+        assert partition_layers(40, 1) == [40]
+
+    def test_partition_invalid(self):
+        with pytest.raises(ValueError):
+            partition_layers(2, 4)
+        with pytest.raises(ValueError):
+            partition_layers(4, 0)
+
+    def test_shards_cover_all_layers(self):
+        shards = pipeline_shards(LLAMA2_70B, 4)
+        assert sum(s.n_layers for s in shards) == 80
+        assert shards[0].layer_start == 0
+        for a, b in zip(shards, shards[1:]):
+            assert b.layer_start == a.layer_start + a.n_layers
+
+    def test_embedding_and_head_placement(self):
+        shards = pipeline_shards(LLAMA2_13B, 4)
+        assert shards[0].has_embedding and not shards[0].has_lm_head
+        assert shards[-1].has_lm_head and not shards[-1].has_embedding
+        for s in shards[1:-1]:
+            assert not s.has_embedding and not s.has_lm_head
+
+    def test_single_stage_owns_everything(self):
+        (shard,) = pipeline_shards(LLAMA2_13B, 1)
+        assert shard.has_embedding and shard.has_lm_head
+
+    def test_pp_weight_shards_sum_to_total(self):
+        shards = pipeline_shards(LLAMA2_70B, 4)
+        total = sum(s.weight_bytes_per_gpu for s in shards)
+        assert total == pytest.approx(LLAMA2_70B.weight_bytes, rel=1e-6)
+
+    def test_tp_divides_weights(self):
+        w1 = weight_bytes_per_gpu(LLAMA2_13B, 1, 1)
+        w4 = weight_bytes_per_gpu(LLAMA2_13B, 1, 4)
+        assert w4 == pytest.approx(w1 / 4)
+
+    def test_tp_divides_kv(self):
+        shards = pipeline_shards(QWEN25_32B, 1, tp_degree=4)
+        assert shards[0].kv_bytes_per_token_per_gpu == pytest.approx(
+            QWEN25_32B.kv_bytes_per_token / 4
+        )
+
+    def test_pp_kv_per_stage(self):
+        shards = pipeline_shards(QWEN25_32B, 4)
+        per_stage = QWEN25_32B.kv_bytes_per_token / 4
+        for s in shards:
+            assert s.kv_bytes_per_token_per_gpu == pytest.approx(per_stage)

@@ -1,0 +1,51 @@
+"""Tests for the offloading estimate (paper Section 2.2.2 claim)."""
+
+import pytest
+
+from repro.baselines.offloading import estimate_offloading_throughput
+from repro.hardware import A100, L20
+from repro.models import LLAMA2_13B, LLAMA2_70B, QWEN25_32B
+
+
+class TestOffloadingEstimate:
+    def test_contention_shrinks_per_gpu_rate(self):
+        e1 = estimate_offloading_throughput(LLAMA2_13B, L20, num_gpus=1)
+        e4 = estimate_offloading_throughput(LLAMA2_13B, L20, num_gpus=4)
+        assert e4.per_gpu_decode_rate < e1.per_gpu_decode_rate
+
+    def test_aggregate_scales_sublinearly(self):
+        e1 = estimate_offloading_throughput(LLAMA2_13B, L20, num_gpus=1)
+        e4 = estimate_offloading_throughput(LLAMA2_13B, L20, num_gpus=4)
+        # 4 GPUs deliver far less than 4x one GPU: the shared-channel problem.
+        assert e4.aggregate_decode_rate < 3.0 * e1.aggregate_decode_rate
+
+    def test_oversized_model_host_bound(self):
+        e = estimate_offloading_throughput(LLAMA2_70B, L20, num_gpus=4)
+        assert e.gpu_resident_kv_tokens == 0
+        assert e.hbm_hit_fraction == 0.0
+        assert e.per_gpu_decode_rate > 0
+
+    def test_resident_kv_accounted(self):
+        e = estimate_offloading_throughput(LLAMA2_13B, A100, num_gpus=1)
+        assert e.gpu_resident_kv_tokens > 0
+        assert 0.0 < e.hbm_hit_fraction < 1.0
+
+    def test_invalid_gpus(self):
+        with pytest.raises(ValueError):
+            estimate_offloading_throughput(LLAMA2_13B, L20, num_gpus=0)
+
+    def test_paper_claim_parallelism_beats_offloading(self):
+        """Section 2.2.2: offloading is infeasible for high throughput on a
+        multi-GPU node — TD-Pipe's measured rate dwarfs the (optimistic)
+        offloading estimate."""
+        from repro.core import TDPipeEngine
+        from repro.hardware import make_node
+        from repro.predictor import OraclePredictor
+        from repro.workload import generate_requests
+
+        est = estimate_offloading_throughput(QWEN25_32B, L20, num_gpus=4)
+        node = make_node("L20", 4)
+        res = TDPipeEngine(node, QWEN25_32B, OraclePredictor()).run(
+            generate_requests(600, seed=12)
+        )
+        assert res.output_throughput > 3.0 * est.aggregate_decode_rate

@@ -1,0 +1,170 @@
+"""Unit tests for the output-length predictor stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predictor import (
+    ConstantPredictor,
+    OraclePredictor,
+    PercentileBins,
+    SoftmaxClassifier,
+    accumulated_error,
+    accumulated_error_curve,
+    train_length_predictor,
+)
+from repro.workload import Request, build_dataset
+
+
+class TestPercentileBins:
+    def test_fit_basic(self):
+        lengths = np.arange(1, 101, dtype=float)
+        bins = PercentileBins.fit(lengths)
+        assert bins.n_bins == 5
+        assert len(bins.edges) == 4
+        assert list(bins.edges) == sorted(bins.edges)
+
+    def test_bin_of_respects_edges(self):
+        lengths = np.arange(1, 101, dtype=float)
+        bins = PercentileBins.fit(lengths)
+        assert bins.bin_of(1.0) == 0
+        assert bins.bin_of(1e9) == bins.n_bins - 1
+        assert list(bins.bin_of(np.array([10.0, 60.0]))) == [0, 2]
+
+    def test_bin_means_are_in_range(self):
+        lengths = np.random.default_rng(0).lognormal(5, 1, size=1000)
+        bins = PercentileBins.fit(lengths)
+        assert list(bins.bin_means) == sorted(bins.bin_means)
+        assert bins.bin_means[0] >= lengths.min()
+        assert bins.bin_means[-1] <= lengths.max()
+
+    def test_roundtrip_mean_consistency(self):
+        lengths = np.random.default_rng(1).lognormal(5, 1, size=2000)
+        bins = PercentileBins.fit(lengths)
+        labels = bins.bin_of(lengths)
+        for b in range(bins.n_bins):
+            sel = lengths[labels == b]
+            assert bins.bin_means[b] == pytest.approx(sel.mean())
+
+    def test_describe(self):
+        bins = PercentileBins.fit(np.arange(1, 101, dtype=float))
+        desc = bins.describe()
+        assert len(desc) == 5
+        assert desc[-1].endswith("inf)")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PercentileBins.fit(np.array([]))
+
+    def test_unsorted_percentiles_rejected(self):
+        with pytest.raises(ValueError):
+            PercentileBins.fit(np.arange(10.0), percentiles=(50.0, 25.0))
+
+
+class TestSoftmaxClassifier:
+    def test_learns_separable_data(self):
+        rng = np.random.default_rng(0)
+        n = 600
+        y = rng.integers(0, 3, size=n)
+        centres = np.array([[0, 0], [4, 0], [0, 4]], dtype=float)
+        X = centres[y] + rng.normal(scale=0.5, size=(n, 2))
+        clf = SoftmaxClassifier(n_classes=3, epochs=60, seed=0)
+        clf.fit(X, y)
+        assert clf.accuracy(X, y) > 0.95
+
+    def test_predict_proba_normalised(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(50, 4))
+        y = rng.integers(0, 2, size=50)
+        clf = SoftmaxClassifier(n_classes=2, epochs=5, seed=0)
+        clf.fit(X, y)
+        probs = clf.predict_proba(X)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-9)
+        assert (probs >= 0).all()
+
+    def test_unfitted_raises(self):
+        clf = SoftmaxClassifier(n_classes=2)
+        with pytest.raises(RuntimeError):
+            clf.predict(np.zeros((1, 3)))
+
+    def test_label_validation(self):
+        clf = SoftmaxClassifier(n_classes=2)
+        with pytest.raises(ValueError):
+            clf.fit(np.zeros((4, 2)), np.array([0, 1, 2, 0]))
+
+    def test_early_stopping_uses_validation(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(300, 3))
+        y = (X[:, 0] > 0).astype(int)
+        clf = SoftmaxClassifier(n_classes=2, epochs=100, patience=3, seed=0)
+        stats = clf.fit(X[:200], y[:200], X[200:], y[200:])
+        assert stats.epochs_run <= 100
+        assert 0.8 <= stats.best_val_accuracy <= 1.0
+
+
+class TestLengthPredictor:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        splits = build_dataset(total=3000, seed=0)
+        return splits, train_length_predictor(splits.train, splits.val, seed=0)
+
+    def test_accuracy_in_paper_regime(self, trained):
+        splits, predictor = trained
+        acc = predictor.bin_accuracy(splits.test)
+        # Paper Section 4.4.1: 0.52-0.58, well above 0.2 chance.
+        assert acc > 0.40
+
+    def test_predicted_lengths_are_bin_means(self, trained):
+        _, predictor = trained
+        req = Request(request_id=0, prompt_len=100, output_len=50,
+                      features=np.zeros(9))
+        assert predictor.predict_length(req) in list(predictor.bins.bin_means)
+
+    def test_vectorised_matches_scalar(self, trained):
+        splits, predictor = trained
+        some = splits.test[:20]
+        vec = predictor.predict_lengths(some)
+        scal = [predictor.predict_length(r) for r in some]
+        np.testing.assert_allclose(vec, scal)
+
+    def test_accumulated_error_shrinks(self, trained):
+        splits, predictor = trained
+        curve = accumulated_error_curve(
+            predictor, splits.test, group_sizes=(2, 32, 256), seed=0
+        )
+        assert curve.errors[0] > curve.errors[-1]
+        assert curve.errors[-1] < 0.25
+
+    def test_oracle_has_zero_error(self, trained):
+        splits, _ = trained
+        err = accumulated_error(OraclePredictor(), splits.test, group_size=16)
+        assert err == 0.0
+
+    def test_constant_predictor(self):
+        p = ConstantPredictor(123.0)
+        req = Request(request_id=0, prompt_len=10, output_len=5)
+        assert p.predict_length(req) == 123.0
+
+    def test_accumulated_error_validation(self, trained):
+        splits, predictor = trained
+        with pytest.raises(ValueError):
+            accumulated_error(predictor, splits.test, group_size=0)
+        with pytest.raises(ValueError):
+            accumulated_error(predictor, splits.test[:3], group_size=10)
+
+    def test_empty_train_rejected(self):
+        with pytest.raises(ValueError):
+            train_length_predictor([])
+
+
+@settings(max_examples=30, deadline=None)
+@given(lengths=st.lists(st.integers(1, 2000), min_size=10, max_size=300))
+def test_bins_partition_property(lengths):
+    """Property: every length maps to exactly one bin, and bin means are
+    monotone non-decreasing."""
+    arr = np.array(lengths, dtype=float)
+    bins = PercentileBins.fit(arr)
+    labels = bins.bin_of(arr)
+    assert ((0 <= labels) & (labels < bins.n_bins)).all()
+    assert list(bins.bin_means) == sorted(bins.bin_means)

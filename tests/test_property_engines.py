@@ -1,0 +1,84 @@
+"""Engine-level property tests: random workloads, universal invariants.
+
+Hypothesis drives request counts, length mixes and seeds through every
+system; whatever the mix, each engine must complete all requests, conserve
+tokens, release all KV memory, and keep every GPU timeline overlap-free
+(Timeline.record raises on overlap, so completion itself certifies that).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    PPHybridEngine,
+    PPSeparateEngine,
+    TPHybridEngine,
+    TPSeparateEngine,
+)
+from repro.core import TDPipeEngine
+from repro.hardware import make_node
+from repro.models import LLAMA2_13B
+from repro.predictor import OraclePredictor
+from repro.workload import Request
+
+ENGINES = [TPSeparateEngine, TPHybridEngine, PPSeparateEngine, PPHybridEngine]
+
+workloads = st.lists(
+    st.tuples(st.integers(4, 800), st.integers(1, 400)),
+    min_size=1,
+    max_size=25,
+)
+
+
+def build_requests(pairs):
+    return [
+        Request(request_id=i, prompt_len=p, output_len=o)
+        for i, (p, o) in enumerate(pairs)
+    ]
+
+
+@settings(max_examples=12, deadline=None)
+@given(pairs=workloads, engine_idx=st.integers(0, len(ENGINES) - 1))
+def test_baseline_engines_random_workloads(pairs, engine_idx):
+    node = make_node("L20", 2)
+    engine = ENGINES[engine_idx](node, LLAMA2_13B)
+    reqs = build_requests(pairs)
+    result = engine.run(reqs)
+    assert result.completed_requests == len(reqs)
+    assert result.total_output_tokens == sum(o for _, o in pairs)
+    assert engine.block_manager.num_requests == 0
+    assert result.makespan > 0
+
+
+@settings(max_examples=12, deadline=None)
+@given(pairs=workloads, stealing=st.booleans())
+def test_tdpipe_random_workloads(pairs, stealing):
+    node = make_node("L20", 2)
+    engine = TDPipeEngine(node, LLAMA2_13B, OraclePredictor(), work_stealing=stealing)
+    reqs = build_requests(pairs)
+    result = engine.run(reqs)
+    assert result.completed_requests == len(reqs)
+    assert engine.block_manager.num_requests == 0
+    # Phases alternate strictly.
+    phases = [s.phase for s in result.phase_spans]
+    assert all(a != b for a, b in zip(phases, phases[1:]))
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    pairs=workloads,
+    rate=st.floats(0.5, 50.0),
+    seed=st.integers(0, 100),
+)
+def test_tdpipe_online_random_streams(pairs, rate, seed):
+    from repro.workload import with_poisson_arrivals
+
+    node = make_node("L20", 2)
+    engine = TDPipeEngine(node, LLAMA2_13B, OraclePredictor())
+    reqs = with_poisson_arrivals(build_requests(pairs), rate_rps=rate, seed=seed)
+    result = engine.run(reqs)
+    assert result.completed_requests == len(reqs)
+    assert result.latency is not None and result.latency.count == len(reqs)
+    # Nothing finishes before it arrives.
+    for s in engine.finished:
+        assert s.finish_time >= s.request.arrival_time

@@ -1,0 +1,72 @@
+"""Unit tests for comparison reports."""
+
+import pytest
+
+from repro.metrics import ComparisonReport, RunResult
+from repro.sim import TraceRecorder
+
+
+def fake_result(system, throughput, makespan=100.0):
+    tr = TraceRecorder(1)
+    tr[0].record(0.0, makespan * 0.9)
+    total = int(throughput * makespan)
+    return RunResult(
+        system=system,
+        node="4xL20",
+        model="32B",
+        num_devices=4,
+        makespan=makespan,
+        completed_requests=10,
+        total_prompt_tokens=total // 2,
+        total_output_tokens=total - total // 2,
+        trace=tr,
+    )
+
+
+@pytest.fixture()
+def report():
+    r = ComparisonReport(title="test")
+    r.add(fake_result("TP+SB", 1000.0))
+    r.add(fake_result("TD-Pipe", 1500.0))
+    r.add(fake_result("PP+SB", 800.0))
+    return r
+
+
+class TestComparisonReport:
+    def test_best(self, report):
+        assert report.best().system == "TD-Pipe"
+
+    def test_speedup(self, report):
+        assert report.speedup_of_reference_over("TP+SB") == pytest.approx(1.5)
+
+    def test_get_missing(self, report):
+        with pytest.raises(KeyError):
+            report.get("nope")
+
+    def test_render(self, report):
+        out = report.render()
+        assert "TD-Pipe" in out and "1.50x" in out
+
+    def test_markdown(self, report):
+        md = report.to_markdown()
+        assert md.startswith("### test")
+        assert "| TD-Pipe |" in md
+
+    def test_validate_same_workload(self, report):
+        with pytest.raises(ValueError):
+            # 800*100 != 1000*100 totals
+            report.validate_same_workload()
+        ok = ComparisonReport(title="ok")
+        ok.add(fake_result("A", 1000.0))
+        ok.add(fake_result("B", 500.0, makespan=200.0))
+        ok.validate_same_workload()
+
+    def test_empty_best_raises(self):
+        with pytest.raises(ValueError):
+            ComparisonReport(title="x").best()
+
+    def test_missing_reference(self):
+        r = ComparisonReport(title="x", reference_system="TD-Pipe")
+        r.add(fake_result("TP+SB", 100.0))
+        assert r.reference is None
+        assert "TP+SB" in r.render()

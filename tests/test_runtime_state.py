@@ -1,0 +1,86 @@
+"""Unit tests for per-request runtime state transitions."""
+
+import pytest
+
+from repro.runtime import RequestState
+from repro.workload import Request
+
+
+def make_state(prompt=100, output=10):
+    return RequestState(Request(request_id=1, prompt_len=prompt, output_len=output))
+
+
+class TestWholePrefill:
+    def test_complete_prefill_emits_first_token(self):
+        s = make_state(prompt=100, output=10)
+        s.complete_prefill()
+        assert s.kv_len == 100
+        assert s.generated == 1
+        assert s.prompt_complete
+        assert not s.done
+
+    def test_single_token_output_finishes_at_prefill(self):
+        s = make_state(output=1)
+        s.complete_prefill()
+        assert s.done
+
+    def test_decode_steps_to_completion(self):
+        s = make_state(prompt=100, output=3)
+        s.complete_prefill()
+        s.complete_decode_step()
+        s.complete_decode_step()
+        assert s.done
+        assert s.generated == 3
+        assert s.kv_len == 102
+        assert s.remaining_output == 0
+
+
+class TestChunkedPrefill:
+    def test_chunks_accumulate(self):
+        s = make_state(prompt=100, output=5)
+        s.advance_chunk(60)
+        assert s.kv_len == 60 and not s.prompt_complete and s.generated == 0
+        s.advance_chunk(40)
+        assert s.prompt_complete
+        assert s.generated == 1  # final chunk emits the first token
+        assert s.kv_len == 100
+
+    def test_chunk_overrun_rejected(self):
+        s = make_state(prompt=100)
+        with pytest.raises(ValueError):
+            s.advance_chunk(101)
+
+    def test_chunk_after_complete_rejected(self):
+        s = make_state(prompt=10)
+        s.advance_chunk(10)
+        with pytest.raises(ValueError):
+            s.advance_chunk(1)
+
+
+class TestEviction:
+    def test_evict_resets_kv_keeps_generated(self):
+        s = make_state(prompt=100, output=10)
+        s.complete_prefill()
+        s.complete_decode_step()
+        s.complete_decode_step()
+        assert s.generated == 3
+        s.evict()
+        assert s.kv_len == 0
+        assert s.generated == 3  # generated text survives (recompute semantics)
+        assert not s.prompt_complete
+        assert s.restarts == 1
+        # Re-prefill includes the generated tokens as prompt.
+        assert s.prefill_len == 103
+
+    def test_resume_after_evict(self):
+        s = make_state(prompt=100, output=5)
+        s.complete_prefill()
+        s.complete_decode_step()  # generated=2
+        s.evict()
+        s.complete_prefill()  # re-prefill 102 tokens, generated -> 3
+        assert s.kv_len == 102
+        assert s.generated == 3
+        s.complete_decode_step()
+        s.complete_decode_step()
+        assert s.done
+        assert s.kv_len == 104

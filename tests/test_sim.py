@@ -1,0 +1,163 @@
+"""Unit tests for the discrete-event simulation kernel and traces."""
+
+import numpy as np
+import pytest
+
+from repro.sim import SimulationError, Simulator, Timeline, TraceRecorder
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_run_in_insertion_order(self):
+        sim = Simulator()
+        order = []
+        for name in "abc":
+            sim.schedule(1.0, lambda n=name: order.append(n))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        times = []
+
+        def first():
+            times.append(sim.now)
+            sim.schedule(1.0, lambda: times.append(sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert times == [1.0, 2.0]
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(1.0, lambda: fired.append(1))
+        ev.cancel()
+        sim.run()
+        assert fired == []
+        assert sim.pending == 0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_run_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(2))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(1.0, loop)
+
+        sim.schedule(1.0, loop)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+class TestTimeline:
+    def test_busy_time(self):
+        t = Timeline(0)
+        t.record(0.0, 1.0)
+        t.record(2.0, 3.5)
+        assert t.busy_time == pytest.approx(2.5)
+        assert t.end_time == 3.5
+
+    def test_overlap_rejected(self):
+        t = Timeline(0)
+        t.record(0.0, 2.0)
+        with pytest.raises(ValueError):
+            t.record(1.0, 3.0)
+
+    def test_backwards_interval_rejected(self):
+        t = Timeline(0)
+        with pytest.raises(ValueError):
+            t.record(2.0, 1.0)
+
+    def test_busy_between_partial_overlap(self):
+        t = Timeline(0)
+        t.record(0.0, 4.0)
+        assert t.busy_between(1.0, 3.0) == pytest.approx(2.0)
+        assert t.busy_between(3.5, 10.0) == pytest.approx(0.5)
+        assert t.busy_between(5.0, 6.0) == 0.0
+
+    def test_utilization(self):
+        t = Timeline(0)
+        t.record(0.0, 1.0)
+        t.record(3.0, 4.0)
+        assert t.utilization(0.0, 4.0) == pytest.approx(0.5)
+
+    def test_utilization_series(self):
+        t = Timeline(0)
+        t.record(0.0, 1.0)
+        t.record(2.0, 4.0)
+        centres, util = t.utilization_series(window=1.0)
+        assert len(centres) == 4
+        np.testing.assert_allclose(util, [1.0, 0.0, 1.0, 1.0])
+
+    def test_empty_timeline(self):
+        t = Timeline(0)
+        assert t.busy_time == 0.0
+        assert t.utilization() == 0.0
+
+
+class TestTraceRecorder:
+    def test_makespan_across_gpus(self):
+        tr = TraceRecorder(2)
+        tr[0].record(0.0, 1.0)
+        tr[1].record(0.0, 3.0)
+        assert tr.makespan == 3.0
+
+    def test_mean_utilization_and_bubbles(self):
+        tr = TraceRecorder(2)
+        tr[0].record(0.0, 4.0)  # fully busy
+        tr[1].record(0.0, 2.0)  # half busy
+        assert tr.mean_utilization(0.0, 4.0) == pytest.approx(0.75)
+        assert tr.bubble_ratio(0.0, 4.0) == pytest.approx(0.25)
+
+    def test_utilization_series_shape(self):
+        tr = TraceRecorder(3)
+        for i in range(3):
+            tr[i].record(0.0, 10.0)
+        centres, util = tr.utilization_series(window=2.0)
+        assert len(centres) == len(util) == 5
+        np.testing.assert_allclose(util, 1.0)

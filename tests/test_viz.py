@@ -1,0 +1,76 @@
+"""Unit tests for terminal visualisation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.viz import bar_chart, histogram, sparkline, table
+
+
+class TestSparkline:
+    def test_basic(self):
+        s = sparkline([0.0, 0.5, 1.0])
+        assert len(s) == 3
+        assert s[0] == " " and s[-1] == "█"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "███"
+
+    def test_width_resampling(self):
+        s = sparkline(np.linspace(0, 1, 100), width=10)
+        assert len(s) == 10
+
+    def test_explicit_bounds(self):
+        s = sparkline([0.5], lo=0.0, hi=1.0)
+        assert s == "▄"
+
+    def test_clipping_out_of_bounds(self):
+        s = sparkline([2.0], lo=0.0, hi=1.0)
+        assert s == "█"
+
+
+class TestBarChart:
+    def test_alignment_and_scaling(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0], width=4)
+        lines = out.splitlines()
+        assert lines[0].startswith("a  |##")
+        assert lines[1].startswith("bb |####")
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert bar_chart([], []) == ""
+
+    def test_unit_suffix(self):
+        out = bar_chart(["x"], [3.0], width=2, unit=" tok/s")
+        assert "tok/s" in out
+
+
+class TestTable:
+    def test_render(self):
+        out = table(["name", "v"], [["alpha", 1], ["b", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "alpha" in lines[2]
+        # Columns align.
+        assert lines[2].index("|") == lines[3].index("|")
+
+    def test_empty_rows(self):
+        out = table(["a", "b"], [])
+        lines = out.splitlines()
+        assert "a" in lines[0] and set(lines[1]) <= {"-", "+"}
+
+
+class TestHistogram:
+    def test_counts_sum(self):
+        vals = np.random.default_rng(0).normal(size=200)
+        out = histogram(vals, bins=5)
+        counts = [int(line.rsplit(" ", 1)[-1]) for line in out.splitlines()]
+        assert sum(counts) == 200
+
+    def test_empty(self):
+        assert histogram([]) == "(empty)"

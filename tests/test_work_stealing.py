@@ -1,0 +1,119 @@
+"""Unit + property tests for Approach 2 (inter-batch work stealing)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import WorkStealingBalancer
+
+
+class TestInitBatches:
+    def test_equal_division(self):
+        b = WorkStealingBalancer(window_size=4)
+        batches = b.init_batches(list(range(512)), 4)
+        assert [len(x) for x in batches] == [128, 128, 128, 128]
+        assert b.withheld_count == 0
+
+    def test_uneven_division(self):
+        b = WorkStealingBalancer(window_size=4)
+        batches = b.init_batches(list(range(10)), 4)
+        assert sorted(len(x) for x in batches) == [2, 2, 3, 3]
+
+    def test_overflow_withheld(self):
+        b = WorkStealingBalancer(window_size=2, max_batch_size=4)
+        batches = b.init_batches(list(range(12)), 2)
+        assert [len(x) for x in batches] == [4, 4]
+        assert b.withheld_count == 4
+
+    def test_invalid(self):
+        b = WorkStealingBalancer(window_size=4)
+        with pytest.raises(ValueError):
+            b.init_batches([1], 0)
+        with pytest.raises(ValueError):
+            WorkStealingBalancer(window_size=0)
+
+
+class TestFigure9Example:
+    """The paper's worked 4-stage example (Section 3.4, Figure 9)."""
+
+    def test_first_rounds(self):
+        b = WorkStealingBalancer(window_size=4, max_batch_size=1000)
+        batches = b.init_batches(list(range(512)), 4)
+        # Batch 0 returns with 48 finished -> 80 left; average
+        # (4*128 - 48)/4 = 116 -> below average, all resubmitted.
+        out0 = b.on_batch_return(batches[0][:80], n_finished=48)
+        assert len(out0) == 80
+        # Batch 1 returns with 8 finished -> 120 left; window now
+        # [128,128,128,80]: average (464-8)/4 = 114 -> steal 6.
+        out1 = b.on_batch_return(batches[1][:120], n_finished=8)
+        assert len(out1) == 114
+        assert b.withheld_count == 6
+        assert b.steals == 6
+
+    def test_withheld_redistributed(self):
+        b = WorkStealingBalancer(window_size=4, max_batch_size=1000)
+        b.init_batches(list(range(400)), 4)
+        b.on_batch_return(list(range(150)), n_finished=0)  # above avg -> steals
+        stolen = b.withheld_count
+        assert stolen > 0
+        out = b.on_batch_return(list(range(60)), n_finished=0)  # below avg
+        assert len(out) > 60  # supplemented from the withheld pool
+        assert b.supplements > 0
+
+
+class TestDisabledMode:
+    def test_no_stealing_when_disabled(self):
+        b = WorkStealingBalancer(window_size=4, enabled=False)
+        b.init_batches(list(range(512)), 4)
+        out = b.on_batch_return(list(range(128)), n_finished=64)
+        assert len(out) == 128  # untouched
+        assert b.steals == 0
+
+    def test_disabled_still_drains_overflow(self):
+        b = WorkStealingBalancer(window_size=2, max_batch_size=4, enabled=False)
+        b.init_batches(list(range(12)), 2)
+        out = b.on_batch_return(list(range(2)), n_finished=2)
+        assert len(out) == 4  # topped up to the cap from phase-start overflow
+
+
+class TestCaps:
+    def test_never_exceeds_max_batch(self):
+        b = WorkStealingBalancer(window_size=2, max_batch_size=10)
+        b.init_batches(list(range(30)), 2)
+        out = b.on_batch_return(list(range(5)), n_finished=5)
+        assert len(out) <= 10
+
+    def test_drain_withheld(self):
+        b = WorkStealingBalancer(window_size=2, max_batch_size=4)
+        b.init_batches(list(range(12)), 2)
+        drained = b.drain_withheld()
+        assert len(drained) == 4
+        assert b.withheld_count == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    n_items=st.integers(1, 400),
+    n_batches=st.integers(1, 8),
+    rounds=st.lists(st.tuples(st.integers(0, 7), st.integers(0, 30)), max_size=40),
+)
+def test_conservation_property(n_items, n_batches, rounds):
+    """Property: stealing never loses or duplicates a request."""
+    b = WorkStealingBalancer(window_size=n_batches, max_batch_size=64)
+    items = list(range(n_items))
+    batches = b.init_batches(items, n_batches)
+    finished: set[int] = set()
+    for batch_idx, n_fin in rounds:
+        batch_idx %= len(batches)
+        batch = batches[batch_idx]
+        n_fin = min(n_fin, len(batch))
+        finished.update(batch[:n_fin])
+        survivors = batch[n_fin:]
+        batches[batch_idx] = b.on_batch_return(list(survivors), n_finished=n_fin)
+        # Conservation: everything is finished, in a batch, or withheld.
+        in_batches = [x for bt in batches for x in bt]
+        withheld = list(b._withheld)  # peek without draining
+        everything = sorted([*finished, *in_batches, *withheld])
+        assert everything == sorted(items)
+        # No batch exceeds the cap.
+        assert all(len(bt) <= 64 for bt in batches)

@@ -1,0 +1,136 @@
+"""Unit tests for the synthetic ShareGPT-like workload generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload import (
+    Request,
+    ShareGPTSynthesizer,
+    build_dataset,
+    generate_requests,
+    sample_eval_requests,
+)
+
+
+class TestRequest:
+    def test_total_len(self):
+        r = Request(request_id=0, prompt_len=10, output_len=5)
+        assert r.total_len == 15
+
+    def test_invalid_lengths(self):
+        with pytest.raises(ValueError):
+            Request(request_id=0, prompt_len=0, output_len=5)
+        with pytest.raises(ValueError):
+            Request(request_id=0, prompt_len=5, output_len=0)
+
+    def test_identity_semantics(self):
+        a = Request(request_id=0, prompt_len=10, output_len=5)
+        b = Request(request_id=0, prompt_len=10, output_len=5)
+        assert a != b and a == a
+        assert len({a, b}) == 2
+
+
+class TestSynthesizer:
+    def test_deterministic(self):
+        a = generate_requests(50, seed=3)
+        b = generate_requests(50, seed=3)
+        assert [(r.prompt_len, r.output_len, r.intent) for r in a] == [
+            (r.prompt_len, r.output_len, r.intent) for r in b
+        ]
+        np.testing.assert_array_equal(a[0].features, b[0].features)
+
+    def test_seeds_differ(self):
+        a = generate_requests(50, seed=1)
+        b = generate_requests(50, seed=2)
+        assert [r.output_len for r in a] != [r.output_len for r in b]
+
+    def test_input_length_filtering(self):
+        # The paper filters inputs < 1024 tokens.
+        reqs = generate_requests(2000, seed=0)
+        lens = [r.prompt_len for r in reqs]
+        assert max(lens) <= 1024
+        assert min(lens) >= 4
+
+    def test_sharegpt_like_means(self):
+        reqs = generate_requests(5000, seed=0)
+        mean_in = np.mean([r.prompt_len for r in reqs])
+        mean_out = np.mean([r.output_len for r in reqs])
+        # ShareGPT-like marginals: a couple hundred tokens each way.
+        assert 120 <= mean_in <= 320
+        assert 150 <= mean_out <= 400
+
+    def test_output_lengths_heavy_tailed(self):
+        reqs = generate_requests(5000, seed=0)
+        outs = np.array([r.output_len for r in reqs])
+        assert np.percentile(outs, 99) > 4 * np.median(outs)
+
+    def test_intents_correlate_with_length(self):
+        reqs = generate_requests(5000, seed=0)
+        by_intent: dict[int, list[int]] = {}
+        for r in reqs:
+            by_intent.setdefault(r.intent, []).append(r.output_len)
+        medians = [np.median(v) for _, v in sorted(by_intent.items())]
+        assert medians == sorted(medians)  # profiles are ordered by length
+
+    def test_feature_shape(self):
+        synth = ShareGPTSynthesizer(seed=0, feature_dim=8)
+        reqs = synth.generate(10)
+        assert all(r.features.shape == (9,) for r in reqs)  # +1 length feature
+
+    def test_id_offset(self):
+        synth = ShareGPTSynthesizer(seed=0)
+        reqs = synth.generate(5, id_offset=100)
+        assert [r.request_id for r in reqs] == [100, 101, 102, 103, 104]
+
+    def test_invalid_weights(self):
+        from repro.workload.sharegpt import IntentProfile
+
+        with pytest.raises(ValueError):
+            ShareGPTSynthesizer(
+                seed=0, intents=(IntentProfile("x", 0.5, 100, 0.3, 0.0),)
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(0, 200), seed=st.integers(0, 10_000))
+    def test_generate_any_size(self, n, seed):
+        reqs = ShareGPTSynthesizer(seed=seed).generate(n)
+        assert len(reqs) == n
+        assert all(1 <= r.output_len <= 2048 for r in reqs)
+        assert all(4 <= r.prompt_len <= 1024 for r in reqs)
+
+
+class TestDataset:
+    def test_split_proportions(self):
+        splits = build_dataset(total=1000, seed=0)
+        assert len(splits.train) == 600
+        assert len(splits.val) == 200
+        assert len(splits.test) == 200
+        assert splits.total == 1000
+
+    def test_split_disjoint_ids(self):
+        splits = build_dataset(total=300, seed=0)
+        ids = {r.request_id for r in splits.train + splits.val + splits.test}
+        assert len(ids) == 300
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ValueError):
+            build_dataset(total=100, train_frac=0.9, val_frac=0.2)
+
+    def test_sample_eval_requests(self):
+        splits = build_dataset(total=500, seed=0)
+        sample = sample_eval_requests(splits, n=50, seed=1)
+        assert len(sample) == 50
+        assert [r.request_id for r in sample] == list(range(50))  # fresh ids
+
+    def test_sample_with_replacement_when_small(self):
+        splits = build_dataset(total=100, seed=0)
+        sample = sample_eval_requests(splits, n=50, seed=1)
+        assert len(sample) == 50
+
+    def test_sample_deterministic(self):
+        splits = build_dataset(total=500, seed=0)
+        a = sample_eval_requests(splits, n=50, seed=1)
+        b = sample_eval_requests(splits, n=50, seed=1)
+        assert [r.output_len for r in a] == [r.output_len for r in b]
