@@ -18,10 +18,11 @@ DESIGN.md for the system inventory.
 """
 
 from .baselines import PPHybridEngine, PPSeparateEngine, TPHybridEngine, TPSeparateEngine
+from .cluster import ClusterEngine
 from .core import TDPipeEngine
 from .hardware import A100, A100_NODE, L20, L20_NODE, GPUSpec, NodeSpec, make_node
 from .kvcache import BlockManager, OutOfMemoryError, kv_token_capacity
-from .metrics import RunResult
+from .metrics import ClusterResult, RunResult
 from .models import LLAMA2_13B, LLAMA2_70B, QWEN25_32B, ModelSpec, get_model
 from .predictor import (
     ConstantPredictor,
@@ -42,6 +43,7 @@ __all__ = [
     "TPHybridEngine",
     "PPSeparateEngine",
     "PPHybridEngine",
+    "ClusterEngine",
     "EngineConfig",
     # hardware
     "GPUSpec",
@@ -72,4 +74,5 @@ __all__ = [
     "train_length_predictor",
     # results
     "RunResult",
+    "ClusterResult",
 ]

@@ -22,7 +22,7 @@ from ..runtime.base_engine import InferenceEngine
 from ..runtime.config import EngineConfig
 from ..runtime.state import RequestState
 from ..runtime.tasks import BatchTask
-from ..sim.engine import SimulationError
+from ..sim.engine import SimulationError, Simulator
 
 __all__ = ["HybridBatchingEngine", "TPHybridEngine", "PPHybridEngine"]
 
@@ -48,8 +48,11 @@ class HybridBatchingEngine(InferenceEngine):
         model: ModelSpec,
         parallel: str,
         config: EngineConfig | None = None,
+        sim: Simulator | None = None,
     ) -> None:
-        super().__init__(node, model, parallel=parallel, config=config, async_transfer=False)
+        super().__init__(
+            node, model, parallel=parallel, config=config, async_transfer=False, sim=sim
+        )
         self.streams = [_Stream(i) for i in range(self.num_stages)]
 
     # ------------------------------------------------------------------ #
@@ -177,8 +180,14 @@ class TPHybridEngine(HybridBatchingEngine):
 
     system_name = "TP+HB"
 
-    def __init__(self, node: NodeSpec, model: ModelSpec, config: EngineConfig | None = None):
-        super().__init__(node, model, parallel="tp", config=config)
+    def __init__(
+        self,
+        node: NodeSpec,
+        model: ModelSpec,
+        config: EngineConfig | None = None,
+        sim: Simulator | None = None,
+    ):
+        super().__init__(node, model, parallel="tp", config=config, sim=sim)
 
 
 class PPHybridEngine(HybridBatchingEngine):
@@ -186,5 +195,11 @@ class PPHybridEngine(HybridBatchingEngine):
 
     system_name = "PP+HB"
 
-    def __init__(self, node: NodeSpec, model: ModelSpec, config: EngineConfig | None = None):
-        super().__init__(node, model, parallel="pp", config=config)
+    def __init__(
+        self,
+        node: NodeSpec,
+        model: ModelSpec,
+        config: EngineConfig | None = None,
+        sim: Simulator | None = None,
+    ):
+        super().__init__(node, model, parallel="pp", config=config, sim=sim)

@@ -24,7 +24,7 @@ from ..runtime.base_engine import InferenceEngine
 from ..runtime.config import EngineConfig
 from ..runtime.state import RequestState
 from ..runtime.tasks import PREFILL, BatchTask
-from ..sim.engine import SimulationError
+from ..sim.engine import SimulationError, Simulator
 
 __all__ = ["SeparateBatchingEngine", "TPSeparateEngine", "PPSeparateEngine"]
 
@@ -49,9 +49,12 @@ class SeparateBatchingEngine(InferenceEngine):
         model: ModelSpec,
         parallel: str,
         config: EngineConfig | None = None,
+        sim: Simulator | None = None,
     ) -> None:
         # Baseline pipelines use blocking device-to-device sends (Section 3.2).
-        super().__init__(node, model, parallel=parallel, config=config, async_transfer=False)
+        super().__init__(
+            node, model, parallel=parallel, config=config, async_transfer=False, sim=sim
+        )
         n_streams = self.num_stages
         self.streams = [_Stream(i) for i in range(n_streams)]
 
@@ -148,8 +151,14 @@ class TPSeparateEngine(SeparateBatchingEngine):
 
     system_name = "TP+SB"
 
-    def __init__(self, node: NodeSpec, model: ModelSpec, config: EngineConfig | None = None):
-        super().__init__(node, model, parallel="tp", config=config)
+    def __init__(
+        self,
+        node: NodeSpec,
+        model: ModelSpec,
+        config: EngineConfig | None = None,
+        sim: Simulator | None = None,
+    ):
+        super().__init__(node, model, parallel="tp", config=config, sim=sim)
 
 
 class PPSeparateEngine(SeparateBatchingEngine):
@@ -157,5 +166,11 @@ class PPSeparateEngine(SeparateBatchingEngine):
 
     system_name = "PP+SB"
 
-    def __init__(self, node: NodeSpec, model: ModelSpec, config: EngineConfig | None = None):
-        super().__init__(node, model, parallel="pp", config=config)
+    def __init__(
+        self,
+        node: NodeSpec,
+        model: ModelSpec,
+        config: EngineConfig | None = None,
+        sim: Simulator | None = None,
+    ):
+        super().__init__(node, model, parallel="pp", config=config, sim=sim)

@@ -8,6 +8,8 @@ Examples
     tdpipe-bench fig11 --scale 0.2
     tdpipe-bench fig11 --full          # the paper's 5,000-request scale
     tdpipe-bench all --scale 0.1
+    tdpipe-bench cluster --scale 0.05             # full routing sweep
+    tdpipe-bench cluster --replicas 4 --router phase-aware --rate 8
 """
 
 from __future__ import annotations
@@ -16,7 +18,10 @@ import argparse
 import sys
 import time
 
+from .cluster.routing import ROUTERS
 from .experiments import (
+    SYSTEMS,
+    cluster_scaling,
     fig01_schedules,
     default_scale,
     fig02_utilization,
@@ -33,6 +38,7 @@ from .experiments import (
 __all__ = ["main"]
 
 _SCALED = {
+    "cluster": (cluster_scaling.run, cluster_scaling.format_results),
     "fig01": (fig01_schedules.run, fig01_schedules.format_results),
     "fig02": (fig02_utilization.run, fig02_utilization.format_results),
     "fig11": (fig11_overall.run, fig11_overall.format_results),
@@ -75,9 +81,46 @@ def main(argv: list[str] | None = None) -> int:
         "--full", action="store_true", help="run at the paper's full scale (scale=1.0)"
     )
     parser.add_argument("--seed", type=int, default=0, help="workload/predictor seed")
+    cluster_opts = parser.add_argument_group(
+        "cluster", "single-configuration mode for the `cluster` experiment"
+    )
+    cluster_opts.add_argument(
+        "--replicas", type=int, default=None, help="replica count (skips the sweep)"
+    )
+    cluster_opts.add_argument(
+        "--router", default=None, choices=ROUTERS,
+        help="routing policy (skips the sweep)",
+    )
+    cluster_opts.add_argument(
+        "--rate", type=float, default=None,
+        help="cluster-wide arrival rate in req/s (default 8.0)",
+    )
+    cluster_opts.add_argument(
+        "--system", default=None, choices=SYSTEMS,
+        help="replica system (default TD-Pipe)",
+    )
     args = parser.parse_args(argv)
 
+    cluster_flags = (args.replicas, args.router, args.rate, args.system)
+    if args.experiment != "cluster" and any(v is not None for v in cluster_flags):
+        parser.error("--replicas/--router/--rate/--system only apply to `cluster`")
+
     scale = default_scale(factor=1.0 if args.full else args.scale, seed=args.seed)
+    single_cluster = args.experiment == "cluster" and any(
+        v is not None for v in cluster_flags
+    )
+    if single_cluster:
+        rate = 8.0 if args.rate is None else args.rate
+        row = cluster_scaling.run_single(
+            scale=scale,
+            system=args.system or "TD-Pipe",
+            replicas=4 if args.replicas is None else args.replicas,
+            router=args.router or "phase-aware",
+            rate_rps=rate,
+        )
+        print(f"arrival rate: {rate:.1f} req/s (Poisson, cluster-wide)")
+        print(row["result"].summary())
+        return 0
     names = sorted([*_SCALED, *_STATIC]) if args.experiment == "all" else [args.experiment]
     for name in names:
         t0 = time.time()

@@ -1,0 +1,67 @@
+"""Cluster-scale serving: replicated engines behind a request router.
+
+The paper's TD-Pipe engine is a single-node system.  This package scales the
+reproduction to the fleet level: a :class:`ClusterEngine` instantiates N
+independent replica engines — any of the five systems, mixable — on **one
+shared simulator clock**, so cross-replica event ordering is deterministic
+and cluster metrics (pooled tail latency, per-replica utilisation imbalance)
+are measured on a common timeline.
+
+API
+---
+:class:`ClusterEngine`
+    ``ClusterEngine(factories, router=...)`` where each factory is
+    ``Callable[[Simulator], InferenceEngine]``; ``run(requests)`` routes every
+    request at its arrival instant and returns a
+    :class:`~repro.metrics.cluster.ClusterResult`.  The convenience wrapper
+    :func:`repro.experiments.common.run_cluster` builds homogeneous (or
+    mixed) clusters by system name.
+
+Routing policies (:mod:`repro.cluster.routing`)
+-----------------------------------------------
+``round-robin``
+    Cycle through replicas, load-blind.  The baseline any smarter policy
+    must beat.
+``jsq``
+    Join-shortest-queue: fewest in-system (waiting + resident) requests.
+``least-kv``
+    Most free KV-cache headroom; avoids replicas whose block pools are near
+    the watermark (imminent admission stalls / recompute evictions).
+``phase-aware``
+    TD-Pipe-specific: combines the JSQ load score with a penalty for
+    replicas currently in their *decode* phase (which will not admit new
+    prefills until their decode-switch fires), modulated by the output-length
+    predictor — prefill-heavy requests avoid decode-phase replicas hardest.
+``static``
+    Fixed request->replica map for pre-sharded workloads
+    (:func:`repro.workload.split_round_robin`); not part of the sweep set.
+
+All policies are deterministic; load-aware policies rotate round-robin among
+score-tied replicas (a fixed tie-break would herd every idle-cluster tie onto
+replica 0).
+"""
+
+from .engine import ClusterEngine, ReplicaFactory
+from .routing import (
+    ROUTERS,
+    JoinShortestQueueRouter,
+    LeastLoadedKVRouter,
+    PhaseAwareRouter,
+    RoundRobinRouter,
+    Router,
+    StaticRouter,
+    make_router,
+)
+
+__all__ = [
+    "ClusterEngine",
+    "ReplicaFactory",
+    "Router",
+    "RoundRobinRouter",
+    "JoinShortestQueueRouter",
+    "LeastLoadedKVRouter",
+    "PhaseAwareRouter",
+    "StaticRouter",
+    "ROUTERS",
+    "make_router",
+]

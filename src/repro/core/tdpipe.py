@@ -28,7 +28,7 @@ from ..runtime.config import EngineConfig
 from ..runtime.state import RequestState
 from ..runtime.tasks import PREFILL, BatchTask
 from ..metrics.results import PhaseSpan
-from ..sim.engine import SimulationError
+from ..sim.engine import SimulationError, Simulator
 from .policies import (
     DecodeSwitchPolicy,
     GreedyPrefillPolicy,
@@ -54,9 +54,12 @@ class TDPipeEngine(InferenceEngine):
         prefill_policy: PrefillSwitchPolicy | None = None,
         decode_policy: DecodeSwitchPolicy | None = None,
         work_stealing: bool = True,
+        sim: Simulator | None = None,
     ) -> None:
         # Hierarchy-controller: asynchronous P2P transfers (Section 3.2).
-        super().__init__(node, model, parallel="pp", config=config, async_transfer=True)
+        super().__init__(
+            node, model, parallel="pp", config=config, async_transfer=True, sim=sim
+        )
         self.predictor = predictor
         self.prefill_policy = prefill_policy or GreedyPrefillPolicy()
         self.decode_policy = decode_policy or IntensityPolicy()
@@ -96,19 +99,28 @@ class TDPipeEngine(InferenceEngine):
     # ------------------------------------------------------------------ #
     # Phase bookkeeping.
     # ------------------------------------------------------------------ #
+    def _close_phase(self, end: float) -> None:
+        # Zero-duration spans are idle artifacts (e.g. a replica bootstrapped
+        # empty enters prefill at t=0 and immediately idles): drop them so
+        # phase metrics only ever describe executed work.
+        if self.phase is not None and end > self._phase_started_at:
+            self.phase_spans.append(PhaseSpan(self.phase, self._phase_started_at, end))
+        self.phase = None
+
     def _phase_start(self, phase: str) -> None:
         now = self.sim.now
-        if self.phase is not None:
-            self.phase_spans.append(PhaseSpan(self.phase, self._phase_started_at, now))
+        self._close_phase(now)
         self.phase = phase
         self._phase_started_at = now
 
     def _finalize_phases(self) -> None:
-        if self.phase is not None:
-            self.phase_spans.append(
-                PhaseSpan(self.phase, self._phase_started_at, self.trace.makespan)
-            )
-            self.phase = None
+        self._close_phase(self.trace.makespan)
+
+    def _on_run_end(self) -> None:
+        # On a shared (cluster) clock `sim.pending` counts other replicas'
+        # events too, so the in-loop finalize check may never fire; close the
+        # last span here instead.
+        self._finalize_phases()
 
     # ------------------------------------------------------------------ #
     # Bootstrap / dispatch.
@@ -193,7 +205,9 @@ class TDPipeEngine(InferenceEngine):
                 self._enter_prefill()
                 return
             # Locally complete; future arrivals (if any) will wake us up.
+            # Close the open phase so idle time is never attributed to it.
             self._idle = True
+            self._finalize_phases()
             return
         self._phase_start("decode")
         self.decode_policy.reset_phase(self)

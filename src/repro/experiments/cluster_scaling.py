@@ -1,0 +1,120 @@
+"""Cluster scaling sweep: replicas × routing policy × arrival rate.
+
+The single-node experiments reproduce the paper; this sweep asks the
+question the paper's production deployment would face next: given N TD-Pipe
+replicas behind a router, which routing policy holds the p99 TTFT down as
+the arrival rate climbs?  Temporal disaggregation couples routing to phase
+state (see :class:`repro.cluster.routing.PhaseAwareRouter`), so the policies
+separate most clearly at high load on the memory-tight L20/32B combination.
+
+Arrival rates are specified *per replica* so both fleet sizes are driven at
+the same load factor; the table reports the cluster-wide rate.
+"""
+
+from __future__ import annotations
+
+from ..cluster.routing import ROUTERS
+from .common import ExperimentScale, default_scale, run_cluster
+
+__all__ = [
+    "REPLICA_COUNTS",
+    "RATES_PER_REPLICA",
+    "run",
+    "run_single",
+    "format_results",
+]
+
+REPLICA_COUNTS = (2, 4)
+
+#: Requests per second per replica: light load, near saturation, overload.
+RATES_PER_REPLICA = (0.5, 2.0, 3.0)
+
+
+def run_single(
+    scale: ExperimentScale | None = None,
+    system: str = "TD-Pipe",
+    node: str = "L20",
+    model: str = "32B",
+    replicas: int = 4,
+    router: str = "phase-aware",
+    rate_rps: float | None = 8.0,
+) -> dict:
+    """One cluster configuration -> one result row."""
+    scale = scale or default_scale()
+    result = run_cluster(
+        system,
+        node,
+        model,
+        replicas=replicas,
+        router=router,
+        rate_rps=rate_rps,
+        scale=scale,
+    )
+    lat = result.latency
+    return {
+        "system": system,
+        "replicas": replicas,
+        "router": router,
+        "rate_rps": rate_rps,
+        "ttft_p50": lat.ttft_p50,
+        "ttft_p99": lat.ttft_p99,
+        "tpot_p99": lat.tpot_p99,
+        "goodput": result.goodput,
+        "throughput": result.throughput,
+        "util_imbalance": result.utilization_imbalance,
+        "result": result,
+    }
+
+
+def run(
+    scale: ExperimentScale | None = None,
+    system: str = "TD-Pipe",
+    node: str = "L20",
+    model: str = "32B",
+    replica_counts: tuple[int, ...] = REPLICA_COUNTS,
+    routers: tuple[str, ...] = ROUTERS,
+    rates_per_replica: tuple[float, ...] = RATES_PER_REPLICA,
+) -> list[dict]:
+    """The full replicas × router × rate sweep (one list of rows)."""
+    scale = scale or default_scale()
+    rows = []
+    for replicas in replica_counts:
+        for rate in rates_per_replica:
+            for router in routers:
+                rows.append(
+                    run_single(
+                        scale=scale,
+                        system=system,
+                        node=node,
+                        model=model,
+                        replicas=replicas,
+                        router=router,
+                        rate_rps=rate * replicas,
+                    )
+                )
+    return rows
+
+
+def format_results(rows: list[dict]) -> str:
+    """Aligned table, grouped by (replicas, rate); best p99 TTFT starred."""
+    lines = [
+        "Cluster scaling: replicas x router x arrival rate "
+        f"({rows[0]['system']} replicas)" if rows else "no results",
+        f"{'repl':>4} {'rate':>6} {'router':<12} {'TTFT p50':>9} {'TTFT p99':>9} "
+        f"{'TPOT p99':>9} {'goodput':>8} {'tok/s':>8} {'imbal':>6}",
+    ]
+    groups: dict[tuple[int, float], list[dict]] = {}
+    for row in rows:
+        groups.setdefault((row["replicas"], row["rate_rps"]), []).append(row)
+    for (replicas, rate), group in groups.items():
+        best = min(r["ttft_p99"] for r in group)
+        for row in group:
+            star = "*" if row["ttft_p99"] == best else " "
+            lines.append(
+                f"{replicas:>4} {rate:>6.1f} {row['router']:<12} "
+                f"{row['ttft_p50']:>8.2f}s {row['ttft_p99']:>7.2f}s{star} "
+                f"{row['tpot_p99'] * 1e3:>7.1f}ms {row['goodput']:>8.2f} "
+                f"{row['throughput']:>8.1f} {row['util_imbalance'] * 100:>5.1f}%"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()

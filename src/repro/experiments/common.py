@@ -11,16 +11,24 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from functools import lru_cache
 
+from typing import Sequence
+
 from ..baselines import PPHybridEngine, PPSeparateEngine, TPHybridEngine, TPSeparateEngine
+from ..cluster import ClusterEngine
+from ..cluster.routing import Router, make_router
 from ..core import TDPipeEngine
 from ..core.policies import DecodeSwitchPolicy, PrefillSwitchPolicy
 from ..hardware.node import NodeSpec, make_node
 from ..kvcache.capacity import OutOfMemoryError
+from ..metrics.cluster import ClusterResult
 from ..metrics.results import RunResult
 from ..models.spec import ModelSpec, get_model
 from ..predictor import LengthPredictor, OutputLengthPredictor, train_length_predictor
+from ..runtime.base_engine import InferenceEngine
 from ..runtime.config import EngineConfig
+from ..sim.engine import Simulator
 from ..workload import DatasetSplits, Request, build_dataset, sample_eval_requests
+from ..workload.arrivals import with_poisson_arrivals
 
 __all__ = [
     "SYSTEMS",
@@ -30,7 +38,9 @@ __all__ = [
     "get_dataset",
     "get_predictor",
     "eval_requests",
+    "build_engine",
     "run_system",
+    "run_cluster",
     "OOM",
 ]
 
@@ -99,6 +109,42 @@ def eval_requests(scale: ExperimentScale) -> list[Request]:
     return sample_eval_requests(get_dataset(scale), n=scale.eval_requests, seed=scale.seed)
 
 
+def build_engine(
+    system: str,
+    node: NodeSpec,
+    model: ModelSpec,
+    predictor: OutputLengthPredictor | None = None,
+    config: EngineConfig | None = None,
+    prefill_policy: PrefillSwitchPolicy | None = None,
+    decode_policy: DecodeSwitchPolicy | None = None,
+    work_stealing: bool = True,
+    sim: Simulator | None = None,
+) -> InferenceEngine:
+    """Construct one engine by system name (``sim`` shares a cluster clock)."""
+    if system == "TP+SB":
+        return TPSeparateEngine(node, model, config=config, sim=sim)
+    if system == "TP+HB":
+        return TPHybridEngine(node, model, config=config, sim=sim)
+    if system == "PP+SB":
+        return PPSeparateEngine(node, model, config=config, sim=sim)
+    if system == "PP+HB":
+        return PPHybridEngine(node, model, config=config, sim=sim)
+    if system == "TD-Pipe":
+        if predictor is None:
+            raise ValueError("TD-Pipe requires a length predictor")
+        return TDPipeEngine(
+            node,
+            model,
+            predictor=predictor,
+            config=config,
+            prefill_policy=prefill_policy,
+            decode_policy=decode_policy,
+            work_stealing=work_stealing,
+            sim=sim,
+        )
+    raise ValueError(f"unknown system {system!r}; options: {SYSTEMS}")
+
+
 def run_system(
     system: str,
     node: NodeSpec | str,
@@ -126,24 +172,82 @@ def run_system(
         model = get_model(model)
     if requests is None:
         requests = eval_requests(scale)
-    if system == "TP+SB":
-        engine = TPSeparateEngine(node, model, config=config)
-    elif system == "TP+HB":
-        engine = TPHybridEngine(node, model, config=config)
-    elif system == "PP+SB":
-        engine = PPSeparateEngine(node, model, config=config)
-    elif system == "PP+HB":
-        engine = PPHybridEngine(node, model, config=config)
-    elif system == "TD-Pipe":
-        engine = TDPipeEngine(
+    if system == "TD-Pipe" and predictor is None:
+        predictor = get_predictor(scale)
+    engine = build_engine(
+        system,
+        node,
+        model,
+        predictor=predictor,
+        config=config,
+        prefill_policy=prefill_policy,
+        decode_policy=decode_policy,
+        work_stealing=work_stealing,
+    )
+    return engine.run(requests)
+
+
+def run_cluster(
+    system: str | Sequence[str],
+    node: NodeSpec | str = "L20",
+    model: ModelSpec | str = "13B",
+    replicas: int = 4,
+    router: str | Router = "round-robin",
+    requests: list[Request] | None = None,
+    rate_rps: float | None = None,
+    scale: ExperimentScale | None = None,
+    num_gpus: int | None = None,
+    config: EngineConfig | None = None,
+    predictor: OutputLengthPredictor | None = None,
+    work_stealing: bool = True,
+) -> ClusterResult:
+    """Run a replicated cluster of ``system`` engines behind ``router``.
+
+    ``system`` may be one name (homogeneous fleet) or a sequence of
+    ``replicas`` names (mixed fleet).  ``rate_rps`` stamps Poisson arrivals
+    (cluster-wide rate) onto the workload; without it the workload's own
+    arrival times are used (the paper's offline setting if they are all 0).
+    Every replica shares one simulator clock, so results are deterministic
+    for a fixed seed/config.
+
+    >>> run_cluster("TD-Pipe", "L20", "13B", replicas=4, router="phase-aware",
+    ...             rate_rps=8.0)                       # doctest: +SKIP
+    """
+    scale = scale or default_scale()
+    if isinstance(node, str):
+        node = make_node(node, num_gpus or 4)
+    elif num_gpus is not None and node.num_gpus != num_gpus:
+        node = node.with_num_gpus(num_gpus)
+    if isinstance(model, str):
+        model = get_model(model)
+    if isinstance(system, str):
+        systems = [system] * replicas
+    else:
+        systems = list(system)
+        if len(systems) != replicas:
+            raise ValueError(
+                f"got {len(systems)} system names for {replicas} replicas"
+            )
+    if predictor is None and ("TD-Pipe" in systems or router == "phase-aware"):
+        predictor = get_predictor(scale)
+    if requests is None:
+        requests = eval_requests(scale)
+    if rate_rps is not None:
+        requests = with_poisson_arrivals(requests, rate_rps, seed=scale.seed)
+
+    factories = [
+        lambda sim, name=name: build_engine(
+            name,
             node,
             model,
-            predictor=predictor or get_predictor(scale),
+            predictor=predictor,
             config=config,
-            prefill_policy=prefill_policy,
-            decode_policy=decode_policy,
             work_stealing=work_stealing,
+            sim=sim,
         )
-    else:
-        raise ValueError(f"unknown system {system!r}; options: {SYSTEMS}")
-    return engine.run(requests)
+        for name in systems
+    ]
+    if isinstance(router, str):
+        router = make_router(router, predictor=predictor)
+    cluster = ClusterEngine(factories, router=router)
+    return cluster.run(requests)

@@ -1,11 +1,13 @@
 """Metrics: run results, throughput, utilisation and KV-usage logs."""
 
+from .cluster import ClusterResult
 from .latency import LatencyStats, compute_latency_stats
 from .report import ComparisonReport
 from .results import KVUsageSample, PhaseSpan, RunResult
 
 __all__ = [
     "RunResult",
+    "ClusterResult",
     "KVUsageSample",
     "PhaseSpan",
     "ComparisonReport",

@@ -1,0 +1,115 @@
+"""Cluster-level aggregate metrics.
+
+A cluster run produces one :class:`~repro.metrics.results.RunResult` per
+replica (all measured on the same shared clock); :class:`ClusterResult`
+aggregates them into the fleet-level view an operator cares about: goodput,
+tail latency over the pooled request population, and how evenly the router
+spread load across replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .latency import LatencyStats
+from .results import RunResult
+
+__all__ = ["ClusterResult"]
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of simulating a replicated cluster on one workload.
+
+    ``latency`` is computed over the *pooled* finished requests of every
+    replica (not an average of per-replica percentiles, which would hide
+    imbalance: one overloaded replica dominates the true cluster p99).
+    """
+
+    system: str
+    router: str
+    num_replicas: int
+    makespan: float
+    completed_requests: int
+    total_prompt_tokens: int
+    total_output_tokens: int
+    replica_results: list[RunResult]
+    #: How many requests the router sent to each replica.
+    requests_per_replica: list[int]
+    latency: LatencyStats | None = None
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def total_tokens(self) -> int:
+        return self.total_prompt_tokens + self.total_output_tokens
+
+    @property
+    def throughput(self) -> float:
+        """Cluster tokens per second over the shared-clock makespan."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.total_tokens / self.makespan
+
+    @property
+    def output_throughput(self) -> float:
+        if self.makespan <= 0:
+            return 0.0
+        return self.total_output_tokens / self.makespan
+
+    @property
+    def goodput(self) -> float:
+        """Completed requests per second — the fleet-sizing metric."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.completed_requests / self.makespan
+
+    @property
+    def per_replica_utilization(self) -> list[float]:
+        """Each replica's mean GPU utilisation over the cluster makespan.
+
+        Measured over the shared makespan (not each replica's own) so an
+        early-finishing replica counts as idle for the remainder.
+        """
+        return [
+            r.trace.mean_utilization(0.0, self.makespan) for r in self.replica_results
+        ]
+
+    @property
+    def mean_utilization(self) -> float:
+        util = self.per_replica_utilization
+        return float(np.mean(util)) if util else 0.0
+
+    @property
+    def utilization_imbalance(self) -> float:
+        """Max minus min per-replica utilisation (0 = perfectly balanced)."""
+        util = self.per_replica_utilization
+        if not util:
+            return 0.0
+        return max(util) - min(util)
+
+    @property
+    def request_imbalance(self) -> float:
+        """Max/mean ratio of routed request counts (1.0 = perfectly even)."""
+        counts = self.requests_per_replica
+        if not counts or sum(counts) == 0:
+            return 0.0
+        return max(counts) / (sum(counts) / len(counts))
+
+    def summary(self) -> str:
+        lat = ""
+        if self.latency is not None and self.latency.count:
+            lat = (
+                f" | TTFT p50 {self.latency.ttft_p50:.2f}s "
+                f"p99 {self.latency.ttft_p99:.2f}s | "
+                f"TPOT p99 {self.latency.tpot_p99 * 1e3:.1f}ms"
+            )
+        return (
+            f"{self.system} x{self.num_replicas} [{self.router:11s}] | "
+            f"goodput {self.goodput:6.2f} req/s | "
+            f"throughput {self.throughput:9.1f} tok/s | "
+            f"util {self.mean_utilization * 100:5.1f}% "
+            f"(imbalance {self.utilization_imbalance * 100:4.1f}pp)"
+            f"{lat}"
+        )

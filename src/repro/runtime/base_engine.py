@@ -48,6 +48,10 @@ class InferenceEngine(abc.ABC):
     async_transfer:
         Whether inter-stage sends overlap with compute (hierarchy-controller
         behaviour) or block the sender (naive SPMD pipeline).
+    sim:
+        Event clock to run on.  By default each engine owns a private
+        :class:`Simulator`; a cluster passes one shared clock to all replicas
+        so their events interleave deterministically on a single heap.
     """
 
     system_name: str = "base"
@@ -59,6 +63,7 @@ class InferenceEngine(abc.ABC):
         parallel: str = "pp",
         config: EngineConfig | None = None,
         async_transfer: bool = False,
+        sim: Simulator | None = None,
     ) -> None:
         if parallel not in ("pp", "tp"):
             raise ValueError(f"parallel must be 'pp' or 'tp', got {parallel!r}")
@@ -86,7 +91,7 @@ class InferenceEngine(abc.ABC):
         else:
             gpu_groups = [tuple(range(g))]
 
-        self.sim = Simulator()
+        self.sim = sim if sim is not None else Simulator()
         self.trace = TraceRecorder(g)
         self.runtime = PipelineRuntime(
             sim=self.sim,
@@ -320,9 +325,24 @@ class InferenceEngine(abc.ABC):
         self.waiting.append(state)
         self._on_arrival(state)
 
-    def run(self, requests: Iterable[Request]) -> RunResult:
+    def _on_run_end(self) -> None:
+        """Hook invoked once after the event loop drains (before metrics)."""
+
+    @property
+    def in_system(self) -> int:
+        """Requests submitted but not yet finished (queued + resident)."""
+        return len(self.states) - len(self.finished)
+
+    def start(self, requests: Iterable[Request], allow_empty: bool = False) -> None:
+        """Register the workload and bootstrap the scheduler (no event loop).
+
+        Splitting :meth:`run` into ``start`` / ``finalize`` lets a cluster
+        drive many engines on one shared clock: each replica is started
+        (possibly empty — requests then arrive via :meth:`enqueue`), the
+        shared simulator is run once, and each replica is finalized.
+        """
         reqs = list(requests)
-        if not reqs:
+        if not reqs and not allow_empty:
             raise ValueError("empty workload")
         self.states = {r.request_id: RequestState(r) for r in reqs}
         # Offline requests (arrival <= 0) are available immediately; online
@@ -336,8 +356,22 @@ class InferenceEngine(abc.ABC):
                     s.request.arrival_time, lambda st=s: self._admit_arrival(st)
                 )
         self._bootstrap()
-        self.sim.run(max_events=self.config.max_events)
 
+    def enqueue(self, request: Request) -> None:
+        """Hand one request to the engine at the current simulated time.
+
+        Used by cluster routers that pick a replica at the request's arrival
+        instant; the engine treats it exactly like a stamped online arrival.
+        """
+        if request.request_id in self.states:
+            raise ValueError(f"request {request.request_id} already submitted")
+        state = RequestState(request)
+        self.states[request.request_id] = state
+        self._admit_arrival(state)
+
+    def finalize(self) -> RunResult:
+        """Check for deadlock and assemble the :class:`RunResult`."""
+        self._on_run_end()
         unfinished = len(self.states) - len(self.finished)
         if unfinished:
             raise SimulationError(
@@ -365,3 +399,8 @@ class InferenceEngine(abc.ABC):
             prefill_batches=self.prefill_batches,
             latency=compute_latency_stats(self.finished),
         )
+
+    def run(self, requests: Iterable[Request]) -> RunResult:
+        self.start(requests)
+        self.sim.run(max_events=self.config.max_events)
+        return self.finalize()

@@ -28,10 +28,18 @@ class Event:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Set by the owning :class:`Simulator` so cancellation can update its
+    #: live-event accounting without scanning the heap.
+    _on_cancel: Callable[[], None] | None = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
-        """Prevent the callback from running (the heap entry is left in place)."""
+        """Prevent the callback from running (the heap entry is left in place
+        until the simulator pops or compacts it)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._on_cancel is not None:
+            self._on_cancel()
 
 
 class Simulator:
@@ -51,6 +59,10 @@ class Simulator:
         self._heap: list[Event] = []
         self._seq = itertools.count()
         self._events_processed = 0
+        # Live/cancelled bookkeeping so `pending` is O(1).  Invariant:
+        # len(self._heap) == self._live + self._cancelled.
+        self._live = 0
+        self._cancelled = 0
 
     @property
     def now(self) -> float:
@@ -72,15 +84,35 @@ class Simulator:
         if time < self._now:
             raise ValueError(f"cannot schedule at {time} < now {self._now}")
         ev = Event(time=time, seq=next(self._seq), callback=callback)
+        ev._on_cancel = self._note_cancelled
         heapq.heappush(self._heap, ev)
+        self._live += 1
         return ev
+
+    def _note_cancelled(self) -> None:
+        """An event in the heap was cancelled; compact when tombstones dominate."""
+        self._live -= 1
+        self._cancelled += 1
+        if self._cancelled > len(self._heap) // 2 and len(self._heap) >= 8:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (ordering is a total order,
+        so heapify preserves (time, seq) execution order)."""
+        self._heap = [ev for ev in self._heap if not ev.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
 
     def step(self) -> bool:
         """Run the next pending event.  Returns False when the heap is empty."""
         while self._heap:
             ev = heapq.heappop(self._heap)
+            # Once popped, a late cancel() must not touch the counters.
+            ev._on_cancel = None
             if ev.cancelled:
+                self._cancelled -= 1
                 continue
+            self._live -= 1
             if ev.time < self._now:
                 raise SimulationError(
                     f"event at {ev.time} before current time {self._now}"
@@ -99,8 +131,17 @@ class Simulator:
         """
         processed = 0
         while self._heap:
+            # Purge cancelled tombstones so the `until` peek sees the next
+            # *live* event; otherwise a tombstone at time <= until would let
+            # step() run a live event stamped past the horizon.
+            while self._heap and self._heap[0].cancelled:
+                ev = heapq.heappop(self._heap)
+                ev._on_cancel = None
+                self._cancelled -= 1
+            if not self._heap:
+                return
             if until is not None and self._heap[0].time > until:
-                self._now = until
+                self._now = max(self._now, until)
                 return
             if not self.step():
                 return
@@ -112,5 +153,6 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1): engines poll
+        this on every task completion, so a heap scan would be quadratic)."""
+        return self._live

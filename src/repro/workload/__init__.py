@@ -3,6 +3,7 @@
 from .arrivals import with_burst_arrivals, with_poisson_arrivals, with_uniform_arrivals
 from .dataset import DatasetSplits, build_dataset, sample_eval_requests
 from .request import Request
+from .sharding import split_least_tokens, split_round_robin, static_assignment
 from .sharegpt import (
     DEFAULT_INTENTS,
     IntentProfile,
@@ -22,4 +23,7 @@ __all__ = [
     "with_poisson_arrivals",
     "with_uniform_arrivals",
     "with_burst_arrivals",
+    "split_round_robin",
+    "split_least_tokens",
+    "static_assignment",
 ]

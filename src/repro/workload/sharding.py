@@ -1,0 +1,55 @@
+"""Per-replica workload splitting for cluster experiments.
+
+Dynamic routing (:mod:`repro.cluster.routing`) assigns requests at their
+arrival instants; these helpers instead *pre-shard* a workload — the
+static-partitioning baseline a dynamic router is compared against, and the
+way to drive replicas as independent single-node runs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .request import Request
+
+__all__ = ["split_round_robin", "split_least_tokens", "static_assignment"]
+
+
+def split_round_robin(requests: Sequence[Request], num_replicas: int) -> list[list[Request]]:
+    """Deal requests across replicas in arrival order, one at a time.
+
+    Preserves each shard's arrival-time ordering; with Poisson arrivals this
+    thins the process, so each replica sees rate/num_replicas.
+    """
+    if num_replicas < 1:
+        raise ValueError(f"num_replicas must be >= 1, got {num_replicas}")
+    ordered = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
+    shards: list[list[Request]] = [[] for _ in range(num_replicas)]
+    for i, r in enumerate(ordered):
+        shards[i % num_replicas].append(r)
+    return shards
+
+
+def split_least_tokens(requests: Sequence[Request], num_replicas: int) -> list[list[Request]]:
+    """Greedy token-balanced split: each request joins the lightest shard.
+
+    Balances total work (prompt + output tokens) rather than request counts —
+    useful when the length distribution is heavy-tailed.  Deterministic: ties
+    go to the lowest shard index.
+    """
+    if num_replicas < 1:
+        raise ValueError(f"num_replicas must be >= 1, got {num_replicas}")
+    ordered = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
+    shards: list[list[Request]] = [[] for _ in range(num_replicas)]
+    loads = [0] * num_replicas
+    for r in ordered:
+        i = min(range(num_replicas), key=lambda j: (loads[j], j))
+        shards[i].append(r)
+        loads[i] += r.total_len
+    return shards
+
+
+def static_assignment(shards: Sequence[Sequence[Request]]) -> dict[int, int]:
+    """request_id -> replica index map from pre-split shards (for
+    :class:`repro.cluster.routing.StaticRouter`)."""
+    return {r.request_id: i for i, shard in enumerate(shards) for r in shard}

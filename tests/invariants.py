@@ -1,0 +1,121 @@
+"""Reusable engine invariant checkers.
+
+Universal properties every inference engine in this repo must satisfy after a
+run, regardless of scheduling policy:
+
+1. every submitted request finishes exactly once;
+2. all KV-cache blocks are freed at end of run;
+3. generated tokens equal requested output tokens (conservation);
+4. phase spans (for phase-switching engines) are non-overlapping, lie within
+   [0, makespan], cover every busy GPU interval, and — for offline workloads —
+   tile the makespan without gaps.
+
+``test_cluster.py`` applies these to all five single-node systems and to
+every replica of a cluster; any new engine should import and reuse them.
+"""
+
+from __future__ import annotations
+
+EPS = 1e-6
+
+
+def check_phase_spans(result, contiguous=True):
+    """Phase spans are ordered, non-overlapping, and cover the execution.
+
+    ``contiguous=True`` (offline workloads: the engine never idles) further
+    requires the spans to tile [0, makespan] exactly.  Online workloads may
+    have idle gaps between spans, but busy GPU time must still be covered.
+    """
+    spans = result.phase_spans
+    makespan = result.makespan
+    if not spans:
+        assert makespan == 0.0, "work was executed but no phase was recorded"
+        return
+    assert result.phase_switches == len(spans) - 1
+    for span in spans:
+        assert span.duration >= -EPS, f"negative-duration span {span}"
+        assert -EPS <= span.start and span.end <= makespan + EPS, (
+            f"span {span} outside [0, {makespan}]"
+        )
+    ordered = sorted(spans, key=lambda s: (s.start, s.end))
+    for a, b in zip(ordered, ordered[1:]):
+        assert b.start >= a.end - EPS, f"overlapping spans {a} / {b}"
+    if contiguous:
+        assert ordered[0].start <= EPS, f"first span starts at {ordered[0].start}"
+        assert abs(ordered[-1].end - makespan) <= EPS, (
+            f"last span ends at {ordered[-1].end}, makespan {makespan}"
+        )
+        for a, b in zip(ordered, ordered[1:]):
+            assert b.start <= a.end + EPS, f"gap between {a} and {b}"
+    # Every busy GPU interval belongs to exactly one phase.
+    for timeline in result.trace.timelines:
+        for iv in timeline.intervals:
+            assert any(
+                s.start - EPS <= iv.start and iv.end <= s.end + EPS for s in ordered
+            ), f"busy interval [{iv.start}, {iv.end}) not covered by any phase span"
+
+
+def check_engine_invariants(engine, result, requests, contiguous_phases=True):
+    """Apply the universal single-engine invariants (see module docstring)."""
+    reqs = list(requests)
+    ids = sorted(r.request_id for r in reqs)
+
+    # 1. Every submitted request finishes exactly once.
+    finished_ids = [s.request_id for s in engine.finished]
+    assert len(finished_ids) == len(set(finished_ids)), "request finished twice"
+    assert sorted(finished_ids) == ids, "finished set != submitted set"
+    assert result.completed_requests == len(reqs)
+    assert not engine.waiting, "requests left waiting after run"
+    assert not engine.inflight, "tasks left in flight after run"
+
+    # 2. All KV blocks freed.
+    bm = engine.block_manager
+    assert bm.num_requests == 0, f"{bm.num_requests} allocations leaked"
+    assert bm.free_blocks == bm.num_blocks, "KV blocks leaked"
+
+    # 3. Token conservation.
+    for state in engine.finished:
+        assert state.generated == state.request.output_len, (
+            f"request {state.request_id}: generated {state.generated} "
+            f"of {state.request.output_len}"
+        )
+    assert result.total_output_tokens == sum(r.output_len for r in reqs)
+    assert result.total_prompt_tokens == sum(r.prompt_len for r in reqs)
+
+    # 4. Phase structure.  Only phase-switching engines (those exposing a
+    # `phase` attribute, i.e. TD-Pipe) record spans; for them the spans must
+    # exist whenever work was done.
+    if hasattr(engine, "phase"):
+        check_phase_spans(result, contiguous=contiguous_phases)
+    else:
+        assert not result.phase_spans
+
+
+def check_cluster_invariants(cluster, result, requests):
+    """Cluster-level invariants: routing is total, replicas are individually
+    sound, and the aggregate equals the sum of its parts."""
+    reqs = list(requests)
+    ids = {r.request_id for r in reqs}
+
+    # Routing assigned every request to exactly one valid replica.
+    assert set(cluster.assignments) == ids, "router missed or invented requests"
+    assert all(0 <= i < cluster.num_replicas for i in cluster.assignments.values())
+    assert sum(result.requests_per_replica) == len(reqs)
+
+    # Each replica satisfies the single-engine invariants on its share.
+    by_replica = {i: [] for i in range(cluster.num_replicas)}
+    for req in reqs:
+        by_replica[cluster.assignments[req.request_id]].append(req)
+    for i, (replica, rres) in enumerate(zip(cluster.replicas, result.replica_results)):
+        assert replica.sim is cluster.sim, f"replica {i} not on the shared clock"
+        check_engine_invariants(
+            replica, rres, by_replica[i], contiguous_phases=False
+        )
+        assert result.requests_per_replica[i] == len(by_replica[i])
+
+    # Aggregates equal the sum/max over replicas.
+    parts = result.replica_results
+    assert result.completed_requests == sum(r.completed_requests for r in parts) == len(reqs)
+    assert result.total_prompt_tokens == sum(r.prompt_len for r in reqs)
+    assert result.total_output_tokens == sum(r.output_len for r in reqs)
+    assert abs(result.makespan - max(r.makespan for r in parts)) <= EPS

@@ -27,6 +27,15 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "bin accuracy" in out
 
+    def test_cluster_single_configuration(self, capsys):
+        assert main(["cluster", "--replicas", "2", "--router", "round-robin",
+                     "--rate", "4", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "round-robin" in out and "goodput" in out
+
+    def test_cluster_in_experiment_list(self):
+        assert "cluster" in EXPERIMENTS
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig99"])

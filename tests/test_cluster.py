@@ -1,0 +1,268 @@
+"""Cluster engine, routing policies, and engine invariants for all systems."""
+
+import pytest
+
+from invariants import check_cluster_invariants, check_engine_invariants
+
+from repro.baselines import (
+    PPHybridEngine,
+    PPSeparateEngine,
+    TPHybridEngine,
+    TPSeparateEngine,
+)
+from repro.cluster import (
+    ROUTERS,
+    ClusterEngine,
+    JoinShortestQueueRouter,
+    PhaseAwareRouter,
+    RoundRobinRouter,
+    StaticRouter,
+    make_router,
+)
+from repro.core import TDPipeEngine
+from repro.experiments import cluster_scaling, run_cluster
+from repro.experiments.common import default_scale
+from repro.hardware import make_node
+from repro.models import LLAMA2_13B
+from repro.predictor import OraclePredictor
+from repro.runtime.state import RequestState
+from repro.sim import Simulator
+from repro.workload import (
+    generate_requests,
+    split_round_robin,
+    static_assignment,
+    with_poisson_arrivals,
+)
+
+NODE = make_node("L20", 2)
+
+
+def build(system, sim=None):
+    if system == "TD-Pipe":
+        return TDPipeEngine(NODE, LLAMA2_13B, OraclePredictor(), sim=sim)
+    cls = {
+        "TP+SB": TPSeparateEngine,
+        "TP+HB": TPHybridEngine,
+        "PP+SB": PPSeparateEngine,
+        "PP+HB": PPHybridEngine,
+    }[system]
+    return cls(NODE, LLAMA2_13B, sim=sim)
+
+
+ALL_SYSTEMS = ("TP+SB", "TP+HB", "PP+SB", "PP+HB", "TD-Pipe")
+
+
+# --------------------------------------------------------------------- #
+# Engine invariants: all five single-node systems.
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("system", ALL_SYSTEMS)
+def test_invariants_offline(system):
+    reqs = generate_requests(60, seed=3)
+    engine = build(system)
+    result = engine.run(reqs)
+    check_engine_invariants(engine, result, reqs)
+
+
+@pytest.mark.parametrize("system", ALL_SYSTEMS)
+def test_invariants_online_arrivals(system):
+    reqs = with_poisson_arrivals(generate_requests(40, seed=5), rate_rps=3.0, seed=5)
+    engine = build(system)
+    result = engine.run(reqs)
+    # Online runs may idle between arrivals, so phases need not tile.
+    check_engine_invariants(engine, result, reqs, contiguous_phases=False)
+
+
+# --------------------------------------------------------------------- #
+# ClusterEngine basics.
+# --------------------------------------------------------------------- #
+class TestClusterEngine:
+    def run_cluster_engine(self, router="round-robin", n=3, replicas=None, reqs=None):
+        systems = replicas or ["TD-Pipe"] * n
+        cluster = ClusterEngine(
+            [lambda sim, s=s: build(s, sim=sim) for s in systems], router=router
+        )
+        if reqs is None:
+            reqs = with_poisson_arrivals(generate_requests(45, seed=7), 4.0, seed=7)
+        return cluster, reqs, cluster.run(reqs)
+
+    def test_shared_clock(self):
+        cluster, reqs, result = self.run_cluster_engine()
+        assert all(r.sim is cluster.sim for r in cluster.replicas)
+        assert result.completed_requests == len(reqs)
+        # All replica activity advanced the one shared heap.
+        assert cluster.sim.events_processed > 0 and cluster.sim.pending == 0
+
+    @pytest.mark.parametrize("router", ROUTERS)
+    def test_invariants_every_router(self, router):
+        cluster, reqs, result = self.run_cluster_engine(router=router)
+        check_cluster_invariants(cluster, result, reqs)
+
+    def test_offline_workload(self):
+        cluster, reqs, result = self.run_cluster_engine(
+            reqs=generate_requests(50, seed=2)
+        )
+        check_cluster_invariants(cluster, result, reqs)
+        assert result.throughput > 0 and result.goodput > 0
+
+    def test_mixed_fleet(self):
+        cluster, reqs, result = self.run_cluster_engine(
+            replicas=["TD-Pipe", "PP+SB", "TP+HB"]
+        )
+        check_cluster_invariants(cluster, result, reqs)
+        assert result.system == "PP+SB+TD-Pipe+TP+HB"
+
+    def test_round_robin_spreads_evenly(self):
+        cluster, reqs, result = self.run_cluster_engine(router="round-robin")
+        counts = result.requests_per_replica
+        assert max(counts) - min(counts) <= 1
+
+    def test_static_router_honours_presplit(self):
+        reqs = generate_requests(30, seed=9)
+        shards = split_round_robin(reqs, 3)
+        router = StaticRouter(static_assignment(shards))
+        cluster, reqs, result = self.run_cluster_engine(router=router, reqs=reqs)
+        for i, shard in enumerate(shards):
+            assert all(cluster.assignments[r.request_id] == i for r in shard)
+        check_cluster_invariants(cluster, result, reqs)
+
+    def test_metrics_are_aggregates(self):
+        cluster, reqs, result = self.run_cluster_engine()
+        assert result.num_replicas == 3
+        assert 0.0 <= result.utilization_imbalance <= 1.0
+        assert result.latency is not None and result.latency.count == len(reqs)
+        assert result.total_tokens == sum(r.prompt_len + r.output_len for r in reqs)
+        assert "goodput" in result.summary()
+
+    def test_rejects_duplicate_ids(self):
+        reqs = generate_requests(10, seed=1)
+        cluster = ClusterEngine([lambda sim: build("TD-Pipe", sim=sim)])
+        with pytest.raises(ValueError, match="duplicate"):
+            cluster.run(reqs + reqs[:1])
+
+    def test_rejects_empty_workload(self):
+        cluster = ClusterEngine([lambda sim: build("TD-Pipe", sim=sim)])
+        with pytest.raises(ValueError, match="empty"):
+            cluster.run([])
+
+    def test_rejects_factory_ignoring_shared_sim(self):
+        with pytest.raises(ValueError, match="shared simulator"):
+            ClusterEngine([lambda sim: build("TD-Pipe", sim=Simulator())])
+
+    def test_rejects_no_replicas(self):
+        with pytest.raises(ValueError, match="at least one replica"):
+            ClusterEngine([])
+
+    def test_unknown_router_rejected(self):
+        with pytest.raises(ValueError, match="unknown router"):
+            make_router("fastest")
+
+
+# --------------------------------------------------------------------- #
+# Routing policies.
+# --------------------------------------------------------------------- #
+class TestRouters:
+    def test_round_robin_cycles(self):
+        router = RoundRobinRouter()
+        replicas = [build("TD-Pipe") for _ in range(3)]
+        router.reset(replicas)
+        picks = []
+        for i in range(6):
+            idx = router.choose(None, replicas)
+            router.on_routed(None, idx)
+            picks.append(idx)
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_jsq_prefers_lighter_replica(self):
+        replicas = [build("TD-Pipe") for _ in range(2)]
+        replicas[0].start(generate_requests(5, seed=0), allow_empty=True)
+        replicas[1].start([], allow_empty=True)
+        router = JoinShortestQueueRouter()
+        router.reset(replicas)
+        assert router.choose(generate_requests(1, seed=1)[0], replicas) == 1
+
+    def test_scored_ties_rotate(self):
+        replicas = [build("TD-Pipe") for _ in range(3)]
+        for r in replicas:
+            r.start([], allow_empty=True)
+        router = JoinShortestQueueRouter()
+        router.reset(replicas)
+        picks = []
+        for _ in range(6):
+            idx = router.choose(None, replicas)
+            router.on_routed(None, idx)
+            picks.append(idx)
+        assert picks == [0, 1, 2, 0, 1, 2]  # equal scores must not herd
+
+    def test_phase_aware_prefers_decode_phase(self):
+        replicas = [build("TD-Pipe") for _ in range(2)]
+        replicas[0].phase = "prefill"
+        replicas[1].phase = "decode"
+        router = PhaseAwareRouter()
+        router.reset(replicas)
+        req = generate_requests(1, seed=4)[0]
+        assert router.choose(req, replicas) == 1
+
+    def test_phase_aware_queue_depth_dominates_eventually(self):
+        replicas = [build("TD-Pipe") for _ in range(2)]
+        replicas[0].phase = "decode"
+        replicas[1].phase = "prefill"
+        replicas[0].waiting.extend(
+            RequestState(r) for r in generate_requests(8, seed=0)
+        )
+        router = PhaseAwareRouter()
+        router.reset(replicas)
+        req = generate_requests(1, seed=4)[0]
+        # 8 waiting beats the 1.5 decode bonus: go to the empty replica.
+        assert router.choose(req, replicas) == 1
+
+
+# --------------------------------------------------------------------- #
+# run_cluster + sweep plumbing.
+# --------------------------------------------------------------------- #
+class TestRunCluster:
+    SCALE = default_scale(factor=0.02, seed=0)
+
+    def test_homogeneous(self):
+        result = run_cluster(
+            "TD-Pipe",
+            "L20",
+            "13B",
+            replicas=2,
+            router="phase-aware",
+            rate_rps=6.0,
+            scale=self.SCALE,
+            predictor=OraclePredictor(),
+        )
+        assert result.num_replicas == 2
+        assert result.router == "phase-aware"
+        assert result.completed_requests == self.SCALE.eval_requests
+
+    def test_mixed_systems_list(self):
+        result = run_cluster(
+            ["TD-Pipe", "PP+SB"],
+            "L20",
+            "13B",
+            replicas=2,
+            router="jsq",
+            scale=self.SCALE,
+            predictor=OraclePredictor(),
+        )
+        assert result.system == "PP+SB+TD-Pipe"
+
+    def test_replica_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="system names"):
+            run_cluster(["TD-Pipe"], replicas=2, scale=self.SCALE,
+                        predictor=OraclePredictor())
+
+    def test_sweep_rows_and_formatting(self):
+        rows = cluster_scaling.run(
+            scale=self.SCALE,
+            model="13B",
+            replica_counts=(2,),
+            routers=("round-robin", "phase-aware"),
+            rates_per_replica=(2.0,),
+        )
+        assert len(rows) == 2
+        assert {row["router"] for row in rows} == {"round-robin", "phase-aware"}
+        table = cluster_scaling.format_results(rows)
+        assert "phase-aware" in table and "TTFT p99" in table and "*" in table

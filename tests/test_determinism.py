@@ -1,0 +1,56 @@
+"""Determinism regression: same seed + config => byte-identical summaries.
+
+Guards the shared-clock refactor: every engine event now lives on a heap that
+may be shared between replicas, so any hidden ordering dependence (dict
+iteration, float accumulation order, tie-breaking) would show up here as a
+summary drift between two identical runs.
+"""
+
+from repro.core import TDPipeEngine
+from repro.experiments.common import default_scale, run_cluster
+from repro.hardware import make_node
+from repro.models import LLAMA2_13B
+from repro.predictor import OraclePredictor
+from repro.workload import generate_requests, with_poisson_arrivals
+
+SCALE = default_scale(factor=0.02, seed=0)
+
+
+def run_tdpipe_once():
+    engine = TDPipeEngine(make_node("L20", 4), LLAMA2_13B, OraclePredictor())
+    reqs = with_poisson_arrivals(generate_requests(80, seed=13), 6.0, seed=13)
+    return engine.run(reqs)
+
+
+def run_cluster_once():
+    return run_cluster(
+        "TD-Pipe",
+        "L20",
+        "13B",
+        replicas=3,
+        router="phase-aware",
+        rate_rps=9.0,
+        scale=SCALE,
+        predictor=OraclePredictor(),
+    )
+
+
+def test_tdpipe_summary_byte_identical():
+    r1, r2 = run_tdpipe_once(), run_tdpipe_once()
+    assert r1.summary() == r2.summary()
+    assert r1.latency.summary() == r2.latency.summary()
+    assert r1.makespan == r2.makespan
+    assert [(s.phase, s.start, s.end) for s in r1.phase_spans] == [
+        (s.phase, s.start, s.end) for s in r2.phase_spans
+    ]
+
+
+def test_cluster_summary_byte_identical():
+    r1, r2 = run_cluster_once(), run_cluster_once()
+    assert r1.summary() == r2.summary()
+    assert r1.makespan == r2.makespan
+    assert r1.requests_per_replica == r2.requests_per_replica
+    assert [r.summary() for r in r1.replica_results] == [
+        r.summary() for r in r2.replica_results
+    ]
+    assert r1.latency.summary() == r2.latency.summary()

@@ -1,0 +1,184 @@
+"""Property-based tests for the discrete-event simulation kernel.
+
+Hypothesis drives arbitrary schedule/cancel programs through the
+:class:`Simulator` and checks the kernel's contract:
+
+* callbacks execute in (time, insertion-seq) order, cancelled ones never run;
+* ``run(until=...)`` never executes an event stamped past ``until``;
+* ``events_processed`` equals the number of callbacks actually run;
+* ``pending`` (now an O(1) counter) always agrees with a naive heap scan,
+  including across the cancelled-event compaction.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+
+# A program is a list of operations: ("schedule", delay, cancel_later) or
+# ("run_until", horizon-fraction).  Delays are floats in [0, 10].
+ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("schedule"),
+            st.floats(0.0, 10.0, allow_nan=False),
+            st.booleans(),
+        ),
+        st.tuples(st.just("run_until"), st.floats(0.0, 10.0, allow_nan=False)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def naive_pending(sim):
+    return sum(1 for ev in sim._heap if not ev.cancelled)
+
+
+def execute(program):
+    """Run a schedule/cancel program; return (sim, executed, live_records)."""
+    sim = Simulator()
+    executed = []
+    records = []  # (time, seq, cancelled_flag) in creation order
+
+    for op in program:
+        if op[0] == "schedule":
+            _, delay, cancel_later = op
+            record = {"cancelled": cancel_later}
+
+            def cb(record=record):
+                executed.append((record["time"], record["seq"]))
+
+            ev = sim.schedule(delay, cb)
+            record["time"], record["seq"] = ev.time, ev.seq
+            records.append((ev, record))
+            if cancel_later:
+                ev.cancel()
+        else:
+            sim.run(until=sim.now + op[1])
+        assert sim.pending == naive_pending(sim)
+    sim.run()
+    assert sim.pending == naive_pending(sim) == 0
+    return sim, executed, records
+
+
+@settings(max_examples=120, deadline=None)
+@given(program=ops)
+def test_execution_order_and_cancellation(program):
+    sim, executed, records = execute(program)
+    live = [(r["time"], r["seq"]) for _, r in records if not r["cancelled"]]
+    # Every live event ran exactly once; cancelled events never ran.
+    assert sorted(executed) == sorted(live)
+    # Execution respects (time, seq) order *within* each drain segment; the
+    # full trace is still globally time-ordered because later segments only
+    # schedule at or after the current clock.
+    times = [t for t, _ in executed]
+    assert times == sorted(times)
+    for (t1, s1), (t2, s2) in zip(executed, executed[1:]):
+        if t1 == t2:
+            assert s1 < s2, "tie not broken by insertion order"
+
+
+@settings(max_examples=120, deadline=None)
+@given(program=ops)
+def test_events_processed_matches_callbacks_run(program):
+    sim, executed, _ = execute(program)
+    assert sim.events_processed == len(executed)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    delays=st.lists(st.floats(0.0, 10.0, allow_nan=False), min_size=1, max_size=40),
+    until=st.floats(0.0, 10.0, allow_nan=False),
+)
+def test_run_until_never_overshoots(delays, until):
+    sim = Simulator()
+    executed = []
+    for d in delays:
+        sim.schedule(d, lambda d=d: executed.append(d))
+    sim.run(until=until)
+    assert all(d <= until for d in executed)
+    assert sim.now <= until or not executed
+    # The remainder still runs to completion afterwards.
+    sim.run()
+    assert sorted(executed) == sorted(delays)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(8, 80),
+    cancel_frac=st.floats(0.5, 1.0),
+    seed=st.integers(0, 2**16),
+)
+def test_compaction_preserves_semantics(n, cancel_frac, seed):
+    """Cancelling most of the heap triggers compaction; order must survive."""
+    import random
+
+    rng = random.Random(seed)
+    sim = Simulator()
+    executed = []
+    events = []
+    for i in range(n):
+        delay = rng.uniform(0.0, 5.0)
+        events.append(sim.schedule(delay, lambda i=i: executed.append(i)))
+    keep = set()
+    for i, ev in enumerate(events):
+        if rng.random() < cancel_frac:
+            ev.cancel()
+            ev.cancel()  # double-cancel must not corrupt the counters
+        else:
+            keep.add(i)
+    assert sim.pending == naive_pending(sim) == len(keep)
+    # Compaction keeps the heap within 2x the live count (plus slack for the
+    # small-heap threshold below which tombstones are tolerated).
+    assert len(sim._heap) <= max(2 * sim.pending + 1, 8)
+    sim.run()
+    assert set(executed) == keep
+    assert sim.events_processed == len(keep)
+
+
+def test_run_until_ignores_tombstone_at_heap_top():
+    """Regression: a cancelled event at time <= until must not let run()
+    execute (and rewind from) a live event stamped past the horizon."""
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(0.0, lambda: fired.append("cancelled"))
+    sim.schedule(1.0, lambda: fired.append("late"))
+    ev.cancel()
+    sim.run(until=0.0)
+    assert fired == []
+    assert sim.now == 0.0
+    sim.run()
+    assert fired == ["late"]
+    assert sim.now == 1.0
+
+
+def test_cancel_after_execution_is_harmless():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(1.0, lambda: fired.append(1))
+    other = sim.schedule(2.0, lambda: fired.append(2))
+    sim.run(until=1.5)
+    ev.cancel()  # already executed: must not corrupt the pending counter
+    assert fired == [1]
+    assert sim.pending == naive_pending(sim) == 1
+    sim.run()
+    assert fired == [1, 2]
+    assert sim.pending == 0
+    assert other.cancelled is False
+
+
+def test_nested_scheduling_keeps_counters_consistent():
+    sim = Simulator()
+    seen = []
+
+    def recurse(depth):
+        seen.append(sim.now)
+        if depth:
+            sim.schedule(1.0, lambda: recurse(depth - 1))
+
+    sim.schedule(0.0, lambda: recurse(4))
+    sim.run()
+    assert seen == [0.0, 1.0, 2.0, 3.0, 4.0]
+    assert sim.pending == 0
+    assert sim.events_processed == 5
