@@ -1,0 +1,72 @@
+"""Cluster control plane demo: heterogeneous fleet, SLO classes, autoscaling.
+
+Runs three fleet configurations on the same ShareGPT-like workload:
+
+1. a mixed L20/A100 fleet under raw-count JSQ (the naive baseline — it
+   treats an L20 queue and an A100 queue of equal length as equally loaded);
+2. the same fleet under capacity-normalized JSQ and the deadline-aware
+   router, with a 70/30 interactive/batch SLO mix;
+3. the normalized fleet again with the autoscaler attached: replicas start
+   small, grow on queue pressure, and drain when it subsides.
+
+Usage::
+
+    PYTHONPATH=src python examples/control_plane.py
+"""
+
+from repro.cluster import Autoscaler
+from repro.experiments import run_cluster
+from repro.experiments.common import default_scale
+
+SCALE = default_scale(factor=0.05, seed=0)
+FLEET = "l20:2,a100:2"
+RATE = 14.0
+MIX = "interactive:0.7,batch:0.3"
+
+
+def show(title: str, result) -> None:
+    print(f"--- {title}")
+    print(result.summary())
+    for stats in result.slo_attainment.values():
+        print(f"    SLO {stats.summary()}")
+    print()
+
+
+def main() -> None:
+    print(f"fleet {FLEET}, {RATE:.0f} req/s Poisson, SLO mix {MIX}\n")
+
+    for router in ("jsq-raw", "jsq", "deadline"):
+        result = run_cluster(
+            "TD-Pipe",
+            model="13B",
+            router=router,
+            rate_rps=RATE,
+            scale=SCALE,
+            fleet=FLEET,
+            slo_mix=MIX,
+        )
+        show(f"router={router}", result)
+
+    result = run_cluster(
+        "TD-Pipe",
+        model="13B",
+        router="jsq",
+        rate_rps=RATE,
+        scale=SCALE,
+        fleet=FLEET,
+        slo_mix=MIX,
+        autoscaler=Autoscaler(min_replicas=1),
+    )
+    show("router=jsq + autoscaler", result)
+    timeline = ", ".join(f"{t:.1f}s->{n}" for t, n in result.fleet_timeline)
+    print(f"fleet-size timeline: {timeline}")
+    print(
+        "replica active seconds:",
+        [f"{s:.1f}" for s in result.replica_active_time],
+        f"(total {result.replica_seconds:.1f} vs "
+        f"{result.makespan * result.num_replicas:.1f} fixed)",
+    )
+
+
+if __name__ == "__main__":
+    main()

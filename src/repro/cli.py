@@ -10,15 +10,18 @@ Examples
     tdpipe-bench all --scale 0.1
     tdpipe-bench cluster --scale 0.05             # full routing sweep
     tdpipe-bench cluster --replicas 4 --router phase-aware --rate 8
+    tdpipe-bench cluster --fleet l20:2,a100:2 --router jsq --rate 14 \\
+        --slo-mix interactive:0.7,batch:0.3 --autoscale
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
-from .cluster.routing import ROUTERS
+from .cluster.routing import ROUTER_NAMES
 from .experiments import (
     SYSTEMS,
     cluster_scaling,
@@ -39,6 +42,14 @@ __all__ = ["main"]
 
 _SCALED = {
     "cluster": (cluster_scaling.run, cluster_scaling.format_results),
+    "cluster-hetero": (
+        cluster_scaling.run_heterogeneous,
+        cluster_scaling.format_heterogeneous,
+    ),
+    "cluster-autoscale": (
+        cluster_scaling.run_autoscaling,
+        cluster_scaling.format_autoscaling,
+    ),
     "fig01": (fig01_schedules.run, fig01_schedules.format_results),
     "fig02": (fig02_utilization.run, fig02_utilization.format_results),
     "fig11": (fig11_overall.run, fig11_overall.format_results),
@@ -88,7 +99,7 @@ def main(argv: list[str] | None = None) -> int:
         "--replicas", type=int, default=None, help="replica count (skips the sweep)"
     )
     cluster_opts.add_argument(
-        "--router", default=None, choices=ROUTERS,
+        "--router", default=None, choices=ROUTER_NAMES,
         help="routing policy (skips the sweep)",
     )
     cluster_opts.add_argument(
@@ -99,11 +110,33 @@ def main(argv: list[str] | None = None) -> int:
         "--system", default=None, choices=SYSTEMS,
         help="replica system (default TD-Pipe)",
     )
+    cluster_opts.add_argument(
+        "--fleet", default=None, metavar="SPEC",
+        help="heterogeneous fleet spec, e.g. l20:2,a100:2 (overrides --replicas)",
+    )
+    cluster_opts.add_argument(
+        "--slo-mix", default=None, metavar="MIX",
+        help="SLO class mix, e.g. interactive:0.7,batch:0.3",
+    )
+    cluster_opts.add_argument(
+        "--autoscale", action="store_true",
+        help="attach the default autoscaler (start small, grow on pressure)",
+    )
+    cluster_opts.add_argument(
+        "--bench-json", default=None, metavar="PATH",
+        help="write a machine-readable benchmark record to PATH",
+    )
     args = parser.parse_args(argv)
 
-    cluster_flags = (args.replicas, args.router, args.rate, args.system)
+    cluster_flags = (
+        args.replicas, args.router, args.rate, args.system, args.fleet,
+        args.slo_mix, args.autoscale or None, args.bench_json,
+    )
     if args.experiment != "cluster" and any(v is not None for v in cluster_flags):
-        parser.error("--replicas/--router/--rate/--system only apply to `cluster`")
+        parser.error(
+            "--replicas/--router/--rate/--system/--fleet/--slo-mix/"
+            "--autoscale/--bench-json only apply to `cluster`"
+        )
 
     scale = default_scale(factor=1.0 if args.full else args.scale, seed=args.seed)
     single_cluster = args.experiment == "cluster" and any(
@@ -111,15 +144,60 @@ def main(argv: list[str] | None = None) -> int:
     )
     if single_cluster:
         rate = 8.0 if args.rate is None else args.rate
+        t0 = time.time()
         row = cluster_scaling.run_single(
             scale=scale,
             system=args.system or "TD-Pipe",
+            model="13B" if args.fleet else "32B",
             replicas=4 if args.replicas is None else args.replicas,
             router=args.router or "phase-aware",
             rate_rps=rate,
+            fleet=args.fleet,
+            slo_mix=args.slo_mix,
+            autoscaler=True if args.autoscale else None,
         )
+        wall = time.time() - t0
+        result = row["result"]
         print(f"arrival rate: {rate:.1f} req/s (Poisson, cluster-wide)")
-        print(row["result"].summary())
+        if args.fleet:
+            nodes = result.extras.get("fleet_nodes", [])
+            caps = ", ".join(
+                f"{n}={c:.0f}" for n, c in zip(nodes, result.capacity_scores)
+            )
+            print(f"fleet: {'+'.join(nodes)} (capacity scores {caps} tok/s)")
+        print(result.summary())
+        for stats in result.slo_attainment.values():
+            print(f"  SLO {stats.summary()}")
+        if args.autoscale:
+            steps = ", ".join(f"{t:.1f}s->{n}" for t, n in result.fleet_timeline[:12])
+            more = (
+                "" if len(result.fleet_timeline) <= 12
+                else f", ... ({len(result.fleet_timeline)} changes)"
+            )
+            print(f"  fleet timeline: {steps}{more}")
+            print(f"  replica-seconds: {result.replica_seconds:.1f}")
+        if args.bench_json:
+            record = {
+                "experiment": "cluster",
+                "system": row["system"],
+                "router": row["router"],
+                "fleet": result.extras.get("fleet_nodes", []),
+                "rate_rps": rate,
+                "scale": scale.factor,
+                "seed": scale.seed,
+                "goodput_rps": result.goodput,
+                "throughput_tps": result.throughput,
+                "ttft_p99_s": row["ttft_p99"],
+                "tpot_p99_s": row["tpot_p99"],
+                "slo_attainment": row["slo_attainment"],
+                "mean_active_replicas": row["mean_active_replicas"],
+                "replica_seconds": row["replica_seconds"],
+                "wall_time_s": wall,
+            }
+            with open(args.bench_json, "w") as fh:
+                json.dump(record, fh, indent=2)
+                fh.write("\n")
+            print(f"benchmark record written to {args.bench_json}")
         return 0
     names = sorted([*_SCALED, *_STATIC]) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -1,67 +1,90 @@
-"""Cluster-scale serving: replicated engines behind a request router.
+"""Cluster-scale serving: replicated engines behind a control plane.
 
 The paper's TD-Pipe engine is a single-node system.  This package scales the
 reproduction to the fleet level: a :class:`ClusterEngine` instantiates N
-independent replica engines — any of the five systems, mixable — on **one
-shared simulator clock**, so cross-replica event ordering is deterministic
-and cluster metrics (pooled tail latency, per-replica utilisation imbalance)
-are measured on a common timeline.
+replica engines — any of the five systems, mixable, on homogeneous or mixed
+L20/A100 hardware — on **one shared simulator clock**, so cross-replica
+event ordering is deterministic and cluster metrics (pooled tail latency,
+per-SLO-class attainment, utilisation imbalance) are measured on a common
+timeline.
 
-API
----
-:class:`ClusterEngine`
-    ``ClusterEngine(factories, router=...)`` where each factory is
-    ``Callable[[Simulator], InferenceEngine]``; ``run(requests)`` routes every
-    request at its arrival instant and returns a
-    :class:`~repro.metrics.cluster.ClusterResult`.  The convenience wrapper
-    :func:`repro.experiments.common.run_cluster` builds homogeneous (or
-    mixed) clusters by system name.
+The :mod:`repro.cluster.control` package owns the policy layer: routing,
+admission (active/draining sets) and fleet sizing all score one normalized
+view of replica state (:class:`ReplicaSnapshot`), with load signals divided
+by a roofline-derived per-replica throughput score so heterogeneous fleets
+compare correctly.
 
-Routing policies (:mod:`repro.cluster.routing`)
------------------------------------------------
+Routing policies (:mod:`repro.cluster.control.routing`)
+-------------------------------------------------------
 ``round-robin``
     Cycle through replicas, load-blind.  The baseline any smarter policy
     must beat.
-``jsq``
-    Join-shortest-queue: fewest in-system (waiting + resident) requests.
+``jsq`` / ``jsq-raw``
+    Join-shortest-queue on capacity-normalized (resp. raw-count) in-system
+    load.  ``jsq-raw`` exists as the baseline the heterogeneous-fleet
+    experiment measures the normalization against.
 ``least-kv``
     Most free KV-cache headroom; avoids replicas whose block pools are near
     the watermark (imminent admission stalls / recompute evictions).
 ``phase-aware``
-    TD-Pipe-specific: combines the JSQ load score with a penalty for
-    replicas currently in their *decode* phase (which will not admit new
-    prefills until their decode-switch fires), modulated by the output-length
-    predictor — prefill-heavy requests avoid decode-phase replicas hardest.
+    TD-Pipe-specific: normalized load plus a bonus for replicas currently in
+    their *decode* phase (which will admit a newcomer at the head of a fresh
+    prefill phase once the decode-switch fires), modulated by the
+    output-length predictor.
+``deadline``
+    SLO-aware: estimated queued-work seconds against each request's TTFT
+    deadline — relaxed traffic spreads over any feasible replica, tight
+    traffic chases the fastest.
 ``static``
     Fixed request->replica map for pre-sharded workloads
-    (:func:`repro.workload.split_round_robin`); not part of the sweep set.
+    (:func:`repro.workload.split_round_robin`); strict by default (unmapped
+    requests raise instead of being silently misrouted).
 
-All policies are deterministic; load-aware policies rotate round-robin among
-score-tied replicas (a fixed tie-break would herd every idle-cluster tie onto
-replica 0).
+Fleet sizing
+------------
+:class:`Autoscaler` (attached via ``ClusterEngine(..., autoscaler=...)``)
+activates and drains replicas on the shared clock in response to
+capacity-normalized queue pressure, with hysteresis; draining replicas stop
+receiving traffic and are deactivated only once empty.  The
+:class:`~repro.metrics.cluster.ClusterResult` records the fleet-size
+timeline and per-replica active seconds.
 """
 
-from .engine import ClusterEngine, ReplicaFactory
-from .routing import (
+from .control import (
+    ROUTER_NAMES,
     ROUTERS,
+    Autoscaler,
+    ControlPlane,
+    DeadlineAwareRouter,
     JoinShortestQueueRouter,
     LeastLoadedKVRouter,
     PhaseAwareRouter,
+    ReplicaSnapshot,
     RoundRobinRouter,
     Router,
     StaticRouter,
     make_router,
+    parse_fleet,
+    replica_capacity_score,
 )
+from .engine import ClusterEngine, ReplicaFactory
 
 __all__ = [
     "ClusterEngine",
     "ReplicaFactory",
+    "ControlPlane",
+    "Autoscaler",
+    "ReplicaSnapshot",
     "Router",
     "RoundRobinRouter",
     "JoinShortestQueueRouter",
     "LeastLoadedKVRouter",
     "PhaseAwareRouter",
+    "DeadlineAwareRouter",
     "StaticRouter",
     "ROUTERS",
+    "ROUTER_NAMES",
     "make_router",
+    "parse_fleet",
+    "replica_capacity_score",
 ]

@@ -1,0 +1,48 @@
+"""Cluster control plane: routing, admission, and fleet sizing policies.
+
+One normalized view of replica state (:class:`ReplicaSnapshot`, capacity
+scores from the roofline model) feeds three pluggable policy families:
+
+* routers (:mod:`.routing`) — where each arriving request lands;
+* the autoscaler (:mod:`.autoscaler`) — how many replicas are active;
+* the :class:`ControlPlane` (:mod:`.plane`) — admission (active/draining
+  sets), policy execution on the shared clock, and fleet accounting.
+
+``repro.cluster.routing`` re-exports the router classes for backward
+compatibility; new code should import from this package.
+"""
+
+from .autoscaler import Autoscaler
+from .capacity import parse_fleet, replica_capacity_score
+from .plane import ControlPlane
+from .routing import (
+    ROUTER_NAMES,
+    ROUTERS,
+    DeadlineAwareRouter,
+    JoinShortestQueueRouter,
+    LeastLoadedKVRouter,
+    PhaseAwareRouter,
+    RoundRobinRouter,
+    Router,
+    StaticRouter,
+    make_router,
+)
+from .snapshot import ReplicaSnapshot
+
+__all__ = [
+    "Autoscaler",
+    "ControlPlane",
+    "ReplicaSnapshot",
+    "Router",
+    "RoundRobinRouter",
+    "JoinShortestQueueRouter",
+    "LeastLoadedKVRouter",
+    "PhaseAwareRouter",
+    "DeadlineAwareRouter",
+    "StaticRouter",
+    "ROUTERS",
+    "ROUTER_NAMES",
+    "make_router",
+    "parse_fleet",
+    "replica_capacity_score",
+]

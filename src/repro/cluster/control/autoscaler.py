@@ -1,0 +1,102 @@
+"""Fleet-sizing policy: scale the active replica set on queue pressure.
+
+The autoscaler is evaluated periodically on the shared cluster clock by the
+:class:`~repro.cluster.control.plane.ControlPlane`.  Its pressure signal is
+capacity-normalized — estimated seconds of queued prefill work per unit of
+active fleet capacity — so the same thresholds work for homogeneous and
+mixed fleets.  Hysteresis comes from patience counters: pressure must sit
+beyond a threshold for several consecutive ticks before the fleet changes,
+and the up/down patience are asymmetric (scaling up is cheap in a simulator
+but draining wastes warm capacity, so scale-down is the slower decision).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .snapshot import ReplicaSnapshot
+
+__all__ = ["Autoscaler"]
+
+
+@dataclass
+class Autoscaler:
+    """Threshold/hysteresis fleet-sizing policy.
+
+    ``decide`` returns +1 (activate a replica), -1 (drain one), or 0, given
+    snapshots of the currently routable replicas.  The control plane owns
+    *which* replica to start or drain and enforces the hard invariants
+    (never below ``min_replicas``; a draining replica is only deactivated
+    once it holds no resident requests).
+    """
+
+    #: Never drain the routable set below this size.
+    min_replicas: int = 1
+    #: Cap on active replicas (None = every provisioned replica may start).
+    max_replicas: int | None = None
+    #: How many replicas are active at t=0 (None = ``min_replicas``).
+    initial_replicas: int | None = None
+    #: Seconds of simulated time between control-loop evaluations.
+    interval_s: float = 0.25
+    #: Scale up when pending work exceeds this many seconds per unit capacity.
+    up_threshold_s: float = 0.5
+    #: Scale down when pending work falls below this level.
+    down_threshold_s: float = 0.05
+    #: Consecutive over-threshold ticks before scaling up.
+    up_patience: int = 2
+    #: Consecutive under-threshold ticks before draining (slower than up).
+    down_patience: int = 8
+    #: Pending-work allowance per resident request, in tokens.  Phase-batched
+    #: engines admit their waiting queue into prefill quickly, so queued
+    #: tokens alone read a saturated-but-decoding replica as idle; counting
+    #: each in-system request as this many tokens of remaining work keeps
+    #: the fleet from draining mid-decode-phase.
+    work_per_resident_tokens: float = 64.0
+    _over: int = field(default=0, repr=False)
+    _under: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1:
+            raise ValueError("min_replicas must be >= 1")
+        if self.max_replicas is not None and self.max_replicas < self.min_replicas:
+            raise ValueError("max_replicas must be >= min_replicas")
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if self.down_threshold_s >= self.up_threshold_s:
+            raise ValueError("down_threshold_s must be below up_threshold_s")
+
+    def reset(self) -> None:
+        self._over = 0
+        self._under = 0
+
+    def pressure(self, snapshots: Sequence[ReplicaSnapshot]) -> float:
+        """Seconds of pending work per unit of routable capacity."""
+        capacity = sum(s.capacity for s in snapshots)
+        if capacity <= 0:
+            return 0.0
+        work = sum(
+            s.queued_tokens + self.work_per_resident_tokens * s.in_system
+            for s in snapshots
+        )
+        return work / capacity
+
+    def decide(self, snapshots: Sequence[ReplicaSnapshot]) -> int:
+        """Hysteresis step: -1 / 0 / +1 fleet-size delta for this tick."""
+        p = self.pressure(snapshots)
+        if p > self.up_threshold_s:
+            self._over += 1
+            self._under = 0
+            if self._over >= self.up_patience:
+                self._over = 0
+                return 1
+        elif p < self.down_threshold_s:
+            self._under += 1
+            self._over = 0
+            if self._under >= self.down_patience:
+                self._under = 0
+                return -1
+        else:
+            self._over = 0
+            self._under = 0
+        return 0

@@ -1,0 +1,68 @@
+"""Per-replica capacity scoring and fleet-spec parsing.
+
+Heterogeneous fleets (mixed L20/A100 nodes) break raw-count load balancing:
+three requests queued on an A100 replica represent far less *time* than three
+on an L20.  The control plane therefore normalizes every load signal by a
+**throughput score** — the tokens/s a replica sustains on a fixed reference
+workload, evaluated through the replica's own roofline stage cost models
+(which are built from its :class:`~repro.hardware.gpu.GPUSpec`).  Scores are
+only ever used as ratios between replicas, so the choice of reference
+workload shifts all scores together and cancels out.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["replica_capacity_score", "parse_fleet", "REF_PROMPT_LEN", "REF_DECODE_BATCH"]
+
+#: Reference workload: prefill one prompt of this many tokens...
+REF_PROMPT_LEN = 512
+#: ...and run one decode step over a batch of this many resident requests,
+#: each holding a REF_PROMPT_LEN-token context.
+REF_DECODE_BATCH = 8
+
+
+def replica_capacity_score(engine) -> float:
+    """Tokens/s of the reference workload through ``engine``'s cost models.
+
+    Pipeline throughput is bottleneck-bound, so per-phase time is the *max*
+    over stages (stages overlap across batches), and the score is reference
+    tokens divided by the summed phase times.  Objects without roofline stage
+    models (e.g. test doubles) score a neutral 1.0, which degrades every
+    normalized policy to its raw-count behaviour.
+    """
+    stage_models = getattr(engine, "stage_models", None)
+    if not stage_models:
+        return 1.0
+    prefill_s = max(sm.prefill_time([REF_PROMPT_LEN]) for sm in stage_models)
+    kv_tokens = float(REF_DECODE_BATCH * REF_PROMPT_LEN)
+    decode_s = max(sm.decode_time(REF_DECODE_BATCH, kv_tokens) for sm in stage_models)
+    tokens = REF_PROMPT_LEN + REF_DECODE_BATCH
+    return tokens / (prefill_s + decode_s)
+
+
+def parse_fleet(spec: str | Sequence[str]) -> list[str]:
+    """Expand a fleet spec into one GPU/node name per replica.
+
+    ``"l20:2,a100:2"`` -> ``["l20", "l20", "a100", "a100"]``; a bare name
+    means count 1; a sequence of names passes through unchanged.
+    """
+    if not isinstance(spec, str):
+        names = [str(n) for n in spec]
+        if not names:
+            raise ValueError("empty fleet spec")
+        return names
+    names = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, count = part.partition(":")
+        n = int(count) if count else 1
+        if n < 1:
+            raise ValueError(f"fleet count must be >= 1 in {part!r}")
+        names.extend([name.strip()] * n)
+    if not names:
+        raise ValueError(f"empty fleet spec {spec!r}")
+    return names

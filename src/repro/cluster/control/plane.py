@@ -1,0 +1,247 @@
+"""The cluster control plane: routing, admission, and fleet sizing.
+
+:class:`ControlPlane` owns the policy decisions a production front-end makes
+outside any single replica:
+
+* **admission** — which replicas are eligible targets right now (active and
+  not draining);
+* **routing** — which eligible replica each arriving request lands on,
+  delegated to a pluggable :class:`~repro.cluster.control.routing.Router`
+  scoring capacity-normalized snapshots;
+* **fleet sizing** — when an :class:`~repro.cluster.control.autoscaler.
+  Autoscaler` is attached, periodic control-loop ticks on the shared clock
+  activate or drain replicas in response to queue pressure.
+
+The plane also keeps the operator-facing accounting: a fleet-size timeline,
+per-replica active-time totals, and an event log of every activation, drain
+and deactivation.  Hard invariants enforced here rather than in any policy:
+the routable set never shrinks below ``min_replicas``, and a replica is only
+deactivated once it holds no resident requests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...sim.engine import Simulator
+from ...workload.request import Request
+from .autoscaler import Autoscaler
+from .capacity import replica_capacity_score
+from .routing import Router
+from .snapshot import ReplicaSnapshot
+
+__all__ = ["ControlPlane"]
+
+
+class ControlPlane:
+    """Policy layer between arriving requests and the replica fleet."""
+
+    def __init__(
+        self,
+        replicas: Sequence,
+        router: Router,
+        autoscaler: Autoscaler | None = None,
+    ) -> None:
+        self.replicas = list(replicas)
+        self.router = router
+        self.autoscaler = autoscaler
+        n = len(self.replicas)
+        #: Throughput score per replica (roofline-derived, hardware-dependent).
+        self.capacity_scores = [replica_capacity_score(r) for r in self.replicas]
+        self.active = [True] * n
+        self.draining = [False] * n
+        self._activated_at: list[float | None] = [None] * n
+        #: Closed (start, end) activity intervals per replica.
+        self._intervals: list[list[tuple[float, float]]] = [[] for _ in range(n)]
+        #: Cumulative seconds each replica spent active (filled by finish()).
+        self.active_time = [0.0] * n
+        #: (time, active replica count) after every fleet-size change.
+        self.timeline: list[tuple[float, int]] = []
+        #: (time, event, replica index) log:
+        #: "activate"/"drain"/"undrain"/"deactivate".
+        self.events: list[tuple[float, str, int]] = []
+        self._sim: Simulator | None = None
+        self._total_requests = 0
+        self._dispatched = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle.
+    # ------------------------------------------------------------------ #
+    def begin(self, sim: Simulator, total_requests: int) -> None:
+        """Reset per-run state and schedule the control loop at t=0."""
+        self._sim = sim
+        self._total_requests = total_requests
+        self._dispatched = 0
+        n = len(self.replicas)
+        self._intervals = [[] for _ in range(n)]
+        self.active_time = [0.0] * n
+        self.timeline.clear()
+        self.events.clear()
+        self.router.reset(self.replicas)
+        if self.autoscaler is None:
+            initial = n
+        else:
+            self.autoscaler.reset()
+            initial = self.autoscaler.initial_replicas
+            if initial is None:
+                initial = self.autoscaler.min_replicas
+            initial = max(1, min(initial, n))
+        self.active = [i < initial for i in range(n)]
+        self.draining = [False] * n
+        self._activated_at = [0.0 if self.active[i] else None for i in range(n)]
+        self.timeline.append((0.0, initial))
+        if self.autoscaler is not None and n > 0:
+            sim.schedule(self.autoscaler.interval_s, self._tick)
+
+    def finish(self, end_time: float) -> None:
+        """Complete pending drains, close intervals, clamp to the makespan.
+
+        After a successful run every replica is empty, so a replica still
+        marked draining (its emptying raced the last control tick) can be
+        deactivated here; replicas that were simply active stay active and
+        just have their accounting interval closed.  Control ticks can fire
+        up to one interval *after* the last completion (the trace makespan),
+        so interval ends and timeline stamps are clamped to ``end_time`` —
+        accounting never extends past the work it accounts for.
+        """
+        for i in range(len(self.replicas)):
+            if self.active[i] and self.draining[i] and not self.replicas[i].in_system:
+                self._deactivate(i, end_time)
+        for i in range(len(self.replicas)):
+            started = self._activated_at[i]
+            if started is not None:
+                self._intervals[i].append((started, end_time))
+                self._activated_at[i] = None
+            self.active_time[i] = sum(
+                max(min(end, end_time) - min(start, end_time), 0.0)
+                for start, end in self._intervals[i]
+            )
+        self.timeline = [(min(t, end_time), n) for t, n in self.timeline]
+
+    # ------------------------------------------------------------------ #
+    # Admission + routing.
+    # ------------------------------------------------------------------ #
+    def routable_indices(self) -> list[int]:
+        """Replicas eligible for new requests: active and not draining."""
+        routable = [
+            i
+            for i in range(len(self.replicas))
+            if self.active[i] and not self.draining[i]
+        ]
+        if routable:
+            return routable
+        # Degenerate fallback (e.g. externally forced drains): admit to any
+        # active replica rather than losing the request.
+        return [i for i in range(len(self.replicas)) if self.active[i]] or list(
+            range(len(self.replicas))
+        )
+
+    def route(self, request: Request) -> int:
+        """Pick the destination replica for ``request`` (global index)."""
+        if self.router.targets_global_indices:
+            # Index-map routers (static pre-sharding) choose from the full
+            # fleet; their assignment overrides dynamic admission.
+            routable = list(range(len(self.replicas)))
+        else:
+            routable = self.routable_indices()
+        engines = [self.replicas[i] for i in routable]
+        pos = self.router.choose(request, engines)
+        if not 0 <= pos < len(engines):
+            raise ValueError(
+                f"router {self.router.name!r} chose replica {pos} of {len(engines)}"
+            )
+        self.router.on_routed(request, pos)
+        self._dispatched += 1
+        return routable[pos]
+
+    # ------------------------------------------------------------------ #
+    # Fleet sizing (autoscaler control loop).
+    # ------------------------------------------------------------------ #
+    @property
+    def num_active(self) -> int:
+        return sum(self.active)
+
+    def _snapshot(self, i: int) -> ReplicaSnapshot:
+        # The autoscaler's pressure signal reads the backlog-token sum.
+        return ReplicaSnapshot.capture(
+            self.replicas[i],
+            capacity=self.capacity_scores[i],
+            index=i,
+            with_queued_tokens=True,
+        )
+
+    def _activate(self, i: int, now: float) -> None:
+        self.active[i] = True
+        self.draining[i] = False
+        self._activated_at[i] = now
+        self.events.append((now, "activate", i))
+        self.timeline.append((now, self.num_active))
+
+    def _deactivate(self, i: int, now: float) -> None:
+        if self.replicas[i].in_system:
+            raise AssertionError(
+                f"control plane bug: deactivating replica {i} with "
+                f"{self.replicas[i].in_system} resident requests"
+            )
+        self.active[i] = False
+        self.draining[i] = False
+        started = self._activated_at[i]
+        if started is not None:
+            self._intervals[i].append((started, now))
+        self._activated_at[i] = None
+        self.events.append((now, "deactivate", i))
+        self.timeline.append((now, self.num_active))
+
+    def _tick(self) -> None:
+        assert self._sim is not None and self.autoscaler is not None
+        now = self._sim.now
+        # Complete drains whose replicas have emptied out.
+        for i in range(len(self.replicas)):
+            if self.active[i] and self.draining[i] and not self.replicas[i].in_system:
+                self._deactivate(i, now)
+
+        routable = [
+            i
+            for i in range(len(self.replicas))
+            if self.active[i] and not self.draining[i]
+        ]
+        decision = self.autoscaler.decide([self._snapshot(i) for i in routable])
+        if decision > 0:
+            self._scale_up(now)
+        elif decision < 0:
+            self._scale_down(routable, now)
+
+        # Keep ticking while work remains anywhere in the system; stop once
+        # quiescent so the shared event heap can drain and the run terminate.
+        if self._dispatched < self._total_requests or any(
+            r.in_system for r in self.replicas
+        ):
+            self._sim.schedule(self.autoscaler.interval_s, self._tick)
+
+    def _scale_up(self, now: float) -> None:
+        limit = self.autoscaler.max_replicas or len(self.replicas)
+        # Cancelling a drain first reuses a still-warm replica.  The fleet
+        # *size* is unchanged (draining replicas still count as active), so
+        # this is an event-log entry only, not a timeline step.
+        for i in range(len(self.replicas)):
+            if self.active[i] and self.draining[i]:
+                self.draining[i] = False
+                self.events.append((now, "undrain", i))
+                return
+        if self.num_active >= limit:
+            return
+        for i in range(len(self.replicas)):
+            if not self.active[i]:
+                self._activate(i, now)
+                return
+
+    def _scale_down(self, routable: list[int], now: float) -> None:
+        if len(routable) <= self.autoscaler.min_replicas:
+            return
+        # Drain the least-loaded routable replica; ties go to the highest
+        # index so the low-index core of the fleet stays stable.
+        victim = min(routable, key=lambda i: (self.replicas[i].in_system, -i))
+        self.draining[victim] = True
+        self.events.append((now, "drain", victim))
+        if not self.replicas[victim].in_system:
+            self._deactivate(victim, now)

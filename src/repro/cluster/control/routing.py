@@ -1,0 +1,337 @@
+"""Request routers: pick a replica for each arriving request.
+
+All policies are deterministic so cluster runs are reproducible on the
+shared event clock.  Load-aware policies score an immutable
+:class:`~repro.cluster.control.snapshot.ReplicaSnapshot` per replica —
+capacity-normalized via the roofline throughput score, so mixed L20/A100
+fleets are first-class — and break score ties with a rotating cursor
+(round-robin among the tied minima).  Ties are detected with a relative
+tolerance: once scores are normalized floats, exact equality almost never
+fires, which would silently disable the rotation and herd every tie onto the
+lowest index.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Callable, Sequence
+
+from ...predictor.length_predictor import OutputLengthPredictor
+from ...runtime.base_engine import InferenceEngine
+from ...workload.request import Request
+from .capacity import replica_capacity_score
+from .snapshot import ReplicaSnapshot
+
+__all__ = [
+    "Router",
+    "RoundRobinRouter",
+    "JoinShortestQueueRouter",
+    "LeastLoadedKVRouter",
+    "PhaseAwareRouter",
+    "DeadlineAwareRouter",
+    "StaticRouter",
+    "ROUTERS",
+    "ROUTER_NAMES",
+    "make_router",
+]
+
+
+class Router(abc.ABC):
+    """Routing policy interface.
+
+    ``choose`` must not mutate replica state; ``on_routed`` is the place for
+    policy-internal bookkeeping (e.g. advancing a round-robin cursor).
+    """
+
+    name: str = "base"
+
+    #: Whether ``choose`` returns indices into the *full* replica list
+    #: rather than whatever subsequence it is handed.  Routers that carry an
+    #: external index map (static pre-sharding) set this so the control
+    #: plane never re-interprets their choice against a filtered subset.
+    targets_global_indices: bool = False
+
+    def reset(self, replicas: Sequence[InferenceEngine]) -> None:
+        """Called once before a run; clear any per-run state."""
+
+    @abc.abstractmethod
+    def choose(self, request: Request, replicas: Sequence[InferenceEngine]) -> int:
+        """Index of the replica this request should be sent to."""
+
+    def on_routed(self, request: Request, replica_index: int) -> None:
+        """Notification that ``request`` was dispatched to ``replica_index``."""
+
+
+class _ScoredRouter(Router):
+    """Choose the minimum-score replica, rotating round-robin among ties.
+
+    Scores are computed over :class:`ReplicaSnapshot` captures; capacity
+    scores are cached per replica (they depend only on hardware + model, not
+    on load).  Near-ties count as ties: capacity-normalized scores are float
+    quotients, so two equally-idle replicas can differ in the last few ulps —
+    a relative tolerance keeps the anti-herding rotation alive.
+    """
+
+    #: Scores within this relative band of the minimum rotate as ties.
+    tie_rel_tol = 1e-9
+    tie_abs_tol = 1e-12
+
+    #: Set by policies whose score reads ``snapshot.queued_tokens`` /
+    #: ``est_wait_s`` (an O(queue) signal to capture).
+    needs_queued_tokens = False
+
+    def __init__(self) -> None:
+        self._cursor = 0
+        self._capacity: dict[int, float] = {}
+
+    def reset(self, replicas: Sequence[InferenceEngine]) -> None:
+        self._cursor = 0
+        self._capacity = {id(r): replica_capacity_score(r) for r in replicas}
+
+    def _snapshot(self, replica: InferenceEngine, index: int) -> ReplicaSnapshot:
+        cap = self._capacity.get(id(replica))
+        if cap is None:
+            cap = self._capacity[id(replica)] = replica_capacity_score(replica)
+        return ReplicaSnapshot.capture(
+            replica,
+            capacity=cap,
+            index=index,
+            with_queued_tokens=self.needs_queued_tokens,
+        )
+
+    @abc.abstractmethod
+    def score(self, request: Request, snapshot: ReplicaSnapshot) -> float:
+        """Lower is better; near-equal scores rotate."""
+
+    def choose(self, request: Request, replicas: Sequence[InferenceEngine]) -> int:
+        n = len(replicas)
+        scores = [
+            self.score(request, self._snapshot(replicas[i], i)) for i in range(n)
+        ]
+        best = min(scores)
+        for offset in range(n):
+            i = (self._cursor + offset) % n
+            if math.isclose(
+                scores[i], best, rel_tol=self.tie_rel_tol, abs_tol=self.tie_abs_tol
+            ):
+                return i
+        return scores.index(best)  # unreachable: best itself always matches
+
+    def on_routed(self, request: Request, replica_index: int) -> None:
+        self._cursor = replica_index + 1
+
+
+class RoundRobinRouter(_ScoredRouter):
+    """Cycle through replicas regardless of load (the classic L4 default).
+
+    A constant score makes every choice a tie, so the rotating tie-break *is*
+    the round-robin cycle.
+    """
+
+    name = "round-robin"
+
+    def score(self, request: Request, snapshot: ReplicaSnapshot) -> float:
+        return 0.0
+
+
+class JoinShortestQueueRouter(_ScoredRouter):
+    """Send to the replica with the least normalized in-system load.
+
+    "In system" counts waiting + resident requests, i.e. everything admitted
+    but unfinished — the standard JSQ load signal.  By default the count is
+    divided by the replica's capacity score, so an A100 replica absorbs
+    proportionally more of a mixed fleet's traffic; ``normalized=False``
+    (router name ``jsq-raw``) is the classic raw-count baseline the
+    heterogeneous-fleet experiment compares against.
+    """
+
+    def __init__(self, normalized: bool = True) -> None:
+        super().__init__()
+        self.normalized = normalized
+        self.name = "jsq" if normalized else "jsq-raw"
+
+    def score(self, request: Request, snapshot: ReplicaSnapshot) -> float:
+        return snapshot.load if self.normalized else float(snapshot.in_system)
+
+
+class LeastLoadedKVRouter(_ScoredRouter):
+    """Send to the replica with the most free KV-cache headroom.
+
+    KV occupancy is the memory-pressure signal: a replica with a nearly full
+    block pool defers new prefills (watermark) or evicts for re-computation,
+    both of which inflate TTFT.  Normalized in-system load breaks near-ties
+    so empty clusters still spread.
+    """
+
+    name = "least-kv"
+
+    def score(self, request: Request, snapshot: ReplicaSnapshot) -> float:
+        # Occupancy dominates; load is a tie-shader well below one block.
+        return snapshot.kv_usage + 1e-6 * snapshot.load
+
+
+class PhaseAwareRouter(_ScoredRouter):
+    """Route using each TD-Pipe replica's temporal phase and predicted length.
+
+    Temporal disaggregation makes admission latency phase-dependent, but not
+    in the naive direction.  TD-Pipe's decode-switch policy is *reactive*:
+    it compares the intensity of pending prefill work against the remaining
+    decode work, and only fires when the waiting queue is non-empty.  A
+    replica mid-decode-phase with an empty queue therefore decodes to
+    exhaustion, while a newcomer routed to it gives the switch policy a
+    reason to fire and is then prefilled at the head of a fresh prefill
+    phase.  Conversely, a replica mid-prefill-phase is about to *enter* a
+    long decode phase — a newcomer that just misses its prefill window waits
+    that whole phase out.  So on top of the normalized load score, decode-
+    phase replicas get a *bonus* (negative penalty) worth
+    ``decode_phase_bonus`` in-system requests on that replica.
+
+    The output-length predictor modulates the bonus: prefill-heavy requests
+    (predicted output short relative to the prompt) get the full bonus —
+    their TTFT is dominated by admission, and their high spatial intensity
+    makes the decode-switch fire promptly.  Decode-heavy requests amortise
+    admission over a long generation and take half, letting load balance
+    dominate for them.
+
+    Replicas without a ``phase`` attribute (non-TD-Pipe systems) just score
+    by normalized load, so mixed clusters degrade gracefully.
+    """
+
+    name = "phase-aware"
+
+    def __init__(
+        self,
+        predictor: OutputLengthPredictor | None = None,
+        decode_phase_bonus: float = 1.5,
+    ) -> None:
+        super().__init__()
+        self.predictor = predictor
+        self.decode_phase_bonus = decode_phase_bonus
+
+    def score(self, request: Request, snapshot: ReplicaSnapshot) -> float:
+        score = snapshot.load
+        if snapshot.phase == "decode":
+            bonus = self.decode_phase_bonus
+            if self.predictor is not None and request is not None:
+                predicted = float(self.predictor.predict_length(request))
+                if predicted >= request.prompt_len:  # decode-heavy
+                    bonus *= 0.5
+            # Same units as the load signal: a bonus of B is worth B
+            # in-system requests *on this replica*.
+            score -= bonus / snapshot.capacity
+        return score
+
+
+class DeadlineAwareRouter(_ScoredRouter):
+    """Route by estimated queueing delay against each request's TTFT deadline.
+
+    The score is the replica's estimated prefill-backlog wait minus a slack
+    allowance proportional to the request's TTFT deadline, floored at zero:
+
+    * every replica whose backlog fits inside the slack scores 0, so relaxed
+      traffic (``batch``) rotates round-robin across *all feasible* replicas
+      — including slower or busier ones — keeping fast replicas unsaturated;
+    * tight-deadline traffic (``interactive``) has little slack and chases
+      the minimum-wait replica like a normalized JSQ;
+    * when no replica is feasible, the policy minimises lateness.
+
+    Backlog estimates are capacity-normalized (seconds of queued prefill
+    work), so the same deadline maps to different queue depths on L20 and
+    A100 replicas.  Requests without an SLO class get zero slack.
+    """
+
+    name = "deadline"
+    needs_queued_tokens = True
+
+    def __init__(self, headroom: float = 0.5) -> None:
+        super().__init__()
+        #: Fraction of the TTFT deadline a replica's backlog may consume
+        #: before this policy stops considering it "free".
+        self.headroom = headroom
+
+    def score(self, request: Request, snapshot: ReplicaSnapshot) -> float:
+        slack = 0.0
+        slo = getattr(request, "slo", None)
+        if slo is not None and math.isfinite(slo.ttft_deadline_s):
+            slack = self.headroom * slo.ttft_deadline_s
+        return max(0.0, snapshot.est_wait_s - slack)
+
+
+class StaticRouter(Router):
+    """Fixed request->replica map (pre-sharded workloads, e.g.
+    :func:`repro.workload.split_round_robin`).
+
+    ``strict`` (the default) raises on requests missing from the map — a
+    pre-sharded workload with an unmapped request is a bug, and the old
+    silent ``request_id % len(replicas)`` fallback masked exactly that.
+    Pass ``strict=False`` to restore the modulo fallback for ad-hoc use.
+
+    Assignments are indices into the full replica list; the control plane
+    honours them even for replicas the autoscaler has deactivated (a
+    pre-sharded workload overrides dynamic admission).
+    """
+
+    name = "static"
+    targets_global_indices = True
+
+    def __init__(
+        self, assignment: dict[int, int] | None = None, strict: bool = True
+    ) -> None:
+        self.assignment = dict(assignment or {})
+        self.strict = strict
+
+    def choose(self, request: Request, replicas: Sequence[InferenceEngine]) -> int:
+        idx = self.assignment.get(request.request_id)
+        if idx is None:
+            if self.strict:
+                raise ValueError(
+                    f"request {request.request_id} has no static assignment "
+                    f"({len(self.assignment)} mapped); pass strict=False for "
+                    "the modulo fallback"
+                )
+            idx = request.request_id % len(replicas)
+        if not 0 <= idx < len(replicas):
+            raise ValueError(
+                f"static assignment {idx} out of range for {len(replicas)} replicas"
+            )
+        return idx
+
+
+#: Router names swept by the cluster-scaling experiment.
+ROUTERS = ("round-robin", "jsq", "least-kv", "phase-aware", "deadline")
+
+_BY_NAME: dict[str, Callable[[], Router]] = {
+    "round-robin": RoundRobinRouter,
+    "jsq": JoinShortestQueueRouter,
+    "jsq-raw": lambda: JoinShortestQueueRouter(normalized=False),
+    "least-kv": LeastLoadedKVRouter,
+    "phase-aware": PhaseAwareRouter,
+    "deadline": DeadlineAwareRouter,
+    "static": StaticRouter,
+}
+
+#: Dynamic-policy names exposed to the CLI (superset of ROUTERS; ``static``
+#: is excluded — it needs an assignment map no CLI flag can supply).
+ROUTER_NAMES = tuple(sorted(n for n in _BY_NAME if n != "static"))
+
+
+def make_router(
+    router: str | Router,
+    predictor: OutputLengthPredictor | None = None,
+) -> Router:
+    """Instantiate a router by name (or pass an instance through).
+
+    ``predictor`` is forwarded to policies that can use it (phase-aware).
+    """
+    if isinstance(router, Router):
+        return router
+    try:
+        factory = _BY_NAME[router]
+    except KeyError:
+        raise ValueError(
+            f"unknown router {router!r}; options: {sorted(_BY_NAME)}"
+        ) from None
+    if factory is PhaseAwareRouter:
+        return PhaseAwareRouter(predictor=predictor)
+    return factory()

@@ -1,0 +1,84 @@
+"""Normalized replica state: the one view all control policies share.
+
+A :class:`ReplicaSnapshot` is an immutable capture of the load signals a
+production front-end would poll from a replica's stats endpoint — queue
+depth, in-system count, queued prompt tokens, KV occupancy, temporal phase —
+plus the replica's capacity score.  Routers and the autoscaler score
+snapshots, never live engines, which makes two guarantees structural:
+``choose`` cannot mutate replica state, and every policy reads the *same*
+normalization (satisfying "JSQ counts in-system while phase-aware counts
+waiting" drift by construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ReplicaSnapshot"]
+
+
+@dataclass(frozen=True)
+class ReplicaSnapshot:
+    """Point-in-time load view of one replica."""
+
+    #: Position of this replica in the fleet list the snapshot was taken from.
+    index: int
+    #: Requests waiting for admission (not yet prefillled).
+    queue_depth: int
+    #: Requests admitted but unfinished (waiting + resident).
+    in_system: int
+    #: Total prompt tokens of the waiting queue — the prefill work backlog.
+    #: Costs O(queue) to read, so ``capture`` only fills it in when asked
+    #: (deadline router, autoscaler); 0 otherwise.
+    queued_tokens: int
+    #: KV-cache block-pool occupancy in [0, 1].
+    kv_usage: float
+    #: Temporal phase ("prefill"/"decode") for TD-Pipe replicas, else None.
+    phase: str | None
+    #: Throughput score (reference tokens/s); see
+    #: :func:`repro.cluster.control.capacity.replica_capacity_score`.
+    capacity: float = 1.0
+
+    @classmethod
+    def capture(
+        cls,
+        replica,
+        capacity: float = 1.0,
+        index: int = 0,
+        with_queued_tokens: bool = False,
+    ) -> "ReplicaSnapshot":
+        """Read a live engine's signals without touching its state.
+
+        ``with_queued_tokens`` opts in to the O(queue) backlog-token sum;
+        policies that only read counts keep routing O(1) per replica.
+        """
+        waiting = replica.waiting
+        return cls(
+            index=index,
+            queue_depth=len(waiting),
+            in_system=replica.in_system,
+            queued_tokens=(
+                sum(s.prefill_len for s in waiting) if with_queued_tokens else 0
+            ),
+            kv_usage=replica.block_manager.usage_ratio,
+            phase=getattr(replica, "phase", None),
+            capacity=capacity,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Capacity-normalized load signals (comparable across mixed fleets).
+    # ------------------------------------------------------------------ #
+    @property
+    def load(self) -> float:
+        """In-system requests per unit capacity — the normalized JSQ signal."""
+        return self.in_system / self.capacity
+
+    @property
+    def queue_load(self) -> float:
+        """Waiting requests per unit capacity."""
+        return self.queue_depth / self.capacity
+
+    @property
+    def est_wait_s(self) -> float:
+        """Estimated seconds of queued prefill work ahead of a newcomer."""
+        return self.queued_tokens / self.capacity

@@ -3,10 +3,13 @@
 A :class:`ClusterEngine` owns a single :class:`~repro.sim.engine.Simulator`
 and hands it to every replica engine, so the replicas' pipelines interleave
 deterministically on one event heap (time, insertion-order).  Requests arrive
-at the *cluster*; a :class:`~repro.cluster.routing.Router` picks a replica at
-each request's arrival instant — the same moment a production front-end would
-make the decision — and the request enters that replica exactly like a
-stamped online arrival.
+at the *cluster*; the :class:`~repro.cluster.control.plane.ControlPlane`
+picks a replica at each request's arrival instant — the same moment a
+production front-end would make the decision — and the request enters that
+replica exactly like a stamped online arrival.  Replicas may be
+heterogeneous (different nodes, different systems), and an optional
+:class:`~repro.cluster.control.autoscaler.Autoscaler` grows and drains the
+active fleet on the same clock.
 """
 
 from __future__ import annotations
@@ -15,10 +18,13 @@ from typing import Callable, Iterable, Sequence
 
 from ..metrics.cluster import ClusterResult
 from ..metrics.latency import compute_latency_stats
+from ..metrics.slo import compute_slo_attainment
 from ..runtime.base_engine import InferenceEngine
 from ..sim.engine import Simulator
 from ..workload.request import Request
-from .routing import PhaseAwareRouter, Router, make_router
+from .control.autoscaler import Autoscaler
+from .control.plane import ControlPlane
+from .control.routing import PhaseAwareRouter, Router, make_router
 
 __all__ = ["ClusterEngine", "ReplicaFactory"]
 
@@ -27,17 +33,23 @@ ReplicaFactory = Callable[[Simulator], InferenceEngine]
 
 
 class ClusterEngine:
-    """N independent replica engines behind a router, one shared clock.
+    """N independent replica engines behind a control plane, one shared clock.
 
     Parameters
     ----------
     factories:
         One constructor per replica.  Each is called with the shared
         :class:`Simulator` and must return an :class:`InferenceEngine` built
-        on it.  Replicas may be different systems (mixed fleets are allowed).
+        on it.  Replicas may be different systems or different hardware
+        (mixed fleets are first-class: routing normalizes load by each
+        replica's roofline capacity score).
     router:
-        Routing policy name (see :data:`repro.cluster.routing.ROUTERS`) or a
+        Routing policy name (see :data:`repro.cluster.control.ROUTERS`) or a
         :class:`Router` instance.
+    autoscaler:
+        Optional fleet-sizing policy.  When given, only the autoscaler's
+        initial replica set is active at t=0; the rest are provisioned
+        headroom it can activate (and later drain) on queue pressure.
 
     Example
     -------
@@ -54,6 +66,7 @@ class ClusterEngine:
         factories: Sequence[ReplicaFactory],
         router: str | Router = "round-robin",
         max_events: int | None = None,
+        autoscaler: Autoscaler | None = None,
     ) -> None:
         if not factories:
             raise ValueError("a cluster needs at least one replica")
@@ -65,16 +78,21 @@ class ClusterEngine:
                     f"replica {i} ({replica.system_name}) was not built on the "
                     "shared simulator; factories must pass `sim=` through"
                 )
-        self.router = make_router(router)
-        if isinstance(self.router, PhaseAwareRouter) and self.router.predictor is None:
+        router = make_router(router)
+        if isinstance(router, PhaseAwareRouter) and router.predictor is None:
             # Borrow a replica's length predictor so a by-name "phase-aware"
             # router gets its documented prediction modulation by default.
-            self.router.predictor = next(
+            router.predictor = next(
                 (r.predictor for r in self.replicas if hasattr(r, "predictor")), None
             )
+        self.control = ControlPlane(self.replicas, router=router, autoscaler=autoscaler)
         self.max_events = max_events
         #: request_id -> replica index, filled in during the run.
         self.assignments: dict[int, int] = {}
+
+    @property
+    def router(self) -> Router:
+        return self.control.router
 
     @property
     def num_replicas(self) -> int:
@@ -88,15 +106,9 @@ class ClusterEngine:
 
     # ------------------------------------------------------------------ #
     def _dispatch(self, request: Request) -> None:
-        idx = self.router.choose(request, self.replicas)
-        if not 0 <= idx < self.num_replicas:
-            raise ValueError(
-                f"router {self.router.name!r} chose replica {idx} "
-                f"of {self.num_replicas}"
-            )
+        idx = self.control.route(request)
         self.assignments[request.request_id] = idx
         self.replicas[idx].enqueue(request)
-        self.router.on_routed(request, idx)
 
     def run(self, requests: Iterable[Request]) -> ClusterResult:
         """Route and simulate the workload; aggregate per-replica results."""
@@ -107,10 +119,11 @@ class ClusterEngine:
             raise ValueError("duplicate request_ids in cluster workload")
 
         self.assignments.clear()
-        self.router.reset(self.replicas)
+        self.control.begin(self.sim, total_requests=len(reqs))
         # Replicas bootstrap empty (and go idle); every request then reaches
         # its replica through a routing event at its arrival instant, so the
-        # router always observes replica state *at that simulated time*.
+        # control plane always observes replica state *at that simulated
+        # time*.  Inactive replicas are provisioned-but-idle headroom.
         for replica in self.replicas:
             replica.start([], allow_empty=True)
         for req in reqs:
@@ -122,6 +135,8 @@ class ClusterEngine:
         self.sim.run(max_events=max_events)
 
         results = [replica.finalize() for replica in self.replicas]
+        makespan = max((r.makespan for r in results), default=0.0)
+        self.control.finish(makespan)
         counts = [0] * self.num_replicas
         for idx in self.assignments.values():
             counts[idx] += 1
@@ -130,11 +145,16 @@ class ClusterEngine:
             system=self.system_label,
             router=self.router.name,
             num_replicas=self.num_replicas,
-            makespan=max((r.makespan for r in results), default=0.0),
+            makespan=makespan,
             completed_requests=sum(r.completed_requests for r in results),
             total_prompt_tokens=sum(r.total_prompt_tokens for r in results),
             total_output_tokens=sum(r.total_output_tokens for r in results),
             replica_results=results,
             requests_per_replica=counts,
             latency=compute_latency_stats(pooled),
+            slo_attainment=compute_slo_attainment(pooled),
+            fleet_timeline=list(self.control.timeline),
+            replica_active_time=list(self.control.active_time),
+            capacity_scores=list(self.control.capacity_scores),
+            extras={"fleet_nodes": [r.node.name for r in self.replicas]},
         )

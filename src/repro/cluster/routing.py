@@ -1,22 +1,22 @@
-"""Request routers: pick a replica for each arriving request.
+"""Back-compat shim: routers now live in :mod:`repro.cluster.control.routing`.
 
-All policies are deterministic so cluster runs are reproducible on the
-shared event clock.  Load-aware policies break score ties with a rotating
-cursor (round-robin among the tied minima) — with a fixed lowest-index
-tie-break, every idle-cluster tie would herd onto replica 0.  A router sees
-the live replica engines, which is exactly the information a production
-router would poll from replica health/stats endpoints: queue depth, KV-cache
-occupancy, and — for TD-Pipe replicas — the current temporal phase.
+The PR-1 import path ``repro.cluster.routing`` keeps working; new code should
+import from :mod:`repro.cluster.control` (which also exposes the control
+plane, snapshots, capacity scoring and the autoscaler).
 """
 
-from __future__ import annotations
-
-import abc
-from typing import Callable, Sequence
-
-from ..predictor.length_predictor import OutputLengthPredictor
-from ..runtime.base_engine import InferenceEngine
-from ..workload.request import Request
+from .control.routing import (
+    ROUTER_NAMES,
+    ROUTERS,
+    DeadlineAwareRouter,
+    JoinShortestQueueRouter,
+    LeastLoadedKVRouter,
+    PhaseAwareRouter,
+    RoundRobinRouter,
+    Router,
+    StaticRouter,
+    make_router,
+)
 
 __all__ = [
     "Router",
@@ -24,197 +24,9 @@ __all__ = [
     "JoinShortestQueueRouter",
     "LeastLoadedKVRouter",
     "PhaseAwareRouter",
+    "DeadlineAwareRouter",
     "StaticRouter",
     "ROUTERS",
+    "ROUTER_NAMES",
     "make_router",
 ]
-
-
-class Router(abc.ABC):
-    """Routing policy interface.
-
-    ``choose`` must not mutate replica state; ``on_routed`` is the place for
-    policy-internal bookkeeping (e.g. advancing a round-robin cursor).
-    """
-
-    name: str = "base"
-
-    def reset(self, replicas: Sequence[InferenceEngine]) -> None:
-        """Called once before a run; clear any per-run state."""
-
-    @abc.abstractmethod
-    def choose(self, request: Request, replicas: Sequence[InferenceEngine]) -> int:
-        """Index of the replica this request should be sent to."""
-
-    def on_routed(self, request: Request, replica_index: int) -> None:
-        """Notification that ``request`` was dispatched to ``replica_index``."""
-
-
-class _ScoredRouter(Router):
-    """Choose the minimum-score replica, rotating round-robin among ties."""
-
-    def __init__(self) -> None:
-        self._cursor = 0
-
-    def reset(self, replicas: Sequence[InferenceEngine]) -> None:
-        self._cursor = 0
-
-    @abc.abstractmethod
-    def score(self, request: Request, replica: InferenceEngine) -> float:
-        """Lower is better; equal scores rotate."""
-
-    def choose(self, request: Request, replicas: Sequence[InferenceEngine]) -> int:
-        n = len(replicas)
-        scores = [self.score(request, replicas[i]) for i in range(n)]
-        best = min(scores)
-        for offset in range(n):
-            i = (self._cursor + offset) % n
-            if scores[i] == best:
-                return i
-        return 0  # unreachable
-
-    def on_routed(self, request: Request, replica_index: int) -> None:
-        self._cursor = replica_index + 1
-
-
-class RoundRobinRouter(_ScoredRouter):
-    """Cycle through replicas regardless of load (the classic L4 default).
-
-    A constant score makes every choice a tie, so the rotating tie-break *is*
-    the round-robin cycle.
-    """
-
-    name = "round-robin"
-
-    def score(self, request: Request, replica: InferenceEngine) -> float:
-        return 0.0
-
-
-class JoinShortestQueueRouter(_ScoredRouter):
-    """Send to the replica with the fewest in-system requests.
-
-    "In system" counts waiting + resident requests, i.e. everything admitted
-    but unfinished — the standard JSQ load signal.
-    """
-
-    name = "jsq"
-
-    def score(self, request: Request, replica: InferenceEngine) -> float:
-        return float(replica.in_system)
-
-
-class LeastLoadedKVRouter(_ScoredRouter):
-    """Send to the replica with the most free KV-cache headroom.
-
-    KV occupancy is the memory-pressure signal: a replica with a nearly full
-    block pool defers new prefills (watermark) or evicts for re-computation,
-    both of which inflate TTFT.  In-system load breaks near-ties so empty
-    clusters still spread.
-    """
-
-    name = "least-kv"
-
-    def score(self, request: Request, replica: InferenceEngine) -> float:
-        # Occupancy dominates; load is a tie-shader well below one block.
-        return replica.block_manager.usage_ratio + 1e-6 * replica.in_system
-
-
-class PhaseAwareRouter(_ScoredRouter):
-    """Route using each TD-Pipe replica's temporal phase and predicted length.
-
-    Temporal disaggregation makes admission latency phase-dependent, but not
-    in the naive direction.  TD-Pipe's decode-switch policy is *reactive*:
-    it compares the intensity of pending prefill work against the remaining
-    decode work, and only fires when the waiting queue is non-empty.  A
-    replica mid-decode-phase with an empty queue therefore decodes to
-    exhaustion, while a newcomer routed to it gives the switch policy a
-    reason to fire and is then prefilled at the head of a fresh prefill
-    phase.  Conversely, a replica mid-prefill-phase is about to *enter* a
-    long decode phase — a newcomer that just misses its prefill window waits
-    that whole phase out.  So on top of the queue-depth score, decode-phase
-    replicas get a *bonus* (negative penalty).
-
-    The output-length predictor modulates the bonus: prefill-heavy requests
-    (predicted output short relative to the prompt) get the full bonus —
-    their TTFT is dominated by admission, and their high spatial intensity
-    makes the decode-switch fire promptly.  Decode-heavy requests amortise
-    admission over a long generation and take half, letting queue balance
-    dominate for them.
-
-    Replicas without a ``phase`` attribute (non-TD-Pipe systems) just score
-    by queue depth, so mixed clusters degrade gracefully.
-    """
-
-    name = "phase-aware"
-
-    def __init__(
-        self,
-        predictor: OutputLengthPredictor | None = None,
-        decode_phase_bonus: float = 1.5,
-    ) -> None:
-        super().__init__()
-        self.predictor = predictor
-        self.decode_phase_bonus = decode_phase_bonus
-
-    def score(self, request: Request, replica: InferenceEngine) -> float:
-        score = float(len(replica.waiting))
-        if getattr(replica, "phase", None) == "decode":
-            bonus = self.decode_phase_bonus
-            if self.predictor is not None:
-                predicted = float(self.predictor.predict_length(request))
-                if predicted >= request.prompt_len:  # decode-heavy
-                    bonus *= 0.5
-            score -= bonus
-        return score
-
-
-class StaticRouter(Router):
-    """Fixed request->replica map (pre-sharded workloads, e.g.
-    :func:`repro.workload.split_round_robin`).  Requests missing from the map
-    fall back to ``request_id % num_replicas``."""
-
-    name = "static"
-
-    def __init__(self, assignment: dict[int, int] | None = None) -> None:
-        self.assignment = dict(assignment or {})
-
-    def choose(self, request: Request, replicas: Sequence[InferenceEngine]) -> int:
-        idx = self.assignment.get(request.request_id, request.request_id % len(replicas))
-        if not 0 <= idx < len(replicas):
-            raise ValueError(
-                f"static assignment {idx} out of range for {len(replicas)} replicas"
-            )
-        return idx
-
-
-#: Router names accepted by :func:`make_router` (sweep-relevant policies).
-ROUTERS = ("round-robin", "jsq", "least-kv", "phase-aware")
-
-_BY_NAME: dict[str, Callable[[], Router]] = {
-    RoundRobinRouter.name: RoundRobinRouter,
-    JoinShortestQueueRouter.name: JoinShortestQueueRouter,
-    LeastLoadedKVRouter.name: LeastLoadedKVRouter,
-    PhaseAwareRouter.name: PhaseAwareRouter,
-    StaticRouter.name: StaticRouter,
-}
-
-
-def make_router(
-    router: str | Router,
-    predictor: OutputLengthPredictor | None = None,
-) -> Router:
-    """Instantiate a router by name (or pass an instance through).
-
-    ``predictor`` is forwarded to policies that can use it (phase-aware).
-    """
-    if isinstance(router, Router):
-        return router
-    try:
-        cls = _BY_NAME[router]
-    except KeyError:
-        raise ValueError(
-            f"unknown router {router!r}; options: {sorted(_BY_NAME)}"
-        ) from None
-    if cls is PhaseAwareRouter:
-        return PhaseAwareRouter(predictor=predictor)
-    return cls()

@@ -13,21 +13,37 @@ the same load factor; the table reports the cluster-wide rate.
 
 from __future__ import annotations
 
+from ..cluster import Autoscaler
 from ..cluster.routing import ROUTERS
 from .common import ExperimentScale, default_scale, run_cluster
 
 __all__ = [
     "REPLICA_COUNTS",
     "RATES_PER_REPLICA",
+    "HETERO_FLEET",
+    "HETERO_ROUTERS",
+    "DEFAULT_SLO_MIX",
     "run",
     "run_single",
     "format_results",
+    "run_heterogeneous",
+    "format_heterogeneous",
+    "run_autoscaling",
+    "format_autoscaling",
 ]
 
 REPLICA_COUNTS = (2, 4)
 
 #: Requests per second per replica: light load, near saturation, overload.
 RATES_PER_REPLICA = (0.5, 2.0, 3.0)
+
+#: The mixed fleet the heterogeneous sweep runs on (paper's two testbeds).
+HETERO_FLEET = "l20:2,a100:2"
+
+#: Raw-count JSQ is the baseline capacity normalization must beat.
+HETERO_ROUTERS = ("round-robin", "jsq-raw", "jsq", "deadline")
+
+DEFAULT_SLO_MIX = "interactive:0.7,batch:0.3"
 
 
 def run_single(
@@ -38,6 +54,9 @@ def run_single(
     replicas: int = 4,
     router: str = "phase-aware",
     rate_rps: float | None = 8.0,
+    fleet: str | None = None,
+    slo_mix: str | None = None,
+    autoscaler: Autoscaler | bool | None = None,
 ) -> dict:
     """One cluster configuration -> one result row."""
     scale = scale or default_scale()
@@ -49,19 +68,28 @@ def run_single(
         router=router,
         rate_rps=rate_rps,
         scale=scale,
+        fleet=fleet,
+        slo_mix=slo_mix,
+        autoscaler=autoscaler,
     )
     lat = result.latency
     return {
         "system": system,
-        "replicas": replicas,
+        "replicas": result.num_replicas,
         "router": router,
         "rate_rps": rate_rps,
+        "slo_mix": slo_mix,
         "ttft_p50": lat.ttft_p50,
         "ttft_p99": lat.ttft_p99,
         "tpot_p99": lat.tpot_p99,
         "goodput": result.goodput,
         "throughput": result.throughput,
         "util_imbalance": result.utilization_imbalance,
+        "slo_attainment": {
+            name: stats.attainment for name, stats in result.slo_attainment.items()
+        },
+        "mean_active_replicas": result.mean_active_replicas,
+        "replica_seconds": result.replica_seconds,
         "result": result,
     }
 
@@ -93,6 +121,124 @@ def run(
                     )
                 )
     return rows
+
+
+def run_heterogeneous(
+    scale: ExperimentScale | None = None,
+    system: str = "TD-Pipe",
+    model: str = "13B",
+    fleet: str = HETERO_FLEET,
+    routers: tuple[str, ...] = HETERO_ROUTERS,
+    rate_rps: float = 14.0,
+    slo_mix: str = DEFAULT_SLO_MIX,
+) -> list[dict]:
+    """Mixed L20/A100 fleet: does capacity normalization earn its keep?
+
+    Same workload, same fleet, router swept.  Raw-count JSQ treats an L20
+    and an A100 queue of equal length as equally loaded and over-commits the
+    slow nodes; the normalized policies divide load by the roofline
+    throughput score.  Rows carry per-SLO-class attainment so the deadline
+    router's class separation is visible too.
+    """
+    scale = scale or default_scale()
+    return [
+        run_single(
+            scale=scale,
+            system=system,
+            model=model,
+            router=router,
+            rate_rps=rate_rps,
+            fleet=fleet,
+            slo_mix=slo_mix,
+        )
+        for router in routers
+    ]
+
+
+def format_heterogeneous(rows: list[dict]) -> str:
+    """One line per router; best p99 TTFT starred."""
+    if not rows:
+        return "no results"
+    fleet = rows[0]["result"].extras.get("fleet_nodes", [])
+    lines = [
+        f"Heterogeneous fleet ({'+'.join(fleet)}), "
+        f"{rows[0]['rate_rps']:.1f} req/s, SLO mix {rows[0]['slo_mix']}",
+        f"{'router':<12} {'TTFT p50':>9} {'TTFT p99':>9} {'goodput':>8} "
+        f"{'imbal':>6} {'SLO int':>8} {'SLO bat':>8}",
+    ]
+    best = min(r["ttft_p99"] for r in rows)
+    for row in rows:
+        star = "*" if row["ttft_p99"] == best else " "
+        att = row["slo_attainment"]
+        lines.append(
+            f"{row['router']:<12} {row['ttft_p50']:>8.2f}s {row['ttft_p99']:>7.2f}s{star} "
+            f"{row['goodput']:>8.2f} {row['util_imbalance'] * 100:>5.1f}% "
+            f"{att.get('interactive', float('nan')) * 100:>7.1f}% "
+            f"{att.get('batch', float('nan')) * 100:>7.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def run_autoscaling(
+    scale: ExperimentScale | None = None,
+    system: str = "TD-Pipe",
+    node: str = "L20",
+    model: str = "13B",
+    replicas: int = 4,
+    router: str = "jsq",
+    rate_rps: float = 10.0,
+    slo_mix: str = DEFAULT_SLO_MIX,
+) -> list[dict]:
+    """Fixed fleet vs autoscaled fleet on the same workload.
+
+    The autoscaled run provisions the same ``replicas`` as headroom but
+    starts from one active replica, growing on queue pressure and draining
+    when it subsides — trading some tail latency for replica-seconds (the
+    fleet's cost denominator).
+    """
+    scale = scale or default_scale()
+    rows = []
+    for autoscaler in (None, Autoscaler(min_replicas=1)):
+        row = run_single(
+            scale=scale,
+            system=system,
+            node=node,
+            model=model,
+            replicas=replicas,
+            router=router,
+            rate_rps=rate_rps,
+            slo_mix=slo_mix,
+            autoscaler=autoscaler,
+        )
+        row["autoscaled"] = autoscaler is not None
+        rows.append(row)
+    return rows
+
+
+def format_autoscaling(rows: list[dict]) -> str:
+    """Fixed-vs-autoscaled comparison table plus the fleet-size timeline."""
+    if not rows:
+        return "no results"
+    lines = [
+        f"Autoscaling: {rows[0]['replicas']} provisioned replicas, "
+        f"{rows[0]['rate_rps']:.1f} req/s",
+        f"{'mode':<10} {'TTFT p99':>9} {'goodput':>8} {'avg fleet':>9} "
+        f"{'repl-sec':>9} {'SLO int':>8}",
+    ]
+    for row in rows:
+        mode = "autoscale" if row.get("autoscaled") else "fixed"
+        att = row["slo_attainment"]
+        lines.append(
+            f"{mode:<10} {row['ttft_p99']:>8.2f}s {row['goodput']:>8.2f} "
+            f"{row['mean_active_replicas']:>9.2f} {row['replica_seconds']:>9.1f} "
+            f"{att.get('interactive', float('nan')) * 100:>7.1f}%"
+        )
+        if row.get("autoscaled"):
+            timeline = row["result"].fleet_timeline
+            steps = ", ".join(f"{t:.1f}s->{n}" for t, n in timeline[:12])
+            more = "" if len(timeline) <= 12 else f", ... ({len(timeline)} changes)"
+            lines.append(f"  fleet timeline: {steps}{more}")
+    return "\n".join(lines)
 
 
 def format_results(rows: list[dict]) -> str:

@@ -8,18 +8,18 @@ fast benchmark execution (the paper's full scale is ``scale=1.0``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
 
 from typing import Sequence
 
 from ..baselines import PPHybridEngine, PPSeparateEngine, TPHybridEngine, TPSeparateEngine
-from ..cluster import ClusterEngine
+from ..cluster import Autoscaler, ClusterEngine, parse_fleet
 from ..cluster.routing import Router, make_router
 from ..core import TDPipeEngine
 from ..core.policies import DecodeSwitchPolicy, PrefillSwitchPolicy
 from ..hardware.node import NodeSpec, make_node
-from ..kvcache.capacity import OutOfMemoryError
+from ..kvcache.capacity import OutOfMemoryError  # noqa: F401  (re-export: callers catch it from here)
 from ..metrics.cluster import ClusterResult
 from ..metrics.results import RunResult
 from ..models.spec import ModelSpec, get_model
@@ -29,6 +29,7 @@ from ..runtime.config import EngineConfig
 from ..sim.engine import Simulator
 from ..workload import DatasetSplits, Request, build_dataset, sample_eval_requests
 from ..workload.arrivals import with_poisson_arrivals
+from ..workload.slo import with_slo_mix
 
 __all__ = [
     "SYSTEMS",
@@ -200,26 +201,44 @@ def run_cluster(
     config: EngineConfig | None = None,
     predictor: OutputLengthPredictor | None = None,
     work_stealing: bool = True,
+    fleet: str | Sequence[NodeSpec | str] | None = None,
+    slo_mix: str | dict | None = None,
+    autoscaler: Autoscaler | bool | None = None,
 ) -> ClusterResult:
     """Run a replicated cluster of ``system`` engines behind ``router``.
 
     ``system`` may be one name (homogeneous fleet) or a sequence of
-    ``replicas`` names (mixed fleet).  ``rate_rps`` stamps Poisson arrivals
-    (cluster-wide rate) onto the workload; without it the workload's own
-    arrival times are used (the paper's offline setting if they are all 0).
+    ``replicas`` names (mixed fleet).  ``fleet`` overrides ``node`` and
+    ``replicas`` with one node per replica — either a spec string like
+    ``"l20:2,a100:2"`` or a sequence of node names / :class:`NodeSpec`s —
+    making heterogeneous hardware first-class.  ``rate_rps`` stamps Poisson
+    arrivals (cluster-wide rate) onto the workload; without it the
+    workload's own arrival times are used (the paper's offline setting if
+    they are all 0).  ``slo_mix`` (e.g. ``"interactive:0.7,batch:0.3"``)
+    assigns SLO classes to the workload so per-class attainment is reported.
+    ``autoscaler`` attaches a fleet-sizing policy (``True`` for defaults).
     Every replica shares one simulator clock, so results are deterministic
     for a fixed seed/config.
 
-    >>> run_cluster("TD-Pipe", "L20", "13B", replicas=4, router="phase-aware",
-    ...             rate_rps=8.0)                       # doctest: +SKIP
+    >>> run_cluster("TD-Pipe", fleet="l20:2,a100:2", router="jsq",
+    ...             rate_rps=12.0, slo_mix="interactive:0.7,batch:0.3",
+    ...             autoscaler=True)                    # doctest: +SKIP
     """
     scale = scale or default_scale()
-    if isinstance(node, str):
-        node = make_node(node, num_gpus or 4)
-    elif num_gpus is not None and node.num_gpus != num_gpus:
-        node = node.with_num_gpus(num_gpus)
     if isinstance(model, str):
         model = get_model(model)
+    if fleet is not None:
+        nodes = [
+            n if isinstance(n, NodeSpec) else make_node(n, num_gpus or 4)
+            for n in (parse_fleet(fleet) if isinstance(fleet, str) else fleet)
+        ]
+        replicas = len(nodes)
+    else:
+        if isinstance(node, str):
+            node = make_node(node, num_gpus or 4)
+        elif num_gpus is not None and node.num_gpus != num_gpus:
+            node = node.with_num_gpus(num_gpus)
+        nodes = [node] * replicas
     if isinstance(system, str):
         systems = [system] * replicas
     else:
@@ -234,20 +253,26 @@ def run_cluster(
         requests = eval_requests(scale)
     if rate_rps is not None:
         requests = with_poisson_arrivals(requests, rate_rps, seed=scale.seed)
+    if slo_mix is not None:
+        requests = with_slo_mix(requests, slo_mix, seed=scale.seed)
+    if autoscaler is True:
+        autoscaler = Autoscaler()
+    elif autoscaler is False:
+        autoscaler = None
 
     factories = [
-        lambda sim, name=name: build_engine(
+        lambda sim, name=name, nd=nd: build_engine(
             name,
-            node,
+            nd,
             model,
             predictor=predictor,
             config=config,
             work_stealing=work_stealing,
             sim=sim,
         )
-        for name in systems
+        for name, nd in zip(systems, nodes)
     ]
     if isinstance(router, str):
         router = make_router(router, predictor=predictor)
-    cluster = ClusterEngine(factories, router=router)
+    cluster = ClusterEngine(factories, router=router, autoscaler=autoscaler)
     return cluster.run(requests)

@@ -14,7 +14,7 @@ from dataclasses import dataclass, replace
 from typing import Sequence
 
 from ..hardware.node import NodeSpec, make_node
-from ..models.spec import ModelSpec, get_model
+from ..models.spec import get_model
 from ..runtime.config import EngineConfig
 from .common import ExperimentScale, default_scale, eval_requests, run_system
 

@@ -4,6 +4,7 @@ from .cluster import ClusterResult
 from .latency import LatencyStats, compute_latency_stats
 from .report import ComparisonReport
 from .results import KVUsageSample, PhaseSpan, RunResult
+from .slo import SLOClassStats, compute_slo_attainment
 
 __all__ = [
     "RunResult",
@@ -13,4 +14,6 @@ __all__ = [
     "ComparisonReport",
     "LatencyStats",
     "compute_latency_stats",
+    "SLOClassStats",
+    "compute_slo_attainment",
 ]

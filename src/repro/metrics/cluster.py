@@ -15,6 +15,7 @@ import numpy as np
 
 from .latency import LatencyStats
 from .results import RunResult
+from .slo import SLOClassStats
 
 __all__ = ["ClusterResult"]
 
@@ -39,6 +40,14 @@ class ClusterResult:
     #: How many requests the router sent to each replica.
     requests_per_replica: list[int]
     latency: LatencyStats | None = None
+    #: Per-SLO-class deadline attainment (empty when no request carried one).
+    slo_attainment: dict[str, SLOClassStats] = field(default_factory=dict)
+    #: (time, active replica count) after every fleet-size change.
+    fleet_timeline: list[tuple[float, int]] = field(default_factory=list)
+    #: Seconds each replica spent active (== makespan each, without autoscaling).
+    replica_active_time: list[float] = field(default_factory=list)
+    #: Roofline throughput score per replica (heterogeneous-fleet view).
+    capacity_scores: list[float] = field(default_factory=list)
     extras: dict = field(default_factory=dict)
 
     @property
@@ -90,6 +99,29 @@ class ClusterResult:
         return max(util) - min(util)
 
     @property
+    def mean_active_replicas(self) -> float:
+        """Time-weighted average fleet size over the makespan.
+
+        Equals ``num_replicas`` without autoscaling; under autoscaling it is
+        the capacity actually paid for.
+        """
+        if not self.fleet_timeline or self.makespan <= 0:
+            return float(self.num_replicas)
+        area = 0.0
+        for (t0, n), (t1, _) in zip(self.fleet_timeline, self.fleet_timeline[1:]):
+            area += n * (min(t1, self.makespan) - t0)
+        last_t, last_n = self.fleet_timeline[-1]
+        area += last_n * max(self.makespan - last_t, 0.0)
+        return area / self.makespan
+
+    @property
+    def replica_seconds(self) -> float:
+        """Total active replica-seconds — the fleet's cost denominator."""
+        if self.replica_active_time:
+            return float(sum(self.replica_active_time))
+        return self.makespan * self.num_replicas
+
+    @property
     def request_imbalance(self) -> float:
         """Max/mean ratio of routed request counts (1.0 = perfectly even)."""
         counts = self.requests_per_replica
@@ -105,11 +137,21 @@ class ClusterResult:
                 f"p99 {self.latency.ttft_p99:.2f}s | "
                 f"TPOT p99 {self.latency.tpot_p99 * 1e3:.1f}ms"
             )
+        slo = ""
+        if self.slo_attainment:
+            parts = ", ".join(
+                f"{name} {stats.attainment * 100:.1f}%"
+                for name, stats in self.slo_attainment.items()
+            )
+            slo = f" | SLO {parts}"
+        fleet = ""
+        if len({n for _, n in self.fleet_timeline}) > 1:
+            fleet = f" | fleet avg {self.mean_active_replicas:.2f}/{self.num_replicas}"
         return (
             f"{self.system} x{self.num_replicas} [{self.router:11s}] | "
             f"goodput {self.goodput:6.2f} req/s | "
             f"throughput {self.throughput:9.1f} tok/s | "
             f"util {self.mean_utilization * 100:5.1f}% "
             f"(imbalance {self.utilization_imbalance * 100:4.1f}pp)"
-            f"{lat}"
+            f"{lat}{slo}{fleet}"
         )

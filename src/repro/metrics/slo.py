@@ -1,0 +1,74 @@
+"""Per-SLO-class attainment metrics.
+
+Attainment is the fraction of a class's finished requests that met each of
+its deadlines — the number an operator holds a fleet to ("99% of interactive
+requests see first token within 8 s").  Requests without an SLO class are
+best-effort and excluded; single-token outputs have no steady-state TPOT and
+trivially meet the TPOT deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..runtime.state import RequestState
+from ..workload.slo import SLOClass
+
+__all__ = ["SLOClassStats", "compute_slo_attainment"]
+
+
+@dataclass(frozen=True)
+class SLOClassStats:
+    """Deadline attainment for one SLO class over one run."""
+
+    slo: SLOClass
+    #: Finished requests of this class.
+    count: int
+    #: Fraction whose TTFT met the class deadline.
+    ttft_attainment: float
+    #: Fraction whose TPOT met the class deadline.
+    tpot_attainment: float
+    #: Fraction that met both deadlines (the attainment an SLA pays on).
+    attainment: float
+
+    def summary(self) -> str:
+        return (
+            f"{self.slo.name}: {self.attainment * 100:.1f}% of {self.count} "
+            f"(TTFT {self.ttft_attainment * 100:.1f}%, "
+            f"TPOT {self.tpot_attainment * 100:.1f}%)"
+        )
+
+
+def compute_slo_attainment(states: Iterable[RequestState]) -> dict[str, SLOClassStats]:
+    """Group finished request states by SLO class and score attainment."""
+    met_ttft: dict[SLOClass, int] = {}
+    met_tpot: dict[SLOClass, int] = {}
+    met_both: dict[SLOClass, int] = {}
+    counts: dict[SLOClass, int] = {}
+    for s in states:
+        slo = s.request.slo
+        if slo is None or s.finish_time is None or s.first_token_time is None:
+            continue
+        arrival = s.request.arrival_time
+        ttft = s.first_token_time - arrival
+        n_out = s.request.output_len
+        tpot = (
+            (s.finish_time - s.first_token_time) / (n_out - 1) if n_out > 1 else 0.0
+        )
+        counts[slo] = counts.get(slo, 0) + 1
+        ok_ttft = ttft <= slo.ttft_deadline_s
+        ok_tpot = tpot <= slo.tpot_deadline_s
+        met_ttft[slo] = met_ttft.get(slo, 0) + ok_ttft
+        met_tpot[slo] = met_tpot.get(slo, 0) + ok_tpot
+        met_both[slo] = met_both.get(slo, 0) + (ok_ttft and ok_tpot)
+    return {
+        slo.name: SLOClassStats(
+            slo=slo,
+            count=n,
+            ttft_attainment=met_ttft[slo] / n,
+            tpot_attainment=met_tpot[slo] / n,
+            attainment=met_both[slo] / n,
+        )
+        for slo, n in sorted(counts.items(), key=lambda kv: kv[0].name)
+    }

@@ -4,6 +4,16 @@ from .arrivals import with_burst_arrivals, with_poisson_arrivals, with_uniform_a
 from .dataset import DatasetSplits, build_dataset, sample_eval_requests
 from .request import Request
 from .sharding import split_least_tokens, split_round_robin, static_assignment
+from .slo import (
+    BATCH,
+    INTERACTIVE,
+    SLO_PRESETS,
+    SLOClass,
+    classed_poisson_arrivals,
+    get_slo_class,
+    parse_slo_mix,
+    with_slo_mix,
+)
 from .sharegpt import (
     DEFAULT_INTENTS,
     IntentProfile,
@@ -26,4 +36,12 @@ __all__ = [
     "split_round_robin",
     "split_least_tokens",
     "static_assignment",
+    "SLOClass",
+    "INTERACTIVE",
+    "BATCH",
+    "SLO_PRESETS",
+    "get_slo_class",
+    "parse_slo_mix",
+    "with_slo_mix",
+    "classed_poisson_arrivals",
 ]

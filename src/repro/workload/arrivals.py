@@ -9,6 +9,7 @@ the engines (which honour ``Request.arrival_time``) can answer that.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Sequence
 
 import numpy as np
@@ -19,14 +20,8 @@ __all__ = ["with_poisson_arrivals", "with_uniform_arrivals", "with_burst_arrival
 
 
 def _clone_at(request: Request, t: float) -> Request:
-    return Request(
-        request_id=request.request_id,
-        prompt_len=request.prompt_len,
-        output_len=request.output_len,
-        features=request.features,
-        intent=request.intent,
-        arrival_time=float(t),
-    )
+    # `replace` keeps every other field (features, intent, slo, ...) intact.
+    return replace(request, arrival_time=float(t))
 
 
 def with_poisson_arrivals(

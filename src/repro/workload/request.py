@@ -3,8 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from .slo import SLOClass
 
 __all__ = ["Request"]
 
@@ -34,6 +38,10 @@ class Request:
     #: Simulated arrival time in seconds.  0 = available at start (the
     #: paper's offline setting); see :mod:`repro.workload.arrivals`.
     arrival_time: float = 0.0
+    #: Service-level objective class (TTFT/TPOT deadlines) this request was
+    #: submitted under, or ``None`` for best-effort.  Routers may read it
+    #: (deadline-aware policies); engines never do.
+    slo: SLOClass | None = None
 
     def __post_init__(self) -> None:
         if self.prompt_len < 1:

@@ -1,0 +1,147 @@
+"""Service-level-objective classes for online serving workloads.
+
+Production LLM fleets rarely serve one traffic class: interactive chat wants
+a tight time-to-first-token, while batch/offline traffic (summarisation jobs,
+evaluation sweeps) tolerates long queues in exchange for throughput.  An
+:class:`SLOClass` names a deadline pair (TTFT, TPOT) and rides on
+:attr:`repro.workload.request.Request.slo`, where deadline-aware routers and
+the per-class attainment metrics (:mod:`repro.metrics.slo`) can see it.
+
+Deadlines are *arrival-relative* seconds; ``math.inf`` means "no deadline on
+this axis".  Classes are frozen value objects so they hash/compare cleanly
+when used as grouping keys.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .request import Request
+
+__all__ = [
+    "SLOClass",
+    "INTERACTIVE",
+    "BATCH",
+    "SLO_PRESETS",
+    "get_slo_class",
+    "parse_slo_mix",
+    "with_slo_mix",
+    "classed_poisson_arrivals",
+]
+
+
+@dataclass(frozen=True)
+class SLOClass:
+    """One traffic class: a name and its latency deadlines."""
+
+    name: str
+    #: Time-to-first-token deadline (seconds from arrival).
+    ttft_deadline_s: float = math.inf
+    #: Time-per-output-token deadline (seconds per token, steady state).
+    tpot_deadline_s: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.ttft_deadline_s <= 0 or self.tpot_deadline_s <= 0:
+            raise ValueError(f"deadlines must be positive, got {self}")
+
+    def met(self, ttft_s: float, tpot_s: float) -> bool:
+        """Whether a finished request with these latencies attained the SLO."""
+        return ttft_s <= self.ttft_deadline_s and tpot_s <= self.tpot_deadline_s
+
+
+#: Chat-style traffic: a human is watching the first token render.
+INTERACTIVE = SLOClass("interactive", ttft_deadline_s=8.0, tpot_deadline_s=0.3)
+
+#: Throughput-oriented background jobs: generous deadlines, never dropped.
+BATCH = SLOClass("batch", ttft_deadline_s=60.0, tpot_deadline_s=2.0)
+
+SLO_PRESETS: dict[str, SLOClass] = {c.name: c for c in (INTERACTIVE, BATCH)}
+
+
+def get_slo_class(name: str) -> SLOClass:
+    """Look up an SLO class preset by name."""
+    try:
+        return SLO_PRESETS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown SLO class {name!r}; presets: {sorted(SLO_PRESETS)}"
+        ) from None
+
+
+def parse_slo_mix(spec: str | Mapping[str, float]) -> dict[SLOClass, float]:
+    """Parse ``"interactive:0.7,batch:0.3"`` into normalized class weights.
+
+    Accepts a mapping (class name -> weight) or the CLI string form.  Weights
+    are normalized to sum to 1; unknown class names raise.
+    """
+    if isinstance(spec, str):
+        pairs = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, _, weight = part.partition(":")
+            pairs[name.strip()] = float(weight) if weight else 1.0
+        spec = pairs
+    if not spec:
+        raise ValueError("empty SLO mix")
+    weights = {get_slo_class(name): float(w) for name, w in spec.items()}
+    total = sum(weights.values())
+    if total <= 0 or any(w < 0 for w in weights.values()):
+        raise ValueError(f"SLO mix weights must be non-negative and sum > 0: {spec}")
+    return {cls: w / total for cls, w in weights.items()}
+
+
+def with_slo_mix(
+    requests: Sequence[Request],
+    mix: str | Mapping[str, float],
+    seed: int = 0,
+) -> list[Request]:
+    """Stamp each request with an SLO class drawn from ``mix`` (deterministic).
+
+    Arrival times and every other field are preserved; requests are returned
+    as fresh copies so the input list is never mutated.
+    """
+    weights = parse_slo_mix(mix)
+    classes = sorted(weights, key=lambda c: c.name)
+    probs = np.array([weights[c] for c in classes])
+    rng = np.random.default_rng(seed)
+    draws = rng.choice(len(classes), size=len(requests), p=probs)
+    return [replace(r, slo=classes[d]) for r, d in zip(requests, draws)]
+
+
+def classed_poisson_arrivals(
+    requests: Sequence[Request],
+    mix: str | Mapping[str, float],
+    rates_rps: Mapping[str, float],
+    seed: int = 0,
+) -> list[Request]:
+    """Per-class arrival generator: each SLO class is its own Poisson stream.
+
+    Requests are first assigned classes from ``mix``, then each class's
+    subsequence is stamped with an independent Poisson process at
+    ``rates_rps[class_name]`` (req/s).  The merged list is returned sorted by
+    arrival time — interactive traffic can trickle steadily while batch
+    traffic floods in at a different rate.
+    """
+    stamped = with_slo_mix(requests, mix, seed=seed)
+    by_class: dict[SLOClass, list[Request]] = {}
+    for r in stamped:
+        by_class.setdefault(r.slo, []).append(r)
+    out: list[Request] = []
+    for i, (cls, members) in enumerate(sorted(by_class.items(), key=lambda kv: kv[0].name)):
+        try:
+            rate = float(rates_rps[cls.name])
+        except KeyError:
+            raise KeyError(f"no arrival rate given for SLO class {cls.name!r}") from None
+        if rate <= 0:
+            raise ValueError(f"rate for {cls.name!r} must be positive, got {rate}")
+        rng = np.random.default_rng(seed + 7919 * (i + 1))
+        times = np.cumsum(rng.exponential(scale=1.0 / rate, size=len(members)))
+        out.extend(replace(r, arrival_time=float(t)) for r, t in zip(members, times))
+    out.sort(key=lambda r: (r.arrival_time, r.request_id))
+    return out

@@ -1,5 +1,7 @@
 """Tests for the command-line entry point."""
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENTS, main
@@ -35,6 +37,27 @@ class TestCLI:
 
     def test_cluster_in_experiment_list(self):
         assert "cluster" in EXPERIMENTS
+        assert "cluster-hetero" in EXPERIMENTS
+        assert "cluster-autoscale" in EXPERIMENTS
+
+    def test_cluster_fleet_autoscale_bench_json(self, capsys, tmp_path):
+        path = tmp_path / "BENCH_cluster.json"
+        assert main([
+            "cluster", "--fleet", "l20:1,a100:1", "--router", "jsq",
+            "--rate", "6", "--scale", "0.02",
+            "--slo-mix", "interactive:0.7,batch:0.3",
+            "--autoscale", "--bench-json", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fleet: 4xL20+4xA100" in out and "fleet timeline" in out
+        record = json.loads(path.read_text())
+        assert record["fleet"] == ["4xL20", "4xA100"]
+        assert record["goodput_rps"] > 0 and record["wall_time_s"] > 0
+        assert set(record["slo_attainment"]) <= {"interactive", "batch"}
+
+    def test_cluster_flags_rejected_elsewhere(self):
+        with pytest.raises(SystemExit):
+            main(["fig11", "--fleet", "l20:2"])
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):

@@ -206,13 +206,15 @@ class TestRouters:
         replicas = [build("TD-Pipe") for _ in range(2)]
         replicas[0].phase = "decode"
         replicas[1].phase = "prefill"
-        replicas[0].waiting.extend(
-            RequestState(r) for r in generate_requests(8, seed=0)
-        )
+        # Register the queue in `states` too so the in-system load signal
+        # (the one all scored routers now share) sees it.
+        backlog = [RequestState(r) for r in generate_requests(8, seed=0)]
+        replicas[0].states = {s.request_id: s for s in backlog}
+        replicas[0].waiting.extend(backlog)
         router = PhaseAwareRouter()
         router.reset(replicas)
         req = generate_requests(1, seed=4)[0]
-        # 8 waiting beats the 1.5 decode bonus: go to the empty replica.
+        # 8 in-system beats the 1.5 decode bonus: go to the empty replica.
         assert router.choose(req, replicas) == 1
 
 

@@ -1,0 +1,390 @@
+"""Control-plane invariants: snapshots, capacity scores, routers, autoscaler."""
+
+import math
+
+import pytest
+
+from invariants import check_cluster_invariants
+
+from repro.cluster import (
+    Autoscaler,
+    ClusterEngine,
+    ControlPlane,
+    DeadlineAwareRouter,
+    JoinShortestQueueRouter,
+    ReplicaSnapshot,
+    RoundRobinRouter,
+    StaticRouter,
+    make_router,
+    parse_fleet,
+    replica_capacity_score,
+)
+from repro.cluster.routing import ROUTER_NAMES, ROUTERS
+from repro.core import TDPipeEngine
+from repro.experiments.common import default_scale, run_cluster
+from repro.hardware import make_node
+from repro.models import LLAMA2_13B
+from repro.predictor import OraclePredictor
+from repro.runtime.state import RequestState
+from repro.workload import (
+    BATCH,
+    INTERACTIVE,
+    generate_requests,
+    parse_slo_mix,
+    with_poisson_arrivals,
+    with_slo_mix,
+)
+
+SCALE = default_scale(factor=0.02, seed=0)
+
+
+def build(node_name="L20", num_gpus=2, sim=None):
+    return TDPipeEngine(
+        make_node(node_name, num_gpus), LLAMA2_13B, OraclePredictor(), sim=sim
+    )
+
+
+def loaded_replica(n_requests, node_name="L20"):
+    engine = build(node_name)
+    backlog = [RequestState(r) for r in generate_requests(n_requests, seed=1)]
+    engine.states = {s.request_id: s for s in backlog}
+    engine.waiting.extend(backlog)
+    return engine
+
+
+# --------------------------------------------------------------------- #
+# Capacity scores and snapshots.
+# --------------------------------------------------------------------- #
+class TestCapacity:
+    def test_a100_outscores_l20(self):
+        l20, a100 = build("L20"), build("A100")
+        assert replica_capacity_score(a100) > 1.5 * replica_capacity_score(l20)
+
+    def test_scoreless_object_is_neutral(self):
+        assert replica_capacity_score(object()) == 1.0
+
+    def test_parse_fleet(self):
+        assert parse_fleet("l20:2,a100:2") == ["l20", "l20", "a100", "a100"]
+        assert parse_fleet("l20") == ["l20"]
+        assert parse_fleet(["L20", "A100"]) == ["L20", "A100"]
+        with pytest.raises(ValueError):
+            parse_fleet("")
+        with pytest.raises(ValueError):
+            parse_fleet("l20:0")
+
+    def test_snapshot_captures_load(self):
+        engine = loaded_replica(5)
+        snap = ReplicaSnapshot.capture(
+            engine, capacity=2.0, index=3, with_queued_tokens=True
+        )
+        assert snap.index == 3
+        assert snap.queue_depth == 5 and snap.in_system == 5
+        assert snap.queued_tokens == sum(s.prefill_len for s in engine.waiting)
+        assert snap.load == pytest.approx(2.5)
+        assert snap.est_wait_s == pytest.approx(snap.queued_tokens / 2.0)
+        # Count-only captures skip the O(queue) backlog sum.
+        assert ReplicaSnapshot.capture(engine).queued_tokens == 0
+
+
+# --------------------------------------------------------------------- #
+# Router behaviour on the normalized signals.
+# --------------------------------------------------------------------- #
+class TestRouters:
+    @pytest.mark.parametrize("name", (*ROUTER_NAMES, "static"))
+    def test_choose_in_range_and_pure(self, name):
+        """Chosen index is valid and `choose` never mutates replica state."""
+        if name == "static":
+            req = generate_requests(1, seed=4)[0]
+            router = StaticRouter({req.request_id: 1})
+        else:
+            router = make_router(name)
+            req = generate_requests(1, seed=4)[0]
+        replicas = [loaded_replica(n) for n in (4, 0, 2)]
+        router.reset(replicas)
+        before = [
+            (len(r.waiting), r.in_system, r.block_manager.free_blocks, r.sim.pending)
+            for r in replicas
+        ]
+        for _ in range(5):
+            idx = router.choose(req, replicas)
+            assert 0 <= idx < len(replicas)
+            router.on_routed(req, idx)
+        after = [
+            (len(r.waiting), r.in_system, r.block_manager.free_blocks, r.sim.pending)
+            for r in replicas
+        ]
+        assert before == after
+
+    def test_near_ties_rotate(self):
+        """Float-noise score differences must not disable the rotation."""
+
+        class JitterRouter(RoundRobinRouter):
+            def score(self, request, snapshot):
+                # One part in 1e12 apart — far inside the tie tolerance.
+                return 1.0 + snapshot.index * 1e-12
+
+        replicas = [build() for _ in range(3)]
+        router = JitterRouter()
+        router.reset(replicas)
+        picks = []
+        for _ in range(6):
+            idx = router.choose(None, replicas)
+            router.on_routed(None, idx)
+            picks.append(idx)
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_jsq_normalized_prefers_faster_node_at_equal_count(self):
+        # Same in-system count, but the A100 replica has ~2.5x the capacity.
+        replicas = [loaded_replica(3, "L20"), loaded_replica(3, "A100")]
+        router = JoinShortestQueueRouter()
+        router.reset(replicas)
+        assert router.choose(generate_requests(1, seed=2)[0], replicas) == 1
+
+    def test_jsq_raw_ignores_capacity(self):
+        replicas = [loaded_replica(2, "L20"), loaded_replica(3, "A100")]
+        router = make_router("jsq-raw")
+        assert router.name == "jsq-raw"
+        router.reset(replicas)
+        assert router.choose(generate_requests(1, seed=2)[0], replicas) == 0
+
+    def test_deadline_interactive_chases_min_wait(self):
+        # Replica 0's backlog far exceeds the interactive slack; replica 1's
+        # does not (or is strictly smaller) -> tight deadline picks 1.
+        replicas = [loaded_replica(400), loaded_replica(2)]
+        router = DeadlineAwareRouter()
+        router.reset(replicas)
+        slack = router.headroom * INTERACTIVE.ttft_deadline_s
+        assert router._snapshot(replicas[0], 0).est_wait_s > slack
+        req = generate_requests(1, seed=2)[0]
+        req.slo = INTERACTIVE
+        assert router.choose(req, replicas) == 1
+
+    def test_deadline_batch_spreads_over_feasible(self):
+        # Both replicas' backlogs fit inside the batch slack -> ties rotate.
+        replicas = [loaded_replica(3), loaded_replica(1)]
+        router = DeadlineAwareRouter()
+        router.reset(replicas)
+        reqs = generate_requests(4, seed=2)
+        picks = []
+        for r in reqs:
+            r.slo = BATCH
+            idx = router.choose(r, replicas)
+            router.on_routed(r, idx)
+            picks.append(idx)
+        assert picks == [0, 1, 0, 1]
+
+    def test_static_strict_raises_on_unmapped(self):
+        reqs = generate_requests(2, seed=0)
+        router = StaticRouter({reqs[0].request_id: 0})
+        replicas = [build(), build()]
+        assert router.choose(reqs[0], replicas) == 0
+        with pytest.raises(ValueError, match="no static assignment"):
+            router.choose(reqs[1], replicas)
+
+    def test_static_fallback_when_not_strict(self):
+        reqs = generate_requests(2, seed=0)
+        router = StaticRouter({}, strict=False)
+        replicas = [build(), build()]
+        assert router.choose(reqs[1], replicas) == reqs[1].request_id % 2
+
+
+# --------------------------------------------------------------------- #
+# SLO workload plumbing.
+# --------------------------------------------------------------------- #
+class TestSLOWorkload:
+    def test_parse_slo_mix_normalizes(self):
+        mix = parse_slo_mix("interactive:1.4,batch:0.6")
+        assert mix[INTERACTIVE] == pytest.approx(0.7)
+        assert mix[BATCH] == pytest.approx(0.3)
+        with pytest.raises(KeyError):
+            parse_slo_mix("platinum:1.0")
+
+    def test_with_slo_mix_deterministic_and_pure(self):
+        reqs = generate_requests(50, seed=3)
+        a = with_slo_mix(reqs, "interactive:0.5,batch:0.5", seed=3)
+        b = with_slo_mix(reqs, "interactive:0.5,batch:0.5", seed=3)
+        assert [r.slo.name for r in a] == [r.slo.name for r in b]
+        assert all(r.slo is None for r in reqs)  # input untouched
+        assert {r.slo for r in a} == {INTERACTIVE, BATCH}
+
+    def test_arrival_stamping_preserves_slo(self):
+        reqs = with_slo_mix(generate_requests(10, seed=0), "batch:1", seed=0)
+        stamped = with_poisson_arrivals(reqs, 5.0, seed=0)
+        assert all(r.slo is BATCH for r in stamped)
+
+
+# --------------------------------------------------------------------- #
+# Autoscaler + control plane.
+# --------------------------------------------------------------------- #
+def run_autoscaled(rate=14.0, **kwargs):
+    autoscaler = Autoscaler(min_replicas=1, **kwargs)
+    reqs = with_poisson_arrivals(generate_requests(120, seed=11), rate, seed=11)
+    cluster = ClusterEngine(
+        [lambda sim: build(sim=sim) for _ in range(3)],
+        router="jsq",
+        autoscaler=autoscaler,
+    )
+    return cluster, reqs, cluster.run(reqs)
+
+
+class TestAutoscaler:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Autoscaler(min_replicas=0)
+        with pytest.raises(ValueError):
+            Autoscaler(min_replicas=2, max_replicas=1)
+        with pytest.raises(ValueError):
+            Autoscaler(up_threshold_s=0.1, down_threshold_s=0.2)
+
+    def test_hysteresis_patience(self):
+        a = Autoscaler(up_patience=2, down_patience=3)
+        hot = [ReplicaSnapshot(0, 9, 9, 10_000, 0.5, None, capacity=100.0)]
+        cold = [ReplicaSnapshot(0, 0, 0, 0, 0.0, None, capacity=100.0)]
+        assert a.decide(hot) == 0  # first over-threshold tick: not yet
+        assert a.decide(hot) == 1  # patience reached
+        assert a.decide(cold) == 0
+        assert a.decide(cold) == 0
+        assert a.decide(cold) == -1
+
+    def test_scales_up_and_drains(self):
+        cluster, reqs, result = run_autoscaled()
+        check_cluster_invariants(cluster, result, reqs)
+        sizes = [n for _, n in result.fleet_timeline]
+        assert max(sizes) > 1, "burst never triggered a scale-up"
+        assert sizes[0] == 1
+        events = cluster.control.events
+        assert any(kind == "activate" for _, kind, _ in events)
+        assert any(kind == "deactivate" for _, kind, _ in events)
+        times = [t for t, _ in result.fleet_timeline]
+        assert times == sorted(times)
+
+    def test_never_drains_resident_requests(self):
+        """Deactivation only happens on empty replicas (hard invariant)."""
+        cluster, reqs, result = run_autoscaled()
+        # The control plane asserts the invariant itself at deactivation
+        # time; a successful run with observed deactivations is the proof.
+        assert any(k == "deactivate" for _, k, _ in cluster.control.events)
+        plane = cluster.control
+        with pytest.raises(AssertionError, match="resident"):
+            busy = next(i for i, r in enumerate(plane.replicas) if r.finished)
+            plane.replicas[busy].finished.pop()  # fake one resident request
+            plane._activated_at[busy] = 0.0
+            plane._deactivate(busy, 1.0)
+
+    def test_active_time_accounting(self):
+        cluster, reqs, result = run_autoscaled()
+        assert len(result.replica_active_time) == 3
+        for t in result.replica_active_time:
+            assert 0.0 <= t <= result.makespan + 1e-9
+        # The fleet never goes below min_replicas=1, so total active time
+        # covers the makespan; autoscaling saved replica-seconds vs fixed.
+        assert result.replica_seconds >= result.makespan - 1e-9
+        assert result.replica_seconds < 3 * result.makespan
+        assert 1.0 <= result.mean_active_replicas <= 3.0
+
+    def test_inactive_replicas_receive_no_requests(self):
+        cluster, reqs, result = run_autoscaled()
+        activated = {i for _, kind, i in cluster.control.events if kind == "activate"}
+        activated.add(0)
+        for rid, idx in cluster.assignments.items():
+            assert idx in activated or idx == 0
+
+    def test_static_assignment_overrides_autoscaler_admission(self):
+        """Static maps hold global indices — never re-mapped to the routable
+        subset, even when the autoscaler starts with one active replica."""
+        reqs = generate_requests(12, seed=6)
+        assignment = {r.request_id: i % 3 for i, r in enumerate(reqs)}
+        cluster = ClusterEngine(
+            [lambda sim: build(sim=sim) for _ in range(3)],
+            router=StaticRouter(assignment),
+            autoscaler=Autoscaler(min_replicas=1),
+        )
+        result = cluster.run(reqs)
+        assert cluster.assignments == assignment
+        check_cluster_invariants(cluster, result, reqs)
+
+    def test_fixed_fleet_has_trivial_timeline(self):
+        reqs = generate_requests(30, seed=2)
+        cluster = ClusterEngine([lambda sim: build(sim=sim) for _ in range(2)])
+        result = cluster.run(reqs)
+        assert result.fleet_timeline == [(0.0, 2)]
+        assert result.replica_active_time == [result.makespan] * 2
+        assert result.mean_active_replicas == pytest.approx(2.0)
+
+
+class TestControlPlaneUnit:
+    def test_routable_excludes_draining(self):
+        from repro.sim import Simulator
+
+        replicas = [build() for _ in range(3)]
+        plane = ControlPlane(replicas, router=make_router("round-robin"))
+        plane.begin(Simulator(), total_requests=0)
+        assert plane.routable_indices() == [0, 1, 2]
+        plane.draining[1] = True
+        assert plane.routable_indices() == [0, 2]
+        plane.active[1] = False
+        plane.active[2] = False
+        assert plane.routable_indices() == [0]
+
+    def test_capacity_scores_follow_hardware(self):
+        replicas = [build("L20"), build("A100")]
+        plane = ControlPlane(replicas, router=make_router("jsq"))
+        assert plane.capacity_scores[1] > plane.capacity_scores[0]
+
+
+# --------------------------------------------------------------------- #
+# Heterogeneous fleets end-to-end.
+# --------------------------------------------------------------------- #
+class TestHeterogeneousFleet:
+    def test_run_cluster_fleet_spec(self):
+        result = run_cluster(
+            "TD-Pipe",
+            model="13B",
+            router="jsq",
+            rate_rps=8.0,
+            scale=SCALE,
+            fleet="l20:1,a100:1",
+            slo_mix="interactive:0.6,batch:0.4",
+            predictor=OraclePredictor(),
+        )
+        assert result.num_replicas == 2
+        assert result.extras["fleet_nodes"] == ["4xL20", "4xA100"]
+        assert result.capacity_scores[1] > result.capacity_scores[0]
+        assert result.completed_requests == SCALE.eval_requests
+        assert set(result.slo_attainment) <= {"interactive", "batch"}
+        for stats in result.slo_attainment.values():
+            assert 0.0 <= stats.attainment <= 1.0
+            assert stats.attainment <= min(
+                stats.ttft_attainment, stats.tpot_attainment
+            ) + 1e-12
+
+    @pytest.mark.parametrize("router", ROUTERS)
+    def test_invariants_on_mixed_fleet(self, router):
+        reqs = with_poisson_arrivals(generate_requests(40, seed=5), 6.0, seed=5)
+        reqs = with_slo_mix(reqs, "interactive:0.5,batch:0.5", seed=5)
+        nodes = ["L20", "A100"]
+        cluster = ClusterEngine(
+            [lambda sim, n=n: build(n, sim=sim) for n in nodes], router=router
+        )
+        result = cluster.run(reqs)
+        check_cluster_invariants(cluster, result, reqs)
+
+    def test_normalized_jsq_beats_raw_on_mixed_fleet(self):
+        """The headline: capacity normalization pays off on mixed hardware."""
+        kwargs = dict(
+            model="13B",
+            rate_rps=14.0,
+            scale=default_scale(factor=0.04, seed=0),
+            fleet="l20:2,a100:2",
+            predictor=OraclePredictor(),
+        )
+        raw = run_cluster("TD-Pipe", router="jsq-raw", **kwargs)
+        norm = run_cluster("TD-Pipe", router="jsq", **kwargs)
+        assert norm.latency.ttft_p99 < raw.latency.ttft_p99
+
+
+def test_slo_classes_sane():
+    assert INTERACTIVE.ttft_deadline_s < BATCH.ttft_deadline_s
+    assert INTERACTIVE.met(1.0, 0.1)
+    assert not INTERACTIVE.met(100.0, 0.1)
+    assert math.isfinite(BATCH.tpot_deadline_s)

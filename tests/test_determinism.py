@@ -6,6 +6,7 @@ iteration, float accumulation order, tie-breaking) would show up here as a
 summary drift between two identical runs.
 """
 
+from repro.cluster import Autoscaler
 from repro.core import TDPipeEngine
 from repro.experiments.common import default_scale, run_cluster
 from repro.hardware import make_node
@@ -53,4 +54,35 @@ def test_cluster_summary_byte_identical():
     assert [r.summary() for r in r1.replica_results] == [
         r.summary() for r in r2.replica_results
     ]
+    assert r1.latency.summary() == r2.latency.summary()
+    # Fixed fleets have the trivial timeline — no autoscaler, no drift.
+    assert r1.fleet_timeline == r2.fleet_timeline == [(0.0, 3)]
+
+
+def run_autoscaled_cluster_once():
+    return run_cluster(
+        "TD-Pipe",
+        "L20",
+        "13B",
+        replicas=3,
+        router="jsq",
+        rate_rps=12.0,
+        scale=SCALE,
+        predictor=OraclePredictor(),
+        slo_mix="interactive:0.7,batch:0.3",
+        autoscaler=Autoscaler(min_replicas=1),
+    )
+
+
+def test_autoscaled_cluster_byte_identical():
+    """Fleet-size changes ride the shared heap; two runs must not drift."""
+    r1, r2 = run_autoscaled_cluster_once(), run_autoscaled_cluster_once()
+    assert r1.summary() == r2.summary()
+    assert r1.fleet_timeline == r2.fleet_timeline
+    assert len({n for _, n in r1.fleet_timeline}) > 1, "autoscaler never acted"
+    assert r1.replica_active_time == r2.replica_active_time
+    assert r1.requests_per_replica == r2.requests_per_replica
+    assert [
+        (name, s.count, s.attainment) for name, s in r1.slo_attainment.items()
+    ] == [(name, s.count, s.attainment) for name, s in r2.slo_attainment.items()]
     assert r1.latency.summary() == r2.latency.summary()

@@ -1,6 +1,5 @@
 """Unit + property tests for Approach 1 (Algorithm 1, AI-based greedy prefill)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
