@@ -17,6 +17,7 @@ See ``repro.experiments`` for regenerating every paper table and figure, and
 DESIGN.md for the system inventory.
 """
 
+from . import api
 from .baselines import PPHybridEngine, PPSeparateEngine, TPHybridEngine, TPSeparateEngine
 from .cluster import ClusterEngine
 from .core import TDPipeEngine
@@ -37,6 +38,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # declarative scenario API
+    "api",
     # systems
     "TDPipeEngine",
     "TPSeparateEngine",

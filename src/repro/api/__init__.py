@@ -1,0 +1,64 @@
+"""Declarative scenario API: one serializable spec, one ``run()``.
+
+The spec-driven front door for the whole system::
+
+    from repro import api
+
+    spec = api.ScenarioSpec(
+        name="hetero-slo",
+        workload=api.WorkloadSpec(
+            scale=0.05, arrival="poisson", rate_rps=14.0,
+            slo_mix={"interactive": 0.7, "batch": 0.3},
+        ),
+        fleet=api.FleetSpec(fleet="l20:2,a100:2"),
+        engine=api.EngineSpec(system="TD-Pipe", model="13B"),
+        control=api.ControlSpec(router="jsq", autoscale=True),
+    )
+    artifact = api.run(spec)
+    print(artifact.result.summary())
+    open("scenario.json", "w").write(spec.to_json())   # a data file, not code
+
+Everything the legacy entry points express — ``run_system``,
+``run_cluster``, every ``tdpipe-bench cluster`` flag — round-trips through
+this layer; those entry points are now shims that build specs.  Sweeps are
+spec grids (:class:`SweepSpec`), published experiments are named builders in
+the :mod:`registry <repro.api.registry>`, and ``tdpipe-bench run --spec
+scenario.json`` executes any of it from disk.
+"""
+
+from .registry import get_scenario, register_scenario, scenario_names
+from .runner import RunArtifact, load_spec, run, run_sweep
+from .spec import (
+    SCHEMA_VERSION,
+    ControlSpec,
+    EngineSpec,
+    FleetSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+    parse_set_override,
+    spec_from_dict,
+    spec_from_json,
+)
+from .sweep import SweepAxis, SweepPointSpec, SweepSpec
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ScenarioSpec",
+    "WorkloadSpec",
+    "FleetSpec",
+    "EngineSpec",
+    "ControlSpec",
+    "SweepSpec",
+    "SweepAxis",
+    "SweepPointSpec",
+    "RunArtifact",
+    "run",
+    "run_sweep",
+    "load_spec",
+    "spec_from_dict",
+    "spec_from_json",
+    "parse_set_override",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+]

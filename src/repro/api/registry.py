@@ -1,0 +1,67 @@
+"""Named scenario registry: experiments publish spec builders by name.
+
+Experiment modules register builders — callables returning a
+:class:`~repro.api.spec.ScenarioSpec` or :class:`~repro.api.sweep.SweepSpec`
+— under stable names, so the CLI (``tdpipe-bench run --spec <name>``), the
+examples and ad-hoc scripts can reproduce any published experiment without
+importing its module by hand:
+
+    @register_scenario("cluster-hetero")
+    def _hetero(**overrides) -> SweepSpec: ...
+
+    spec = get_scenario("cluster-hetero")
+
+Builders accept keyword overrides so registered scenarios stay
+parameterizable (e.g. ``get_scenario("fig15-work-stealing", node="A100",
+model="70B")``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Union
+
+from .spec import ScenarioSpec
+from .sweep import SweepSpec
+
+__all__ = ["register_scenario", "get_scenario", "scenario_names"]
+
+SpecBuilder = Callable[..., Union[ScenarioSpec, SweepSpec]]
+
+_SCENARIOS: dict[str, SpecBuilder] = {}
+
+
+def register_scenario(name: str) -> Callable[[SpecBuilder], SpecBuilder]:
+    """Decorator: publish a spec builder under ``name``."""
+
+    def deco(builder: SpecBuilder) -> SpecBuilder:
+        if name in _SCENARIOS and _SCENARIOS[name] is not builder:
+            raise ValueError(f"scenario {name!r} already registered")
+        _SCENARIOS[name] = builder
+        return builder
+
+    return deco
+
+
+def _ensure_experiments_loaded() -> None:
+    # Experiment modules register their scenarios at import time; pull them
+    # in lazily so `repro.api` stays importable without the whole harness
+    # (and without a circular import at module level).
+    import repro.experiments  # noqa: F401
+
+
+def get_scenario(name: str, **overrides: Any) -> ScenarioSpec | SweepSpec:
+    """Build a registered scenario by name (keyword overrides forwarded)."""
+    _ensure_experiments_loaded()
+    try:
+        builder = _SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: {scenario_names()}"
+        ) from None
+    return builder(**overrides)
+
+
+def scenario_names() -> tuple[str, ...]:
+    """All registered scenario names, sorted."""
+    _ensure_experiments_loaded()
+    return tuple(sorted(_SCENARIOS))

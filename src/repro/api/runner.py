@@ -1,0 +1,305 @@
+"""Execute a :class:`~repro.api.spec.ScenarioSpec`: one ``run()`` for everything.
+
+``run(spec)`` is the system's single execution path.  It materializes the
+workload (corpus, arrivals, SLO classes), the fleet (nodes, replicas), the
+engines and the control plane from the declarative spec, dispatches to the
+single-engine or cluster path, and returns a :class:`RunArtifact` — the
+result plus the fully-resolved spec and schema version, so every benchmark
+record is self-describing and replayable.
+
+The legacy entry points (``repro.experiments.run_system`` /
+``run_cluster``) are thin shims over this function.  They may pass live
+objects (a trained predictor, a custom :class:`Router`, a pre-stamped
+request list) through the keyword overrides; anything passed that way is
+recorded in ``RunArtifact.opaque_overrides`` because it cannot be replayed
+from the serialized spec alone.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field as dc_field, replace
+from typing import Any, Mapping, Sequence
+
+from ..cluster.control.routing import Router, make_router
+from ..cluster.engine import ClusterEngine
+from ..core.policies import (
+    DecodeSwitchPolicy,
+    FinishRatioPolicy,
+    GreedyPrefillPolicy,
+    IntensityPolicy,
+    OccupancyRatioPolicy,
+    PrefillSwitchPolicy,
+)
+from ..hardware.node import NodeSpec, make_node
+from ..metrics.cluster import ClusterResult
+from ..metrics.results import RunResult
+from ..models.spec import ModelSpec, get_model
+from ..predictor import ConstantPredictor, OraclePredictor, OutputLengthPredictor
+from ..runtime.config import EngineConfig
+from ..workload.arrivals import (
+    with_burst_arrivals,
+    with_poisson_arrivals,
+    with_uniform_arrivals,
+)
+from ..workload.request import Request
+from ..workload.slo import with_slo_mix
+from .spec import SCHEMA_VERSION, ScenarioSpec
+from .sweep import SweepSpec
+
+__all__ = ["RunArtifact", "run", "run_sweep", "load_spec"]
+
+
+@dataclass
+class RunArtifact:
+    """A run's result, bundled with the resolved spec that produced it."""
+
+    spec: ScenarioSpec
+    result: RunResult | ClusterResult
+    wall_time_s: float
+    schema_version: int = SCHEMA_VERSION
+    #: Sweep coordinates (dotted path -> value) when part of a grid.
+    overrides: dict[str, Any] = dc_field(default_factory=dict)
+    #: Names of keyword objects that bypassed the declarative spec (a live
+    #: predictor, router instance, request list, ...) — present means the
+    #: embedded spec alone does not fully reproduce this run.
+    opaque_overrides: tuple[str, ...] = ()
+
+    @property
+    def kind(self) -> str:
+        return "cluster" if isinstance(self.result, ClusterResult) else "engine"
+
+    def to_record(self) -> dict[str, Any]:
+        """JSON-ready benchmark record embedding the resolved spec."""
+        record = {
+            "schema_version": self.schema_version,
+            "kind": self.kind,
+            "spec": self.spec.to_dict(),
+            "wall_time_s": self.wall_time_s,
+        }
+        if self.overrides:
+            record["overrides"] = dict(self.overrides)
+        if self.opaque_overrides:
+            record["opaque_overrides"] = list(self.opaque_overrides)
+        record.update(self.result.to_record())
+        return record
+
+    def summary(self) -> str:
+        return f"{self.spec.describe()}\n{self.result.summary()}"
+
+
+# --------------------------------------------------------------------- #
+# Spec -> objects.
+# --------------------------------------------------------------------- #
+def _build_nodes(spec: ScenarioSpec) -> list[NodeSpec]:
+    nodes = []
+    for name in spec.fleet.node_names():
+        node = make_node(name, spec.fleet.num_gpus)
+        if spec.fleet.allreduce_efficiency is not None:
+            node = replace(
+                node,
+                interconnect=replace(
+                    node.interconnect,
+                    allreduce_efficiency=spec.fleet.allreduce_efficiency,
+                ),
+            )
+        nodes.append(node)
+    return nodes
+
+
+def _build_requests(spec: ScenarioSpec) -> list[Request]:
+    from ..experiments.common import ExperimentScale, eval_requests, get_dataset
+    from ..workload.dataset import sample_eval_requests
+
+    w = spec.workload
+    scale = ExperimentScale(factor=w.scale, seed=w.seed)
+    if w.num_requests is not None:
+        requests = sample_eval_requests(
+            get_dataset(scale), n=w.num_requests, seed=scale.seed
+        )
+    else:
+        requests = eval_requests(scale)
+    if w.arrival == "poisson":
+        requests = with_poisson_arrivals(requests, w.rate_rps, seed=scale.seed)
+    elif w.arrival == "uniform":
+        requests = with_uniform_arrivals(requests, w.rate_rps)
+    elif w.arrival == "burst":
+        requests = with_burst_arrivals(requests, w.burst_size, w.burst_interval_s)
+    if w.slo_mix is not None:
+        requests = with_slo_mix(requests, w.slo_mix, seed=scale.seed)
+    return requests
+
+
+def _build_predictor(
+    spec: ScenarioSpec, systems: Sequence[str], router: str | Router | None
+) -> OutputLengthPredictor | None:
+    """Resolve the spec's predictor selection (None = auto)."""
+    from ..experiments.common import ExperimentScale, get_predictor
+
+    kind = spec.engine.predictor
+    scale = ExperimentScale(factor=spec.workload.scale, seed=spec.workload.seed)
+    if kind == "oracle":
+        return OraclePredictor()
+    if kind == "constant":
+        return ConstantPredictor(spec.engine.predictor_constant)
+    # Router *instances* don't trigger training (they may carry their own
+    # predictor) — this mirrors the legacy run_cluster behavior exactly.
+    router_name = router if isinstance(router, str) else None
+    needs = "TD-Pipe" in systems or router_name == "phase-aware"
+    if kind == "trained" or needs:
+        return get_predictor(scale)
+    return None
+
+
+def _build_prefill_policy(policy: Mapping[str, Any] | None) -> PrefillSwitchPolicy | None:
+    if policy is None:
+        return None
+    if policy["name"] == "greedy":
+        return GreedyPrefillPolicy()
+    return OccupancyRatioPolicy(ratio=policy["ratio"])
+
+
+def _build_decode_policy(policy: Mapping[str, Any] | None) -> DecodeSwitchPolicy | None:
+    if policy is None:
+        return None
+    if policy["name"] == "intensity":
+        kwargs = {
+            k: policy[k] for k in ("peak_batch_size", "check_interval") if k in policy
+        }
+        return IntensityPolicy(**kwargs)
+    return FinishRatioPolicy(ratio=policy["ratio"])
+
+
+# --------------------------------------------------------------------- #
+# The front door.
+# --------------------------------------------------------------------- #
+def run(
+    spec: ScenarioSpec,
+    *,
+    requests: list[Request] | None = None,
+    predictor: OutputLengthPredictor | None = None,
+    config: EngineConfig | None = None,
+    router: Router | None = None,
+    autoscaler: Any | None = None,
+    prefill_policy: PrefillSwitchPolicy | None = None,
+    decode_policy: DecodeSwitchPolicy | None = None,
+    model: ModelSpec | None = None,
+    nodes: Sequence[NodeSpec] | None = None,
+) -> RunArtifact:
+    """Execute one scenario; return result + resolved spec + provenance.
+
+    The keyword arguments are the programmatic escape hatch for live objects
+    the declarative spec cannot carry (the legacy shims use them); each one
+    supplied is noted in :attr:`RunArtifact.opaque_overrides`.
+    """
+    from ..experiments.common import build_engine
+
+    spec = spec.resolved()
+    opaque = tuple(
+        name
+        for name, value in (
+            ("requests", requests),
+            ("predictor", predictor),
+            ("config", config),
+            ("router", router),
+            ("autoscaler", autoscaler),
+            ("prefill_policy", prefill_policy),
+            ("decode_policy", decode_policy),
+            ("model", model),
+            ("nodes", nodes),
+        )
+        if value is not None
+    )
+    t0 = time.time()
+    if model is None:
+        model = get_model(spec.engine.model)
+    if nodes is None:
+        nodes = _build_nodes(spec)
+    replicas = len(nodes)
+    systems = spec.engine.system_names(replicas)
+    if requests is None:
+        requests = _build_requests(spec)
+    if config is None and spec.engine.config:
+        config = EngineConfig(**spec.engine.config)
+    if prefill_policy is None:
+        prefill_policy = _build_prefill_policy(spec.engine.prefill_policy)
+    if decode_policy is None:
+        decode_policy = _build_decode_policy(spec.engine.decode_policy)
+
+    if spec.mode == "engine":
+        if replicas != 1:
+            raise ValueError(f"engine mode needs exactly one node, got {replicas}")
+        if predictor is None:
+            predictor = _build_predictor(spec, systems, None)
+        engine = build_engine(
+            systems[0],
+            nodes[0],
+            model,
+            predictor=predictor,
+            config=config,
+            prefill_policy=prefill_policy,
+            decode_policy=decode_policy,
+            work_stealing=spec.engine.work_stealing,
+        )
+        result: RunResult | ClusterResult = engine.run(requests)
+    else:
+        router_sel: str | Router = router if router is not None else spec.control.router
+        if predictor is None:
+            predictor = _build_predictor(spec, systems, router_sel)
+        if autoscaler is None:
+            autoscaler = spec.control.build_autoscaler()
+        factories = [
+            lambda sim, name=name, nd=nd: build_engine(
+                name,
+                nd,
+                model,
+                predictor=predictor,
+                config=config,
+                prefill_policy=prefill_policy,
+                decode_policy=decode_policy,
+                work_stealing=spec.engine.work_stealing,
+                sim=sim,
+            )
+            for name, nd in zip(systems, nodes)
+        ]
+        router_obj = make_router(router_sel, predictor=predictor)
+        cluster = ClusterEngine(factories, router=router_obj, autoscaler=autoscaler)
+        result = cluster.run(requests)
+    return RunArtifact(
+        spec=spec,
+        result=result,
+        wall_time_s=time.time() - t0,
+        opaque_overrides=opaque,
+    )
+
+
+def run_sweep(sweep: SweepSpec, **kwargs: Any) -> list[RunArtifact]:
+    """Run every grid point of a :class:`SweepSpec` (nested-loop order).
+
+    ``kwargs`` are forwarded to :func:`run` for each point (live-object
+    overrides shared across the grid, e.g. a pre-trained predictor).
+    """
+    artifacts = []
+    for point in sweep.expand():
+        artifact = run(point.spec, **kwargs)
+        artifact.overrides = dict(point.overrides)
+        artifacts.append(artifact)
+    return artifacts
+
+
+def load_spec(data: Mapping[str, Any]) -> ScenarioSpec | SweepSpec:
+    """Deserialize either spec kind from plain data.
+
+    Dispatches on the optional ``kind`` key: ``"sweep"`` loads a
+    :class:`SweepSpec`, anything else (absent or ``"scenario"``) a
+    :class:`ScenarioSpec`.
+    """
+    if not isinstance(data, Mapping):
+        raise ValueError(f"spec must be a mapping, got {type(data).__name__}")
+    kind = data.get("kind", "scenario")
+    if kind == "sweep":
+        return SweepSpec.from_dict(data)
+    if kind == "scenario":
+        data = {k: v for k, v in data.items() if k != "kind"}
+        return ScenarioSpec.from_dict(data)
+    raise ValueError(f'unknown spec kind {kind!r}; options: "scenario", "sweep"')

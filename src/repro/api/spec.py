@@ -1,0 +1,512 @@
+"""Declarative scenario specifications: one serializable tree per experiment.
+
+A :class:`ScenarioSpec` is the single front door to the whole system: it
+names a workload (:class:`WorkloadSpec`), the hardware fleet
+(:class:`FleetSpec`), the engine configuration (:class:`EngineSpec`) and the
+cluster control plane (:class:`ControlSpec`), and :func:`repro.api.run`
+turns it into a :class:`~repro.api.runner.RunArtifact`.  Every scenario the
+legacy entry points (``run_system``, ``run_cluster``, ``tdpipe-bench
+cluster`` flags) can express is expressible here — and because specs are
+plain data with a strict JSON round-trip, a scenario is a *file*, not a
+function signature: benchmark artifacts embed their resolved spec and can be
+replayed bit-for-bit.
+
+Design rules
+------------
+* **Frozen dataclasses** — specs are value objects; deriving a variant goes
+  through :meth:`ScenarioSpec.with_overrides` (dotted paths, the same
+  mechanism the CLI's ``--set key=value`` uses).
+* **Strict construction** — unknown fields, unknown system/router/policy
+  names and malformed values raise ``ValueError`` at build time, not at
+  kilometre 40 of a sweep.
+* **Versioned schema** — ``schema_version`` rides inside every serialized
+  spec so future migrations can detect old artifacts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Mapping
+
+from ..cluster.control.autoscaler import Autoscaler
+from ..cluster.control.capacity import parse_fleet
+from ..cluster.control.routing import ROUTER_NAMES
+from ..hardware.gpu import GPU_PRESETS
+from ..models.spec import MODEL_PRESETS
+from ..runtime.config import EngineConfig
+from ..workload.slo import parse_mix_string, parse_slo_mix
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "WorkloadSpec",
+    "FleetSpec",
+    "EngineSpec",
+    "ControlSpec",
+    "ScenarioSpec",
+    "spec_from_dict",
+    "spec_from_json",
+]
+
+#: Bump on any backward-incompatible change to the spec tree.
+SCHEMA_VERSION = 1
+
+ARRIVALS = ("offline", "poisson", "uniform", "burst")
+
+PREFILL_POLICIES = ("greedy", "occupancy")
+DECODE_POLICIES = ("intensity", "finish-ratio")
+
+PREDICTOR_KINDS = ("trained", "oracle", "constant")
+
+_CONFIG_FIELDS = {f.name for f in fields(EngineConfig)}
+_AUTOSCALER_FIELDS = {
+    f.name for f in fields(Autoscaler) if not f.name.startswith("_")
+}
+
+
+def _known_systems() -> tuple[str, ...]:
+    # Imported lazily: repro.experiments imports repro.api.registry at module
+    # level, so a module-level import here would be circular.
+    from ..experiments.common import SYSTEMS
+
+    return SYSTEMS
+
+
+def _reject_unknown(cls: type, data: Mapping[str, Any]) -> None:
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown field(s) {unknown} for {cls.__name__}; "
+            f"known fields: {sorted(known)}"
+        )
+
+
+def _build(cls: type, data: Any, where: str):
+    if not isinstance(data, Mapping):
+        raise ValueError(f"{where} must be a mapping, got {type(data).__name__}")
+    _reject_unknown(cls, data)
+    return cls(**data)
+
+
+# --------------------------------------------------------------------- #
+# Leaf specs.
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """What traffic hits the system, and when.
+
+    ``scale`` is the :class:`~repro.experiments.common.ExperimentScale`
+    factor relative to the paper's 5,000-request evaluation; ``num_requests``
+    overrides the derived request count without changing the corpus (and
+    therefore the trained predictor).  ``arrival`` selects the arrival
+    process; ``offline`` is the paper's setting (everything at t=0).
+    ``slo_mix`` stamps SLO classes (``{"interactive": 0.7, "batch": 0.3}``;
+    the CLI string form is accepted and normalized to a dict).
+    """
+
+    scale: float = 0.1
+    seed: int = 0
+    num_requests: int | None = None
+    arrival: str = "offline"
+    rate_rps: float | None = None
+    burst_size: int | None = None
+    burst_interval_s: float | None = None
+    slo_mix: dict[str, float] | None = None
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError(f"workload scale must be positive, got {self.scale}")
+        if self.num_requests is not None and self.num_requests < 1:
+            raise ValueError(f"num_requests must be >= 1, got {self.num_requests}")
+        if self.arrival not in ARRIVALS:
+            raise ValueError(
+                f"unknown arrival process {self.arrival!r}; options: {ARRIVALS}"
+            )
+        if self.arrival in ("poisson", "uniform"):
+            if self.rate_rps is None or self.rate_rps <= 0:
+                raise ValueError(
+                    f"arrival {self.arrival!r} needs a positive rate_rps, "
+                    f"got {self.rate_rps}"
+                )
+        if self.arrival == "burst":
+            if not self.burst_size or self.burst_size < 1:
+                raise ValueError("burst arrivals need burst_size >= 1")
+            if self.burst_interval_s is None or self.burst_interval_s < 0:
+                raise ValueError("burst arrivals need burst_interval_s >= 0")
+        if self.slo_mix is not None:
+            if isinstance(self.slo_mix, str):
+                # Normalize the CLI string form into the canonical dict form
+                # so serialization is uniform.
+                object.__setattr__(self, "slo_mix", parse_mix_string(self.slo_mix))
+            parse_slo_mix(self.slo_mix)  # raises on bad classes/weights/sums
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """The hardware the scenario runs on.
+
+    ``fleet`` (e.g. ``"l20:2,a100:2"``) overrides ``node``/``replicas`` with
+    one node name per replica, making heterogeneous fleets first-class.
+    ``allreduce_efficiency`` overrides the node preset's calibrated fabric
+    efficiency (the sensitivity-sweep knob).
+    """
+
+    node: str = "L20"
+    num_gpus: int = 4
+    replicas: int = 1
+    fleet: str | None = None
+    allreduce_efficiency: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise ValueError(f"num_gpus must be >= 1, got {self.num_gpus}")
+        if self.replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {self.replicas}")
+        if self.allreduce_efficiency is not None and not (
+            0.0 < self.allreduce_efficiency <= 1.0
+        ):
+            raise ValueError(
+                "allreduce_efficiency must be in (0, 1], "
+                f"got {self.allreduce_efficiency}"
+            )
+        for name in self.node_names():
+            if name.upper() not in GPU_PRESETS:
+                raise ValueError(
+                    f"unknown node/GPU preset {name!r}; "
+                    f"options: {sorted(GPU_PRESETS)}"
+                )
+
+    def node_names(self) -> list[str]:
+        """One node-preset name per replica (fleet string expanded)."""
+        if self.fleet is not None:
+            return parse_fleet(self.fleet)
+        return [self.node] * self.replicas
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self.node_names())
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Which serving system runs on each replica, and how it is tuned.
+
+    ``system`` names one of the five systems for every replica; ``systems``
+    (one name per replica) overrides it for mixed clusters.  ``config`` holds
+    :class:`~repro.runtime.config.EngineConfig` field overrides — only the
+    non-default knobs a scenario actually touches.  ``predictor`` selects
+    the output-length predictor (``trained`` | ``oracle`` | ``constant``;
+    ``None`` = trained when the scenario needs one).  The switch policies
+    mirror the paper's ablations: ``{"name": "occupancy", "ratio": 0.8}``
+    or ``{"name": "finish-ratio", "ratio": 0.5}``.
+    """
+
+    system: str = "TD-Pipe"
+    systems: tuple[str, ...] | None = None
+    model: str = "13B"
+    config: dict[str, Any] = field(default_factory=dict)
+    predictor: str | None = None
+    predictor_constant: float | None = None
+    prefill_policy: dict[str, Any] | None = None
+    decode_policy: dict[str, Any] | None = None
+    work_stealing: bool = True
+
+    def __post_init__(self) -> None:
+        known = _known_systems()
+        if self.systems is not None and not isinstance(self.systems, tuple):
+            object.__setattr__(self, "systems", tuple(self.systems))
+        for name in self.system_names(None):
+            if name not in known:
+                raise ValueError(f"unknown system {name!r}; options: {known}")
+        if self.model.upper() not in MODEL_PRESETS:
+            raise ValueError(
+                f"unknown model {self.model!r}; options: {sorted(MODEL_PRESETS)}"
+            )
+        unknown = sorted(set(self.config) - _CONFIG_FIELDS)
+        if unknown:
+            raise ValueError(
+                f"unknown EngineConfig field(s) {unknown}; "
+                f"known: {sorted(_CONFIG_FIELDS)}"
+            )
+        if self.predictor is not None and self.predictor not in PREDICTOR_KINDS:
+            raise ValueError(
+                f"unknown predictor {self.predictor!r}; options: {PREDICTOR_KINDS}"
+            )
+        if self.predictor == "constant" and self.predictor_constant is None:
+            raise ValueError('predictor "constant" needs predictor_constant')
+        _validate_policy(self.prefill_policy, PREFILL_POLICIES, "prefill_policy")
+        _validate_policy(self.decode_policy, DECODE_POLICIES, "decode_policy")
+
+    def system_names(self, replicas: int | None) -> tuple[str, ...]:
+        """One system name per replica (``systems`` override expanded)."""
+        if self.systems is not None:
+            if replicas is not None and len(self.systems) != replicas:
+                raise ValueError(
+                    f"got {len(self.systems)} system names for {replicas} replicas"
+                )
+            return self.systems
+        return (self.system,) * (replicas or 1)
+
+
+#: Keys each switch policy actually consumes — anything else is rejected so
+#: a knob that would be silently dropped at build time fails loudly instead.
+_POLICY_KEYS: dict[str, frozenset[str]] = {
+    "greedy": frozenset(),
+    "occupancy": frozenset({"ratio"}),
+    "intensity": frozenset({"peak_batch_size", "check_interval"}),
+    "finish-ratio": frozenset({"ratio"}),
+}
+
+
+def _validate_policy(
+    policy: Mapping[str, Any] | None, options: tuple[str, ...], what: str
+) -> None:
+    if policy is None:
+        return
+    if not isinstance(policy, Mapping) or "name" not in policy:
+        raise ValueError(f'{what} must be a dict with a "name" key, got {policy!r}')
+    name = policy["name"]
+    if name not in options:
+        raise ValueError(f"unknown {what} {name!r}; options: {options}")
+    extra = sorted(set(policy) - {"name"} - _POLICY_KEYS[name])
+    if extra:
+        raise ValueError(
+            f"unknown {what} key(s) {extra} for policy {name!r}; "
+            f"allowed: {sorted(_POLICY_KEYS[name])}"
+        )
+    if name in ("occupancy", "finish-ratio") and "ratio" not in policy:
+        raise ValueError(f'{what} {name!r} needs a "ratio" key')
+
+
+@dataclass(frozen=True)
+class ControlSpec:
+    """Cluster control plane: routing, admission and fleet sizing.
+
+    ``autoscaler`` holds :class:`~repro.cluster.control.autoscaler.Autoscaler`
+    field overrides; ``autoscale=True`` with no overrides attaches the
+    default policy.
+    """
+
+    router: str = "round-robin"
+    autoscale: bool = False
+    autoscaler: dict[str, Any] | None = None
+
+    def __post_init__(self) -> None:
+        if self.router not in ROUTER_NAMES:
+            raise ValueError(
+                f"unknown router {self.router!r}; options: {ROUTER_NAMES}"
+            )
+        if self.autoscaler is not None:
+            unknown = sorted(set(self.autoscaler) - _AUTOSCALER_FIELDS)
+            if unknown:
+                raise ValueError(
+                    f"unknown Autoscaler field(s) {unknown}; "
+                    f"known: {sorted(_AUTOSCALER_FIELDS)}"
+                )
+            Autoscaler(**self.autoscaler)  # field-level validation
+
+    @property
+    def wants_autoscaler(self) -> bool:
+        return self.autoscale or self.autoscaler is not None
+
+    def build_autoscaler(self) -> Autoscaler | None:
+        if not self.wants_autoscaler:
+            return None
+        return Autoscaler(**(self.autoscaler or {}))
+
+
+# --------------------------------------------------------------------- #
+# The scenario root.
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One complete, serializable experiment description.
+
+    ``mode`` selects the execution path: ``"engine"`` (one engine, a
+    :class:`~repro.metrics.results.RunResult`) or ``"cluster"`` (a routed
+    replica fleet, a :class:`~repro.metrics.cluster.ClusterResult`).
+    ``"auto"`` resolves to ``cluster`` when the spec names more than one
+    replica, a heterogeneous fleet, or an autoscaler.
+    """
+
+    name: str | None = None
+    mode: str = "auto"
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    fleet: FleetSpec = field(default_factory=FleetSpec)
+    engine: EngineSpec = field(default_factory=EngineSpec)
+    control: ControlSpec = field(default_factory=ControlSpec)
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("auto", "engine", "cluster"):
+            raise ValueError(
+                f"mode must be auto|engine|cluster, got {self.mode!r}"
+            )
+        if self.schema_version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported schema_version {self.schema_version} "
+                f"(this build speaks version {SCHEMA_VERSION})"
+            )
+        if self.mode == "engine":
+            if self.fleet.num_replicas != 1:
+                raise ValueError(
+                    "mode='engine' requires exactly one replica; "
+                    f"fleet names {self.fleet.num_replicas}"
+                )
+            if self.control.wants_autoscaler:
+                raise ValueError("mode='engine' cannot autoscale")
+        # Cross-field check: mixed-system lists must match the fleet size.
+        self.engine.system_names(self.fleet.num_replicas)
+
+    # -- resolution ---------------------------------------------------- #
+    @property
+    def resolved_mode(self) -> str:
+        if self.mode != "auto":
+            return self.mode
+        if (
+            self.fleet.fleet is not None
+            or self.fleet.replicas > 1
+            or self.control.wants_autoscaler
+        ):
+            return "cluster"
+        return "engine"
+
+    def resolved(self) -> "ScenarioSpec":
+        """A copy with ``mode`` pinned (what artifacts embed)."""
+        if self.mode != "auto":
+            return self
+        return replace(self, mode=self.resolved_mode)
+
+    # -- overrides ------------------------------------------------------ #
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "ScenarioSpec":
+        """Derive a new spec from dotted-path overrides.
+
+        ``{"control.router": "jsq", "engine.config.max_num_seqs": 128}`` —
+        the mechanism behind sweep axes and the CLI's ``--set``.  Paths walk
+        dataclass fields; a final segment landing in a dict field sets that
+        key.
+        """
+        spec = self
+        for path, value in overrides.items():
+            spec = _set_path(spec, path.split("."), value, path)
+        return spec
+
+    # -- serialization -------------------------------------------------- #
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form (all fields, fully explicit)."""
+        return dataclasses.asdict(self)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Strict inverse of :meth:`to_dict`: unknown fields raise."""
+        if not isinstance(data, Mapping):
+            raise ValueError(f"spec must be a mapping, got {type(data).__name__}")
+        _reject_unknown(cls, data)
+        kwargs: dict[str, Any] = dict(data)
+        for key, sub in (
+            ("workload", WorkloadSpec),
+            ("fleet", FleetSpec),
+            ("engine", EngineSpec),
+            ("control", ControlSpec),
+        ):
+            if key in kwargs and not isinstance(kwargs[key], sub):
+                kwargs[key] = _build(sub, kwargs[key], key)
+        return cls(**kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    # -- display --------------------------------------------------------- #
+    def describe(self) -> str:
+        """One-line human summary for CLI output."""
+        names = self.fleet.node_names()
+        fleet = (
+            f"{len(names)}x{names[0]}" if len(set(names)) == 1 else "+".join(names)
+        )
+        systems = self.engine.system_names(self.fleet.num_replicas)
+        system = systems[0] if len(set(systems)) == 1 else "+".join(systems)
+        arrival = self.workload.arrival
+        if self.workload.rate_rps is not None:
+            arrival += f"@{self.workload.rate_rps:g}rps"
+        bits = [
+            self.name or "scenario",
+            f"[{self.resolved_mode}]",
+            f"{system} on {fleet} ({self.engine.model})",
+            arrival,
+        ]
+        if self.resolved_mode == "cluster":
+            bits.append(f"router={self.control.router}")
+        if self.workload.slo_mix:
+            bits.append(
+                "slo=" + ",".join(f"{k}:{v:g}" for k, v in self.workload.slo_mix.items())
+            )
+        if self.control.wants_autoscaler:
+            bits.append("autoscale")
+        return " ".join(bits)
+
+
+def _is_dict_field(cls: type, name: str) -> bool:
+    """Whether a dataclass field is dict-typed (possibly ``| None``)."""
+    hint = next(f.type for f in fields(cls) if f.name == name)
+    return str(hint).startswith("dict")
+
+
+def _set_path(obj: Any, parts: list[str], value: Any, full: str) -> Any:
+    """Immutable dotted-path set over nested frozen dataclasses / dicts."""
+    head = parts[0]
+    if dataclasses.is_dataclass(obj):
+        known = {f.name for f in fields(type(obj))}
+        if head not in known:
+            raise ValueError(
+                f"unknown field {head!r} in override {full!r}; "
+                f"known: {sorted(known)}"
+            )
+        current = getattr(obj, head)
+        if len(parts) == 1:
+            return replace(obj, **{head: value})
+        if isinstance(current, dict) or (
+            current is None and _is_dict_field(type(obj), head)
+        ):
+            if len(parts) != 2:
+                raise ValueError(f"override {full!r} descends past dict key")
+            new = dict(current or {})
+            new[parts[1]] = value
+            return replace(obj, **{head: new})
+        return replace(obj, **{head: _set_path(current, parts[1:], value, full)})
+    raise ValueError(f"cannot descend into {type(obj).__name__} at {full!r}")
+
+
+def parse_set_override(text: str) -> tuple[str, Any]:
+    """Parse one CLI ``--set key=value`` into ``(dotted_path, value)``.
+
+    Values are JSON-decoded when possible (so ``128``, ``0.5``, ``true``,
+    ``null``, ``[1,2]`` and ``{"a":1}`` all work) and fall back to the raw
+    string (``jsq`` needs no quotes).
+    """
+    key, sep, raw = text.partition("=")
+    if not sep or not key.strip():
+        raise ValueError(f"--set expects key=value, got {text!r}")
+    raw = raw.strip()
+    try:
+        value = json.loads(raw)
+    except (json.JSONDecodeError, ValueError):
+        value = raw
+    if isinstance(value, float) and not math.isfinite(value):
+        raise ValueError(f"non-finite override value in {text!r}")
+    return key.strip(), value
+
+
+def spec_from_dict(data: Mapping[str, Any]) -> "ScenarioSpec":
+    """Module-level alias (mirrors :meth:`ScenarioSpec.from_dict`)."""
+    return ScenarioSpec.from_dict(data)
+
+
+def spec_from_json(text: str) -> "ScenarioSpec":
+    return ScenarioSpec.from_json(text)

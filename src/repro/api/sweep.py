@@ -1,0 +1,129 @@
+"""Spec grids: a base scenario plus override axes.
+
+A :class:`SweepSpec` turns parameter studies into data: one base
+:class:`~repro.api.spec.ScenarioSpec` and a list of :class:`SweepAxis`
+(dotted override path + values).  :meth:`SweepSpec.expand` takes the
+cartesian product in axis order — the first axis is the outermost loop, so a
+two-axis sweep reproduces the classic nested-``for`` ordering — and each
+point is a full, standalone scenario (serializable, replayable, and tagged
+with its override coordinates).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, fields
+from typing import Any, Mapping
+
+from .spec import SCHEMA_VERSION, ScenarioSpec, _reject_unknown
+
+__all__ = ["SweepAxis", "SweepSpec", "SweepPointSpec"]
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One swept parameter: a dotted override path and its values."""
+
+    path: str
+    values: tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("sweep axis needs a non-empty path")
+        if not isinstance(self.values, tuple):
+            object.__setattr__(self, "values", tuple(self.values))
+        if not self.values:
+            raise ValueError(f"sweep axis {self.path!r} needs at least one value")
+
+
+@dataclass(frozen=True)
+class SweepPointSpec:
+    """One expanded grid point: the concrete spec plus its coordinates."""
+
+    spec: ScenarioSpec
+    overrides: dict[str, Any]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A scenario grid: base spec × override axes."""
+
+    base: ScenarioSpec
+    axes: tuple[SweepAxis, ...]
+    name: str | None = None
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.axes, tuple):
+            object.__setattr__(self, "axes", tuple(self.axes))
+        if not self.axes:
+            raise ValueError("a sweep needs at least one axis")
+        if self.schema_version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported schema_version {self.schema_version} "
+                f"(this build speaks version {SCHEMA_VERSION})"
+            )
+        # Validate every grid point eagerly: a bad axis value should fail at
+        # build time, not halfway through an expensive sweep.
+        self.expand()
+
+    @property
+    def num_points(self) -> int:
+        n = 1
+        for axis in self.axes:
+            n *= len(axis.values)
+        return n
+
+    def expand(self) -> list[SweepPointSpec]:
+        """All grid points, first axis outermost (nested-loop order)."""
+        points = []
+        for combo in itertools.product(*(axis.values for axis in self.axes)):
+            overrides = {
+                axis.path: value for axis, value in zip(self.axes, combo)
+            }
+            points.append(
+                SweepPointSpec(
+                    spec=self.base.with_overrides(overrides), overrides=overrides
+                )
+            )
+        return points
+
+    # -- serialization -------------------------------------------------- #
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "sweep",
+            "name": self.name,
+            "schema_version": self.schema_version,
+            "base": self.base.to_dict(),
+            "axes": [
+                {"path": a.path, "values": list(a.values)} for a in self.axes
+            ],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        if not isinstance(data, Mapping):
+            raise ValueError(f"sweep must be a mapping, got {type(data).__name__}")
+        data = dict(data)
+        kind = data.pop("kind", "sweep")
+        if kind != "sweep":
+            raise ValueError(f'sweep dict must carry kind="sweep", got {kind!r}')
+        _reject_unknown(cls, data)
+        axes = []
+        for i, axis in enumerate(data.get("axes", ())):
+            extra = sorted(set(axis) - {"path", "values"})
+            if extra:
+                raise ValueError(f"unknown sweep-axis key(s) {extra} in axis {i}")
+            axes.append(SweepAxis(path=axis["path"], values=tuple(axis["values"])))
+        kwargs = {f.name: data[f.name] for f in fields(cls) if f.name in data}
+        kwargs["base"] = ScenarioSpec.from_dict(data["base"])
+        kwargs["axes"] = tuple(axes)
+        return cls(**kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepSpec":
+        return cls.from_dict(json.loads(text))

@@ -1,4 +1,5 @@
-"""Command-line entry point: regenerate any paper table or figure.
+"""Command-line entry point: regenerate any paper table or figure, or run
+any declarative scenario spec.
 
 Examples
 --------
@@ -12,15 +13,20 @@ Examples
     tdpipe-bench cluster --replicas 4 --router phase-aware --rate 8
     tdpipe-bench cluster --fleet l20:2,a100:2 --router jsq --rate 14 \\
         --slo-mix interactive:0.7,batch:0.3 --autoscale
+    tdpipe-bench run --spec examples/scenarios/hetero.json --bench-json out.json
+    tdpipe-bench run --spec cluster-hetero --set workload.scale=0.02
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
+import os
 import sys
 import time
 
+from . import api
 from .cluster.routing import ROUTER_NAMES
 from .experiments import (
     SYSTEMS,
@@ -66,7 +72,7 @@ _STATIC = {
     "fig06": lambda: fig06_tp_breakdown.format_results(fig06_tp_breakdown.run()),
 }
 
-EXPERIMENTS = sorted([*_SCALED, *_STATIC, "all"])
+EXPERIMENTS = sorted([*_SCALED, *_STATIC, "all", "run"])
 
 
 def _run_one(name: str, scale) -> str:
@@ -74,6 +80,64 @@ def _run_one(name: str, scale) -> str:
         return _STATIC[name]()
     runner, formatter = _SCALED[name]
     return formatter(runner(scale=scale))
+
+
+def _load_spec_arg(spec_arg: str):
+    """Resolve ``--spec``: a JSON file path or a registered scenario name."""
+    if os.path.exists(spec_arg):
+        with open(spec_arg) as fh:
+            return api.load_spec(json.load(fh))
+    if spec_arg.endswith(".json"):
+        raise SystemExit(f"spec file not found: {spec_arg}")
+    try:
+        return api.get_scenario(spec_arg)
+    except KeyError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def _apply_overrides(spec, sets: list[str]):
+    overrides = dict(api.parse_set_override(s) for s in sets)
+    if not overrides:
+        return spec
+    if isinstance(spec, api.SweepSpec):
+        return dataclasses.replace(spec, base=spec.base.with_overrides(overrides))
+    return spec.with_overrides(overrides)
+
+
+def _run_spec(args) -> int:
+    spec = _apply_overrides(_load_spec_arg(args.spec), args.set or [])
+    if isinstance(spec, api.SweepSpec):
+        print(f"sweep {spec.name or '(unnamed)'}: {spec.num_points} scenarios")
+        artifacts = api.run_sweep(spec)
+        for artifact in artifacts:
+            coords = ", ".join(f"{k}={v}" for k, v in artifact.overrides.items())
+            print(f"[{coords}]")
+            print(artifact.result.summary())
+        if args.bench_json:
+            record = {
+                "schema_version": api.SCHEMA_VERSION,
+                "kind": "sweep",
+                "spec": spec.to_dict(),
+                "runs": [a.to_record() for a in artifacts],
+            }
+            _write_json(args.bench_json, record)
+        return 0
+    artifact = api.run(spec)
+    print(artifact.spec.describe())
+    print(artifact.result.summary())
+    if hasattr(artifact.result, "slo_attainment"):
+        for stats in artifact.result.slo_attainment.values():
+            print(f"  SLO {stats.summary()}")
+    if args.bench_json:
+        _write_json(args.bench_json, artifact.to_record())
+    return 0
+
+
+def _write_json(path: str, record: dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(f"benchmark record written to {path}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -124,40 +188,79 @@ def main(argv: list[str] | None = None) -> int:
     )
     cluster_opts.add_argument(
         "--bench-json", default=None, metavar="PATH",
-        help="write a machine-readable benchmark record to PATH",
+        help="write a machine-readable benchmark record to PATH "
+        "(embeds the resolved scenario spec)",
+    )
+    spec_opts = parser.add_argument_group(
+        "spec", "declarative scenarios for the `run` experiment"
+    )
+    spec_opts.add_argument(
+        "--spec", default=None, metavar="PATH_OR_NAME",
+        help="scenario/sweep JSON file, or a registered scenario name",
+    )
+    spec_opts.add_argument(
+        "--set", action="append", default=None, metavar="KEY=VALUE",
+        help="dotted-path spec override, e.g. workload.scale=0.02 "
+        "(repeatable; applies to a sweep's base spec)",
     )
     args = parser.parse_args(argv)
 
     cluster_flags = (
         args.replicas, args.router, args.rate, args.system, args.fleet,
-        args.slo_mix, args.autoscale or None, args.bench_json,
+        args.slo_mix, args.autoscale or None,
     )
     if args.experiment != "cluster" and any(v is not None for v in cluster_flags):
         parser.error(
             "--replicas/--router/--rate/--system/--fleet/--slo-mix/"
-            "--autoscale/--bench-json only apply to `cluster`"
+            "--autoscale only apply to `cluster`"
         )
+    if args.experiment not in ("cluster", "run") and args.bench_json is not None:
+        parser.error("--bench-json only applies to `cluster` and `run`")
+    if args.experiment != "run" and (args.spec is not None or args.set):
+        parser.error("--spec/--set only apply to `run`")
+    if args.experiment == "run":
+        if args.spec is None:
+            parser.error("`run` needs --spec PATH_OR_NAME")
+        return _run_spec(args)
 
     scale = default_scale(factor=1.0 if args.full else args.scale, seed=args.seed)
     single_cluster = args.experiment == "cluster" and any(
-        v is not None for v in cluster_flags
+        v is not None for v in (*cluster_flags, args.bench_json)
     )
     if single_cluster:
         rate = 8.0 if args.rate is None else args.rate
-        t0 = time.time()
-        row = cluster_scaling.run_single(
-            scale=scale,
-            system=args.system or "TD-Pipe",
-            model="13B" if args.fleet else "32B",
-            replicas=4 if args.replicas is None else args.replicas,
-            router=args.router or "phase-aware",
-            rate_rps=rate,
-            fleet=args.fleet,
-            slo_mix=args.slo_mix,
-            autoscaler=True if args.autoscale else None,
+        # Compile the flags into a declarative scenario: the spec is the
+        # execution path, and --bench-json embeds it for provenance.
+        if args.fleet:
+            fleet_spec = api.FleetSpec(fleet=args.fleet)
+        else:
+            fleet_spec = api.FleetSpec(
+                node="L20", replicas=4 if args.replicas is None else args.replicas
+            )
+        spec = api.ScenarioSpec(
+            name="cli-cluster",
+            mode="cluster",
+            workload=api.WorkloadSpec(
+                scale=scale.factor,
+                seed=scale.seed,
+                arrival="poisson",
+                rate_rps=rate,
+                slo_mix=args.slo_mix,
+            ),
+            fleet=fleet_spec,
+            engine=api.EngineSpec(
+                system=args.system or "TD-Pipe",
+                model="13B" if args.fleet else "32B",
+            ),
+            control=api.ControlSpec(
+                router=args.router or "phase-aware",
+                autoscale=bool(args.autoscale),
+            ),
         )
+        t0 = time.time()
+        artifact = api.run(spec)
         wall = time.time() - t0
-        result = row["result"]
+        result = artifact.result
         print(f"arrival rate: {rate:.1f} req/s (Poisson, cluster-wide)")
         if args.fleet:
             nodes = result.extras.get("fleet_nodes", [])
@@ -179,25 +282,13 @@ def main(argv: list[str] | None = None) -> int:
         if args.bench_json:
             record = {
                 "experiment": "cluster",
-                "system": row["system"],
-                "router": row["router"],
-                "fleet": result.extras.get("fleet_nodes", []),
                 "rate_rps": rate,
                 "scale": scale.factor,
                 "seed": scale.seed,
-                "goodput_rps": result.goodput,
-                "throughput_tps": result.throughput,
-                "ttft_p99_s": row["ttft_p99"],
-                "tpot_p99_s": row["tpot_p99"],
-                "slo_attainment": row["slo_attainment"],
-                "mean_active_replicas": row["mean_active_replicas"],
-                "replica_seconds": row["replica_seconds"],
+                **artifact.to_record(),
                 "wall_time_s": wall,
             }
-            with open(args.bench_json, "w") as fh:
-                json.dump(record, fh, indent=2)
-                fh.write("\n")
-            print(f"benchmark record written to {args.bench_json}")
+            _write_json(args.bench_json, record)
         return 0
     names = sorted([*_SCALED, *_STATIC]) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -13,6 +13,17 @@ the same load factor; the table reports the cluster-wide rate.
 
 from __future__ import annotations
 
+from ..api import (
+    ControlSpec,
+    EngineSpec,
+    FleetSpec,
+    ScenarioSpec,
+    SweepAxis,
+    SweepSpec,
+    WorkloadSpec,
+    register_scenario,
+    run_sweep,
+)
 from ..cluster import Autoscaler
 from ..cluster.routing import ROUTERS
 from .common import ExperimentScale, default_scale, run_cluster
@@ -26,8 +37,10 @@ __all__ = [
     "run",
     "run_single",
     "format_results",
+    "heterogeneous_spec",
     "run_heterogeneous",
     "format_heterogeneous",
+    "autoscaling_spec",
     "run_autoscaling",
     "format_autoscaling",
 ]
@@ -44,6 +57,30 @@ HETERO_FLEET = "l20:2,a100:2"
 HETERO_ROUTERS = ("round-robin", "jsq-raw", "jsq", "deadline")
 
 DEFAULT_SLO_MIX = "interactive:0.7,batch:0.3"
+
+
+def _row(result, system: str, router: str, rate_rps, slo_mix) -> dict:
+    """Flatten one ClusterResult into the historic sweep-row shape."""
+    lat = result.latency
+    return {
+        "system": system,
+        "replicas": result.num_replicas,
+        "router": router,
+        "rate_rps": rate_rps,
+        "slo_mix": slo_mix,
+        "ttft_p50": lat.ttft_p50,
+        "ttft_p99": lat.ttft_p99,
+        "tpot_p99": lat.tpot_p99,
+        "goodput": result.goodput,
+        "throughput": result.throughput,
+        "util_imbalance": result.utilization_imbalance,
+        "slo_attainment": {
+            name: stats.attainment for name, stats in result.slo_attainment.items()
+        },
+        "mean_active_replicas": result.mean_active_replicas,
+        "replica_seconds": result.replica_seconds,
+        "result": result,
+    }
 
 
 def run_single(
@@ -72,26 +109,7 @@ def run_single(
         slo_mix=slo_mix,
         autoscaler=autoscaler,
     )
-    lat = result.latency
-    return {
-        "system": system,
-        "replicas": result.num_replicas,
-        "router": router,
-        "rate_rps": rate_rps,
-        "slo_mix": slo_mix,
-        "ttft_p50": lat.ttft_p50,
-        "ttft_p99": lat.ttft_p99,
-        "tpot_p99": lat.tpot_p99,
-        "goodput": result.goodput,
-        "throughput": result.throughput,
-        "util_imbalance": result.utilization_imbalance,
-        "slo_attainment": {
-            name: stats.attainment for name, stats in result.slo_attainment.items()
-        },
-        "mean_active_replicas": result.mean_active_replicas,
-        "replica_seconds": result.replica_seconds,
-        "result": result,
-    }
+    return _row(result, system, router, rate_rps, slo_mix)
 
 
 def run(
@@ -123,6 +141,68 @@ def run(
     return rows
 
 
+@register_scenario("cluster-hetero")
+def heterogeneous_spec(
+    system: str = "TD-Pipe",
+    model: str = "13B",
+    fleet: str = HETERO_FLEET,
+    routers: tuple[str, ...] = HETERO_ROUTERS,
+    rate_rps: float = 14.0,
+    slo_mix: str = DEFAULT_SLO_MIX,
+    scale_factor: float = 0.1,
+    seed: int = 0,
+) -> SweepSpec:
+    """The heterogeneous-fleet router sweep as a declarative spec grid."""
+    return SweepSpec(
+        name="cluster-hetero",
+        base=ScenarioSpec(
+            mode="cluster",
+            workload=WorkloadSpec(
+                scale=scale_factor,
+                seed=seed,
+                arrival="poisson",
+                rate_rps=rate_rps,
+                slo_mix=slo_mix,
+            ),
+            fleet=FleetSpec(fleet=fleet),
+            engine=EngineSpec(system=system, model=model),
+        ),
+        axes=(SweepAxis("control.router", tuple(routers)),),
+    )
+
+
+@register_scenario("cluster-autoscale")
+def autoscaling_spec(
+    system: str = "TD-Pipe",
+    node: str = "L20",
+    model: str = "13B",
+    replicas: int = 4,
+    router: str = "jsq",
+    rate_rps: float = 10.0,
+    slo_mix: str = DEFAULT_SLO_MIX,
+    scale_factor: float = 0.1,
+    seed: int = 0,
+) -> SweepSpec:
+    """Fixed vs autoscaled fleet as a declarative spec grid."""
+    return SweepSpec(
+        name="cluster-autoscale",
+        base=ScenarioSpec(
+            mode="cluster",
+            workload=WorkloadSpec(
+                scale=scale_factor,
+                seed=seed,
+                arrival="poisson",
+                rate_rps=rate_rps,
+                slo_mix=slo_mix,
+            ),
+            fleet=FleetSpec(node=node, replicas=replicas),
+            engine=EngineSpec(system=system, model=model),
+            control=ControlSpec(router=router),
+        ),
+        axes=(SweepAxis("control.autoscaler", (None, {"min_replicas": 1})),),
+    )
+
+
 def run_heterogeneous(
     scale: ExperimentScale | None = None,
     system: str = "TD-Pipe",
@@ -139,19 +219,23 @@ def run_heterogeneous(
     slow nodes; the normalized policies divide load by the roofline
     throughput score.  Rows carry per-SLO-class attainment so the deadline
     router's class separation is visible too.
+
+    Runs the registered ``cluster-hetero`` spec grid.
     """
     scale = scale or default_scale()
+    sweep = heterogeneous_spec(
+        system=system,
+        model=model,
+        fleet=fleet,
+        routers=routers,
+        rate_rps=rate_rps,
+        slo_mix=slo_mix,
+        scale_factor=scale.factor,
+        seed=scale.seed,
+    )
     return [
-        run_single(
-            scale=scale,
-            system=system,
-            model=model,
-            router=router,
-            rate_rps=rate_rps,
-            fleet=fleet,
-            slo_mix=slo_mix,
-        )
-        for router in routers
+        _row(a.result, system, a.spec.control.router, rate_rps, slo_mix)
+        for a in run_sweep(sweep)
     ]
 
 
@@ -195,22 +279,25 @@ def run_autoscaling(
     starts from one active replica, growing on queue pressure and draining
     when it subsides — trading some tail latency for replica-seconds (the
     fleet's cost denominator).
+
+    Runs the registered ``cluster-autoscale`` spec grid.
     """
     scale = scale or default_scale()
+    sweep = autoscaling_spec(
+        system=system,
+        node=node,
+        model=model,
+        replicas=replicas,
+        router=router,
+        rate_rps=rate_rps,
+        slo_mix=slo_mix,
+        scale_factor=scale.factor,
+        seed=scale.seed,
+    )
     rows = []
-    for autoscaler in (None, Autoscaler(min_replicas=1)):
-        row = run_single(
-            scale=scale,
-            system=system,
-            node=node,
-            model=model,
-            replicas=replicas,
-            router=router,
-            rate_rps=rate_rps,
-            slo_mix=slo_mix,
-            autoscaler=autoscaler,
-        )
-        row["autoscaled"] = autoscaler is not None
+    for artifact in run_sweep(sweep):
+        row = _row(artifact.result, system, router, rate_rps, slo_mix)
+        row["autoscaled"] = artifact.spec.control.wants_autoscaler
         rows.append(row)
     return rows
 

@@ -14,22 +14,20 @@ from functools import lru_cache
 from typing import Sequence
 
 from ..baselines import PPHybridEngine, PPSeparateEngine, TPHybridEngine, TPSeparateEngine
-from ..cluster import Autoscaler, ClusterEngine, parse_fleet
-from ..cluster.routing import Router, make_router
+from ..cluster import Autoscaler, parse_fleet
+from ..cluster.routing import Router
 from ..core import TDPipeEngine
 from ..core.policies import DecodeSwitchPolicy, PrefillSwitchPolicy
 from ..hardware.node import NodeSpec, make_node
 from ..kvcache.capacity import OutOfMemoryError  # noqa: F401  (re-export: callers catch it from here)
 from ..metrics.cluster import ClusterResult
 from ..metrics.results import RunResult
-from ..models.spec import ModelSpec, get_model
+from ..models.spec import ModelSpec
 from ..predictor import LengthPredictor, OutputLengthPredictor, train_length_predictor
 from ..runtime.base_engine import InferenceEngine
 from ..runtime.config import EngineConfig
 from ..sim.engine import Simulator
 from ..workload import DatasetSplits, Request, build_dataset, sample_eval_requests
-from ..workload.arrivals import with_poisson_arrivals
-from ..workload.slo import with_slo_mix
 
 __all__ = [
     "SYSTEMS",
@@ -146,6 +144,47 @@ def build_engine(
     raise ValueError(f"unknown system {system!r}; options: {SYSTEMS}")
 
 
+def _config_overrides(config: EngineConfig | None) -> dict:
+    """Non-default EngineConfig fields, for embedding a config in a spec."""
+    if config is None:
+        return {}
+    from dataclasses import fields
+
+    defaults = EngineConfig()
+    return {
+        f.name: getattr(config, f.name)
+        for f in fields(EngineConfig)
+        if getattr(config, f.name) != getattr(defaults, f.name)
+    }
+
+
+def _model_key(model: ModelSpec | str) -> tuple[str, ModelSpec | None]:
+    """(preset key for the spec, opaque override when not a preset)."""
+    from ..models.spec import MODEL_PRESETS
+
+    if isinstance(model, str):
+        return model, None
+    for key, preset in MODEL_PRESETS.items():
+        if preset == model:
+            return key, None
+    return "13B", model  # custom ModelSpec: pass as a live override
+
+
+def _predictor_kind(
+    predictor: OutputLengthPredictor | None,
+) -> tuple[str | None, float | None, OutputLengthPredictor | None]:
+    """(spec predictor kind, constant, opaque override) for a live object."""
+    from ..predictor import ConstantPredictor, OraclePredictor
+
+    if predictor is None:
+        return None, None, None
+    if type(predictor) is OraclePredictor:
+        return "oracle", None, None
+    if type(predictor) is ConstantPredictor:
+        return "constant", float(predictor.length), None
+    return None, None, predictor
+
+
 def run_system(
     system: str,
     node: NodeSpec | str,
@@ -161,31 +200,55 @@ def run_system(
 ) -> RunResult:
     """Run one system on one configuration.
 
-    Raises :class:`OutOfMemoryError` for layouts that cannot hold the model
-    (the paper's "OOM" bars in Figure 11).
+    Back-compat shim: builds a :class:`repro.api.ScenarioSpec` and delegates
+    to :func:`repro.api.run` (live objects — a request list, a trained
+    predictor, policy instances — ride along as runner overrides).  Raises
+    :class:`OutOfMemoryError` for layouts that cannot hold the model (the
+    paper's "OOM" bars in Figure 11).
     """
+    from .. import api
+
     scale = scale or default_scale()
+    nodes_override = None
     if isinstance(node, str):
-        node = make_node(node, num_gpus or 4)
-    elif num_gpus is not None and node.num_gpus != num_gpus:
-        node = node.with_num_gpus(num_gpus)
-    if isinstance(model, str):
-        model = get_model(model)
-    if requests is None:
-        requests = eval_requests(scale)
-    if system == "TD-Pipe" and predictor is None:
-        predictor = get_predictor(scale)
-    engine = build_engine(
-        system,
-        node,
-        model,
-        predictor=predictor,
-        config=config,
+        fleet = api.FleetSpec(node=node, num_gpus=num_gpus or 4, replicas=1)
+    else:
+        if num_gpus is not None and node.num_gpus != num_gpus:
+            node = node.with_num_gpus(num_gpus)
+        # Best-effort provenance: a live NodeSpec may carry a non-preset GPU
+        # or a tweaked interconnect, so it also rides along as an override.
+        try:
+            fleet = api.FleetSpec(
+                node=node.gpu.name, num_gpus=node.num_gpus, replicas=1
+            )
+        except ValueError:
+            fleet = api.FleetSpec(num_gpus=node.num_gpus, replicas=1)
+        nodes_override = [node]
+    model_key, model_override = _model_key(model)
+    kind, constant, predictor_override = _predictor_kind(predictor)
+    spec = api.ScenarioSpec(
+        mode="engine",
+        workload=api.WorkloadSpec(scale=scale.factor, seed=scale.seed),
+        fleet=fleet,
+        engine=api.EngineSpec(
+            system=system,
+            model=model_key,
+            config=_config_overrides(config),
+            predictor=kind,
+            predictor_constant=constant,
+            work_stealing=work_stealing,
+        ),
+    )
+    artifact = api.run(
+        spec,
+        requests=requests,
+        predictor=predictor_override,
         prefill_policy=prefill_policy,
         decode_policy=decode_policy,
-        work_stealing=work_stealing,
+        model=model_override,
+        nodes=nodes_override,
     )
-    return engine.run(requests)
+    return artifact.result
 
 
 def run_cluster(
@@ -220,59 +283,106 @@ def run_cluster(
     Every replica shares one simulator clock, so results are deterministic
     for a fixed seed/config.
 
+    Back-compat shim: builds a :class:`repro.api.ScenarioSpec` (mode
+    ``cluster``) and delegates to :func:`repro.api.run`; live objects ride
+    along as runner overrides.
+
     >>> run_cluster("TD-Pipe", fleet="l20:2,a100:2", router="jsq",
     ...             rate_rps=12.0, slo_mix="interactive:0.7,batch:0.3",
     ...             autoscaler=True)                    # doctest: +SKIP
     """
+    from dataclasses import fields as dc_fields
+
+    from .. import api
+
     scale = scale or default_scale()
-    if isinstance(model, str):
-        model = get_model(model)
+    nodes_override = None
     if fleet is not None:
-        nodes = [
-            n if isinstance(n, NodeSpec) else make_node(n, num_gpus or 4)
-            for n in (parse_fleet(fleet) if isinstance(fleet, str) else fleet)
-        ]
-        replicas = len(nodes)
+        names = parse_fleet(fleet) if isinstance(fleet, str) else list(fleet)
+        if all(isinstance(n, str) for n in names):
+            fleet_spec = api.FleetSpec(fleet=",".join(names), num_gpus=num_gpus or 4)
+        else:
+            nodes_override = [
+                n if isinstance(n, NodeSpec) else make_node(n, num_gpus or 4)
+                for n in names
+            ]
+            fleet_spec = api.FleetSpec(
+                num_gpus=num_gpus or 4, replicas=len(nodes_override)
+            )
     else:
         if isinstance(node, str):
-            node = make_node(node, num_gpus or 4)
-        elif num_gpus is not None and node.num_gpus != num_gpus:
-            node = node.with_num_gpus(num_gpus)
-        nodes = [node] * replicas
-    if isinstance(system, str):
-        systems = [system] * replicas
-    else:
-        systems = list(system)
-        if len(systems) != replicas:
-            raise ValueError(
-                f"got {len(systems)} system names for {replicas} replicas"
+            fleet_spec = api.FleetSpec(
+                node=node, num_gpus=num_gpus or 4, replicas=replicas
             )
-    if predictor is None and ("TD-Pipe" in systems or router == "phase-aware"):
-        predictor = get_predictor(scale)
-    if requests is None:
-        requests = eval_requests(scale)
-    if rate_rps is not None:
-        requests = with_poisson_arrivals(requests, rate_rps, seed=scale.seed)
-    if slo_mix is not None:
-        requests = with_slo_mix(requests, slo_mix, seed=scale.seed)
-    if autoscaler is True:
-        autoscaler = Autoscaler()
-    elif autoscaler is False:
-        autoscaler = None
+        else:
+            if num_gpus is not None and node.num_gpus != num_gpus:
+                node = node.with_num_gpus(num_gpus)
+            try:
+                fleet_spec = api.FleetSpec(
+                    node=node.gpu.name, num_gpus=node.num_gpus, replicas=replicas
+                )
+            except ValueError:
+                fleet_spec = api.FleetSpec(num_gpus=node.num_gpus, replicas=replicas)
+            nodes_override = [node] * replicas
 
-    factories = [
-        lambda sim, name=name, nd=nd: build_engine(
-            name,
-            nd,
-            model,
-            predictor=predictor,
-            config=config,
+    if isinstance(system, str):
+        system_name, systems_override = system, None
+    else:
+        systems_override = tuple(system)
+        system_name = systems_override[0] if systems_override else "TD-Pipe"
+
+    model_key, model_override = _model_key(model)
+    kind, constant, predictor_override = _predictor_kind(predictor)
+
+    if autoscaler is True:
+        autoscale, autoscaler_dict, autoscaler_override = True, None, None
+    elif autoscaler is False or autoscaler is None:
+        autoscale, autoscaler_dict, autoscaler_override = False, None, None
+    else:
+        # A live Autoscaler is a plain dataclass of thresholds — embed its
+        # non-default fields so the spec stays fully declarative.
+        defaults = Autoscaler()
+        autoscaler_dict = {
+            f.name: getattr(autoscaler, f.name)
+            for f in dc_fields(Autoscaler)
+            if not f.name.startswith("_")
+            and getattr(autoscaler, f.name) != getattr(defaults, f.name)
+        } or {"min_replicas": defaults.min_replicas}
+        autoscale, autoscaler_override = False, None
+
+    router_override = None if isinstance(router, str) else router
+    spec = api.ScenarioSpec(
+        mode="cluster",
+        workload=api.WorkloadSpec(
+            scale=scale.factor,
+            seed=scale.seed,
+            arrival="poisson" if rate_rps is not None else "offline",
+            rate_rps=rate_rps,
+            slo_mix=slo_mix,
+        ),
+        fleet=fleet_spec,
+        engine=api.EngineSpec(
+            system=system_name,
+            systems=systems_override,
+            model=model_key,
+            config=_config_overrides(config),
+            predictor=kind,
+            predictor_constant=constant,
             work_stealing=work_stealing,
-            sim=sim,
-        )
-        for name, nd in zip(systems, nodes)
-    ]
-    if isinstance(router, str):
-        router = make_router(router, predictor=predictor)
-    cluster = ClusterEngine(factories, router=router, autoscaler=autoscaler)
-    return cluster.run(requests)
+        ),
+        control=api.ControlSpec(
+            router=router if isinstance(router, str) else "round-robin",
+            autoscale=autoscale,
+            autoscaler=autoscaler_dict,
+        ),
+    )
+    artifact = api.run(
+        spec,
+        requests=requests,
+        predictor=predictor_override,
+        router=router_override,
+        autoscaler=autoscaler_override,
+        model=model_override,
+        nodes=nodes_override,
+    )
+    return artifact.result

@@ -4,15 +4,35 @@ TD-Pipe with ("wi") and without ("wo") dynamic work stealing during the decode
 phase.  The load-balanced split at the prefill-to-decode switch is kept in
 both modes — only the dynamic rebalancing is removed.  Paper result: 1.14x
 (L20+32B) and 1.07x (A100+70B) throughput gain with stealing.
+
+The ablation is a registered spec grid (``fig15-work-stealing``): one
+single-engine TD-Pipe scenario with ``engine.work_stealing`` as the sweep
+axis, instantiated once per node/model combination.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .common import ExperimentScale, default_scale, eval_requests, run_system
+from ..api import (
+    EngineSpec,
+    FleetSpec,
+    ScenarioSpec,
+    SweepAxis,
+    SweepSpec,
+    WorkloadSpec,
+    register_scenario,
+    run_sweep,
+)
+from .common import ExperimentScale, default_scale
 
-__all__ = ["WorkStealingAblation", "run", "format_results", "DEFAULT_CONFIGS"]
+__all__ = [
+    "WorkStealingAblation",
+    "work_stealing_spec",
+    "run",
+    "format_results",
+    "DEFAULT_CONFIGS",
+]
 
 DEFAULT_CONFIGS: tuple[tuple[str, str], ...] = (("L20", "32B"), ("A100", "70B"))
 
@@ -31,6 +51,27 @@ class WorkStealingAblation:
         return self.with_stealing / self.without_stealing
 
 
+@register_scenario("fig15-work-stealing")
+def work_stealing_spec(
+    node: str = "L20",
+    model: str = "32B",
+    num_gpus: int = 4,
+    scale_factor: float = 0.1,
+    seed: int = 0,
+) -> SweepSpec:
+    """Work-stealing on/off grid for one node/model combination."""
+    return SweepSpec(
+        name="fig15-work-stealing",
+        base=ScenarioSpec(
+            mode="engine",
+            workload=WorkloadSpec(scale=scale_factor, seed=seed),
+            fleet=FleetSpec(node=node, num_gpus=num_gpus, replicas=1),
+            engine=EngineSpec(system="TD-Pipe", model=model),
+        ),
+        axes=(SweepAxis("engine.work_stealing", (True, False)),),
+    )
+
+
 def run(
     scale: ExperimentScale | None = None,
     configs: tuple[tuple[str, str], ...] = DEFAULT_CONFIGS,
@@ -39,30 +80,23 @@ def run(
     scale = scale or default_scale()
     out = []
     for gpu_name, model_name in configs:
-        wi = run_system(
-            "TD-Pipe",
-            gpu_name,
-            model_name,
-            requests=eval_requests(scale),
-            scale=scale,
+        sweep = work_stealing_spec(
+            node=gpu_name,
+            model=model_name,
             num_gpus=num_gpus,
-            work_stealing=True,
+            scale_factor=scale.factor,
+            seed=scale.seed,
         )
-        wo = run_system(
-            "TD-Pipe",
-            gpu_name,
-            model_name,
-            requests=eval_requests(scale),
-            scale=scale,
-            num_gpus=num_gpus,
-            work_stealing=False,
-        )
+        by_mode = {
+            a.spec.engine.work_stealing: a.result.throughput
+            for a in run_sweep(sweep)
+        }
         out.append(
             WorkStealingAblation(
                 node=gpu_name,
                 model=model_name,
-                with_stealing=wi.throughput,
-                without_stealing=wo.throughput,
+                with_stealing=by_mode[True],
+                without_stealing=by_mode[False],
             )
         )
     return out

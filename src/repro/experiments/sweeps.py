@@ -6,17 +6,32 @@ efficiency, driver overhead) and (b) scheduler knobs the paper fixes
 (chunked-prefill budget, decode batch cap).  They back the robustness
 discussion in EXPERIMENTS.md: TD-Pipe's advantage should not hinge on any
 single calibration choice.
+
+Each sweep is a declarative :class:`repro.api.SweepSpec` — one base
+:class:`~repro.api.ScenarioSpec` plus override axes — registered in the
+scenario registry (``sweep-chunk-budget``, ``sweep-driver-overhead``,
+``sweep-allreduce-efficiency``, ``sweep-max-num-seqs``) so any grid can be
+serialized, replayed or run from the CLI.  The functions below expand and
+execute the registered grids and keep the historic :class:`SweepPoint`
+return shape.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Sequence
 
-from ..hardware.node import NodeSpec, make_node
-from ..models.spec import get_model
-from ..runtime.config import EngineConfig
-from .common import ExperimentScale, default_scale, eval_requests, run_system
+from ..api import (
+    EngineSpec,
+    FleetSpec,
+    ScenarioSpec,
+    SweepAxis,
+    SweepSpec,
+    WorkloadSpec,
+    register_scenario,
+    run_sweep,
+)
+from .common import ExperimentScale, default_scale
 
 __all__ = [
     "SweepPoint",
@@ -35,8 +50,100 @@ class SweepPoint:
     throughput: float
 
 
-def _requests(scale: ExperimentScale):
-    return eval_requests(scale)
+def _base(
+    system: str, gpu_name: str, model_name: str, scale: ExperimentScale
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        mode="engine",
+        workload=WorkloadSpec(scale=scale.factor, seed=scale.seed),
+        fleet=FleetSpec(node=gpu_name, num_gpus=4, replicas=1),
+        engine=EngineSpec(system=system, model=model_name),
+    )
+
+
+@register_scenario("sweep-chunk-budget")
+def chunk_budget_spec(
+    budgets: Sequence[int] = (256, 512, 1024, 2048),
+    gpu_name: str = "A100",
+    model_name: str = "70B",
+    scale_factor: float = 0.1,
+    seed: int = 0,
+) -> SweepSpec:
+    """PP+HB throughput vs chunked-prefill token budget (spec grid)."""
+    return SweepSpec(
+        name="sweep-chunk-budget",
+        base=_base("PP+HB", gpu_name, model_name, ExperimentScale(scale_factor, seed)),
+        axes=(SweepAxis("engine.config.chunk_budget_tokens", tuple(budgets)),),
+    )
+
+
+@register_scenario("sweep-driver-overhead")
+def driver_overhead_spec(
+    per_seq_overheads: Sequence[float] = (0.0, 5e-5, 1.5e-4, 3e-4),
+    gpu_name: str = "A100",
+    model_name: str = "70B",
+    scale_factor: float = 0.1,
+    seed: int = 0,
+) -> SweepSpec:
+    """Driver cost × {TP+SB, TD-Pipe} grid."""
+    return SweepSpec(
+        name="sweep-driver-overhead",
+        base=_base("TP+SB", gpu_name, model_name, ExperimentScale(scale_factor, seed)),
+        axes=(
+            SweepAxis("engine.config.driver_per_seq_overhead_s", tuple(per_seq_overheads)),
+            SweepAxis("engine.system", ("TP+SB", "TD-Pipe")),
+        ),
+    )
+
+
+@register_scenario("sweep-allreduce-efficiency")
+def allreduce_efficiency_spec(
+    efficiencies: Sequence[float] = (0.4, 0.6, 0.85, 1.0),
+    gpu_name: str = "A100",
+    model_name: str = "70B",
+    scale_factor: float = 0.1,
+    seed: int = 0,
+) -> SweepSpec:
+    """Fabric efficiency × {TP+SB, TD-Pipe} grid."""
+    return SweepSpec(
+        name="sweep-allreduce-efficiency",
+        base=_base("TP+SB", gpu_name, model_name, ExperimentScale(scale_factor, seed)),
+        axes=(
+            SweepAxis("fleet.allreduce_efficiency", tuple(efficiencies)),
+            SweepAxis("engine.system", ("TP+SB", "TD-Pipe")),
+        ),
+    )
+
+
+@register_scenario("sweep-max-num-seqs")
+def max_num_seqs_spec(
+    caps: Sequence[int] = (128, 256, 512),
+    gpu_name: str = "L20",
+    model_name: str = "32B",
+    scale_factor: float = 0.1,
+    seed: int = 0,
+) -> SweepSpec:
+    """TD-Pipe decode batch cap grid."""
+    return SweepSpec(
+        name="sweep-max-num-seqs",
+        base=_base("TD-Pipe", gpu_name, model_name, ExperimentScale(scale_factor, seed)),
+        axes=(SweepAxis("engine.config.max_num_seqs", tuple(caps)),),
+    )
+
+
+def _points(sweep: SweepSpec, parameter: str) -> list[SweepPoint]:
+    """Execute a grid and flatten artifacts into the historic row shape."""
+    return [
+        SweepPoint(
+            parameter=parameter,
+            value=artifact.overrides[
+                next(p for p in artifact.overrides if p.endswith(parameter))
+            ],
+            system=artifact.spec.engine.system,
+            throughput=artifact.result.throughput,
+        )
+        for artifact in run_sweep(sweep)
+    ]
 
 
 def chunk_budget_sweep(
@@ -51,14 +158,8 @@ def chunk_budget_sweep(
     decode ratio; the budget is the knob that trades the two off.
     """
     scale = scale or default_scale()
-    out = []
-    for b in budgets:
-        cfg = EngineConfig(chunk_budget_tokens=b)
-        res = run_system(
-            "PP+HB", gpu_name, model_name, requests=_requests(scale), scale=scale, config=cfg
-        )
-        out.append(SweepPoint("chunk_budget_tokens", b, "PP+HB", res.throughput))
-    return out
+    sweep = chunk_budget_spec(budgets, gpu_name, model_name, scale.factor, scale.seed)
+    return _points(sweep, "chunk_budget_tokens")
 
 
 def driver_overhead_sweep(
@@ -73,15 +174,10 @@ def driver_overhead_sweep(
     move; this sweep bounds how much of TD-Pipe's win is driver-related.
     """
     scale = scale or default_scale()
-    out = []
-    for ov in per_seq_overheads:
-        cfg = EngineConfig(driver_per_seq_overhead_s=ov)
-        for system in ("TP+SB", "TD-Pipe"):
-            res = run_system(
-                system, gpu_name, model_name, requests=_requests(scale), scale=scale, config=cfg
-            )
-            out.append(SweepPoint("driver_per_seq_overhead_s", ov, system, res.throughput))
-    return out
+    sweep = driver_overhead_spec(
+        per_seq_overheads, gpu_name, model_name, scale.factor, scale.seed
+    )
+    return _points(sweep, "driver_per_seq_overhead_s")
 
 
 def allreduce_efficiency_sweep(
@@ -96,21 +192,10 @@ def allreduce_efficiency_sweep(
     rises with fabric efficiency — the paper's core architectural argument.
     """
     scale = scale or default_scale()
-    base = make_node(gpu_name, 4)
-    out = []
-    for eff in efficiencies:
-        node = NodeSpec(
-            name=base.name,
-            gpu=base.gpu,
-            num_gpus=base.num_gpus,
-            interconnect=replace(base.interconnect, allreduce_efficiency=eff),
-        )
-        for system in ("TP+SB", "TD-Pipe"):
-            res = run_system(
-                system, node, get_model(model_name), requests=_requests(scale), scale=scale
-            )
-            out.append(SweepPoint("allreduce_efficiency", eff, system, res.throughput))
-    return out
+    sweep = allreduce_efficiency_spec(
+        efficiencies, gpu_name, model_name, scale.factor, scale.seed
+    )
+    return _points(sweep, "allreduce_efficiency")
 
 
 def max_num_seqs_sweep(
@@ -121,11 +206,5 @@ def max_num_seqs_sweep(
 ) -> list[SweepPoint]:
     """Decode batch cap sweep for TD-Pipe (intensity vs memory trade-off)."""
     scale = scale or default_scale()
-    out = []
-    for cap in caps:
-        cfg = EngineConfig(max_num_seqs=cap)
-        res = run_system(
-            "TD-Pipe", gpu_name, model_name, requests=_requests(scale), scale=scale, config=cfg
-        )
-        out.append(SweepPoint("max_num_seqs", cap, "TD-Pipe", res.throughput))
-    return out
+    sweep = max_num_seqs_spec(caps, gpu_name, model_name, scale.factor, scale.seed)
+    return _points(sweep, "max_num_seqs")

@@ -129,6 +129,36 @@ class ClusterResult:
             return 0.0
         return max(counts) / (sum(counts) / len(counts))
 
+    def to_record(self) -> dict:
+        """Flat, JSON-ready metric record (benchmark artifacts, CI smoke)."""
+        record = {
+            "system": self.system,
+            "router": self.router,
+            "num_replicas": self.num_replicas,
+            "fleet": list(self.extras.get("fleet_nodes", [])),
+            "makespan_s": self.makespan,
+            "completed_requests": self.completed_requests,
+            "goodput_rps": self.goodput,
+            "throughput_tps": self.throughput,
+            "output_throughput_tps": self.output_throughput,
+            "mean_utilization": self.mean_utilization,
+            "utilization_imbalance": self.utilization_imbalance,
+            "requests_per_replica": list(self.requests_per_replica),
+            "slo_attainment": {
+                name: stats.attainment for name, stats in self.slo_attainment.items()
+            },
+            "mean_active_replicas": self.mean_active_replicas,
+            "replica_seconds": self.replica_seconds,
+            "capacity_scores": list(self.capacity_scores),
+        }
+        if self.latency is not None and self.latency.count:
+            record.update(
+                ttft_p50_s=self.latency.ttft_p50,
+                ttft_p99_s=self.latency.ttft_p99,
+                tpot_p99_s=self.latency.tpot_p99,
+            )
+        return record
+
     def summary(self) -> str:
         lat = ""
         if self.latency is not None and self.latency.count:

@@ -96,6 +96,31 @@ class RunResult:
         phases = [s.phase for s in self.kv_log]
         return steps, usage, phases
 
+    def to_record(self) -> dict:
+        """Flat, JSON-ready metric record (benchmark artifacts, CI smoke)."""
+        record = {
+            "system": self.system,
+            "node": self.node,
+            "model": self.model,
+            "num_devices": self.num_devices,
+            "makespan_s": self.makespan,
+            "completed_requests": self.completed_requests,
+            "total_prompt_tokens": self.total_prompt_tokens,
+            "total_output_tokens": self.total_output_tokens,
+            "throughput_tps": self.throughput,
+            "output_throughput_tps": self.output_throughput,
+            "mean_utilization": self.mean_utilization,
+            "phase_switches": self.phase_switches,
+            "recomputations": self.recomputations,
+        }
+        if self.latency is not None and self.latency.count:
+            record.update(
+                ttft_p50_s=self.latency.ttft_p50,
+                ttft_p99_s=self.latency.ttft_p99,
+                tpot_p99_s=self.latency.tpot_p99,
+            )
+        return record
+
     def summary(self) -> str:
         return (
             f"{self.system:8s} {self.node:7s} {self.model:4s} x{self.num_devices} | "

@@ -28,6 +28,7 @@ __all__ = [
     "BATCH",
     "SLO_PRESETS",
     "get_slo_class",
+    "parse_mix_string",
     "parse_slo_mix",
     "with_slo_mix",
     "classed_poisson_arrivals",
@@ -72,27 +73,72 @@ def get_slo_class(name: str) -> SLOClass:
         ) from None
 
 
-def parse_slo_mix(spec: str | Mapping[str, float]) -> dict[SLOClass, float]:
-    """Parse ``"interactive:0.7,batch:0.3"`` into normalized class weights.
+#: How far from 1.0 a mix's weight sum may drift (float-literal slack, e.g.
+#: ``0.33 + 0.33 + 0.34``) before parsing rejects it as a probable typo.
+MIX_SUM_TOLERANCE = 1e-3
 
-    Accepts a mapping (class name -> weight) or the CLI string form.  Weights
-    are normalized to sum to 1; unknown class names raise.
+
+def parse_mix_string(spec: str) -> dict[str, float]:
+    """Parse the CLI mix form ``"interactive:0.7,batch:0.3"`` into a dict.
+
+    Purely syntactic (no class-name or weight-sum validation — that is
+    :func:`parse_slo_mix`'s job), but strict about shape: duplicate class
+    names and malformed weights raise.  A bare name means weight 1.
+    """
+    pairs: dict[str, float] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, weight = part.partition(":")
+        name = name.strip()
+        if name in pairs:
+            raise ValueError(f"duplicate SLO class {name!r} in mix {spec!r}")
+        if weight:
+            try:
+                pairs[name] = float(weight)
+            except ValueError:
+                raise ValueError(
+                    f"malformed SLO mix weight {weight!r} for class "
+                    f"{name!r} in {spec!r}"
+                ) from None
+        else:
+            pairs[name] = 1.0
+    return pairs
+
+
+def parse_slo_mix(spec: str | Mapping[str, float]) -> dict[SLOClass, float]:
+    """Parse ``"interactive:0.7,batch:0.3"`` into validated class weights.
+
+    Accepts a mapping (class name -> weight) or the CLI string form.  Parsing
+    is strict: unknown class names, duplicate entries, malformed or negative
+    weights, and weights that do not sum to ~1 all raise — a mix like
+    ``"interactive:7,batch:3"`` used to be silently renormalized, which
+    masked typos (was ``7`` meant as ``0.7`` or as seven times ``batch``?).
+    A single bare class name (``"interactive"``) defaults to weight 1.
     """
     if isinstance(spec, str):
-        pairs = {}
-        for part in spec.split(","):
-            part = part.strip()
-            if not part:
-                continue
-            name, _, weight = part.partition(":")
-            pairs[name.strip()] = float(weight) if weight else 1.0
-        spec = pairs
+        spec = parse_mix_string(spec)
     if not spec:
         raise ValueError("empty SLO mix")
     weights = {get_slo_class(name): float(w) for name, w in spec.items()}
+    if len(weights) != len(spec):
+        raise ValueError(f"duplicate SLO classes in mix {dict(spec)}")
+    for name, w in spec.items():
+        if float(w) < 0:
+            raise ValueError(
+                f"SLO mix weight for {name!r} must be non-negative, got {w}"
+            )
     total = sum(weights.values())
-    if total <= 0 or any(w < 0 for w in weights.values()):
-        raise ValueError(f"SLO mix weights must be non-negative and sum > 0: {spec}")
+    if abs(total - 1.0) > MIX_SUM_TOLERANCE:
+        raise ValueError(
+            f"SLO mix weights must sum to 1 (got {total:g} from {dict(spec)}); "
+            "renormalizing silently would hide typos — spell the mix out, "
+            'e.g. "interactive:0.7,batch:0.3"'
+        )
+    # Remove the residual float slack so downstream probability draws see an
+    # exact distribution.  This is not silent renormalization: anything
+    # beyond MIX_SUM_TOLERANCE was rejected above.
     return {cls: w / total for cls, w in weights.items()}
 
 

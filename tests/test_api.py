@@ -1,0 +1,436 @@
+"""Tests for the declarative scenario API (`repro.api`).
+
+Covers the spec tree's strict validation and JSON round-trip, dotted-path
+overrides, sweep expansion, the scenario registry, and — the acceptance
+keystone — that `api.run(spec)` and the legacy `run_cluster(...)` shim
+produce identical `ClusterResult`s for the same scenario.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import api
+from repro.experiments.common import default_scale, run_cluster, run_system
+from repro.runtime.config import EngineConfig
+
+TINY = default_scale(factor=0.02, seed=0)
+
+
+def hetero_spec(**workload_kwargs) -> api.ScenarioSpec:
+    workload = dict(
+        scale=0.02, seed=0, arrival="poisson", rate_rps=8.0,
+        slo_mix={"interactive": 0.7, "batch": 0.3},
+    )
+    workload.update(workload_kwargs)
+    return api.ScenarioSpec(
+        name="hetero-test",
+        mode="cluster",
+        workload=api.WorkloadSpec(**workload),
+        fleet=api.FleetSpec(fleet="l20:1,a100:1"),
+        engine=api.EngineSpec(system="TD-Pipe", model="13B"),
+        control=api.ControlSpec(router="jsq", autoscale=True),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Serialization round-trips.
+# --------------------------------------------------------------------- #
+class TestRoundTrip:
+    def test_json_round_trip_equality(self):
+        for spec in (
+            api.ScenarioSpec(),
+            hetero_spec(),
+            api.ScenarioSpec(
+                mode="engine",
+                engine=api.EngineSpec(
+                    system="TD-Pipe",
+                    model="32B",
+                    config={"max_num_seqs": 128},
+                    predictor="oracle",
+                    decode_policy={"name": "finish-ratio", "ratio": 0.5},
+                ),
+            ),
+        ):
+            assert api.ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_sweep_round_trip_equality(self):
+        sweep = api.SweepSpec(
+            name="s",
+            base=hetero_spec(),
+            axes=(api.SweepAxis("control.router", ("jsq", "round-robin")),),
+        )
+        assert api.SweepSpec.from_json(sweep.to_json()) == sweep
+        loaded = api.load_spec(json.loads(sweep.to_json()))
+        assert isinstance(loaded, api.SweepSpec) and loaded == sweep
+
+    def test_string_slo_mix_normalized_to_dict(self):
+        spec = api.WorkloadSpec(slo_mix="interactive:0.7,batch:0.3")
+        assert spec.slo_mix == {"interactive": 0.7, "batch": 0.3}
+
+    def test_unknown_fields_rejected(self):
+        data = api.ScenarioSpec().to_dict()
+        data["turbo"] = True
+        with pytest.raises(ValueError, match="unknown field"):
+            api.ScenarioSpec.from_dict(data)
+        data = api.ScenarioSpec().to_dict()
+        data["workload"]["qps"] = 3
+        with pytest.raises(ValueError, match="unknown field"):
+            api.ScenarioSpec.from_dict(data)
+
+    def test_schema_version_mismatch_rejected(self):
+        data = api.ScenarioSpec().to_dict()
+        data["schema_version"] = 999
+        with pytest.raises(ValueError, match="schema_version"):
+            api.ScenarioSpec.from_dict(data)
+
+
+# --------------------------------------------------------------------- #
+# Validation.
+# --------------------------------------------------------------------- #
+class TestValidation:
+    def test_unknown_system(self):
+        with pytest.raises(ValueError, match="unknown system"):
+            api.EngineSpec(system="ZeroBubble")
+
+    def test_unknown_router(self):
+        with pytest.raises(ValueError, match="unknown router"):
+            api.ControlSpec(router="chaos")
+
+    def test_unknown_config_key(self):
+        with pytest.raises(ValueError, match="EngineConfig"):
+            api.EngineSpec(config={"warp_speed": 9})
+
+    def test_unknown_autoscaler_key(self):
+        with pytest.raises(ValueError, match="Autoscaler"):
+            api.ControlSpec(autoscaler={"vibes": 1})
+
+    def test_bad_workload(self):
+        with pytest.raises(ValueError, match="positive"):
+            api.WorkloadSpec(scale=-1.0)
+        with pytest.raises(ValueError, match="rate_rps"):
+            api.WorkloadSpec(arrival="poisson")
+        with pytest.raises(ValueError, match="arrival"):
+            api.WorkloadSpec(arrival="psychic")
+        with pytest.raises(ValueError, match="sum to 1"):
+            api.WorkloadSpec(slo_mix="interactive:3,batch:1")
+
+    def test_bad_fleet(self):
+        with pytest.raises(ValueError, match="unknown node"):
+            api.FleetSpec(node="TPU")
+        with pytest.raises(ValueError, match="replicas"):
+            api.FleetSpec(replicas=0)
+
+    def test_engine_mode_constraints(self):
+        with pytest.raises(ValueError, match="exactly one replica"):
+            api.ScenarioSpec(mode="engine", fleet=api.FleetSpec(replicas=2))
+        with pytest.raises(ValueError, match="autoscale"):
+            api.ScenarioSpec(mode="engine", control=api.ControlSpec(autoscale=True))
+
+    def test_systems_length_checked_against_fleet(self):
+        with pytest.raises(ValueError, match="system names"):
+            api.ScenarioSpec(
+                fleet=api.FleetSpec(replicas=3),
+                engine=api.EngineSpec(systems=("TD-Pipe", "PP+SB")),
+            )
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError, match="ratio"):
+            api.EngineSpec(prefill_policy={"name": "occupancy"})
+        with pytest.raises(ValueError, match="unknown prefill_policy"):
+            api.EngineSpec(prefill_policy={"name": "vibes"})
+
+    def test_policy_rejects_keys_the_builder_would_drop(self):
+        # A knob the policy constructor ignores must fail at build time, not
+        # silently record a setting that never applied.
+        with pytest.raises(ValueError, match="check_interval"):
+            api.EngineSpec(
+                prefill_policy={"name": "occupancy", "ratio": 0.8, "check_interval": 5}
+            )
+        with pytest.raises(ValueError, match="ratio"):
+            api.EngineSpec(prefill_policy={"name": "greedy", "ratio": 0.5})
+        # Keys the builder consumes stay accepted.
+        api.EngineSpec(
+            decode_policy={"name": "intensity", "peak_batch_size": 128},
+        )
+
+    def test_workload_slo_mix_string_as_strict_as_parser(self):
+        # The spec front door must reject exactly what parse_slo_mix rejects.
+        with pytest.raises(ValueError, match="duplicate"):
+            api.WorkloadSpec(slo_mix="interactive:0.5,interactive:0.5")
+        with pytest.raises(ValueError, match="malformed"):
+            api.WorkloadSpec(slo_mix="interactive:abc")
+
+    def test_auto_mode_resolution(self):
+        assert api.ScenarioSpec().resolved_mode == "engine"
+        assert hetero_spec().resolved_mode == "cluster"
+        assert (
+            api.ScenarioSpec(fleet=api.FleetSpec(replicas=2)).resolved_mode
+            == "cluster"
+        )
+
+
+# --------------------------------------------------------------------- #
+# Overrides and sweeps.
+# --------------------------------------------------------------------- #
+class TestOverridesAndSweeps:
+    def test_dotted_override(self):
+        spec = hetero_spec().with_overrides(
+            {"control.router": "deadline", "engine.config.max_num_seqs": 64}
+        )
+        assert spec.control.router == "deadline"
+        assert spec.engine.config == {"max_num_seqs": 64}
+        # The original is untouched (value semantics).
+        assert hetero_spec().control.router == "jsq"
+
+    def test_override_unknown_path_rejected(self):
+        with pytest.raises(ValueError, match="unknown field"):
+            hetero_spec().with_overrides({"control.warp": 1})
+
+    def test_override_into_none_dict_fields(self):
+        # Any dict-typed field that is currently None seeds an empty dict —
+        # not just control.autoscaler.
+        spec = api.ScenarioSpec().with_overrides(
+            {"engine.prefill_policy.name": "greedy"}
+        )
+        assert spec.engine.prefill_policy == {"name": "greedy"}
+        spec = api.ScenarioSpec().with_overrides(
+            {"control.autoscaler.min_replicas": 2}
+        )
+        assert spec.control.autoscaler == {"min_replicas": 2}
+        spec = api.ScenarioSpec().with_overrides(
+            {"workload.slo_mix.interactive": 1.0}
+        )
+        assert spec.workload.slo_mix == {"interactive": 1.0}
+
+    def test_override_validates_value(self):
+        with pytest.raises(ValueError, match="unknown router"):
+            hetero_spec().with_overrides({"control.router": "chaos"})
+
+    def test_parse_set_override(self):
+        assert api.parse_set_override("workload.scale=0.05") == (
+            "workload.scale", 0.05,
+        )
+        assert api.parse_set_override("control.router=jsq") == (
+            "control.router", "jsq",
+        )
+        assert api.parse_set_override("control.autoscale=true") == (
+            "control.autoscale", True,
+        )
+
+    def test_sweep_expansion_order(self):
+        sweep = api.SweepSpec(
+            base=api.ScenarioSpec(mode="engine"),
+            axes=(
+                api.SweepAxis("engine.config.max_num_seqs", (128, 256)),
+                api.SweepAxis("engine.system", ("TP+SB", "TD-Pipe")),
+            ),
+        )
+        points = sweep.expand()
+        assert sweep.num_points == len(points) == 4
+        # First axis outermost: classic nested-loop order.
+        assert [p.overrides["engine.system"] for p in points] == [
+            "TP+SB", "TD-Pipe", "TP+SB", "TD-Pipe",
+        ]
+        assert points[0].spec.engine.config["max_num_seqs"] == 128
+        assert points[3].spec.engine.system == "TD-Pipe"
+
+    def test_sweep_bad_axis_value_fails_at_build_time(self):
+        with pytest.raises(ValueError, match="unknown router"):
+            api.SweepSpec(
+                base=api.ScenarioSpec(),
+                axes=(api.SweepAxis("control.router", ("jsq", "chaos")),),
+            )
+
+
+# --------------------------------------------------------------------- #
+# Registry.
+# --------------------------------------------------------------------- #
+class TestRegistry:
+    def test_registered_names(self):
+        names = api.scenario_names()
+        for expected in (
+            "cluster-hetero",
+            "cluster-autoscale",
+            "fig15-work-stealing",
+            "sweep-chunk-budget",
+            "sweep-allreduce-efficiency",
+        ):
+            assert expected in names, names
+
+    def test_get_scenario_builds_parameterized_spec(self):
+        sweep = api.get_scenario(
+            "cluster-hetero", scale_factor=0.02, routers=("jsq",)
+        )
+        assert isinstance(sweep, api.SweepSpec)
+        assert sweep.base.workload.scale == 0.02
+        assert sweep.num_points == 1
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            api.get_scenario("fig99")
+
+
+# --------------------------------------------------------------------- #
+# Execution: spec path == legacy shim path.
+# --------------------------------------------------------------------- #
+class TestRunEquivalence:
+    def test_run_spec_matches_run_cluster_shim(self):
+        """The acceptance keystone: one scenario, two entry points, byte-
+        identical ClusterResults."""
+        spec = hetero_spec()
+        direct = api.run(spec).result
+        legacy = run_cluster(
+            "TD-Pipe",
+            model="13B",
+            router="jsq",
+            rate_rps=8.0,
+            scale=TINY,
+            fleet="l20:1,a100:1",
+            slo_mix="interactive:0.7,batch:0.3",
+            autoscaler=True,
+        )
+        assert direct.summary() == legacy.summary()
+        assert direct.makespan == legacy.makespan
+        assert direct.requests_per_replica == legacy.requests_per_replica
+        assert direct.fleet_timeline == legacy.fleet_timeline
+        assert direct.latency.summary() == legacy.latency.summary()
+        assert [r.summary() for r in direct.replica_results] == [
+            r.summary() for r in legacy.replica_results
+        ]
+
+    def test_run_spec_matches_run_system_shim(self):
+        spec = api.ScenarioSpec(
+            mode="engine",
+            workload=api.WorkloadSpec(scale=TINY.factor, seed=TINY.seed),
+            fleet=api.FleetSpec(node="L20", num_gpus=2),
+            engine=api.EngineSpec(system="TP+SB", model="13B"),
+        )
+        direct = api.run(spec).result
+        legacy = run_system("TP+SB", "L20", "13B", scale=TINY, num_gpus=2)
+        assert direct.summary() == legacy.summary()
+        assert direct.makespan == legacy.makespan
+
+    def test_config_override_equivalence(self):
+        cfg = EngineConfig(max_num_seqs=64)
+        legacy = run_system("PP+HB", "L20", "13B", scale=TINY, config=cfg)
+        spec = api.ScenarioSpec(
+            mode="engine",
+            workload=api.WorkloadSpec(scale=TINY.factor, seed=TINY.seed),
+            fleet=api.FleetSpec(node="L20"),
+            engine=api.EngineSpec(
+                system="PP+HB", model="13B", config={"max_num_seqs": 64}
+            ),
+        )
+        direct = api.run(spec).result
+        assert direct.summary() == legacy.summary()
+
+    def test_artifact_embeds_resolved_replayable_spec(self):
+        artifact = api.run(hetero_spec())
+        record = artifact.to_record()
+        assert record["schema_version"] == api.SCHEMA_VERSION
+        assert record["kind"] == "cluster"
+        rebuilt = api.ScenarioSpec.from_dict(record["spec"])
+        assert rebuilt == artifact.spec
+        # Replaying the embedded spec reproduces the run exactly.
+        replay = api.run(rebuilt).result
+        assert replay.summary() == artifact.result.summary()
+
+    def test_shim_records_no_opaque_overrides_for_declarative_args(self):
+        # A fully declarative call leaves nothing opaque: the spec alone
+        # reproduces it.
+        artifact = api.run(hetero_spec())
+        assert artifact.opaque_overrides == ()
+
+    def test_engine_artifact_kind(self):
+        artifact = api.run(
+            api.ScenarioSpec(
+                mode="engine",
+                workload=api.WorkloadSpec(scale=TINY.factor),
+                engine=api.EngineSpec(system="TP+SB", model="13B"),
+                fleet=api.FleetSpec(num_gpus=2),
+            )
+        )
+        assert artifact.kind == "engine"
+        assert artifact.to_record()["throughput_tps"] > 0
+
+
+# --------------------------------------------------------------------- #
+# CLI `run` subcommand.
+# --------------------------------------------------------------------- #
+class TestCLIRun:
+    def test_run_spec_file_with_set_and_bench_json(self, capsys, tmp_path):
+        from repro.cli import main
+
+        spec_path = tmp_path / "scenario.json"
+        spec_path.write_text(hetero_spec().to_json())
+        out_path = tmp_path / "BENCH_spec.json"
+        assert main([
+            "run", "--spec", str(spec_path),
+            "--set", "control.router=round-robin",
+            "--bench-json", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "round-robin" in out
+        record = json.loads(out_path.read_text())
+        assert record["spec"]["control"]["router"] == "round-robin"
+        assert record["schema_version"] == api.SCHEMA_VERSION
+
+    def test_run_registered_sweep(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "run", "--spec", "fig15-work-stealing",
+            "--set", "workload.scale=0.02",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "engine.work_stealing=True" in out
+        assert "engine.work_stealing=False" in out
+
+    def test_run_requires_spec(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["run"])
+
+    def test_spec_flag_rejected_elsewhere(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["fig11", "--spec", "x.json"])
+
+    def test_missing_spec_file(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["run", "--spec", "/nonexistent/spec.json"])
+
+
+def test_sweep_points_carry_coordinates():
+    sweep = api.get_scenario("sweep-max-num-seqs", caps=(128,), scale_factor=0.02)
+    artifacts = api.run_sweep(sweep)
+    assert len(artifacts) == 1
+    assert artifacts[0].overrides == {"engine.config.max_num_seqs": 128}
+    assert artifacts[0].result.throughput > 0
+
+
+def test_example_scenarios_load_and_validate():
+    from pathlib import Path
+
+    scenario_dir = Path(__file__).parent.parent / "examples" / "scenarios"
+    paths = sorted(scenario_dir.glob("*.json"))
+    assert len(paths) >= 3, "gallery must hold at least three scenarios"
+    kinds = set()
+    for path in paths:
+        spec = api.load_spec(json.loads(path.read_text()))
+        kinds.add(type(spec).__name__)
+        if isinstance(spec, api.ScenarioSpec):
+            assert api.ScenarioSpec.from_json(spec.to_json()) == spec
+    assert kinds == {"ScenarioSpec", "SweepSpec"}
+
+
+def test_with_overrides_immutability_of_dataclasses():
+    spec = hetero_spec()
+    frozen = dataclasses.replace(spec)  # frozen dataclasses copy cleanly
+    assert frozen == spec

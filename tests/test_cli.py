@@ -39,6 +39,7 @@ class TestCLI:
         assert "cluster" in EXPERIMENTS
         assert "cluster-hetero" in EXPERIMENTS
         assert "cluster-autoscale" in EXPERIMENTS
+        assert "run" in EXPERIMENTS
 
     def test_cluster_fleet_autoscale_bench_json(self, capsys, tmp_path):
         path = tmp_path / "BENCH_cluster.json"
@@ -54,6 +55,13 @@ class TestCLI:
         assert record["fleet"] == ["4xL20", "4xA100"]
         assert record["goodput_rps"] > 0 and record["wall_time_s"] > 0
         assert set(record["slo_attainment"]) <= {"interactive", "batch"}
+        # The record embeds the resolved scenario spec for provenance.
+        from repro import api
+
+        assert record["schema_version"] == api.SCHEMA_VERSION
+        spec = api.ScenarioSpec.from_dict(record["spec"])
+        assert spec.fleet.fleet == "l20:1,a100:1"
+        assert spec.control.autoscale and spec.mode == "cluster"
 
     def test_cluster_flags_rejected_elsewhere(self):
         with pytest.raises(SystemExit):

@@ -192,12 +192,30 @@ class TestRouters:
 # SLO workload plumbing.
 # --------------------------------------------------------------------- #
 class TestSLOWorkload:
-    def test_parse_slo_mix_normalizes(self):
-        mix = parse_slo_mix("interactive:1.4,batch:0.6")
+    def test_parse_slo_mix_valid(self):
+        mix = parse_slo_mix("interactive:0.7,batch:0.3")
         assert mix[INTERACTIVE] == pytest.approx(0.7)
         assert mix[BATCH] == pytest.approx(0.3)
+        assert parse_slo_mix("interactive")[INTERACTIVE] == pytest.approx(1.0)
         with pytest.raises(KeyError):
             parse_slo_mix("platinum:1.0")
+
+    def test_parse_slo_mix_rejects_unnormalized(self):
+        # Weights that don't sum to ~1 used to be silently renormalized.
+        with pytest.raises(ValueError, match="sum to 1"):
+            parse_slo_mix("interactive:1.4,batch:0.6")
+        with pytest.raises(ValueError, match="sum to 1"):
+            parse_slo_mix("interactive,batch")
+
+    def test_parse_slo_mix_rejects_negative_and_malformed(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            parse_slo_mix({"interactive": 1.5, "batch": -0.5})
+        with pytest.raises(ValueError, match="malformed"):
+            parse_slo_mix("interactive:abc")
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_slo_mix("interactive:0.5,interactive:0.5")
+        with pytest.raises(ValueError, match="empty"):
+            parse_slo_mix("")
 
     def test_with_slo_mix_deterministic_and_pure(self):
         reqs = generate_requests(50, seed=3)
