@@ -28,6 +28,20 @@ scenario.json`` executes any of it from disk.
 
 from .registry import get_scenario, register_scenario, scenario_names
 from .runner import RunArtifact, load_spec, run, run_sweep
+from .store import (
+    DEFAULT_STORE_PATH,
+    ArtifactStore,
+    DiffReport,
+    MetricDiff,
+    ReplayReport,
+    Tolerance,
+    as_store,
+    compare_records,
+    content_hash,
+    diff_refs,
+    replay,
+    replay_all,
+)
 from .spec import (
     SCHEMA_VERSION,
     ControlSpec,
@@ -61,4 +75,16 @@ __all__ = [
     "register_scenario",
     "get_scenario",
     "scenario_names",
+    "ArtifactStore",
+    "as_store",
+    "DEFAULT_STORE_PATH",
+    "content_hash",
+    "Tolerance",
+    "MetricDiff",
+    "ReplayReport",
+    "DiffReport",
+    "compare_records",
+    "replay",
+    "replay_all",
+    "diff_refs",
 ]

@@ -69,8 +69,14 @@ class RunArtifact:
     def kind(self) -> str:
         return "cluster" if isinstance(self.result, ClusterResult) else "engine"
 
-    def to_record(self) -> dict[str, Any]:
-        """JSON-ready benchmark record embedding the resolved spec."""
+    def to_record(self, detail: bool = True) -> dict[str, Any]:
+        """JSON-ready benchmark record embedding the resolved spec.
+
+        With ``detail`` (the default, what the artifact store files) the
+        record carries the result's full-fidelity state and
+        :meth:`from_record` reconstructs an equal artifact; ``detail=False``
+        keeps only the flat metrics (the lean ``--bench-json`` form).
+        """
         record = {
             "schema_version": self.schema_version,
             "kind": self.kind,
@@ -81,8 +87,29 @@ class RunArtifact:
             record["overrides"] = dict(self.overrides)
         if self.opaque_overrides:
             record["opaque_overrides"] = list(self.opaque_overrides)
-        record.update(self.result.to_record())
+        record.update(self.result.to_record(detail=detail))
         return record
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "RunArtifact":
+        """Strict inverse of :meth:`to_record` (full records only)."""
+        kind = record.get("kind")
+        if kind == "cluster":
+            result: RunResult | ClusterResult = ClusterResult.from_record(record)
+        elif kind == "engine":
+            result = RunResult.from_record(record)
+        else:
+            raise ValueError(
+                f'record kind must be "engine" or "cluster", got {kind!r}'
+            )
+        return cls(
+            spec=ScenarioSpec.from_dict(record["spec"]),
+            result=result,
+            wall_time_s=float(record["wall_time_s"]),
+            schema_version=int(record["schema_version"]),
+            overrides=dict(record.get("overrides", {})),
+            opaque_overrides=tuple(record.get("opaque_overrides", ())),
+        )
 
     def summary(self) -> str:
         return f"{self.spec.describe()}\n{self.result.summary()}"
@@ -176,6 +203,7 @@ def _build_decode_policy(policy: Mapping[str, Any] | None) -> DecodeSwitchPolicy
 def run(
     spec: ScenarioSpec,
     *,
+    store: Any | None = None,
     requests: list[Request] | None = None,
     predictor: OutputLengthPredictor | None = None,
     config: EngineConfig | None = None,
@@ -188,9 +216,13 @@ def run(
 ) -> RunArtifact:
     """Execute one scenario; return result + resolved spec + provenance.
 
-    The keyword arguments are the programmatic escape hatch for live objects
-    the declarative spec cannot carry (the legacy shims use them); each one
-    supplied is noted in :attr:`RunArtifact.opaque_overrides`.
+    ``store`` (an :class:`~repro.api.store.ArtifactStore` or a path) files
+    the finished artifact under its content hash before returning.
+
+    The remaining keyword arguments are the programmatic escape hatch for
+    live objects the declarative spec cannot carry (the legacy shims use
+    them); each one supplied is noted in
+    :attr:`RunArtifact.opaque_overrides`.
     """
     from ..experiments.common import build_engine
 
@@ -265,24 +297,39 @@ def run(
         router_obj = make_router(router_sel, predictor=predictor)
         cluster = ClusterEngine(factories, router=router_obj, autoscaler=autoscaler)
         result = cluster.run(requests)
-    return RunArtifact(
+    artifact = RunArtifact(
         spec=spec,
         result=result,
         wall_time_s=time.time() - t0,
         opaque_overrides=opaque,
     )
+    if store is not None:
+        from .store import as_store
+
+        as_store(store).put(artifact)
+    return artifact
 
 
-def run_sweep(sweep: SweepSpec, **kwargs: Any) -> list[RunArtifact]:
+def run_sweep(
+    sweep: SweepSpec, *, store: Any | None = None, **kwargs: Any
+) -> list[RunArtifact]:
     """Run every grid point of a :class:`SweepSpec` (nested-loop order).
 
-    ``kwargs`` are forwarded to :func:`run` for each point (live-object
-    overrides shared across the grid, e.g. a pre-trained predictor).
+    ``store`` files every point's artifact (tagged with its sweep
+    coordinates) under its own content hash.  ``kwargs`` are forwarded to
+    :func:`run` for each point (live-object overrides shared across the
+    grid, e.g. a pre-trained predictor).
     """
+    if store is not None:
+        from .store import as_store
+
+        store = as_store(store)
     artifacts = []
     for point in sweep.expand():
         artifact = run(point.spec, **kwargs)
         artifact.overrides = dict(point.overrides)
+        if store is not None:
+            store.put(artifact)
         artifacts.append(artifact)
     return artifacts
 

@@ -1,0 +1,52 @@
+"""Content-addressed artifact store and the record/replay/diff workflow.
+
+The results side of the declarative API: every :class:`~repro.api.runner.
+RunArtifact` serializes to a canonical record (full ``from_record`` round
+trip), an :class:`ArtifactStore` files records under the SHA-256 hash of
+their canonicalized resolved spec, and :func:`replay` re-executes any
+stored spec on the current code and diffs fresh metrics against the record
+with per-metric tolerances::
+
+    from repro import api
+
+    store = api.ArtifactStore("tdpipe-store")
+    api.run(spec, store=store)                      # record
+    report = api.replay(spec.name, store, strict=True)
+    assert report.ok, report.summary()              # regression gate
+
+CLI: ``tdpipe-bench record <spec|name>``, ``tdpipe-bench replay [REF]
+[--strict]``, ``tdpipe-bench diff REF_A REF_B``.
+"""
+
+from .canonical import canonical_json, canonicalize, content_hash, short_ref
+from .replay import (
+    DEFAULT_TOLERANCES,
+    DiffReport,
+    MetricDiff,
+    ReplayReport,
+    Tolerance,
+    compare_records,
+    diff_refs,
+    replay,
+    replay_all,
+)
+from .store import DEFAULT_STORE_PATH, ArtifactStore, as_store
+
+__all__ = [
+    "ArtifactStore",
+    "as_store",
+    "DEFAULT_STORE_PATH",
+    "canonicalize",
+    "canonical_json",
+    "content_hash",
+    "short_ref",
+    "Tolerance",
+    "MetricDiff",
+    "ReplayReport",
+    "DiffReport",
+    "DEFAULT_TOLERANCES",
+    "compare_records",
+    "replay",
+    "replay_all",
+    "diff_refs",
+]

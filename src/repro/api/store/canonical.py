@@ -1,0 +1,79 @@
+"""Canonical serialization and content addressing for scenario specs.
+
+A stored run's identity is the SHA-256 hash of its *canonicalized resolved
+spec*: the same scenario always lands on the same key, regardless of which
+process produced it, how its dict keys were ordered on the way in, or
+whether a rate was spelled ``8`` or ``8.0``.  That is what lets
+``tdpipe-bench replay`` answer "did this PR change the numbers for scenario
+X?" — X *is* the hash.
+
+Canonicalization rules
+----------------------
+* mappings sort by key; tuples become lists (JSON has no tuple),
+* integral floats collapse to ints (``8.0`` → ``8``) and ``-0.0`` to ``0``,
+  so numerically-equal specs (which also compare equal as dataclasses,
+  since ``8 == 8.0`` in Python) hash equal,
+* non-finite floats are rejected — a spec carrying NaN/inf has no stable
+  identity and is a bug upstream,
+* the encoded form is minified ASCII JSON with sorted keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Any
+
+from ..spec import ScenarioSpec
+
+__all__ = ["canonicalize", "canonical_json", "content_hash", "short_ref"]
+
+#: Length of the abbreviated hash shown in indexes and CLI output.
+SHORT_REF_LEN = 12
+
+
+def canonicalize(value: Any) -> Any:
+    """Recursively normalize plain data into its canonical JSON form."""
+    if isinstance(value, dict):
+        return {str(k): canonicalize(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(v) for v in value]
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise ValueError(f"non-finite float {value!r} has no canonical form")
+        if value.is_integer():
+            return int(value)
+        return value
+    raise TypeError(f"cannot canonicalize {type(value).__name__}: {value!r}")
+
+
+def canonical_json(value: Any) -> str:
+    """Minified, key-sorted, ASCII JSON of the canonical form."""
+    return json.dumps(
+        canonicalize(value),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    )
+
+
+def content_hash(spec: ScenarioSpec) -> str:
+    """SHA-256 hex digest of the canonicalized *resolved* spec.
+
+    Resolution pins ``mode="auto"`` first, so a spec and its resolved copy
+    (what artifacts embed) share one identity.  The human label ``name`` is
+    excluded: renaming a scenario does not change what runs, so it must not
+    change the key either (the store index carries names separately).
+    """
+    data = spec.resolved().to_dict()
+    data.pop("name", None)
+    return hashlib.sha256(canonical_json(data).encode("ascii")).hexdigest()
+
+
+def short_ref(ref: str) -> str:
+    """Abbreviated display form of a content hash."""
+    return ref[:SHORT_REF_LEN]

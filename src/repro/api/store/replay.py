@@ -1,0 +1,344 @@
+"""Replay stored runs on the current code and diff the metrics.
+
+``replay(ref, store)`` closes the reproducibility loop the artifact store
+opens: load a record, rebuild its scenario from the embedded spec, execute
+it on *today's* code, and structurally compare the fresh metric record
+against the stored one.  The simulator is deterministic, so on unchanged
+code a replay reports **zero drift**; after an optimization, the drift *is*
+the regression/improvement report.
+
+Comparison semantics
+--------------------
+Only the flat metric keys of a record are compared (``throughput_tps``,
+``ttft_p99_s``, ``requests_per_replica[i]``, ``slo_attainment.<class>``,
+...).  Bookkeeping keys (``spec``, ``wall_time_s``, ``detail``, ...) are
+excluded: wall time legitimately varies per host, and the full-fidelity
+detail section is reconstruction payload, not a metric.  Numeric drift is
+judged per metric against a :class:`Tolerance` (``abs + rel * |recorded|``);
+integers and strings compare exactly.  ``strict=True`` zeroes every
+tolerance — any drift at all fails.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..spec import ScenarioSpec
+from .canonical import short_ref
+from .store import ArtifactStore, as_store
+
+__all__ = [
+    "Tolerance",
+    "MetricDiff",
+    "ReplayReport",
+    "DiffReport",
+    "DEFAULT_TOLERANCES",
+    "compare_records",
+    "replay",
+    "replay_all",
+    "diff_refs",
+]
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Allowed drift for one metric: ``|fresh - recorded| <= abs + rel*|recorded|``."""
+
+    rel: float = 0.0
+    abs: float = 0.0
+
+    def allows(self, recorded: float, fresh: float) -> bool:
+        return abs(fresh - recorded) <= self.abs + self.rel * abs(recorded)
+
+
+#: Exact match — what ``--strict`` applies to every metric.
+EXACT = Tolerance()
+
+#: Default float slack: absorbs cross-platform libm noise, nothing more.
+#: The simulator itself is deterministic, so even this is usually unused.
+DEFAULT_FLOAT_TOLERANCE = Tolerance(rel=1e-9, abs=1e-12)
+
+#: Per-metric defaults, keyed by the flattened metric path with list indices
+#: stripped (``requests_per_replica[3]`` looks up ``requests_per_replica``).
+#: Extend via the ``tolerances`` argument of :func:`replay` / :func:`diff_refs`.
+DEFAULT_TOLERANCES: dict[str, Tolerance] = {}
+
+#: Record keys that are bookkeeping, not metrics.
+_SKIP_KEYS = {
+    "schema_version",
+    "kind",
+    "spec",
+    "wall_time_s",
+    "overrides",
+    "opaque_overrides",
+    "detail",
+}
+
+_INDEX_RE = re.compile(r"\[\d+\]")
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class MetricDiff:
+    """One compared metric: recorded vs fresh value and the verdict."""
+
+    metric: str
+    recorded: Any
+    fresh: Any
+    within: bool
+
+    @property
+    def delta(self) -> float | None:
+        if isinstance(self.recorded, (int, float)) and isinstance(
+            self.fresh, (int, float)
+        ):
+            return self.fresh - self.recorded
+        return None
+
+    @property
+    def rel_delta(self) -> float | None:
+        delta = self.delta
+        if delta is None:
+            return None
+        if self.recorded == 0:
+            return float("inf") if delta else 0.0
+        return delta / abs(self.recorded)
+
+    def describe(self) -> str:
+        if self.delta is None:
+            return f"{self.metric}: {self.recorded!r} -> {self.fresh!r}"
+        rel = self.rel_delta
+        rel_txt = "" if rel is None or rel == 0 else f" (rel {rel:+.3g})"
+        return f"{self.metric}: {self.recorded:g} -> {self.fresh:g}{rel_txt}"
+
+
+def _tolerance_for(
+    path: str,
+    tolerances: Mapping[str, Tolerance],
+    default: Tolerance,
+) -> Tolerance:
+    base = _INDEX_RE.sub("", path)
+    for key in (path, base):
+        if key in tolerances:
+            return tolerances[key]
+    return default
+
+
+def _compare_leaf(
+    path: str,
+    recorded: Any,
+    fresh: Any,
+    out: list[MetricDiff],
+    tolerances: Mapping[str, Tolerance],
+    default: Tolerance,
+) -> None:
+    if recorded is _MISSING or fresh is _MISSING:
+        out.append(MetricDiff(path, recorded if fresh is _MISSING else None,
+                              fresh if recorded is _MISSING else None, False))
+        return
+    numeric = (
+        isinstance(recorded, (int, float))
+        and isinstance(fresh, (int, float))
+        and not isinstance(recorded, bool)
+        and not isinstance(fresh, bool)
+    )
+    if numeric:
+        if isinstance(recorded, int) and isinstance(fresh, int):
+            within = recorded == fresh  # counts compare exactly
+        else:
+            tol = _tolerance_for(path, tolerances, default)
+            within = tol.allows(float(recorded), float(fresh))
+        out.append(MetricDiff(path, recorded, fresh, within))
+        return
+    out.append(MetricDiff(path, recorded, fresh, recorded == fresh))
+
+
+def _walk(
+    path: str,
+    recorded: Any,
+    fresh: Any,
+    out: list[MetricDiff],
+    tolerances: Mapping[str, Tolerance],
+    default: Tolerance,
+) -> None:
+    if isinstance(recorded, dict) and isinstance(fresh, dict):
+        for key in sorted(set(recorded) | set(fresh)):
+            if not path and key in _SKIP_KEYS:
+                continue
+            sub = f"{path}.{key}" if path else str(key)
+            _walk(
+                sub,
+                recorded.get(key, _MISSING),
+                fresh.get(key, _MISSING),
+                out,
+                tolerances,
+                default,
+            )
+        return
+    if isinstance(recorded, list) and isinstance(fresh, list):
+        if len(recorded) != len(fresh):
+            out.append(
+                MetricDiff(f"{path}.length", len(recorded), len(fresh), False)
+            )
+        for i, (a, b) in enumerate(zip(recorded, fresh)):
+            _walk(f"{path}[{i}]", a, b, out, tolerances, default)
+        return
+    _compare_leaf(path, recorded, fresh, out, tolerances, default)
+
+
+def compare_records(
+    recorded: Mapping[str, Any],
+    fresh: Mapping[str, Any],
+    *,
+    tolerances: Mapping[str, Tolerance] | None = None,
+    strict: bool = False,
+) -> list[MetricDiff]:
+    """Structurally compare the metric keys of two artifact records.
+
+    Returns one :class:`MetricDiff` per compared metric (not only the
+    drifted ones — ``[d for d in diffs if not d.within]`` filters those).
+    """
+    if strict:
+        tolerances, default = {}, EXACT
+    else:
+        merged = dict(DEFAULT_TOLERANCES)
+        merged.update(tolerances or {})
+        tolerances, default = merged, DEFAULT_FLOAT_TOLERANCE
+    out: list[MetricDiff] = []
+    _walk("", dict(recorded), dict(fresh), out, tolerances, default)
+    return out
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of re-executing one stored record on the current code."""
+
+    ref: str
+    spec: ScenarioSpec
+    recorded: dict[str, Any]
+    fresh: dict[str, Any]
+    diffs: list[MetricDiff] = field(default_factory=list)
+    strict: bool = False
+
+    @property
+    def drifted(self) -> list[MetricDiff]:
+        return [d for d in self.diffs if not d.within]
+
+    @property
+    def ok(self) -> bool:
+        return not self.drifted
+
+    def summary(self) -> str:
+        lines = [f"replay {short_ref(self.ref)}  {self.spec.describe()}"]
+        mode = " (strict)" if self.strict else ""
+        if self.ok:
+            lines.append(
+                f"  {len(self.diffs)} metrics compared{mode}: zero drift"
+            )
+        else:
+            lines.append(
+                f"  DRIFT in {len(self.drifted)}/{len(self.diffs)} metrics{mode}:"
+            )
+            lines.extend(f"    {d.describe()}" for d in self.drifted)
+        return "\n".join(lines)
+
+
+@dataclass
+class DiffReport:
+    """Structural metric diff between two stored records."""
+
+    ref_a: str
+    ref_b: str
+    record_a: dict[str, Any]
+    record_b: dict[str, Any]
+    diffs: list[MetricDiff] = field(default_factory=list)
+
+    @property
+    def drifted(self) -> list[MetricDiff]:
+        return [d for d in self.diffs if not d.within]
+
+    @property
+    def ok(self) -> bool:
+        return not self.drifted
+
+    def summary(self) -> str:
+        lines = [f"diff {short_ref(self.ref_a)} -> {short_ref(self.ref_b)}"]
+        if self.ok:
+            lines.append(f"  {len(self.diffs)} metrics compared: identical")
+        else:
+            lines.append(
+                f"  {len(self.drifted)}/{len(self.diffs)} metrics differ:"
+            )
+            lines.extend(f"    {d.describe()}" for d in self.drifted)
+        return "\n".join(lines)
+
+
+def replay(
+    ref: str,
+    store: ArtifactStore | str | os.PathLike,
+    *,
+    tolerances: Mapping[str, Tolerance] | None = None,
+    strict: bool = False,
+) -> ReplayReport:
+    """Re-execute a stored record's spec and diff fresh vs recorded metrics."""
+    from ..runner import run
+
+    store = as_store(store)
+    full = store.resolve(ref)
+    record = store.get_record(full)
+    spec = ScenarioSpec.from_dict(record["spec"])
+    # detail=False: comparison skips the reconstruction payload anyway, so
+    # don't serialize full traces just to walk past them.
+    fresh = run(spec).to_record(detail=False)
+    diffs = compare_records(record, fresh, tolerances=tolerances, strict=strict)
+    return ReplayReport(
+        ref=full, spec=spec, recorded=record, fresh=fresh, diffs=diffs,
+        strict=strict,
+    )
+
+
+def replay_all(
+    store: ArtifactStore | str | os.PathLike,
+    *,
+    tolerances: Mapping[str, Tolerance] | None = None,
+    strict: bool = False,
+) -> list[ReplayReport]:
+    """Replay every record in the store (the full regression gate)."""
+    store = as_store(store)
+    return [
+        replay(ref, store, tolerances=tolerances, strict=strict)
+        for ref in store.refs()
+    ]
+
+
+def diff_refs(
+    ref_a: str,
+    ref_b: str,
+    store: ArtifactStore | str | os.PathLike,
+    *,
+    store_b: ArtifactStore | str | os.PathLike | None = None,
+    tolerances: Mapping[str, Tolerance] | None = None,
+    strict: bool = False,
+) -> DiffReport:
+    """Diff two stored records (optionally across two stores).
+
+    With one store, compare two scenarios recorded side by side; with
+    ``store_b`` (e.g. a store recorded before a change vs one after),
+    compare the *same* ref across code versions.
+    """
+    store = as_store(store)
+    other = store if store_b is None else as_store(store_b)
+    full_a = store.resolve(ref_a)
+    full_b = other.resolve(ref_b)
+    record_a = store.get_record(full_a)
+    record_b = other.get_record(full_b)
+    diffs = compare_records(
+        record_a, record_b, tolerances=tolerances, strict=strict
+    )
+    return DiffReport(
+        ref_a=full_a, ref_b=full_b, record_a=record_a, record_b=record_b,
+        diffs=diffs,
+    )

@@ -1,0 +1,193 @@
+"""Content-addressed artifact store: every run record filed under its spec hash.
+
+Layout on disk::
+
+    <root>/
+      index.json             # human-readable: ref -> name/kind/when/headline
+      records/<sha256>.json  # one full-fidelity RunArtifact record each
+
+A record's key is :func:`~repro.api.store.canonical.content_hash` of its
+resolved spec, so recording the same scenario twice *updates* one entry
+(latest run wins — the store answers "what do the numbers for scenario X
+look like now?"), while any spec change, however small, creates a new
+identity.  Records are pure :meth:`RunArtifact.to_record` output — store
+metadata lives only in the index — so ``from_record(get_record(ref))``
+reconstructs an object equal to what ``put`` received.
+
+Refs accepted anywhere a ref is taken: the full hash, any unambiguous
+prefix, or a scenario name (resolving to its most recent record).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable
+
+from .canonical import content_hash, short_ref
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from ..runner import RunArtifact
+
+__all__ = ["ArtifactStore", "as_store", "DEFAULT_STORE_PATH"]
+
+#: Where the CLI's record/replay/diff commands look when ``--store`` is omitted.
+DEFAULT_STORE_PATH = "tdpipe-store"
+
+#: Bump on any backward-incompatible change to the on-disk store layout.
+STORE_VERSION = 1
+
+_INDEX = "index.json"
+_RECORDS = "records"
+
+
+class ArtifactStore:
+    """A directory of content-addressed run records plus a readable index."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        #: Refs written by *this* process, in put() order (what a CLI
+        #: invocation just produced, vs. whatever the directory already held).
+        self.session_refs: list[str] = []
+
+    # -- paths ---------------------------------------------------------- #
+    @property
+    def records_dir(self) -> Path:
+        return self.root / _RECORDS
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / _INDEX
+
+    def _record_path(self, ref: str) -> Path:
+        return self.records_dir / f"{ref}.json"
+
+    # -- index ---------------------------------------------------------- #
+    def _load_index(self) -> dict[str, Any]:
+        if not self.index_path.exists():
+            return {"store_version": STORE_VERSION, "next_seq": 0, "entries": {}}
+        with open(self.index_path) as fh:
+            index = json.load(fh)
+        version = index.get("store_version")
+        if version != STORE_VERSION:
+            raise ValueError(
+                f"store at {self.root} has layout version {version}; "
+                f"this build speaks version {STORE_VERSION}"
+            )
+        return index
+
+    def _save_index(self, index: dict[str, Any]) -> None:
+        tmp = self.index_path.with_suffix(".json.tmp")
+        with open(tmp, "w") as fh:
+            json.dump(index, fh, indent=2, sort_keys=False, allow_nan=False)
+            fh.write("\n")
+        os.replace(tmp, self.index_path)
+
+    # -- write ---------------------------------------------------------- #
+    def put(self, artifact: "RunArtifact", *, allow_opaque: bool = False) -> str:
+        """File one artifact under its spec hash; return the full ref.
+
+        Artifacts carrying :attr:`RunArtifact.opaque_overrides` are rejected
+        by default: their embedded spec alone cannot reproduce the run, so a
+        later ``replay`` would silently compare against a different scenario.
+        """
+        if artifact.opaque_overrides and not allow_opaque:
+            raise ValueError(
+                "artifact carries opaque overrides "
+                f"{list(artifact.opaque_overrides)} and is not replayable from "
+                "its spec; pass allow_opaque=True to store it anyway"
+            )
+        ref = content_hash(artifact.spec)
+        record = artifact.to_record()
+        self.records_dir.mkdir(parents=True, exist_ok=True)
+        record_path = self._record_path(ref)
+        tmp = record_path.with_suffix(".json.tmp")
+        with open(tmp, "w") as fh:
+            json.dump(record, fh, allow_nan=False)
+            fh.write("\n")
+        os.replace(tmp, record_path)
+
+        index = self._load_index()
+        entry: dict[str, Any] = {
+            "seq": index["next_seq"],
+            "name": artifact.spec.name or "scenario",
+            "kind": artifact.kind,
+            "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "describe": artifact.spec.describe(),
+            "file": f"{_RECORDS}/{ref}.json",
+            "throughput_tps": record.get("throughput_tps"),
+        }
+        if artifact.overrides:
+            entry["overrides"] = dict(artifact.overrides)
+        index["next_seq"] += 1
+        index["entries"][ref] = entry
+        self._save_index(index)
+        self.session_refs.append(ref)
+        return ref
+
+    # -- read ----------------------------------------------------------- #
+    def refs(self) -> list[str]:
+        """All stored refs, oldest first (by last-written sequence)."""
+        entries = self._load_index()["entries"]
+        return sorted(entries, key=lambda ref: entries[ref]["seq"])
+
+    def entries(self) -> list[tuple[str, dict[str, Any]]]:
+        """(ref, index entry) pairs, oldest first."""
+        entries = self._load_index()["entries"]
+        return sorted(entries.items(), key=lambda kv: kv[1]["seq"])
+
+    def __len__(self) -> int:
+        return len(self._load_index()["entries"])
+
+    def __contains__(self, ref: object) -> bool:
+        return isinstance(ref, str) and ref in self._load_index()["entries"]
+
+    def resolve(self, token: str) -> str:
+        """Resolve a full hash, unambiguous prefix, or scenario name."""
+        entries = self._load_index()["entries"]
+        if token in entries:
+            return token
+        prefix_hits = [ref for ref in entries if ref.startswith(token)]
+        if len(prefix_hits) == 1:
+            return prefix_hits[0]
+        if len(prefix_hits) > 1:
+            raise KeyError(
+                f"ref prefix {token!r} is ambiguous: "
+                f"{sorted(short_ref(r) for r in prefix_hits)}"
+            )
+        name_hits = [
+            (entry["seq"], ref)
+            for ref, entry in entries.items()
+            if entry["name"] == token
+        ]
+        if name_hits:
+            return max(name_hits)[1]  # most recent record under that name
+        raise KeyError(
+            f"no record matches {token!r} in store {self.root} "
+            f"({len(entries)} records)"
+        )
+
+    def get_record(self, ref: str) -> dict[str, Any]:
+        """The raw record dict for a ref (full hash / prefix / name)."""
+        full = self.resolve(ref)
+        with open(self._record_path(full)) as fh:
+            return json.load(fh)
+
+    def get(self, ref: str) -> "RunArtifact":
+        """Reconstruct the stored :class:`RunArtifact` for a ref."""
+        from ..runner import RunArtifact
+
+        return RunArtifact.from_record(self.get_record(ref))
+
+    def put_all(self, artifacts: Iterable["RunArtifact"], **kwargs: Any) -> list[str]:
+        """File several artifacts; return their refs in order."""
+        return [self.put(a, **kwargs) for a in artifacts]
+
+
+def as_store(store: "ArtifactStore | str | os.PathLike") -> ArtifactStore:
+    """Coerce a path into an :class:`ArtifactStore` (instances pass through)."""
+    if isinstance(store, ArtifactStore):
+        return store
+    return ArtifactStore(store)

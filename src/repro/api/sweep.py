@@ -11,6 +11,7 @@ with its override coordinates).
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import json
 from dataclasses import dataclass, fields
@@ -76,17 +77,20 @@ class SweepSpec:
         return n
 
     def expand(self) -> list[SweepPointSpec]:
-        """All grid points, first axis outermost (nested-loop order)."""
+        """All grid points, first axis outermost (nested-loop order).
+
+        Unnamed base specs inherit the sweep's name, so a grid point filed
+        in an artifact store resolves by the experiment name it came from.
+        """
         points = []
         for combo in itertools.product(*(axis.values for axis in self.axes)):
             overrides = {
                 axis.path: value for axis, value in zip(self.axes, combo)
             }
-            points.append(
-                SweepPointSpec(
-                    spec=self.base.with_overrides(overrides), overrides=overrides
-                )
-            )
+            spec = self.base.with_overrides(overrides)
+            if self.name is not None and spec.name is None:
+                spec = dataclasses.replace(spec, name=self.name)
+            points.append(SweepPointSpec(spec=spec, overrides=overrides))
         return points
 
     # -- serialization -------------------------------------------------- #

@@ -1,5 +1,5 @@
-"""Command-line entry point: regenerate any paper table or figure, or run
-any declarative scenario spec.
+"""Command-line entry point: regenerate any paper table or figure, run any
+declarative scenario spec, or record/replay/diff runs in the artifact store.
 
 Examples
 --------
@@ -15,6 +15,9 @@ Examples
         --slo-mix interactive:0.7,batch:0.3 --autoscale
     tdpipe-bench run --spec examples/scenarios/hetero.json --bench-json out.json
     tdpipe-bench run --spec cluster-hetero --set workload.scale=0.02
+    tdpipe-bench record cluster-hetero --store tdpipe-store
+    tdpipe-bench replay --store tdpipe-store --strict   # the regression gate
+    tdpipe-bench diff a1b2c3 d4e5f6 --store tdpipe-store
 """
 
 from __future__ import annotations
@@ -23,7 +26,9 @@ import argparse
 import dataclasses
 import json
 import os
+import shutil
 import sys
+import tempfile
 import time
 
 from . import api
@@ -72,13 +77,25 @@ _STATIC = {
     "fig06": lambda: fig06_tp_breakdown.format_results(fig06_tp_breakdown.run()),
 }
 
-EXPERIMENTS = sorted([*_SCALED, *_STATIC, "all", "run"])
+#: Experiments whose runners execute registered spec grids and can file
+#: every point in an :class:`repro.api.ArtifactStore` (``store=`` kwarg).
+_STORE_CAPABLE = {
+    "cluster-hetero", "cluster-autoscale", "fig11", "fig13", "fig15", "fig16",
+}
+
+#: Experiments allowed to emit a self-describing ``--bench-json`` record:
+#: the spec-driven entry points plus every registry-backed experiment.
+_BENCH_CAPABLE = {"cluster", "run", "record", *_STORE_CAPABLE}
+
+EXPERIMENTS = sorted([*_SCALED, *_STATIC, "all", "run", "record", "replay", "diff"])
 
 
-def _run_one(name: str, scale) -> str:
+def _run_one(name: str, scale, store=None) -> str:
     if name in _STATIC:
         return _STATIC[name]()
     runner, formatter = _SCALED[name]
+    if store is not None and name in _STORE_CAPABLE:
+        return formatter(runner(scale=scale, store=store))
     return formatter(runner(scale=scale))
 
 
@@ -106,9 +123,10 @@ def _apply_overrides(spec, sets: list[str]):
 
 def _run_spec(args) -> int:
     spec = _apply_overrides(_load_spec_arg(args.spec), args.set or [])
+    store = api.as_store(args.store) if args.store else None
     if isinstance(spec, api.SweepSpec):
         print(f"sweep {spec.name or '(unnamed)'}: {spec.num_points} scenarios")
-        artifacts = api.run_sweep(spec)
+        artifacts = api.run_sweep(spec, store=store)
         for artifact in artifacts:
             coords = ", ".join(f"{k}={v}" for k, v in artifact.overrides.items())
             print(f"[{coords}]")
@@ -118,19 +136,103 @@ def _run_spec(args) -> int:
                 "schema_version": api.SCHEMA_VERSION,
                 "kind": "sweep",
                 "spec": spec.to_dict(),
-                "runs": [a.to_record() for a in artifacts],
+                "runs": [a.to_record(detail=False) for a in artifacts],
             }
             _write_json(args.bench_json, record)
         return 0
-    artifact = api.run(spec)
+    artifact = api.run(spec, store=store)
     print(artifact.spec.describe())
     print(artifact.result.summary())
     if hasattr(artifact.result, "slo_attainment"):
         for stats in artifact.result.slo_attainment.values():
             print(f"  SLO {stats.summary()}")
     if args.bench_json:
-        _write_json(args.bench_json, artifact.to_record())
+        _write_json(args.bench_json, artifact.to_record(detail=False))
     return 0
+
+
+def _open_store(args) -> api.ArtifactStore:
+    return api.as_store(args.store or api.DEFAULT_STORE_PATH)
+
+
+def _run_record(args) -> int:
+    """``record <spec|name>``: execute and file content-addressed records."""
+    target = args.targets[0] if args.targets else args.spec
+    if target is None:
+        raise SystemExit("`record` needs a spec file or registry name "
+                         "(positional, or --spec)")
+    if len(args.targets) > 1:
+        raise SystemExit("`record` takes one spec file or registry name")
+    spec = _apply_overrides(_load_spec_arg(target), args.set or [])
+    store = _open_store(args)
+    if isinstance(spec, api.SweepSpec):
+        artifacts = api.run_sweep(spec, store=store)
+    else:
+        artifacts = [api.run(spec, store=store)]
+    for artifact, ref in zip(artifacts, store.session_refs):
+        coords = ", ".join(f"{k}={v}" for k, v in artifact.overrides.items())
+        suffix = f"  [{coords}]" if coords else ""
+        print(f"{api.store.short_ref(ref)}  {artifact.spec.describe()}{suffix}")
+        print(f"  {artifact.result.summary()}")
+    print(f"{len(store.session_refs)} record(s) -> {store.root}")
+    if args.bench_json:
+        _write_json(args.bench_json, _store_bench_record(store, target))
+    return 0
+
+
+def _run_replay(args) -> int:
+    """``replay [REF ...]``: re-execute stored specs, diff against records."""
+    store = _open_store(args)
+    try:
+        if args.targets:
+            reports = [
+                api.replay(ref, store, strict=args.strict) for ref in args.targets
+            ]
+        else:
+            reports = api.replay_all(store, strict=args.strict)
+    except KeyError as exc:
+        raise SystemExit(str(exc)) from None
+    if not reports:
+        raise SystemExit(f"store {store.root} holds no records to replay")
+    for report in reports:
+        print(report.summary())
+    drifted = sum(not r.ok for r in reports)
+    print(f"replayed {len(reports)} record(s): "
+          f"{'all reproduce' if not drifted else f'{drifted} drifted'}")
+    return 1 if drifted else 0
+
+
+def _run_diff(args) -> int:
+    """``diff REF_A REF_B``: structurally compare two stored records."""
+    if len(args.targets) != 2:
+        raise SystemExit("`diff` needs exactly two refs (hash, prefix, or name)")
+    store = _open_store(args)
+    try:
+        report = api.diff_refs(
+            args.targets[0],
+            args.targets[1],
+            store,
+            store_b=args.store_b,
+            strict=args.strict,
+        )
+    except KeyError as exc:
+        raise SystemExit(str(exc)) from None
+    print(report.summary())
+    return 1 if args.strict and not report.ok else 0
+
+
+def _store_bench_record(store: api.ArtifactStore, experiment: str) -> dict:
+    """Bench-JSON successor record: the session's store records, sans detail."""
+    return {
+        "schema_version": api.SCHEMA_VERSION,
+        "kind": "store",
+        "experiment": experiment,
+        "store": str(store.root),
+        "records": [
+            {k: v for k, v in store.get_record(ref).items() if k != "detail"}
+            for ref in store.session_refs
+        ],
+    }
 
 
 def _write_json(path: str, record: dict) -> None:
@@ -147,15 +249,23 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("experiment", choices=EXPERIMENTS, help="which artifact to regenerate")
     parser.add_argument(
+        "targets", nargs="*", metavar="TARGET",
+        help="record: spec file or registry name; replay: ref(s), default all; "
+        "diff: two refs (hash, unambiguous prefix, or scenario name)",
+    )
+    parser.add_argument(
         "--scale",
         type=float,
-        default=0.1,
-        help="workload scale relative to the paper's 5,000 requests (default 0.1)",
+        default=None,
+        help="workload scale relative to the paper's 5,000 requests (default "
+        "0.1; spec-driven commands take --set workload.scale=... instead)",
     )
     parser.add_argument(
         "--full", action="store_true", help="run at the paper's full scale (scale=1.0)"
     )
-    parser.add_argument("--seed", type=int, default=0, help="workload/predictor seed")
+    parser.add_argument(
+        "--seed", type=int, default=None, help="workload/predictor seed (default 0)"
+    )
     cluster_opts = parser.add_argument_group(
         "cluster", "single-configuration mode for the `cluster` experiment"
     )
@@ -203,6 +313,23 @@ def main(argv: list[str] | None = None) -> int:
         help="dotted-path spec override, e.g. workload.scale=0.02 "
         "(repeatable; applies to a sweep's base spec)",
     )
+    store_opts = parser.add_argument_group(
+        "store", "artifact store for `record`/`replay`/`diff` (and any "
+        "registry-backed experiment via --store)"
+    )
+    store_opts.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="artifact store directory "
+        f"(default for record/replay/diff: ./{api.DEFAULT_STORE_PATH})",
+    )
+    store_opts.add_argument(
+        "--store-b", default=None, metavar="DIR",
+        help="second store for `diff` (compare a ref across two stores)",
+    )
+    store_opts.add_argument(
+        "--strict", action="store_true",
+        help="replay/diff: zero tolerance — any metric drift fails",
+    )
     args = parser.parse_args(argv)
 
     cluster_flags = (
@@ -214,16 +341,46 @@ def main(argv: list[str] | None = None) -> int:
             "--replicas/--router/--rate/--system/--fleet/--slo-mix/"
             "--autoscale only apply to `cluster`"
         )
-    if args.experiment not in ("cluster", "run") and args.bench_json is not None:
-        parser.error("--bench-json only applies to `cluster` and `run`")
-    if args.experiment != "run" and (args.spec is not None or args.set):
-        parser.error("--spec/--set only apply to `run`")
+    if args.experiment not in _BENCH_CAPABLE and args.bench_json is not None:
+        parser.error(
+            "--bench-json only applies to `cluster`, `run`, `record` and "
+            f"registry-backed experiments ({', '.join(sorted(_STORE_CAPABLE))})"
+        )
+    if args.experiment not in ("run", "record") and (args.spec is not None or args.set):
+        parser.error("--spec/--set only apply to `run` and `record`")
+    if args.targets and args.experiment not in ("record", "replay", "diff"):
+        parser.error("positional targets only apply to `record`/`replay`/`diff`")
+    store_users = {"run", "record", "replay", "diff", *_STORE_CAPABLE}
+    if args.store is not None and args.experiment not in store_users:
+        parser.error(f"--store only applies to {', '.join(sorted(store_users))}")
+    if args.store_b is not None and args.experiment != "diff":
+        parser.error("--store-b only applies to `diff`")
+    if args.strict and args.experiment not in ("replay", "diff"):
+        parser.error("--strict only applies to `replay` and `diff`")
+    if args.experiment in ("run", "record", "replay", "diff") and (
+        args.scale is not None or args.seed is not None or args.full
+    ):
+        # Silently running a spec at a different scale than requested would
+        # file wrong-scale records into a durable store.
+        parser.error(
+            "--scale/--seed/--full don't apply to `run`/`record`/`replay`/"
+            "`diff`; override the spec instead, e.g. --set workload.scale=0.02"
+        )
+    if args.experiment == "record":
+        return _run_record(args)
+    if args.experiment == "replay":
+        return _run_replay(args)
+    if args.experiment == "diff":
+        return _run_diff(args)
     if args.experiment == "run":
         if args.spec is None:
             parser.error("`run` needs --spec PATH_OR_NAME")
         return _run_spec(args)
 
-    scale = default_scale(factor=1.0 if args.full else args.scale, seed=args.seed)
+    scale = default_scale(
+        factor=1.0 if args.full else (0.1 if args.scale is None else args.scale),
+        seed=0 if args.seed is None else args.seed,
+    )
     single_cluster = args.experiment == "cluster" and any(
         v is not None for v in (*cluster_flags, args.bench_json)
     )
@@ -285,19 +442,36 @@ def main(argv: list[str] | None = None) -> int:
                 "rate_rps": rate,
                 "scale": scale.factor,
                 "seed": scale.seed,
-                **artifact.to_record(),
+                **artifact.to_record(detail=False),
                 "wall_time_s": wall,
             }
             _write_json(args.bench_json, record)
         return 0
+    store = throwaway = None
+    if args.experiment in _STORE_CAPABLE and (args.store or args.bench_json):
+        # A registry-backed experiment files every grid point as a replayable
+        # record; --bench-json without --store uses a throwaway store just to
+        # assemble the session's records (removed once the JSON is written).
+        if args.store is None:
+            throwaway = tempfile.mkdtemp(prefix="tdpipe-store-")
+        store = api.as_store(args.store or throwaway)
     names = sorted([*_SCALED, *_STATIC]) if args.experiment == "all" else [args.experiment]
     for name in names:
         t0 = time.time()
-        output = _run_one(name, scale)
+        output = _run_one(name, scale, store=store)
         dt = time.time() - t0
         print(f"=== {name} (elapsed {dt:.1f}s) ===")
         print(output)
         print()
+    if store is not None:
+        if args.bench_json:
+            _write_json(
+                args.bench_json, _store_bench_record(store, args.experiment)
+            )
+        if throwaway is not None:
+            shutil.rmtree(throwaway, ignore_errors=True)
+        else:
+            print(f"{len(store.session_refs)} record(s) -> {store.root}")
     return 0
 
 

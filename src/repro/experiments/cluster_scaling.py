@@ -211,6 +211,7 @@ def run_heterogeneous(
     routers: tuple[str, ...] = HETERO_ROUTERS,
     rate_rps: float = 14.0,
     slo_mix: str = DEFAULT_SLO_MIX,
+    store=None,
 ) -> list[dict]:
     """Mixed L20/A100 fleet: does capacity normalization earn its keep?
 
@@ -235,7 +236,7 @@ def run_heterogeneous(
     )
     return [
         _row(a.result, system, a.spec.control.router, rate_rps, slo_mix)
-        for a in run_sweep(sweep)
+        for a in run_sweep(sweep, store=store)
     ]
 
 
@@ -272,6 +273,7 @@ def run_autoscaling(
     router: str = "jsq",
     rate_rps: float = 10.0,
     slo_mix: str = DEFAULT_SLO_MIX,
+    store=None,
 ) -> list[dict]:
     """Fixed fleet vs autoscaled fleet on the same workload.
 
@@ -295,7 +297,7 @@ def run_autoscaling(
         seed=scale.seed,
     )
     rows = []
-    for artifact in run_sweep(sweep):
+    for artifact in run_sweep(sweep, store=store):
         row = _row(artifact.result, system, router, rate_rps, slo_mix)
         row["autoscaled"] = artifact.spec.control.wants_autoscaler
         rows.append(row)

@@ -197,6 +197,7 @@ def run_system(
     prefill_policy: PrefillSwitchPolicy | None = None,
     decode_policy: DecodeSwitchPolicy | None = None,
     work_stealing: bool = True,
+    store=None,
 ) -> RunResult:
     """Run one system on one configuration.
 
@@ -204,7 +205,9 @@ def run_system(
     to :func:`repro.api.run` (live objects — a request list, a trained
     predictor, policy instances — ride along as runner overrides).  Raises
     :class:`OutOfMemoryError` for layouts that cannot hold the model (the
-    paper's "OOM" bars in Figure 11).
+    paper's "OOM" bars in Figure 11).  ``store`` files the artifact in an
+    :class:`repro.api.ArtifactStore`; that requires a fully-declarative call
+    (no live-object overrides), since opaque artifacts are not replayable.
     """
     from .. import api
 
@@ -241,6 +244,7 @@ def run_system(
     )
     artifact = api.run(
         spec,
+        store=store,
         requests=requests,
         predictor=predictor_override,
         prefill_policy=prefill_policy,
@@ -267,6 +271,7 @@ def run_cluster(
     fleet: str | Sequence[NodeSpec | str] | None = None,
     slo_mix: str | dict | None = None,
     autoscaler: Autoscaler | bool | None = None,
+    store=None,
 ) -> ClusterResult:
     """Run a replicated cluster of ``system`` engines behind ``router``.
 
@@ -378,6 +383,7 @@ def run_cluster(
     )
     artifact = api.run(
         spec,
+        store=store,
         requests=requests,
         predictor=predictor_override,
         router=router_override,

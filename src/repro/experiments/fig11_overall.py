@@ -9,17 +9,34 @@ counts 1/2/4, five systems.  Expected shape (paper Section 4.2):
 * 32B-on-L20 and 70B-on-A100 are OOM at 1 device;
 * TD-Pipe scales super-linearly where added memory capacity lifts decode
   intensity (paper: L20+32B grows 2.97x from 2 to 4 GPUs).
+
+The grid is a registered spec sweep (``fig11-overall``): one single-engine
+scenario with device count and system as the axes, instantiated per
+node/model combination.  :func:`run` executes the grids through
+:func:`repro.api.run` — OOM cells excepted — so every surviving cell can be
+filed in an :class:`~repro.api.ArtifactStore` as a replayable record.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import api
+from ..api import (
+    EngineSpec,
+    FleetSpec,
+    ScenarioSpec,
+    SweepAxis,
+    SweepSpec,
+    WorkloadSpec,
+    register_scenario,
+)
 from ..kvcache.capacity import OutOfMemoryError
-from ..metrics.results import RunResult
-from .common import PAPER_COMBOS, SYSTEMS, ExperimentScale, default_scale, eval_requests, run_system
+from .common import PAPER_COMBOS, SYSTEMS, ExperimentScale, default_scale
 
-__all__ = ["Fig11Cell", "Fig11Result", "run", "format_results"]
+__all__ = ["Fig11Cell", "Fig11Result", "overall_spec", "run", "format_results"]
+
+DEFAULT_DEVICE_COUNTS: tuple[int, ...] = (1, 2, 4)
 
 
 @dataclass(frozen=True)
@@ -39,6 +56,8 @@ class Fig11Cell:
 @dataclass
 class Fig11Result:
     cells: list[Fig11Cell] = field(default_factory=list)
+    #: One replayable artifact per non-OOM cell, in cell order.
+    artifacts: list[api.RunArtifact] = field(default_factory=list)
 
     def throughput(self, node: str, model: str, num_gpus: int, system: str) -> float | None:
         for c in self.cells:
@@ -66,48 +85,77 @@ class Fig11Result:
         return max(live, key=lambda c: c.throughput or 0.0).system
 
 
+@register_scenario("fig11-overall")
+def overall_spec(
+    node: str = "L20",
+    model: str = "13B",
+    device_counts: tuple[int, ...] = DEFAULT_DEVICE_COUNTS,
+    systems: tuple[str, ...] = SYSTEMS,
+    scale_factor: float = 0.1,
+    seed: int = 0,
+) -> SweepSpec:
+    """Device-count x system grid for one node/model combination."""
+    return SweepSpec(
+        name="fig11-overall",
+        base=ScenarioSpec(
+            mode="engine",
+            workload=WorkloadSpec(scale=scale_factor, seed=seed),
+            fleet=FleetSpec(node=node, num_gpus=device_counts[0], replicas=1),
+            engine=EngineSpec(system=systems[0], model=model),
+        ),
+        axes=(
+            SweepAxis("fleet.num_gpus", tuple(device_counts)),
+            SweepAxis("engine.system", tuple(systems)),
+        ),
+    )
+
+
 def run(
     scale: ExperimentScale | None = None,
     combos: tuple[tuple[str, str], ...] = PAPER_COMBOS,
-    device_counts: tuple[int, ...] = (1, 2, 4),
+    device_counts: tuple[int, ...] = DEFAULT_DEVICE_COUNTS,
     systems: tuple[str, ...] = SYSTEMS,
+    store: api.ArtifactStore | None = None,
 ) -> Fig11Result:
-    """Regenerate Figure 11 at the given workload scale."""
+    """Regenerate Figure 11 at the given workload scale.
+
+    Runs the registered ``fig11-overall`` grid per combo.  Layouts that
+    cannot hold the model become OOM cells (the paper's grey bars) rather
+    than aborting the grid; everything else lands in ``store`` when given.
+    """
     scale = scale or default_scale()
-    requests = eval_requests(scale)
     result = Fig11Result()
     for gpu_name, model_name in combos:
-        for n in device_counts:
-            for system in systems:
-                try:
-                    r: RunResult = run_system(
-                        system,
-                        gpu_name,
-                        model_name,
-                        requests=[_clone(x) for x in requests],
-                        scale=scale,
-                        num_gpus=n,
-                    )
-                    cell = Fig11Cell(
-                        gpu_name, model_name, n, system, r.throughput, r.mean_utilization
-                    )
-                except OutOfMemoryError:
-                    cell = Fig11Cell(gpu_name, model_name, n, system, None)
-                result.cells.append(cell)
+        sweep = overall_spec(
+            node=gpu_name,
+            model=model_name,
+            device_counts=device_counts,
+            systems=systems,
+            scale_factor=scale.factor,
+            seed=scale.seed,
+        )
+        for point in sweep.expand():
+            num_gpus = point.spec.fleet.num_gpus
+            system = point.spec.engine.system
+            try:
+                artifact = api.run(point.spec)
+            except OutOfMemoryError:
+                result.cells.append(
+                    Fig11Cell(gpu_name, model_name, num_gpus, system, None)
+                )
+                continue
+            artifact.overrides = dict(point.overrides)
+            if store is not None:
+                store.put(artifact)
+            r = artifact.result
+            result.cells.append(
+                Fig11Cell(
+                    gpu_name, model_name, num_gpus, system,
+                    r.throughput, r.mean_utilization,
+                )
+            )
+            result.artifacts.append(artifact)
     return result
-
-
-def _clone(request):
-    """Fresh Request copy so engine runs never share mutable state."""
-    from ..workload.request import Request
-
-    return Request(
-        request_id=request.request_id,
-        prompt_len=request.prompt_len,
-        output_len=request.output_len,
-        features=request.features,
-        intent=request.intent,
-    )
 
 
 def format_results(result: Fig11Result) -> str:

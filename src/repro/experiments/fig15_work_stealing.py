@@ -76,6 +76,7 @@ def run(
     scale: ExperimentScale | None = None,
     configs: tuple[tuple[str, str], ...] = DEFAULT_CONFIGS,
     num_gpus: int = 4,
+    store=None,
 ) -> list[WorkStealingAblation]:
     scale = scale or default_scale()
     out = []
@@ -89,7 +90,7 @@ def run(
         )
         by_mode = {
             a.spec.engine.work_stealing: a.result.throughput
-            for a in run_sweep(sweep)
+            for a in run_sweep(sweep, store=store)
         }
         out.append(
             WorkStealingAblation(

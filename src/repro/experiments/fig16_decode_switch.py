@@ -5,16 +5,39 @@ ratio" heuristic (switch once X% of the decode phase's requests completed) at
 ratios 80..5%, on 4xL20+32B and 4xA100+70B.  Expected shape: hand-tuned
 ratios perform respectably (memory is plentiful on these configs) but the
 intensity comparison consistently achieves the highest throughput.
+
+The ablation is a registered spec grid (``fig16-decode-switch``): one
+single-engine TD-Pipe scenario with ``engine.decode_policy`` as the sweep
+axis — each finish ratio plus ``None`` for the intensity default —
+instantiated per node/model combination, so every point is a replayable
+record in the artifact store.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.policies import FinishRatioPolicy
-from .common import ExperimentScale, default_scale, eval_requests, run_system
+from .. import api
+from ..api import (
+    EngineSpec,
+    FleetSpec,
+    ScenarioSpec,
+    SweepAxis,
+    SweepSpec,
+    WorkloadSpec,
+    register_scenario,
+    run_sweep,
+)
+from .common import ExperimentScale, default_scale
 
-__all__ = ["DecodeSwitchAblation", "run", "format_results", "DEFAULT_RATIOS", "DEFAULT_CONFIGS"]
+__all__ = [
+    "DecodeSwitchAblation",
+    "decode_switch_spec",
+    "run",
+    "format_results",
+    "DEFAULT_RATIOS",
+    "DEFAULT_CONFIGS",
+]
 
 DEFAULT_RATIOS: tuple[float, ...] = (0.80, 0.65, 0.50, 0.35, 0.20, 0.05)
 DEFAULT_CONFIGS: tuple[tuple[str, str], ...] = (("L20", "32B"), ("A100", "70B"))
@@ -36,41 +59,62 @@ class DecodeSwitchAblation:
         return self.tdpipe_throughput >= max(self.ratio_throughputs.values())
 
 
+@register_scenario("fig16-decode-switch")
+def decode_switch_spec(
+    node: str = "L20",
+    model: str = "32B",
+    ratios: tuple[float, ...] = DEFAULT_RATIOS,
+    num_gpus: int = 4,
+    scale_factor: float = 0.1,
+    seed: int = 0,
+) -> SweepSpec:
+    """Finish-ratio grid (plus the intensity default) for one config."""
+    axis = tuple({"name": "finish-ratio", "ratio": r} for r in ratios) + (None,)
+    return SweepSpec(
+        name="fig16-decode-switch",
+        base=ScenarioSpec(
+            mode="engine",
+            workload=WorkloadSpec(scale=scale_factor, seed=seed),
+            fleet=FleetSpec(node=node, num_gpus=num_gpus, replicas=1),
+            engine=EngineSpec(system="TD-Pipe", model=model),
+        ),
+        axes=(SweepAxis("engine.decode_policy", axis),),
+    )
+
+
 def run(
     scale: ExperimentScale | None = None,
     ratios: tuple[float, ...] = DEFAULT_RATIOS,
     configs: tuple[tuple[str, str], ...] = DEFAULT_CONFIGS,
     num_gpus: int = 4,
+    store: api.ArtifactStore | None = None,
 ) -> list[DecodeSwitchAblation]:
+    """Run the registered ``fig16-decode-switch`` grid per config."""
     scale = scale or default_scale()
     out = []
     for gpu_name, model_name in configs:
-        ratio_tp: dict[float, float] = {}
-        for r in ratios:
-            res = run_system(
-                "TD-Pipe",
-                gpu_name,
-                model_name,
-                requests=eval_requests(scale),
-                scale=scale,
-                num_gpus=num_gpus,
-                decode_policy=FinishRatioPolicy(ratio=r),
-            )
-            ratio_tp[r] = res.throughput
-        td = run_system(
-            "TD-Pipe",
-            gpu_name,
-            model_name,
-            requests=eval_requests(scale),
-            scale=scale,
+        sweep = decode_switch_spec(
+            node=gpu_name,
+            model=model_name,
+            ratios=ratios,
             num_gpus=num_gpus,
+            scale_factor=scale.factor,
+            seed=scale.seed,
         )
+        ratio_tp: dict[float, float] = {}
+        tdpipe_tp = 0.0
+        for artifact in run_sweep(sweep, store=store):
+            policy = artifact.spec.engine.decode_policy
+            if policy is None:
+                tdpipe_tp = artifact.result.throughput
+            else:
+                ratio_tp[policy["ratio"]] = artifact.result.throughput
         out.append(
             DecodeSwitchAblation(
                 node=gpu_name,
                 model=model_name,
                 ratio_throughputs=ratio_tp,
-                tdpipe_throughput=td.throughput,
+                tdpipe_throughput=tdpipe_tp,
             )
         )
     return out

@@ -129,8 +129,14 @@ class ClusterResult:
             return 0.0
         return max(counts) / (sum(counts) / len(counts))
 
-    def to_record(self) -> dict:
-        """Flat, JSON-ready metric record (benchmark artifacts, CI smoke)."""
+    def to_record(self, detail: bool = True) -> dict:
+        """JSON-ready metric record (benchmark artifacts, CI smoke, store).
+
+        The flat top-level keys are the *metrics* — what replay/diff compare
+        and CI smoke asserts on.  ``detail`` adds the full-fidelity state
+        (per-replica records, fleet timeline, per-class SLO stats, latency)
+        that :meth:`from_record` needs to reconstruct an equal object.
+        """
         record = {
             "system": self.system,
             "router": self.router,
@@ -138,6 +144,8 @@ class ClusterResult:
             "fleet": list(self.extras.get("fleet_nodes", [])),
             "makespan_s": self.makespan,
             "completed_requests": self.completed_requests,
+            "total_prompt_tokens": self.total_prompt_tokens,
+            "total_output_tokens": self.total_output_tokens,
             "goodput_rps": self.goodput,
             "throughput_tps": self.throughput,
             "output_throughput_tps": self.output_throughput,
@@ -157,7 +165,66 @@ class ClusterResult:
                 ttft_p99_s=self.latency.ttft_p99,
                 tpot_p99_s=self.latency.tpot_p99,
             )
+        if detail:
+            record["detail"] = {
+                "replica_results": [
+                    r.to_record(detail=True) for r in self.replica_results
+                ],
+                "fleet_timeline": [[t, n] for t, n in self.fleet_timeline],
+                "replica_active_time": list(self.replica_active_time),
+                "slo_stats": {
+                    name: stats.to_record()
+                    for name, stats in self.slo_attainment.items()
+                },
+                "latency": (
+                    None if self.latency is None else self.latency.to_record()
+                ),
+                "extras": dict(self.extras),
+            }
         return record
+
+    @classmethod
+    def from_record(cls, record: dict) -> "ClusterResult":
+        """Reconstruct an equal :class:`ClusterResult` from :meth:`to_record`.
+
+        Requires the record's ``detail`` section; artifact-level keys riding
+        alongside (``spec``, ``wall_time_s``, ...) are ignored.
+        """
+        try:
+            detail = record["detail"]
+        except KeyError:
+            raise ValueError(
+                "record lacks the 'detail' section; only full records "
+                "(to_record(detail=True)) reconstruct to a ClusterResult"
+            ) from None
+        return cls(
+            system=record["system"],
+            router=record["router"],
+            num_replicas=int(record["num_replicas"]),
+            makespan=float(record["makespan_s"]),
+            completed_requests=int(record["completed_requests"]),
+            total_prompt_tokens=int(record["total_prompt_tokens"]),
+            total_output_tokens=int(record["total_output_tokens"]),
+            replica_results=[
+                RunResult.from_record(r) for r in detail["replica_results"]
+            ],
+            requests_per_replica=[int(n) for n in record["requests_per_replica"]],
+            latency=(
+                None
+                if detail["latency"] is None
+                else LatencyStats.from_record(detail["latency"])
+            ),
+            slo_attainment={
+                name: SLOClassStats.from_record(stats)
+                for name, stats in detail["slo_stats"].items()
+            },
+            fleet_timeline=[
+                (float(t), int(n)) for t, n in detail["fleet_timeline"]
+            ],
+            replica_active_time=[float(t) for t in detail["replica_active_time"]],
+            capacity_scores=[float(c) for c in record["capacity_scores"]],
+            extras=dict(detail["extras"]),
+        )
 
     def summary(self) -> str:
         lat = ""

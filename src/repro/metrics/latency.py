@@ -14,13 +14,26 @@ from typing import Iterable
 import numpy as np
 
 from ..runtime.state import RequestState
+from .serde import decode_float, encode_float
 
 __all__ = ["LatencyStats", "compute_latency_stats"]
 
 
-@dataclass(frozen=True)
+_FLOAT_FIELDS = (
+    "ttft_mean", "ttft_p50", "ttft_p99",
+    "tpot_mean", "tpot_p99", "latency_mean", "latency_p99",
+)
+
+
+@dataclass(frozen=True, eq=False)
 class LatencyStats:
-    """Summary statistics over completed requests (seconds)."""
+    """Summary statistics over completed requests (seconds).
+
+    Equality is NaN-tolerant: a run where nothing finished carries NaN
+    percentiles, and two such stats must still compare equal so records
+    round-trip (``from_record(to_record(x)) == x``) even for degenerate
+    runs — plain dataclass equality would fail on ``NaN != NaN``.
+    """
 
     count: int
     ttft_mean: float
@@ -31,11 +44,38 @@ class LatencyStats:
     latency_mean: float
     latency_p99: float
 
+    def _key(self) -> tuple:
+        # encode_float maps NaN to the string "nan", making it compare equal.
+        return (self.count, *(encode_float(getattr(self, f)) for f in _FLOAT_FIELDS))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LatencyStats):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
     def summary(self) -> str:
         return (
             f"TTFT mean {self.ttft_mean:.2f}s p99 {self.ttft_p99:.2f}s | "
             f"TPOT mean {self.tpot_mean * 1e3:.1f}ms p99 {self.tpot_p99 * 1e3:.1f}ms | "
             f"latency mean {self.latency_mean:.2f}s p99 {self.latency_p99:.2f}s"
+        )
+
+    def to_record(self) -> dict:
+        """JSON-ready field dict (NaN percentiles of empty runs encoded)."""
+        record = {"count": self.count}
+        for name in _FLOAT_FIELDS:
+            record[name] = encode_float(getattr(self, name))
+        return record
+
+    @classmethod
+    def from_record(cls, record: dict) -> "LatencyStats":
+        """Inverse of :meth:`to_record`."""
+        return cls(
+            count=int(record["count"]),
+            **{name: decode_float(record[name]) for name in _FLOAT_FIELDS},
         )
 
 

@@ -96,8 +96,14 @@ class RunResult:
         phases = [s.phase for s in self.kv_log]
         return steps, usage, phases
 
-    def to_record(self) -> dict:
-        """Flat, JSON-ready metric record (benchmark artifacts, CI smoke)."""
+    def to_record(self, detail: bool = True) -> dict:
+        """JSON-ready metric record (benchmark artifacts, CI smoke, store).
+
+        The flat top-level keys are the *metrics* — what replay/diff compare
+        and CI smoke asserts on.  ``detail`` adds the full-fidelity state
+        (trace, KV log, phase spans, latency, extras) that
+        :meth:`from_record` needs to reconstruct an equal object.
+        """
         record = {
             "system": self.system,
             "node": self.node,
@@ -112,6 +118,8 @@ class RunResult:
             "mean_utilization": self.mean_utilization,
             "phase_switches": self.phase_switches,
             "recomputations": self.recomputations,
+            "decode_steps": self.decode_steps,
+            "prefill_batches": self.prefill_batches,
         }
         if self.latency is not None and self.latency.count:
             record.update(
@@ -119,7 +127,66 @@ class RunResult:
                 ttft_p99_s=self.latency.ttft_p99,
                 tpot_p99_s=self.latency.tpot_p99,
             )
+        if detail:
+            record["detail"] = {
+                "trace": self.trace.to_record(),
+                "kv_log": [
+                    [s.step, s.time, s.usage_ratio, s.phase] for s in self.kv_log
+                ],
+                "phase_spans": [
+                    [p.phase, p.start, p.end] for p in self.phase_spans
+                ],
+                "latency": (
+                    None if self.latency is None else self.latency.to_record()
+                ),
+                "extras": dict(self.extras),
+            }
         return record
+
+    @classmethod
+    def from_record(cls, record: dict) -> "RunResult":
+        """Reconstruct an equal :class:`RunResult` from :meth:`to_record`.
+
+        Requires the record's ``detail`` section; artifact-level keys riding
+        alongside (``spec``, ``wall_time_s``, ...) are ignored, so a merged
+        :class:`~repro.api.runner.RunArtifact` record works directly.
+        """
+        try:
+            detail = record["detail"]
+        except KeyError:
+            raise ValueError(
+                "record lacks the 'detail' section; only full records "
+                "(to_record(detail=True)) reconstruct to a RunResult"
+            ) from None
+        return cls(
+            system=record["system"],
+            node=record["node"],
+            model=record["model"],
+            num_devices=int(record["num_devices"]),
+            makespan=float(record["makespan_s"]),
+            completed_requests=int(record["completed_requests"]),
+            total_prompt_tokens=int(record["total_prompt_tokens"]),
+            total_output_tokens=int(record["total_output_tokens"]),
+            trace=TraceRecorder.from_record(detail["trace"]),
+            kv_log=[
+                KVUsageSample(int(step), float(t), float(ratio), str(phase))
+                for step, t, ratio, phase in detail["kv_log"]
+            ],
+            phase_spans=[
+                PhaseSpan(str(phase), float(s), float(e))
+                for phase, s, e in detail["phase_spans"]
+            ],
+            phase_switches=int(record["phase_switches"]),
+            recomputations=int(record["recomputations"]),
+            decode_steps=int(record["decode_steps"]),
+            prefill_batches=int(record["prefill_batches"]),
+            latency=(
+                None
+                if detail["latency"] is None
+                else LatencyStats.from_record(detail["latency"])
+            ),
+            extras=dict(detail["extras"]),
+        )
 
     def summary(self) -> str:
         return (

@@ -1,0 +1,34 @@
+"""Serialization helpers shared by the metric record schemas.
+
+Strict JSON has no spelling for the non-finite floats that legitimately
+appear in metric records (``math.inf`` deadlines on unbounded SLO axes, NaN
+latency statistics for runs where nothing finished).  ``encode_float`` /
+``decode_float`` map them to the sentinel strings ``"inf"``/``"-inf"``/
+``"nan"`` so every record survives ``json.dumps(..., allow_nan=False)`` and
+reconstructs bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["encode_float", "decode_float"]
+
+_ENCODED = {math.inf: "inf", -math.inf: "-inf"}
+
+
+def encode_float(value: float) -> float | str:
+    """JSON-safe float: non-finite values become sentinel strings."""
+    value = float(value)
+    if math.isnan(value):
+        return "nan"
+    if math.isinf(value):
+        return _ENCODED[value]
+    return value
+
+
+def decode_float(value: float | str) -> float:
+    """Inverse of :func:`encode_float`."""
+    if isinstance(value, str):
+        return float(value)  # float("nan"/"inf"/"-inf") does the right thing
+    return float(value)

@@ -14,6 +14,7 @@ from typing import Iterable
 
 from ..runtime.state import RequestState
 from ..workload.slo import SLOClass
+from .serde import decode_float, encode_float
 
 __all__ = ["SLOClassStats", "compute_slo_attainment"]
 
@@ -37,6 +38,36 @@ class SLOClassStats:
             f"{self.slo.name}: {self.attainment * 100:.1f}% of {self.count} "
             f"(TTFT {self.ttft_attainment * 100:.1f}%, "
             f"TPOT {self.tpot_attainment * 100:.1f}%)"
+        )
+
+    def to_record(self) -> dict:
+        """JSON-ready field dict (infinite deadlines encoded as strings)."""
+        return {
+            "slo": {
+                "name": self.slo.name,
+                "ttft_deadline_s": encode_float(self.slo.ttft_deadline_s),
+                "tpot_deadline_s": encode_float(self.slo.tpot_deadline_s),
+            },
+            "count": self.count,
+            "ttft_attainment": self.ttft_attainment,
+            "tpot_attainment": self.tpot_attainment,
+            "attainment": self.attainment,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "SLOClassStats":
+        """Inverse of :meth:`to_record`."""
+        slo = record["slo"]
+        return cls(
+            slo=SLOClass(
+                name=str(slo["name"]),
+                ttft_deadline_s=decode_float(slo["ttft_deadline_s"]),
+                tpot_deadline_s=decode_float(slo["tpot_deadline_s"]),
+            ),
+            count=int(record["count"]),
+            ttft_attainment=float(record["ttft_attainment"]),
+            tpot_attainment=float(record["tpot_attainment"]),
+            attainment=float(record["attainment"]),
         )
 
 

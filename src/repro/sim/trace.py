@@ -39,6 +39,30 @@ class Timeline:
         self.gpu_index = gpu_index
         self._intervals: list[BusyInterval] = []
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Timeline):
+            return NotImplemented
+        return (
+            self.gpu_index == other.gpu_index
+            and self._intervals == other._intervals
+        )
+
+    def __repr__(self) -> str:
+        return f"Timeline(gpu_index={self.gpu_index}, intervals={len(self._intervals)})"
+
+    def to_record(self) -> list[list]:
+        """JSON-ready interval list ``[[start, end, tag], ...]``."""
+        return [[iv.start, iv.end, iv.tag] for iv in self._intervals]
+
+    @classmethod
+    def from_record(cls, gpu_index: int, record: list) -> "Timeline":
+        """Inverse of :meth:`to_record`."""
+        timeline = cls(gpu_index)
+        timeline._intervals = [
+            BusyInterval(float(s), float(e), str(tag)) for s, e, tag in record
+        ]
+        return timeline
+
     def record(self, start: float, end: float, tag: str = "") -> None:
         """Append a busy interval; overlapping a previous one is a scheduler bug."""
         if self._intervals and start < self._intervals[-1].end - 1e-12:
@@ -104,6 +128,27 @@ class TraceRecorder:
 
     def __getitem__(self, gpu_index: int) -> Timeline:
         return self.timelines[gpu_index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceRecorder):
+            return NotImplemented
+        return self.timelines == other.timelines
+
+    def __repr__(self) -> str:
+        return f"TraceRecorder(num_gpus={self.num_gpus})"
+
+    def to_record(self) -> list[list[list]]:
+        """JSON-ready nested interval lists, one entry per GPU."""
+        return [t.to_record() for t in self.timelines]
+
+    @classmethod
+    def from_record(cls, record: list) -> "TraceRecorder":
+        """Inverse of :meth:`to_record`."""
+        trace = cls(num_gpus=len(record))
+        trace.timelines = [
+            Timeline.from_record(i, intervals) for i, intervals in enumerate(record)
+        ]
+        return trace
 
     @property
     def num_gpus(self) -> int:

@@ -1,0 +1,532 @@
+"""Tests for the artifact store and the record/replay/diff workflow.
+
+Covers the full record round-trip (``from_record(to_record(x))`` equality
+through actual JSON for `RunResult`/`ClusterResult`/`RunArtifact`), stable
+content addressing (key order, float canonicalization, cross-process), the
+store's put/resolve/index behavior, replay determinism (record then replay
+reports zero diffs), structural diffing with tolerances, and the CLI
+``record``/``replay``/``diff`` subcommands.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro import api
+from repro.api.store.canonical import canonical_json, canonicalize
+from repro.metrics.cluster import ClusterResult
+from repro.metrics.latency import LatencyStats
+from repro.metrics.results import RunResult
+from repro.metrics.slo import SLOClassStats
+
+SCALE = 0.02
+
+
+def engine_spec(**engine_kwargs) -> api.ScenarioSpec:
+    engine = dict(system="TP+SB", model="13B")
+    engine.update(engine_kwargs)
+    return api.ScenarioSpec(
+        name="engine-test",
+        mode="engine",
+        workload=api.WorkloadSpec(scale=SCALE, seed=0),
+        fleet=api.FleetSpec(node="L20", num_gpus=2),
+        engine=api.EngineSpec(**engine),
+    )
+
+
+def cluster_spec(router: str = "jsq") -> api.ScenarioSpec:
+    return api.ScenarioSpec(
+        name="cluster-test",
+        mode="cluster",
+        workload=api.WorkloadSpec(
+            scale=SCALE, seed=0, arrival="poisson", rate_rps=8.0,
+            slo_mix={"interactive": 0.7, "batch": 0.3},
+        ),
+        fleet=api.FleetSpec(fleet="l20:1,a100:1"),
+        engine=api.EngineSpec(system="TD-Pipe", model="13B"),
+        control=api.ControlSpec(router=router, autoscale=True),
+    )
+
+
+@pytest.fixture(scope="module")
+def engine_artifact() -> api.RunArtifact:
+    return api.run(engine_spec())
+
+
+@pytest.fixture(scope="module")
+def cluster_artifact() -> api.RunArtifact:
+    return api.run(cluster_spec())
+
+
+def through_json(record: dict) -> dict:
+    """Round-trip through real JSON text, as the store does on disk."""
+    return json.loads(json.dumps(record, allow_nan=False))
+
+
+# --------------------------------------------------------------------- #
+# Record round-trips.
+# --------------------------------------------------------------------- #
+class TestRecordRoundTrip:
+    def test_run_result_round_trip_equality(self, engine_artifact):
+        result = engine_artifact.result
+        rebuilt = RunResult.from_record(through_json(result.to_record()))
+        assert rebuilt == result
+        assert rebuilt.trace == result.trace
+        assert rebuilt.summary() == result.summary()
+        assert rebuilt.throughput == result.throughput
+
+    def test_cluster_result_round_trip_equality(self, cluster_artifact):
+        result = cluster_artifact.result
+        rebuilt = ClusterResult.from_record(through_json(result.to_record()))
+        assert rebuilt == result
+        assert rebuilt.replica_results == result.replica_results
+        assert rebuilt.fleet_timeline == result.fleet_timeline
+        assert rebuilt.summary() == result.summary()
+
+    def test_artifact_round_trip_equality(self, cluster_artifact):
+        rebuilt = api.RunArtifact.from_record(
+            through_json(cluster_artifact.to_record())
+        )
+        assert rebuilt == cluster_artifact
+
+    def test_lean_record_cannot_reconstruct(self, engine_artifact):
+        lean = engine_artifact.to_record(detail=False)
+        assert "detail" not in lean
+        with pytest.raises(ValueError, match="detail"):
+            RunResult.from_record(lean)
+
+    def test_latency_stats_round_trip_with_nan(self):
+        nan = float("nan")
+        empty = LatencyStats(0, nan, nan, nan, nan, nan, nan, nan)
+        rebuilt = LatencyStats.from_record(through_json(empty.to_record()))
+        assert rebuilt.count == 0
+        assert rebuilt.ttft_p99 != rebuilt.ttft_p99  # NaN preserved
+        # Equality is NaN-tolerant so even degenerate runs round-trip equal.
+        assert rebuilt == empty
+        assert hash(rebuilt) == hash(empty)
+        assert empty != LatencyStats(0, nan, nan, 1.0, nan, nan, nan, nan)
+
+    def test_slo_stats_round_trip_with_inf_deadline(self):
+        from repro.workload.slo import SLOClass
+
+        stats = SLOClassStats(
+            slo=SLOClass("lax", ttft_deadline_s=float("inf")),
+            count=3, ttft_attainment=1.0, tpot_attainment=1.0, attainment=1.0,
+        )
+        rebuilt = SLOClassStats.from_record(through_json(stats.to_record()))
+        assert rebuilt == stats
+
+    def test_bad_kind_rejected(self, engine_artifact):
+        record = engine_artifact.to_record()
+        record["kind"] = "quantum"
+        with pytest.raises(ValueError, match="kind"):
+            api.RunArtifact.from_record(record)
+
+
+# --------------------------------------------------------------------- #
+# Content addressing.
+# --------------------------------------------------------------------- #
+class TestContentHash:
+    def test_identical_specs_hash_equal(self):
+        assert api.content_hash(cluster_spec()) == api.content_hash(cluster_spec())
+
+    def test_key_order_does_not_matter(self):
+        spec = cluster_spec()
+        data = spec.to_dict()
+        shuffled = dict(reversed(list(data.items())))
+        shuffled["workload"] = dict(reversed(list(data["workload"].items())))
+        assert api.content_hash(api.ScenarioSpec.from_dict(shuffled)) == (
+            api.content_hash(spec)
+        )
+
+    def test_float_canonicalization(self):
+        # 8 and 8.0 are the same rate; -0.0 is 0.0.
+        a = cluster_spec().with_overrides({"workload.rate_rps": 8})
+        b = cluster_spec().with_overrides({"workload.rate_rps": 8.0})
+        assert a == b
+        assert api.content_hash(a) == api.content_hash(b)
+        assert canonicalize(8.0) == 8 and canonicalize(-0.0) == 0
+        assert canonicalize(0.1) == 0.1
+
+    def test_resolved_and_auto_mode_share_identity(self):
+        spec = api.ScenarioSpec(fleet=api.FleetSpec(replicas=2))
+        assert spec.mode == "auto"
+        assert api.content_hash(spec) == api.content_hash(spec.resolved())
+
+    def test_name_is_a_label_not_an_identity(self):
+        import dataclasses
+
+        spec = cluster_spec()
+        renamed = dataclasses.replace(spec, name="renamed")
+        assert api.content_hash(renamed) == api.content_hash(spec)
+
+    def test_any_spec_change_changes_identity(self):
+        assert api.content_hash(cluster_spec("jsq")) != (
+            api.content_hash(cluster_spec("round-robin"))
+        )
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            canonical_json({"x": float("inf")})
+
+    def test_stable_across_processes(self):
+        spec = cluster_spec()
+        expected = api.content_hash(spec)
+        code = (
+            "import json, sys\n"
+            "from repro import api\n"
+            "spec = api.ScenarioSpec.from_dict(json.loads(sys.argv[1]))\n"
+            "print(api.content_hash(spec))\n"
+        )
+        src = str(Path(__file__).parent.parent / "src")
+        for seed in ("0", "1", "random"):
+            out = subprocess.run(
+                [sys.executable, "-c", code, spec.to_json()],
+                capture_output=True, text=True, check=True,
+                env={"PYTHONPATH": src, "PYTHONHASHSEED": seed, "PATH": "/usr/bin"},
+            )
+            assert out.stdout.strip() == expected, f"PYTHONHASHSEED={seed}"
+
+
+# --------------------------------------------------------------------- #
+# The store.
+# --------------------------------------------------------------------- #
+class TestArtifactStore:
+    def test_put_get_round_trip(self, tmp_path, cluster_artifact):
+        store = api.ArtifactStore(tmp_path / "store")
+        ref = store.put(cluster_artifact)
+        assert ref == api.content_hash(cluster_artifact.spec)
+        assert ref in store and len(store) == 1
+        assert store.get(ref) == cluster_artifact
+
+    def test_record_files_are_pure_records(self, tmp_path, engine_artifact):
+        store = api.ArtifactStore(tmp_path / "store")
+        ref = store.put(engine_artifact)
+        on_disk = json.loads((store.records_dir / f"{ref}.json").read_text())
+        assert on_disk == engine_artifact.to_record()
+
+    def test_resolve_prefix_name_and_errors(self, tmp_path, cluster_artifact,
+                                            engine_artifact):
+        store = api.ArtifactStore(tmp_path / "store")
+        ref_c = store.put(cluster_artifact)
+        ref_e = store.put(engine_artifact)
+        assert store.resolve(ref_c[:10]) == ref_c
+        assert store.resolve("cluster-test") == ref_c
+        assert store.resolve("engine-test") == ref_e
+        with pytest.raises(KeyError, match="no record matches"):
+            store.resolve("doesnotexist")
+        with pytest.raises(KeyError, match="ambiguous"):
+            store.resolve("")  # empty prefix matches both
+
+    def test_same_spec_overwrites_one_entry(self, tmp_path, engine_artifact):
+        store = api.ArtifactStore(tmp_path / "store")
+        store.put(engine_artifact)
+        store.put(engine_artifact)
+        assert len(store) == 1
+        assert len(store.session_refs) == 2
+
+    def test_index_is_human_readable(self, tmp_path, cluster_artifact):
+        store = api.ArtifactStore(tmp_path / "store")
+        ref = store.put(cluster_artifact)
+        index = json.loads(store.index_path.read_text())
+        entry = index["entries"][ref]
+        assert entry["name"] == "cluster-test"
+        assert entry["kind"] == "cluster"
+        assert entry["file"] == f"records/{ref}.json"
+        assert entry["throughput_tps"] > 0
+
+    def test_opaque_artifacts_rejected(self, tmp_path):
+        from repro.experiments.common import eval_requests, default_scale
+
+        scale = default_scale(factor=SCALE)
+        artifact = api.run(engine_spec(), requests=eval_requests(scale))
+        store = api.ArtifactStore(tmp_path / "store")
+        with pytest.raises(ValueError, match="opaque"):
+            store.put(artifact)
+        store.put(artifact, allow_opaque=True)
+        assert len(store) == 1
+
+    def test_run_with_store_files_artifact(self, tmp_path):
+        store = api.ArtifactStore(tmp_path / "store")
+        artifact = api.run(engine_spec(), store=store)
+        assert store.get(store.session_refs[0]) == artifact
+
+    def test_run_sweep_with_store_tags_overrides(self, tmp_path):
+        import dataclasses
+
+        sweep = api.SweepSpec(
+            name="ws",
+            base=dataclasses.replace(engine_spec(), name=None),
+            axes=(api.SweepAxis("engine.work_stealing", (True, False)),),
+        )
+        store = api.ArtifactStore(tmp_path / "store")
+        artifacts = api.run_sweep(sweep, store=store)
+        assert len(store) == 2
+        for artifact, ref in zip(artifacts, store.session_refs):
+            stored = store.get(ref)
+            assert stored == artifact
+            assert stored.overrides == artifact.overrides
+            assert stored.spec.name == "ws"  # sweep name stamped on points
+
+
+# --------------------------------------------------------------------- #
+# Replay and diff.
+# --------------------------------------------------------------------- #
+class TestReplayAndDiff:
+    def test_record_then_replay_reports_zero_diffs(self, tmp_path,
+                                                   cluster_artifact):
+        """The acceptance keystone: a seeded scenario replays drift-free."""
+        store = api.ArtifactStore(tmp_path / "store")
+        ref = store.put(cluster_artifact)
+        report = api.replay(ref, store, strict=True)
+        assert report.ok and not report.drifted
+        assert len(report.diffs) > 10  # actually compared something
+        assert "zero drift" in report.summary()
+
+    def test_replay_detects_drift(self, tmp_path, engine_artifact):
+        store = api.ArtifactStore(tmp_path / "store")
+        ref = store.put(engine_artifact)
+        # Corrupt one recorded metric: replay must flag exactly that drift.
+        path = store.records_dir / f"{ref}.json"
+        record = json.loads(path.read_text())
+        record["throughput_tps"] *= 1.5
+        record["completed_requests"] += 1
+        path.write_text(json.dumps(record))
+        report = api.replay(ref, store, strict=True)
+        assert not report.ok
+        drifted = {d.metric for d in report.drifted}
+        assert drifted == {"throughput_tps", "completed_requests"}
+
+    def test_tolerances_forgive_small_drift(self, tmp_path, engine_artifact):
+        store = api.ArtifactStore(tmp_path / "store")
+        ref = store.put(engine_artifact)
+        path = store.records_dir / f"{ref}.json"
+        record = json.loads(path.read_text())
+        record["throughput_tps"] *= 1.0001
+        path.write_text(json.dumps(record))
+        loose = api.replay(
+            ref, store, tolerances={"throughput_tps": api.Tolerance(rel=1e-3)}
+        )
+        assert loose.ok
+        strict = api.replay(ref, store, strict=True)
+        assert not strict.ok
+
+    def test_replay_all(self, tmp_path, engine_artifact, cluster_artifact):
+        store = api.ArtifactStore(tmp_path / "store")
+        store.put(engine_artifact)
+        store.put(cluster_artifact)
+        reports = api.replay_all(store, strict=True)
+        assert len(reports) == 2 and all(r.ok for r in reports)
+
+    def test_diff_refs_same_and_different(self, tmp_path, cluster_artifact):
+        store = api.ArtifactStore(tmp_path / "store")
+        ref_a = store.put(cluster_artifact)
+        ref_b = store.put(api.run(cluster_spec("round-robin")))
+        same = api.diff_refs(ref_a, ref_a, store)
+        assert same.ok
+        different = api.diff_refs(ref_a, ref_b, store)
+        assert not different.ok
+        assert any(d.metric == "router" for d in different.drifted)
+
+    def test_diff_across_two_stores(self, tmp_path, engine_artifact):
+        store_a = api.ArtifactStore(tmp_path / "a")
+        store_b = api.ArtifactStore(tmp_path / "b")
+        ref = store_a.put(engine_artifact)
+        store_b.put(engine_artifact)
+        report = api.diff_refs(ref, ref, store_a, store_b=store_b)
+        assert report.ok
+
+    def test_compare_records_missing_key(self):
+        diffs = api.compare_records(
+            {"throughput_tps": 1.0, "extra": 2}, {"throughput_tps": 1.0}
+        )
+        assert [d for d in diffs if not d.within][0].metric == "extra"
+
+
+# --------------------------------------------------------------------- #
+# Registered figure grids.
+# --------------------------------------------------------------------- #
+class TestFigureRegistry:
+    def test_fig_scenarios_registered(self):
+        names = api.scenario_names()
+        for expected in (
+            "fig11-overall", "fig13-prefill-switch", "fig16-decode-switch",
+        ):
+            assert expected in names, names
+
+    def test_fig11_grid_shape(self):
+        sweep = api.get_scenario(
+            "fig11-overall", device_counts=(2, 4), systems=("TP+SB", "TD-Pipe"),
+            scale_factor=SCALE,
+        )
+        assert isinstance(sweep, api.SweepSpec)
+        assert sweep.num_points == 4
+        points = sweep.expand()
+        assert points[0].spec.mode == "engine"
+        assert points[0].overrides == {
+            "fleet.num_gpus": 2, "engine.system": "TP+SB",
+        }
+
+    def test_fig13_fig16_axis_includes_adaptive_default(self):
+        for name, field in (
+            ("fig13-prefill-switch", "prefill_policy"),
+            ("fig16-decode-switch", "decode_policy"),
+        ):
+            sweep = api.get_scenario(name, ratios=(0.5,), scale_factor=SCALE)
+            policies = [
+                getattr(p.spec.engine, field) for p in sweep.expand()
+            ]
+            assert None in policies and len(policies) == 2
+
+    def test_fig11_run_files_store_artifacts(self, tmp_path):
+        from repro.experiments import fig11_overall
+        from repro.experiments.common import default_scale
+
+        store = api.ArtifactStore(tmp_path / "store")
+        res = fig11_overall.run(
+            scale=default_scale(factor=SCALE),
+            combos=(("L20", "13B"),),
+            device_counts=(2,),
+            systems=("TP+SB",),
+            store=store,
+        )
+        assert len(res.cells) == len(res.artifacts) == len(store) == 1
+        stored = store.get(store.refs()[0])
+        assert stored.spec.engine.system == "TP+SB"
+        assert stored.result.throughput == res.cells[0].throughput
+        assert api.replay(store.refs()[0], store, strict=True).ok
+
+    def test_fig11_oom_cells_skip_store(self, tmp_path):
+        from repro.experiments import fig11_overall
+        from repro.experiments.common import default_scale
+
+        store = api.ArtifactStore(tmp_path / "store")
+        res = fig11_overall.run(
+            scale=default_scale(factor=SCALE),
+            combos=(("L20", "32B"),),
+            device_counts=(1,),
+            systems=("TP+SB",),
+            store=store,
+        )
+        assert res.cells[0].oom and len(store) == 0
+
+
+# --------------------------------------------------------------------- #
+# CLI record / replay / diff.
+# --------------------------------------------------------------------- #
+class TestCLIStore:
+    def test_record_replay_diff_round_trip(self, capsys, tmp_path):
+        from repro.cli import main
+
+        spec_path = tmp_path / "scenario.json"
+        spec_path.write_text(engine_spec().to_json())
+        store = str(tmp_path / "store")
+        assert main(["record", str(spec_path), "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "1 record(s)" in out
+        assert main(["replay", "--store", store, "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "zero drift" in out and "all reproduce" in out
+        assert main([
+            "diff", "engine-test", "engine-test", "--store", store,
+        ]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_record_registry_name_with_set(self, capsys, tmp_path):
+        from repro.cli import main
+
+        store = str(tmp_path / "store")
+        assert main([
+            "record", "fig15-work-stealing",
+            "--set", f"workload.scale={SCALE}", "--store", store,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 record(s)" in out
+        assert len(api.ArtifactStore(store)) == 2
+
+    def test_replay_flags_corrupted_record_nonzero_exit(self, capsys, tmp_path):
+        from repro.cli import main
+
+        store_dir = tmp_path / "store"
+        store = api.ArtifactStore(store_dir)
+        ref = store.put(api.run(engine_spec()))
+        path = store.records_dir / f"{ref}.json"
+        record = json.loads(path.read_text())
+        record["throughput_tps"] *= 2
+        path.write_text(json.dumps(record))
+        assert main(["replay", "--store", str(store_dir), "--strict"]) == 1
+        assert "DRIFT" in capsys.readouterr().out
+
+    def test_replay_unknown_ref_exits(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["replay", "nope", "--store", str(tmp_path / "store")])
+
+    def test_diff_needs_two_refs(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["diff", "only-one", "--store", str(tmp_path / "store")])
+
+    def test_bench_json_allowed_for_registry_backed_experiment(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        out_path = tmp_path / "BENCH_fig15.json"
+        assert main([
+            "fig15", "--scale", str(SCALE), "--bench-json", str(out_path),
+        ]) == 0
+        record = json.loads(out_path.read_text())
+        assert record["kind"] == "store"
+        assert record["experiment"] == "fig15"
+        assert len(record["records"]) == 4
+        for rec in record["records"]:
+            assert "detail" not in rec
+            rebuilt = api.ScenarioSpec.from_dict(rec["spec"])
+            assert rebuilt.resolved() == rebuilt
+
+    def test_bench_json_still_rejected_for_static_experiments(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["table1", "--bench-json", "x.json"])
+
+    def test_strict_rejected_elsewhere(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["fig11", "--strict"])
+
+    def test_scale_flag_rejected_for_store_commands(self, tmp_path):
+        # --scale would be silently ignored (specs carry their own scale);
+        # filing wrong-scale records into a durable store must fail loudly.
+        from repro.cli import main
+
+        store = str(tmp_path / "store")
+        for argv in (
+            ["record", "cluster-hetero", "--scale", "0.02", "--store", store],
+            ["replay", "--seed", "1", "--store", store],
+            ["run", "--spec", "cluster-hetero", "--full"],
+        ):
+            with pytest.raises(SystemExit):
+                main(argv)
+
+    def test_bench_json_throwaway_store_is_cleaned_up(self, tmp_path, monkeypatch):
+        import glob
+
+        from repro.cli import main
+
+        monkeypatch.setattr(tempfile, "tempdir", str(tmp_path))
+        out_path = tmp_path / "BENCH.json"
+        assert main([
+            "fig15", "--scale", str(SCALE), "--bench-json", str(out_path),
+        ]) == 0
+        assert out_path.exists()
+        assert glob.glob(str(tmp_path / "tdpipe-store-*")) == []
