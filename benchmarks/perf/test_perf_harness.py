@@ -1,0 +1,50 @@
+"""Smoke the perf harness at miniature sizes.
+
+The real sizes (and the CI speedup gate) live in the ``perf-smoke`` CI job;
+here we only pin that the harness runs every section, emits the documented
+BENCH_perf.json shape, and that the parallel grid leg reproduces the serial
+records byte-for-byte.  No speedup assertion: test machines (and this
+container) may have a single core.
+"""
+
+from __future__ import annotations
+
+from repro.perf import format_report, run_perf_suite
+from repro.perf.harness import PERF_SCHEMA_VERSION, bench_kernel
+
+
+def test_kernel_bench_counts_every_event():
+    section = bench_kernel(5_000)
+    assert section["events"] == 5_000
+    assert section["events_per_sec"] > 0
+
+
+def test_suite_shape_and_record_identity():
+    report = run_perf_suite(
+        quick=True,
+        jobs=2,
+        kernel_events=10_000,
+        costmodel_calls=2_000,
+        cluster_scale=0.02,
+        grid_scale=0.02,
+    )
+    assert report["schema_version"] == PERF_SCHEMA_VERSION
+    assert report["kind"] == "perf"
+    assert set(report) >= {"kernel", "costmodel", "cluster", "grid"}
+
+    cost = report["costmodel"]
+    assert cost["decode_warm_calls_per_sec"] > cost["decode_cold_calls_per_sec"]
+    assert cost["prefill_warm_calls_per_sec"] > cost["prefill_cold_calls_per_sec"]
+
+    cluster = report["cluster"]
+    assert cluster["completed_requests"] > 0
+    assert cluster["throughput_tps"] > 0
+
+    grid = report["grid"]
+    assert grid["points"] == 7
+    assert grid["serial_points_per_sec"] > 0
+    assert grid["parallel_points_per_sec"] > 0
+    assert grid["records_identical"] is True
+
+    text = format_report(report)
+    assert "events/s" in text and "speedup" in text

@@ -26,6 +26,7 @@ the :mod:`registry <repro.api.registry>`, and ``tdpipe-bench run --spec
 scenario.json`` executes any of it from disk.
 """
 
+from .parallel import resolve_jobs, run_fresh_records, run_many
 from .registry import get_scenario, register_scenario, scenario_names
 from .runner import RunArtifact, load_spec, run, run_sweep
 from .store import (
@@ -68,6 +69,9 @@ __all__ = [
     "RunArtifact",
     "run",
     "run_sweep",
+    "run_many",
+    "run_fresh_records",
+    "resolve_jobs",
     "load_spec",
     "spec_from_dict",
     "spec_from_json",

@@ -1,0 +1,173 @@
+"""Process-pool execution of scenario specs: the parallel front door.
+
+PR 3/4 made every run a serializable :class:`~repro.api.spec.ScenarioSpec`
+and every result a reconstructible record — which turns sweep grids, figure
+ablations and store replays into embarrassingly parallel data.  This module
+cashes that in: :func:`run_many` serializes resolved specs into worker
+processes, each worker executes the one true :func:`repro.api.run`, and the
+parent reconstructs full-fidelity :class:`~repro.api.runner.RunArtifact`
+objects **in submission order**.
+
+Determinism contract
+--------------------
+The simulator is seeded and single-threaded, so a spec's result does not
+depend on which process executes it.  Parallel execution therefore yields
+
+* the same :class:`RunResult`/:class:`ClusterResult` objects,
+* the same content hashes (they cover the resolved spec only), and
+* the same store index (artifacts are filed in submission order by the
+  parent, never by the workers)
+
+as serial execution — only ``wall_time_s`` (per-host timing) differs.
+``jobs=None``/``0``/``1`` runs serially in-process, so the default path is
+byte-for-byte the pre-parallel behavior.
+
+Workers prefer the ``fork`` start method: they inherit the parent's warmed
+imports, dataset/predictor caches and hash seed, so pool startup is
+milliseconds and cross-process hash identity matches the in-process runs.
+``spawn`` is the portable fallback.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from .runner import RunArtifact
+    from .spec import ScenarioSpec
+
+__all__ = ["run_many", "run_fresh_records", "resolve_jobs"]
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value into a worker count.
+
+    ``None``/``0``/``1`` mean serial; a negative value means "all cores".
+    """
+    if jobs is None or jobs == 0:
+        return 1
+    if jobs < 0:
+        return max(os.cpu_count() or 1, 1)
+    return int(jobs)
+
+
+def _mp_context():
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+# --------------------------------------------------------------------- #
+# Worker entry points (top-level so every start method can import them).
+# --------------------------------------------------------------------- #
+def _execute_payload(payload: str) -> dict[str, Any] | None:
+    """One resolved-spec JSON in, one full artifact record out (or ``None``
+    for an OOM layout when the payload asks for OOM tolerance)."""
+    from ..kvcache.capacity import OutOfMemoryError
+    from .runner import run
+    from .spec import ScenarioSpec
+
+    data = json.loads(payload)
+    spec = ScenarioSpec.from_dict(data["spec"])
+    try:
+        return run(spec).to_record(detail=True)
+    except OutOfMemoryError:
+        if data["oom_to_none"]:
+            return None
+        raise
+
+
+def _execute_fresh_payload(payload: str) -> dict[str, Any]:
+    """Replay worker: spec JSON in, detail-less metric record out."""
+    from .runner import run
+    from .spec import ScenarioSpec
+
+    spec = ScenarioSpec.from_dict(json.loads(payload))
+    return run(spec).to_record(detail=False)
+
+
+def _pool_map(fn, payloads: Sequence[str], jobs: int) -> list:
+    workers = min(jobs, len(payloads))
+    with ProcessPoolExecutor(max_workers=workers, mp_context=_mp_context()) as pool:
+        # Executor.map preserves submission order, so results (and any
+        # store filing done by the caller) are deterministic.
+        return list(pool.map(fn, payloads))
+
+
+# --------------------------------------------------------------------- #
+# The parallel executors.
+# --------------------------------------------------------------------- #
+def run_many(
+    specs: Iterable["ScenarioSpec"],
+    *,
+    jobs: int | None = None,
+    oom_to_none: bool = False,
+) -> list["RunArtifact | None"]:
+    """Execute many scenario specs, optionally on a process pool.
+
+    Parameters
+    ----------
+    specs:
+        Scenario specs to execute.  Each is resolved up front, so workers
+        and the serial path see identical inputs.
+    jobs:
+        Worker processes (see :func:`resolve_jobs`).  Serial by default.
+    oom_to_none:
+        When true, a spec whose layout cannot hold its model yields ``None``
+        instead of raising (fig11's grey OOM cells).
+
+    Returns the artifacts in the order the specs were given.  Callers file
+    them into a store themselves (after tagging sweep coordinates), in this
+    order, so parallel store indexes match serial ones.
+    """
+    from ..kvcache.capacity import OutOfMemoryError
+    from .runner import RunArtifact, run
+
+    resolved = [spec.resolved() for spec in specs]
+    n_jobs = resolve_jobs(jobs)
+    artifacts: list[RunArtifact | None]
+    if n_jobs <= 1 or len(resolved) <= 1:
+        artifacts = []
+        for spec in resolved:
+            try:
+                artifacts.append(run(spec))
+            except OutOfMemoryError:
+                if not oom_to_none:
+                    raise
+                artifacts.append(None)
+    else:
+        payloads = [
+            json.dumps({"spec": spec.to_dict(), "oom_to_none": oom_to_none})
+            for spec in resolved
+        ]
+        records = _pool_map(_execute_payload, payloads, n_jobs)
+        artifacts = [
+            None if record is None else RunArtifact.from_record(record)
+            for record in records
+        ]
+    return artifacts
+
+
+def run_fresh_records(
+    spec_dicts: Sequence[Mapping[str, Any]], *, jobs: int | None = None
+) -> list[dict[str, Any]]:
+    """Execute plain spec dicts; return detail-less records in order.
+
+    The parallel backend of :func:`repro.api.store.replay_all`: stored
+    records already carry their specs as plain data, so replaying a store is
+    a pure fan-out of (spec dict -> fresh metric record).
+    """
+    from .runner import run
+    from .spec import ScenarioSpec
+
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs <= 1 or len(spec_dicts) <= 1:
+        return [
+            run(ScenarioSpec.from_dict(d)).to_record(detail=False)
+            for d in spec_dicts
+        ]
+    payloads = [json.dumps(dict(d)) for d in spec_dicts]
+    return _pool_map(_execute_fresh_payload, payloads, n_jobs)

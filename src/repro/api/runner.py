@@ -311,26 +311,51 @@ def run(
 
 
 def run_sweep(
-    sweep: SweepSpec, *, store: Any | None = None, **kwargs: Any
+    sweep: SweepSpec,
+    *,
+    store: Any | None = None,
+    jobs: int | None = None,
+    **kwargs: Any,
 ) -> list[RunArtifact]:
     """Run every grid point of a :class:`SweepSpec` (nested-loop order).
 
     ``store`` files every point's artifact (tagged with its sweep
-    coordinates) under its own content hash.  ``kwargs`` are forwarded to
-    :func:`run` for each point (live-object overrides shared across the
-    grid, e.g. a pre-trained predictor).
+    coordinates) under its own content hash.  ``jobs`` executes the grid on
+    a process pool (see :mod:`repro.api.parallel`); results, hashes and the
+    store index are identical to the serial default.  ``kwargs`` are
+    forwarded to :func:`run` for each point (live-object overrides shared
+    across the grid, e.g. a pre-trained predictor) and are serial-only:
+    live objects cannot cross a process boundary.
     """
+    from .parallel import resolve_jobs, run_many
+
     if store is not None:
         from .store import as_store
 
         store = as_store(store)
-    artifacts = []
-    for point in sweep.expand():
-        artifact = run(point.spec, **kwargs)
+    points = sweep.expand()
+    if resolve_jobs(jobs) <= 1:
+        # Serial: run-tag-file incrementally, so an interrupted sweep keeps
+        # every completed point's record (the historic behavior).
+        artifacts = []
+        for point in points:
+            artifact = run(point.spec, **kwargs)
+            artifact.overrides = dict(point.overrides)
+            if store is not None:
+                store.put(artifact)
+            artifacts.append(artifact)
+        return artifacts
+    if kwargs:
+        raise ValueError(
+            "run_sweep(jobs>1) cannot carry live-object overrides "
+            f"({sorted(kwargs)}); they do not serialize across processes — "
+            "drop them or run with jobs=1"
+        )
+    artifacts = run_many([point.spec for point in points], jobs=jobs)
+    for artifact, point in zip(artifacts, points):
         artifact.overrides = dict(point.overrides)
         if store is not None:
             store.put(artifact)
-        artifacts.append(artifact)
     return artifacts
 
 

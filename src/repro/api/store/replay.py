@@ -24,7 +24,7 @@ from __future__ import annotations
 import os
 import re
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 from ..spec import ScenarioSpec
 from .canonical import short_ref
@@ -303,15 +303,47 @@ def replay(
 def replay_all(
     store: ArtifactStore | str | os.PathLike,
     *,
+    refs: Sequence[str] | None = None,
     tolerances: Mapping[str, Tolerance] | None = None,
     strict: bool = False,
+    jobs: int | None = None,
 ) -> list[ReplayReport]:
-    """Replay every record in the store (the full regression gate)."""
+    """Replay every record in the store (the full regression gate).
+
+    ``refs`` restricts the replay to the given refs (hash/prefix/name, in
+    the given order) instead of the whole store.  ``jobs`` re-executes the
+    stored specs on a process pool (the comparison itself stays in the
+    parent); reports are identical to the serial default because replay is
+    a pure function of each stored spec.
+    """
+    from ..parallel import resolve_jobs, run_fresh_records
+
     store = as_store(store)
-    return [
-        replay(ref, store, tolerances=tolerances, strict=strict)
-        for ref in store.refs()
-    ]
+    if refs is None:
+        refs = store.refs()
+    else:
+        refs = [store.resolve(ref) for ref in refs]
+    if resolve_jobs(jobs) <= 1:
+        return [
+            replay(ref, store, tolerances=tolerances, strict=strict)
+            for ref in refs
+        ]
+    records = [store.get_record(ref) for ref in refs]
+    fresh_records = run_fresh_records([r["spec"] for r in records], jobs=jobs)
+    reports = []
+    for ref, record, fresh in zip(refs, records, fresh_records):
+        diffs = compare_records(record, fresh, tolerances=tolerances, strict=strict)
+        reports.append(
+            ReplayReport(
+                ref=ref,
+                spec=ScenarioSpec.from_dict(record["spec"]),
+                recorded=record,
+                fresh=fresh,
+                diffs=diffs,
+                strict=strict,
+            )
+        )
+    return reports
 
 
 def diff_refs(

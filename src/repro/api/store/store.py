@@ -5,6 +5,8 @@ Layout on disk::
     <root>/
       index.json             # human-readable: ref -> name/kind/when/headline
       records/<sha256>.json  # one full-fidelity RunArtifact record each
+                             # (.json.gz in compressed stores; reads accept
+                             # either, so mixed stores stay readable)
 
 A record's key is :func:`~repro.api.store.canonical.content_hash` of its
 resolved spec, so recording the same scenario twice *updates* one entry
@@ -20,6 +22,7 @@ prefix, or a scenario name (resolving to its most recent record).
 
 from __future__ import annotations
 
+import gzip
 import json
 import os
 import time
@@ -44,10 +47,26 @@ _RECORDS = "records"
 
 
 class ArtifactStore:
-    """A directory of content-addressed run records plus a readable index."""
+    """A directory of content-addressed run records plus a readable index.
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    Compaction knobs for stores that hold hundreds of runs (parallel
+    sweeps): ``compress`` gzips new records (``records/<sha>.json.gz``,
+    deterministic bytes via ``mtime=0``), ``lean`` drops the full-fidelity
+    ``detail`` payload and keeps only spec + flat metrics.  Reads are always
+    transparent across plain/gzip records; lean records replay and diff
+    normally but cannot be reconstructed into live artifacts.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        *,
+        compress: bool = False,
+        lean: bool = False,
+    ) -> None:
         self.root = Path(root)
+        self.compress = compress
+        self.lean = lean
         #: Refs written by *this* process, in put() order (what a CLI
         #: invocation just produced, vs. whatever the directory already held).
         self.session_refs: list[str] = []
@@ -63,6 +82,9 @@ class ArtifactStore:
 
     def _record_path(self, ref: str) -> Path:
         return self.records_dir / f"{ref}.json"
+
+    def _gz_record_path(self, ref: str) -> Path:
+        return self.records_dir / f"{ref}.json.gz"
 
     # -- index ---------------------------------------------------------- #
     def _load_index(self) -> dict[str, Any]:
@@ -100,14 +122,25 @@ class ArtifactStore:
                 "its spec; pass allow_opaque=True to store it anyway"
             )
         ref = content_hash(artifact.spec)
-        record = artifact.to_record()
+        record = artifact.to_record(detail=not self.lean)
         self.records_dir.mkdir(parents=True, exist_ok=True)
-        record_path = self._record_path(ref)
-        tmp = record_path.with_suffix(".json.tmp")
-        with open(tmp, "w") as fh:
-            json.dump(record, fh, allow_nan=False)
-            fh.write("\n")
+        payload = json.dumps(record, allow_nan=False) + "\n"
+        record_path = (
+            self._gz_record_path(ref) if self.compress else self._record_path(ref)
+        )
+        tmp = record_path.with_name(record_path.name + ".tmp")
+        if self.compress:
+            # mtime=0 keeps the gzip bytes a pure function of the record, so
+            # serial and parallel sweeps produce byte-identical stores.
+            tmp.write_bytes(gzip.compress(payload.encode("utf-8"), mtime=0))
+        else:
+            tmp.write_text(payload)
         os.replace(tmp, record_path)
+        # Re-recording a spec with the other compression setting must not
+        # leave a stale sibling behind (reads prefer the plain file).
+        stale = self._record_path(ref) if self.compress else self._gz_record_path(ref)
+        if stale.exists():
+            stale.unlink()
 
         index = self._load_index()
         entry: dict[str, Any] = {
@@ -116,9 +149,11 @@ class ArtifactStore:
             "kind": artifact.kind,
             "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
             "describe": artifact.spec.describe(),
-            "file": f"{_RECORDS}/{ref}.json",
+            "file": f"{_RECORDS}/{record_path.name}",
             "throughput_tps": record.get("throughput_tps"),
         }
+        if self.lean:
+            entry["lean"] = True
         if artifact.overrides:
             entry["overrides"] = dict(artifact.overrides)
         index["next_seq"] += 1
@@ -170,16 +205,44 @@ class ArtifactStore:
         )
 
     def get_record(self, ref: str) -> dict[str, Any]:
-        """The raw record dict for a ref (full hash / prefix / name)."""
+        """The raw record dict for a ref (full hash / prefix / name).
+
+        Reads are transparent across plain and gzip records regardless of
+        this store's ``compress`` setting.  The file named by the index
+        entry wins when both compression variants exist (e.g. a ``put``
+        interrupted between writing the new variant and unlinking the old
+        one): the index is only updated after a record write completes, so
+        it always names the last *completed* put.
+        """
         full = self.resolve(ref)
-        with open(self._record_path(full)) as fh:
-            return json.load(fh)
+        entry = self._load_index()["entries"].get(full, {})
+        candidates = []
+        if entry.get("file"):
+            candidates.append(self.root / entry["file"])
+        candidates += [self._record_path(full), self._gz_record_path(full)]
+        for path in candidates:
+            if path.exists():
+                if path.suffix == ".gz":
+                    with gzip.open(path, "rt") as fh:
+                        return json.load(fh)
+                with open(path) as fh:
+                    return json.load(fh)
+        raise FileNotFoundError(
+            f"store {self.root} has no record file for ref {short_ref(full)}"
+        )
 
     def get(self, ref: str) -> "RunArtifact":
         """Reconstruct the stored :class:`RunArtifact` for a ref."""
         from ..runner import RunArtifact
 
-        return RunArtifact.from_record(self.get_record(ref))
+        record = self.get_record(ref)
+        if "detail" not in record:
+            raise ValueError(
+                f"record {short_ref(self.resolve(ref))} is lean (no detail "
+                "payload); it supports replay/diff but cannot be "
+                "reconstructed into a RunArtifact"
+            )
+        return RunArtifact.from_record(record)
 
     def put_all(self, artifacts: Iterable["RunArtifact"], **kwargs: Any) -> list[str]:
         """File several artifacts; return their refs in order."""

@@ -166,7 +166,7 @@ class HybridBatchingEngine(InferenceEngine):
         n_seqs = len(task.request_ids) + len(task.meta.get("chunks", ()))
         delay = self.driver_delay(n_seqs)
         if delay > 0:
-            self.sim.schedule(delay, lambda: self._resume_stream(stream))
+            self.sim.schedule_callback(delay, lambda: self._resume_stream(stream))
         else:
             self._resume_stream(stream)
 

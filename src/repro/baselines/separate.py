@@ -137,7 +137,7 @@ class SeparateBatchingEngine(InferenceEngine):
         # The next step for this stream waits for the synchronous driver.
         delay = self.driver_delay(len(task.request_ids))
         if delay > 0:
-            self.sim.schedule(delay, lambda: self._resume_stream(stream))
+            self.sim.schedule_callback(delay, lambda: self._resume_stream(stream))
         else:
             self._resume_stream(stream)
 

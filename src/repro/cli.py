@@ -85,18 +85,26 @@ _STORE_CAPABLE = {
 
 #: Experiments allowed to emit a self-describing ``--bench-json`` record:
 #: the spec-driven entry points plus every registry-backed experiment.
-_BENCH_CAPABLE = {"cluster", "run", "record", *_STORE_CAPABLE}
+_BENCH_CAPABLE = {"cluster", "run", "record", "perf", *_STORE_CAPABLE}
 
-EXPERIMENTS = sorted([*_SCALED, *_STATIC, "all", "run", "record", "replay", "diff"])
+EXPERIMENTS = sorted(
+    [*_SCALED, *_STATIC, "all", "run", "record", "replay", "diff", "perf"]
+)
+
+#: Experiments that can fan grid execution out over a process pool.
+_JOBS_CAPABLE = {"run", "record", "replay", "perf", "all", *_STORE_CAPABLE}
 
 
-def _run_one(name: str, scale, store=None) -> str:
+def _run_one(name: str, scale, store=None, jobs=None) -> str:
     if name in _STATIC:
         return _STATIC[name]()
     runner, formatter = _SCALED[name]
+    kwargs = {}
     if store is not None and name in _STORE_CAPABLE:
-        return formatter(runner(scale=scale, store=store))
-    return formatter(runner(scale=scale))
+        kwargs["store"] = store
+    if jobs is not None and name in _STORE_CAPABLE:
+        kwargs["jobs"] = jobs
+    return formatter(runner(scale=scale, **kwargs))
 
 
 def _load_spec_arg(spec_arg: str):
@@ -126,7 +134,7 @@ def _run_spec(args) -> int:
     store = api.as_store(args.store) if args.store else None
     if isinstance(spec, api.SweepSpec):
         print(f"sweep {spec.name or '(unnamed)'}: {spec.num_points} scenarios")
-        artifacts = api.run_sweep(spec, store=store)
+        artifacts = api.run_sweep(spec, store=store, jobs=args.jobs)
         for artifact in artifacts:
             coords = ", ".join(f"{k}={v}" for k, v in artifact.overrides.items())
             print(f"[{coords}]")
@@ -152,7 +160,11 @@ def _run_spec(args) -> int:
 
 
 def _open_store(args) -> api.ArtifactStore:
-    return api.as_store(args.store or api.DEFAULT_STORE_PATH)
+    return api.ArtifactStore(
+        args.store or api.DEFAULT_STORE_PATH,
+        compress=getattr(args, "gzip", False),
+        lean=getattr(args, "lean", False),
+    )
 
 
 def _run_record(args) -> int:
@@ -166,7 +178,7 @@ def _run_record(args) -> int:
     spec = _apply_overrides(_load_spec_arg(target), args.set or [])
     store = _open_store(args)
     if isinstance(spec, api.SweepSpec):
-        artifacts = api.run_sweep(spec, store=store)
+        artifacts = api.run_sweep(spec, store=store, jobs=args.jobs)
     else:
         artifacts = [api.run(spec, store=store)]
     for artifact, ref in zip(artifacts, store.session_refs):
@@ -184,12 +196,12 @@ def _run_replay(args) -> int:
     """``replay [REF ...]``: re-execute stored specs, diff against records."""
     store = _open_store(args)
     try:
-        if args.targets:
-            reports = [
-                api.replay(ref, store, strict=args.strict) for ref in args.targets
-            ]
-        else:
-            reports = api.replay_all(store, strict=args.strict)
+        reports = api.replay_all(
+            store,
+            refs=args.targets or None,
+            strict=args.strict,
+            jobs=args.jobs,
+        )
     except KeyError as exc:
         raise SystemExit(str(exc)) from None
     if not reports:
@@ -219,6 +231,32 @@ def _run_diff(args) -> int:
         raise SystemExit(str(exc)) from None
     print(report.summary())
     return 1 if args.strict and not report.ok else 0
+
+
+def _run_perf(args) -> int:
+    """``perf``: run the benchmark harness, emit BENCH_perf.json, gate."""
+    from .perf import format_report, run_perf_suite
+
+    from .api import resolve_jobs
+
+    # The grid leg exists to measure parallel speedup, so unlike the grid
+    # commands (serial default), perf defaults to one worker per core.
+    jobs = resolve_jobs(args.jobs if args.jobs is not None else -1)
+    report = run_perf_suite(quick=args.quick, jobs=jobs)
+    print(format_report(report))
+    _write_json(args.bench_json or "BENCH_perf.json", report)
+    grid = report["grid"]
+    if not grid["records_identical"]:
+        print("FAIL: parallel grid records diverged from serial execution")
+        return 1
+    if args.min_speedup is not None and grid["speedup"] < args.min_speedup:
+        print(
+            f"FAIL: parallel grid speedup {grid['speedup']:.2f}x is below "
+            f"the required {args.min_speedup:.2f}x "
+            f"({jobs} jobs on {report['cpu_count']} cpus)"
+        )
+        return 1
+    return 0
 
 
 def _store_bench_record(store: api.ArtifactStore, experiment: str) -> dict:
@@ -313,9 +351,39 @@ def main(argv: list[str] | None = None) -> int:
         help="dotted-path spec override, e.g. workload.scale=0.02 "
         "(repeatable; applies to a sweep's base spec)",
     )
+    parallel_opts = parser.add_argument_group(
+        "parallel", "process-pool execution of spec grids"
+    )
+    parallel_opts.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="execute sweep/replay grid points on N worker processes "
+        "(default: serial, except `perf` which defaults to all cores; "
+        "results and records are identical either way; -1 = all cores)",
+    )
+    perf_opts = parser.add_argument_group(
+        "perf", "benchmark harness for the `perf` experiment"
+    )
+    perf_opts.add_argument(
+        "--quick", action="store_true",
+        help="perf: CI-smoke benchmark sizes (default: full sizes)",
+    )
+    perf_opts.add_argument(
+        "--min-speedup", type=float, default=None, metavar="X",
+        help="perf: exit non-zero if the parallel grid speedup is below X",
+    )
     store_opts = parser.add_argument_group(
         "store", "artifact store for `record`/`replay`/`diff` (and any "
         "registry-backed experiment via --store)"
+    )
+    store_opts.add_argument(
+        "--gzip", action="store_true",
+        help="record: write gzip-compressed records (records/<sha>.json.gz; "
+        "reads handle both forms transparently)",
+    )
+    store_opts.add_argument(
+        "--lean", action="store_true",
+        help="record: drop the full-fidelity detail payload (records still "
+        "replay and diff, but cannot be reconstructed into artifacts)",
     )
     store_opts.add_argument(
         "--store", default=None, metavar="DIR",
@@ -343,9 +411,17 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.experiment not in _BENCH_CAPABLE and args.bench_json is not None:
         parser.error(
-            "--bench-json only applies to `cluster`, `run`, `record` and "
-            f"registry-backed experiments ({', '.join(sorted(_STORE_CAPABLE))})"
+            "--bench-json only applies to `cluster`, `run`, `record`, `perf` "
+            f"and registry-backed experiments ({', '.join(sorted(_STORE_CAPABLE))})"
         )
+    if args.jobs is not None and args.experiment not in _JOBS_CAPABLE:
+        parser.error(
+            f"--jobs only applies to {', '.join(sorted(_JOBS_CAPABLE))}"
+        )
+    if (args.quick or args.min_speedup is not None) and args.experiment != "perf":
+        parser.error("--quick/--min-speedup only apply to `perf`")
+    if (args.gzip or args.lean) and args.experiment != "record":
+        parser.error("--gzip/--lean only apply to `record`")
     if args.experiment not in ("run", "record") and (args.spec is not None or args.set):
         parser.error("--spec/--set only apply to `run` and `record`")
     if args.targets and args.experiment not in ("record", "replay", "diff"):
@@ -357,7 +433,7 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--store-b only applies to `diff`")
     if args.strict and args.experiment not in ("replay", "diff"):
         parser.error("--strict only applies to `replay` and `diff`")
-    if args.experiment in ("run", "record", "replay", "diff") and (
+    if args.experiment in ("run", "record", "replay", "diff", "perf") and (
         args.scale is not None or args.seed is not None or args.full
     ):
         # Silently running a spec at a different scale than requested would
@@ -366,6 +442,8 @@ def main(argv: list[str] | None = None) -> int:
             "--scale/--seed/--full don't apply to `run`/`record`/`replay`/"
             "`diff`; override the spec instead, e.g. --set workload.scale=0.02"
         )
+    if args.experiment == "perf":
+        return _run_perf(args)
     if args.experiment == "record":
         return _run_record(args)
     if args.experiment == "replay":
@@ -458,7 +536,7 @@ def main(argv: list[str] | None = None) -> int:
     names = sorted([*_SCALED, *_STATIC]) if args.experiment == "all" else [args.experiment]
     for name in names:
         t0 = time.time()
-        output = _run_one(name, scale, store=store)
+        output = _run_one(name, scale, store=store, jobs=args.jobs)
         dt = time.time() - t0
         print(f"=== {name} (elapsed {dt:.1f}s) ===")
         print(output)

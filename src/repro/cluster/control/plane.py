@@ -33,6 +33,24 @@ from .snapshot import ReplicaSnapshot
 __all__ = ["ControlPlane"]
 
 
+class _FlagList(list):
+    """A ``list[bool]`` that notifies its owner on item mutation.
+
+    ``active``/``draining`` are public state that tests and external tools
+    write directly (``plane.draining[i] = True``), so the cached routable set
+    can only be trusted if every write path — internal transitions *and*
+    external pokes — invalidates it.
+    """
+
+    def __init__(self, values, on_change) -> None:
+        super().__init__(values)
+        self._on_change = on_change
+
+    def __setitem__(self, index, value) -> None:
+        super().__setitem__(index, value)
+        self._on_change()
+
+
 class ControlPlane:
     """Policy layer between arriving requests and the replica fleet."""
 
@@ -48,8 +66,13 @@ class ControlPlane:
         n = len(self.replicas)
         #: Throughput score per replica (roofline-derived, hardware-dependent).
         self.capacity_scores = [replica_capacity_score(r) for r in self.replicas]
-        self.active = [True] * n
-        self.draining = [False] * n
+        # Dirty-flag cache of the admission decision: `route` used to rebuild
+        # the routable index list *and* its engine list for every request.
+        self._all_indices = list(range(n))
+        self._routable_cache: list[int] | None = None
+        self._routable_engines: list | None = None
+        self.active = _FlagList([True] * n, self._invalidate_routable)
+        self.draining = _FlagList([False] * n, self._invalidate_routable)
         self._activated_at: list[float | None] = [None] * n
         #: Closed (start, end) activity intervals per replica.
         self._intervals: list[list[tuple[float, float]]] = [[] for _ in range(n)]
@@ -86,12 +109,15 @@ class ControlPlane:
             if initial is None:
                 initial = self.autoscaler.min_replicas
             initial = max(1, min(initial, n))
-        self.active = [i < initial for i in range(n)]
-        self.draining = [False] * n
+        self.active = _FlagList(
+            (i < initial for i in range(n)), self._invalidate_routable
+        )
+        self.draining = _FlagList([False] * n, self._invalidate_routable)
+        self._invalidate_routable()
         self._activated_at = [0.0 if self.active[i] else None for i in range(n)]
         self.timeline.append((0.0, initial))
         if self.autoscaler is not None and n > 0:
-            sim.schedule(self.autoscaler.interval_s, self._tick)
+            sim.schedule_callback(self.autoscaler.interval_s, self._tick)
 
     def finish(self, end_time: float) -> None:
         """Complete pending drains, close intervals, clamp to the makespan.
@@ -121,30 +147,45 @@ class ControlPlane:
     # ------------------------------------------------------------------ #
     # Admission + routing.
     # ------------------------------------------------------------------ #
+    def _invalidate_routable(self) -> None:
+        self._routable_cache = None
+        self._routable_engines = None
+
     def routable_indices(self) -> list[int]:
-        """Replicas eligible for new requests: active and not draining."""
+        """Replicas eligible for new requests: active and not draining.
+
+        Cached until the next activate/drain/undrain/deactivate transition
+        (or any direct write to ``active``/``draining``); callers must treat
+        the returned list as read-only.
+        """
+        routable = self._routable_cache
+        if routable is not None:
+            return routable
         routable = [
             i
             for i in range(len(self.replicas))
             if self.active[i] and not self.draining[i]
         ]
-        if routable:
-            return routable
-        # Degenerate fallback (e.g. externally forced drains): admit to any
-        # active replica rather than losing the request.
-        return [i for i in range(len(self.replicas)) if self.active[i]] or list(
-            range(len(self.replicas))
-        )
+        if not routable:
+            # Degenerate fallback (e.g. externally forced drains): admit to
+            # any active replica rather than losing the request.
+            routable = [
+                i for i in range(len(self.replicas)) if self.active[i]
+            ] or list(self._all_indices)
+        self._routable_cache = routable
+        self._routable_engines = [self.replicas[i] for i in routable]
+        return routable
 
     def route(self, request: Request) -> int:
         """Pick the destination replica for ``request`` (global index)."""
         if self.router.targets_global_indices:
             # Index-map routers (static pre-sharding) choose from the full
             # fleet; their assignment overrides dynamic admission.
-            routable = list(range(len(self.replicas)))
+            routable = self._all_indices
+            engines = self.replicas
         else:
             routable = self.routable_indices()
-        engines = [self.replicas[i] for i in routable]
+            engines = self._routable_engines
         pos = self.router.choose(request, engines)
         if not 0 <= pos < len(engines):
             raise ValueError(
@@ -216,7 +257,7 @@ class ControlPlane:
         if self._dispatched < self._total_requests or any(
             r.in_system for r in self.replicas
         ):
-            self._sim.schedule(self.autoscaler.interval_s, self._tick)
+            self._sim.schedule_callback(self.autoscaler.interval_s, self._tick)
 
     def _scale_up(self, now: float) -> None:
         limit = self.autoscaler.max_replicas or len(self.replicas)

@@ -127,7 +127,9 @@ class ClusterEngine:
         for replica in self.replicas:
             replica.start([], allow_empty=True)
         for req in reqs:
-            self.sim.schedule_at(max(req.arrival_time, 0.0), lambda r=req: self._dispatch(r))
+            self.sim.schedule_callback_at(
+                max(req.arrival_time, 0.0), lambda r=req: self._dispatch(r)
+            )
 
         max_events = self.max_events
         if max_events is None:

@@ -31,6 +31,12 @@ from ..models.spec import ModelSpec
 
 __all__ = ["PrefillChunk", "StageCostModel", "FullModelCostModel"]
 
+#: Memo caches reset (rather than evict) past this size; engines re-query the
+#: same argument tuples millions of times per run (intensity checks, policy
+#: lookahead, repeated batch shapes), so hit rates stay high even with the
+#: occasional wholesale reset.
+_COST_CACHE_MAX = 1 << 16
+
 
 @dataclass(frozen=True)
 class PrefillChunk:
@@ -78,6 +84,17 @@ class StageCostModel:
         if self.shard.tp_degree > 1 and self.interconnect is None:
             raise ValueError("tensor parallelism requires an interconnect spec")
         self._model = self.shard.model
+        m = self._model
+        # Hoisted per-call constants.  Each is the exact expression the hot
+        # methods used to evaluate inline (same operand order), so results
+        # stay bit-identical — only the repeated property walks disappear.
+        self._weight_bytes_per_layer = m.params_per_layer * m.dtype_bytes / self.tp
+        self._linear_flops_per_token = m.linear_flops_per_token_per_layer()
+        self._kv_bytes_per_token_per_layer = m.kv_bytes_per_token_per_layer
+        # Memo caches for the two hot phase costs, keyed on the exact
+        # argument tuples (pure functions of their arguments).
+        self._prefill_cache: dict[tuple[int, ...], float] = {}
+        self._decode_cache: dict[tuple[int, float], float] = {}
 
     # ------------------------------------------------------------------ #
     # Building blocks.
@@ -108,8 +125,7 @@ class StageCostModel:
         batches.  Applying the penalty only in the compute-bound regime avoids
         double-counting: tiny batches are already charged the full byte cost.
         """
-        weight_bytes = self._model.params_per_layer * self._model.dtype_bytes / self.tp
-        mem = (weight_bytes + read_bytes) / self.gpu.effective_mem_bandwidth
+        mem = (self._weight_bytes_per_layer + read_bytes) / self.gpu.effective_mem_bandwidth
         comp = flops / self.tp / self.gpu.effective_flops
         if comp >= mem and tokens > 0:
             sat = tokens / (tokens + self.gpu.gemm_halfsat_tokens)
@@ -130,17 +146,32 @@ class StageCostModel:
     # Phase-specific costs.
     # ------------------------------------------------------------------ #
     def prefill_time(self, seq_lens: Sequence[int]) -> float:
-        """Time for this stage to process a prefill batch of whole prompts."""
+        """Time for this stage to process a prefill batch of whole prompts.
+
+        Memoized on the exact sequence-length tuple: schedulers re-evaluate
+        the same candidate batches many times per run (policy lookahead,
+        bubble estimation), and the cost is a pure function of the lengths.
+        """
         if not len(seq_lens):
             return 0.0
+        key = tuple(seq_lens)
+        cached = self._prefill_cache.get(key)
+        if cached is not None:
+            return cached
         m = self._model
         tokens = float(sum(seq_lens))
-        flops_per_layer = m.linear_flops_per_token_per_layer() * tokens
+        flops_per_layer = self._linear_flops_per_token * tokens
         flops_per_layer += sum(m.prefill_attn_flops_per_layer(s) for s in seq_lens)
         per_layer = self._dense_layer_time(flops_per_layer, tokens, read_bytes=0.0)
         per_layer += self.gpu.kernel_overhead_s + self._allreduce_per_layer(tokens)
         # Sampling happens for one token per sequence on the last stage.
-        return self.n_layers * per_layer + self._head_time(len(seq_lens)) + self.step_overhead_s
+        total = (
+            self.n_layers * per_layer + self._head_time(len(seq_lens)) + self.step_overhead_s
+        )
+        if len(self._prefill_cache) >= _COST_CACHE_MAX:
+            self._prefill_cache.clear()
+        self._prefill_cache[key] = total
+        return total
 
     def decode_time(self, batch_size: int, kv_tokens: float) -> float:
         """Time for one decode step of ``batch_size`` requests at this stage.
@@ -150,21 +181,32 @@ class StageCostModel:
         """
         if batch_size <= 0:
             return 0.0
+        key = (batch_size, kv_tokens)
+        cached = self._decode_cache.get(key)
+        if cached is not None:
+            return cached
         m = self._model
         # Bandwidth term: weights of this stage's layers + KV of the batch.
-        weight_bytes = m.params_per_layer * m.dtype_bytes / self.tp
-        kv_bytes = kv_tokens * m.kv_bytes_per_token_per_layer / self.tp
-        mem_per_layer = (weight_bytes + kv_bytes) / self.gpu.effective_mem_bandwidth
+        kv_bytes = kv_tokens * self._kv_bytes_per_token_per_layer / self.tp
+        mem_per_layer = (
+            self._weight_bytes_per_layer + kv_bytes
+        ) / self.gpu.effective_mem_bandwidth
         # Compute term: one token per request through the projections, plus
         # attention over the context.
         flops_per_layer = (
-            m.linear_flops_per_token_per_layer() * batch_size
+            self._linear_flops_per_token * batch_size
             + m.attn_score_flops_per_layer(kv_tokens, 1.0)
         )
         comp_per_layer = flops_per_layer / self.tp / self.gpu.effective_flops_decode
         per_layer = max(mem_per_layer, comp_per_layer)
         per_layer += self.gpu.kernel_overhead_s + self._allreduce_per_layer(batch_size)
-        return self.n_layers * per_layer + self._head_time(batch_size) + self.step_overhead_s
+        total = (
+            self.n_layers * per_layer + self._head_time(batch_size) + self.step_overhead_s
+        )
+        if len(self._decode_cache) >= _COST_CACHE_MAX:
+            self._decode_cache.clear()
+        self._decode_cache[key] = total
+        return total
 
     def hybrid_time(
         self,
@@ -186,9 +228,9 @@ class StageCostModel:
             return 0.0
 
         kv_read_tokens = decode_kv_tokens + sum(c.context_len for c in chunks)
-        kv_bytes = kv_read_tokens * m.kv_bytes_per_token_per_layer / self.tp
+        kv_bytes = kv_read_tokens * self._kv_bytes_per_token_per_layer / self.tp
 
-        flops_per_layer = m.linear_flops_per_token_per_layer() * total_tokens
+        flops_per_layer = self._linear_flops_per_token * total_tokens
         flops_per_layer += m.attn_score_flops_per_layer(decode_kv_tokens, 1.0)
         for c in chunks:
             # New tokens attend over prefix + (causal) themselves.

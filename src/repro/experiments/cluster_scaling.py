@@ -212,6 +212,7 @@ def run_heterogeneous(
     rate_rps: float = 14.0,
     slo_mix: str = DEFAULT_SLO_MIX,
     store=None,
+    jobs: int | None = None,
 ) -> list[dict]:
     """Mixed L20/A100 fleet: does capacity normalization earn its keep?
 
@@ -236,7 +237,7 @@ def run_heterogeneous(
     )
     return [
         _row(a.result, system, a.spec.control.router, rate_rps, slo_mix)
-        for a in run_sweep(sweep, store=store)
+        for a in run_sweep(sweep, store=store, jobs=jobs)
     ]
 
 
@@ -274,6 +275,7 @@ def run_autoscaling(
     rate_rps: float = 10.0,
     slo_mix: str = DEFAULT_SLO_MIX,
     store=None,
+    jobs: int | None = None,
 ) -> list[dict]:
     """Fixed fleet vs autoscaled fleet on the same workload.
 
@@ -297,7 +299,7 @@ def run_autoscaling(
         seed=scale.seed,
     )
     rows = []
-    for artifact in run_sweep(sweep, store=store):
+    for artifact in run_sweep(sweep, store=store, jobs=jobs):
         row = _row(artifact.result, system, router, rate_rps, slo_mix)
         row["autoscaled"] = artifact.spec.control.wants_autoscaler
         rows.append(row)

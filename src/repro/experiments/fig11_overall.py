@@ -31,7 +31,6 @@ from ..api import (
     WorkloadSpec,
     register_scenario,
 )
-from ..kvcache.capacity import OutOfMemoryError
 from .common import PAPER_COMBOS, SYSTEMS, ExperimentScale, default_scale
 
 __all__ = ["Fig11Cell", "Fig11Result", "overall_spec", "run", "format_results"]
@@ -116,12 +115,15 @@ def run(
     device_counts: tuple[int, ...] = DEFAULT_DEVICE_COUNTS,
     systems: tuple[str, ...] = SYSTEMS,
     store: api.ArtifactStore | None = None,
+    jobs: int | None = None,
 ) -> Fig11Result:
     """Regenerate Figure 11 at the given workload scale.
 
     Runs the registered ``fig11-overall`` grid per combo.  Layouts that
     cannot hold the model become OOM cells (the paper's grey bars) rather
     than aborting the grid; everything else lands in ``store`` when given.
+    ``jobs`` fans each combo's grid out on a process pool (OOM cells
+    included — workers report them as misses, not failures).
     """
     scale = scale or default_scale()
     result = Fig11Result()
@@ -134,12 +136,14 @@ def run(
             scale_factor=scale.factor,
             seed=scale.seed,
         )
-        for point in sweep.expand():
+        points = sweep.expand()
+        artifacts = api.run_many(
+            [point.spec for point in points], jobs=jobs, oom_to_none=True
+        )
+        for point, artifact in zip(points, artifacts):
             num_gpus = point.spec.fleet.num_gpus
             system = point.spec.engine.system
-            try:
-                artifact = api.run(point.spec)
-            except OutOfMemoryError:
+            if artifact is None:
                 result.cells.append(
                     Fig11Cell(gpu_name, model_name, num_gpus, system, None)
                 )

@@ -87,8 +87,13 @@ def run(
     configs: tuple[tuple[str, str], ...] = DEFAULT_CONFIGS,
     num_gpus: int = 4,
     store: api.ArtifactStore | None = None,
+    jobs: int | None = None,
 ) -> list[PrefillSwitchAblation]:
-    """Run the registered ``fig13-prefill-switch`` grid per config."""
+    """Run the registered ``fig13-prefill-switch`` grid per config.
+
+    ``jobs`` executes each config's grid on a process pool (identical
+    results and records to the serial default).
+    """
     scale = scale or default_scale()
     out = []
     for gpu_name, model_name in configs:
@@ -102,7 +107,7 @@ def run(
         )
         ratio_tp: dict[float, float] = {}
         tdpipe_tp = 0.0
-        for artifact in run_sweep(sweep, store=store):
+        for artifact in run_sweep(sweep, store=store, jobs=jobs):
             policy = artifact.spec.engine.prefill_policy
             if policy is None:
                 tdpipe_tp = artifact.result.throughput

@@ -77,6 +77,7 @@ def run(
     configs: tuple[tuple[str, str], ...] = DEFAULT_CONFIGS,
     num_gpus: int = 4,
     store=None,
+    jobs: int | None = None,
 ) -> list[WorkStealingAblation]:
     scale = scale or default_scale()
     out = []
@@ -90,7 +91,7 @@ def run(
         )
         by_mode = {
             a.spec.engine.work_stealing: a.result.throughput
-            for a in run_sweep(sweep, store=store)
+            for a in run_sweep(sweep, store=store, jobs=jobs)
         }
         out.append(
             WorkStealingAblation(

@@ -131,7 +131,9 @@ def max_num_seqs_spec(
     )
 
 
-def _points(sweep: SweepSpec, parameter: str) -> list[SweepPoint]:
+def _points(
+    sweep: SweepSpec, parameter: str, jobs: int | None = None
+) -> list[SweepPoint]:
     """Execute a grid and flatten artifacts into the historic row shape."""
     return [
         SweepPoint(
@@ -142,7 +144,7 @@ def _points(sweep: SweepSpec, parameter: str) -> list[SweepPoint]:
             system=artifact.spec.engine.system,
             throughput=artifact.result.throughput,
         )
-        for artifact in run_sweep(sweep)
+        for artifact in run_sweep(sweep, jobs=jobs)
     ]
 
 
@@ -151,6 +153,7 @@ def chunk_budget_sweep(
     gpu_name: str = "A100",
     model_name: str = "70B",
     scale: ExperimentScale | None = None,
+    jobs: int | None = None,
 ) -> list[SweepPoint]:
     """PP+HB throughput vs chunked-prefill token budget.
 
@@ -159,7 +162,7 @@ def chunk_budget_sweep(
     """
     scale = scale or default_scale()
     sweep = chunk_budget_spec(budgets, gpu_name, model_name, scale.factor, scale.seed)
-    return _points(sweep, "chunk_budget_tokens")
+    return _points(sweep, "chunk_budget_tokens", jobs=jobs)
 
 
 def driver_overhead_sweep(
@@ -167,6 +170,7 @@ def driver_overhead_sweep(
     gpu_name: str = "A100",
     model_name: str = "70B",
     scale: ExperimentScale | None = None,
+    jobs: int | None = None,
 ) -> list[SweepPoint]:
     """Baseline (TP+SB) and TD-Pipe throughput vs driver cost.
 
@@ -177,7 +181,7 @@ def driver_overhead_sweep(
     sweep = driver_overhead_spec(
         per_seq_overheads, gpu_name, model_name, scale.factor, scale.seed
     )
-    return _points(sweep, "driver_per_seq_overhead_s")
+    return _points(sweep, "driver_per_seq_overhead_s", jobs=jobs)
 
 
 def allreduce_efficiency_sweep(
@@ -185,6 +189,7 @@ def allreduce_efficiency_sweep(
     gpu_name: str = "A100",
     model_name: str = "70B",
     scale: ExperimentScale | None = None,
+    jobs: int | None = None,
 ) -> list[SweepPoint]:
     """TP+SB vs TD-Pipe sensitivity to the achieved all-reduce bandwidth.
 
@@ -195,7 +200,7 @@ def allreduce_efficiency_sweep(
     sweep = allreduce_efficiency_spec(
         efficiencies, gpu_name, model_name, scale.factor, scale.seed
     )
-    return _points(sweep, "allreduce_efficiency")
+    return _points(sweep, "allreduce_efficiency", jobs=jobs)
 
 
 def max_num_seqs_sweep(
@@ -203,8 +208,9 @@ def max_num_seqs_sweep(
     gpu_name: str = "L20",
     model_name: str = "32B",
     scale: ExperimentScale | None = None,
+    jobs: int | None = None,
 ) -> list[SweepPoint]:
     """Decode batch cap sweep for TD-Pipe (intensity vs memory trade-off)."""
     scale = scale or default_scale()
     sweep = max_num_seqs_spec(caps, gpu_name, model_name, scale.factor, scale.seed)
-    return _points(sweep, "max_num_seqs")
+    return _points(sweep, "max_num_seqs", jobs=jobs)

@@ -1,0 +1,9 @@
+"""Performance benchmark harness (``tdpipe-bench perf``).
+
+Times the hot paths this codebase optimizes and emits ``BENCH_perf.json``,
+the perf trajectory CI tracks across PRs.
+"""
+
+from .harness import format_report, run_perf_suite
+
+__all__ = ["run_perf_suite", "format_report"]

@@ -1,0 +1,244 @@
+"""Micro + macro perf benchmarks emitting the ``BENCH_perf.json`` record.
+
+Four sections, cheapest to dearest:
+
+* **kernel** — raw event throughput of the discrete-event simulator (a
+  self-rescheduling callback storm; no engines, no cost model);
+* **costmodel** — roofline ``decode_time``/``prefill_time`` call throughput,
+  split into cold (distinct argument tuples) and warm (repeated tuples, the
+  memoized path engines actually hit);
+* **cluster** — one mid-scale heterogeneous cluster run through the spec
+  front door (the single-run macro number);
+* **grid** — the fig13 prefill-switch spec grid executed serially and with a
+  process pool (``run_many``), reporting points/sec for both, the speedup,
+  and whether the two paths produced byte-identical canonical records.
+
+``quick`` shrinks every section to CI-smoke size.  The serial grid leg runs
+first on purpose: it warms the dataset/predictor caches that forked workers
+then inherit, which is exactly how a warmed production parent behaves.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from ..api.store.canonical import canonical_json
+from ..sim.engine import Simulator
+
+__all__ = ["run_perf_suite", "format_report"]
+
+#: Schema of the BENCH_perf.json record (bump on incompatible change).
+PERF_SCHEMA_VERSION = 1
+
+
+# --------------------------------------------------------------------- #
+# Micro: simulation kernel.
+# --------------------------------------------------------------------- #
+def bench_kernel(total_events: int) -> dict[str, Any]:
+    """Events/sec of the bare kernel under a self-rescheduling storm."""
+    sim = Simulator()
+    fanout = 32
+    budget = [total_events]
+
+    def tick() -> None:
+        if budget[0] > 0:
+            budget[0] -= 1
+            sim.schedule_callback(0.001, tick)
+
+    for i in range(fanout):
+        budget[0] -= 1
+        sim.schedule_callback(0.001 * (i + 1), tick)
+    t0 = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - t0
+    return {
+        "events": sim.events_processed,
+        "wall_s": wall,
+        "events_per_sec": sim.events_processed / wall if wall > 0 else 0.0,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Micro: roofline cost model.
+# --------------------------------------------------------------------- #
+def bench_costmodel(calls: int) -> dict[str, Any]:
+    """Cold vs warm call throughput of the memoized phase costs."""
+    from ..costmodel.roofline import StageCostModel
+    from ..hardware.node import make_node
+    from ..models.partition import pipeline_shards
+    from ..models.spec import get_model
+
+    node = make_node("L20", 4)
+    shard = pipeline_shards(get_model("32B"), pp_degree=4)[0]
+    model = StageCostModel(shard=shard, gpu=node.gpu, interconnect=node.interconnect)
+
+    def throughput(fn) -> tuple[float, float]:
+        t0 = time.perf_counter()
+        for i in range(calls):
+            fn(i)
+        wall = time.perf_counter() - t0
+        return wall, calls / wall if wall > 0 else 0.0
+
+    decode_cold = throughput(lambda i: model.decode_time(1 + i % 256, float(4096 + i)))
+    decode_warm = throughput(lambda i: model.decode_time(1 + i % 256, 4096.0))
+    prefill_cold = throughput(lambda i: model.prefill_time((64 + i,)))
+    prefill_warm = throughput(lambda i: model.prefill_time((512, 64 + i % 8)))
+    return {
+        "calls": calls,
+        "decode_cold_calls_per_sec": decode_cold[1],
+        "decode_warm_calls_per_sec": decode_warm[1],
+        "prefill_cold_calls_per_sec": prefill_cold[1],
+        "prefill_warm_calls_per_sec": prefill_warm[1],
+    }
+
+
+# --------------------------------------------------------------------- #
+# Macro: one mid-scale cluster run.
+# --------------------------------------------------------------------- #
+def bench_cluster(scale_factor: float) -> dict[str, Any]:
+    from .. import api
+
+    spec = api.ScenarioSpec(
+        name="perf-cluster",
+        mode="cluster",
+        workload=api.WorkloadSpec(
+            scale=scale_factor, seed=0, arrival="poisson", rate_rps=10.0,
+            slo_mix="interactive:0.7,batch:0.3",
+        ),
+        fleet=api.FleetSpec(fleet="l20:2,a100:2"),
+        engine=api.EngineSpec(system="TD-Pipe", model="13B"),
+        control=api.ControlSpec(router="jsq"),
+    )
+    artifact = api.run(spec)
+    result = artifact.result
+    wall = artifact.wall_time_s
+    return {
+        "scale": scale_factor,
+        "wall_s": wall,
+        "completed_requests": result.completed_requests,
+        "throughput_tps": result.throughput,
+        "requests_per_sec_wall": (
+            result.completed_requests / wall if wall > 0 else 0.0
+        ),
+    }
+
+
+# --------------------------------------------------------------------- #
+# Macro: serial vs parallel spec grid.
+# --------------------------------------------------------------------- #
+def _canonical_record(artifact) -> str:
+    """Canonical bytes of a full record, minus per-host wall time."""
+    record = artifact.to_record(detail=True)
+    record.pop("wall_time_s", None)
+    return canonical_json(record)
+
+
+def bench_grid(scale_factor: float, jobs: int) -> dict[str, Any]:
+    from .. import api
+    from ..experiments.fig13_prefill_switch import prefill_switch_spec
+
+    sweep = prefill_switch_spec(
+        node="L20", model="32B", scale_factor=scale_factor, seed=0
+    )
+    specs = [point.spec for point in sweep.expand()]
+
+    t0 = time.perf_counter()
+    serial = api.run_many(specs, jobs=1)
+    serial_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = api.run_many(specs, jobs=jobs)
+    parallel_wall = time.perf_counter() - t0
+
+    identical = all(
+        _canonical_record(a) == _canonical_record(b)
+        for a, b in zip(serial, parallel)
+    )
+    points = len(specs)
+    return {
+        "experiment": "fig13-prefill-switch",
+        "scale": scale_factor,
+        "points": points,
+        "jobs": jobs,
+        "serial_wall_s": serial_wall,
+        "parallel_wall_s": parallel_wall,
+        "serial_points_per_sec": points / serial_wall if serial_wall > 0 else 0.0,
+        "parallel_points_per_sec": (
+            points / parallel_wall if parallel_wall > 0 else 0.0
+        ),
+        "speedup": serial_wall / parallel_wall if parallel_wall > 0 else 0.0,
+        "records_identical": identical,
+    }
+
+
+# --------------------------------------------------------------------- #
+# The suite.
+# --------------------------------------------------------------------- #
+def run_perf_suite(
+    quick: bool = False,
+    jobs: int = 4,
+    *,
+    kernel_events: int | None = None,
+    costmodel_calls: int | None = None,
+    cluster_scale: float | None = None,
+    grid_scale: float | None = None,
+) -> dict[str, Any]:
+    """Run every benchmark section; return the BENCH_perf.json record.
+
+    ``quick`` is the CI-smoke size; the keyword overrides exist so tests can
+    shrink sections further.
+    """
+    import os
+
+    if kernel_events is None:
+        kernel_events = 200_000 if quick else 1_000_000
+    if costmodel_calls is None:
+        costmodel_calls = 50_000 if quick else 200_000
+    if cluster_scale is None:
+        cluster_scale = 0.05 if quick else 0.2
+    if grid_scale is None:
+        # Grid points must dwarf the fixed per-point pool overhead
+        # (serialization + reconstruction, ~0.15s) or the speedup number
+        # measures IPC, not execution.  0.2 => ~1.7s of compute per point.
+        grid_scale = 0.2 if quick else 0.4
+    return {
+        "schema_version": PERF_SCHEMA_VERSION,
+        "kind": "perf",
+        "quick": quick,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "kernel": bench_kernel(kernel_events),
+        "costmodel": bench_costmodel(costmodel_calls),
+        "cluster": bench_cluster(cluster_scale),
+        "grid": bench_grid(grid_scale, jobs),
+    }
+
+
+def format_report(report: dict[str, Any]) -> str:
+    kernel = report["kernel"]
+    cost = report["costmodel"]
+    cluster = report["cluster"]
+    grid = report["grid"]
+    lines = [
+        f"perf suite ({'quick' if report['quick'] else 'full'}, "
+        f"{report['jobs']} jobs, {report['cpu_count']} cpus)",
+        f"  kernel    : {kernel['events_per_sec']:>12,.0f} events/s "
+        f"({kernel['events']:,} events in {kernel['wall_s']:.2f}s)",
+        f"  costmodel : decode {cost['decode_cold_calls_per_sec']:,.0f} cold / "
+        f"{cost['decode_warm_calls_per_sec']:,.0f} warm calls/s, "
+        f"prefill {cost['prefill_cold_calls_per_sec']:,.0f} cold / "
+        f"{cost['prefill_warm_calls_per_sec']:,.0f} warm (memoized) calls/s",
+        f"  cluster   : scale {cluster['scale']:g} run in "
+        f"{cluster['wall_s']:.2f}s "
+        f"({cluster['throughput_tps']:.0f} tok/s simulated, "
+        f"{cluster['requests_per_sec_wall']:.1f} req/s of wall time)",
+        f"  grid      : {grid['points']} fig13 points — serial "
+        f"{grid['serial_wall_s']:.2f}s "
+        f"({grid['serial_points_per_sec']:.2f} pts/s), parallel "
+        f"{grid['parallel_wall_s']:.2f}s "
+        f"({grid['parallel_points_per_sec']:.2f} pts/s), "
+        f"speedup {grid['speedup']:.2f}x, records "
+        f"{'identical' if grid['records_identical'] else 'DIVERGED'}",
+    ]
+    return "\n".join(lines)

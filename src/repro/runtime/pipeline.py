@@ -62,13 +62,13 @@ class StageWorker:
         now = self.sim.now
         if now < self._blocked_until:
             # Blocking transfer still draining; retry when it finishes.
-            self.sim.schedule_at(self._blocked_until, self._try_start)
+            self.sim.schedule_callback_at(self._blocked_until, self._try_start)
             return
         task = self._queue.popleft()
         self._busy = True
         start = now
         duration = task.stage_times[self.stage_index]
-        self.sim.schedule(duration, lambda: self._finish(task, start))
+        self.sim.schedule_callback(duration, lambda: self._finish(task, start))
 
     def _finish(self, task: BatchTask, start: float) -> None:
         end = self.sim.now
@@ -137,7 +137,9 @@ class PipelineRuntime:
                 f"task has {task.num_stages} stage times, runtime has {self.num_stages}"
             )
         task.submit_time = self.sim.now
-        self.sim.schedule(self.rpc_latency_s, lambda: self.workers[0].submit(task))
+        self.sim.schedule_callback(
+            self.rpc_latency_s, lambda: self.workers[0].submit(task)
+        )
 
     def _make_on_finish(self, stage: int) -> Callable[[BatchTask, float], None]:
         def handler(task: BatchTask, end_time: float) -> None:
@@ -146,10 +148,10 @@ class PipelineRuntime:
                 if not self.async_transfer:
                     self.workers[stage].block_until(end_time + transfer)
                 next_worker = self.workers[stage + 1]
-                self.sim.schedule(transfer, lambda: next_worker.submit(task))
+                self.sim.schedule_callback(transfer, lambda: next_worker.submit(task))
             else:
                 # Sampled-token metadata returns to the engine over RPC.
-                self.sim.schedule(
+                self.sim.schedule_callback(
                     self.rpc_latency_s, lambda: self.on_complete(task, end_time)
                 )
 

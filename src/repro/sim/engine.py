@@ -4,13 +4,19 @@ A minimal, allocation-light event loop: callbacks are scheduled at absolute or
 relative simulated times and executed in (time, insertion-order) order, so the
 simulation is fully deterministic.  All system simulators (TD-Pipe and the
 baselines) and the hierarchy-controller runtime are built on this kernel.
+
+Heap entries are plain ``(time, seq, item)`` tuples — ``seq`` is unique, so
+tuple comparison never reaches ``item`` and heap sifts compare bare floats and
+ints instead of invoking a dataclass ``__lt__``.  ``item`` is either a bare
+callback (the allocation-free fast path used by the engines, which never
+cancel) or an :class:`Event` wrapper when the caller needs a cancellation
+handle.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable
 
 __all__ = ["Event", "Simulator", "SimulationError"]
@@ -20,17 +26,25 @@ class SimulationError(RuntimeError):
     """Raised when the simulation reaches an inconsistent state."""
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.  Ordering is (time, sequence number)."""
+    """A cancellable scheduled callback (handle returned by ``schedule``)."""
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    #: Set by the owning :class:`Simulator` so cancellation can update its
-    #: live-event accounting without scanning the heap.
-    _on_cancel: Callable[[], None] | None = field(default=None, compare=False, repr=False)
+    __slots__ = ("time", "seq", "callback", "cancelled", "_on_cancel")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        #: Set by the owning :class:`Simulator` so cancellation can update its
+        #: live-event accounting without scanning the heap.
+        self._on_cancel: Callable[[], None] | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Event(time={self.time!r}, seq={self.seq!r}, "
+            f"cancelled={self.cancelled!r})"
+        )
 
     def cancel(self) -> None:
         """Prevent the callback from running (the heap entry is left in place
@@ -56,7 +70,9 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[Event] = []
+        #: (time, seq, callback-or-Event) tuples; seq is unique so comparisons
+        #: terminate at the ints and the payload never needs ordering.
+        self._heap: list[tuple[float, int, object]] = []
         self._seq = itertools.count()
         self._events_processed = 0
         # Live/cancelled bookkeeping so `pending` is O(1).  Invariant:
@@ -83,11 +99,27 @@ class Simulator:
         """Schedule ``callback`` at absolute simulated ``time``."""
         if time < self._now:
             raise ValueError(f"cannot schedule at {time} < now {self._now}")
-        ev = Event(time=time, seq=next(self._seq), callback=callback)
+        ev = Event(time, next(self._seq), callback)
         ev._on_cancel = self._note_cancelled
-        heapq.heappush(self._heap, ev)
+        heapq.heappush(self._heap, (time, ev.seq, ev))
         self._live += 1
         return ev
+
+    def schedule_callback(self, delay: float, callback: Callable[[], None]) -> None:
+        """Fast path of :meth:`schedule` for callbacks that are never
+        cancelled: no :class:`Event` is allocated, only the bare tuple entry.
+        This is what the engine hot loops use (hundreds of thousands of
+        events per run, none of them cancellable)."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self.schedule_callback_at(self._now + delay, callback)
+
+    def schedule_callback_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Absolute-time variant of :meth:`schedule_callback`."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule at {time} < now {self._now}")
+        heapq.heappush(self._heap, (time, next(self._seq), callback))
+        self._live += 1
 
     def _note_cancelled(self) -> None:
         """An event in the heap was cancelled; compact when tombstones dominate."""
@@ -99,27 +131,35 @@ class Simulator:
     def _compact(self) -> None:
         """Drop cancelled entries and re-heapify (ordering is a total order,
         so heapify preserves (time, seq) execution order)."""
-        self._heap = [ev for ev in self._heap if not ev.cancelled]
+        self._heap = [
+            entry
+            for entry in self._heap
+            if not (type(entry[2]) is Event and entry[2].cancelled)
+        ]
         heapq.heapify(self._heap)
         self._cancelled = 0
 
     def step(self) -> bool:
         """Run the next pending event.  Returns False when the heap is empty."""
-        while self._heap:
-            ev = heapq.heappop(self._heap)
-            # Once popped, a late cancel() must not touch the counters.
-            ev._on_cancel = None
-            if ev.cancelled:
-                self._cancelled -= 1
-                continue
+        heap = self._heap
+        while heap:
+            time, _seq, item = heapq.heappop(heap)
+            callback = item
+            if type(item) is Event:
+                # Once popped, a late cancel() must not touch the counters.
+                item._on_cancel = None
+                if item.cancelled:
+                    self._cancelled -= 1
+                    continue
+                callback = item.callback
             self._live -= 1
-            if ev.time < self._now:
+            if time < self._now:
                 raise SimulationError(
-                    f"event at {ev.time} before current time {self._now}"
+                    f"event at {time} before current time {self._now}"
                 )
-            self._now = ev.time
+            self._now = time
             self._events_processed += 1
-            ev.callback()
+            callback()
             return True
         return False
 
@@ -131,16 +171,23 @@ class Simulator:
         """
         processed = 0
         while self._heap:
+            # Re-read the heap each iteration: a callback may cancel events
+            # and trigger _compact(), which rebinds self._heap.
+            heap = self._heap
             # Purge cancelled tombstones so the `until` peek sees the next
             # *live* event; otherwise a tombstone at time <= until would let
             # step() run a live event stamped past the horizon.
-            while self._heap and self._heap[0].cancelled:
-                ev = heapq.heappop(self._heap)
-                ev._on_cancel = None
-                self._cancelled -= 1
-            if not self._heap:
+            while heap:
+                head_item = heap[0][2]
+                if type(head_item) is Event and head_item.cancelled:
+                    heapq.heappop(heap)
+                    head_item._on_cancel = None
+                    self._cancelled -= 1
+                else:
+                    break
+            if not heap:
                 return
-            if until is not None and self._heap[0].time > until:
+            if until is not None and heap[0][0] > until:
                 self._now = max(self._now, until)
                 return
             if not self.step():

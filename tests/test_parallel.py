@@ -1,0 +1,240 @@
+"""Parallel spec execution must be indistinguishable from serial execution.
+
+The process-pool executor (:mod:`repro.api.parallel`) promises byte-level
+equivalence: the same ``RunResult``s, the same content hashes, the same
+store index, and records that replay ``--strict`` — only wall time may
+differ.  These tests pin that contract with real (tiny) workloads.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+
+import pytest
+
+from repro import api
+from repro.api.parallel import resolve_jobs
+
+SCALE = 0.02
+
+
+def small_sweep() -> api.SweepSpec:
+    """A cheap four-point grid (baseline systems need no predictor)."""
+    return api.SweepSpec(
+        name="parallel-test",
+        base=api.ScenarioSpec(
+            mode="engine",
+            workload=api.WorkloadSpec(scale=SCALE, seed=0),
+            fleet=api.FleetSpec(node="L20", num_gpus=4, replicas=1),
+            engine=api.EngineSpec(system="TP+SB", model="13B"),
+        ),
+        axes=(
+            api.SweepAxis("engine.system", ("TP+SB", "PP+SB", "PP+HB", "TP+HB")),
+        ),
+    )
+
+
+def strip_wall(record: dict) -> dict:
+    return {k: v for k, v in record.items() if k != "wall_time_s"}
+
+
+class TestResolveJobs:
+    def test_serial_spellings(self):
+        assert resolve_jobs(None) == resolve_jobs(0) == resolve_jobs(1) == 1
+
+    def test_positive_passthrough(self):
+        assert resolve_jobs(4) == 4
+
+    def test_negative_means_all_cores(self):
+        assert resolve_jobs(-1) >= 1
+
+
+class TestRunManyEquivalence:
+    def test_parallel_matches_serial(self):
+        specs = [point.spec for point in small_sweep().expand()]
+        serial = api.run_many(specs, jobs=1)
+        parallel = api.run_many(specs, jobs=4)
+        assert len(serial) == len(parallel) == len(specs)
+        for a, b in zip(serial, parallel):
+            assert a.spec == b.spec
+            assert a.result == b.result  # full equality, traces included
+            assert api.content_hash(a.spec) == api.content_hash(b.spec)
+
+    def test_canonical_records_byte_identical(self):
+        specs = [point.spec for point in small_sweep().expand()][:2]
+        serial = api.run_many(specs, jobs=1)
+        parallel = api.run_many(specs, jobs=2)
+        for a, b in zip(serial, parallel):
+            assert json.dumps(strip_wall(a.to_record()), sort_keys=True) == (
+                json.dumps(strip_wall(b.to_record()), sort_keys=True)
+            )
+
+    def test_oom_layouts_become_none(self):
+        ok = api.ScenarioSpec(
+            mode="engine",
+            workload=api.WorkloadSpec(scale=SCALE, seed=0),
+            fleet=api.FleetSpec(node="L20", num_gpus=4, replicas=1),
+            engine=api.EngineSpec(system="TP+SB", model="13B"),
+        )
+        # 32B never fits on one L20 (fig11's grey cell).
+        oom = ok.with_overrides(
+            {"fleet.num_gpus": 1, "engine.model": "32B"}
+        )
+        for jobs in (1, 2):
+            artifacts = api.run_many([ok, oom], jobs=jobs, oom_to_none=True)
+            assert artifacts[0] is not None and artifacts[1] is None
+
+    def test_oom_raises_without_tolerance(self):
+        from repro.kvcache.capacity import OutOfMemoryError
+
+        oom = api.ScenarioSpec(
+            mode="engine",
+            workload=api.WorkloadSpec(scale=SCALE, seed=0),
+            fleet=api.FleetSpec(node="L20", num_gpus=1, replicas=1),
+            engine=api.EngineSpec(system="TP+SB", model="32B"),
+        )
+        with pytest.raises(OutOfMemoryError):
+            api.run_many([oom], jobs=1)
+
+
+class TestRunSweepJobs:
+    def test_same_results_hashes_and_index(self, tmp_path):
+        sweep = small_sweep()
+        store_serial = api.ArtifactStore(tmp_path / "serial")
+        store_parallel = api.ArtifactStore(tmp_path / "parallel")
+        serial = api.run_sweep(sweep, store=store_serial, jobs=1)
+        parallel = api.run_sweep(sweep, store=store_parallel, jobs=4)
+
+        for a, b in zip(serial, parallel):
+            assert a.result == b.result
+            assert a.overrides == b.overrides
+        assert store_serial.refs() == store_parallel.refs()
+
+        index_a = json.load(open(store_serial.index_path))
+        index_b = json.load(open(store_parallel.index_path))
+        for entries in (index_a["entries"], index_b["entries"]):
+            for entry in entries.values():
+                entry.pop("created_at")  # the only legitimately varying field
+        assert index_a == index_b
+
+        # The filed records differ only in wall_time_s.
+        for ref in store_serial.refs():
+            rec_a = strip_wall(store_serial.get_record(ref))
+            rec_b = strip_wall(store_parallel.get_record(ref))
+            assert rec_a == rec_b
+
+    def test_live_object_overrides_require_serial(self):
+        from repro.predictor import OraclePredictor
+
+        sweep = small_sweep()
+        with pytest.raises(ValueError, match="live-object overrides"):
+            api.run_sweep(sweep, jobs=2, predictor=OraclePredictor())
+
+    def test_serial_kwargs_path_still_works(self):
+        from repro.predictor import OraclePredictor
+
+        artifacts = api.run_sweep(small_sweep(), predictor=OraclePredictor())
+        assert len(artifacts) == 4
+        assert all(a.opaque_overrides == ("predictor",) for a in artifacts)
+
+
+class TestParallelReplay:
+    def test_parallel_recorded_store_replays_strict(self, tmp_path):
+        store = api.ArtifactStore(tmp_path / "store")
+        api.run_sweep(small_sweep(), store=store, jobs=4)
+        reports = api.replay_all(store, strict=True, jobs=4)
+        assert len(reports) == 4
+        assert all(report.ok for report in reports)
+
+    def test_explicit_refs_replay_in_parallel(self, tmp_path):
+        store = api.ArtifactStore(tmp_path / "store")
+        api.run_sweep(small_sweep(), store=store, jobs=1)
+        chosen = store.refs()[:2]
+        # Prefixes resolve, order is preserved, and the pool path is used.
+        reports = api.replay_all(
+            store, refs=[ref[:12] for ref in chosen], strict=True, jobs=2
+        )
+        assert [r.ref for r in reports] == chosen
+        assert all(r.ok for r in reports)
+
+    def test_parallel_replay_matches_serial_reports(self, tmp_path):
+        store = api.ArtifactStore(tmp_path / "store")
+        api.run_sweep(small_sweep(), store=store, jobs=1)
+        serial = api.replay_all(store, strict=True, jobs=1)
+        parallel = api.replay_all(store, strict=True, jobs=2)
+        assert [r.ref for r in serial] == [r.ref for r in parallel]
+        assert [strip_wall(r.fresh) for r in serial] == [
+            strip_wall(r.fresh) for r in parallel
+        ]
+        assert all(r.ok for r in parallel)
+
+
+class TestCompactStores:
+    def test_gzip_records_round_trip(self, tmp_path):
+        spec = small_sweep().expand()[0].spec
+        plain = api.ArtifactStore(tmp_path / "plain")
+        packed = api.ArtifactStore(tmp_path / "packed", compress=True)
+        artifact = api.run(spec)
+        ref_plain = plain.put(artifact)
+        ref_packed = packed.put(artifact)
+        assert ref_plain == ref_packed
+        assert (packed.records_dir / f"{ref_packed}.json.gz").exists()
+        assert not (packed.records_dir / f"{ref_packed}.json").exists()
+        # Same record through either store; reconstruction equality holds.
+        assert plain.get_record(ref_plain) == packed.get_record(ref_packed)
+        assert packed.get(ref_packed) == artifact
+        # A compressed record is materially smaller than the plain one.
+        plain_size = (plain.records_dir / f"{ref_plain}.json").stat().st_size
+        gz_size = (packed.records_dir / f"{ref_packed}.json.gz").stat().st_size
+        assert gz_size < plain_size / 2
+
+    def test_gzip_bytes_deterministic(self, tmp_path):
+        spec = small_sweep().expand()[0].spec
+        artifact = api.run(spec)
+        blobs = []
+        for name in ("a", "b"):
+            store = api.ArtifactStore(tmp_path / name, compress=True)
+            ref = store.put(artifact)
+            blobs.append((store.records_dir / f"{ref}.json.gz").read_bytes())
+        assert blobs[0] == blobs[1]
+
+    def test_plain_store_reads_gzip_records(self, tmp_path):
+        spec = small_sweep().expand()[0].spec
+        store = api.ArtifactStore(tmp_path / "store", compress=True)
+        ref = store.put(api.run(spec))
+        reader = api.ArtifactStore(tmp_path / "store")  # default settings
+        assert reader.get_record(ref)["kind"] == "engine"
+
+    def test_recompress_removes_stale_sibling(self, tmp_path):
+        spec = small_sweep().expand()[0].spec
+        artifact = api.run(spec)
+        plain = api.ArtifactStore(tmp_path / "store")
+        ref = plain.put(artifact)
+        packed = api.ArtifactStore(tmp_path / "store", compress=True)
+        assert packed.put(artifact) == ref
+        assert not (plain.records_dir / f"{ref}.json").exists()
+        with gzip.open(plain.records_dir / f"{ref}.json.gz", "rt") as fh:
+            assert json.load(fh)["kind"] == "engine"
+
+    def test_reads_prefer_index_named_file_over_stale_sibling(self, tmp_path):
+        spec = small_sweep().expand()[0].spec
+        store = api.ArtifactStore(tmp_path / "store", compress=True)
+        ref = store.put(api.run(spec))
+        # Simulate a put interrupted after writing the .json.gz but before
+        # unlinking the pre-existing plain sibling: the index names the
+        # completed write, so reads must not fall back to the stale file.
+        (store.records_dir / f"{ref}.json").write_text('{"kind": "stale"}\n')
+        assert store.get_record(ref)["kind"] == "engine"
+
+    def test_lean_records_replay_but_do_not_reconstruct(self, tmp_path):
+        spec = small_sweep().expand()[0].spec
+        store = api.ArtifactStore(tmp_path / "store", lean=True)
+        ref = store.put(api.run(spec))
+        record = store.get_record(ref)
+        assert "detail" not in record
+        assert "spec" in record and "throughput_tps" in record
+        report = api.replay(ref, store, strict=True)
+        assert report.ok
+        with pytest.raises(ValueError, match="lean"):
+            store.get(ref)

@@ -13,7 +13,7 @@ Hypothesis drives arbitrary schedule/cancel programs through the
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim import Simulator
+from repro.sim import Event, Simulator
 
 # A program is a list of operations: ("schedule", delay, cancel_later) or
 # ("run_until", horizon-fraction).  Delays are floats in [0, 10].
@@ -32,7 +32,13 @@ ops = st.lists(
 
 
 def naive_pending(sim):
-    return sum(1 for ev in sim._heap if not ev.cancelled)
+    # Heap entries are (time, seq, item) tuples; item is a bare callback
+    # (never cancellable) or an Event carrying the cancelled flag.
+    return sum(
+        1
+        for _, _, item in sim._heap
+        if not (isinstance(item, Event) and item.cancelled)
+    )
 
 
 def execute(program):
