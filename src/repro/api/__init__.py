@@ -26,11 +26,19 @@ the :mod:`registry <repro.api.registry>`, and ``tdpipe-bench run --spec
 scenario.json`` executes any of it from disk.
 """
 
-from .parallel import resolve_jobs, run_fresh_records, run_many
+from .parallel import (
+    ReuseReport,
+    SpecExecutionError,
+    resolve_jobs,
+    run_fresh_records,
+    run_many,
+)
+from .provenance import code_fingerprint, provenance_stamp
 from .registry import get_scenario, register_scenario, scenario_names
 from .runner import RunArtifact, load_spec, run, run_sweep
 from .store import (
     DEFAULT_STORE_PATH,
+    MISSING,
     ArtifactStore,
     DiffReport,
     MetricDiff,
@@ -72,6 +80,11 @@ __all__ = [
     "run_many",
     "run_fresh_records",
     "resolve_jobs",
+    "ReuseReport",
+    "SpecExecutionError",
+    "code_fingerprint",
+    "provenance_stamp",
+    "MISSING",
     "load_spec",
     "spec_from_dict",
     "spec_from_json",

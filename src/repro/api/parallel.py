@@ -34,13 +34,57 @@ import json
 import multiprocessing as mp
 import os
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from .runner import RunArtifact
     from .spec import ScenarioSpec
+    from .store import ArtifactStore
 
-__all__ = ["run_many", "run_fresh_records", "resolve_jobs"]
+__all__ = [
+    "run_many",
+    "run_fresh_records",
+    "resolve_jobs",
+    "ReuseReport",
+    "SpecExecutionError",
+]
+
+
+class SpecExecutionError(RuntimeError):
+    """One spec in a :func:`run_many` batch failed.
+
+    A bare worker traceback says nothing about *which* grid point died, so
+    every non-OOM execution failure is wrapped with the spec's batch index
+    and name before it surfaces (OOM keeps its own type: callers dispatch on
+    :class:`~repro.kvcache.capacity.OutOfMemoryError` for grey cells).
+    """
+
+    def __init__(self, index: int, name: str, message: str) -> None:
+        self.index = index
+        self.name = name
+        self.message = message
+        super().__init__(f"spec [{index}] {name!r} failed: {message}")
+
+    def __reduce__(self):  # crosses the process-pool pickle boundary intact
+        return (type(self), (self.index, self.name, self.message))
+
+
+@dataclass(frozen=True)
+class ReuseReport:
+    """Per-run memoization outcome: how much of a batch came from the store."""
+
+    hits: int
+    executed: int
+    total: int
+
+    @classmethod
+    def from_artifacts(cls, artifacts: Sequence["RunArtifact | None"]) -> "ReuseReport":
+        hits = sum(1 for a in artifacts if a is not None and a.reused)
+        return cls(hits=hits, executed=len(artifacts) - hits, total=len(artifacts))
+
+    def summary(self) -> str:
+        return f"reuse: {self.hits}/{self.total} hit, {self.executed} executed"
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -78,6 +122,12 @@ def _execute_payload(payload: str) -> dict[str, Any] | None:
         if data["oom_to_none"]:
             return None
         raise
+    except Exception as exc:
+        raise SpecExecutionError(
+            data.get("index", -1),
+            spec.name or spec.describe(),
+            f"{type(exc).__name__}: {exc}",
+        ) from exc
 
 
 def _execute_fresh_payload(payload: str) -> dict[str, Any]:
@@ -100,11 +150,51 @@ def _pool_map(fn, payloads: Sequence[str], jobs: int) -> list:
 # --------------------------------------------------------------------- #
 # The parallel executors.
 # --------------------------------------------------------------------- #
+def _reuse_lookup(
+    store: "ArtifactStore", resolved: Sequence["ScenarioSpec"]
+) -> dict[int, "RunArtifact"]:
+    """Stored artifacts that may substitute for executing ``resolved[i]``.
+
+    A record is a hit only when all of these hold:
+
+    * its content hash is filed in the store,
+    * its code-provenance stamp equals the current tree's (same package
+      version, byte-identical ``repro`` source) — any code change misses,
+    * it carries the full ``detail`` payload (lean records cannot be
+      reconstructed into artifacts), and
+    * it recorded no opaque overrides (its spec alone reproduced the run).
+    """
+    from .provenance import provenance_stamp
+    from .runner import RunArtifact
+    from .store.canonical import content_hash
+
+    stamp = provenance_stamp()
+    hits: dict[int, RunArtifact] = {}
+    for i, spec in enumerate(resolved):
+        ref = content_hash(spec)
+        if ref not in store:
+            continue
+        record = store.get_record(ref)
+        if (
+            record.get("provenance") == stamp
+            and "detail" in record
+            and not record.get("opaque_overrides")
+        ):
+            artifact = RunArtifact.from_record(record)
+            artifact.reused = True
+            hits[i] = artifact
+            store.session_reused_refs.append(ref)
+    return hits
+
+
 def run_many(
     specs: Iterable["ScenarioSpec"],
     *,
     jobs: int | None = None,
     oom_to_none: bool = False,
+    store: "ArtifactStore | str | os.PathLike | None" = None,
+    reuse: bool = False,
+    overrides: Sequence[Mapping[str, Any]] | None = None,
 ) -> list["RunArtifact | None"]:
     """Execute many scenario specs, optionally on a process pool.
 
@@ -118,36 +208,87 @@ def run_many(
     oom_to_none:
         When true, a spec whose layout cannot hold its model yields ``None``
         instead of raising (fig11's grey OOM cells).
+    store:
+        An :class:`~repro.api.store.ArtifactStore` (or path).  Every
+        executed artifact is filed under its content hash, in submission
+        order, so parallel store indexes match serial ones.
+    reuse:
+        Turn ``store`` into a memoizer: specs whose content hash is already
+        filed under a matching code-provenance stamp (see
+        :func:`_reuse_lookup`) are served from the store (marked
+        ``artifact.reused``) and only the misses execute.  A repeat campaign
+        becomes delta computation; summarize with
+        ``ReuseReport.from_artifacts(artifacts)``.
+    overrides:
+        Optional per-spec sweep coordinates, stamped on each returned
+        artifact *before* filing so stored records keep their grid position.
 
-    Returns the artifacts in the order the specs were given.  Callers file
-    them into a store themselves (after tagging sweep coordinates), in this
-    order, so parallel store indexes match serial ones.
+    Returns the artifacts in the order the specs were given.
     """
     from ..kvcache.capacity import OutOfMemoryError
     from .runner import RunArtifact, run
 
     resolved = [spec.resolved() for spec in specs]
+    if overrides is not None and len(overrides) != len(resolved):
+        raise ValueError(
+            f"got {len(overrides)} override dicts for {len(resolved)} specs"
+        )
+    if store is not None:
+        from .store import as_store
+
+        store = as_store(store)
+    if reuse and store is None:
+        raise ValueError("run_many(reuse=True) needs a store to reuse from")
+
+    artifacts: list[RunArtifact | None] = [None] * len(resolved)
+    hits: dict[int, RunArtifact] = {}
+    if reuse:
+        hits = _reuse_lookup(store, resolved)
+        for i, artifact in hits.items():
+            artifacts[i] = artifact
+
+    misses = [i for i in range(len(resolved)) if i not in hits]
     n_jobs = resolve_jobs(jobs)
-    artifacts: list[RunArtifact | None]
-    if n_jobs <= 1 or len(resolved) <= 1:
-        artifacts = []
-        for spec in resolved:
+    if n_jobs <= 1 or len(misses) <= 1:
+        for i in misses:
+            spec = resolved[i]
             try:
-                artifacts.append(run(spec))
+                artifacts[i] = run(spec)
             except OutOfMemoryError:
                 if not oom_to_none:
                     raise
-                artifacts.append(None)
+                artifacts[i] = None
+            except Exception as exc:
+                raise SpecExecutionError(
+                    i, spec.name or spec.describe(), f"{type(exc).__name__}: {exc}"
+                ) from exc
     else:
         payloads = [
-            json.dumps({"spec": spec.to_dict(), "oom_to_none": oom_to_none})
-            for spec in resolved
+            json.dumps(
+                {
+                    "spec": resolved[i].to_dict(),
+                    "oom_to_none": oom_to_none,
+                    "index": i,
+                }
+            )
+            for i in misses
         ]
         records = _pool_map(_execute_payload, payloads, n_jobs)
-        artifacts = [
-            None if record is None else RunArtifact.from_record(record)
-            for record in records
-        ]
+        for i, record in zip(misses, records):
+            artifacts[i] = (
+                None if record is None else RunArtifact.from_record(record)
+            )
+
+    if overrides is not None:
+        for artifact, coords in zip(artifacts, overrides):
+            if artifact is not None:
+                artifact.overrides = dict(coords)
+    if store is not None:
+        # File only what actually executed: hits already live in the store,
+        # and re-putting them would churn seq/created_at for no new data.
+        for i, artifact in enumerate(artifacts):
+            if artifact is not None and i not in hits:
+                store.put(artifact)
     return artifacts
 
 

@@ -1,0 +1,76 @@
+"""Code-provenance fingerprinting: *which code* produced a record.
+
+The artifact store keys records by the content hash of their resolved spec,
+which answers "what ran" but not "on which code".  That distinction is what
+makes store-backed memoization (``run_many(..., store=..., reuse=True)``)
+safe: a stored record may substitute for a fresh execution only if the code
+that would execute it today is the code that produced it.  This module
+computes that identity:
+
+* :func:`code_fingerprint` — SHA-256 over the full ``repro`` package tree
+  (every ``.py`` file, path + contents), so *any* source change — a policy
+  tweak, a cost-model constant, a scheduler fix — invalidates every cached
+  record at once.  Conservative by design: false misses cost one re-run,
+  false hits silently return stale numbers.
+* :func:`provenance_stamp` — the dict stamped into every
+  :meth:`RunArtifact.to_record <repro.api.runner.RunArtifact.to_record>`:
+  package version plus the tree fingerprint.
+
+The fingerprint is computed once per process and cached (workers forked by
+the parallel executor inherit the cache).  The ``TDPIPE_CODE_FINGERPRINT``
+environment variable overrides it — the test seam for forcing hits or
+misses without editing source files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+
+__all__ = ["code_fingerprint", "provenance_stamp"]
+
+_ENV_OVERRIDE = "TDPIPE_CODE_FINGERPRINT"
+
+_cached: str | None = None
+
+
+def _package_root() -> Path:
+    # provenance.py lives at src/repro/api/provenance.py -> src/repro.
+    return Path(__file__).resolve().parent.parent
+
+
+def _compute_fingerprint() -> str:
+    digest = hashlib.sha256()
+    root = _package_root()
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        digest.update(path.relative_to(root).as_posix().encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def code_fingerprint() -> str:
+    """SHA-256 hex digest of the ``repro`` source tree (cached per process)."""
+    override = os.environ.get(_ENV_OVERRIDE)
+    if override:
+        return override
+    global _cached
+    if _cached is None:
+        _cached = _compute_fingerprint()
+    return _cached
+
+
+def provenance_stamp() -> dict[str, str]:
+    """The provenance dict every artifact record carries.
+
+    Two records with equal stamps were produced by byte-identical source
+    trees of the same package version — the precondition for one to be
+    reused in place of re-executing the other.
+    """
+    from .. import __version__
+
+    return {"package": __version__, "code": code_fingerprint()}

@@ -44,6 +44,7 @@ from ..workload.arrivals import (
 )
 from ..workload.request import Request
 from ..workload.slo import with_slo_mix
+from .provenance import provenance_stamp
 from .spec import SCHEMA_VERSION, ScenarioSpec
 from .sweep import SweepSpec
 
@@ -64,6 +65,10 @@ class RunArtifact:
     #: predictor, router instance, request list, ...) — present means the
     #: embedded spec alone does not fully reproduce this run.
     opaque_overrides: tuple[str, ...] = ()
+    #: True when this artifact was served from an :class:`ArtifactStore`
+    #: instead of being executed (``run_many(..., reuse=True)``).  Session
+    #: state, not provenance: excluded from equality and never serialized.
+    reused: bool = dc_field(default=False, compare=False, repr=False)
 
     @property
     def kind(self) -> str:
@@ -82,6 +87,10 @@ class RunArtifact:
             "kind": self.kind,
             "spec": self.spec.to_dict(),
             "wall_time_s": self.wall_time_s,
+            # Which code produced this record — the store-as-memoizer reuse
+            # gate (repro.api.provenance).  Deterministic per source tree,
+            # so serial and parallel records stay byte-identical.
+            "provenance": provenance_stamp(),
         }
         if self.overrides:
             record["overrides"] = dict(self.overrides)
@@ -315,6 +324,7 @@ def run_sweep(
     *,
     store: Any | None = None,
     jobs: int | None = None,
+    reuse: bool = False,
     **kwargs: Any,
 ) -> list[RunArtifact]:
     """Run every grid point of a :class:`SweepSpec` (nested-loop order).
@@ -322,10 +332,13 @@ def run_sweep(
     ``store`` files every point's artifact (tagged with its sweep
     coordinates) under its own content hash.  ``jobs`` executes the grid on
     a process pool (see :mod:`repro.api.parallel`); results, hashes and the
-    store index are identical to the serial default.  ``kwargs`` are
-    forwarded to :func:`run` for each point (live-object overrides shared
-    across the grid, e.g. a pre-trained predictor) and are serial-only:
-    live objects cannot cross a process boundary.
+    store index are identical to the serial default.  ``reuse=True`` turns
+    the store into a memoizer: grid points whose content hash is already
+    filed under a matching code-provenance stamp are served from the store
+    and only the misses execute (see :func:`repro.api.parallel.run_many`).
+    ``kwargs`` are forwarded to :func:`run` for each point (live-object
+    overrides shared across the grid, e.g. a pre-trained predictor) and are
+    serial-only: live objects cannot cross a process boundary.
     """
     from .parallel import resolve_jobs, run_many
 
@@ -334,6 +347,23 @@ def run_sweep(
 
         store = as_store(store)
     points = sweep.expand()
+    if reuse:
+        if kwargs:
+            # A live object changes what executes without changing the spec
+            # hash, so a cached record could silently stand in for a
+            # different run — refuse rather than guess.
+            raise ValueError(
+                "run_sweep(reuse=True) cannot carry live-object overrides "
+                f"({sorted(kwargs)}); their effect is invisible to the "
+                "spec's content hash — drop them or run with reuse=False"
+            )
+        return run_many(
+            [point.spec for point in points],
+            jobs=jobs,
+            store=store,
+            reuse=True,
+            overrides=[point.overrides for point in points],
+        )
     if resolve_jobs(jobs) <= 1:
         # Serial: run-tag-file incrementally, so an interrupted sweep keeps
         # every completed point's record (the historic behavior).
@@ -351,12 +381,12 @@ def run_sweep(
             f"({sorted(kwargs)}); they do not serialize across processes — "
             "drop them or run with jobs=1"
         )
-    artifacts = run_many([point.spec for point in points], jobs=jobs)
-    for artifact, point in zip(artifacts, points):
-        artifact.overrides = dict(point.overrides)
-        if store is not None:
-            store.put(artifact)
-    return artifacts
+    return run_many(
+        [point.spec for point in points],
+        jobs=jobs,
+        store=store,
+        overrides=[point.overrides for point in points],
+    )
 
 
 def load_spec(data: Mapping[str, Any]) -> ScenarioSpec | SweepSpec:

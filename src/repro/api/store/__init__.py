@@ -21,6 +21,7 @@ CLI: ``tdpipe-bench record <spec|name>``, ``tdpipe-bench replay [REF]
 from .canonical import canonical_json, canonicalize, content_hash, short_ref
 from .replay import (
     DEFAULT_TOLERANCES,
+    MISSING,
     DiffReport,
     MetricDiff,
     ReplayReport,
@@ -36,6 +37,7 @@ __all__ = [
     "ArtifactStore",
     "as_store",
     "DEFAULT_STORE_PATH",
+    "MISSING",
     "canonicalize",
     "canonical_json",
     "content_hash",

@@ -31,6 +31,7 @@ from .canonical import short_ref
 from .store import ArtifactStore, as_store
 
 __all__ = [
+    "MISSING",
     "Tolerance",
     "MetricDiff",
     "ReplayReport",
@@ -74,11 +75,33 @@ _SKIP_KEYS = {
     "wall_time_s",
     "overrides",
     "opaque_overrides",
+    "provenance",
     "detail",
 }
 
 _INDEX_RE = re.compile(r"\[\d+\]")
-_MISSING = object()
+
+
+class _MissingType:
+    """Sentinel for a metric present on only one side of a comparison.
+
+    Distinct from ``None``: a record can legitimately hold a ``null`` metric
+    (``rate_rps: null``), and a diff must not render "this side recorded
+    null" the same as "this side has no such key"."""
+
+    _instance: "_MissingType | None" = None
+
+    def __new__(cls) -> "_MissingType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<missing>"
+
+
+#: The one-sided-diff marker carried in :class:`MetricDiff.recorded`/``fresh``.
+MISSING = _MissingType()
 
 
 @dataclass(frozen=True)
@@ -86,12 +109,20 @@ class MetricDiff:
     """One compared metric: recorded vs fresh value and the verdict."""
 
     metric: str
+    #: Either side is :data:`MISSING` when the key exists only on the other
+    #: side (never conflated with a recorded ``null``/``None`` value).
     recorded: Any
     fresh: Any
     within: bool
 
     @property
+    def one_sided(self) -> bool:
+        return self.recorded is MISSING or self.fresh is MISSING
+
+    @property
     def delta(self) -> float | None:
+        # One-sided diffs (and non-numeric values) have no numeric delta;
+        # MISSING is not numeric, so the isinstance guard covers both.
         if isinstance(self.recorded, (int, float)) and isinstance(
             self.fresh, (int, float)
         ):
@@ -135,9 +166,10 @@ def _compare_leaf(
     tolerances: Mapping[str, Tolerance],
     default: Tolerance,
 ) -> None:
-    if recorded is _MISSING or fresh is _MISSING:
-        out.append(MetricDiff(path, recorded if fresh is _MISSING else None,
-                              fresh if recorded is _MISSING else None, False))
+    if recorded is MISSING or fresh is MISSING:
+        # Keep the sentinel: collapsing the absent side to None would make
+        # a one-sided key indistinguishable from a recorded null.
+        out.append(MetricDiff(path, recorded, fresh, False))
         return
     numeric = (
         isinstance(recorded, (int, float))
@@ -171,8 +203,8 @@ def _walk(
             sub = f"{path}.{key}" if path else str(key)
             _walk(
                 sub,
-                recorded.get(key, _MISSING),
-                fresh.get(key, _MISSING),
+                recorded.get(key, MISSING),
+                fresh.get(key, MISSING),
                 out,
                 tolerances,
                 default,

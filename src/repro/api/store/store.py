@@ -22,12 +22,18 @@ prefix, or a scenario name (resolving to its most recent record).
 
 from __future__ import annotations
 
+import contextlib
 import gzip
 import json
 import os
 import time
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+try:  # POSIX advisory locks; the portable fallback spins on O_EXCL.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms only
+    fcntl = None  # type: ignore[assignment]
 
 from .canonical import content_hash, short_ref
 
@@ -43,7 +49,11 @@ DEFAULT_STORE_PATH = "tdpipe-store"
 STORE_VERSION = 1
 
 _INDEX = "index.json"
+_INDEX_LOCK = "index.lock"
 _RECORDS = "records"
+
+#: How long the fallback (non-fcntl) lock spins before giving up.
+_LOCK_TIMEOUT_S = 30.0
 
 
 class ArtifactStore:
@@ -70,6 +80,15 @@ class ArtifactStore:
         #: Refs written by *this* process, in put() order (what a CLI
         #: invocation just produced, vs. whatever the directory already held).
         self.session_refs: list[str] = []
+        #: Refs served from the store instead of executing, in lookup order
+        #: (``run_many(..., reuse=True)`` memo hits).  With
+        #: :attr:`session_refs` this gives the session's hit/executed split.
+        self.session_reused_refs: list[str] = []
+        #: Test seam: called inside :meth:`put`'s locked index
+        #: read-modify-write, right after the index is loaded.  Lets the
+        #: concurrency regression test hold the critical section open and
+        #: prove a second writer cannot interleave.
+        self._after_load_index: Callable[[], None] | None = None
 
     # -- paths ---------------------------------------------------------- #
     @property
@@ -107,6 +126,46 @@ class ArtifactStore:
             fh.write("\n")
         os.replace(tmp, self.index_path)
 
+    @contextlib.contextmanager
+    def _index_lock(self):
+        """Exclusive inter-process lock for the index read-modify-write.
+
+        Without it, two processes ``put``-ing into one store interleave
+        ``_load_index``/``_save_index``: the later save silently drops the
+        earlier entry and can double-assign ``seq`` from a stale
+        ``next_seq``.  Uses an advisory ``flock`` on ``index.lock`` where
+        available (POSIX), falling back to an ``O_EXCL`` spin lock with a
+        stale-lock timeout elsewhere.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.root / _INDEX_LOCK
+        if fcntl is not None:
+            with open(path, "a+") as fh:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+                try:
+                    yield
+                finally:
+                    fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+            return
+        deadline = time.monotonic() + _LOCK_TIMEOUT_S  # pragma: no cover
+        while True:  # pragma: no cover - non-POSIX platforms only
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                break
+            except FileExistsError:
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"could not acquire {path} within {_LOCK_TIMEOUT_S}s; "
+                        "remove the stale lock file if no writer is alive"
+                    ) from None
+                time.sleep(0.01)
+        try:  # pragma: no cover
+            yield
+        finally:  # pragma: no cover
+            os.close(fd)
+            with contextlib.suppress(FileNotFoundError):
+                os.unlink(path)
+
     # -- write ---------------------------------------------------------- #
     def put(self, artifact: "RunArtifact", *, allow_opaque: bool = False) -> str:
         """File one artifact under its spec hash; return the full ref.
@@ -128,37 +187,46 @@ class ArtifactStore:
         record_path = (
             self._gz_record_path(ref) if self.compress else self._record_path(ref)
         )
-        tmp = record_path.with_name(record_path.name + ".tmp")
-        if self.compress:
-            # mtime=0 keeps the gzip bytes a pure function of the record, so
-            # serial and parallel sweeps produce byte-identical stores.
-            tmp.write_bytes(gzip.compress(payload.encode("utf-8"), mtime=0))
-        else:
-            tmp.write_text(payload)
-        os.replace(tmp, record_path)
-        # Re-recording a spec with the other compression setting must not
-        # leave a stale sibling behind (reads prefer the plain file).
-        stale = self._record_path(ref) if self.compress else self._gz_record_path(ref)
-        if stale.exists():
-            stale.unlink()
+        # The whole write — record file plus index read-modify-write — runs
+        # under the index lock so concurrent puts from parallel jobs serialize
+        # instead of losing entries or double-assigning seq numbers.
+        with self._index_lock():
+            tmp = record_path.with_name(record_path.name + ".tmp")
+            if self.compress:
+                # mtime=0 keeps the gzip bytes a pure function of the record,
+                # so serial and parallel sweeps produce byte-identical stores.
+                tmp.write_bytes(gzip.compress(payload.encode("utf-8"), mtime=0))
+            else:
+                tmp.write_text(payload)
+            os.replace(tmp, record_path)
+            # Re-recording a spec with the other compression setting must not
+            # leave a stale sibling behind (reads prefer the plain file).
+            stale = (
+                self._record_path(ref) if self.compress
+                else self._gz_record_path(ref)
+            )
+            if stale.exists():
+                stale.unlink()
 
-        index = self._load_index()
-        entry: dict[str, Any] = {
-            "seq": index["next_seq"],
-            "name": artifact.spec.name or "scenario",
-            "kind": artifact.kind,
-            "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-            "describe": artifact.spec.describe(),
-            "file": f"{_RECORDS}/{record_path.name}",
-            "throughput_tps": record.get("throughput_tps"),
-        }
-        if self.lean:
-            entry["lean"] = True
-        if artifact.overrides:
-            entry["overrides"] = dict(artifact.overrides)
-        index["next_seq"] += 1
-        index["entries"][ref] = entry
-        self._save_index(index)
+            index = self._load_index()
+            if self._after_load_index is not None:
+                self._after_load_index()
+            entry: dict[str, Any] = {
+                "seq": index["next_seq"],
+                "name": artifact.spec.name or "scenario",
+                "kind": artifact.kind,
+                "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+                "describe": artifact.spec.describe(),
+                "file": f"{_RECORDS}/{record_path.name}",
+                "throughput_tps": record.get("throughput_tps"),
+            }
+            if self.lean:
+                entry["lean"] = True
+            if artifact.overrides:
+                entry["overrides"] = dict(artifact.overrides)
+            index["next_seq"] += 1
+            index["entries"][ref] = entry
+            self._save_index(index)
         self.session_refs.append(ref)
         return ref
 
@@ -180,10 +248,24 @@ class ArtifactStore:
         return isinstance(ref, str) and ref in self._load_index()["entries"]
 
     def resolve(self, token: str) -> str:
-        """Resolve a full hash, unambiguous prefix, or scenario name."""
+        """Resolve a full hash, scenario name, or unambiguous hash prefix.
+
+        Match priority is exact ref, then name, then prefix.  Names are
+        checked *before* prefixes: a scenario named ``"beef"`` (or any other
+        name that happens to be valid hex) must resolve to that scenario's
+        record, never silently to whichever other record's hash starts with
+        those characters.
+        """
         entries = self._load_index()["entries"]
         if token in entries:
             return token
+        name_hits = [
+            (entry["seq"], ref)
+            for ref, entry in entries.items()
+            if entry["name"] == token
+        ]
+        if name_hits:
+            return max(name_hits)[1]  # most recent record under that name
         prefix_hits = [ref for ref in entries if ref.startswith(token)]
         if len(prefix_hits) == 1:
             return prefix_hits[0]
@@ -192,13 +274,6 @@ class ArtifactStore:
                 f"ref prefix {token!r} is ambiguous: "
                 f"{sorted(short_ref(r) for r in prefix_hits)}"
             )
-        name_hits = [
-            (entry["seq"], ref)
-            for ref, entry in entries.items()
-            if entry["name"] == token
-        ]
-        if name_hits:
-            return max(name_hits)[1]  # most recent record under that name
         raise KeyError(
             f"no record matches {token!r} in store {self.root} "
             f"({len(entries)} records)"
@@ -247,6 +322,136 @@ class ArtifactStore:
     def put_all(self, artifacts: Iterable["RunArtifact"], **kwargs: Any) -> list[str]:
         """File several artifacts; return their refs in order."""
         return [self.put(a, **kwargs) for a in artifacts]
+
+    # -- maintenance ----------------------------------------------------- #
+    def _record_files(self) -> dict[str, list[Path]]:
+        """ref -> record files on disk (plain before gzip, like reads)."""
+        found: dict[str, list[Path]] = {}
+        if not self.records_dir.exists():
+            return found
+        for path in sorted(self.records_dir.iterdir()):
+            if path.name.endswith(".json"):
+                found.setdefault(path.name[: -len(".json")], []).insert(0, path)
+            elif path.name.endswith(".json.gz"):
+                found.setdefault(path.name[: -len(".json.gz")], []).append(path)
+        return found
+
+    @staticmethod
+    def _read_record_file(path: Path) -> dict[str, Any]:
+        if path.suffix == ".gz":
+            with gzip.open(path, "rt") as fh:
+                return json.load(fh)
+        with open(path) as fh:
+            return json.load(fh)
+
+    def gc(self) -> dict[str, Any]:
+        """Prune files the index does not reference (and dead index entries).
+
+        Removes record files (``records/*.json[.gz]``) no index entry names
+        — stale compression siblings, leftovers of interrupted puts, records
+        copied in by hand — plus orphaned ``*.tmp`` files, and drops index
+        entries whose record file has vanished.  Run :meth:`fsck` first if
+        the *index* is the casualty: gc trusts the index, fsck rebuilds it.
+        """
+        with self._index_lock():
+            index = self._load_index()
+            referenced = {
+                (self.root / entry["file"]).resolve()
+                for entry in index["entries"].values()
+                if entry.get("file")
+            }
+            removed: list[str] = []
+            if self.records_dir.exists():
+                for path in sorted(self.records_dir.iterdir()):
+                    keep = (
+                        path.name.endswith((".json", ".json.gz"))
+                        and path.resolve() in referenced
+                    )
+                    if not keep:
+                        path.unlink()
+                        removed.append(path.name)
+            dropped = sorted(
+                ref
+                for ref, entry in index["entries"].items()
+                if not (self.root / entry["file"]).exists()
+            )
+            if dropped:
+                for ref in dropped:
+                    del index["entries"][ref]
+                self._save_index(index)
+        return {
+            "removed_files": removed,
+            "dropped_entries": dropped,
+            "entries": len(index["entries"]),
+        }
+
+    def fsck(self) -> dict[str, Any]:
+        """Rebuild ``index.json`` from the record files, deterministically.
+
+        Every index field except ``seq``/``created_at`` is a pure function
+        of the record it names, so the index is reconstructible after loss
+        or corruption: entries are rebuilt in ref-sorted order (``seq`` =
+        rank — put order is not recoverable from content-addressed records),
+        ``created_at`` is carried over from a readable existing index and
+        falls back to the record file's mtime.  Records whose filename does
+        not match the content hash of their embedded spec are reported and
+        left out of the index (gc will then prune them).  Idempotent: a
+        second fsck reproduces the index byte-for-byte.
+        """
+        from ..spec import ScenarioSpec
+
+        with self._index_lock():
+            created_at: dict[str, str] = {}
+            with contextlib.suppress(Exception):
+                for ref, entry in self._load_index()["entries"].items():
+                    if entry.get("created_at"):
+                        created_at[ref] = entry["created_at"]
+            entries: dict[str, Any] = {}
+            mismatched: list[str] = []
+            stale_siblings: list[str] = []
+            for seq, (ref, paths) in enumerate(sorted(self._record_files().items())):
+                path = paths[0]
+                stale_siblings += [p.name for p in paths[1:]]
+                try:
+                    record = self._read_record_file(path)
+                    spec = ScenarioSpec.from_dict(record["spec"])
+                    ok = content_hash(spec) == ref
+                except Exception:
+                    ok = False
+                if not ok:
+                    mismatched.append(path.name)
+                    continue
+                entry: dict[str, Any] = {
+                    "seq": seq,
+                    "name": spec.name or "scenario",
+                    "kind": record["kind"],
+                    "created_at": created_at.get(ref) or time.strftime(
+                        "%Y-%m-%dT%H:%M:%SZ", time.gmtime(path.stat().st_mtime)
+                    ),
+                    "describe": spec.describe(),
+                    "file": f"{_RECORDS}/{path.name}",
+                    "throughput_tps": record.get("throughput_tps"),
+                }
+                if "detail" not in record:
+                    entry["lean"] = True
+                if record.get("overrides"):
+                    entry["overrides"] = dict(record["overrides"])
+                entries[ref] = entry
+            # Mismatched files shifted ranks out of a dense 0..n-1 range;
+            # renumber so seq is a pure function of the surviving refs.
+            for seq, entry in enumerate(entries.values()):
+                entry["seq"] = seq
+            index = {
+                "store_version": STORE_VERSION,
+                "next_seq": len(entries),
+                "entries": entries,
+            }
+            self._save_index(index)
+        return {
+            "entries": len(entries),
+            "mismatched": mismatched,
+            "stale_siblings": stale_siblings,
+        }
 
 
 def as_store(store: "ArtifactStore | str | os.PathLike") -> ArtifactStore:

@@ -16,8 +16,12 @@ Examples
     tdpipe-bench run --spec examples/scenarios/hetero.json --bench-json out.json
     tdpipe-bench run --spec cluster-hetero --set workload.scale=0.02
     tdpipe-bench record cluster-hetero --store tdpipe-store
+    tdpipe-bench record cluster-hetero --store tdpipe-store --reuse --jobs 2
     tdpipe-bench replay --store tdpipe-store --strict   # the regression gate
+    tdpipe-bench replay --store tdpipe-store --update   # accept drift in place
     tdpipe-bench diff a1b2c3 d4e5f6 --store tdpipe-store
+    tdpipe-bench store gc --store tdpipe-store
+    tdpipe-bench store fsck --store tdpipe-store        # rebuild index.json
 """
 
 from __future__ import annotations
@@ -88,14 +92,14 @@ _STORE_CAPABLE = {
 _BENCH_CAPABLE = {"cluster", "run", "record", "perf", *_STORE_CAPABLE}
 
 EXPERIMENTS = sorted(
-    [*_SCALED, *_STATIC, "all", "run", "record", "replay", "diff", "perf"]
+    [*_SCALED, *_STATIC, "all", "run", "record", "replay", "diff", "perf", "store"]
 )
 
 #: Experiments that can fan grid execution out over a process pool.
 _JOBS_CAPABLE = {"run", "record", "replay", "perf", "all", *_STORE_CAPABLE}
 
 
-def _run_one(name: str, scale, store=None, jobs=None) -> str:
+def _run_one(name: str, scale, store=None, jobs=None, reuse=False) -> str:
     if name in _STATIC:
         return _STATIC[name]()
     runner, formatter = _SCALED[name]
@@ -104,6 +108,8 @@ def _run_one(name: str, scale, store=None, jobs=None) -> str:
         kwargs["store"] = store
     if jobs is not None and name in _STORE_CAPABLE:
         kwargs["jobs"] = jobs
+    if reuse and name in _STORE_CAPABLE:
+        kwargs["reuse"] = True
     return formatter(runner(scale=scale, **kwargs))
 
 
@@ -134,11 +140,13 @@ def _run_spec(args) -> int:
     store = api.as_store(args.store) if args.store else None
     if isinstance(spec, api.SweepSpec):
         print(f"sweep {spec.name or '(unnamed)'}: {spec.num_points} scenarios")
-        artifacts = api.run_sweep(spec, store=store, jobs=args.jobs)
+        artifacts = api.run_sweep(spec, store=store, jobs=args.jobs, reuse=args.reuse)
         for artifact in artifacts:
             coords = ", ".join(f"{k}={v}" for k, v in artifact.overrides.items())
-            print(f"[{coords}]")
+            print(f"[{coords}]{'  (reused)' if artifact.reused else ''}")
             print(artifact.result.summary())
+        if args.reuse:
+            print(api.ReuseReport.from_artifacts(artifacts).summary())
         if args.bench_json:
             record = {
                 "schema_version": api.SCHEMA_VERSION,
@@ -148,12 +156,18 @@ def _run_spec(args) -> int:
             }
             _write_json(args.bench_json, record)
         return 0
-    artifact = api.run(spec, store=store)
+    if args.reuse:
+        artifacts = api.run_many([spec], store=store, reuse=True)
+        artifact = artifacts[0]
+    else:
+        artifact = api.run(spec, store=store)
     print(artifact.spec.describe())
     print(artifact.result.summary())
     if hasattr(artifact.result, "slo_attainment"):
         for stats in artifact.result.slo_attainment.values():
             print(f"  SLO {stats.summary()}")
+    if args.reuse:
+        print(api.ReuseReport.from_artifacts([artifact]).summary())
     if args.bench_json:
         _write_json(args.bench_json, artifact.to_record(detail=False))
     return 0
@@ -178,15 +192,24 @@ def _run_record(args) -> int:
     spec = _apply_overrides(_load_spec_arg(target), args.set or [])
     store = _open_store(args)
     if isinstance(spec, api.SweepSpec):
-        artifacts = api.run_sweep(spec, store=store, jobs=args.jobs)
+        artifacts = api.run_sweep(spec, store=store, jobs=args.jobs, reuse=args.reuse)
+    elif args.reuse:
+        artifacts = api.run_many([spec], store=store, reuse=True)
     else:
         artifacts = [api.run(spec, store=store)]
-    for artifact, ref in zip(artifacts, store.session_refs):
+    for artifact in artifacts:
+        # A memo hit was never put() this session, so refs come from the
+        # artifact's own spec hash rather than store.session_refs.
+        ref = api.content_hash(artifact.spec)
         coords = ", ".join(f"{k}={v}" for k, v in artifact.overrides.items())
         suffix = f"  [{coords}]" if coords else ""
+        if artifact.reused:
+            suffix += "  (reused)"
         print(f"{api.store.short_ref(ref)}  {artifact.spec.describe()}{suffix}")
         print(f"  {artifact.result.summary()}")
     print(f"{len(store.session_refs)} record(s) -> {store.root}")
+    if args.reuse:
+        print(api.ReuseReport.from_artifacts(artifacts).summary())
     if args.bench_json:
         _write_json(args.bench_json, _store_bench_record(store, target))
     return 0
@@ -208,10 +231,48 @@ def _run_replay(args) -> int:
         raise SystemExit(f"store {store.root} holds no records to replay")
     for report in reports:
         print(report.summary())
-    drifted = sum(not r.ok for r in reports)
+    drifted = [r for r in reports if not r.ok]
+    if args.update and drifted:
+        # Accept the drift: re-execute each drifted spec on the current code
+        # and overwrite its record in place (same ref — the spec is the
+        # address — fresh metrics and seq, original sweep coordinates).
+        for report in drifted:
+            artifact = api.run(report.spec)
+            artifact.overrides = dict(report.recorded.get("overrides", {}))
+            store.put(artifact)
+        print(f"replayed {len(reports)} record(s): {len(drifted)} drifted, "
+              f"re-recorded in place")
+        return 0
     print(f"replayed {len(reports)} record(s): "
-          f"{'all reproduce' if not drifted else f'{drifted} drifted'}")
+          f"{'all reproduce' if not drifted else f'{len(drifted)} drifted'}")
     return 1 if drifted else 0
+
+
+def _run_store_maint(args) -> int:
+    """``store gc|fsck``: maintain an artifact store used as a shared cache."""
+    if len(args.targets) != 1 or args.targets[0] not in ("gc", "fsck"):
+        raise SystemExit("`store` takes exactly one action: gc or fsck")
+    store = _open_store(args)
+    if args.targets[0] == "gc":
+        report = store.gc()
+        print(f"gc {store.root}: removed {len(report['removed_files'])} "
+              f"orphaned file(s), dropped {len(report['dropped_entries'])} "
+              f"dead entr{'y' if len(report['dropped_entries']) == 1 else 'ies'}, "
+              f"{report['entries']} record(s) kept")
+        for name in report["removed_files"]:
+            print(f"  removed {name}")
+        for ref in report["dropped_entries"]:
+            print(f"  dropped {api.store.short_ref(ref)} (record file missing)")
+        return 0
+    report = store.fsck()
+    print(f"fsck {store.root}: index rebuilt from records "
+          f"({report['entries']} entr{'y' if report['entries'] == 1 else 'ies'})")
+    for name in report["stale_siblings"]:
+        print(f"  stale sibling kept out of the index: {name}")
+    for name in report["mismatched"]:
+        print(f"  MISMATCH {name}: file name is not the content hash "
+              "of the embedded spec")
+    return 1 if report["mismatched"] else 0
 
 
 def _run_diff(args) -> int:
@@ -289,7 +350,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "targets", nargs="*", metavar="TARGET",
         help="record: spec file or registry name; replay: ref(s), default all; "
-        "diff: two refs (hash, unambiguous prefix, or scenario name)",
+        "diff: two refs (hash, unambiguous prefix, or scenario name); "
+        "store: one maintenance action (gc or fsck)",
     )
     parser.add_argument(
         "--scale",
@@ -398,6 +460,17 @@ def main(argv: list[str] | None = None) -> int:
         "--strict", action="store_true",
         help="replay/diff: zero tolerance — any metric drift fails",
     )
+    store_opts.add_argument(
+        "--reuse", action="store_true",
+        help="serve grid points already recorded in --store (same spec hash, "
+        "same code provenance) from the store instead of re-running them; "
+        "only the misses execute (incremental campaigns)",
+    )
+    store_opts.add_argument(
+        "--update", action="store_true",
+        help="replay: re-execute drifted records and overwrite them in place "
+        "(accept the current code's metrics as the new baseline)",
+    )
     args = parser.parse_args(argv)
 
     cluster_flags = (
@@ -424,16 +497,27 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--gzip/--lean only apply to `record`")
     if args.experiment not in ("run", "record") and (args.spec is not None or args.set):
         parser.error("--spec/--set only apply to `run` and `record`")
-    if args.targets and args.experiment not in ("record", "replay", "diff"):
-        parser.error("positional targets only apply to `record`/`replay`/`diff`")
-    store_users = {"run", "record", "replay", "diff", *_STORE_CAPABLE}
+    if args.targets and args.experiment not in ("record", "replay", "diff", "store"):
+        parser.error(
+            "positional targets only apply to `record`/`replay`/`diff`/`store`"
+        )
+    reuse_users = {"run", "record", *_STORE_CAPABLE}
+    if args.reuse and args.experiment not in reuse_users:
+        parser.error(f"--reuse only applies to {', '.join(sorted(reuse_users))}")
+    if args.reuse and args.experiment != "record" and args.store is None:
+        # record defaults to a durable store; the others would otherwise
+        # memoize against nothing (or a throwaway) and always miss.
+        parser.error("--reuse needs --store DIR (the store is the memo cache)")
+    if args.update and args.experiment != "replay":
+        parser.error("--update only applies to `replay`")
+    store_users = {"run", "record", "replay", "diff", "store", *_STORE_CAPABLE}
     if args.store is not None and args.experiment not in store_users:
         parser.error(f"--store only applies to {', '.join(sorted(store_users))}")
     if args.store_b is not None and args.experiment != "diff":
         parser.error("--store-b only applies to `diff`")
     if args.strict and args.experiment not in ("replay", "diff"):
         parser.error("--strict only applies to `replay` and `diff`")
-    if args.experiment in ("run", "record", "replay", "diff", "perf") and (
+    if args.experiment in ("run", "record", "replay", "diff", "perf", "store") and (
         args.scale is not None or args.seed is not None or args.full
     ):
         # Silently running a spec at a different scale than requested would
@@ -450,6 +534,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_replay(args)
     if args.experiment == "diff":
         return _run_diff(args)
+    if args.experiment == "store":
+        return _run_store_maint(args)
     if args.experiment == "run":
         if args.spec is None:
             parser.error("`run` needs --spec PATH_OR_NAME")
@@ -536,7 +622,7 @@ def main(argv: list[str] | None = None) -> int:
     names = sorted([*_SCALED, *_STATIC]) if args.experiment == "all" else [args.experiment]
     for name in names:
         t0 = time.time()
-        output = _run_one(name, scale, store=store, jobs=args.jobs)
+        output = _run_one(name, scale, store=store, jobs=args.jobs, reuse=args.reuse)
         dt = time.time() - t0
         print(f"=== {name} (elapsed {dt:.1f}s) ===")
         print(output)
@@ -550,6 +636,12 @@ def main(argv: list[str] | None = None) -> int:
             shutil.rmtree(throwaway, ignore_errors=True)
         else:
             print(f"{len(store.session_refs)} record(s) -> {store.root}")
+            if args.reuse:
+                hits = len(store.session_reused_refs)
+                executed = len(store.session_refs)
+                print(api.ReuseReport(
+                    hits=hits, executed=executed, total=hits + executed
+                ).summary())
     return 0
 
 

@@ -213,6 +213,7 @@ def run_heterogeneous(
     slo_mix: str = DEFAULT_SLO_MIX,
     store=None,
     jobs: int | None = None,
+    reuse: bool = False,
 ) -> list[dict]:
     """Mixed L20/A100 fleet: does capacity normalization earn its keep?
 
@@ -237,7 +238,7 @@ def run_heterogeneous(
     )
     return [
         _row(a.result, system, a.spec.control.router, rate_rps, slo_mix)
-        for a in run_sweep(sweep, store=store, jobs=jobs)
+        for a in run_sweep(sweep, store=store, jobs=jobs, reuse=reuse)
     ]
 
 
@@ -276,6 +277,7 @@ def run_autoscaling(
     slo_mix: str = DEFAULT_SLO_MIX,
     store=None,
     jobs: int | None = None,
+    reuse: bool = False,
 ) -> list[dict]:
     """Fixed fleet vs autoscaled fleet on the same workload.
 
@@ -299,7 +301,7 @@ def run_autoscaling(
         seed=scale.seed,
     )
     rows = []
-    for artifact in run_sweep(sweep, store=store, jobs=jobs):
+    for artifact in run_sweep(sweep, store=store, jobs=jobs, reuse=reuse):
         row = _row(artifact.result, system, router, rate_rps, slo_mix)
         row["autoscaled"] = artifact.spec.control.wants_autoscaler
         rows.append(row)

@@ -116,6 +116,7 @@ def run(
     systems: tuple[str, ...] = SYSTEMS,
     store: api.ArtifactStore | None = None,
     jobs: int | None = None,
+    reuse: bool = False,
 ) -> Fig11Result:
     """Regenerate Figure 11 at the given workload scale.
 
@@ -123,7 +124,8 @@ def run(
     cannot hold the model become OOM cells (the paper's grey bars) rather
     than aborting the grid; everything else lands in ``store`` when given.
     ``jobs`` fans each combo's grid out on a process pool (OOM cells
-    included — workers report them as misses, not failures).
+    included — workers report them as misses, not failures).  ``reuse``
+    serves already-recorded cells from ``store`` instead of re-running them.
     """
     scale = scale or default_scale()
     result = Fig11Result()
@@ -138,7 +140,12 @@ def run(
         )
         points = sweep.expand()
         artifacts = api.run_many(
-            [point.spec for point in points], jobs=jobs, oom_to_none=True
+            [point.spec for point in points],
+            jobs=jobs,
+            oom_to_none=True,
+            store=store,
+            reuse=reuse,
+            overrides=[point.overrides for point in points],
         )
         for point, artifact in zip(points, artifacts):
             num_gpus = point.spec.fleet.num_gpus
@@ -148,9 +155,6 @@ def run(
                     Fig11Cell(gpu_name, model_name, num_gpus, system, None)
                 )
                 continue
-            artifact.overrides = dict(point.overrides)
-            if store is not None:
-                store.put(artifact)
             r = artifact.result
             result.cells.append(
                 Fig11Cell(

@@ -1,0 +1,552 @@
+"""Store-as-memoizer incremental campaigns + concurrency-safe store.
+
+The tentpole contract: ``run_many(specs, store=..., reuse=True)`` serves any
+spec whose content hash is already filed under the current code-provenance
+stamp straight from the store and executes only the misses — bit-identical
+(modulo wall time) to running everything fresh.  Around that, the store has
+to be safe as a shared cache: concurrent ``put``\\ s serialize under the
+index lock, ``gc``/``fsck`` recover from orphaned files and lost indexes,
+``resolve`` prefers exact ref > name > prefix, one-sided metric diffs carry
+an explicit ``MISSING`` sentinel, and batch failures name their spec.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import pickle
+import re
+import time
+
+import pytest
+
+from repro import api
+
+SCALE = 0.02
+
+
+def base_spec(**workload_kwargs) -> api.ScenarioSpec:
+    workload = dict(scale=SCALE, seed=0)
+    workload.update(workload_kwargs)
+    return api.ScenarioSpec(
+        name="memo-test",
+        mode="engine",
+        workload=api.WorkloadSpec(**workload),
+        fleet=api.FleetSpec(node="L20", num_gpus=2, replicas=1),
+        engine=api.EngineSpec(system="TP+SB", model="13B"),
+    )
+
+
+def seed_sweep(seeds=(0, 1, 2, 3)) -> api.SweepSpec:
+    """A cheap grid whose axis values we can move between campaigns."""
+    return api.SweepSpec(
+        name="memo-test",
+        base=base_spec(),
+        axes=(api.SweepAxis("workload.seed", tuple(seeds)),),
+    )
+
+
+def canon(record: dict) -> str:
+    """Canonical record text minus the only legitimately varying key."""
+    return json.dumps(
+        {k: v for k, v in record.items() if k != "wall_time_s"}, sort_keys=True
+    )
+
+
+@pytest.fixture(scope="module")
+def base_artifact() -> api.RunArtifact:
+    return api.run(base_spec())
+
+
+def variant(artifact: api.RunArtifact, seed: int) -> api.RunArtifact:
+    """A distinct-ref artifact without paying for another simulation."""
+    art = api.RunArtifact.from_record(artifact.to_record())
+    art.spec = art.spec.with_overrides({"workload.seed": seed})
+    return art
+
+
+def spy_on_run(monkeypatch) -> list[api.ScenarioSpec]:
+    """Count (serial) executions through the one true ``api.run``."""
+    import repro.api.runner as runner_mod
+
+    calls: list[api.ScenarioSpec] = []
+    real_run = runner_mod.run
+
+    def counting_run(spec, **kwargs):
+        calls.append(spec)
+        return real_run(spec, **kwargs)
+
+    monkeypatch.setattr(runner_mod, "run", counting_run)
+    return calls
+
+
+# --------------------------------------------------------------------- #
+# Code provenance: the reuse gate.
+# --------------------------------------------------------------------- #
+class TestProvenance:
+    def test_fingerprint_is_deterministic_hex(self):
+        fp = api.code_fingerprint()
+        assert fp == api.code_fingerprint()
+        assert re.fullmatch(r"[0-9a-f]{64}", fp)
+
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv("TDPIPE_CODE_FINGERPRINT", "cafe")
+        assert api.code_fingerprint() == "cafe"
+        assert api.provenance_stamp()["code"] == "cafe"
+
+    def test_records_carry_current_stamp(self, base_artifact):
+        record = base_artifact.to_record()
+        assert record["provenance"] == api.provenance_stamp()
+        assert set(record["provenance"]) == {"package", "code"}
+
+    def test_provenance_is_not_a_compared_metric(self, base_artifact):
+        record = base_artifact.to_record(detail=False)
+        other = dict(record, provenance={"package": "0.0.0", "code": "beef"})
+        diffs = api.compare_records(record, other, strict=True)
+        assert all(d.within for d in diffs)
+
+
+# --------------------------------------------------------------------- #
+# The tentpole: run_many as an incremental campaign.
+# --------------------------------------------------------------------- #
+class TestMemoizedRunMany:
+    def test_reuse_needs_store(self):
+        with pytest.raises(ValueError, match="needs a store"):
+            api.run_many([base_spec()], reuse=True)
+
+    def test_second_pass_all_hits_bit_identical(self, tmp_path, monkeypatch):
+        specs = [p.spec for p in seed_sweep().expand()]
+        store = api.ArtifactStore(tmp_path / "store")
+        first = api.run_many(specs, store=store)
+        calls = spy_on_run(monkeypatch)
+        second = api.run_many(specs, store=store, reuse=True)
+        assert calls == []  # nothing executed: the whole campaign was warm
+        report = api.ReuseReport.from_artifacts(second)
+        assert (report.hits, report.executed, report.total) == (4, 0, 4)
+        assert report.summary() == "reuse: 4/4 hit, 0 executed"
+        for fresh, memo in zip(first, second):
+            assert memo.reused and not fresh.reused
+            assert canon(memo.to_record()) == canon(fresh.to_record())
+        # Hits are never re-put: the index is untouched by the second pass.
+        assert len(store.session_refs) == 4
+        assert store.session_reused_refs == store.session_refs
+
+    def test_changed_cell_executes_exactly_the_miss(self, tmp_path, monkeypatch):
+        """The acceptance keystone: move one axis value, pay for one cell."""
+        store = api.ArtifactStore(tmp_path / "store")
+        api.run_many([p.spec for p in seed_sweep((0, 1, 2, 3)).expand()], store=store)
+
+        moved = [p.spec for p in seed_sweep((0, 1, 9, 3)).expand()]
+        fresh = api.run_many(moved)  # reference: everything from scratch
+        calls = spy_on_run(monkeypatch)
+        memo = api.run_many(moved, store=store, reuse=True)
+        assert [s.workload.seed for s in calls] == [9]
+        assert [a.reused for a in memo] == [True, True, False, True]
+        for a, b in zip(fresh, memo):
+            assert canon(a.to_record()) == canon(b.to_record())
+        assert api.ReuseReport.from_artifacts(memo).summary() == (
+            "reuse: 3/4 hit, 1 executed"
+        )
+        # The miss was filed, so the next pass is fully warm.
+        assert len(store) == 5
+
+    def test_provenance_flip_invalidates_every_hit(self, tmp_path, monkeypatch):
+        store = api.ArtifactStore(tmp_path / "store")
+        specs = [p.spec for p in seed_sweep((0, 1)).expand()]
+        api.run_many(specs, store=store)
+        monkeypatch.setenv("TDPIPE_CODE_FINGERPRINT", "f" * 64)
+        calls = spy_on_run(monkeypatch)
+        memo = api.run_many(specs, store=store, reuse=True)
+        assert len(calls) == 2  # different code stamp: everything re-runs
+        assert all(not a.reused for a in memo)
+        # Re-execution re-records under the new stamp, so the *next* pass
+        # under the same stamp is warm again.
+        calls.clear()
+        memo = api.run_many(specs, store=store, reuse=True)
+        assert calls == [] and all(a.reused for a in memo)
+
+    def test_lean_records_never_hit(self, tmp_path, monkeypatch):
+        store = api.ArtifactStore(tmp_path / "store", lean=True)
+        api.run(base_spec(), store=store)
+        calls = spy_on_run(monkeypatch)
+        (memo,) = api.run_many([base_spec()], store=store, reuse=True)
+        assert len(calls) == 1 and not memo.reused
+
+    def test_parallel_reuse_matches_serial(self, tmp_path):
+        specs = [p.spec for p in seed_sweep().expand()]
+        store = api.ArtifactStore(tmp_path / "store")
+        api.run_many(specs[:2], store=store)  # warm half the grid
+        fresh = api.run_many(specs)
+        memo = api.run_many(specs, store=store, reuse=True, jobs=2)
+        assert [a.reused for a in memo] == [True, True, False, False]
+        for a, b in zip(fresh, memo):
+            assert canon(a.to_record()) == canon(b.to_record())
+        assert len(store) == 4
+
+
+class TestMemoizedRunSweep:
+    def test_run_sweep_reuse_round_trip(self, tmp_path):
+        sweep = seed_sweep((0, 1))
+        store = api.ArtifactStore(tmp_path / "store")
+        first = api.run_sweep(sweep, store=store)
+        memo = api.run_sweep(sweep, store=store, reuse=True)
+        assert all(a.reused for a in memo)
+        for a, b in zip(first, memo):
+            assert b.overrides == a.overrides  # grid coordinates survive
+            assert canon(a.to_record()) == canon(b.to_record())
+        assert len(store) == 2
+
+    def test_reuse_rejects_live_object_overrides(self, tmp_path):
+        from repro.experiments.common import default_scale, eval_requests
+
+        requests = eval_requests(default_scale(factor=SCALE))
+        with pytest.raises(ValueError, match="live-object"):
+            api.run_sweep(
+                seed_sweep((0, 1)),
+                store=tmp_path / "store",
+                reuse=True,
+                requests=requests,
+            )
+
+
+# --------------------------------------------------------------------- #
+# Batch failures name their spec (and survive the pickle boundary).
+# --------------------------------------------------------------------- #
+class TestSpecExecutionError:
+    def bad_batch(self) -> list[api.ScenarioSpec]:
+        bad = api.ScenarioSpec(
+            name="bad-cell",
+            mode="engine",
+            workload=api.WorkloadSpec(scale=SCALE, seed=0),
+            fleet=api.FleetSpec(node="L20", num_gpus=2, replicas=1),
+            # Passes spec validation (field names are checked, values are
+            # not) and dies in the engine constructor.
+            engine=api.EngineSpec(system="TP+SB", model="13B",
+                                  config={"block_size": 0}),
+        )
+        return [base_spec(), bad, base_spec(seed=1)]
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_failure_carries_index_and_name(self, jobs):
+        with pytest.raises(api.SpecExecutionError) as excinfo:
+            api.run_many(self.bad_batch(), jobs=jobs)
+        err = excinfo.value
+        assert err.index == 1
+        assert err.name == "bad-cell"
+        assert "spec [1] 'bad-cell' failed" in str(err)
+        assert "block_size" in str(err)
+
+    def test_error_pickles_intact(self):
+        err = api.SpecExecutionError(3, "cell", "ValueError: nope")
+        clone = pickle.loads(pickle.dumps(err))
+        assert (clone.index, clone.name, clone.message) == (3, "cell",
+                                                            "ValueError: nope")
+        assert str(clone) == str(err)
+
+    def test_oom_keeps_its_own_type(self):
+        from repro.kvcache.capacity import OutOfMemoryError
+
+        oom = api.ScenarioSpec(
+            mode="engine",
+            workload=api.WorkloadSpec(scale=SCALE, seed=0),
+            fleet=api.FleetSpec(node="L20", num_gpus=1, replicas=1),
+            engine=api.EngineSpec(system="TP+SB", model="32B"),
+        )
+        with pytest.raises(OutOfMemoryError):
+            api.run_many([oom])
+
+
+# --------------------------------------------------------------------- #
+# Concurrent puts: the lost-update regression.
+# --------------------------------------------------------------------- #
+def _hammer_put(root, record_json, seeds, barrier, hold_s):
+    from repro import api as _api
+
+    store = _api.ArtifactStore(root)
+    # Hold the locked critical section open so the two writers provably
+    # overlap in time; without the index lock this schedule loses entries
+    # and double-assigns seq from a stale next_seq.
+    store._after_load_index = lambda: time.sleep(hold_s)
+    record = json.loads(record_json)
+    barrier.wait()
+    for seed in seeds:
+        artifact = _api.RunArtifact.from_record(record)
+        artifact.spec = artifact.spec.with_overrides({"workload.seed": seed})
+        store.put(artifact)
+
+
+class TestConcurrentPut:
+    def test_two_writers_lose_nothing(self, tmp_path, base_artifact):
+        if "fork" not in mp.get_all_start_methods():
+            pytest.skip("needs fork to share the startup barrier cheaply")
+        ctx = mp.get_context("fork")
+        root = tmp_path / "store"
+        record_json = json.dumps(base_artifact.to_record())
+        barrier = ctx.Barrier(2)
+        writers = [
+            ctx.Process(
+                target=_hammer_put,
+                args=(str(root), record_json, seeds, barrier, 0.02),
+            )
+            for seeds in ([0, 1, 2, 3], [10, 11, 12, 13])
+        ]
+        for p in writers:
+            p.start()
+        for p in writers:
+            p.join(timeout=60)
+        assert all(p.exitcode == 0 for p in writers)
+
+        index = json.loads((root / "index.json").read_text())
+        assert len(index["entries"]) == 8  # both writers' entries survived
+        seqs = sorted(e["seq"] for e in index["entries"].values())
+        assert seqs == list(range(8))  # no double-assigned seq
+        assert index["next_seq"] == 8
+        store = api.ArtifactStore(root)
+        for ref in store.refs():
+            assert store.get(ref).result == base_artifact.result
+
+
+# --------------------------------------------------------------------- #
+# resolve() ordering: exact ref > name > prefix.
+# --------------------------------------------------------------------- #
+class TestResolveOrdering:
+    def two_entry_store(self, tmp_path, base_artifact):
+        store = api.ArtifactStore(tmp_path / "store")
+        ref_a = store.put(variant(base_artifact, 100))
+        ref_b = store.put(variant(base_artifact, 200))
+        return store, ref_a, ref_b
+
+    def rename(self, store, ref, name):
+        index = json.loads(store.index_path.read_text())
+        index["entries"][ref]["name"] = name
+        store.index_path.write_text(json.dumps(index))
+
+    def test_name_beats_hex_prefix(self, tmp_path, base_artifact):
+        store, ref_a, ref_b = self.two_entry_store(tmp_path, base_artifact)
+        # A scenario named like the *other* record's hash prefix must win
+        # over the prefix interpretation.
+        self.rename(store, ref_a, ref_b[:12])
+        assert store.resolve(ref_b[:12]) == ref_a
+
+    def test_exact_ref_beats_name(self, tmp_path, base_artifact):
+        store, ref_a, ref_b = self.two_entry_store(tmp_path, base_artifact)
+        self.rename(store, ref_a, ref_b)  # name collides with a full ref
+        assert store.resolve(ref_b) == ref_b
+
+    def test_duplicate_name_resolves_most_recent(self, tmp_path, base_artifact):
+        store, ref_a, ref_b = self.two_entry_store(tmp_path, base_artifact)
+        self.rename(store, ref_a, "dup")
+        self.rename(store, ref_b, "dup")
+        assert store.resolve("dup") == ref_b  # highest seq wins
+
+    def test_ambiguous_prefix_still_fails(self, tmp_path, base_artifact):
+        store, _, _ = self.two_entry_store(tmp_path, base_artifact)
+        with pytest.raises(KeyError, match="ambiguous"):
+            store.resolve("")
+
+
+# --------------------------------------------------------------------- #
+# gc / fsck: the store survives as a long-lived shared cache.
+# --------------------------------------------------------------------- #
+def _strip_created(text: str) -> str:
+    return re.sub(r'"created_at": "[^"]*"', '"created_at": "T"', text)
+
+
+class TestStoreMaintenance:
+    def seeded_store(self, tmp_path, base_artifact) -> api.ArtifactStore:
+        store = api.ArtifactStore(tmp_path / "store")
+        tagged = variant(base_artifact, 300)
+        tagged.overrides = {"workload.seed": 300}
+        store.put(tagged)
+        store.put(variant(base_artifact, 301))
+        store.put(variant(base_artifact, 302))
+        return store
+
+    def test_fsck_rebuilds_deleted_index_byte_identical(self, tmp_path,
+                                                        base_artifact):
+        store = self.seeded_store(tmp_path, base_artifact)
+        store.fsck()  # canonicalize (put order -> ref-sorted rank order)
+        canonical = store.index_path.read_text()
+        # Idempotent while the old index is readable: created_at carries.
+        store.fsck()
+        assert store.index_path.read_text() == canonical
+        store.index_path.unlink()
+        report = store.fsck()
+        assert report == {"entries": 3, "mismatched": [], "stale_siblings": []}
+        rebuilt = store.index_path.read_text()
+        assert _strip_created(rebuilt) == _strip_created(canonical)
+        # Everything except the (mtime-derived) timestamps is recovered,
+        # overrides and seq numbering included.
+        entry = json.loads(rebuilt)["entries"][
+            api.content_hash(variant(base_artifact, 300).spec)
+        ]
+        assert entry["overrides"] == {"workload.seed": 300}
+
+    def test_fsck_excludes_mismatched_files(self, tmp_path, base_artifact):
+        store = self.seeded_store(tmp_path, base_artifact)
+        ref = store.refs()[0]
+        forged = store.records_dir / ("0" * 64 + ".json")
+        forged.write_text((store.records_dir / f"{ref}.json").read_text())
+        report = store.fsck()
+        assert report["mismatched"] == [forged.name]
+        assert report["entries"] == 3 and ("0" * 64) not in store
+        # gc trusts the fsck'd index and prunes the forgery.
+        gc_report = store.gc()
+        assert gc_report["removed_files"] == [forged.name]
+        assert not forged.exists()
+
+    def test_fsck_recovers_gzip_and_lean_entries(self, tmp_path, base_artifact):
+        root = tmp_path / "store"
+        api.ArtifactStore(root, compress=True).put(variant(base_artifact, 310))
+        api.ArtifactStore(root, lean=True).put(variant(base_artifact, 311))
+        store = api.ArtifactStore(root)
+        store.index_path.unlink()
+        assert store.fsck()["entries"] == 2
+        entries = dict(store.entries())
+        gz_ref = api.content_hash(variant(base_artifact, 310).spec)
+        lean_ref = api.content_hash(variant(base_artifact, 311).spec)
+        assert entries[gz_ref]["file"].endswith(".json.gz")
+        assert entries[lean_ref]["lean"] is True
+
+    def test_gc_prunes_orphans_and_dead_entries(self, tmp_path, base_artifact):
+        store = self.seeded_store(tmp_path, base_artifact)
+        (store.records_dir / ("e" * 64 + ".json")).write_text("{}\n")
+        (store.records_dir / "leftover.json.tmp").write_text("")
+        dead_ref = store.refs()[1]
+        (store.records_dir / f"{dead_ref}.json").unlink()
+        report = store.gc()
+        assert sorted(report["removed_files"]) == sorted(
+            ["e" * 64 + ".json", "leftover.json.tmp"]
+        )
+        assert report["dropped_entries"] == [dead_ref]
+        assert report["entries"] == 2 and len(store) == 2
+
+
+# --------------------------------------------------------------------- #
+# MISSING sentinel: one-sided diffs are explicit, null stays null.
+# --------------------------------------------------------------------- #
+class TestMissingSentinel:
+    def test_one_sided_keys_keep_the_sentinel(self):
+        recorded = {"kind": "engine", "throughput_tps": 5.0,
+                    "only_recorded": 1.5, "null_metric": None}
+        fresh = {"kind": "engine", "throughput_tps": 5.0,
+                 "null_metric": None, "only_fresh": 2}
+        by = {d.metric: d for d in api.compare_records(recorded, fresh,
+                                                       strict=True)}
+        gone = by["only_recorded"]
+        assert gone.fresh is api.MISSING and gone.one_sided
+        assert gone.delta is None and not gone.within
+        assert gone.describe() == "only_recorded: 1.5 -> <missing>"
+        new = by["only_fresh"]
+        assert new.recorded is api.MISSING and new.delta is None
+        # A recorded null is a value, not an absence.
+        null = by["null_metric"]
+        assert null.within and null.recorded is None and not null.one_sided
+
+    def test_null_vs_missing_are_distinct(self):
+        (diff,) = api.compare_records({"kind": "engine", "m": None},
+                                      {"kind": "engine"}, strict=True)
+        assert diff.recorded is None and diff.fresh is api.MISSING
+        assert not diff.within
+
+    def test_missing_is_a_singleton(self):
+        assert type(api.MISSING)() is api.MISSING
+        assert repr(api.MISSING) == "<missing>"
+
+
+# --------------------------------------------------------------------- #
+# Store edge paths.
+# --------------------------------------------------------------------- #
+class TestStoreEdgePaths:
+    def test_store_version_mismatch_fails_loudly(self, tmp_path):
+        root = tmp_path / "store"
+        root.mkdir()
+        (root / "index.json").write_text(
+            json.dumps({"store_version": 999, "next_seq": 0, "entries": {}})
+        )
+        with pytest.raises(ValueError, match="layout version"):
+            len(api.ArtifactStore(root))
+
+    def test_mixed_plain_and_gzip_records_replay(self, tmp_path, base_artifact):
+        root = tmp_path / "store"
+        api.ArtifactStore(root).put(base_artifact)
+        gz_artifact = api.run(base_spec(seed=1))
+        api.ArtifactStore(root, compress=True).put(gz_artifact)
+        store = api.ArtifactStore(root)
+        assert len(store) == 2
+        assert store.get(api.content_hash(base_artifact.spec)) == base_artifact
+        assert store.get(api.content_hash(gz_artifact.spec)) == gz_artifact
+        reports = api.replay_all(store, strict=True)
+        assert len(reports) == 2 and all(r.ok for r in reports)
+
+    def test_lean_record_replays_but_get_raises(self, tmp_path):
+        store = api.ArtifactStore(tmp_path / "store", lean=True)
+        ref = api.content_hash(base_spec().resolved())
+        api.run(base_spec(), store=store)
+        with pytest.raises(ValueError, match="lean"):
+            store.get(ref)
+        (report,) = api.replay_all(store, strict=True)
+        assert report.ok and report.ref == ref
+
+
+# --------------------------------------------------------------------- #
+# CLI: --reuse, replay --update, store gc|fsck.
+# --------------------------------------------------------------------- #
+class TestCLIMemoAndMaintenance:
+    def test_flag_validation(self, tmp_path):
+        from repro.cli import main
+
+        store = str(tmp_path / "store")
+        for argv in (
+            ["replay", "--store", store, "--reuse"],  # not a reuse user
+            ["run", "--spec", "cluster-hetero", "--reuse"],  # no --store
+            ["fig11", "--reuse"],  # figure experiments need --store too
+            ["record", "x", "--update"],  # --update is replay-only
+            ["store", "--store", store],  # needs an action
+            ["store", "defrag", "--store", store],  # unknown action
+            ["store", "gc", "--scale", "0.5", "--store", store],
+        ):
+            with pytest.raises(SystemExit):
+                main(argv)
+
+    def test_record_reuse_update_fsck_round_trip(self, capsys, tmp_path):
+        from repro.cli import main
+
+        spec_path = tmp_path / "scenario.json"
+        spec_path.write_text(base_spec().to_json())
+        store_dir = tmp_path / "store"
+        store = str(store_dir)
+
+        assert main(["record", str(spec_path), "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["record", str(spec_path), "--store", store, "--reuse"]) == 0
+        out = capsys.readouterr().out
+        assert "(reused)" in out
+        assert "reuse: 1/1 hit, 0 executed" in out
+
+        # `run --reuse` serves the same record.
+        assert main(["run", "--spec", str(spec_path), "--store", store,
+                     "--reuse"]) == 0
+        assert "reuse: 1/1 hit, 0 executed" in capsys.readouterr().out
+
+        # Corrupt a metric: strict replay fails, --update re-records it.
+        ref = api.ArtifactStore(store_dir).refs()[0]
+        record_path = store_dir / "records" / f"{ref}.json"
+        record = json.loads(record_path.read_text())
+        record["throughput_tps"] *= 2
+        record_path.write_text(json.dumps(record))
+        assert main(["replay", "--store", store, "--strict"]) == 1
+        capsys.readouterr()
+        assert main(["replay", "--store", store, "--strict", "--update"]) == 0
+        assert "re-recorded in place" in capsys.readouterr().out
+        assert main(["replay", "--store", store, "--strict"]) == 0
+        capsys.readouterr()
+
+        # fsck rebuilds a deleted index; gc then has nothing to prune.
+        (store_dir / "index.json").unlink()
+        assert main(["store", "fsck", "--store", store]) == 0
+        assert "index rebuilt from records (1 entry)" in capsys.readouterr().out
+        assert main(["replay", "--store", store, "--strict"]) == 0
+        capsys.readouterr()
+        assert main(["store", "gc", "--store", store]) == 0
+        assert "removed 0 orphaned file(s)" in capsys.readouterr().out
