@@ -10,7 +10,7 @@ container) may have a single core.
 from __future__ import annotations
 
 from repro.perf import format_report, run_perf_suite
-from repro.perf.harness import PERF_SCHEMA_VERSION, bench_kernel
+from repro.perf.harness import PERF_SCHEMA_VERSION, bench_kernel, bench_vectorized
 
 
 def test_kernel_bench_counts_every_event():
@@ -30,7 +30,17 @@ def test_suite_shape_and_record_identity():
     )
     assert report["schema_version"] == PERF_SCHEMA_VERSION
     assert report["kind"] == "perf"
-    assert set(report) >= {"kernel", "costmodel", "cluster", "grid"}
+    assert set(report) >= {"kernel", "costmodel", "cluster", "grid", "vectorized"}
+
+    vector = report["vectorized"]
+    assert vector["grid_points"] > 0
+    assert vector["grid_points_per_sec"] > 0
+    assert vector["lookup_calls_per_sec"] > 0
+    assert vector["curve_points_per_sec"] > 0
+    # Grid construction is a startup cost paid once per engine; it must stay
+    # negligible (<5% even of this *quick* cluster run — mid-scale runs are
+    # an order of magnitude longer, so the real margin is far wider).
+    assert vector["build_wall_s"] < 0.05 * report["cluster"]["wall_s"]
 
     cost = report["costmodel"]
     assert cost["decode_warm_calls_per_sec"] > cost["decode_cold_calls_per_sec"]
@@ -48,3 +58,41 @@ def test_suite_shape_and_record_identity():
 
     text = format_report(report)
     assert "events/s" in text and "speedup" in text
+
+
+def test_vectorized_bench_section_shape():
+    section = bench_vectorized(1_000)
+    assert section["grid_points"] == 256 * 256 + 2048
+    assert section["build_wall_s"] > 0
+
+
+def test_repeat_records_all_samples_and_medians():
+    report = run_perf_suite(
+        quick=True,
+        jobs=2,
+        repeat=3,
+        kernel_events=5_000,
+        costmodel_calls=1_000,
+        cluster_scale=0.02,
+        grid_scale=0.02,
+    )
+    assert report["repeat"] == 3
+
+    kernel = report["kernel"]
+    samples = kernel["samples_events_per_sec"]
+    assert len(samples) == 3
+    # The reported number is the (lower) median of the recorded samples.
+    assert kernel["events_per_sec"] == sorted(samples)[1]
+    assert kernel["events_per_sec"] in samples
+
+    cost = report["costmodel"]
+    assert len(cost["samples"]) == 3
+    assert cost["decode_warm_calls_per_sec"] == sorted(
+        s["decode_warm_calls_per_sec"] for s in cost["samples"]
+    )[1]
+
+    vector = report["vectorized"]
+    assert len(vector["samples_grid_points_per_sec"]) == 3
+    assert vector["grid_points_per_sec"] in vector["samples_grid_points_per_sec"]
+
+    assert "median of 3" in format_report(report)

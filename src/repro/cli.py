@@ -296,28 +296,66 @@ def _run_diff(args) -> int:
 
 def _run_perf(args) -> int:
     """``perf``: run the benchmark harness, emit BENCH_perf.json, gate."""
-    from .perf import format_report, run_perf_suite
+    from .perf import (
+        compare_perf,
+        format_report,
+        load_baseline,
+        parse_waivers,
+        run_perf_suite,
+    )
 
     from .api import resolve_jobs
+
+    try:
+        waivers = parse_waivers(args.waive)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
 
     # The grid leg exists to measure parallel speedup, so unlike the grid
     # commands (serial default), perf defaults to one worker per core.
     jobs = resolve_jobs(args.jobs if args.jobs is not None else -1)
-    report = run_perf_suite(quick=args.quick, jobs=jobs)
+    report = run_perf_suite(quick=args.quick, jobs=jobs, repeat=args.repeat or 1)
     print(format_report(report))
     _write_json(args.bench_json or "BENCH_perf.json", report)
+
+    failed = False
     grid = report["grid"]
     if not grid["records_identical"]:
         print("FAIL: parallel grid records diverged from serial execution")
-        return 1
+        failed = True
     if args.min_speedup is not None and grid["speedup"] < args.min_speedup:
         print(
             f"FAIL: parallel grid speedup {grid['speedup']:.2f}x is below "
             f"the required {args.min_speedup:.2f}x "
             f"({jobs} jobs on {report['cpu_count']} cpus)"
         )
-        return 1
-    return 0
+        failed = True
+
+    if args.baseline is not None:
+        baseline = load_baseline(args.baseline)
+        if baseline is None:
+            print(
+                f"perf trajectory: no baseline at {args.baseline} "
+                "(first run on this cache?); skipping comparison"
+            )
+        else:
+            try:
+                trajectory = compare_perf(baseline, report, waivers=waivers)
+            except ValueError as exc:
+                raise SystemExit(str(exc)) from None
+            print(trajectory.describe())
+            if not trajectory.ok:
+                failed = True
+        if args.update_baseline and not failed:
+            import os
+
+            parent = os.path.dirname(args.baseline)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            _write_json(args.baseline, report)
+    elif args.waive:
+        raise SystemExit("--waive requires --baseline")
+    return 1 if failed else 0
 
 
 def _store_bench_record(store: api.ArtifactStore, experiment: str) -> dict:
@@ -433,6 +471,26 @@ def main(argv: list[str] | None = None) -> int:
         "--min-speedup", type=float, default=None, metavar="X",
         help="perf: exit non-zero if the parallel grid speedup is below X",
     )
+    perf_opts.add_argument(
+        "--repeat", type=int, default=None, metavar="N",
+        help="perf: run each microbenchmark N times and report the median "
+        "(all samples are recorded in the bench JSON)",
+    )
+    perf_opts.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="perf: compare this run against the BENCH_perf.json at PATH and "
+        "exit non-zero on unexplained regression beyond tolerance",
+    )
+    perf_opts.add_argument(
+        "--update-baseline", action="store_true",
+        help="perf: after a passing run, overwrite --baseline with this "
+        "run's record (promotes improvements into the trajectory)",
+    )
+    perf_opts.add_argument(
+        "--waive", action="append", default=None, metavar="METRIC[:REASON]",
+        help="perf: declare an expected regression for one trajectory metric "
+        "(e.g. kernel.events_per_sec:'tracing added'); repeatable",
+    )
     store_opts = parser.add_argument_group(
         "store", "artifact store for `record`/`replay`/`diff` (and any "
         "registry-backed experiment via --store)"
@@ -491,8 +549,17 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(
             f"--jobs only applies to {', '.join(sorted(_JOBS_CAPABLE))}"
         )
-    if (args.quick or args.min_speedup is not None) and args.experiment != "perf":
-        parser.error("--quick/--min-speedup only apply to `perf`")
+    perf_flags = (
+        args.quick or None, args.min_speedup, args.repeat, args.baseline,
+        args.update_baseline or None, args.waive,
+    )
+    if args.experiment != "perf" and any(v is not None for v in perf_flags):
+        parser.error(
+            "--quick/--min-speedup/--repeat/--baseline/--update-baseline/"
+            "--waive only apply to `perf`"
+        )
+    if args.update_baseline and args.baseline is None:
+        parser.error("--update-baseline requires --baseline")
     if (args.gzip or args.lean) and args.experiment != "record":
         parser.error("--gzip/--lean only apply to `record`")
     if args.experiment not in ("run", "record") and (args.spec is not None or args.set):

@@ -16,9 +16,12 @@ TD-Pipe switches from decode to prefill as soon as ``SI < TI``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+import numpy as np
 
 from ..costmodel.roofline import StageCostModel
+from ..costmodel.vectorized import decode_rate_curve
 
 __all__ = ["DecodeRateProfile", "spatial_intensity", "temporal_intensity"]
 
@@ -31,18 +34,59 @@ class DecodeRateProfile:
     kernels; we evaluate the same quantity on the roofline model.  Rates are
     context-dependent, so the profile is parameterised by the mean context
     length of the running requests.
+
+    The whole achieved-rate curve for a given mean context is computed in one
+    vectorized pass (:func:`repro.costmodel.vectorized.decode_rate_curve`,
+    bit-identical to the scalar chain) and cached, so the achieved/peak/step
+    queries of one scheduling decision — which all share the same mean
+    context — answer from a single precomputed table instead of separate
+    cost-model calls.  Batch sizes beyond the table fall back to the scalar
+    path, which produces the same bits.
     """
 
     stage_model: StageCostModel
     #: Batch size treated as "sufficiently large" to reach peak rate.
     peak_batch_size: int = 256
+    #: Single-slot curve cache: (mean_context, size) of the cached table.
+    #: One slot suffices — every query within one decision shares the mean
+    #: context, and successive decisions never repeat it (contexts grow).
+    _curve_key: tuple | None = field(default=None, repr=False, compare=False)
+    _curve_times: list = field(default_factory=list, repr=False, compare=False)
+    _curve_rates: list = field(default_factory=list, repr=False, compare=False)
+
+    def _curve(self, mean_context: float, min_size: int) -> tuple[list, list]:
+        size = max(self.peak_batch_size, min_size, 1)
+        key = (mean_context, size)
+        if self._curve_key != key:
+            times, rates = decode_rate_curve(
+                self.stage_model,
+                np.arange(1, size + 1, dtype=np.float64),
+                mean_context,
+            )
+            self._curve_times = times.tolist()
+            self._curve_rates = rates.tolist()
+            self._curve_key = key
+        return self._curve_times, self._curve_rates
 
     def rate(self, batch_size: int, mean_context: float) -> float:
         """Requests served per second at this batch size (one stage step)."""
         if batch_size <= 0:
             return 0.0
+        _, rates = self._curve(mean_context, batch_size)
+        if batch_size <= len(rates):
+            return rates[batch_size - 1]
         t = self.stage_model.decode_time(batch_size, batch_size * (mean_context + 1.0))
         return batch_size / t
+
+    def step_time(self, batch_size: int, mean_context: float) -> float:
+        """Decode step time underlying :meth:`rate` (same expression chain),
+        served from the cached curve so policies need no extra model call."""
+        if batch_size <= 0:
+            return 0.0
+        times, _ = self._curve(mean_context, batch_size)
+        if batch_size <= len(times):
+            return times[batch_size - 1]
+        return self.stage_model.decode_time(batch_size, batch_size * (mean_context + 1.0))
 
     def peak(self, mean_context: float) -> float:
         return self.rate(self.peak_batch_size, mean_context)

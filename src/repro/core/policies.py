@@ -182,7 +182,8 @@ class IntensityPolicy:
             tokens += s.prefill_len
         if batch:
             times.append(stage.prefill_time(batch))
-        decode_t = stage.decode_time(batch_size, batch_size * (mean_ctx + 1.0))
+        assert self._profile is not None
+        decode_t = self._profile.step_time(batch_size, mean_ctx)
         return temporal_intensity(times, decode_t)
 
 

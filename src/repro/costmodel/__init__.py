@@ -1,5 +1,27 @@
 """Analytic roofline cost model replacing CUDA execution."""
 
 from .roofline import FullModelCostModel, PrefillChunk, StageCostModel
+from .vectorized import (
+    DecodeGrid,
+    PrefillGrid,
+    build_decode_grid,
+    build_prefill_grid,
+    decode_rate_curve,
+    decode_time_surface,
+    install_default_grids,
+    prefill_time_surface,
+)
 
-__all__ = ["StageCostModel", "FullModelCostModel", "PrefillChunk"]
+__all__ = [
+    "StageCostModel",
+    "FullModelCostModel",
+    "PrefillChunk",
+    "DecodeGrid",
+    "PrefillGrid",
+    "build_decode_grid",
+    "build_prefill_grid",
+    "decode_rate_curve",
+    "decode_time_surface",
+    "install_default_grids",
+    "prefill_time_surface",
+]

@@ -95,6 +95,22 @@ class StageCostModel:
         # argument tuples (pure functions of their arguments).
         self._prefill_cache: dict[tuple[int, ...], float] = {}
         self._decode_cache: dict[tuple[int, float], float] = {}
+        # Precomputed numpy lookup tables (see costmodel/vectorized.py),
+        # installed at engine start.  Deliberately *separate* attributes from
+        # the memo dicts: the `_COST_CACHE_MAX` wholesale cache reset must
+        # never discard the grids, only the per-argument memo entries.
+        self._decode_grid = None
+        self._prefill_grid = None
+
+    def install_grids(self, decode_grid=None, prefill_grid=None) -> None:
+        """Attach precomputed cost surfaces (``vectorized.DecodeGrid`` /
+        ``PrefillGrid``).  Grids are consulted on memo miss before the scalar
+        path; entries are bit-identical to scalar results, so installation
+        never changes any metric.  Passing None leaves that grid unchanged."""
+        if decode_grid is not None:
+            self._decode_grid = decode_grid
+        if prefill_grid is not None:
+            self._prefill_grid = prefill_grid
 
     # ------------------------------------------------------------------ #
     # Building blocks.
@@ -158,6 +174,14 @@ class StageCostModel:
         cached = self._prefill_cache.get(key)
         if cached is not None:
             return cached
+        grid = self._prefill_grid
+        if grid is not None:
+            hit = grid.lookup(key)
+            if hit is not None:
+                if len(self._prefill_cache) >= _COST_CACHE_MAX:
+                    self._prefill_cache.clear()
+                self._prefill_cache[key] = hit
+                return hit
         m = self._model
         tokens = float(sum(seq_lens))
         flops_per_layer = self._linear_flops_per_token * tokens
@@ -185,6 +209,14 @@ class StageCostModel:
         cached = self._decode_cache.get(key)
         if cached is not None:
             return cached
+        grid = self._decode_grid
+        if grid is not None:
+            hit = grid.lookup(batch_size, kv_tokens)
+            if hit is not None:
+                if len(self._decode_cache) >= _COST_CACHE_MAX:
+                    self._decode_cache.clear()
+                self._decode_cache[key] = hit
+                return hit
         m = self._model
         # Bandwidth term: weights of this stage's layers + KV of the batch.
         kv_bytes = kv_tokens * self._kv_bytes_per_token_per_layer / self.tp

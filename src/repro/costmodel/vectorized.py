@@ -1,0 +1,320 @@
+"""Precomputed numpy surfaces for the roofline cost model.
+
+The scheduler re-queries :class:`~repro.costmodel.roofline.StageCostModel`
+``decode_time``/``prefill_time`` millions of times per run over a small,
+structured argument space (the intensity comparison of paper Section 3.5
+alone evaluates the decode surface on every scheduling decision).  This
+module evaluates those surfaces **elementwise with numpy over whole
+batch-size x kv-token (and prompt-length) grids at once**, so the per-call
+Python arithmetic is paid once per grid instead of once per query.
+
+Bit-identity contract
+---------------------
+Every function here replays the *exact* scalar expression sequence of the
+corresponding ``StageCostModel`` method — same operands, same order, same
+association — as IEEE-754 double ops, only elementwise over float64 arrays.
+CPython floats and numpy float64 share the same arithmetic, so each grid
+entry equals the scalar result **to the bit** (pinned by a hypothesis
+property test).  That lets grids and tables substitute for scalar calls
+inside runs whose results are content-addressed by the artifact store.
+
+Two lookup structures are installed into stage cost models at engine start
+(see ``install_default_grids``):
+
+* :class:`DecodeGrid` — ``decode_time`` over batch sizes 1..B and an
+  arithmetic kv-token progression;
+* :class:`PrefillGrid` — ``prefill_time`` over single-prompt batches
+  ``(L,)`` for L = 1..N (the shape capacity scoring and what-if probes hit).
+
+Off-grid shapes fall back to the scalar path and its memo dict, so the
+grids are a pure fast path: they change *where* a number is computed, never
+the number.  ``decode_rate_curve`` additionally vectorizes the whole
+achieved-rate curve the intensity policy consumes (see
+:class:`repro.core.intensity.DecodeRateProfile`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .roofline import StageCostModel
+
+__all__ = [
+    "decode_time_surface",
+    "prefill_time_surface",
+    "decode_rate_curve",
+    "DecodeGrid",
+    "PrefillGrid",
+    "build_decode_grid",
+    "build_prefill_grid",
+    "install_default_grids",
+]
+
+
+# --------------------------------------------------------------------- #
+# Elementwise surfaces (exact scalar operand order).
+# --------------------------------------------------------------------- #
+def _allreduce_per_layer_array(stage: "StageCostModel", tokens: np.ndarray):
+    """Vectorized ``StageCostModel._allreduce_per_layer`` (same operand
+    order: ``2.0 * (latency + ((tokens * hidden) * dtype_bytes) / bw)``)."""
+    if stage.tp <= 1:
+        return 0.0
+    m = stage._model
+    spec = stage.interconnect
+    nbytes = tokens * m.hidden_size * m.dtype_bytes
+    return 2.0 * (spec.allreduce_latency_s + nbytes / spec.allreduce_bandwidth)
+
+
+def _head_time_array(stage: "StageCostModel", tokens: np.ndarray):
+    """Vectorized ``StageCostModel._head_time`` (tokens >= 1 assumed)."""
+    m = stage._model
+    if not stage.shard.has_lm_head:
+        return 0.0
+    flops = 0.0 + (2.0 * m.vocab_size * m.hidden_size * tokens) / stage.tp
+    return flops / stage.gpu.effective_flops
+
+
+def decode_time_surface(
+    stage: "StageCostModel",
+    batch_sizes: np.ndarray,
+    kv_tokens: np.ndarray,
+) -> np.ndarray:
+    """``decode_time`` evaluated elementwise over broadcastable arrays.
+
+    ``batch_sizes`` entries must be >= 1 (the scalar method's ``<= 0`` early
+    return is not modelled); each output element is bit-identical to
+    ``stage.decode_time(int(b), float(kv))``.
+    """
+    b = np.asarray(batch_sizes, dtype=np.float64)
+    kv = np.asarray(kv_tokens, dtype=np.float64)
+    m = stage._model
+    gpu = stage.gpu
+
+    kv_bytes = kv * stage._kv_bytes_per_token_per_layer / stage.tp
+    mem_per_layer = (
+        stage._weight_bytes_per_layer + kv_bytes
+    ) / gpu.effective_mem_bandwidth
+    # attn_score_flops_per_layer(kv, 1.0) == ((4.0 * hidden) * 1.0) * kv.
+    flops_per_layer = (
+        stage._linear_flops_per_token * b + 4.0 * m.hidden_size * 1.0 * kv
+    )
+    comp_per_layer = flops_per_layer / stage.tp / gpu.effective_flops_decode
+    per_layer = np.maximum(mem_per_layer, comp_per_layer)
+    per_layer = per_layer + (
+        gpu.kernel_overhead_s + _allreduce_per_layer_array(stage, b)
+    )
+    return (
+        stage.n_layers * per_layer
+        + _head_time_array(stage, b)
+        + stage.step_overhead_s
+    )
+
+
+def prefill_time_surface(
+    stage: "StageCostModel", prompt_lens: np.ndarray
+) -> np.ndarray:
+    """``prefill_time((L,))`` for single-prompt batches, elementwise over L.
+
+    Each element is bit-identical to ``stage.prefill_time((int(L),))`` for
+    L >= 1.
+    """
+    lens = np.asarray(prompt_lens, dtype=np.float64)
+    m = stage._model
+    gpu = stage.gpu
+
+    tokens = lens  # float(sum(seq_lens)) of a single-prompt batch
+    # sum(prefill_attn_flops_per_layer(L) for one prompt) ==
+    # 0 + 0.5 * (((4.0 * hidden) * L) * L).
+    attn = 0 + 0.5 * (4.0 * m.hidden_size * lens * lens)
+    flops_per_layer = stage._linear_flops_per_token * tokens + attn
+
+    # _dense_layer_time(flops, tokens, read_bytes=0.0):
+    mem = (stage._weight_bytes_per_layer + 0.0) / gpu.effective_mem_bandwidth
+    comp = flops_per_layer / stage.tp / gpu.effective_flops
+    sat = tokens / (tokens + gpu.gemm_halfsat_tokens)
+    per_layer = np.where(
+        (comp >= mem) & (tokens > 0),
+        comp / np.maximum(sat, 1e-9),
+        np.maximum(mem, comp),
+    )
+    per_layer = per_layer + (
+        gpu.kernel_overhead_s + _allreduce_per_layer_array(stage, tokens)
+    )
+    return (
+        stage.n_layers * per_layer
+        + stage._head_time(1)
+        + stage.step_overhead_s
+    )
+
+
+def decode_rate_curve(
+    stage: "StageCostModel",
+    batch_sizes: np.ndarray,
+    mean_context: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(decode step times, per-request rates) over ``batch_sizes`` at once.
+
+    Bit-identical to ``DecodeRateProfile.rate``'s scalar chain: the kv
+    operand is ``b * (mean_context + 1.0)`` and the rate is ``b / t``, both
+    evaluated in the scalar order.  One call replaces two cost-model calls
+    per scheduling decision with table lookups (plus the whole curve for
+    every other batch size, for free).
+    """
+    b = np.asarray(batch_sizes, dtype=np.float64)
+    times = decode_time_surface(stage, b, b * (mean_context + 1.0))
+    return times, b / times
+
+
+# --------------------------------------------------------------------- #
+# Lookup tables installed into StageCostModel.
+# --------------------------------------------------------------------- #
+class DecodeGrid:
+    """Precomputed ``decode_time`` surface over (batch size, kv tokens).
+
+    Rows are batch sizes ``1..max_batch``; columns an arithmetic kv-token
+    progression ``kv_start + j * kv_step``.  ``lookup`` answers only exact
+    grid points (anything else returns None and falls back to the scalar
+    path), so substituting a grid hit for a scalar call never changes a
+    result.  The table is kept as nested Python lists: float list indexing
+    is faster than numpy scalar extraction on this hot path.
+    """
+
+    __slots__ = ("max_batch", "kv_start", "kv_step", "n_kv", "rows", "hits", "misses")
+
+    def __init__(
+        self,
+        stage: "StageCostModel",
+        max_batch: int,
+        kv_start: int,
+        kv_step: int,
+        n_kv: int,
+    ) -> None:
+        if max_batch < 1 or n_kv < 1 or kv_step < 1:
+            raise ValueError("grid axes must be non-empty with positive step")
+        self.max_batch = max_batch
+        self.kv_start = kv_start
+        self.kv_step = kv_step
+        self.n_kv = n_kv
+        b = np.arange(1, max_batch + 1, dtype=np.float64)[:, None]
+        kv = (kv_start + kv_step * np.arange(n_kv, dtype=np.float64))[None, :]
+        surface = decode_time_surface(stage, b, np.broadcast_to(kv, (max_batch, n_kv)))
+        self.rows: list[list[float]] = surface.tolist()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def size(self) -> int:
+        return self.max_batch * self.n_kv
+
+    def lookup(self, batch_size: int, kv_tokens: float) -> float | None:
+        """Grid value at an exact (batch, kv) point, else None."""
+        if batch_size < 1 or batch_size > self.max_batch:
+            self.misses += 1
+            return None
+        offset = kv_tokens - self.kv_start
+        # The range check rejects NaN/inf before int() could choke on them.
+        if 0 <= offset < self.n_kv * self.kv_step:
+            j = int(offset) // self.kv_step
+            if self.kv_start + j * self.kv_step == kv_tokens:
+                self.hits += 1
+                return self.rows[batch_size - 1][j]
+        self.misses += 1
+        return None
+
+
+class PrefillGrid:
+    """Precomputed ``prefill_time`` over single-prompt batches ``(L,)``.
+
+    Covers L = 1..max_len; multi-prompt batches and longer prompts return
+    None and fall back to the scalar path.
+    """
+
+    __slots__ = ("max_len", "times", "hits", "misses")
+
+    def __init__(self, stage: "StageCostModel", max_len: int) -> None:
+        if max_len < 1:
+            raise ValueError("max_len must be >= 1")
+        self.max_len = max_len
+        lens = np.arange(1, max_len + 1, dtype=np.float64)
+        self.times: list[float] = prefill_time_surface(stage, lens).tolist()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def size(self) -> int:
+        return self.max_len
+
+    def lookup(self, seq_lens: Sequence[int]) -> float | None:
+        """Grid value for a single-prompt batch, else None."""
+        if len(seq_lens) == 1:
+            length = seq_lens[0]
+            if 1 <= length <= self.max_len and length == int(length):
+                self.hits += 1
+                return self.times[int(length) - 1]
+        self.misses += 1
+        return None
+
+
+# --------------------------------------------------------------------- #
+# Engine-start installation (with a cross-engine build cache).
+# --------------------------------------------------------------------- #
+#: Sweeps construct hundreds of identical engines; grids are pure functions
+#: of the (hashable, frozen) stage description, so build once per shape.
+_GRID_CACHE: dict[tuple, DecodeGrid | PrefillGrid] = {}
+_GRID_CACHE_MAX = 256
+
+
+def _stage_key(stage: "StageCostModel") -> tuple:
+    return (stage.shard, stage.gpu, stage.interconnect, stage.step_overhead_s)
+
+
+def _cached(key: tuple, build):
+    grid = _GRID_CACHE.get(key)
+    if grid is None:
+        if len(_GRID_CACHE) >= _GRID_CACHE_MAX:
+            _GRID_CACHE.clear()
+        grid = _GRID_CACHE[key] = build()
+    return grid
+
+
+def build_decode_grid(
+    stage: "StageCostModel",
+    max_batch: int = 256,
+    kv_step: int = 16,
+    n_kv: int = 256,
+) -> DecodeGrid:
+    """Decode surface over b in 1..max_batch, kv in {kv_step..n_kv*kv_step}.
+
+    The default kv progression is block-aligned (16-token KV blocks), the
+    alignment engine decode batches actually produce most often.
+    """
+    key = ("decode", _stage_key(stage), max_batch, kv_step, n_kv)
+    return _cached(
+        key, lambda: DecodeGrid(stage, max_batch, kv_step, kv_step, n_kv)
+    )
+
+
+def build_prefill_grid(stage: "StageCostModel", max_len: int = 2048) -> PrefillGrid:
+    key = ("prefill", _stage_key(stage), max_len)
+    return _cached(key, lambda: PrefillGrid(stage, max_len))
+
+
+def install_default_grids(
+    stage_models: Sequence["StageCostModel"],
+    max_batch: int = 256,
+    max_prompt_len: int = 2048,
+) -> None:
+    """Precompute and install decode/prefill grids on every stage model.
+
+    Called once at engine start; identical stages across a sweep share the
+    cached build.  Installs are idempotent and never change results (grids
+    are bit-identical to the scalar path; off-grid shapes fall through).
+    """
+    for stage in stage_models:
+        stage.install_grids(
+            decode_grid=build_decode_grid(stage, max_batch=max(1, max_batch)),
+            prefill_grid=build_prefill_grid(stage, max_len=max(1, max_prompt_len)),
+        )

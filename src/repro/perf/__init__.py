@@ -1,9 +1,26 @@
 """Performance benchmark harness (``tdpipe-bench perf``).
 
 Times the hot paths this codebase optimizes and emits ``BENCH_perf.json``,
-the perf trajectory CI tracks across PRs.
+the perf trajectory CI tracks across PRs via :mod:`repro.perf.trajectory`.
 """
 
 from .harness import format_report, run_perf_suite
+from .trajectory import (
+    DEFAULT_TOLERANCES,
+    MetricCheck,
+    TrajectoryReport,
+    compare_perf,
+    load_baseline,
+    parse_waivers,
+)
 
-__all__ = ["run_perf_suite", "format_report"]
+__all__ = [
+    "run_perf_suite",
+    "format_report",
+    "DEFAULT_TOLERANCES",
+    "MetricCheck",
+    "TrajectoryReport",
+    "compare_perf",
+    "load_baseline",
+    "parse_waivers",
+]

@@ -1,12 +1,14 @@
 """Micro + macro perf benchmarks emitting the ``BENCH_perf.json`` record.
 
-Four sections, cheapest to dearest:
+Five sections, cheapest to dearest:
 
 * **kernel** — raw event throughput of the discrete-event simulator (a
   self-rescheduling callback storm; no engines, no cost model);
 * **costmodel** — roofline ``decode_time``/``prefill_time`` call throughput,
   split into cold (distinct argument tuples) and warm (repeated tuples, the
   memoized path engines actually hit);
+* **vectorized** — numpy cost-surface construction (grid points/sec), grid
+  lookup throughput, and the vectorized decode-rate-curve throughput;
 * **cluster** — one mid-scale heterogeneous cluster run through the spec
   front door (the single-run macro number);
 * **grid** — the fig13 prefill-switch spec grid executed serially and with a
@@ -16,12 +18,18 @@ Four sections, cheapest to dearest:
 ``quick`` shrinks every section to CI-smoke size.  The serial grid leg runs
 first on purpose: it warms the dataset/predictor caches that forked workers
 then inherit, which is exactly how a warmed production parent behaves.
+
+``repeat`` runs the micro sections (kernel, costmodel, vectorized) N times
+and reports medians, with every sample recorded, so the cross-run
+trajectory gate (:mod:`repro.perf.trajectory`) diffs stable numbers instead
+of single-sample noise.
 """
 
 from __future__ import annotations
 
+import statistics
 import time
-from typing import Any
+from typing import Any, Callable
 
 from ..api.store.canonical import canonical_json
 from ..sim.engine import Simulator
@@ -30,6 +38,17 @@ __all__ = ["run_perf_suite", "format_report"]
 
 #: Schema of the BENCH_perf.json record (bump on incompatible change).
 PERF_SCHEMA_VERSION = 1
+
+
+def _median_sample(samples: list[dict[str, Any]], key: str) -> dict[str, Any]:
+    """The sample holding the (lower) median of ``key`` — a real measured
+    run, so its fields stay internally consistent."""
+    ranked = sorted(samples, key=lambda s: s[key])
+    return ranked[(len(ranked) - 1) // 2]
+
+
+def _repeated(bench: Callable[[], dict[str, Any]], repeat: int) -> list[dict[str, Any]]:
+    return [bench() for _ in range(max(1, repeat))]
 
 
 # --------------------------------------------------------------------- #
@@ -90,6 +109,57 @@ def bench_costmodel(calls: int) -> dict[str, Any]:
         "decode_warm_calls_per_sec": decode_warm[1],
         "prefill_cold_calls_per_sec": prefill_cold[1],
         "prefill_warm_calls_per_sec": prefill_warm[1],
+    }
+
+
+# --------------------------------------------------------------------- #
+# Micro: vectorized cost surfaces.
+# --------------------------------------------------------------------- #
+def bench_vectorized(lookups: int) -> dict[str, Any]:
+    """Grid construction, grid lookup and rate-curve throughput.
+
+    Grids are built directly (bypassing the module-level build cache) so the
+    build number reflects the true cold engine-start cost.
+    """
+    import numpy as np
+
+    from ..costmodel.roofline import StageCostModel
+    from ..costmodel.vectorized import DecodeGrid, PrefillGrid, decode_rate_curve
+    from ..hardware.node import make_node
+    from ..models.partition import pipeline_shards
+    from ..models.spec import get_model
+
+    node = make_node("L20", 4)
+    shard = pipeline_shards(get_model("32B"), pp_degree=4)[0]
+    model = StageCostModel(shard=shard, gpu=node.gpu, interconnect=node.interconnect)
+
+    t0 = time.perf_counter()
+    grid = DecodeGrid(model, max_batch=256, kv_start=16, kv_step=16, n_kv=256)
+    pgrid = PrefillGrid(model, max_len=2048)
+    build_wall = time.perf_counter() - t0
+    points = grid.size + pgrid.size
+
+    lookup = grid.lookup
+    t0 = time.perf_counter()
+    for i in range(lookups):
+        lookup(1 + i % 256, float(16 * (1 + i % 256)))
+    lookup_wall = time.perf_counter() - t0
+
+    batch_sizes = np.arange(1, 257, dtype=np.float64)
+    curves = max(lookups // 1024, 8)
+    t0 = time.perf_counter()
+    for i in range(curves):
+        decode_rate_curve(model, batch_sizes, 128.0 + i)
+    curve_wall = time.perf_counter() - t0
+    curve_points = curves * len(batch_sizes)
+    return {
+        "grid_points": points,
+        "build_wall_s": build_wall,
+        "grid_points_per_sec": points / build_wall if build_wall > 0 else 0.0,
+        "lookup_calls_per_sec": lookups / lookup_wall if lookup_wall > 0 else 0.0,
+        "curve_points_per_sec": (
+            curve_points / curve_wall if curve_wall > 0 else 0.0
+        ),
     }
 
 
@@ -178,6 +248,7 @@ def bench_grid(scale_factor: float, jobs: int) -> dict[str, Any]:
 def run_perf_suite(
     quick: bool = False,
     jobs: int = 4,
+    repeat: int = 1,
     *,
     kernel_events: int | None = None,
     costmodel_calls: int | None = None,
@@ -187,7 +258,8 @@ def run_perf_suite(
     """Run every benchmark section; return the BENCH_perf.json record.
 
     ``quick`` is the CI-smoke size; the keyword overrides exist so tests can
-    shrink sections further.
+    shrink sections further.  ``repeat`` re-runs the micro sections N times
+    and reports the median (every sample is kept in the record).
     """
     import os
 
@@ -202,14 +274,52 @@ def run_perf_suite(
         # (serialization + reconstruction, ~0.15s) or the speedup number
         # measures IPC, not execution.  0.2 => ~1.7s of compute per point.
         grid_scale = 0.2 if quick else 0.4
+    repeat = max(1, repeat)
+
+    kernel_samples = _repeated(lambda: bench_kernel(kernel_events), repeat)
+    kernel = dict(_median_sample(kernel_samples, "events_per_sec"))
+
+    cost_samples = _repeated(lambda: bench_costmodel(costmodel_calls), repeat)
+    costmodel = {
+        "calls": cost_samples[0]["calls"],
+        **{
+            metric: statistics.median(s[metric] for s in cost_samples)
+            for metric in (
+                "decode_cold_calls_per_sec",
+                "decode_warm_calls_per_sec",
+                "prefill_cold_calls_per_sec",
+                "prefill_warm_calls_per_sec",
+            )
+        },
+    }
+
+    vector_samples = _repeated(
+        lambda: bench_vectorized(costmodel_calls), repeat
+    )
+    vectorized = dict(_median_sample(vector_samples, "grid_points_per_sec"))
+
+    if repeat > 1:
+        kernel["repeat"] = repeat
+        kernel["samples_events_per_sec"] = [
+            s["events_per_sec"] for s in kernel_samples
+        ]
+        costmodel["repeat"] = repeat
+        costmodel["samples"] = cost_samples
+        vectorized["repeat"] = repeat
+        vectorized["samples_grid_points_per_sec"] = [
+            s["grid_points_per_sec"] for s in vector_samples
+        ]
+
     return {
         "schema_version": PERF_SCHEMA_VERSION,
         "kind": "perf",
         "quick": quick,
         "jobs": jobs,
+        "repeat": repeat,
         "cpu_count": os.cpu_count(),
-        "kernel": bench_kernel(kernel_events),
-        "costmodel": bench_costmodel(costmodel_calls),
+        "kernel": kernel,
+        "costmodel": costmodel,
+        "vectorized": vectorized,
         "cluster": bench_cluster(cluster_scale),
         "grid": bench_grid(grid_scale, jobs),
     }
@@ -218,17 +328,32 @@ def run_perf_suite(
 def format_report(report: dict[str, Any]) -> str:
     kernel = report["kernel"]
     cost = report["costmodel"]
+    vector = report.get("vectorized")
     cluster = report["cluster"]
     grid = report["grid"]
+    repeat = report.get("repeat", 1)
     lines = [
         f"perf suite ({'quick' if report['quick'] else 'full'}, "
-        f"{report['jobs']} jobs, {report['cpu_count']} cpus)",
+        f"{report['jobs']} jobs, {report['cpu_count']} cpus"
+        + (f", median of {repeat}" if repeat > 1 else "")
+        + ")",
         f"  kernel    : {kernel['events_per_sec']:>12,.0f} events/s "
         f"({kernel['events']:,} events in {kernel['wall_s']:.2f}s)",
         f"  costmodel : decode {cost['decode_cold_calls_per_sec']:,.0f} cold / "
         f"{cost['decode_warm_calls_per_sec']:,.0f} warm calls/s, "
         f"prefill {cost['prefill_cold_calls_per_sec']:,.0f} cold / "
         f"{cost['prefill_warm_calls_per_sec']:,.0f} warm (memoized) calls/s",
+        *(
+            [
+                f"  vectorized: {vector['grid_points_per_sec']:,.0f} grid "
+                f"points/s built ({vector['grid_points']:,} points in "
+                f"{vector['build_wall_s'] * 1e3:.1f}ms), "
+                f"{vector['lookup_calls_per_sec']:,.0f} lookups/s, "
+                f"{vector['curve_points_per_sec']:,.0f} curve points/s"
+            ]
+            if vector is not None
+            else []
+        ),
         f"  cluster   : scale {cluster['scale']:g} run in "
         f"{cluster['wall_s']:.2f}s "
         f"({cluster['throughput_tps']:.0f} tok/s simulated, "

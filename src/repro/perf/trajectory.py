@@ -1,0 +1,206 @@
+"""Cross-run perf-trajectory gate over ``BENCH_perf.json`` records.
+
+A single ``tdpipe-bench perf`` run measures absolute numbers; this module
+turns consecutive runs into a *trajectory*: the fresh record is compared
+against a baseline record (typically the previous CI run's, restored from
+the actions cache) metric by metric, each with its own regression
+tolerance.  A metric regresses when::
+
+    current < baseline * (1 - tolerance)
+
+Improvements always pass (and should be promoted into the baseline via
+``--update-baseline``).  Regressions can be *waived* explicitly — an
+expected slowdown is declared with ``--waive metric[:reason]`` and shows up
+in the report as waived rather than silently vanishing.  Metrics missing
+from either record are reported as skipped, so the gate survives schema
+evolution without false alarms.
+
+The tolerances are deliberately loose: shared CI runners jitter by tens of
+percent, and this gate exists to catch order-of-magnitude rot (an
+accidentally quadratic loop, a dropped memo cache), not 5% noise.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "DEFAULT_TOLERANCES",
+    "MetricCheck",
+    "TrajectoryReport",
+    "compare_perf",
+    "load_baseline",
+    "parse_waivers",
+]
+
+#: Metric dotted-path -> allowed fractional regression vs baseline.
+#: Rates only (higher is better); wall-clock sections are covered via their
+#: rate forms so one tolerance direction suffices.
+DEFAULT_TOLERANCES: dict[str, float] = {
+    "kernel.events_per_sec": 0.35,
+    "costmodel.decode_cold_calls_per_sec": 0.35,
+    "costmodel.decode_warm_calls_per_sec": 0.35,
+    "costmodel.prefill_cold_calls_per_sec": 0.35,
+    "costmodel.prefill_warm_calls_per_sec": 0.35,
+    "vectorized.grid_points_per_sec": 0.40,
+    "cluster.requests_per_sec_wall": 0.40,
+    "grid.serial_points_per_sec": 0.40,
+    "grid.parallel_points_per_sec": 0.40,
+}
+
+
+def _extract(record: Mapping[str, Any], path: str) -> float | None:
+    node: Any = record
+    for part in path.split("."):
+        if not isinstance(node, Mapping) or part not in node:
+            return None
+        node = node[part]
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return None
+    return float(node)
+
+
+@dataclass(frozen=True)
+class MetricCheck:
+    """Outcome of one metric's baseline-vs-current comparison."""
+
+    metric: str
+    baseline: float | None
+    current: float | None
+    tolerance: float
+    #: current / baseline (None when either side is missing or baseline <= 0).
+    ratio: float | None
+    #: Regressed beyond tolerance (before considering waivers).
+    regressed: bool
+    #: Waiver reason when the regression was explicitly declared, else None.
+    waived: str | None = None
+
+    @property
+    def skipped(self) -> bool:
+        return self.baseline is None or self.current is None
+
+    @property
+    def failed(self) -> bool:
+        """An unexplained (non-waived) regression beyond tolerance."""
+        return self.regressed and self.waived is None
+
+    def describe(self) -> str:
+        if self.skipped:
+            side = "baseline" if self.baseline is None else "current"
+            return f"SKIP  {self.metric}: missing in {side} record"
+        assert self.ratio is not None
+        status = "ok  "
+        if self.regressed:
+            status = "WAIVED" if self.waived is not None else "FAIL"
+        line = (
+            f"{status:<6} {self.metric}: {self.current:,.0f} vs baseline "
+            f"{self.baseline:,.0f} ({self.ratio:.2f}x, tolerance -{self.tolerance:.0%})"
+        )
+        if self.waived is not None:
+            line += f" [waived: {self.waived}]"
+        return line
+
+
+@dataclass
+class TrajectoryReport:
+    """All metric checks of one baseline-vs-fresh comparison."""
+
+    checks: list[MetricCheck] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not any(c.failed for c in self.checks)
+
+    @property
+    def failures(self) -> list[MetricCheck]:
+        return [c for c in self.checks if c.failed]
+
+    @property
+    def waived(self) -> list[MetricCheck]:
+        return [c for c in self.checks if c.regressed and c.waived is not None]
+
+    def describe(self) -> str:
+        lines = [c.describe() for c in self.checks]
+        n_fail = len(self.failures)
+        if n_fail:
+            lines.append(
+                f"perf trajectory: {n_fail} unexplained regression(s) beyond "
+                "tolerance (waive expected slowdowns with --waive metric:reason)"
+            )
+        else:
+            compared = sum(1 for c in self.checks if not c.skipped)
+            lines.append(
+                f"perf trajectory: ok ({compared} metric(s) within tolerance"
+                + (f", {len(self.waived)} waived" if self.waived else "")
+                + ")"
+            )
+        return "\n".join(lines)
+
+
+def parse_waivers(entries: Iterable[str] | None) -> dict[str, str]:
+    """``metric[:reason]`` CLI strings -> {metric: reason}."""
+    waivers: dict[str, str] = {}
+    for entry in entries or ():
+        metric, _, reason = entry.partition(":")
+        metric = metric.strip()
+        if not metric:
+            raise ValueError(f"empty metric in waiver {entry!r}")
+        waivers[metric] = reason.strip() or "declared expected"
+    return waivers
+
+
+def compare_perf(
+    baseline: Mapping[str, Any],
+    current: Mapping[str, Any],
+    tolerances: Mapping[str, float] | None = None,
+    waivers: Mapping[str, str] | None = None,
+) -> TrajectoryReport:
+    """Compare a fresh BENCH_perf.json record against a baseline record."""
+    tols = dict(DEFAULT_TOLERANCES if tolerances is None else tolerances)
+    waivers = dict(waivers or {})
+    unknown = set(waivers) - set(tols)
+    if unknown:
+        raise ValueError(
+            f"waiver(s) for unknown metric(s): {sorted(unknown)}; "
+            f"known: {sorted(tols)}"
+        )
+    report = TrajectoryReport()
+    for metric, tol in tols.items():
+        base = _extract(baseline, metric)
+        cur = _extract(current, metric)
+        ratio = None
+        regressed = False
+        if base is not None and cur is not None and base > 0:
+            ratio = cur / base
+            regressed = cur < base * (1.0 - tol)
+        report.checks.append(
+            MetricCheck(
+                metric=metric,
+                baseline=base,
+                current=cur,
+                tolerance=tol,
+                ratio=ratio,
+                regressed=regressed,
+                waived=waivers.get(metric) if regressed else None,
+            )
+        )
+    return report
+
+
+def load_baseline(path: str) -> dict[str, Any] | None:
+    """Read a baseline BENCH_perf.json; None when absent or unreadable.
+
+    A missing/corrupt baseline is not an error: the first run of a fresh
+    cache has nothing to compare against, and the gate simply records the
+    new baseline for next time.
+    """
+    try:
+        with open(path) as fh:
+            record = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(record, dict) or record.get("kind") != "perf":
+        return None
+    return record

@@ -15,6 +15,7 @@ from collections import deque
 from typing import Iterable, Sequence
 
 from ..costmodel.roofline import PrefillChunk, StageCostModel
+from ..costmodel.vectorized import install_default_grids
 from ..hardware.node import NodeSpec
 from ..kvcache.block_manager import BlockManager
 from ..kvcache.capacity import kv_token_capacity
@@ -86,6 +87,14 @@ class InferenceEngine(abc.ABC):
             StageCostModel(shard=s, gpu=node.gpu, interconnect=node.interconnect)
             for s in pipeline_shards(model, pp, tp)
         ]
+        # Precompute the vectorized cost surfaces over the shapes this config
+        # can reach (bit-identical to the scalar path; shared across engines
+        # with identical stages via the module-level build cache).
+        install_default_grids(
+            self.stage_models,
+            max_batch=self.config.max_num_seqs,
+            max_prompt_len=self.config.max_prefill_tokens,
+        )
         if parallel == "pp":
             gpu_groups = [(i,) for i in range(g)]
         else:

@@ -5,12 +5,23 @@ relative simulated times and executed in (time, insertion-order) order, so the
 simulation is fully deterministic.  All system simulators (TD-Pipe and the
 baselines) and the hierarchy-controller runtime are built on this kernel.
 
-Heap entries are plain ``(time, seq, item)`` tuples — ``seq`` is unique, so
-tuple comparison never reaches ``item`` and heap sifts compare bare floats and
-ints instead of invoking a dataclass ``__lt__``.  ``item`` is either a bare
-callback (the allocation-free fast path used by the engines, which never
-cancel) or an :class:`Event` wrapper when the caller needs a cancellation
-handle.
+Events are stored in **timestamp buckets**: a min-heap of distinct timestamps
+plus a dict mapping each timestamp to the list of callbacks scheduled at it
+(insertion order == seq order, so plain list order *is* execution order).
+The run loop drains one whole bucket per heap pop — engines routinely complete
+many events at the same instant (pipeline stage drains, cluster arrival
+bursts, the per-stage decode round), and batching the dispatch means those
+same-timestamp storms pay one ``heappop`` and one clock update per *group*
+instead of per event.  A bucket entry is either a bare callback (the
+allocation-free fast path used by the engines, which never cancel) or an
+:class:`Event` wrapper when the caller needs a cancellation handle.
+
+Execution order is exactly the (time, seq) order of the previous tuple-heap
+kernel: within a bucket, list order is seq order; callbacks scheduled *at the
+draining timestamp* open a fresh bucket that is drained immediately after
+(their seqs are larger than everything already at that time), and
+``schedule_at`` refuses past times, so no event can ever be inserted ahead of
+the cursor.
 """
 
 from __future__ import annotations
@@ -37,7 +48,7 @@ class Event:
         self.callback = callback
         self.cancelled = False
         #: Set by the owning :class:`Simulator` so cancellation can update its
-        #: live-event accounting without scanning the heap.
+        #: live-event accounting without scanning the buckets.
         self._on_cancel: Callable[[], None] | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -47,8 +58,8 @@ class Event:
         )
 
     def cancel(self) -> None:
-        """Prevent the callback from running (the heap entry is left in place
-        until the simulator pops or compacts it)."""
+        """Prevent the callback from running (the bucket entry is left in
+        place until the simulator dispatches past or compacts it)."""
         if self.cancelled:
             return
         self.cancelled = True
@@ -70,15 +81,26 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        #: (time, seq, callback-or-Event) tuples; seq is unique so comparisons
-        #: terminate at the ints and the payload never needs ordering.
-        self._heap: list[tuple[float, int, object]] = []
+        #: Min-heap of bucket timestamps.  May hold stale entries (bucket
+        #: deleted by compaction) or duplicates (a callback re-opened the
+        #: timestamp being drained); the run loop skips timestamps with no
+        #: bucket, and a timestamp is pushed at most once per live bucket.
+        self._times: list[float] = []
+        #: time -> callbacks-or-Events at that time, in insertion (seq) order.
+        self._buckets: dict[float, list] = {}
+        #: Bound method hoisted for the hot schedule path.
+        self._bucket_get = self._buckets.get
         self._seq = itertools.count()
         self._events_processed = 0
-        # Live/cancelled bookkeeping so `pending` is O(1).  Invariant:
-        # len(self._heap) == self._live + self._cancelled.
+        # Live/cancelled bookkeeping so `pending` is O(1).  Invariant: the
+        # number of not-yet-dispatched entries across all buckets (plus the
+        # cursor tail) == self._live + self._cancelled.
         self._live = 0
         self._cancelled = 0
+        #: ``[time, bucket, next_index]`` of a partially drained bucket (the
+        #: bucket is already popped from ``_times``/``_buckets``).  Left by
+        #: ``step`` between calls and by ``run`` when an exception unwinds.
+        self._cursor: list | None = None
 
     @property
     def now(self) -> float:
@@ -101,105 +123,192 @@ class Simulator:
             raise ValueError(f"cannot schedule at {time} < now {self._now}")
         ev = Event(time, next(self._seq), callback)
         ev._on_cancel = self._note_cancelled
-        heapq.heappush(self._heap, (time, ev.seq, ev))
+        bucket = self._bucket_get(time)
+        if bucket is None:
+            self._buckets[time] = [ev]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append(ev)
         self._live += 1
         return ev
 
     def schedule_callback(self, delay: float, callback: Callable[[], None]) -> None:
         """Fast path of :meth:`schedule` for callbacks that are never
-        cancelled: no :class:`Event` is allocated, only the bare tuple entry.
+        cancelled: no :class:`Event` is allocated, only the bare list entry.
         This is what the engine hot loops use (hundreds of thousands of
         events per run, none of them cancellable)."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        self.schedule_callback_at(self._now + delay, callback)
+        time = self._now + delay
+        bucket = self._bucket_get(time)
+        if bucket is None:
+            self._buckets[time] = [callback]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append(callback)
+        self._live += 1
 
     def schedule_callback_at(self, time: float, callback: Callable[[], None]) -> None:
         """Absolute-time variant of :meth:`schedule_callback`."""
         if time < self._now:
             raise ValueError(f"cannot schedule at {time} < now {self._now}")
-        heapq.heappush(self._heap, (time, next(self._seq), callback))
+        bucket = self._bucket_get(time)
+        if bucket is None:
+            self._buckets[time] = [callback]
+            heapq.heappush(self._times, time)
+        else:
+            bucket.append(callback)
         self._live += 1
 
     def _note_cancelled(self) -> None:
-        """An event in the heap was cancelled; compact when tombstones dominate."""
+        """An undispatched event was cancelled; compact when tombstones
+        dominate."""
         self._live -= 1
         self._cancelled += 1
-        if self._cancelled > len(self._heap) // 2 and len(self._heap) >= 8:
+        stored = self._live + self._cancelled
+        if self._cancelled > stored // 2 and stored >= 8:
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify (ordering is a total order,
-        so heapify preserves (time, seq) execution order)."""
-        self._heap = [
-            entry
-            for entry in self._heap
-            if not (type(entry[2]) is Event and entry[2].cancelled)
-        ]
-        heapq.heapify(self._heap)
-        self._cancelled = 0
+        """Drop cancelled entries from the buckets (list order is execution
+        order, so filtering preserves it).  The bucket being drained — if any —
+        is already popped from ``_buckets`` and is therefore never touched;
+        its tombstones are skipped (and accounted) at dispatch instead.  The
+        timestamp heap is rebuilt from the surviving buckets, which also
+        sheds stale and duplicate entries."""
+        buckets = self._buckets
+        removed = 0
+        for t in list(buckets):
+            bucket = buckets[t]
+            kept = [
+                cb
+                for cb in bucket
+                if not (type(cb) is Event and cb.cancelled)
+            ]
+            if len(kept) != len(bucket):
+                removed += len(bucket) - len(kept)
+                if kept:
+                    buckets[t] = kept
+                else:
+                    del buckets[t]
+        self._cancelled -= removed
+        self._times = list(buckets)
+        heapq.heapify(self._times)
 
     def step(self) -> bool:
-        """Run the next pending event.  Returns False when the heap is empty."""
-        heap = self._heap
-        while heap:
-            time, _seq, item = heapq.heappop(heap)
-            callback = item
-            if type(item) is Event:
-                # Once popped, a late cancel() must not touch the counters.
-                item._on_cancel = None
-                if item.cancelled:
-                    self._cancelled -= 1
-                    continue
-                callback = item.callback
-            self._live -= 1
-            if time < self._now:
-                raise SimulationError(
-                    f"event at {time} before current time {self._now}"
-                )
-            self._now = time
-            self._events_processed += 1
-            callback()
-            return True
-        return False
+        """Run the next pending event.  Returns False when none are queued."""
+        buckets = self._buckets
+        while True:
+            cursor = self._cursor
+            if cursor is None:
+                times = self._times
+                while True:
+                    if not times:
+                        return False
+                    t = heapq.heappop(times)
+                    bucket = buckets.pop(t, None)
+                    if bucket is not None:
+                        break
+                cursor = [t, bucket, 0]
+                self._cursor = cursor
+            t, bucket, i = cursor
+            while i < len(bucket):
+                cb = bucket[i]
+                i += 1
+                cursor[2] = i
+                if type(cb) is Event:
+                    cb._on_cancel = None
+                    if cb.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    cb = cb.callback
+                if t < self._now:
+                    raise SimulationError(
+                        f"event at {t} before current time {self._now}"
+                    )
+                self._now = t
+                self._live -= 1
+                self._events_processed += 1
+                cb()
+                return True
+            self._cursor = None
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
-        """Drain the event heap, optionally stopping at time ``until``.
+        """Drain the event queue, optionally stopping at time ``until``.
 
-        ``max_events`` guards against runaway schedulers (a scheduling bug in a
-        system simulator would otherwise loop forever).
+        ``max_events`` guards against runaway schedulers (a scheduling bug in
+        a system simulator would otherwise loop forever).
+
+        All events sharing the head timestamp are dispatched in one inner
+        loop: one heap pop, one bucket fetch and one clock update per
+        timestamp group, with per-event work reduced to an index, a type
+        check and the callback itself.
         """
+        pop = heapq.heappop
+        buckets = self._buckets
         processed = 0
-        while self._heap:
-            # Re-read the heap each iteration: a callback may cancel events
-            # and trigger _compact(), which rebinds self._heap.
-            heap = self._heap
-            # Purge cancelled tombstones so the `until` peek sees the next
-            # *live* event; otherwise a tombstone at time <= until would let
-            # step() run a live event stamped past the horizon.
-            while heap:
-                head_item = heap[0][2]
-                if type(head_item) is Event and head_item.cancelled:
-                    heapq.heappop(heap)
-                    head_item._on_cancel = None
-                    self._cancelled -= 1
-                else:
-                    break
-            if not heap:
-                return
-            if until is not None and heap[0][0] > until:
-                self._now = max(self._now, until)
-                return
-            if not self.step():
-                return
-            processed += 1
-            if max_events is not None and processed >= max_events:
+        while True:
+            cursor = self._cursor
+            if cursor is not None:
+                t, bucket, i = cursor
+                if until is not None and t > until:
+                    if self._now < until:
+                        self._now = until
+                    return
+                self._cursor = None
+            else:
+                times = self._times
+                while True:
+                    if not times:
+                        return
+                    t = times[0]
+                    if until is not None and t > until:
+                        if self._now < until:
+                            self._now = until
+                        return
+                    pop(times)
+                    bucket = buckets.pop(t, None)
+                    if bucket is not None:
+                        break
+                i = 0
+            if t < self._now:
                 raise SimulationError(
-                    f"exceeded max_events={max_events}; likely a scheduling livelock"
+                    f"event at {t} before current time {self._now}"
                 )
+            self._now = t
+            try:
+                # Drain the whole timestamp group.  ``len`` is re-evaluated
+                # every iteration because a callback may append same-time
+                # events... to a *new* bucket (this one is popped), but a
+                # prior `step()` cursor bucket can still be mid-growth; the
+                # re-check also keeps the loop correct if that ever changes.
+                while i < len(bucket):
+                    cb = bucket[i]
+                    i += 1
+                    if type(cb) is Event:
+                        cb._on_cancel = None
+                        if cb.cancelled:
+                            self._cancelled -= 1
+                            continue
+                        cb = cb.callback
+                    self._live -= 1
+                    self._events_processed += 1
+                    cb()
+                    if max_events is not None:
+                        processed += 1
+                        if processed >= max_events:
+                            raise SimulationError(
+                                f"exceeded max_events={max_events}; "
+                                f"likely a scheduling livelock"
+                            )
+            except BaseException:
+                # Preserve the undispatched tail so `pending` stays exact
+                # and a later run()/step() resumes in order.
+                self._cursor = [t, bucket, i]
+                raise
 
     @property
     def pending(self) -> int:
         """Number of not-yet-cancelled events still queued (O(1): engines poll
-        this on every task completion, so a heap scan would be quadratic)."""
+        this on every task completion, so a scan would be quadratic)."""
         return self._live

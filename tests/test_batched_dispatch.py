@@ -1,0 +1,255 @@
+"""Batched same-timestamp dispatch vs the pre-batching tuple-heap kernel.
+
+The bucket-based :class:`repro.sim.engine.Simulator` drains all entries
+sharing the head timestamp in one inner loop instead of re-sifting the heap
+per event.  That is a pure mechanical change: execution order is still
+exactly (time, seq), so every engine must produce *identical* results —
+same ``events_processed``, same traces, same metrics — on both kernels.
+
+``ReferenceSimulator`` below is a faithful copy of the previous tuple-heap
+kernel (one ``heappop`` per event, ``Event`` tombstones, ratio-triggered
+compaction).  The tests run all five systems against both kernels on the
+same workload and diff everything observable, including the byte-level
+``RunResult``/``ClusterResult`` records the :class:`~repro.api.ArtifactStore`
+hashes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+import pytest
+
+from repro import api
+from repro.api.store.canonical import canonical_json
+from repro.experiments.common import SYSTEMS, build_engine
+from repro.hardware import make_node
+from repro.models import LLAMA2_13B
+from repro.predictor import OraclePredictor
+from repro.workload import generate_requests, with_poisson_arrivals
+
+from invariants import check_engine_invariants
+
+
+# --------------------------------------------------------------------- #
+# Reference kernel: the pre-batching tuple-heap simulator, verbatim.
+# --------------------------------------------------------------------- #
+class _RefEvent:
+    __slots__ = ("time", "seq", "callback", "cancelled", "_on_cancel")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self._on_cancel: Callable[[], None] | None = None
+
+    def cancel(self) -> None:
+        if self.cancelled:
+            return
+        self.cancelled = True
+        if self._on_cancel is not None:
+            self._on_cancel()
+
+
+class ReferenceSimulator:
+    """The tuple-heap event loop this PR replaced: one heappop per event."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, object]] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+        self._live = 0
+        self._cancelled = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> _RefEvent:
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> _RefEvent:
+        if time < self._now:
+            raise ValueError(f"cannot schedule at {time} < now {self._now}")
+        ev = _RefEvent(time, next(self._seq), callback)
+        ev._on_cancel = self._note_cancelled
+        heapq.heappush(self._heap, (time, ev.seq, ev))
+        self._live += 1
+        return ev
+
+    def schedule_callback(self, delay: float, callback: Callable[[], None]) -> None:
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self.schedule_callback_at(self._now + delay, callback)
+
+    def schedule_callback_at(self, time: float, callback: Callable[[], None]) -> None:
+        if time < self._now:
+            raise ValueError(f"cannot schedule at {time} < now {self._now}")
+        heapq.heappush(self._heap, (time, next(self._seq), callback))
+        self._live += 1
+
+    def _note_cancelled(self) -> None:
+        self._live -= 1
+        self._cancelled += 1
+        if self._cancelled > len(self._heap) // 2 and len(self._heap) >= 8:
+            self._compact()
+
+    def _compact(self) -> None:
+        self._heap = [
+            entry
+            for entry in self._heap
+            if not (type(entry[2]) is _RefEvent and entry[2].cancelled)
+        ]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+
+    def step(self) -> bool:
+        heap = self._heap
+        while heap:
+            time, _seq, item = heapq.heappop(heap)
+            callback = item
+            if type(item) is _RefEvent:
+                item._on_cancel = None
+                if item.cancelled:
+                    self._cancelled -= 1
+                    continue
+                callback = item.callback
+            self._live -= 1
+            self._now = time
+            self._events_processed += 1
+            callback()
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        processed = 0
+        while self._heap:
+            heap = self._heap
+            while heap:
+                head_item = heap[0][2]
+                if type(head_item) is _RefEvent and head_item.cancelled:
+                    heapq.heappop(heap)
+                    head_item._on_cancel = None
+                    self._cancelled -= 1
+                else:
+                    break
+            if not heap:
+                return
+            if until is not None and heap[0][0] > until:
+                self._now = max(self._now, until)
+                return
+            if not self.step():
+                return
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                raise RuntimeError(f"exceeded max_events={max_events}")
+
+    @property
+    def pending(self) -> int:
+        return self._live
+
+
+# --------------------------------------------------------------------- #
+# Every system, both kernels, one workload: everything observable matches.
+# --------------------------------------------------------------------- #
+def make_requests():
+    return with_poisson_arrivals(generate_requests(60, seed=13), 6.0, seed=13)
+
+
+def run_once(system: str, sim):
+    predictor = OraclePredictor() if system == "TD-Pipe" else None
+    engine = build_engine(
+        system, make_node("L20", 4), LLAMA2_13B, predictor=predictor, sim=sim
+    )
+    requests = make_requests()
+    result = engine.run(requests)
+    return engine, result, requests
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_batched_dispatch_matches_reference_kernel(system):
+    new_engine, new_result, new_reqs = run_once(system, sim=None)
+    ref_engine, ref_result, ref_reqs = run_once(system, sim=ReferenceSimulator())
+    assert type(new_engine.sim).__module__ == "repro.sim.engine"
+
+    # Same event count: batching drains the same entries, just per-bucket.
+    assert new_engine.sim.events_processed == ref_engine.sim.events_processed
+    assert new_engine.sim.now == ref_engine.sim.now
+
+    # Metrics, traces and phase structure are identical, not just close.
+    assert new_result.summary() == ref_result.summary()
+    assert new_result.makespan == ref_result.makespan
+    assert new_result.latency.summary() == ref_result.latency.summary()
+    assert new_result.trace.timelines == ref_result.trace.timelines
+    assert [(s.phase, s.start, s.end) for s in new_result.phase_spans] == [
+        (s.phase, s.start, s.end) for s in ref_result.phase_spans
+    ]
+    assert new_result.to_record(detail=True) == ref_result.to_record(detail=True)
+
+    # Both runs are individually sound (online workload: phases may gap).
+    check_engine_invariants(new_engine, new_result, new_reqs, contiguous_phases=False)
+    check_engine_invariants(ref_engine, ref_result, ref_reqs, contiguous_phases=False)
+
+
+# --------------------------------------------------------------------- #
+# Store-level byte identity: records and content hashes cannot drift.
+# --------------------------------------------------------------------- #
+ENGINE_SPEC = api.ScenarioSpec(
+    mode="engine",
+    workload=api.WorkloadSpec(scale=0.02, seed=0),
+    fleet=api.FleetSpec(node="l20", num_gpus=4),
+    engine=api.EngineSpec(system="TD-Pipe", model="13B", predictor="oracle"),
+)
+
+CLUSTER_SPEC = api.ScenarioSpec(
+    mode="cluster",
+    workload=api.WorkloadSpec(
+        scale=0.02, seed=0, arrival="poisson", rate_rps=8.0
+    ),
+    fleet=api.FleetSpec(node="l20", num_gpus=4, replicas=2),
+    engine=api.EngineSpec(system="TD-Pipe", model="13B", predictor="oracle"),
+    control=api.ControlSpec(router="phase-aware"),
+)
+
+
+def _record_sans_wall(artifact) -> str:
+    """Canonical JSON of the full record, minus the host-dependent wall time."""
+    record = artifact.to_record(detail=True)
+    record.pop("wall_time_s")
+    return canonical_json(record)
+
+
+@pytest.mark.parametrize(
+    "spec", [ENGINE_SPEC, CLUSTER_SPEC], ids=["engine", "cluster"]
+)
+def test_artifact_records_byte_identical_across_kernels(spec, tmp_path, monkeypatch):
+    """RunResult/ClusterResult records file identically under both kernels."""
+    new_store = api.ArtifactStore(tmp_path / "new")
+    new_artifact = api.run(spec, store=new_store)
+
+    import repro.cluster.engine as cluster_engine
+    import repro.runtime.base_engine as base_engine
+
+    monkeypatch.setattr(base_engine, "Simulator", ReferenceSimulator)
+    monkeypatch.setattr(cluster_engine, "Simulator", ReferenceSimulator)
+    ref_store = api.ArtifactStore(tmp_path / "ref")
+    ref_artifact = api.run(spec, store=ref_store)
+
+    assert _record_sans_wall(new_artifact) == _record_sans_wall(ref_artifact)
+    # Same content address in both stores, and both round-trip to equality.
+    assert new_store.refs() == ref_store.refs()
+    (ref,) = new_store.refs()
+    assert ref == api.content_hash(new_artifact.spec)
+    assert api.RunArtifact.from_record(new_store.get_record(ref)).result.summary() == (
+        api.RunArtifact.from_record(ref_store.get_record(ref)).result.summary()
+    )

@@ -1,0 +1,144 @@
+"""Unit tests for the cross-run perf-trajectory gate (repro.perf.trajectory).
+
+The CI contract under test: an injected regression beyond tolerance FAILS
+the gate, anything within tolerance (or an improvement) passes, expected
+slowdowns can be waived but stay visible, and schema drift (a metric
+missing on either side) degrades to SKIP instead of a false alarm.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf.trajectory import (
+    DEFAULT_TOLERANCES,
+    compare_perf,
+    load_baseline,
+    parse_waivers,
+)
+
+
+def perf_record(**overrides):
+    """A minimal but complete BENCH_perf.json-shaped record."""
+    record = {
+        "kind": "perf",
+        "kernel": {"events_per_sec": 2_000_000.0},
+        "costmodel": {
+            "decode_cold_calls_per_sec": 200_000.0,
+            "decode_warm_calls_per_sec": 3_500_000.0,
+            "prefill_cold_calls_per_sec": 250_000.0,
+            "prefill_warm_calls_per_sec": 3_000_000.0,
+        },
+        "vectorized": {"grid_points_per_sec": 8_000_000.0},
+        "cluster": {"requests_per_sec_wall": 900.0},
+        "grid": {
+            "serial_points_per_sec": 1.5,
+            "parallel_points_per_sec": 5.0,
+        },
+    }
+    for path, value in overrides.items():
+        section, _, key = path.partition(".")
+        record[section][key] = value
+    return record
+
+
+def test_identical_records_pass():
+    report = compare_perf(perf_record(), perf_record())
+    assert report.ok
+    assert not report.failures
+    assert {c.metric for c in report.checks} == set(DEFAULT_TOLERANCES)
+    assert all(c.ratio == 1.0 for c in report.checks)
+
+
+def test_improvement_always_passes():
+    current = perf_record(**{"kernel.events_per_sec": 50_000_000.0})
+    assert compare_perf(perf_record(), current).ok
+
+
+def test_regression_beyond_tolerance_fails():
+    # kernel tolerance is 0.35; a 0.4x run is far beyond it.
+    current = perf_record(**{"kernel.events_per_sec": 800_000.0})
+    report = compare_perf(perf_record(), current)
+    assert not report.ok
+    assert [c.metric for c in report.failures] == ["kernel.events_per_sec"]
+    assert "FAIL" in report.describe()
+
+
+def test_regression_within_tolerance_passes():
+    # 0.70x against a 0.35 tolerance: jitter, not rot.
+    current = perf_record(**{"kernel.events_per_sec": 1_400_000.0})
+    report = compare_perf(perf_record(), current)
+    assert report.ok
+    (check,) = [c for c in report.checks if c.metric == "kernel.events_per_sec"]
+    assert check.ratio == pytest.approx(0.7)
+    assert not check.regressed
+
+
+def test_waiver_turns_fail_into_waived_but_stays_visible():
+    current = perf_record(**{"kernel.events_per_sec": 100_000.0})
+    waivers = {"kernel.events_per_sec": "rewrote kernel for clarity"}
+    report = compare_perf(perf_record(), current, waivers=waivers)
+    assert report.ok
+    assert not report.failures
+    assert [c.metric for c in report.waived] == ["kernel.events_per_sec"]
+    assert "rewrote kernel for clarity" in report.describe()
+    assert "WAIVED" in report.describe()
+
+
+def test_waiver_for_unknown_metric_is_an_error():
+    with pytest.raises(ValueError, match="unknown metric"):
+        compare_perf(perf_record(), perf_record(), waivers={"nope.such_metric": "x"})
+
+
+def test_missing_metric_skips_not_fails():
+    baseline = perf_record()
+    del baseline["vectorized"]  # e.g. a baseline recorded before this PR
+    report = compare_perf(baseline, perf_record())
+    assert report.ok
+    (check,) = [c for c in report.checks if c.metric == "vectorized.grid_points_per_sec"]
+    assert check.skipped and not check.failed
+    assert "SKIP" in check.describe()
+
+
+def test_non_numeric_and_zero_baselines_never_divide():
+    baseline = perf_record(**{"kernel.events_per_sec": 0.0})
+    current = perf_record(**{"cluster.requests_per_sec_wall": "broken"})
+    report = compare_perf(baseline, current)
+    assert report.ok  # zero baseline and non-numeric current both skip
+    by_metric = {c.metric: c for c in report.checks}
+    assert by_metric["kernel.events_per_sec"].ratio is None
+    assert by_metric["cluster.requests_per_sec_wall"].skipped
+
+
+def test_parse_waivers():
+    assert parse_waivers(None) == {}
+    assert parse_waivers(["a.b:known slow", "c.d"]) == {
+        "a.b": "known slow",
+        "c.d": "declared expected",
+    }
+    with pytest.raises(ValueError, match="empty metric"):
+        parse_waivers([":reason but no metric"])
+
+
+class TestLoadBaseline:
+    def test_missing_file_is_none(self, tmp_path):
+        assert load_baseline(str(tmp_path / "nope.json")) is None
+
+    def test_corrupt_json_is_none(self, tmp_path):
+        path = tmp_path / "corrupt.json"
+        path.write_text("{not json")
+        assert load_baseline(str(path)) is None
+
+    def test_wrong_kind_is_none(self, tmp_path):
+        path = tmp_path / "cluster.json"
+        path.write_text(json.dumps({"kind": "cluster"}))
+        assert load_baseline(str(path)) is None
+
+    def test_perf_record_round_trips(self, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps(perf_record()))
+        baseline = load_baseline(str(path))
+        assert baseline is not None
+        assert compare_perf(baseline, perf_record()).ok

@@ -1,0 +1,219 @@
+"""Bit-identity of the vectorized cost surfaces vs the scalar roofline.
+
+The numpy grids/curves in :mod:`repro.costmodel.vectorized` are allowed to
+change *where* a number is computed, never the number: every grid entry
+must equal the scalar ``StageCostModel`` result to the bit, across models,
+GPUs, TP degrees and pipeline shards.  Hypothesis drives random
+configurations through all three surfaces; separate tests pin the grid
+fallback contract and the memo-reset regression (a ``_COST_CACHE_MAX``
+overflow must clear only the memo dicts, never the installed grids, and
+must not change any result).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.costmodel.roofline as roofline
+from repro.costmodel.roofline import StageCostModel
+from repro.costmodel.vectorized import (
+    DecodeGrid,
+    PrefillGrid,
+    build_decode_grid,
+    build_prefill_grid,
+    decode_rate_curve,
+    decode_time_surface,
+    install_default_grids,
+    prefill_time_surface,
+)
+from repro.core.intensity import DecodeRateProfile
+from repro.hardware.gpu import GPU_PRESETS
+from repro.hardware.interconnect import pcie_switch
+from repro.models.partition import pipeline_shards
+from repro.models.spec import MODEL_PRESETS
+
+
+def bits(x: float) -> bytes:
+    """IEEE-754 representation — equality up to the last bit."""
+    return np.float64(x).tobytes()
+
+
+stage_configs = st.builds(
+    lambda model, gpu, tp, pp, idx: (model, gpu, tp, pp, idx % pp),
+    model=st.sampled_from(sorted(MODEL_PRESETS)),
+    gpu=st.sampled_from(sorted(GPU_PRESETS)),
+    tp=st.sampled_from([1, 2, 4]),
+    pp=st.sampled_from([1, 2, 4]),
+    idx=st.integers(0, 3),
+)
+
+
+def make_stage(config) -> StageCostModel:
+    model_name, gpu_name, tp, pp, idx = config
+    model = MODEL_PRESETS[model_name]
+    gpu = GPU_PRESETS[gpu_name]
+    interconnect = pcie_switch(gpu.allreduce_bw_gbps) if tp > 1 else None
+    shard = pipeline_shards(model, pp, tp)[idx]
+    return StageCostModel(shard=shard, gpu=gpu, interconnect=interconnect)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    config=stage_configs,
+    batches=st.lists(st.integers(1, 512), min_size=1, max_size=16),
+    kvs=st.lists(
+        st.one_of(
+            st.integers(0, 1 << 20).map(float),
+            st.floats(0.0, 2**20, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=16,
+    ),
+)
+def test_decode_surface_bit_identical(config, batches, kvs):
+    stage = make_stage(config)
+    n = min(len(batches), len(kvs))
+    b = np.asarray(batches[:n], dtype=np.float64)
+    kv = np.asarray(kvs[:n], dtype=np.float64)
+    surface = decode_time_surface(stage, b, kv)
+    for bi, kvi, got in zip(batches, kvs, surface):
+        assert bits(got) == bits(stage.decode_time(bi, float(kvi)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    config=stage_configs,
+    lens=st.lists(st.integers(1, 8192), min_size=1, max_size=16),
+)
+def test_prefill_surface_bit_identical(config, lens):
+    stage = make_stage(config)
+    surface = prefill_time_surface(stage, np.asarray(lens, dtype=np.float64))
+    for length, got in zip(lens, surface):
+        assert bits(got) == bits(stage.prefill_time((length,)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    config=stage_configs,
+    mean_context=st.floats(0.0, 8192.0, allow_nan=False),
+    max_batch=st.integers(1, 64),
+)
+def test_rate_curve_bit_identical(config, mean_context, max_batch):
+    stage = make_stage(config)
+    batch_sizes = np.arange(1, max_batch + 1, dtype=np.float64)
+    times, rates = decode_rate_curve(stage, batch_sizes, mean_context)
+    for b, t, r in zip(range(1, max_batch + 1), times, rates):
+        scalar_t = stage.decode_time(b, b * (mean_context + 1.0))
+        assert bits(t) == bits(scalar_t)
+        assert bits(r) == bits(b / scalar_t)
+
+
+@settings(max_examples=40, deadline=None)
+@given(config=stage_configs, mean_context=st.floats(0.0, 8192.0, allow_nan=False))
+def test_profile_answers_from_table_bit_identically(config, mean_context):
+    """DecodeRateProfile's cached curve == the scalar rate chain."""
+    stage = make_stage(config)
+    tabled = DecodeRateProfile(stage_model=stage, peak_batch_size=32)
+    for b in (1, 7, 32, 40):  # 40 > table: exercises the scalar fallback
+        scalar_t = stage.decode_time(b, b * (mean_context + 1.0))
+        assert bits(tabled.rate(b, mean_context)) == bits(b / scalar_t)
+        assert bits(tabled.step_time(b, mean_context)) == bits(scalar_t)
+    assert bits(tabled.peak(mean_context)) == bits(
+        32 / stage.decode_time(32, 32 * (mean_context + 1.0))
+    )
+    assert tabled.rate(0, mean_context) == 0.0
+
+
+def fresh_stage() -> StageCostModel:
+    return make_stage(("32B", "L20", 1, 4, 0))
+
+
+class TestGridLookupContract:
+    """On-grid points answer from the table; everything else returns None."""
+
+    def test_decode_grid_exact_points_only(self):
+        stage = fresh_stage()
+        grid = DecodeGrid(stage, max_batch=8, kv_start=16, kv_step=16, n_kv=4)
+        assert grid.lookup(3, 32.0) == stage.decode_time(3, 32.0)
+        assert grid.lookup(8, 64.0) == stage.decode_time(8, 64.0)
+        for batch, kv in [
+            (0, 16.0),      # batch below range
+            (9, 16.0),      # batch above range
+            (1, 15.0),      # off the progression
+            (1, 17.5),      # non-integer kv
+            (1, 16.0 * 5),  # beyond the last column
+            (1, -16.0),     # negative
+            (1, float("nan")),
+            (1, float("inf")),
+        ]:
+            assert grid.lookup(batch, kv) is None
+        assert grid.hits == 2 and grid.misses == 8
+
+    def test_prefill_grid_single_prompt_only(self):
+        stage = fresh_stage()
+        grid = PrefillGrid(stage, max_len=16)
+        assert grid.lookup((5,)) == stage.prefill_time((5,))
+        assert grid.lookup((16,)) == stage.prefill_time((16,))
+        assert grid.lookup(()) is None
+        assert grid.lookup((17,)) is None
+        assert grid.lookup((0,)) is None
+        assert grid.lookup((4, 4)) is None
+
+    def test_install_is_consulted_on_memo_miss(self):
+        stage = fresh_stage()
+        install_default_grids([stage], max_batch=16, max_prompt_len=64)
+        assert stage._decode_grid is not None
+        assert stage._prefill_grid is not None
+        before_hits = stage._prefill_grid.hits
+        t = stage.prefill_time((32,))
+        assert stage._prefill_grid.hits == before_hits + 1
+        # Second call answers from the memo, not the grid.
+        assert stage.prefill_time((32,)) == t
+        assert stage._prefill_grid.hits == before_hits + 1
+
+    def test_build_cache_shares_grids_across_identical_stages(self):
+        a, b = fresh_stage(), fresh_stage()
+        assert build_decode_grid(a) is build_decode_grid(b)
+        assert build_prefill_grid(a) is build_prefill_grid(b)
+
+
+class TestCacheResetRegression:
+    """_COST_CACHE_MAX overflow clears the memo dicts, never the grids."""
+
+    def test_reset_preserves_grids_and_results(self, monkeypatch):
+        monkeypatch.setattr(roofline, "_COST_CACHE_MAX", 8)
+        stage = fresh_stage()
+        install_default_grids([stage], max_batch=16, max_prompt_len=64)
+        reference = fresh_stage()  # scalar-only, never overflows in this test
+
+        decode_shapes = [(1 + i % 16, float(16 * (1 + i % 4))) for i in range(40)]
+        prefill_shapes = [(1 + i % 64,) for i in range(40)]
+        first = [stage.decode_time(b, kv) for b, kv in decode_shapes]
+        first += [stage.prefill_time(s) for s in prefill_shapes]
+
+        # The memo overflowed (40 distinct keys through a max of 8) and was
+        # wholesale-cleared at least once; the grids must have survived.
+        assert len(stage._decode_cache) <= 8
+        assert len(stage._prefill_cache) <= 8
+        assert stage._decode_grid is not None
+        assert stage._prefill_grid is not None
+
+        second = [stage.decode_time(b, kv) for b, kv in decode_shapes]
+        second += [stage.prefill_time(s) for s in prefill_shapes]
+        expected = [reference.decode_time(b, kv) for b, kv in decode_shapes]
+        expected += [reference.prefill_time(s) for s in prefill_shapes]
+        assert [bits(x) for x in first] == [bits(x) for x in expected]
+        assert [bits(x) for x in second] == [bits(x) for x in expected]
+
+    def test_grid_keeps_serving_after_forced_reset(self, monkeypatch):
+        monkeypatch.setattr(roofline, "_COST_CACHE_MAX", 2)
+        stage = fresh_stage()
+        install_default_grids([stage], max_batch=8, max_prompt_len=8)
+        grid = stage._decode_grid
+        for i in range(20):
+            stage.decode_time(1 + i % 8, 16.0)
+            stage.decode_time(1 + i % 8, 32.0)
+        assert stage._decode_grid is grid
+        assert grid.hits > 0
