@@ -25,12 +25,15 @@ def test_suite_shape_and_record_identity():
         jobs=2,
         kernel_events=10_000,
         costmodel_calls=2_000,
+        regime_arrivals=2_000,
         cluster_scale=0.02,
         grid_scale=0.02,
     )
     assert report["schema_version"] == PERF_SCHEMA_VERSION
     assert report["kind"] == "perf"
-    assert set(report) >= {"kernel", "costmodel", "cluster", "grid", "vectorized"}
+    assert set(report) >= {
+        "kernel", "costmodel", "cluster", "grid", "vectorized", "regime"
+    }
 
     vector = report["vectorized"]
     assert vector["grid_points"] > 0
@@ -46,6 +49,10 @@ def test_suite_shape_and_record_identity():
     assert cost["decode_warm_calls_per_sec"] > cost["decode_cold_calls_per_sec"]
     assert cost["prefill_warm_calls_per_sec"] > cost["prefill_cold_calls_per_sec"]
 
+    regime = report["regime"]
+    assert regime["arrivals"] > 0
+    assert regime["arrivals_per_sec"] > 0
+
     cluster = report["cluster"]
     assert cluster["completed_requests"] > 0
     assert cluster["throughput_tps"] > 0
@@ -58,6 +65,11 @@ def test_suite_shape_and_record_identity():
 
     text = format_report(report)
     assert "events/s" in text and "speedup" in text
+    assert "arrivals/s" in text
+    # records written before the regime section existed still format
+    assert "arrivals/s" not in format_report(
+        {k: v for k, v in report.items() if k != "regime"}
+    )
 
 
 def test_vectorized_bench_section_shape():
@@ -73,6 +85,7 @@ def test_repeat_records_all_samples_and_medians():
         repeat=3,
         kernel_events=5_000,
         costmodel_calls=1_000,
+        regime_arrivals=1_000,
         cluster_scale=0.02,
         grid_scale=0.02,
     )
@@ -94,5 +107,9 @@ def test_repeat_records_all_samples_and_medians():
     vector = report["vectorized"]
     assert len(vector["samples_grid_points_per_sec"]) == 3
     assert vector["grid_points_per_sec"] in vector["samples_grid_points_per_sec"]
+
+    regime = report["regime"]
+    assert len(regime["samples_arrivals_per_sec"]) == 3
+    assert regime["arrivals_per_sec"] in regime["samples_arrivals_per_sec"]
 
     assert "median of 3" in format_report(report)

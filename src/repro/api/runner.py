@@ -34,6 +34,7 @@ from ..core.policies import (
 from ..hardware.node import NodeSpec, make_node
 from ..metrics.cluster import ClusterResult
 from ..metrics.results import RunResult
+from ..metrics.segments import compute_segment_stats
 from ..models.spec import ModelSpec, get_model
 from ..predictor import ConstantPredictor, OraclePredictor, OutputLengthPredictor
 from ..runtime.config import EngineConfig
@@ -42,6 +43,7 @@ from ..workload.arrivals import (
     with_poisson_arrivals,
     with_uniform_arrivals,
 )
+from ..workload.regimes import compile_regime, stamp_requests
 from ..workload.request import Request
 from ..workload.slo import with_slo_mix
 from .provenance import provenance_stamp
@@ -149,6 +151,17 @@ def _build_requests(spec: ScenarioSpec) -> list[Request]:
 
     w = spec.workload
     scale = ExperimentScale(factor=w.scale, seed=w.seed)
+    if w.arrival == "regime":
+        # The regime decides how much traffic there is; the corpus (and so
+        # the trained predictor) still follows ``scale``.  Arrival times,
+        # SLO classes and session ids all come from the compiled schedule.
+        compiled = compile_regime(
+            w.regime_spec(), seed=w.seed, default_slo_mix=w.slo_mix
+        )
+        pool = sample_eval_requests(
+            get_dataset(scale), n=compiled.num_requests, seed=scale.seed
+        )
+        return stamp_requests(pool, compiled)
     if w.num_requests is not None:
         requests = sample_eval_requests(
             get_dataset(scale), n=w.num_requests, seed=scale.seed
@@ -306,6 +319,16 @@ def run(
         router_obj = make_router(router_sel, predictor=predictor)
         cluster = ClusterEngine(factories, router=router_obj, autoscaler=autoscaler)
         result = cluster.run(requests)
+        if spec.workload.arrival == "regime":
+            # Slice the pooled finished states by the regime's windows so
+            # "did the autoscaler survive the lunch spike" is a metric.
+            pooled = [s for replica in cluster.replicas for s in replica.finished]
+            result.segments = compute_segment_stats(
+                pooled,
+                spec.workload.regime_spec(),
+                fleet_timeline=result.fleet_timeline,
+                num_replicas=result.num_replicas,
+            )
     artifact = RunArtifact(
         spec=spec,
         result=result,

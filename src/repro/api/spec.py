@@ -37,6 +37,7 @@ from ..cluster.control.routing import ROUTER_NAMES
 from ..hardware.gpu import GPU_PRESETS
 from ..models.spec import MODEL_PRESETS
 from ..runtime.config import EngineConfig
+from ..workload.regimes import RegimeSpec
 from ..workload.slo import parse_mix_string, parse_slo_mix
 
 __all__ = [
@@ -53,7 +54,20 @@ __all__ = [
 #: Bump on any backward-incompatible change to the spec tree.
 SCHEMA_VERSION = 1
 
-ARRIVALS = ("offline", "poisson", "uniform", "burst")
+ARRIVALS = ("offline", "poisson", "uniform", "burst", "regime")
+
+#: Arrival parameters each process actually consumes.  Anything else set on
+#: the workload is rejected — ``arrival="offline"`` with a stray
+#: ``rate_rps=5`` used to be silently ignored, which read like a 5 rps run.
+_ARRIVAL_FIELDS: dict[str, frozenset[str]] = {
+    "offline": frozenset(),
+    "poisson": frozenset({"rate_rps"}),
+    "uniform": frozenset({"rate_rps"}),
+    "burst": frozenset({"burst_size", "burst_interval_s"}),
+    "regime": frozenset({"regime"}),
+}
+
+_ARRIVAL_PARAMS = ("rate_rps", "burst_size", "burst_interval_s", "regime")
 
 PREFILL_POLICIES = ("greedy", "occupancy")
 DECODE_POLICIES = ("intensity", "finish-ratio")
@@ -105,6 +119,15 @@ class WorkloadSpec:
     process; ``offline`` is the paper's setting (everything at t=0).
     ``slo_mix`` stamps SLO classes (``{"interactive": 0.7, "batch": 0.3}``;
     the CLI string form is accepted and normalized to a dict).
+
+    ``arrival="regime"`` runs a declarative traffic timeline: ``regime``
+    holds a :class:`~repro.workload.regimes.RegimeSpec` in plain-dict form
+    (normalized through the regime parser at build time, so it is strictly
+    validated and serializes canonically).  The regime decides the request
+    count, so ``num_requests`` is rejected; ``slo_mix`` becomes the default
+    mix that segments without their own ``slo_mix`` fall back to.
+    Parameters irrelevant to the selected arrival process are rejected
+    rather than silently ignored.
     """
 
     scale: float = 0.1
@@ -115,6 +138,7 @@ class WorkloadSpec:
     burst_size: int | None = None
     burst_interval_s: float | None = None
     slo_mix: dict[str, float] | None = None
+    regime: dict[str, Any] | None = None
 
     def __post_init__(self) -> None:
         if self.scale <= 0:
@@ -124,6 +148,19 @@ class WorkloadSpec:
         if self.arrival not in ARRIVALS:
             raise ValueError(
                 f"unknown arrival process {self.arrival!r}; options: {ARRIVALS}"
+            )
+        allowed = _ARRIVAL_FIELDS[self.arrival]
+        stray = sorted(
+            f
+            for f in _ARRIVAL_PARAMS
+            if f not in allowed and getattr(self, f) is not None
+        )
+        if stray:
+            raise ValueError(
+                f"arrival {self.arrival!r} does not take {stray} "
+                f"(allowed parameters: {sorted(allowed) or 'none'}); "
+                "stray knobs used to be silently ignored — drop them or "
+                "switch the arrival process"
             )
         if self.arrival in ("poisson", "uniform"):
             if self.rate_rps is None or self.rate_rps <= 0:
@@ -136,12 +173,37 @@ class WorkloadSpec:
                 raise ValueError("burst arrivals need burst_size >= 1")
             if self.burst_interval_s is None or self.burst_interval_s < 0:
                 raise ValueError("burst arrivals need burst_interval_s >= 0")
+        if self.arrival == "regime":
+            if self.regime is None:
+                raise ValueError(
+                    'arrival "regime" needs a regime block '
+                    "(see repro.workload.regimes)"
+                )
+            if self.num_requests is not None:
+                raise ValueError(
+                    "regime workloads derive num_requests from the timeline; "
+                    "drop num_requests (stretch segment durations instead)"
+                )
+            parsed = (
+                self.regime
+                if isinstance(self.regime, RegimeSpec)
+                else RegimeSpec.from_dict(self.regime)
+            )
+            # Store the canonical plain-dict form so to_dict/from_dict
+            # round-trips exactly and the content hash is stable.
+            object.__setattr__(self, "regime", parsed.to_dict())
         if self.slo_mix is not None:
             if isinstance(self.slo_mix, str):
                 # Normalize the CLI string form into the canonical dict form
                 # so serialization is uniform.
                 object.__setattr__(self, "slo_mix", parse_mix_string(self.slo_mix))
             parse_slo_mix(self.slo_mix)  # raises on bad classes/weights/sums
+
+    def regime_spec(self) -> RegimeSpec:
+        """The parsed regime timeline (only valid when ``arrival="regime"``)."""
+        if self.regime is None:
+            raise ValueError("workload has no regime block")
+        return RegimeSpec.from_dict(self.regime)
 
 
 @dataclass(frozen=True)
@@ -435,6 +497,8 @@ class ScenarioSpec:
         arrival = self.workload.arrival
         if self.workload.rate_rps is not None:
             arrival += f"@{self.workload.rate_rps:g}rps"
+        if self.workload.arrival == "regime" and self.workload.regime is not None:
+            arrival = self.workload.regime_spec().describe()
         bits = [
             self.name or "scenario",
             f"[{self.resolved_mode}]",

@@ -15,6 +15,9 @@ Examples
         --slo-mix interactive:0.7,batch:0.3 --autoscale
     tdpipe-bench run --spec examples/scenarios/hetero.json --bench-json out.json
     tdpipe-bench run --spec cluster-hetero --set workload.scale=0.02
+    tdpipe-bench workload preview diurnal           # per-segment rates
+    tdpipe-bench workload preview examples/scenarios/regime_diurnal.json
+    tdpipe-bench cluster-regimes --scale 0.05       # autoscaler vs regimes
     tdpipe-bench record cluster-hetero --store tdpipe-store
     tdpipe-bench record cluster-hetero --store tdpipe-store --reuse --jobs 2
     tdpipe-bench replay --store tdpipe-store --strict   # the regression gate
@@ -39,6 +42,7 @@ from . import api
 from .cluster.routing import ROUTER_NAMES
 from .experiments import (
     SYSTEMS,
+    cluster_regimes,
     cluster_scaling,
     fig01_schedules,
     default_scale,
@@ -65,6 +69,10 @@ _SCALED = {
         cluster_scaling.run_autoscaling,
         cluster_scaling.format_autoscaling,
     ),
+    "cluster-regimes": (
+        cluster_regimes.run_regimes,
+        cluster_regimes.format_regimes,
+    ),
     "fig01": (fig01_schedules.run, fig01_schedules.format_results),
     "fig02": (fig02_utilization.run, fig02_utilization.format_results),
     "fig11": (fig11_overall.run, fig11_overall.format_results),
@@ -84,7 +92,8 @@ _STATIC = {
 #: Experiments whose runners execute registered spec grids and can file
 #: every point in an :class:`repro.api.ArtifactStore` (``store=`` kwarg).
 _STORE_CAPABLE = {
-    "cluster-hetero", "cluster-autoscale", "fig11", "fig13", "fig15", "fig16",
+    "cluster-hetero", "cluster-autoscale", "cluster-regimes",
+    "fig11", "fig13", "fig15", "fig16",
 }
 
 #: Experiments allowed to emit a self-describing ``--bench-json`` record:
@@ -92,7 +101,8 @@ _STORE_CAPABLE = {
 _BENCH_CAPABLE = {"cluster", "run", "record", "perf", *_STORE_CAPABLE}
 
 EXPERIMENTS = sorted(
-    [*_SCALED, *_STATIC, "all", "run", "record", "replay", "diff", "perf", "store"]
+    [*_SCALED, *_STATIC, "all", "run", "record", "replay", "diff", "perf",
+     "store", "workload"]
 )
 
 #: Experiments that can fan grid execution out over a process pool.
@@ -358,6 +368,69 @@ def _run_perf(args) -> int:
     return 1 if failed else 0
 
 
+def _run_workload(args) -> int:
+    """``workload preview <regime>``: per-segment expected vs realized rates."""
+    from .workload.regimes import RegimeSpec, compile_regime, get_regime, regime_names
+
+    if len(args.targets) != 2 or args.targets[0] != "preview":
+        raise SystemExit(
+            "usage: tdpipe-bench workload preview <preset|regime.json|spec.json> "
+            f"[--seed N]  (presets: {', '.join(regime_names())})"
+        )
+    target = args.targets[1]
+    default_mix = None
+    if os.path.exists(target):
+        with open(target) as fh:
+            data = json.load(fh)
+        if isinstance(data, dict) and "segments" in data:
+            regime = RegimeSpec.from_dict(data)
+        else:
+            # A full scenario (or sweep) spec whose workload runs a regime.
+            spec = api.load_spec(data)
+            if isinstance(spec, api.SweepSpec):
+                spec = spec.base
+            if spec.workload.arrival != "regime":
+                raise SystemExit(
+                    f"spec {target} uses arrival="
+                    f"{spec.workload.arrival!r}, not a regime workload"
+                )
+            regime = spec.workload.regime_spec()
+            default_mix = spec.workload.slo_mix
+    elif target in regime_names():
+        regime = get_regime(target)
+    else:
+        raise SystemExit(
+            f"unknown regime {target!r}: not a file and not a preset "
+            f"({', '.join(regime_names())})"
+        )
+    seed = 0 if args.seed is None else args.seed
+    compiled = compile_regime(regime, seed=seed, default_slo_mix=default_mix)
+    print(
+        f"regime {regime.name or target}: {len(regime.segments)} segments, "
+        f"{regime.total_duration_s:g}s total, seed {seed}"
+    )
+    print(
+        f"{'segment':<14} {'kind':<8} {'window':>17} {'expected':>9} "
+        f"{'rate':>7} {'realized':>9} {'rate':>7} {'sessions':>8}"
+    )
+    for seg in compiled.segments:
+        print(
+            f"{seg.name:<14} {seg.kind:<8} "
+            f"[{seg.start_s:7.1f},{seg.end_s:7.1f}) "
+            f"{seg.expected_base_arrivals:>9.1f} {seg.expected_rate_rps:>6.2f}/s "
+            f"{seg.base_arrivals:>9d} {seg.realized_rate_rps:>6.2f}/s "
+            f"{seg.sessions:>8d}"
+        )
+    followups = compiled.num_requests - sum(s.base_arrivals for s in compiled.segments)
+    print(
+        f"total: {compiled.num_requests} requests "
+        f"({followups} session follow-up turns, "
+        f"{compiled.num_sessions} multi-turn sessions); "
+        f"expected {regime.expected_arrivals:.1f}"
+    )
+    return 0
+
+
 def _store_bench_record(store: api.ArtifactStore, experiment: str) -> dict:
     """Bench-JSON successor record: the session's store records, sans detail."""
     return {
@@ -389,7 +462,8 @@ def main(argv: list[str] | None = None) -> int:
         "targets", nargs="*", metavar="TARGET",
         help="record: spec file or registry name; replay: ref(s), default all; "
         "diff: two refs (hash, unambiguous prefix, or scenario name); "
-        "store: one maintenance action (gc or fsck)",
+        "store: one maintenance action (gc or fsck); "
+        "workload: `preview` plus a regime preset or JSON file",
     )
     parser.add_argument(
         "--scale",
@@ -564,9 +638,12 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--gzip/--lean only apply to `record`")
     if args.experiment not in ("run", "record") and (args.spec is not None or args.set):
         parser.error("--spec/--set only apply to `run` and `record`")
-    if args.targets and args.experiment not in ("record", "replay", "diff", "store"):
+    if args.targets and args.experiment not in (
+        "record", "replay", "diff", "store", "workload"
+    ):
         parser.error(
-            "positional targets only apply to `record`/`replay`/`diff`/`store`"
+            "positional targets only apply to "
+            "`record`/`replay`/`diff`/`store`/`workload`"
         )
     reuse_users = {"run", "record", *_STORE_CAPABLE}
     if args.reuse and args.experiment not in reuse_users:
@@ -584,6 +661,13 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--store-b only applies to `diff`")
     if args.strict and args.experiment not in ("replay", "diff"):
         parser.error("--strict only applies to `replay` and `diff`")
+    if args.experiment == "workload" and (args.scale is not None or args.full):
+        # The preview's traffic volume is the regime's own; --seed is the
+        # only knob (it picks which realization of the schedule you see).
+        parser.error(
+            "`workload preview` takes --seed only; durations and rates "
+            "live in the regime spec"
+        )
     if args.experiment in ("run", "record", "replay", "diff", "perf", "store") and (
         args.scale is not None or args.seed is not None or args.full
     ):
@@ -603,6 +687,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_diff(args)
     if args.experiment == "store":
         return _run_store_maint(args)
+    if args.experiment == "workload":
+        return _run_workload(args)
     if args.experiment == "run":
         if args.spec is None:
             parser.error("`run` needs --spec PATH_OR_NAME")

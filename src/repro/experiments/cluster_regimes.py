@@ -1,0 +1,171 @@
+"""Reactive autoscaling across traffic regimes: diurnal vs spike vs flash.
+
+The stationary-arrival experiments ask "how big a fleet does rate R need";
+this one asks the production question: *how does the same reactive
+autoscaler cope with differently-shaped traffic at the same average load?*
+A diurnal cycle gives the hysteresis policy minutes of warning; a flash
+crowd gives it seconds.  The per-segment metric slices make the difference
+legible — attainment and fleet size during the ``flash`` window, not
+averaged away over the makespan.
+
+Runs the registered ``cluster-regimes`` spec grid: one cluster scenario per
+regime preset, identical fleet/engine/control, only ``workload.regime``
+swept.
+"""
+
+from __future__ import annotations
+
+from ..api import (
+    ControlSpec,
+    EngineSpec,
+    FleetSpec,
+    ScenarioSpec,
+    SweepAxis,
+    SweepSpec,
+    WorkloadSpec,
+    register_scenario,
+    run_sweep,
+)
+from ..workload.regimes import preset_dict, regime_names
+from .common import ExperimentScale, default_scale
+
+__all__ = [
+    "DEFAULT_REGIMES",
+    "regimes_spec",
+    "run_regimes",
+    "format_regimes",
+]
+
+#: Presets compared by default — a slow cycle, a fast ramp, a flash crowd.
+DEFAULT_REGIMES = ("diurnal", "ramp-spike", "flash-crowd")
+
+
+@register_scenario("cluster-regimes")
+def regimes_spec(
+    system: str = "TD-Pipe",
+    node: str = "L20",
+    model: str = "13B",
+    replicas: int = 4,
+    router: str = "jsq",
+    regimes: tuple[str, ...] = DEFAULT_REGIMES,
+    duration_scale: float = 1.0,
+    scale_factor: float = 0.1,
+    seed: int = 0,
+) -> SweepSpec:
+    """The regime-comparison sweep as a declarative spec grid.
+
+    ``replicas`` is the provisioned headroom; the autoscaler starts from
+    one active replica and must chase each regime's shape.
+    ``duration_scale`` shrinks every preset uniformly (CI smoke runs the
+    same shapes at a fraction of the length).
+    """
+    unknown = sorted(set(regimes) - set(regime_names()))
+    if unknown:
+        raise ValueError(
+            f"unknown regime preset(s) {unknown}; options: {regime_names()}"
+        )
+    return SweepSpec(
+        name="cluster-regimes",
+        base=ScenarioSpec(
+            mode="cluster",
+            workload=WorkloadSpec(
+                scale=scale_factor,
+                seed=seed,
+                arrival="regime",
+                regime=preset_dict(regimes[0], duration_scale),
+            ),
+            fleet=FleetSpec(node=node, replicas=replicas),
+            engine=EngineSpec(system=system, model=model),
+            control=ControlSpec(router=router, autoscaler={"min_replicas": 1}),
+        ),
+        axes=(
+            SweepAxis(
+                "workload.regime",
+                tuple(preset_dict(name, duration_scale) for name in regimes),
+            ),
+        ),
+    )
+
+
+def run_regimes(
+    scale: ExperimentScale | None = None,
+    system: str = "TD-Pipe",
+    node: str = "L20",
+    model: str = "13B",
+    replicas: int = 4,
+    router: str = "jsq",
+    regimes: tuple[str, ...] = DEFAULT_REGIMES,
+    duration_scale: float = 1.0,
+    store=None,
+    jobs: int | None = None,
+    reuse: bool = False,
+) -> list[dict]:
+    """One row per regime preset: whole-run metrics + per-segment slices."""
+    scale = scale or default_scale()
+    sweep = regimes_spec(
+        system=system,
+        node=node,
+        model=model,
+        replicas=replicas,
+        router=router,
+        regimes=regimes,
+        duration_scale=duration_scale,
+        scale_factor=scale.factor,
+        seed=scale.seed,
+    )
+    rows = []
+    for name, artifact in zip(
+        regimes, run_sweep(sweep, store=store, jobs=jobs, reuse=reuse)
+    ):
+        result = artifact.result
+        rows.append(
+            {
+                "regime": name,
+                "system": system,
+                "router": router,
+                "replicas": replicas,
+                "completed": result.completed_requests,
+                "goodput": result.goodput,
+                "ttft_p99": (
+                    result.latency.ttft_p99
+                    if result.latency is not None and result.latency.count
+                    else float("nan")
+                ),
+                "mean_active_replicas": result.mean_active_replicas,
+                "replica_seconds": result.replica_seconds,
+                "fleet_changes": len(result.fleet_timeline),
+                "slo_attainment": {
+                    n: s.attainment for n, s in result.slo_attainment.items()
+                },
+                "segments": result.segments,
+                "result": result,
+            }
+        )
+    return rows
+
+
+def format_regimes(rows: list[dict]) -> str:
+    """Per-regime summary table, each followed by its segment slices."""
+    if not rows:
+        return "no results"
+    lines = [
+        f"Traffic regimes vs reactive autoscaling "
+        f"({rows[0]['replicas']} provisioned {rows[0]['system']} replicas, "
+        f"router={rows[0]['router']})",
+        f"{'regime':<12} {'TTFT p99':>9} {'goodput':>8} {'avg fleet':>9} "
+        f"{'repl-sec':>9} {'changes':>8} {'SLO int':>8}",
+    ]
+    for row in rows:
+        att = row["slo_attainment"]
+        lines.append(
+            f"{row['regime']:<12} {row['ttft_p99']:>8.2f}s {row['goodput']:>8.2f} "
+            f"{row['mean_active_replicas']:>9.2f} {row['replica_seconds']:>9.1f} "
+            f"{row['fleet_changes']:>8d} "
+            f"{att.get('interactive', float('nan')) * 100:>7.1f}%"
+        )
+    for row in rows:
+        lines.append("")
+        lines.append(f"{row['regime']} segments:")
+        for stats in row["segments"].values():
+            lines.append("  " + stats.summary())
+    return "\n".join(lines)

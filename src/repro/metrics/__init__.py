@@ -4,6 +4,7 @@ from .cluster import ClusterResult
 from .latency import LatencyStats, compute_latency_stats
 from .report import ComparisonReport
 from .results import KVUsageSample, PhaseSpan, RunResult
+from .segments import SegmentStats, compute_segment_stats
 from .slo import SLOClassStats, compute_slo_attainment
 
 __all__ = [
@@ -16,4 +17,6 @@ __all__ = [
     "compute_latency_stats",
     "SLOClassStats",
     "compute_slo_attainment",
+    "SegmentStats",
+    "compute_segment_stats",
 ]

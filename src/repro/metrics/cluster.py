@@ -15,6 +15,7 @@ import numpy as np
 
 from .latency import LatencyStats
 from .results import RunResult
+from .segments import SegmentStats
 from .slo import SLOClassStats
 
 __all__ = ["ClusterResult"]
@@ -48,6 +49,8 @@ class ClusterResult:
     replica_active_time: list[float] = field(default_factory=list)
     #: Roofline throughput score per replica (heterogeneous-fleet view).
     capacity_scores: list[float] = field(default_factory=list)
+    #: Per-segment metric slices (regime workloads only; timeline order).
+    segments: dict[str, SegmentStats] = field(default_factory=dict)
     extras: dict = field(default_factory=dict)
 
     @property
@@ -165,6 +168,13 @@ class ClusterResult:
                 ttft_p99_s=self.latency.ttft_p99,
                 tpot_p99_s=self.latency.tpot_p99,
             )
+        if self.segments:
+            # Flat per-segment metric block: participates in replay/diff
+            # comparison like every other top-level metric.  Only present
+            # for regime runs so pre-regime records replay without drift.
+            record["segments"] = {
+                name: stats.metrics() for name, stats in self.segments.items()
+            }
         if detail:
             record["detail"] = {
                 "replica_results": [
@@ -181,6 +191,11 @@ class ClusterResult:
                 ),
                 "extras": dict(self.extras),
             }
+            if self.segments:
+                record["detail"]["segment_stats"] = {
+                    name: stats.to_record()
+                    for name, stats in self.segments.items()
+                }
         return record
 
     @classmethod
@@ -223,6 +238,10 @@ class ClusterResult:
             ],
             replica_active_time=[float(t) for t in detail["replica_active_time"]],
             capacity_scores=[float(c) for c in record["capacity_scores"]],
+            segments={
+                name: SegmentStats.from_record(stats)
+                for name, stats in detail.get("segment_stats", {}).items()
+            },
             extras=dict(detail["extras"]),
         )
 

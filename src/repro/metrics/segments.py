@@ -1,0 +1,240 @@
+"""Per-segment metric slicing for regime workloads.
+
+A regime run answers questions no whole-run aggregate can: *did the
+autoscaler survive the lunch spike* is a property of the ``midday`` window,
+not of the makespan.  :func:`compute_segment_stats` slices the pooled
+finished request states of a cluster run by the regime's segment windows
+and scores each window separately — arrivals, completions, realized rate,
+TTFT percentiles, per-class SLO attainment, and the mean fleet size the
+autoscaler held during the window.
+
+Requests are attributed to segments by **arrival time** (the last window is
+extended past the regime's end so session follow-ups that straggle past the
+final segment still land somewhere).  Completions count requests that
+arrived in the window and finished at all — a request that arrived during
+the flash and finished during recovery is the flash's problem, which is
+exactly how an operator would read it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..runtime.state import RequestState
+from ..workload.regimes import RegimeSpec
+from .serde import decode_float, encode_float
+from .slo import compute_slo_attainment
+
+__all__ = ["SegmentStats", "compute_segment_stats"]
+
+
+@dataclass(frozen=True, eq=False)
+class SegmentStats:
+    """Metrics for one named window of a regime run.
+
+    Equality is NaN-tolerant (like :class:`~repro.metrics.latency
+    .LatencyStats`): a window where nothing completed carries NaN TTFT
+    percentiles and must still round-trip through records.
+    """
+
+    name: str
+    start_s: float
+    end_s: float
+    #: Requests whose arrival fell inside the window.
+    arrivals: int
+    #: Of those, how many finished (at any time).
+    completed: int
+    #: The regime's analytic expectation for this window (incl. follow-ups).
+    expected_arrivals: float
+    #: ``arrivals / duration`` — what the thinning actually produced.
+    realized_rate_rps: float
+    #: TTFT percentiles over the window's completed requests (NaN if none).
+    ttft_p50_s: float
+    ttft_p99_s: float
+    #: Per-SLO-class both-deadline attainment over the window's completions.
+    attainment: dict[str, float]
+    #: Time-weighted average active replicas during the window.
+    mean_fleet_size: float
+
+    def _key(self) -> tuple:
+        return (
+            self.name,
+            encode_float(self.start_s),
+            encode_float(self.end_s),
+            self.arrivals,
+            self.completed,
+            encode_float(self.expected_arrivals),
+            encode_float(self.realized_rate_rps),
+            encode_float(self.ttft_p50_s),
+            encode_float(self.ttft_p99_s),
+            tuple(sorted(self.attainment.items())),
+            encode_float(self.mean_fleet_size),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SegmentStats):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def metrics(self) -> dict:
+        """The flat, diffable metric block (NaN-free: TTFT keys are omitted
+        when nothing completed, mirroring the cluster record's policy)."""
+        out: dict = {
+            "arrivals": self.arrivals,
+            "completed": self.completed,
+            "expected_arrivals": self.expected_arrivals,
+            "realized_rate_rps": self.realized_rate_rps,
+            "attainment": dict(sorted(self.attainment.items())),
+            "mean_fleet_size": self.mean_fleet_size,
+        }
+        if self.completed:
+            out["ttft_p50_s"] = self.ttft_p50_s
+            out["ttft_p99_s"] = self.ttft_p99_s
+        return out
+
+    def to_record(self) -> dict:
+        """JSON-ready full-fidelity form (inverse: :meth:`from_record`)."""
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "arrivals": self.arrivals,
+            "completed": self.completed,
+            "expected_arrivals": self.expected_arrivals,
+            "realized_rate_rps": self.realized_rate_rps,
+            "ttft_p50_s": encode_float(self.ttft_p50_s),
+            "ttft_p99_s": encode_float(self.ttft_p99_s),
+            "attainment": dict(sorted(self.attainment.items())),
+            "mean_fleet_size": self.mean_fleet_size,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "SegmentStats":
+        return cls(
+            name=str(record["name"]),
+            start_s=float(record["start_s"]),
+            end_s=float(record["end_s"]),
+            arrivals=int(record["arrivals"]),
+            completed=int(record["completed"]),
+            expected_arrivals=float(record["expected_arrivals"]),
+            realized_rate_rps=float(record["realized_rate_rps"]),
+            ttft_p50_s=decode_float(record["ttft_p50_s"]),
+            ttft_p99_s=decode_float(record["ttft_p99_s"]),
+            attainment={k: float(v) for k, v in record["attainment"].items()},
+            mean_fleet_size=float(record["mean_fleet_size"]),
+        )
+
+    def summary(self) -> str:
+        ttft = (
+            f"TTFT p99 {self.ttft_p99_s:6.2f}s" if self.completed else "TTFT      --"
+        )
+        slo = (
+            " | " + ", ".join(
+                f"{k} {v * 100:5.1f}%" for k, v in sorted(self.attainment.items())
+            )
+            if self.attainment
+            else ""
+        )
+        return (
+            f"{self.name:14s} [{self.start_s:7.1f},{self.end_s:7.1f}) "
+            f"{self.arrivals:5d} arrived ({self.realized_rate_rps:5.2f} rps, "
+            f"expected {self.expected_arrivals:7.1f}) | {ttft} | "
+            f"fleet {self.mean_fleet_size:.2f}{slo}"
+        )
+
+
+def _mean_fleet(
+    timeline: Sequence[tuple[float, int]],
+    t0: float,
+    t1: float,
+    default: float,
+) -> float:
+    """Time-weighted mean fleet size over ``[t0, t1]`` from a step timeline."""
+    if not timeline or t1 <= t0:
+        return float(default)
+    area = 0.0
+    # Fleet size before the first event defaults to the first recorded size.
+    points = list(timeline)
+    times = [t for t, _ in points]
+    sizes = [n for _, n in points]
+    for i in range(len(points) + 1):
+        seg_start = times[i - 1] if i > 0 else -math.inf
+        seg_end = times[i] if i < len(points) else math.inf
+        size = sizes[i - 1] if i > 0 else sizes[0]
+        lo, hi = max(seg_start, t0), min(seg_end, t1)
+        if hi > lo:
+            area += size * (hi - lo)
+    return area / (t1 - t0)
+
+
+def compute_segment_stats(
+    states: Iterable[RequestState],
+    regime: RegimeSpec,
+    fleet_timeline: Sequence[tuple[float, int]] = (),
+    num_replicas: int = 1,
+) -> dict[str, SegmentStats]:
+    """Slice pooled finished states by the regime's segment windows.
+
+    Returns one :class:`SegmentStats` per segment, in timeline order.  The
+    fleet-size average is clipped to the window even when the run's makespan
+    extends past it (drain time is the *last* segment's story).
+    """
+    windows = regime.windows()
+    by_segment: dict[str, list[RequestState]] = {name: [] for name, _, _ in windows}
+    last_name = windows[-1][0]
+    for s in states:
+        t = s.request.arrival_time
+        for name, start, end in windows:
+            if start <= t < end:
+                by_segment[name].append(s)
+                break
+        else:
+            # Stragglers past the regime's end (session follow-ups).
+            by_segment[last_name].append(s)
+
+    out: dict[str, SegmentStats] = {}
+    for seg, (name, start, end) in zip(regime.segments, windows):
+        members = by_segment[name]
+        done = [
+            s
+            for s in members
+            if s.finish_time is not None and s.first_token_time is not None
+        ]
+        if done:
+            ttfts = np.asarray(
+                [s.first_token_time - s.request.arrival_time for s in done]
+            )
+            p50, p99 = (
+                float(np.percentile(ttfts, 50)),
+                float(np.percentile(ttfts, 99)),
+            )
+        else:
+            p50 = p99 = float("nan")
+        out[name] = SegmentStats(
+            name=name,
+            start_s=start,
+            end_s=end,
+            arrivals=len(members),
+            completed=len(done),
+            expected_arrivals=seg.expected_arrivals,
+            realized_rate_rps=len(members) / (end - start),
+            ttft_p50_s=p50,
+            ttft_p99_s=p99,
+            attainment={
+                cls_name: stats.attainment
+                for cls_name, stats in compute_slo_attainment(done).items()
+            },
+            mean_fleet_size=_mean_fleet(fleet_timeline, start, end, num_replicas),
+        )
+    return out

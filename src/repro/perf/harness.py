@@ -1,6 +1,6 @@
 """Micro + macro perf benchmarks emitting the ``BENCH_perf.json`` record.
 
-Five sections, cheapest to dearest:
+Six sections, cheapest to dearest:
 
 * **kernel** — raw event throughput of the discrete-event simulator (a
   self-rescheduling callback storm; no engines, no cost model);
@@ -9,6 +9,8 @@ Five sections, cheapest to dearest:
   memoized path engines actually hit);
 * **vectorized** — numpy cost-surface construction (grid points/sec), grid
   lookup throughput, and the vectorized decode-rate-curve throughput;
+* **regime** — arrival-schedule compilation throughput (arrivals/sec) of the
+  workload-regime engine on a stretched ``diurnal`` preset with sessions;
 * **cluster** — one mid-scale heterogeneous cluster run through the spec
   front door (the single-run macro number);
 * **grid** — the fig13 prefill-switch spec grid executed serially and with a
@@ -19,7 +21,8 @@ Five sections, cheapest to dearest:
 first on purpose: it warms the dataset/predictor caches that forked workers
 then inherit, which is exactly how a warmed production parent behaves.
 
-``repeat`` runs the micro sections (kernel, costmodel, vectorized) N times
+``repeat`` runs the micro sections (kernel, costmodel, vectorized, regime)
+N times
 and reports medians, with every sample recorded, so the cross-run
 trajectory gate (:mod:`repro.perf.trajectory`) diffs stable numbers instead
 of single-sample noise.
@@ -164,6 +167,34 @@ def bench_vectorized(lookups: int) -> dict[str, Any]:
 
 
 # --------------------------------------------------------------------- #
+# Micro: regime arrival-schedule compilation.
+# --------------------------------------------------------------------- #
+def bench_regime(target_arrivals: int) -> dict[str, Any]:
+    """Arrivals/sec of compiling a regime timeline into a schedule.
+
+    Stretches the ``diurnal`` preset (sessions included, so the Python
+    follow-up chain is measured too) until it expects roughly
+    ``target_arrivals``, then times :func:`~repro.workload.regimes
+    .compile_regime` — the per-run cost every regime workload pays before
+    the first simulated event.
+    """
+    from ..workload.regimes import compile_regime, get_regime
+
+    base = get_regime("diurnal")
+    duration_scale = max(target_arrivals / base.expected_arrivals, 0.01)
+    regime = get_regime("diurnal", duration_scale=duration_scale)
+    t0 = time.perf_counter()
+    compiled = compile_regime(regime, seed=0, default_slo_mix=None)
+    wall = time.perf_counter() - t0
+    return {
+        "arrivals": compiled.num_requests,
+        "sessions": compiled.num_sessions,
+        "wall_s": wall,
+        "arrivals_per_sec": compiled.num_requests / wall if wall > 0 else 0.0,
+    }
+
+
+# --------------------------------------------------------------------- #
 # Macro: one mid-scale cluster run.
 # --------------------------------------------------------------------- #
 def bench_cluster(scale_factor: float) -> dict[str, Any]:
@@ -252,6 +283,7 @@ def run_perf_suite(
     *,
     kernel_events: int | None = None,
     costmodel_calls: int | None = None,
+    regime_arrivals: int | None = None,
     cluster_scale: float | None = None,
     grid_scale: float | None = None,
 ) -> dict[str, Any]:
@@ -267,6 +299,8 @@ def run_perf_suite(
         kernel_events = 200_000 if quick else 1_000_000
     if costmodel_calls is None:
         costmodel_calls = 50_000 if quick else 200_000
+    if regime_arrivals is None:
+        regime_arrivals = 20_000 if quick else 100_000
     if cluster_scale is None:
         cluster_scale = 0.05 if quick else 0.2
     if grid_scale is None:
@@ -298,6 +332,9 @@ def run_perf_suite(
     )
     vectorized = dict(_median_sample(vector_samples, "grid_points_per_sec"))
 
+    regime_samples = _repeated(lambda: bench_regime(regime_arrivals), repeat)
+    regime = dict(_median_sample(regime_samples, "arrivals_per_sec"))
+
     if repeat > 1:
         kernel["repeat"] = repeat
         kernel["samples_events_per_sec"] = [
@@ -308,6 +345,10 @@ def run_perf_suite(
         vectorized["repeat"] = repeat
         vectorized["samples_grid_points_per_sec"] = [
             s["grid_points_per_sec"] for s in vector_samples
+        ]
+        regime["repeat"] = repeat
+        regime["samples_arrivals_per_sec"] = [
+            s["arrivals_per_sec"] for s in regime_samples
         ]
 
     return {
@@ -320,6 +361,7 @@ def run_perf_suite(
         "kernel": kernel,
         "costmodel": costmodel,
         "vectorized": vectorized,
+        "regime": regime,
         "cluster": bench_cluster(cluster_scale),
         "grid": bench_grid(grid_scale, jobs),
     }
@@ -329,6 +371,7 @@ def format_report(report: dict[str, Any]) -> str:
     kernel = report["kernel"]
     cost = report["costmodel"]
     vector = report.get("vectorized")
+    regime = report.get("regime")
     cluster = report["cluster"]
     grid = report["grid"]
     repeat = report.get("repeat", 1)
@@ -352,6 +395,15 @@ def format_report(report: dict[str, Any]) -> str:
                 f"{vector['curve_points_per_sec']:,.0f} curve points/s"
             ]
             if vector is not None
+            else []
+        ),
+        *(
+            [
+                f"  regime    : {regime['arrivals_per_sec']:>12,.0f} arrivals/s "
+                f"compiled ({regime['arrivals']:,} arrivals, "
+                f"{regime['sessions']:,} sessions in {regime['wall_s']:.2f}s)"
+            ]
+            if regime is not None
             else []
         ),
         f"  cluster   : scale {cluster['scale']:g} run in "

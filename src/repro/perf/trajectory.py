@@ -45,6 +45,7 @@ DEFAULT_TOLERANCES: dict[str, float] = {
     "costmodel.prefill_cold_calls_per_sec": 0.35,
     "costmodel.prefill_warm_calls_per_sec": 0.35,
     "vectorized.grid_points_per_sec": 0.40,
+    "regime.arrivals_per_sec": 0.40,
     "cluster.requests_per_sec_wall": 0.40,
     "grid.serial_points_per_sec": 0.40,
     "grid.parallel_points_per_sec": 0.40,

@@ -20,6 +20,16 @@ from .sharegpt import (
     ShareGPTSynthesizer,
     generate_requests,
 )
+from .regimes import (
+    CompiledRegime,
+    RegimeSpec,
+    SegmentSpec,
+    SessionSpec,
+    compile_regime,
+    get_regime,
+    regime_names,
+    stamp_requests,
+)
 
 __all__ = [
     "Request",
@@ -44,4 +54,12 @@ __all__ = [
     "parse_slo_mix",
     "with_slo_mix",
     "classed_poisson_arrivals",
+    "RegimeSpec",
+    "SegmentSpec",
+    "SessionSpec",
+    "CompiledRegime",
+    "compile_regime",
+    "stamp_requests",
+    "get_regime",
+    "regime_names",
 ]

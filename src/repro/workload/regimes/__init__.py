@@ -1,0 +1,33 @@
+"""Declarative traffic-timeline regimes: spec, evaluator, presets.
+
+See :mod:`repro.workload.regimes.spec` for the DSL and
+:mod:`repro.workload.regimes.evaluator` for the determinism contract.
+"""
+
+from .evaluator import (
+    CompiledRegime,
+    CompiledSegment,
+    ScheduledArrival,
+    compile_regime,
+    segment_rng,
+    stamp_requests,
+)
+from .presets import REGIME_PRESETS, get_regime, preset_dict, regime_names
+from .spec import SEGMENT_KINDS, RegimeSpec, SegmentSpec, SessionSpec
+
+__all__ = [
+    "SEGMENT_KINDS",
+    "SessionSpec",
+    "SegmentSpec",
+    "RegimeSpec",
+    "ScheduledArrival",
+    "CompiledSegment",
+    "CompiledRegime",
+    "segment_rng",
+    "compile_regime",
+    "stamp_requests",
+    "REGIME_PRESETS",
+    "regime_names",
+    "get_regime",
+    "preset_dict",
+]

@@ -1,0 +1,286 @@
+"""Compile a :class:`RegimeSpec` into a deterministic arrival schedule.
+
+The evaluator is a pure function of ``(regime, seed)``: it draws each
+segment's arrivals from its own named RNG streams and returns a fully
+materialized, time-sorted schedule.  Purity is the determinism story — the
+same regime dict and seed produce a bit-identical schedule in-process,
+across processes (``jobs=N``), and across replay, with no global state.
+
+Arrivals are a piecewise non-homogeneous Poisson process realized by
+thinning: per segment, candidates are drawn from a homogeneous process at
+the segment's peak rate (the majorant) and kept with probability
+``rate(t) / peak``.  ``constant`` segments degenerate to ordinary Poisson;
+``ramp`` and ``flash`` get their shapes from the acceptance test alone, so
+one code path covers all kinds.
+
+Per-segment RNG streams are keyed by the segment **name**, not its index:
+``default_rng([seed, sha256(name), stream])``.  Inserting, removing or
+reordering segments therefore never reshuffles another segment's draws —
+a renamed timeline keeps every unrenamed segment's arrivals at the same
+offsets within its window.  (This is why :class:`RegimeSpec` requires
+unique segment names.)
+
+Sessions: when a segment carries a :class:`SessionSpec`, each thinned
+arrival opens a session and spawns follow-up turns via a geometric chain,
+each turn an exponential think time after the previous one.  Follow-ups
+share a ``session_id``, inherit the opening turn's SLO class, and may land
+past their segment's end (a user who started chatting during the lunch
+spike keeps chatting after it) — only turn-1 arrivals are guaranteed to
+fall inside the segment window.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from ..request import Request
+from ..slo import SLOClass, parse_slo_mix
+from .spec import RegimeSpec, SegmentSpec
+
+__all__ = [
+    "ScheduledArrival",
+    "CompiledSegment",
+    "CompiledRegime",
+    "segment_rng",
+    "compile_regime",
+    "stamp_requests",
+]
+
+#: Stream indices under one segment's RNG key.
+_STREAM_ARRIVALS = 0
+_STREAM_SLO = 1
+_STREAM_SESSIONS = 2
+
+
+def _name_key(name: str) -> int:
+    """Stable 64-bit key for a segment name (never builtin ``hash``: that
+    varies with PYTHONHASHSEED and would break cross-process determinism)."""
+    return int.from_bytes(hashlib.sha256(name.encode("utf-8")).digest()[:8], "big")
+
+
+def segment_rng(seed: int, name: str, stream: int) -> np.random.Generator:
+    """The RNG for one (seed, segment-name, stream) triple."""
+    return np.random.default_rng([int(seed), _name_key(name), int(stream)])
+
+
+def _rates(seg: SegmentSpec, t: np.ndarray) -> np.ndarray:
+    """Vectorized ``seg.rate_at`` over segment-local times."""
+    if seg.kind == "constant":
+        return np.full_like(t, float(seg.rate_rps))
+    if seg.kind == "ramp":
+        frac = np.clip(t / seg.duration_s, 0.0, 1.0)
+        return seg.start_rps + (seg.end_rps - seg.start_rps) * frac
+    return seg.rate_rps + (seg.peak_rps - seg.rate_rps) * np.exp(
+        -t / seg.flash_decay_s
+    )
+
+
+@dataclass(frozen=True)
+class ScheduledArrival:
+    """One scheduled request slot in the compiled timeline."""
+
+    time: float
+    #: Name of the segment that generated this arrival (follow-up turns keep
+    #: their opening segment's name even when they land past its end).
+    segment: str
+    slo: SLOClass | None = None
+    session_id: int | None = None
+    turn: int = 1
+
+
+@dataclass(frozen=True)
+class CompiledSegment:
+    """Realized statistics for one segment of a compiled regime."""
+
+    name: str
+    kind: str
+    start_s: float
+    end_s: float
+    #: Analytic expectation (turn-1 arrivals only; the thinning target).
+    expected_base_arrivals: float
+    #: Thinned turn-1 arrivals actually drawn.
+    base_arrivals: int
+    #: Including session follow-up turns.
+    total_arrivals: int
+    #: Number of multi-turn sessions opened in this segment.
+    sessions: int
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    @property
+    def expected_rate_rps(self) -> float:
+        return self.expected_base_arrivals / self.duration_s
+
+    @property
+    def realized_rate_rps(self) -> float:
+        """Realized turn-1 rate (what the thinning actually produced)."""
+        return self.base_arrivals / self.duration_s
+
+
+@dataclass(frozen=True)
+class CompiledRegime:
+    """A materialized, time-sorted arrival schedule for one seed."""
+
+    regime: RegimeSpec
+    seed: int
+    segments: tuple[CompiledSegment, ...]
+    entries: tuple[ScheduledArrival, ...]
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.entries)
+
+    @property
+    def num_sessions(self) -> int:
+        return sum(s.sessions for s in self.segments)
+
+
+def _compile_segment(
+    seg: SegmentSpec,
+    start_s: float,
+    seed: int,
+    default_slo_mix: dict[str, float] | str | None,
+) -> tuple[CompiledSegment, list[ScheduledArrival]]:
+    d = seg.duration_s
+    lam_max = seg.peak_rate
+
+    # Thinning: homogeneous candidates at the majorant rate, accepted with
+    # probability rate(t)/lam_max.  Candidate times are sorted before the
+    # acceptance draw so the kept set is already non-decreasing.
+    rng = segment_rng(seed, seg.name, _STREAM_ARRIVALS)
+    n_cand = int(rng.poisson(lam_max * d))
+    t_local = np.sort(rng.uniform(0.0, d, size=n_cand))
+    accept = rng.uniform(0.0, lam_max, size=n_cand) < _rates(seg, t_local)
+    base = t_local[accept]
+
+    # Per-segment SLO draw (falls back to the workload-level mix; both may
+    # be absent, in which case requests stay best-effort).
+    mix = seg.slo_mix if seg.slo_mix is not None else default_slo_mix
+    if mix is not None and len(base):
+        weights = parse_slo_mix(mix)
+        classes = sorted(weights, key=lambda c: c.name)
+        probs = np.array([weights[c] for c in classes])
+        slo_rng = segment_rng(seed, seg.name, _STREAM_SLO)
+        draws = slo_rng.choice(len(classes), size=len(base), p=probs)
+        slos: list[SLOClass | None] = [classes[k] for k in draws]
+    else:
+        slos = [None] * len(base)
+
+    entries: list[ScheduledArrival] = []
+    sessions = 0
+    sess_rng = segment_rng(seed, seg.name, _STREAM_SESSIONS)
+    for t0, slo in zip(base, slos):
+        t0_abs = start_s + float(t0)
+        if seg.session is None or seg.session.followup_prob == 0.0:
+            entries.append(ScheduledArrival(t0_abs, seg.name, slo))
+            continue
+        # Geometric follow-up chain: one exponential think time per turn.
+        # Draw order is fixed (continue?, then think time) so the stream is
+        # reproducible regardless of how many turns each session gets.
+        times = [t0_abs]
+        while len(times) < seg.session.max_turns:
+            if sess_rng.uniform() >= seg.session.followup_prob:
+                break
+            times.append(
+                times[-1] + sess_rng.exponential(seg.session.mean_think_time_s)
+            )
+        if len(times) == 1:
+            entries.append(ScheduledArrival(t0_abs, seg.name, slo))
+            continue
+        sessions += 1
+        # Session ids are provisional here; compile_regime renumbers them
+        # globally in time order so ids are stable and compact.
+        for turn, t in enumerate(times, start=1):
+            entries.append(
+                ScheduledArrival(t, seg.name, slo, session_id=-sessions, turn=turn)
+            )
+
+    compiled = CompiledSegment(
+        name=seg.name,
+        kind=seg.kind,
+        start_s=start_s,
+        end_s=start_s + d,
+        expected_base_arrivals=seg.expected_base_arrivals,
+        base_arrivals=int(len(base)),
+        total_arrivals=len(entries),
+        sessions=sessions,
+    )
+    return compiled, entries
+
+
+def compile_regime(
+    regime: RegimeSpec,
+    seed: int = 0,
+    default_slo_mix: dict[str, float] | str | None = None,
+) -> CompiledRegime:
+    """Materialize the regime's arrival schedule for one seed.
+
+    ``default_slo_mix`` is the workload-level mix; segments without their
+    own ``slo_mix`` fall back to it.
+    """
+    compiled_segments: list[CompiledSegment] = []
+    all_entries: list[ScheduledArrival] = []
+    session_key: dict[tuple[str, int], list[ScheduledArrival]] = {}
+    start = 0.0
+    for seg in regime.segments:
+        cseg, entries = _compile_segment(seg, start, seed, default_slo_mix)
+        compiled_segments.append(cseg)
+        for e in entries:
+            all_entries.append(e)
+            if e.session_id is not None:
+                session_key.setdefault((seg.name, e.session_id), []).append(e)
+        start += seg.duration_s
+
+    # Renumber sessions globally, ordered by each session's opening time, so
+    # ids are compact positive ints independent of segment iteration detail.
+    renumbered: dict[int, int] = {}
+    for new_id, (key, turns) in enumerate(
+        sorted(session_key.items(), key=lambda kv: min(t.time for t in kv[1])),
+        start=1,
+    ):
+        for e in turns:
+            renumbered[id(e)] = new_id
+    final = [
+        replace(e, session_id=renumbered[id(e)]) if e.session_id is not None else e
+        for e in all_entries
+    ]
+    final.sort(key=lambda e: (e.time, e.segment, e.session_id or 0, e.turn))
+    return CompiledRegime(
+        regime=regime,
+        seed=seed,
+        segments=tuple(compiled_segments),
+        entries=tuple(final),
+    )
+
+
+def stamp_requests(
+    requests: Sequence[Request], compiled: CompiledRegime
+) -> list[Request]:
+    """Clone ``requests`` onto the compiled schedule, one per entry.
+
+    Callers must supply exactly ``compiled.num_requests`` requests (the
+    regime — not a ``num_requests`` knob — decides how much traffic there
+    is); arrival time, SLO class, session id and turn are stamped, all
+    other fields (features, lengths, intent) are preserved.
+    """
+    if len(requests) != compiled.num_requests:
+        raise ValueError(
+            f"regime schedule has {compiled.num_requests} slots but "
+            f"{len(requests)} requests were supplied"
+        )
+    return [
+        replace(
+            r,
+            arrival_time=e.time,
+            slo=e.slo,
+            session_id=e.session_id,
+            turn=e.turn,
+        )
+        for r, e in zip(requests, compiled.entries)
+    ]

@@ -1,0 +1,175 @@
+"""Named regime presets: the traffic shapes experiments compare across.
+
+Presets are builder functions so every call returns a fresh, immutable
+:class:`RegimeSpec`; ``duration_scale`` shrinks or stretches every segment
+uniformly (rates are untouched, so expected arrivals scale linearly) —
+CI smoke runs use ``duration_scale=0.05`` of the same shape the README
+plots at full length.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .spec import RegimeSpec, SegmentSpec, SessionSpec
+
+__all__ = ["REGIME_PRESETS", "regime_names", "get_regime", "preset_dict"]
+
+
+def _diurnal() -> RegimeSpec:
+    """A compressed day: quiet night, morning ramp, chatty midday, drain."""
+    return RegimeSpec(
+        name="diurnal",
+        segments=(
+            SegmentSpec(
+                name="night",
+                duration_s=150.0,
+                kind="constant",
+                rate_rps=0.5,
+                slo_mix={"interactive": 0.3, "batch": 0.7},
+            ),
+            SegmentSpec(
+                name="morning-ramp",
+                duration_s=120.0,
+                kind="ramp",
+                start_rps=0.5,
+                end_rps=3.0,
+                slo_mix={"interactive": 0.7, "batch": 0.3},
+            ),
+            SegmentSpec(
+                name="midday",
+                duration_s=180.0,
+                kind="constant",
+                rate_rps=3.0,
+                slo_mix={"interactive": 0.8, "batch": 0.2},
+                session=SessionSpec(
+                    followup_prob=0.35, max_turns=4, mean_think_time_s=20.0
+                ),
+            ),
+            SegmentSpec(
+                name="evening-drain",
+                duration_s=150.0,
+                kind="ramp",
+                start_rps=3.0,
+                end_rps=1.0,
+                slo_mix={"interactive": 0.5, "batch": 0.5},
+            ),
+        ),
+    )
+
+
+def _ramp_spike() -> RegimeSpec:
+    """A product-launch shape: steady, fast ramp, sustained peak, drain."""
+    return RegimeSpec(
+        name="ramp-spike",
+        segments=(
+            SegmentSpec(
+                name="steady",
+                duration_s=120.0,
+                kind="constant",
+                rate_rps=1.0,
+                slo_mix={"interactive": 0.6, "batch": 0.4},
+            ),
+            SegmentSpec(
+                name="surge",
+                duration_s=90.0,
+                kind="ramp",
+                start_rps=1.0,
+                end_rps=6.0,
+                slo_mix={"interactive": 0.8, "batch": 0.2},
+            ),
+            SegmentSpec(
+                name="peak",
+                duration_s=60.0,
+                kind="constant",
+                rate_rps=6.0,
+                slo_mix={"interactive": 0.8, "batch": 0.2},
+            ),
+            SegmentSpec(
+                name="drain",
+                duration_s=90.0,
+                kind="ramp",
+                start_rps=6.0,
+                end_rps=1.0,
+                slo_mix={"interactive": 0.6, "batch": 0.4},
+            ),
+        ),
+    )
+
+
+def _flash_crowd() -> RegimeSpec:
+    """A viral-moment shape: calm, an instantaneous crowd, recovery."""
+    return RegimeSpec(
+        name="flash-crowd",
+        segments=(
+            SegmentSpec(
+                name="calm",
+                duration_s=120.0,
+                kind="constant",
+                rate_rps=1.5,
+                slo_mix={"interactive": 0.5, "batch": 0.5},
+            ),
+            SegmentSpec(
+                name="flash",
+                duration_s=120.0,
+                kind="flash",
+                rate_rps=1.5,
+                peak_rps=12.0,
+                slo_mix={"interactive": 0.9, "batch": 0.1},
+                session=SessionSpec(
+                    followup_prob=0.25, max_turns=3, mean_think_time_s=15.0
+                ),
+            ),
+            SegmentSpec(
+                name="recovery",
+                duration_s=120.0,
+                kind="constant",
+                rate_rps=1.5,
+                slo_mix={"interactive": 0.5, "batch": 0.5},
+            ),
+        ),
+    )
+
+
+REGIME_PRESETS: dict[str, Callable[[], RegimeSpec]] = {
+    "diurnal": _diurnal,
+    "ramp-spike": _ramp_spike,
+    "flash-crowd": _flash_crowd,
+}
+
+
+def regime_names() -> list[str]:
+    return sorted(REGIME_PRESETS)
+
+
+def get_regime(name: str, duration_scale: float = 1.0) -> RegimeSpec:
+    """Build a preset regime, optionally scaling every duration uniformly."""
+    try:
+        regime = REGIME_PRESETS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown regime preset {name!r}; presets: {regime_names()}"
+        ) from None
+    if duration_scale == 1.0:
+        return regime
+    if duration_scale <= 0:
+        raise ValueError(f"duration_scale must be positive, got {duration_scale}")
+    scaled = tuple(
+        SegmentSpec(
+            **{
+                **seg.to_dict(),
+                "duration_s": seg.duration_s * duration_scale,
+                "session": seg.session,
+                "decay_s": (
+                    seg.decay_s * duration_scale if seg.decay_s is not None else None
+                ),
+            }
+        )
+        for seg in regime.segments
+    )
+    return RegimeSpec(name=regime.name, segments=scaled)
+
+
+def preset_dict(name: str, duration_scale: float = 1.0) -> dict[str, Any]:
+    """The plain-data form of a preset (for embedding in a ``WorkloadSpec``)."""
+    return get_regime(name, duration_scale).to_dict()

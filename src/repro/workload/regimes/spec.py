@@ -1,0 +1,337 @@
+"""Declarative traffic-timeline specs: named segments with shaped rates.
+
+A :class:`RegimeSpec` is an ordered list of named :class:`SegmentSpec`
+entries — "quiet night, morning ramp, lunch spike, flash crowd" as data.
+Each segment names a duration, an arrival shape (``constant`` | ``ramp`` |
+``flash``), per-segment rate parameters, an optional SLO mix and an optional
+:class:`SessionSpec` (multi-turn chat follow-ups).  Like
+:class:`~repro.api.spec.ScenarioSpec`, regimes are frozen value objects with
+strict construction (unknown fields, irrelevant-parameter combinations and
+malformed values raise at build time) and an exact JSON round-trip
+(``from_dict(to_dict(x)) == x``), so a regime can ride inside a
+``WorkloadSpec`` and be recorded, replayed and content-hashed unchanged.
+
+Rate shapes
+-----------
+``constant``
+    ``rate_rps`` requests/s for the whole segment.
+``ramp``
+    Linear interpolation from ``start_rps`` at the segment start to
+    ``end_rps`` at the segment end (diurnal rises and drains).
+``flash``
+    A flash crowd: an instantaneous jump to ``peak_rps`` at the segment
+    start, decaying exponentially back toward the ``rate_rps`` baseline with
+    time constant ``decay_s`` (default: a quarter of the segment).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from dataclasses import dataclass, fields
+from typing import Any, Mapping
+
+from ..slo import parse_mix_string, parse_slo_mix
+
+__all__ = ["SEGMENT_KINDS", "SessionSpec", "SegmentSpec", "RegimeSpec"]
+
+SEGMENT_KINDS = ("constant", "ramp", "flash")
+
+#: Rate parameters each segment kind actually consumes — anything else set
+#: on the segment is rejected so a knob that would be silently ignored
+#: fails loudly instead (mirrors the spec API's policy-key strictness).
+_KIND_RATE_FIELDS: dict[str, frozenset[str]] = {
+    "constant": frozenset({"rate_rps"}),
+    "ramp": frozenset({"start_rps", "end_rps"}),
+    "flash": frozenset({"rate_rps", "peak_rps", "decay_s"}),
+}
+
+_RATE_FIELDS = ("rate_rps", "start_rps", "end_rps", "peak_rps", "decay_s")
+
+
+def _reject_unknown(cls: type, data: Mapping[str, Any], where: str) -> None:
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown field(s) {unknown} in {where}; known fields: {sorted(known)}"
+        )
+
+
+def _require_mapping(data: Any, where: str) -> Mapping[str, Any]:
+    if not isinstance(data, Mapping):
+        raise ValueError(f"{where} must be a mapping, got {type(data).__name__}")
+    return data
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """Multi-turn chat behaviour for one segment's arrivals.
+
+    Each base arrival opens a session; after every turn a follow-up request
+    is spawned with probability ``followup_prob`` (a geometric chain capped
+    at ``max_turns`` total turns).  Follow-ups arrive an exponential think
+    time (mean ``mean_think_time_s``) after the previous turn and share the
+    session id — the open-loop stand-in for a user reading the answer and
+    replying, which a prefix cache can later exploit.
+    """
+
+    followup_prob: float = 0.0
+    max_turns: int = 1
+    mean_think_time_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.followup_prob < 1.0:
+            raise ValueError(
+                f"followup_prob must be in [0, 1), got {self.followup_prob}"
+            )
+        if self.max_turns < 1:
+            raise ValueError(f"max_turns must be >= 1, got {self.max_turns}")
+        if self.followup_prob > 0 and self.max_turns < 2:
+            raise ValueError(
+                "followup_prob > 0 needs max_turns >= 2 (follow-ups must be "
+                "able to happen)"
+            )
+        if self.mean_think_time_s <= 0:
+            raise ValueError(
+                f"mean_think_time_s must be positive, got {self.mean_think_time_s}"
+            )
+
+    @property
+    def expected_turns(self) -> float:
+        """Expected total turns per session (geometric chain, capped)."""
+        return sum(self.followup_prob**k for k in range(self.max_turns))
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SessionSpec":
+        _reject_unknown(cls, _require_mapping(data, "session"), "session")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """One named stretch of the traffic timeline."""
+
+    name: str
+    duration_s: float
+    kind: str = "constant"
+    #: ``constant``: the rate; ``flash``: the baseline the crowd decays to.
+    rate_rps: float | None = None
+    #: ``ramp`` endpoints.
+    start_rps: float | None = None
+    end_rps: float | None = None
+    #: ``flash``: the instantaneous peak at the segment start.
+    peak_rps: float | None = None
+    #: ``flash``: exponential decay time constant (default duration/4).
+    decay_s: float | None = None
+    #: Per-segment SLO class mix (falls back to the workload-level mix).
+    slo_mix: dict[str, float] | None = None
+    session: SessionSpec | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError(f"segment needs a non-empty name, got {self.name!r}")
+        if not self.duration_s > 0:
+            raise ValueError(
+                f"segment {self.name!r} duration_s must be positive, "
+                f"got {self.duration_s}"
+            )
+        if self.kind not in SEGMENT_KINDS:
+            raise ValueError(
+                f"unknown segment kind {self.kind!r} in segment {self.name!r}; "
+                f"options: {SEGMENT_KINDS}"
+            )
+        allowed = _KIND_RATE_FIELDS[self.kind]
+        stray = sorted(
+            f for f in _RATE_FIELDS
+            if f not in allowed and getattr(self, f) is not None
+        )
+        if stray:
+            raise ValueError(
+                f"segment {self.name!r} ({self.kind}) does not take {stray}; "
+                f"allowed rate fields: {sorted(allowed)}"
+            )
+        if self.kind == "constant":
+            if self.rate_rps is None or self.rate_rps <= 0:
+                raise ValueError(
+                    f"constant segment {self.name!r} needs a positive "
+                    f"rate_rps, got {self.rate_rps}"
+                )
+        elif self.kind == "ramp":
+            for field_name in ("start_rps", "end_rps"):
+                value = getattr(self, field_name)
+                if value is None or value < 0:
+                    raise ValueError(
+                        f"ramp segment {self.name!r} needs a non-negative "
+                        f"{field_name}, got {value}"
+                    )
+            if self.start_rps == 0 and self.end_rps == 0:
+                raise ValueError(
+                    f"ramp segment {self.name!r} has zero rate at both ends"
+                )
+        else:  # flash
+            if self.rate_rps is None or self.rate_rps < 0:
+                raise ValueError(
+                    f"flash segment {self.name!r} needs a non-negative "
+                    f"baseline rate_rps, got {self.rate_rps}"
+                )
+            if self.peak_rps is None or self.peak_rps <= self.rate_rps:
+                raise ValueError(
+                    f"flash segment {self.name!r} needs peak_rps above its "
+                    f"baseline {self.rate_rps}, got {self.peak_rps}"
+                )
+            if self.decay_s is not None and self.decay_s <= 0:
+                raise ValueError(
+                    f"flash segment {self.name!r} decay_s must be positive, "
+                    f"got {self.decay_s}"
+                )
+        for field_name in _RATE_FIELDS + ("duration_s",):
+            value = getattr(self, field_name)
+            if value is not None and not math.isfinite(value):
+                raise ValueError(
+                    f"segment {self.name!r} {field_name} must be finite, "
+                    f"got {value}"
+                )
+        if self.slo_mix is not None:
+            if isinstance(self.slo_mix, str):
+                object.__setattr__(self, "slo_mix", parse_mix_string(self.slo_mix))
+            parse_slo_mix(self.slo_mix)  # raises on bad classes/weights/sums
+
+    # -- rate shape ----------------------------------------------------- #
+    @property
+    def flash_decay_s(self) -> float:
+        """Effective flash decay constant (defaulted from the duration)."""
+        return self.decay_s if self.decay_s is not None else self.duration_s / 4.0
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate at ``t`` seconds into the segment."""
+        if self.kind == "constant":
+            return float(self.rate_rps)
+        if self.kind == "ramp":
+            frac = min(max(t / self.duration_s, 0.0), 1.0)
+            return float(self.start_rps + (self.end_rps - self.start_rps) * frac)
+        return float(
+            self.rate_rps
+            + (self.peak_rps - self.rate_rps) * math.exp(-t / self.flash_decay_s)
+        )
+
+    @property
+    def peak_rate(self) -> float:
+        """The segment's rate upper bound (the thinning majorant)."""
+        if self.kind == "constant":
+            return float(self.rate_rps)
+        if self.kind == "ramp":
+            return float(max(self.start_rps, self.end_rps))
+        return float(self.peak_rps)
+
+    @property
+    def expected_base_arrivals(self) -> float:
+        """Analytic integral of the rate over the segment (turn-1 arrivals)."""
+        d = self.duration_s
+        if self.kind == "constant":
+            return self.rate_rps * d
+        if self.kind == "ramp":
+            return (self.start_rps + self.end_rps) / 2.0 * d
+        tau = self.flash_decay_s
+        return self.rate_rps * d + (self.peak_rps - self.rate_rps) * tau * (
+            1.0 - math.exp(-d / tau)
+        )
+
+    @property
+    def expected_arrivals(self) -> float:
+        """Expected arrivals including session follow-up turns."""
+        turns = self.session.expected_turns if self.session is not None else 1.0
+        return self.expected_base_arrivals * turns
+
+    # -- serialization --------------------------------------------------- #
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SegmentSpec":
+        data = dict(_require_mapping(data, "segment"))
+        _reject_unknown(cls, data, f"segment {data.get('name', '?')!r}")
+        if data.get("session") is not None and not isinstance(
+            data["session"], SessionSpec
+        ):
+            data["session"] = SessionSpec.from_dict(data["session"])
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class RegimeSpec:
+    """An ordered traffic timeline of named segments."""
+
+    segments: tuple[SegmentSpec, ...]
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.segments, tuple):
+            object.__setattr__(self, "segments", tuple(self.segments))
+        if not self.segments:
+            raise ValueError("a regime needs at least one segment")
+        names = [s.name for s in self.segments]
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        if dupes:
+            raise ValueError(
+                f"duplicate segment name(s) {dupes}; segment names are the "
+                "stable per-segment RNG keys and must be unique"
+            )
+
+    @property
+    def total_duration_s(self) -> float:
+        return sum(s.duration_s for s in self.segments)
+
+    @property
+    def expected_arrivals(self) -> float:
+        return sum(s.expected_arrivals for s in self.segments)
+
+    def windows(self) -> list[tuple[str, float, float]]:
+        """``(name, start, end)`` absolute time window per segment."""
+        out, t = [], 0.0
+        for seg in self.segments:
+            out.append((seg.name, t, t + seg.duration_s))
+            t += seg.duration_s
+        return out
+
+    # -- serialization --------------------------------------------------- #
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form (all fields, fully explicit)."""
+        return dataclasses.asdict(self)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RegimeSpec":
+        """Strict inverse of :meth:`to_dict`: unknown fields raise."""
+        data = dict(_require_mapping(data, "regime"))
+        _reject_unknown(cls, data, "regime")
+        raw = data.get("segments")
+        if raw is None:
+            raise ValueError('regime needs a "segments" list')
+        if not isinstance(raw, (list, tuple)):
+            raise ValueError(
+                f"regime segments must be a list, got {type(raw).__name__}"
+            )
+        data["segments"] = tuple(
+            seg if isinstance(seg, SegmentSpec) else SegmentSpec.from_dict(seg)
+            for seg in raw
+        )
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RegimeSpec":
+        return cls.from_dict(json.loads(text))
+
+    def describe(self) -> str:
+        """One-line human summary (CLI/`ScenarioSpec.describe` embedding)."""
+        label = self.name or "regime"
+        return (
+            f"{label}({len(self.segments)} segments, "
+            f"{self.total_duration_s:g}s)"
+        )

@@ -42,12 +42,21 @@ class Request:
     #: submitted under, or ``None`` for best-effort.  Routers may read it
     #: (deadline-aware policies); engines never do.
     slo: SLOClass | None = None
+    #: Multi-turn chat session this request belongs to, or ``None`` for a
+    #: standalone request.  Turns of one session share the id so a prefix
+    #: cache (or session-affinity router) can exploit the shared context;
+    #: see :mod:`repro.workload.regimes`.
+    session_id: int | None = None
+    #: 1-based turn number within the session (1 = the opening request).
+    turn: int = 1
 
     def __post_init__(self) -> None:
         if self.prompt_len < 1:
             raise ValueError(f"prompt_len must be >= 1, got {self.prompt_len}")
         if self.output_len < 1:
             raise ValueError(f"output_len must be >= 1, got {self.output_len}")
+        if self.turn < 1:
+            raise ValueError(f"turn must be >= 1, got {self.turn}")
 
     @property
     def total_len(self) -> int:

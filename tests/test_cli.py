@@ -73,3 +73,25 @@ class TestCLI:
 
     def test_scale_flag_parsed(self, capsys):
         assert main(["table2", "--scale", "0.5", "--seed", "3"]) == 0
+
+    def test_workload_preview_preset(self, capsys):
+        assert "cluster-regimes" in EXPERIMENTS
+        assert main(["workload", "preview", "diurnal"]) == 0
+        out = capsys.readouterr().out
+        assert "regime diurnal: 4 segments" in out
+        assert "morning-ramp" in out and "expected" in out
+
+    def test_workload_preview_spec_file(self, capsys):
+        assert main(
+            ["workload", "preview", "examples/scenarios/regime_diurnal.json"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "night" in out and "evening-drain" in out
+
+    def test_workload_preview_rejects_scale(self):
+        with pytest.raises(SystemExit):
+            main(["workload", "preview", "diurnal", "--scale", "0.05"])
+
+    def test_workload_preview_unknown_target(self):
+        with pytest.raises(SystemExit):
+            main(["workload", "preview", "nosuch-regime"])

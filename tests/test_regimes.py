@@ -1,0 +1,350 @@
+"""Workload regime DSL: spec validation, compilation, seeding, round-trips."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import ScenarioSpec, WorkloadSpec, content_hash
+from repro.workload.regimes import (
+    RegimeSpec,
+    SegmentSpec,
+    SessionSpec,
+    compile_regime,
+    get_regime,
+    preset_dict,
+    regime_names,
+)
+
+# --------------------------------------------------------------------- #
+# Strategies: always-valid segments of every kind.
+# --------------------------------------------------------------------- #
+
+_rate = st.floats(0.2, 10.0, allow_nan=False, allow_infinity=False)
+_duration = st.floats(5.0, 90.0, allow_nan=False, allow_infinity=False)
+
+
+def _segment(name: str) -> st.SearchStrategy[SegmentSpec]:
+    constant = st.builds(
+        lambda d, r: SegmentSpec(name=name, duration_s=d, rate_rps=r),
+        _duration,
+        _rate,
+    )
+    ramp = st.builds(
+        lambda d, a, b: SegmentSpec(
+            name=name, duration_s=d, kind="ramp", start_rps=a, end_rps=b
+        ),
+        _duration,
+        _rate,
+        _rate,
+    )
+    flash = st.builds(
+        lambda d, r, peak: SegmentSpec(
+            name=name,
+            duration_s=d,
+            kind="flash",
+            rate_rps=r,
+            peak_rps=r + peak,
+        ),
+        _duration,
+        _rate,
+        st.floats(0.5, 8.0),
+    )
+    return st.one_of(constant, ramp, flash)
+
+
+@st.composite
+def regimes(draw) -> RegimeSpec:
+    n = draw(st.integers(1, 4))
+    names = [f"seg{i}" for i in range(n)]
+    return RegimeSpec(
+        segments=tuple(draw(_segment(name)) for name in names)
+    )
+
+
+# --------------------------------------------------------------------- #
+# Spec validation.
+# --------------------------------------------------------------------- #
+
+
+class TestSegmentSpec:
+    def test_constant_requires_rate(self):
+        with pytest.raises(ValueError, match="rate_rps"):
+            SegmentSpec(name="a", duration_s=10.0)
+
+    def test_stray_rate_fields_rejected(self):
+        with pytest.raises(ValueError, match="does not take"):
+            SegmentSpec(name="a", duration_s=10.0, rate_rps=1.0, peak_rps=5.0)
+        with pytest.raises(ValueError, match="does not take"):
+            SegmentSpec(
+                name="a", duration_s=10.0, kind="ramp",
+                start_rps=1.0, end_rps=2.0, rate_rps=1.0,
+            )
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            SegmentSpec(name="a", duration_s=10.0, kind="sawtooth")
+
+    def test_flash_peak_above_baseline(self):
+        with pytest.raises(ValueError, match="peak_rps"):
+            SegmentSpec(
+                name="a", duration_s=10.0, kind="flash",
+                rate_rps=5.0, peak_rps=5.0,
+            )
+
+    def test_ramp_rate_endpoints(self):
+        seg = SegmentSpec(
+            name="a", duration_s=10.0, kind="ramp", start_rps=1.0, end_rps=3.0
+        )
+        assert seg.rate_at(0.0) == pytest.approx(1.0)
+        assert seg.rate_at(10.0) == pytest.approx(3.0)
+        assert seg.peak_rate == pytest.approx(3.0)
+
+    def test_session_validation(self):
+        with pytest.raises(ValueError, match="followup_prob"):
+            SessionSpec(followup_prob=1.0, max_turns=3)
+        with pytest.raises(ValueError, match="max_turns"):
+            SessionSpec(followup_prob=0.5, max_turns=1)
+        assert SessionSpec(followup_prob=0.5, max_turns=3).expected_turns == (
+            pytest.approx(1.75)
+        )
+
+
+class TestRegimeSpec:
+    def test_duplicate_names_rejected(self):
+        seg = SegmentSpec(name="a", duration_s=10.0, rate_rps=1.0)
+        with pytest.raises(ValueError, match="unique"):
+            RegimeSpec(segments=(seg, seg))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            RegimeSpec(segments=())
+
+    def test_windows_partition_the_timeline(self):
+        regime = get_regime("diurnal")
+        windows = regime.windows()
+        assert windows[0][1] == 0.0
+        for (_, _, end), (_, start, _) in zip(windows, windows[1:]):
+            assert end == start
+        assert windows[-1][2] == pytest.approx(regime.total_duration_s)
+
+    @settings(max_examples=40, deadline=None)
+    @given(regime=regimes())
+    def test_json_round_trip(self, regime):
+        assert RegimeSpec.from_json(regime.to_json()) == regime
+        # canonical dict round-trip too (what WorkloadSpec normalization does)
+        assert RegimeSpec.from_dict(regime.to_dict()).to_dict() == regime.to_dict()
+
+
+class TestWorkloadStrictness:
+    """Arrival processes reject knobs they do not consume (bugfix)."""
+
+    BAD_COMBOS = [
+        dict(arrival="offline", rate_rps=4.0),
+        dict(arrival="offline", burst_size=8),
+        dict(arrival="poisson", rate_rps=4.0, burst_size=8),
+        dict(arrival="uniform", rate_rps=4.0, burst_interval_s=1.0),
+        dict(arrival="burst", burst_size=8, burst_interval_s=1.0, rate_rps=4.0),
+        dict(arrival="poisson", rate_rps=4.0, regime=preset_dict("diurnal")),
+    ]
+
+    @pytest.mark.parametrize("kwargs", BAD_COMBOS)
+    def test_stray_params_rejected(self, kwargs):
+        with pytest.raises(ValueError, match="does not take"):
+            WorkloadSpec(scale=0.05, **kwargs)
+
+    def test_regime_requires_block(self):
+        with pytest.raises(ValueError, match="regime"):
+            WorkloadSpec(scale=0.05, arrival="regime")
+
+    def test_regime_rejects_num_requests(self):
+        with pytest.raises(ValueError, match="num_requests"):
+            WorkloadSpec(
+                scale=0.05, arrival="regime",
+                regime=preset_dict("diurnal"), num_requests=100,
+            )
+
+    def test_valid_combos_still_pass(self):
+        WorkloadSpec(scale=0.05, arrival="offline")
+        WorkloadSpec(scale=0.05, arrival="poisson", rate_rps=4.0)
+        WorkloadSpec(
+            scale=0.05, arrival="burst", burst_size=8, burst_interval_s=1.0
+        )
+        WorkloadSpec(scale=0.05, arrival="regime", regime=preset_dict("diurnal"))
+
+    def test_content_hash_stable_through_round_trip(self):
+        spec = ScenarioSpec(
+            mode="cluster",
+            workload=WorkloadSpec(
+                scale=0.05, arrival="regime", regime=preset_dict("flash-crowd")
+            ),
+        )
+        clone = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        assert content_hash(clone) == content_hash(spec)
+
+    def test_regime_spec_accessor(self):
+        spec = WorkloadSpec(
+            scale=0.05, arrival="regime", regime=preset_dict("diurnal")
+        )
+        assert spec.regime_spec().name == "diurnal"
+        with pytest.raises(ValueError, match="regime"):
+            WorkloadSpec(scale=0.05, arrival="offline").regime_spec()
+
+
+# --------------------------------------------------------------------- #
+# Compilation properties.
+# --------------------------------------------------------------------- #
+
+
+class TestCompileProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(regime=regimes(), seed=st.integers(0, 1000))
+    def test_arrivals_non_decreasing(self, regime, seed):
+        compiled = compile_regime(regime, seed=seed)
+        times = [e.time for e in compiled.entries]
+        assert times == sorted(times)
+
+    @settings(max_examples=40, deadline=None)
+    @given(regime=regimes(), seed=st.integers(0, 1000))
+    def test_opening_turns_inside_their_window(self, regime, seed):
+        compiled = compile_regime(regime, seed=seed)
+        windows = {name: (s, e) for name, s, e in regime.windows()}
+        for entry in compiled.entries:
+            if entry.turn == 1:
+                start, end = windows[entry.segment]
+                assert start <= entry.time < end
+
+    @settings(max_examples=20, deadline=None)
+    @given(regime=regimes(), seed=st.integers(0, 1000))
+    def test_bit_identical_recompile(self, regime, seed):
+        a = compile_regime(regime, seed=seed)
+        b = compile_regime(regime, seed=seed)
+        assert a.entries == b.entries
+        assert [s.base_arrivals for s in a.segments] == [
+            s.base_arrivals for s in b.segments
+        ]
+
+    def test_seeds_differ(self):
+        regime = get_regime("flash-crowd")
+        a = compile_regime(regime, seed=0)
+        b = compile_regime(regime, seed=1)
+        assert [e.time for e in a.entries] != [e.time for e in b.entries]
+
+    def test_realized_tracks_expected(self):
+        # One long constant segment: LLN keeps realized within ~10%.
+        regime = RegimeSpec(
+            segments=(SegmentSpec(name="s", duration_s=500.0, rate_rps=4.0),)
+        )
+        compiled = compile_regime(regime, seed=0)
+        assert compiled.num_requests == pytest.approx(2000, rel=0.1)
+
+    def test_slo_mix_stamped_per_segment(self):
+        regime = RegimeSpec(
+            segments=(
+                SegmentSpec(
+                    name="int", duration_s=60.0, rate_rps=3.0,
+                    slo_mix={"interactive": 1.0},
+                ),
+                SegmentSpec(
+                    name="bat", duration_s=60.0, rate_rps=3.0,
+                    slo_mix={"batch": 1.0},
+                ),
+            )
+        )
+        compiled = compile_regime(regime, seed=0)
+        for entry in compiled.entries:
+            expected = "interactive" if entry.segment == "int" else "batch"
+            assert entry.slo is not None and entry.slo.name == expected
+
+    def test_sessions_are_coherent(self):
+        regime = RegimeSpec(
+            segments=(
+                SegmentSpec(
+                    name="chat", duration_s=120.0, rate_rps=3.0,
+                    session=SessionSpec(
+                        followup_prob=0.6, max_turns=4, mean_think_time_s=5.0
+                    ),
+                ),
+            )
+        )
+        compiled = compile_regime(regime, seed=0)
+        assert compiled.num_sessions > 0
+        by_session = {}
+        for entry in compiled.entries:
+            if entry.session_id is not None:
+                by_session.setdefault(entry.session_id, []).append(entry)
+        # ids are compact positive ints ordered by opening time
+        assert sorted(by_session) == list(range(1, len(by_session) + 1))
+        for turns in by_session.values():
+            turns.sort(key=lambda e: e.turn)
+            assert [e.turn for e in turns] == list(range(1, len(turns) + 1))
+            times = [e.time for e in turns]
+            assert times == sorted(times)
+            assert len({e.segment for e in turns}) == 1
+
+
+class TestSegmentSeeding:
+    """Per-segment streams are keyed by name: edits never reshuffle neighbours."""
+
+    def _offsets(self, compiled, name):
+        seg = next(s for s in compiled.segments if s.name == name)
+        return [
+            e.time - seg.start_s
+            for e in compiled.entries
+            if e.segment == name and e.turn == 1
+        ]
+
+    def test_inserting_a_segment_preserves_neighbours(self):
+        a = SegmentSpec(name="a", duration_s=60.0, rate_rps=2.0)
+        c = SegmentSpec(name="c", duration_s=60.0, rate_rps=3.0)
+        b = SegmentSpec(name="b", duration_s=45.0, kind="ramp",
+                        start_rps=2.0, end_rps=3.0)
+        before = compile_regime(RegimeSpec(segments=(a, c)), seed=7)
+        after = compile_regime(RegimeSpec(segments=(a, b, c)), seed=7)
+        # Same segment-local arrival offsets on both sides of the insertion
+        # (approx: "c" starts at a different absolute time, so subtracting
+        # the window start reintroduces float ulps).
+        assert self._offsets(after, "a") == pytest.approx(
+            self._offsets(before, "a"), abs=1e-9
+        )
+        assert self._offsets(after, "c") == pytest.approx(
+            self._offsets(before, "c"), abs=1e-9
+        )
+
+    def test_renaming_a_segment_redraws_it(self):
+        a = SegmentSpec(name="a", duration_s=60.0, rate_rps=2.0)
+        a2 = SegmentSpec(name="a2", duration_s=60.0, rate_rps=2.0)
+        x = compile_regime(RegimeSpec(segments=(a,)), seed=7)
+        y = compile_regime(RegimeSpec(segments=(a2,)), seed=7)
+        assert [e.time for e in x.entries] != [e.time for e in y.entries]
+
+
+# --------------------------------------------------------------------- #
+# Presets.
+# --------------------------------------------------------------------- #
+
+
+class TestPresets:
+    def test_registry(self):
+        assert set(regime_names()) >= {"diurnal", "ramp-spike", "flash-crowd"}
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError, match="unknown regime"):
+            get_regime("tsunami")
+
+    def test_duration_scale(self):
+        full = get_regime("diurnal")
+        half = get_regime("diurnal", duration_scale=0.5)
+        assert half.total_duration_s == pytest.approx(
+            full.total_duration_s / 2
+        )
+        # shapes (names, kinds, rates) are preserved
+        assert [s.name for s in half.segments] == [s.name for s in full.segments]
+        assert [s.kind for s in half.segments] == [s.kind for s in full.segments]
+
+    def test_presets_compile(self):
+        for name in regime_names():
+            compiled = compile_regime(get_regime(name), seed=0)
+            assert compiled.num_requests > 0

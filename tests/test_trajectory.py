@@ -32,6 +32,7 @@ def perf_record(**overrides):
             "prefill_warm_calls_per_sec": 3_000_000.0,
         },
         "vectorized": {"grid_points_per_sec": 8_000_000.0},
+        "regime": {"arrivals_per_sec": 180_000.0},
         "cluster": {"requests_per_sec_wall": 900.0},
         "grid": {
             "serial_points_per_sec": 1.5,
