@@ -27,11 +27,13 @@ scenario.json`` executes any of it from disk.
 """
 
 from .parallel import (
+    BACKENDS,
     ReuseReport,
     SpecExecutionError,
     resolve_jobs,
     run_fresh_records,
     run_many,
+    stored_artifact_for,
 )
 from .provenance import code_fingerprint, provenance_stamp
 from .registry import get_scenario, register_scenario, scenario_names
@@ -80,6 +82,8 @@ __all__ = [
     "run_many",
     "run_fresh_records",
     "resolve_jobs",
+    "BACKENDS",
+    "stored_artifact_for",
     "ReuseReport",
     "SpecExecutionError",
     "code_fingerprint",

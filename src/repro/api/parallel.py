@@ -46,9 +46,17 @@ __all__ = [
     "run_many",
     "run_fresh_records",
     "resolve_jobs",
+    "stored_artifact_for",
+    "BACKENDS",
     "ReuseReport",
     "SpecExecutionError",
 ]
+
+#: Execution backends ``run_many``/``run_sweep`` accept: ``"serial"`` forces
+#: in-process execution, ``"pool"`` the process-pool executor (the default;
+#: still serial when ``jobs`` resolves to 1), ``"fabric"`` the distributed
+#: work queue over a shared spool + store (see :mod:`repro.fabric`).
+BACKENDS = ("serial", "pool", "fabric")
 
 
 class SpecExecutionError(RuntimeError):
@@ -88,15 +96,30 @@ class ReuseReport:
 
 
 def resolve_jobs(jobs: int | None) -> int:
-    """Normalize a ``--jobs`` value into a worker count.
+    """Normalize and validate a ``--jobs`` value into a worker count.
 
-    ``None``/``0``/``1`` mean serial; a negative value means "all cores".
+    ``None``/``0``/``1`` mean serial and ``-1`` means "all cores"; anything
+    else must be a positive integer.  Garbage (floats, bools, other negative
+    numbers) raises a clear :class:`ValueError` here — at parse time —
+    instead of failing deep inside an executor or a fabric worker.
     """
-    if jobs is None or jobs == 0:
+    if jobs is None:
         return 1
-    if jobs < 0:
+    if isinstance(jobs, bool) or not isinstance(jobs, int):
+        raise ValueError(
+            f"jobs must be an integer, got {jobs!r} "
+            "(use 0/1 for serial, -1 for all cores)"
+        )
+    if jobs == -1:
         return max(os.cpu_count() or 1, 1)
-    return int(jobs)
+    if jobs < 0:
+        raise ValueError(
+            f"jobs must be a positive integer, 0/1 (serial) or -1 "
+            f"(all cores); got {jobs}"
+        )
+    if jobs == 0:
+        return 1
+    return jobs
 
 
 def _mp_context():
@@ -150,10 +173,12 @@ def _pool_map(fn, payloads: Sequence[str], jobs: int) -> list:
 # --------------------------------------------------------------------- #
 # The parallel executors.
 # --------------------------------------------------------------------- #
-def _reuse_lookup(
-    store: "ArtifactStore", resolved: Sequence["ScenarioSpec"]
-) -> dict[int, "RunArtifact"]:
-    """Stored artifacts that may substitute for executing ``resolved[i]``.
+def stored_artifact_for(
+    store: "ArtifactStore",
+    spec: "ScenarioSpec",
+    stamp: Mapping[str, str] | None = None,
+) -> "RunArtifact | None":
+    """The stored artifact that may substitute for executing ``spec``.
 
     A record is a hit only when all of these hold:
 
@@ -163,27 +188,46 @@ def _reuse_lookup(
     * it carries the full ``detail`` payload (lean records cannot be
       reconstructed into artifacts), and
     * it recorded no opaque overrides (its spec alone reproduced the run).
+
+    Returns the reconstructed artifact (marked ``reused``) or ``None``.
+    This predicate is shared by ``run_many(reuse=True)`` and the fabric
+    worker's memo check, so both paths hit and miss identically.
     """
     from .provenance import provenance_stamp
     from .runner import RunArtifact
     from .store.canonical import content_hash
 
+    stamp = provenance_stamp() if stamp is None else stamp
+    ref = content_hash(spec)
+    if ref not in store:
+        return None
+    record = store.get_record(ref)
+    if (
+        record.get("provenance") == stamp
+        and "detail" in record
+        and not record.get("opaque_overrides")
+    ):
+        artifact = RunArtifact.from_record(record)
+        artifact.reused = True
+        return artifact
+    return None
+
+
+def _reuse_lookup(
+    store: "ArtifactStore", resolved: Sequence["ScenarioSpec"]
+) -> dict[int, "RunArtifact"]:
+    """Stored artifacts that may substitute for executing ``resolved[i]``
+    (see :func:`stored_artifact_for` for the hit conditions)."""
+    from .provenance import provenance_stamp
+    from .store.canonical import content_hash
+
     stamp = provenance_stamp()
-    hits: dict[int, RunArtifact] = {}
+    hits: dict[int, "RunArtifact"] = {}
     for i, spec in enumerate(resolved):
-        ref = content_hash(spec)
-        if ref not in store:
-            continue
-        record = store.get_record(ref)
-        if (
-            record.get("provenance") == stamp
-            and "detail" in record
-            and not record.get("opaque_overrides")
-        ):
-            artifact = RunArtifact.from_record(record)
-            artifact.reused = True
+        artifact = stored_artifact_for(store, spec, stamp)
+        if artifact is not None:
             hits[i] = artifact
-            store.session_reused_refs.append(ref)
+            store.session_reused_refs.append(content_hash(spec))
     return hits
 
 
@@ -191,12 +235,14 @@ def run_many(
     specs: Iterable["ScenarioSpec"],
     *,
     jobs: int | None = None,
+    backend: str | None = None,
     oom_to_none: bool = False,
     store: "ArtifactStore | str | os.PathLike | None" = None,
     reuse: bool = False,
     overrides: Sequence[Mapping[str, Any]] | None = None,
+    fabric_opts: Mapping[str, Any] | None = None,
 ) -> list["RunArtifact | None"]:
-    """Execute many scenario specs, optionally on a process pool.
+    """Execute many scenario specs on the chosen backend.
 
     Parameters
     ----------
@@ -205,6 +251,14 @@ def run_many(
         and the serial path see identical inputs.
     jobs:
         Worker processes (see :func:`resolve_jobs`).  Serial by default.
+    backend:
+        One of :data:`BACKENDS` (default ``"pool"``).  ``"fabric"`` runs
+        the batch through the distributed work queue
+        (:func:`repro.fabric.run_fabric`): ``jobs`` spawned local worker
+        processes coordinate via a spool directory and return results
+        through the shared ``store``, bit-identical to serial execution
+        (only ``wall_time_s`` differs).  ``fabric_opts`` forwards extra
+        keyword arguments (spool path, lease timeout, retry policy).
     oom_to_none:
         When true, a spec whose layout cannot hold its model yields ``None``
         instead of raising (fig11's grey OOM cells).
@@ -228,6 +282,10 @@ def run_many(
     from ..kvcache.capacity import OutOfMemoryError
     from .runner import RunArtifact, run
 
+    if backend is not None and backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; options: {', '.join(BACKENDS)}"
+        )
     resolved = [spec.resolved() for spec in specs]
     if overrides is not None and len(overrides) != len(resolved):
         raise ValueError(
@@ -240,6 +298,19 @@ def run_many(
     if reuse and store is None:
         raise ValueError("run_many(reuse=True) needs a store to reuse from")
 
+    if backend == "fabric":
+        return _run_many_fabric(
+            resolved,
+            jobs=jobs,
+            oom_to_none=oom_to_none,
+            store=store,
+            reuse=reuse,
+            overrides=overrides,
+            fabric_opts=fabric_opts,
+        )
+    if fabric_opts:
+        raise ValueError('fabric_opts only applies to backend="fabric"')
+
     artifacts: list[RunArtifact | None] = [None] * len(resolved)
     hits: dict[int, RunArtifact] = {}
     if reuse:
@@ -248,7 +319,7 @@ def run_many(
             artifacts[i] = artifact
 
     misses = [i for i in range(len(resolved)) if i not in hits]
-    n_jobs = resolve_jobs(jobs)
+    n_jobs = 1 if backend == "serial" else resolve_jobs(jobs)
     if n_jobs <= 1 or len(misses) <= 1:
         for i in misses:
             spec = resolved[i]
@@ -289,6 +360,48 @@ def run_many(
         for i, artifact in enumerate(artifacts):
             if artifact is not None and i not in hits:
                 store.put(artifact)
+    return artifacts
+
+
+def _run_many_fabric(
+    resolved: Sequence["ScenarioSpec"],
+    *,
+    jobs: int | None,
+    oom_to_none: bool,
+    store: "ArtifactStore | None",
+    reuse: bool,
+    overrides: Sequence[Mapping[str, Any]] | None,
+    fabric_opts: Mapping[str, Any] | None,
+) -> list["RunArtifact | None"]:
+    """The ``backend="fabric"`` leg of :func:`run_many`.
+
+    Workers file executed records into the shared store themselves (the
+    store is the result transport), so unlike the pool path the parent only
+    does session bookkeeping here: hit/executed refs are mirrored into the
+    store's session lists so CLI summaries (``N record(s) ->``,
+    ``ReuseReport``) read the same for every backend.
+    """
+    from ..fabric import run_fabric
+    from .store.canonical import content_hash
+
+    artifacts = run_fabric(
+        resolved,
+        workers=resolve_jobs(jobs),
+        store=store,
+        reuse=reuse,
+        oom_to_none=oom_to_none,
+        overrides=overrides,
+        **dict(fabric_opts or {}),
+    )
+    if store is not None:
+        for artifact in artifacts:
+            if artifact is None:
+                continue
+            ref = content_hash(artifact.spec)
+            if artifact.reused:
+                store.session_reused_refs.append(ref)
+            else:
+                store.session_refs.append(ref)
     return artifacts
 
 

@@ -347,6 +347,7 @@ def run_sweep(
     *,
     store: Any | None = None,
     jobs: int | None = None,
+    backend: str | None = None,
     reuse: bool = False,
     **kwargs: Any,
 ) -> list[RunArtifact]:
@@ -355,16 +356,24 @@ def run_sweep(
     ``store`` files every point's artifact (tagged with its sweep
     coordinates) under its own content hash.  ``jobs`` executes the grid on
     a process pool (see :mod:`repro.api.parallel`); results, hashes and the
-    store index are identical to the serial default.  ``reuse=True`` turns
-    the store into a memoizer: grid points whose content hash is already
-    filed under a matching code-provenance stamp are served from the store
-    and only the misses execute (see :func:`repro.api.parallel.run_many`).
-    ``kwargs`` are forwarded to :func:`run` for each point (live-object
-    overrides shared across the grid, e.g. a pre-trained predictor) and are
-    serial-only: live objects cannot cross a process boundary.
+    store index are identical to the serial default.  ``backend="fabric"``
+    runs the grid through the distributed work queue instead (``jobs``
+    local workers coordinating via a spool directory; see
+    :mod:`repro.fabric`) — record content hashes still match the serial
+    run.  ``reuse=True`` turns the store into a memoizer: grid points whose
+    content hash is already filed under a matching code-provenance stamp
+    are served from the store and only the misses execute (see
+    :func:`repro.api.parallel.run_many`).  ``kwargs`` are forwarded to
+    :func:`run` for each point (live-object overrides shared across the
+    grid, e.g. a pre-trained predictor) and are serial-only: live objects
+    cannot cross a process boundary.
     """
-    from .parallel import resolve_jobs, run_many
+    from .parallel import BACKENDS, resolve_jobs, run_many
 
+    if backend is not None and backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; options: {', '.join(BACKENDS)}"
+        )
     if store is not None:
         from .store import as_store
 
@@ -383,13 +392,16 @@ def run_sweep(
         return run_many(
             [point.spec for point in points],
             jobs=jobs,
+            backend=backend,
             store=store,
             reuse=True,
             overrides=[point.overrides for point in points],
         )
-    if resolve_jobs(jobs) <= 1:
+    if backend != "fabric" and (backend == "serial" or resolve_jobs(jobs) <= 1):
         # Serial: run-tag-file incrementally, so an interrupted sweep keeps
-        # every completed point's record (the historic behavior).
+        # every completed point's record (the historic behavior).  The
+        # fabric never takes this shortcut: even one worker exercises the
+        # real spool coordination path.
         artifacts = []
         for point in points:
             artifact = run(point.spec, **kwargs)
@@ -400,13 +412,14 @@ def run_sweep(
         return artifacts
     if kwargs:
         raise ValueError(
-            "run_sweep(jobs>1) cannot carry live-object overrides "
-            f"({sorted(kwargs)}); they do not serialize across processes — "
-            "drop them or run with jobs=1"
+            "run_sweep(jobs>1 or backend=...) cannot carry live-object "
+            f"overrides ({sorted(kwargs)}); they do not serialize across "
+            "processes — drop them or run serially with jobs=1"
         )
     return run_many(
         [point.spec for point in points],
         jobs=jobs,
+        backend=backend,
         store=store,
         overrides=[point.overrides for point in points],
     )

@@ -344,7 +344,7 @@ class ArtifactStore:
         with open(path) as fh:
             return json.load(fh)
 
-    def gc(self) -> dict[str, Any]:
+    def gc(self, *, dry_run: bool = False) -> dict[str, Any]:
         """Prune files the index does not reference (and dead index entries).
 
         Removes record files (``records/*.json[.gz]``) no index entry names
@@ -352,6 +352,10 @@ class ArtifactStore:
         copied in by hand — plus orphaned ``*.tmp`` files, and drops index
         entries whose record file has vanished.  Run :meth:`fsck` first if
         the *index* is the casualty: gc trusts the index, fsck rebuilds it.
+
+        ``dry_run=True`` reports exactly what a real gc would prune without
+        touching the store (the report's ``dry_run`` key records which mode
+        produced it).
         """
         with self._index_lock():
             index = self._load_index()
@@ -368,21 +372,23 @@ class ArtifactStore:
                         and path.resolve() in referenced
                     )
                     if not keep:
-                        path.unlink()
+                        if not dry_run:
+                            path.unlink()
                         removed.append(path.name)
             dropped = sorted(
                 ref
                 for ref, entry in index["entries"].items()
                 if not (self.root / entry["file"]).exists()
             )
-            if dropped:
+            if dropped and not dry_run:
                 for ref in dropped:
                     del index["entries"][ref]
                 self._save_index(index)
         return {
             "removed_files": removed,
             "dropped_entries": dropped,
-            "entries": len(index["entries"]),
+            "entries": len(index["entries"]) - (len(dropped) if dry_run else 0),
+            "dry_run": dry_run,
         }
 
     def fsck(self) -> dict[str, Any]:

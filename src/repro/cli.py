@@ -24,7 +24,13 @@ Examples
     tdpipe-bench replay --store tdpipe-store --update   # accept drift in place
     tdpipe-bench diff a1b2c3 d4e5f6 --store tdpipe-store
     tdpipe-bench store gc --store tdpipe-store
+    tdpipe-bench store gc --store tdpipe-store --dry-run  # print, don't prune
     tdpipe-bench store fsck --store tdpipe-store        # rebuild index.json
+    tdpipe-bench run --spec sweep.json --backend fabric --jobs 2
+    tdpipe-bench fabric submit --spec sweep.json --spool /shared/spool --wait
+    tdpipe-bench fabric worker --spool /shared/spool    # on each host
+    tdpipe-bench fabric status --spool /shared/spool
+    tdpipe-bench fabric drain --spool /shared/spool
 """
 
 from __future__ import annotations
@@ -102,14 +108,17 @@ _BENCH_CAPABLE = {"cluster", "run", "record", "perf", *_STORE_CAPABLE}
 
 EXPERIMENTS = sorted(
     [*_SCALED, *_STATIC, "all", "run", "record", "replay", "diff", "perf",
-     "store", "workload"]
+     "store", "workload", "fabric"]
 )
 
 #: Experiments that can fan grid execution out over a process pool.
 _JOBS_CAPABLE = {"run", "record", "replay", "perf", "all", *_STORE_CAPABLE}
 
+#: Experiments whose grid execution can pick a backend (serial/pool/fabric).
+_BACKEND_CAPABLE = {"run", "record", "all", *_STORE_CAPABLE}
 
-def _run_one(name: str, scale, store=None, jobs=None, reuse=False) -> str:
+
+def _run_one(name: str, scale, store=None, jobs=None, backend=None, reuse=False) -> str:
     if name in _STATIC:
         return _STATIC[name]()
     runner, formatter = _SCALED[name]
@@ -118,6 +127,8 @@ def _run_one(name: str, scale, store=None, jobs=None, reuse=False) -> str:
         kwargs["store"] = store
     if jobs is not None and name in _STORE_CAPABLE:
         kwargs["jobs"] = jobs
+    if backend is not None and name in _STORE_CAPABLE:
+        kwargs["backend"] = backend
     if reuse and name in _STORE_CAPABLE:
         kwargs["reuse"] = True
     return formatter(runner(scale=scale, **kwargs))
@@ -150,7 +161,10 @@ def _run_spec(args) -> int:
     store = api.as_store(args.store) if args.store else None
     if isinstance(spec, api.SweepSpec):
         print(f"sweep {spec.name or '(unnamed)'}: {spec.num_points} scenarios")
-        artifacts = api.run_sweep(spec, store=store, jobs=args.jobs, reuse=args.reuse)
+        artifacts = api.run_sweep(
+            spec, store=store, jobs=args.jobs, backend=args.backend,
+            reuse=args.reuse,
+        )
         for artifact in artifacts:
             coords = ", ".join(f"{k}={v}" for k, v in artifact.overrides.items())
             print(f"[{coords}]{'  (reused)' if artifact.reused else ''}")
@@ -166,8 +180,10 @@ def _run_spec(args) -> int:
             }
             _write_json(args.bench_json, record)
         return 0
-    if args.reuse:
-        artifacts = api.run_many([spec], store=store, reuse=True)
+    if args.reuse or args.backend:
+        artifacts = api.run_many(
+            [spec], store=store, backend=args.backend, reuse=args.reuse
+        )
         artifact = artifacts[0]
     else:
         artifact = api.run(spec, store=store)
@@ -202,9 +218,14 @@ def _run_record(args) -> int:
     spec = _apply_overrides(_load_spec_arg(target), args.set or [])
     store = _open_store(args)
     if isinstance(spec, api.SweepSpec):
-        artifacts = api.run_sweep(spec, store=store, jobs=args.jobs, reuse=args.reuse)
-    elif args.reuse:
-        artifacts = api.run_many([spec], store=store, reuse=True)
+        artifacts = api.run_sweep(
+            spec, store=store, jobs=args.jobs, backend=args.backend,
+            reuse=args.reuse,
+        )
+    elif args.reuse or args.backend:
+        artifacts = api.run_many(
+            [spec], store=store, backend=args.backend, reuse=args.reuse
+        )
     else:
         artifacts = [api.run(spec, store=store)]
     for artifact in artifacts:
@@ -264,15 +285,21 @@ def _run_store_maint(args) -> int:
         raise SystemExit("`store` takes exactly one action: gc or fsck")
     store = _open_store(args)
     if args.targets[0] == "gc":
-        report = store.gc()
-        print(f"gc {store.root}: removed {len(report['removed_files'])} "
-              f"orphaned file(s), dropped {len(report['dropped_entries'])} "
+        report = store.gc(dry_run=args.dry_run)
+        verb_past = ("would remove", "would drop") if args.dry_run else (
+            "removed", "dropped"
+        )
+        prefix = "gc --dry-run" if args.dry_run else "gc"
+        print(f"{prefix} {store.root}: {verb_past[0]} "
+              f"{len(report['removed_files'])} orphaned file(s), "
+              f"{verb_past[1]} {len(report['dropped_entries'])} "
               f"dead entr{'y' if len(report['dropped_entries']) == 1 else 'ies'}, "
               f"{report['entries']} record(s) kept")
         for name in report["removed_files"]:
-            print(f"  removed {name}")
+            print(f"  {verb_past[0]} {name}")
         for ref in report["dropped_entries"]:
-            print(f"  dropped {api.store.short_ref(ref)} (record file missing)")
+            print(f"  {verb_past[1]} {api.store.short_ref(ref)} "
+                  "(record file missing)")
         return 0
     report = store.fsck()
     print(f"fsck {store.root}: index rebuilt from records "
@@ -431,6 +458,95 @@ def _run_workload(args) -> int:
     return 0
 
 
+def _run_fabric_cmd(args) -> int:
+    """``fabric submit|worker|status|drain``: the multi-host sweep fabric.
+
+    One shared ``--spool`` directory is the whole deployment story: `submit`
+    spools a spec batch (and with ``--wait`` shepherds it to completion),
+    `worker` runs the claim-execute-ack daemon loop on any host that sees
+    the spool, `status` snapshots per-state task counts, and `drain` tells
+    every worker to exit after its current task.
+    """
+    from .fabric import FabricCoordinator, FabricSpool, FabricWorker
+
+    verbs = ("submit", "worker", "status", "drain")
+    if len(args.targets) != 1 or args.targets[0] not in verbs:
+        raise SystemExit(
+            "usage: tdpipe-bench fabric submit|worker|status|drain --spool DIR"
+        )
+    verb = args.targets[0]
+    if args.spool is None:
+        raise SystemExit("`fabric` needs --spool DIR (the shared spool directory)")
+    spool = FabricSpool(args.spool)
+    if verb == "status":
+        snap = spool.status(lease_timeout_s=args.lease_timeout or 30.0)
+        print(f"spool {spool.root}: {snap['tasks']} task(s)"
+              f"{'  [drain requested]' if snap['drain'] else ''}")
+        for state in ("pending", "running", "stale", "done", "oom", "error",
+                      "quarantined"):
+            if snap[state]:
+                print(f"  {state:<12} {snap[state]}")
+        for worker, held in sorted(snap["workers"].items()):
+            print(f"  worker {worker}: {held} lease(s)")
+        return 1 if snap["quarantined"] or snap["error"] else 0
+    if verb == "drain":
+        spool.request_drain()
+        print(f"drain requested: workers on {spool.root} exit after "
+              "their current task")
+        return 0
+    # submit and worker share the store default: a store inside the spool,
+    # so every host that can see the spool sees the records too.
+    store = api.as_store(args.store or os.path.join(str(spool.root), "store"))
+    if verb == "worker":
+        worker = FabricWorker(spool, store, worker_id=args.worker_id)
+        print(f"fabric worker {worker.worker_id}: spool {spool.root}, "
+              f"store {store.root}")
+        stats = worker.run(max_tasks=args.max_tasks, idle_exit_s=args.idle_exit)
+        print(f"worker {worker.worker_id} exiting: {stats['claimed']} claimed, "
+              f"{stats['executed']} executed, {stats['reused']} reused, "
+              f"{stats['failed']} failed")
+        return 0
+    if args.spec is None:
+        raise SystemExit("`fabric submit` needs --spec PATH_OR_NAME")
+    spec = _apply_overrides(_load_spec_arg(args.spec), args.set or [])
+    if isinstance(spec, api.SweepSpec):
+        points = spec.expand()
+        specs = [point.spec for point in points]
+        overrides = [point.overrides for point in points]
+    else:
+        specs, overrides = [spec], None
+    coordinator = FabricCoordinator(
+        spool,
+        store,
+        lease_timeout_s=args.lease_timeout or 30.0,
+        max_attempts=args.max_attempts or 3,
+    )
+    task_ids = coordinator.submit(specs, reuse=args.reuse, overrides=overrides)
+    print(f"submitted {len(task_ids)} task(s) to {spool.root} "
+          f"(batch {task_ids[0].rsplit('-', 1)[0]}, store {store.root})")
+    if not args.wait:
+        print("start workers with: tdpipe-bench fabric worker "
+              f"--spool {spool.root}")
+        return 0
+    coordinator.wait(task_ids)
+    artifacts = coordinator.collect(task_ids, oom_to_none=True)
+    for artifact in artifacts:
+        if artifact is None:
+            print("(oom)")
+            continue
+        coords = ", ".join(f"{k}={v}" for k, v in artifact.overrides.items())
+        if coords:
+            print(f"[{coords}]{'  (reused)' if artifact.reused else ''}")
+        print(artifact.result.summary())
+    if args.reuse:
+        print(api.ReuseReport.from_artifacts(
+            [a for a in artifacts if a is not None]
+        ).summary())
+    if coordinator.requeues:
+        print(f"{len(coordinator.requeues)} requeue(s) during the batch")
+    return 0
+
+
 def _store_bench_record(store: api.ArtifactStore, experiment: str) -> dict:
     """Bench-JSON successor record: the session's store records, sans detail."""
     return {
@@ -534,6 +650,48 @@ def main(argv: list[str] | None = None) -> int:
         "(default: serial, except `perf` which defaults to all cores; "
         "results and records are identical either way; -1 = all cores)",
     )
+    parallel_opts.add_argument(
+        "--backend", default=None, choices=list(api.BACKENDS),
+        help="grid execution backend: serial (in-process), pool (process "
+        "pool), or fabric (the spooled work queue with --jobs local "
+        "workers); records are identical across backends",
+    )
+    fabric_opts = parser.add_argument_group(
+        "fabric", "multi-host work queue for the `fabric` experiment"
+    )
+    fabric_opts.add_argument(
+        "--spool", default=None, metavar="DIR",
+        help="fabric: the shared spool directory (tasks/leases/results); "
+        "every coordinator and worker of one deployment points here",
+    )
+    fabric_opts.add_argument(
+        "--wait", action="store_true",
+        help="fabric submit: block until the batch completes (requeuing "
+        "stale leases, retrying errors) and print the results",
+    )
+    fabric_opts.add_argument(
+        "--max-tasks", type=int, default=None, metavar="N",
+        help="fabric worker: exit after processing N tasks",
+    )
+    fabric_opts.add_argument(
+        "--idle-exit", type=float, default=None, metavar="S",
+        help="fabric worker: exit after S seconds with nothing claimable "
+        "(default: poll until a drain is requested)",
+    )
+    fabric_opts.add_argument(
+        "--lease-timeout", type=float, default=None, metavar="S",
+        help="fabric submit/status: seconds without a heartbeat before a "
+        "lease counts as dead and the task is requeued (default 30)",
+    )
+    fabric_opts.add_argument(
+        "--max-attempts", type=int, default=None, metavar="N",
+        help="fabric submit --wait: quarantine a task after N failed "
+        "attempts (default 3)",
+    )
+    fabric_opts.add_argument(
+        "--worker-id", default=None, metavar="ID",
+        help="fabric worker: explicit worker id (default: host-pid)",
+    )
     perf_opts = parser.add_argument_group(
         "perf", "benchmark harness for the `perf` experiment"
     )
@@ -603,7 +761,19 @@ def main(argv: list[str] | None = None) -> int:
         help="replay: re-execute drifted records and overwrite them in place "
         "(accept the current code's metrics as the new baseline)",
     )
+    store_opts.add_argument(
+        "--dry-run", action="store_true",
+        help="store gc: print what would be pruned without deleting anything",
+    )
     args = parser.parse_args(argv)
+
+    if args.jobs is not None:
+        # Reject a bad worker count at parse time, before any sweep starts
+        # (resolve_jobs raises the same ValueError inside the API).
+        try:
+            api.resolve_jobs(args.jobs)
+        except ValueError as exc:
+            parser.error(str(exc))
 
     cluster_flags = (
         args.replicas, args.router, args.rate, args.system, args.fleet,
@@ -623,38 +793,64 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(
             f"--jobs only applies to {', '.join(sorted(_JOBS_CAPABLE))}"
         )
-    perf_flags = (
-        args.quick or None, args.min_speedup, args.repeat, args.baseline,
-        args.update_baseline or None, args.waive,
-    )
-    if args.experiment != "perf" and any(v is not None for v in perf_flags):
+    if args.backend is not None and args.experiment not in _BACKEND_CAPABLE:
         parser.error(
-            "--quick/--min-speedup/--repeat/--baseline/--update-baseline/"
-            "--waive only apply to `perf`"
+            f"--backend only applies to {', '.join(sorted(_BACKEND_CAPABLE))}"
+        )
+    fabric_flags = (
+        args.spool, args.wait or None, args.max_tasks, args.idle_exit,
+        args.lease_timeout, args.max_attempts, args.worker_id,
+    )
+    if args.experiment != "fabric" and any(v is not None for v in fabric_flags):
+        parser.error(
+            "--spool/--wait/--max-tasks/--idle-exit/--lease-timeout/"
+            "--max-attempts/--worker-id only apply to `fabric`"
+        )
+    perf_flags = (args.quick or None, args.min_speedup, args.repeat)
+    if args.experiment != "perf" and any(v is not None for v in perf_flags):
+        parser.error("--quick/--min-speedup/--repeat only apply to `perf`")
+    trajectory_flags = (args.baseline, args.update_baseline or None, args.waive)
+    if args.experiment not in ("perf", "cluster") and any(
+        v is not None for v in trajectory_flags
+    ):
+        parser.error(
+            "--baseline/--update-baseline/--waive only apply to `perf` "
+            "and `cluster`"
         )
     if args.update_baseline and args.baseline is None:
         parser.error("--update-baseline requires --baseline")
     if (args.gzip or args.lean) and args.experiment != "record":
         parser.error("--gzip/--lean only apply to `record`")
-    if args.experiment not in ("run", "record") and (args.spec is not None or args.set):
-        parser.error("--spec/--set only apply to `run` and `record`")
+    if args.experiment not in ("run", "record", "fabric") and (
+        args.spec is not None or args.set
+    ):
+        parser.error("--spec/--set only apply to `run`, `record` and `fabric`")
     if args.targets and args.experiment not in (
-        "record", "replay", "diff", "store", "workload"
+        "record", "replay", "diff", "store", "workload", "fabric"
     ):
         parser.error(
             "positional targets only apply to "
-            "`record`/`replay`/`diff`/`store`/`workload`"
+            "`record`/`replay`/`diff`/`store`/`workload`/`fabric`"
         )
-    reuse_users = {"run", "record", *_STORE_CAPABLE}
+    reuse_users = {"run", "record", "fabric", *_STORE_CAPABLE}
     if args.reuse and args.experiment not in reuse_users:
         parser.error(f"--reuse only applies to {', '.join(sorted(reuse_users))}")
-    if args.reuse and args.experiment != "record" and args.store is None:
-        # record defaults to a durable store; the others would otherwise
-        # memoize against nothing (or a throwaway) and always miss.
+    if (
+        args.reuse
+        and args.experiment not in ("record", "fabric")
+        and args.store is None
+    ):
+        # record defaults to a durable store and fabric to a store inside
+        # the spool; the others would otherwise memoize against nothing
+        # (or a throwaway) and always miss.
         parser.error("--reuse needs --store DIR (the store is the memo cache)")
     if args.update and args.experiment != "replay":
         parser.error("--update only applies to `replay`")
-    store_users = {"run", "record", "replay", "diff", "store", *_STORE_CAPABLE}
+    if args.dry_run and args.experiment != "store":
+        parser.error("--dry-run only applies to `store` (gc)")
+    store_users = {
+        "run", "record", "replay", "diff", "store", "fabric", *_STORE_CAPABLE
+    }
     if args.store is not None and args.experiment not in store_users:
         parser.error(f"--store only applies to {', '.join(sorted(store_users))}")
     if args.store_b is not None and args.experiment != "diff":
@@ -668,7 +864,9 @@ def main(argv: list[str] | None = None) -> int:
             "`workload preview` takes --seed only; durations and rates "
             "live in the regime spec"
         )
-    if args.experiment in ("run", "record", "replay", "diff", "perf", "store") and (
+    if args.experiment in (
+        "run", "record", "replay", "diff", "perf", "store", "fabric"
+    ) and (
         args.scale is not None or args.seed is not None or args.full
     ):
         # Silently running a spec at a different scale than requested would
@@ -689,6 +887,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_store_maint(args)
     if args.experiment == "workload":
         return _run_workload(args)
+    if args.experiment == "fabric":
+        return _run_fabric_cmd(args)
     if args.experiment == "run":
         if args.spec is None:
             parser.error("`run` needs --spec PATH_OR_NAME")
@@ -699,7 +899,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=0 if args.seed is None else args.seed,
     )
     single_cluster = args.experiment == "cluster" and any(
-        v is not None for v in (*cluster_flags, args.bench_json)
+        v is not None for v in (*cluster_flags, args.bench_json, args.baseline)
     )
     if single_cluster:
         rate = 8.0 if args.rate is None else args.rate
@@ -753,16 +953,60 @@ def main(argv: list[str] | None = None) -> int:
             )
             print(f"  fleet timeline: {steps}{more}")
             print(f"  replica-seconds: {result.replica_seconds:.1f}")
+        record = {
+            "experiment": "cluster",
+            "rate_rps": rate,
+            "scale": scale.factor,
+            "seed": scale.seed,
+            **artifact.to_record(detail=False),
+            "wall_time_s": wall,
+        }
         if args.bench_json:
-            record = {
-                "experiment": "cluster",
-                "rate_rps": rate,
-                "scale": scale.factor,
-                "seed": scale.seed,
-                **artifact.to_record(detail=False),
-                "wall_time_s": wall,
-            }
             _write_json(args.bench_json, record)
+        if args.baseline is not None:
+            # The cross-PR cluster-trajectory gate: same machinery as `perf
+            # --baseline`, but over simulated metrics with tight tolerances
+            # (the simulator is deterministic — only deliberate model
+            # changes move these numbers).
+            from .perf import (
+                DEFAULT_CLUSTER_TOLERANCES,
+                compare_perf,
+                load_baseline,
+                parse_waivers,
+            )
+
+            try:
+                waivers = parse_waivers(args.waive)
+            except ValueError as exc:
+                raise SystemExit(str(exc)) from None
+            baseline = load_baseline(args.baseline, kind="cluster")
+            failed = False
+            if baseline is None:
+                print(
+                    f"cluster trajectory: no baseline at {args.baseline} "
+                    "(first run on this cache?); skipping comparison"
+                )
+            else:
+                try:
+                    trajectory = compare_perf(
+                        baseline,
+                        record,
+                        tolerances=DEFAULT_CLUSTER_TOLERANCES,
+                        waivers=waivers,
+                    )
+                except ValueError as exc:
+                    raise SystemExit(str(exc)) from None
+                print(trajectory.describe())
+                failed = not trajectory.ok
+            if args.update_baseline and not failed:
+                parent = os.path.dirname(args.baseline)
+                if parent:
+                    os.makedirs(parent, exist_ok=True)
+                _write_json(args.baseline, record)
+            if failed:
+                return 1
+        elif args.waive:
+            raise SystemExit("--waive requires --baseline")
         return 0
     store = throwaway = None
     if args.experiment in _STORE_CAPABLE and (args.store or args.bench_json):
@@ -775,7 +1019,10 @@ def main(argv: list[str] | None = None) -> int:
     names = sorted([*_SCALED, *_STATIC]) if args.experiment == "all" else [args.experiment]
     for name in names:
         t0 = time.time()
-        output = _run_one(name, scale, store=store, jobs=args.jobs, reuse=args.reuse)
+        output = _run_one(
+            name, scale, store=store, jobs=args.jobs, backend=args.backend,
+            reuse=args.reuse,
+        )
         dt = time.time() - t0
         print(f"=== {name} (elapsed {dt:.1f}s) ===")
         print(output)

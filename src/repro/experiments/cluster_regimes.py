@@ -98,6 +98,7 @@ def run_regimes(
     duration_scale: float = 1.0,
     store=None,
     jobs: int | None = None,
+    backend: str | None = None,
     reuse: bool = False,
 ) -> list[dict]:
     """One row per regime preset: whole-run metrics + per-segment slices."""
@@ -115,7 +116,7 @@ def run_regimes(
     )
     rows = []
     for name, artifact in zip(
-        regimes, run_sweep(sweep, store=store, jobs=jobs, reuse=reuse)
+        regimes, run_sweep(sweep, store=store, jobs=jobs, backend=backend, reuse=reuse)
     ):
         result = artifact.result
         rows.append(

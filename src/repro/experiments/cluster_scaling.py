@@ -213,6 +213,7 @@ def run_heterogeneous(
     slo_mix: str = DEFAULT_SLO_MIX,
     store=None,
     jobs: int | None = None,
+    backend: str | None = None,
     reuse: bool = False,
 ) -> list[dict]:
     """Mixed L20/A100 fleet: does capacity normalization earn its keep?
@@ -238,7 +239,7 @@ def run_heterogeneous(
     )
     return [
         _row(a.result, system, a.spec.control.router, rate_rps, slo_mix)
-        for a in run_sweep(sweep, store=store, jobs=jobs, reuse=reuse)
+        for a in run_sweep(sweep, store=store, jobs=jobs, backend=backend, reuse=reuse)
     ]
 
 
@@ -277,6 +278,7 @@ def run_autoscaling(
     slo_mix: str = DEFAULT_SLO_MIX,
     store=None,
     jobs: int | None = None,
+    backend: str | None = None,
     reuse: bool = False,
 ) -> list[dict]:
     """Fixed fleet vs autoscaled fleet on the same workload.
@@ -301,7 +303,7 @@ def run_autoscaling(
         seed=scale.seed,
     )
     rows = []
-    for artifact in run_sweep(sweep, store=store, jobs=jobs, reuse=reuse):
+    for artifact in run_sweep(sweep, store=store, jobs=jobs, backend=backend, reuse=reuse):
         row = _row(artifact.result, system, router, rate_rps, slo_mix)
         row["autoscaled"] = artifact.spec.control.wants_autoscaler
         rows.append(row)

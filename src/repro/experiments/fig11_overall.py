@@ -116,6 +116,7 @@ def run(
     systems: tuple[str, ...] = SYSTEMS,
     store: api.ArtifactStore | None = None,
     jobs: int | None = None,
+    backend: str | None = None,
     reuse: bool = False,
 ) -> Fig11Result:
     """Regenerate Figure 11 at the given workload scale.
@@ -142,6 +143,7 @@ def run(
         artifacts = api.run_many(
             [point.spec for point in points],
             jobs=jobs,
+            backend=backend,
             oom_to_none=True,
             store=store,
             reuse=reuse,

@@ -88,6 +88,7 @@ def run(
     num_gpus: int = 4,
     store: api.ArtifactStore | None = None,
     jobs: int | None = None,
+    backend: str | None = None,
     reuse: bool = False,
 ) -> list[PrefillSwitchAblation]:
     """Run the registered ``fig13-prefill-switch`` grid per config.
@@ -108,7 +109,7 @@ def run(
         )
         ratio_tp: dict[float, float] = {}
         tdpipe_tp = 0.0
-        for artifact in run_sweep(sweep, store=store, jobs=jobs, reuse=reuse):
+        for artifact in run_sweep(sweep, store=store, jobs=jobs, backend=backend, reuse=reuse):
             policy = artifact.spec.engine.prefill_policy
             if policy is None:
                 tdpipe_tp = artifact.result.throughput

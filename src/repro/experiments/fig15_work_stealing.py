@@ -78,6 +78,7 @@ def run(
     num_gpus: int = 4,
     store=None,
     jobs: int | None = None,
+    backend: str | None = None,
     reuse: bool = False,
 ) -> list[WorkStealingAblation]:
     scale = scale or default_scale()
@@ -92,7 +93,7 @@ def run(
         )
         by_mode = {
             a.spec.engine.work_stealing: a.result.throughput
-            for a in run_sweep(sweep, store=store, jobs=jobs, reuse=reuse)
+            for a in run_sweep(sweep, store=store, jobs=jobs, backend=backend, reuse=reuse)
         }
         out.append(
             WorkStealingAblation(

@@ -89,6 +89,7 @@ def run(
     num_gpus: int = 4,
     store: api.ArtifactStore | None = None,
     jobs: int | None = None,
+    backend: str | None = None,
     reuse: bool = False,
 ) -> list[DecodeSwitchAblation]:
     """Run the registered ``fig16-decode-switch`` grid per config.
@@ -109,7 +110,7 @@ def run(
         )
         ratio_tp: dict[float, float] = {}
         tdpipe_tp = 0.0
-        for artifact in run_sweep(sweep, store=store, jobs=jobs, reuse=reuse):
+        for artifact in run_sweep(sweep, store=store, jobs=jobs, backend=backend, reuse=reuse):
             policy = artifact.spec.engine.decode_policy
             if policy is None:
                 tdpipe_tp = artifact.result.throughput

@@ -1,0 +1,33 @@
+"""Distributed sweep fabric: a fault-tolerant multi-worker queue over the store.
+
+PR 6 made the :class:`~repro.api.store.ArtifactStore` a provenance-gated
+memo cache and PR 5 a process pool; this package supplies the missing
+multi-host half: a filesystem-spooled work queue
+(:class:`~repro.fabric.queue.FabricSpool`) that ships resolved specs out to
+independent :class:`~repro.fabric.worker.FabricWorker` processes — on one
+machine or across hosts sharing a filesystem — and collects
+:class:`~repro.api.runner.RunArtifact` records back through the shared
+store, with results bit-identical to serial execution.
+
+The :class:`~repro.fabric.coordinator.FabricCoordinator` owns all failure
+policy (lease-expiry requeue when a worker dies mid-task, bounded retry
+with exponential backoff, poison-task quarantine);
+:func:`~repro.fabric.coordinator.run_fabric` is the one-call local form and
+the ``backend="fabric"`` implementation behind ``run_many``/``run_sweep``.
+
+CLI: ``tdpipe-bench fabric submit|worker|status|drain`` (multi-host), or
+``tdpipe-bench run --spec ... --backend fabric --jobs N`` (single host).
+"""
+
+from .coordinator import FabricCoordinator, run_fabric, spawn_local_workers
+from .queue import FabricSpool, FabricTask
+from .worker import FabricWorker
+
+__all__ = [
+    "FabricSpool",
+    "FabricTask",
+    "FabricWorker",
+    "FabricCoordinator",
+    "run_fabric",
+    "spawn_local_workers",
+]

@@ -1,0 +1,324 @@
+"""Fabric coordinator: submit batches, own the robustness policy, collect.
+
+The coordinator is the hub of the fabric's hub-and-spoke shape: it turns a
+spec batch into spooled tasks, watches the spool while any number of
+workers (local processes or remote hosts on a shared filesystem) chew
+through it, and reconstructs submission-order results from the shared
+store.  All failure policy lives here — workers only ever report:
+
+* **lease-expiry requeue** — a lease whose mtime stopped advancing for
+  ``lease_timeout_s`` means the worker died mid-task (SIGKILL, lost host).
+  The coordinator deletes the stale lease, counts one failed attempt, and
+  the task becomes claimable again.  Determinism makes this safe: whoever
+  re-executes the task files a byte-identical record under the same
+  content hash, so a zombie worker racing the requeue cannot corrupt the
+  store — worst case it re-files the same record.
+* **bounded retry with exponential backoff** — an ``error`` ack is retried
+  after ``backoff_base_s * 2**(failures-1)``; the result file is left in
+  place during the backoff window so no worker re-claims the task early.
+* **poison-task quarantine** — after ``max_attempts`` failed attempts the
+  task file is moved out of circulation and the failure surfaces as
+  :class:`~repro.api.parallel.SpecExecutionError` with the spec's batch
+  index and name, exactly like the pool backend.
+
+``oom`` acks are terminal, never retried (an OOM layout is a property of
+the spec, not of the attempt); whether they surface as ``None`` or raise
+:class:`~repro.kvcache.capacity.OutOfMemoryError` is decided at collect
+time via ``oom_to_none``, mirroring ``run_many``.
+
+:func:`run_fabric` is the single-call convenience: temp spool, N local
+worker processes, submit + wait + collect, drain and clean up.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
+
+from .queue import FabricSpool
+from .worker import _worker_entry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.runner import RunArtifact
+    from ..api.spec import ScenarioSpec
+    from ..api.store import ArtifactStore
+
+__all__ = ["FabricCoordinator", "run_fabric", "spawn_local_workers"]
+
+
+@dataclass
+class _TaskWatch:
+    """Coordinator-side robustness state for one in-flight task."""
+
+    failures: int = 0
+    #: Monotonic deadline before which a failed task must not be requeued
+    #: (the exponential-backoff window); None when not awaiting retry.
+    retry_at: float | None = None
+    errors: list[str] = field(default_factory=list)
+
+
+class FabricCoordinator:
+    """Submit spec batches to a spool and shepherd them to completion."""
+
+    def __init__(
+        self,
+        spool: FabricSpool | str,
+        store: "ArtifactStore | str",
+        *,
+        lease_timeout_s: float = 30.0,
+        max_attempts: int = 3,
+        backoff_base_s: float = 0.25,
+        poll_interval_s: float = 0.05,
+    ) -> None:
+        from ..api.store import as_store
+
+        self.spool = spool if isinstance(spool, FabricSpool) else FabricSpool(spool)
+        self.store = as_store(store)
+        if self.store.lean:
+            raise ValueError(
+                "the fabric needs a full-detail store: lean records cannot be "
+                "reconstructed into RunArtifacts at collect time"
+            )
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.lease_timeout_s = lease_timeout_s
+        self.max_attempts = max_attempts
+        self.backoff_base_s = backoff_base_s
+        self.poll_interval_s = poll_interval_s
+        #: Requeue audit trail: one entry per failed attempt the coordinator
+        #: acted on — ``{"task_id", "reason", "failures"}``.
+        self.requeues: list[dict[str, Any]] = []
+        self._watch: dict[str, _TaskWatch] = {}
+
+    # -- submit ----------------------------------------------------------- #
+    def submit(
+        self,
+        specs: Iterable["ScenarioSpec"],
+        *,
+        reuse: bool = False,
+        overrides: Sequence[Mapping[str, Any]] | None = None,
+        batch: str | None = None,
+    ) -> list[str]:
+        """Resolve and spool one task per spec; return task ids in order."""
+        resolved = [spec.resolved() for spec in specs]
+        task_ids = self.spool.submit(
+            [spec.to_dict() for spec in resolved],
+            names=[spec.name or spec.describe() for spec in resolved],
+            reuse=reuse,
+            overrides=overrides,
+            batch=batch,
+        )
+        for task_id in task_ids:
+            self._watch[task_id] = _TaskWatch()
+        return task_ids
+
+    # -- the robustness loop ---------------------------------------------- #
+    def wait(
+        self, task_ids: Sequence[str], *, timeout_s: float | None = None
+    ) -> None:
+        """Block until every task is terminal, requeuing and retrying.
+
+        Raises :class:`~repro.api.parallel.SpecExecutionError` when a task
+        exhausts ``max_attempts`` (it is quarantined first), and
+        :class:`TimeoutError` when ``timeout_s`` elapses with work pending.
+        """
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        pending = set(task_ids)
+        while pending:
+            for task_id in sorted(pending):
+                if self._poll_one(task_id):
+                    pending.discard(task_id)
+            if not pending:
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"fabric batch timed out after {timeout_s:g}s with "
+                    f"{len(pending)} task(s) unfinished (spool {self.spool.root})"
+                )
+            time.sleep(self.poll_interval_s)
+
+    def _poll_one(self, task_id: str) -> bool:
+        """Advance one task's state machine; True when terminal."""
+        watch = self._watch.setdefault(task_id, _TaskWatch())
+        if watch.retry_at is not None:
+            # Backoff window: the stale lease / error result is deliberately
+            # left in place so no worker re-claims the task early.
+            if time.monotonic() >= watch.retry_at:
+                self.spool.requeue(task_id)
+                watch.retry_at = None
+            return False
+        result = self.spool.read_result(task_id)
+        if result is not None:
+            status = result.get("status")
+            if status in ("done", "oom"):
+                return True
+            self._attempt_failed(
+                task_id, result.get("error", "worker reported an error")
+            )
+            return False
+        age = self.spool.lease_age_s(task_id)
+        if age is not None and age > self.lease_timeout_s:
+            self._attempt_failed(
+                task_id,
+                f"lease expired after {age:.1f}s without a heartbeat "
+                "(worker died mid-task?)",
+            )
+        return False
+
+    def _attempt_failed(self, task_id: str, reason: str) -> None:
+        from ..api.parallel import SpecExecutionError
+
+        watch = self._watch[task_id]
+        watch.failures += 1
+        watch.errors.append(reason)
+        self.requeues.append(
+            {"task_id": task_id, "reason": reason, "failures": watch.failures}
+        )
+        if watch.failures >= self.max_attempts:
+            task = self.spool.load_task(task_id)
+            self.spool.quarantine(task_id, reason, watch.failures)
+            raise SpecExecutionError(
+                task.index,
+                task.name,
+                f"{reason} (quarantined after {watch.failures} attempt(s))",
+            )
+        # Exponential backoff before the task becomes claimable again.
+        watch.retry_at = (
+            time.monotonic() + self.backoff_base_s * 2 ** (watch.failures - 1)
+        )
+
+    # -- collect ----------------------------------------------------------- #
+    def collect(
+        self, task_ids: Sequence[str], *, oom_to_none: bool = False
+    ) -> list["RunArtifact | None"]:
+        """Reconstruct submission-order artifacts from the shared store."""
+        from ..api.runner import RunArtifact
+        from ..kvcache.capacity import OutOfMemoryError
+
+        artifacts: list[RunArtifact | None] = []
+        for task_id in task_ids:
+            result = self.spool.read_result(task_id)
+            if result is None or result.get("status") not in ("done", "oom"):
+                raise RuntimeError(
+                    f"task {task_id} is not terminal; call wait() first"
+                )
+            if result["status"] == "oom":
+                if oom_to_none:
+                    artifacts.append(None)
+                    continue
+                raise OutOfMemoryError(
+                    result.get("error", "layout cannot hold the model")
+                )
+            task = self.spool.load_task(task_id)
+            artifact = RunArtifact.from_record(self.store.get_record(result["ref"]))
+            # Memo hits keep whatever coordinates their old record carried;
+            # restamp so hits and misses both wear this batch's coordinates
+            # (run_many does the same after its reuse lookup).
+            artifact.overrides = dict(task.overrides)
+            artifact.reused = bool(result.get("reused", False))
+            artifacts.append(artifact)
+        return artifacts
+
+
+def spawn_local_workers(
+    spool: FabricSpool,
+    store: "ArtifactStore",
+    workers: int,
+    *,
+    poll_interval_s: float = 0.05,
+    heartbeat_interval_s: float = 0.5,
+) -> list[mp.Process]:
+    """Start N local fabric worker processes against a spool + store."""
+    ctx = mp.get_context(
+        "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    )
+    processes = []
+    for i in range(workers):
+        proc = ctx.Process(
+            target=_worker_entry,
+            args=(
+                str(spool.root),
+                str(store.root),
+                store.compress,
+                f"local-{i}",
+                poll_interval_s,
+                heartbeat_interval_s,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        processes.append(proc)
+    return processes
+
+
+def run_fabric(
+    specs: Iterable["ScenarioSpec"],
+    *,
+    workers: int = 1,
+    store: "ArtifactStore | str | None" = None,
+    spool: FabricSpool | str | None = None,
+    reuse: bool = False,
+    oom_to_none: bool = False,
+    overrides: Sequence[Mapping[str, Any]] | None = None,
+    lease_timeout_s: float = 15.0,
+    max_attempts: int = 3,
+    backoff_base_s: float = 0.25,
+    poll_interval_s: float = 0.05,
+    heartbeat_interval_s: float = 0.5,
+    timeout_s: float | None = None,
+) -> list["RunArtifact | None"]:
+    """Run a spec batch on N freshly spawned local fabric workers.
+
+    The single-host convenience wrapper (and the ``run_many``/``run_sweep``
+    ``backend="fabric"`` implementation): everything still flows through the
+    spool + shared store exactly as a multi-host deployment would, so the
+    coordination layer is exercised end to end.  With ``spool=None`` a
+    temporary spool is used and removed afterwards; with ``store=None`` the
+    records land in a store inside that temp spool (the reconstructed
+    artifacts are still returned).
+    """
+    from ..api.store import ArtifactStore, as_store
+
+    if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+        raise ValueError(f"workers must be a positive integer, got {workers!r}")
+    tmp_root = None
+    if spool is None:
+        tmp_root = tempfile.mkdtemp(prefix="tdpipe-spool-")
+        spool = tmp_root
+    spool = spool if isinstance(spool, FabricSpool) else FabricSpool(spool)
+    store_obj = (
+        ArtifactStore(spool.root / "store") if store is None else as_store(store)
+    )
+    coordinator = FabricCoordinator(
+        spool,
+        store_obj,
+        lease_timeout_s=lease_timeout_s,
+        max_attempts=max_attempts,
+        backoff_base_s=backoff_base_s,
+        poll_interval_s=poll_interval_s,
+    )
+    task_ids = coordinator.submit(specs, reuse=reuse, overrides=overrides)
+    processes = spawn_local_workers(
+        spool,
+        store_obj,
+        workers,
+        poll_interval_s=poll_interval_s,
+        heartbeat_interval_s=heartbeat_interval_s,
+    )
+    try:
+        coordinator.wait(task_ids, timeout_s=timeout_s)
+        return coordinator.collect(task_ids, oom_to_none=oom_to_none)
+    finally:
+        spool.request_drain()
+        for proc in processes:
+            proc.join(timeout=5.0)
+        for proc in processes:
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        if tmp_root is not None:
+            shutil.rmtree(tmp_root, ignore_errors=True)

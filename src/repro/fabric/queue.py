@@ -1,0 +1,374 @@
+"""Filesystem-spooled work queue: the fabric's shared coordination medium.
+
+The distributed sweep fabric needs exactly one piece of shared state between
+a coordinator and any number of workers, and a directory on a shared
+filesystem is enough: every resolved :class:`~repro.api.spec.ScenarioSpec`
+is plain canonical JSON, every result is a content-addressed ref into the
+shared :class:`~repro.api.store.ArtifactStore`, so the queue only has to
+move small task descriptors and acks.  Layout under one spool root::
+
+    <spool>/
+      tasks/<task_id>.json       # one resolved-spec task descriptor each
+      leases/<task_id>.json      # O_EXCL claim: worker id + heartbeat stamp
+      results/<task_id>.json     # terminal ack: done/oom/error (+ store ref)
+      quarantine/<task_id>.json  # poison tasks pulled out of circulation
+      DRAIN                      # sentinel: workers exit instead of claiming
+
+State machine per task (the *files* are the state — no daemon owns it):
+
+* **pending** — task file exists, no lease, no result.  Claimable.
+* **running** — lease file exists and its mtime is fresh.  The lease is
+  created with ``O_CREAT | O_EXCL``, which is atomic on POSIX filesystems
+  (and on NFSv3+ for exclusive creates), so exactly one worker wins a task.
+  The winner refreshes the lease mtime on a heartbeat thread.
+* **done / oom / error** — a result file exists (written atomically via
+  rename).  ``done`` acks carry the store ref the record was filed under.
+* **stale** — lease exists but its mtime stopped advancing: the worker died
+  mid-task.  The coordinator deletes the lease after ``lease_timeout_s`` and
+  the task becomes claimable again (lease-expiry requeue).
+* **quarantined** — failed ``max_attempts`` times; the coordinator moves the
+  task file out of ``tasks/`` so no worker can ever claim it again, and
+  keeps the last error alongside for the post-mortem.
+
+All writes that other hosts may observe mid-flight go through
+write-tmp-then-``os.replace`` so readers only ever see complete JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+__all__ = ["FabricSpool", "FabricTask"]
+
+_TASKS = "tasks"
+_LEASES = "leases"
+_RESULTS = "results"
+_QUARANTINE = "quarantine"
+_DRAIN = "DRAIN"
+
+#: Terminal result statuses a worker may ack.
+RESULT_STATUSES = ("done", "oom", "error")
+
+
+@dataclass(frozen=True)
+class FabricTask:
+    """One unit of fabric work: a resolved spec plus batch bookkeeping.
+
+    ``index`` is the task's position in its submission batch — the
+    coordinator reconstructs submission-order results from it, and it names
+    the failing grid point in :class:`~repro.api.parallel.SpecExecutionError`
+    exactly like the pool backend does.
+    """
+
+    task_id: str
+    index: int
+    name: str
+    spec: dict[str, Any]
+    #: Serve this task from the shared store when a provenance-matched
+    #: record exists (the memoizing-store check; see repro.api.parallel).
+    reuse: bool = False
+    #: Sweep coordinates, stamped on the artifact before it is filed so
+    #: fabric-produced records match serial ``run_sweep`` records.
+    overrides: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "task_id": self.task_id,
+            "index": self.index,
+            "name": self.name,
+            "spec": self.spec,
+            "reuse": self.reuse,
+            "overrides": dict(self.overrides),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FabricTask":
+        return cls(
+            task_id=str(data["task_id"]),
+            index=int(data["index"]),
+            name=str(data["name"]),
+            spec=dict(data["spec"]),
+            reuse=bool(data.get("reuse", False)),
+            overrides=dict(data.get("overrides", {})),
+        )
+
+
+def _write_atomic(path: Path, payload: dict[str, Any]) -> None:
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    with open(tmp, "w") as fh:
+        json.dump(payload, fh, indent=2, allow_nan=False)
+        fh.write("\n")
+    os.replace(tmp, path)
+
+
+def _read_json(path: Path) -> dict[str, Any] | None:
+    """Read a spool JSON file; ``None`` when it vanished under us (a race
+    with another host's requeue/cleanup, not an error)."""
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (FileNotFoundError, json.JSONDecodeError):
+        return None
+
+
+class FabricSpool:
+    """The on-disk task queue: atomic claims, heartbeats, acks, quarantine."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+
+    # -- paths ---------------------------------------------------------- #
+    @property
+    def tasks_dir(self) -> Path:
+        return self.root / _TASKS
+
+    @property
+    def leases_dir(self) -> Path:
+        return self.root / _LEASES
+
+    @property
+    def results_dir(self) -> Path:
+        return self.root / _RESULTS
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / _QUARANTINE
+
+    @property
+    def drain_path(self) -> Path:
+        return self.root / _DRAIN
+
+    def _task_path(self, task_id: str) -> Path:
+        return self.tasks_dir / f"{task_id}.json"
+
+    def _lease_path(self, task_id: str) -> Path:
+        return self.leases_dir / f"{task_id}.json"
+
+    def _result_path(self, task_id: str) -> Path:
+        return self.results_dir / f"{task_id}.json"
+
+    def ensure_layout(self) -> None:
+        for directory in (
+            self.tasks_dir, self.leases_dir, self.results_dir, self.quarantine_dir
+        ):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    # -- submission ------------------------------------------------------ #
+    @staticmethod
+    def new_batch_id() -> str:
+        """A sortable, collision-free batch prefix (time + random tail)."""
+        stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+        return f"b{stamp}-{uuid.uuid4().hex[:6]}"
+
+    def submit(
+        self,
+        spec_dicts: Sequence[Mapping[str, Any]],
+        *,
+        names: Sequence[str],
+        reuse: bool = False,
+        overrides: Sequence[Mapping[str, Any]] | None = None,
+        batch: str | None = None,
+    ) -> list[str]:
+        """Spool one task file per resolved spec; return task ids in order.
+
+        Task ids embed the batch prefix and the zero-padded submission index,
+        so lexicographic order within a batch *is* submission order and
+        workers scanning ``tasks/`` pick work up in a stable sequence.
+        """
+        if overrides is not None and len(overrides) != len(spec_dicts):
+            raise ValueError(
+                f"got {len(overrides)} override dicts for {len(spec_dicts)} specs"
+            )
+        self.ensure_layout()
+        batch = batch or self.new_batch_id()
+        task_ids = []
+        for index, spec in enumerate(spec_dicts):
+            task = FabricTask(
+                task_id=f"{batch}-{index:05d}",
+                index=index,
+                name=str(names[index]),
+                spec=dict(spec),
+                reuse=reuse,
+                overrides=dict(overrides[index]) if overrides is not None else {},
+            )
+            _write_atomic(self._task_path(task.task_id), task.to_dict())
+            task_ids.append(task.task_id)
+        return task_ids
+
+    # -- task access ----------------------------------------------------- #
+    def task_ids(self) -> list[str]:
+        """Every spooled (non-quarantined) task id, in lexicographic order."""
+        if not self.tasks_dir.exists():
+            return []
+        return sorted(
+            path.stem for path in self.tasks_dir.glob("*.json")
+            if not path.name.endswith(".tmp")
+        )
+
+    def load_task(self, task_id: str) -> FabricTask:
+        data = _read_json(self._task_path(task_id))
+        if data is None:
+            data = _read_json(self.quarantine_dir / f"{task_id}.json")
+        if data is None:
+            raise KeyError(f"spool {self.root} has no task {task_id!r}")
+        return FabricTask.from_dict(data)
+
+    # -- leases ---------------------------------------------------------- #
+    def claim(self, task_id: str, worker_id: str) -> bool:
+        """Atomically claim a task; False when another worker holds it.
+
+        The ``O_CREAT | O_EXCL`` open is the whole mutual-exclusion story:
+        the filesystem guarantees exactly one creator, so two workers racing
+        on the same task file cannot both win.
+        """
+        self.leases_dir.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {
+                "worker": worker_id,
+                "pid": os.getpid(),
+                "claimed_at": time.time(),
+                "heartbeat": time.time(),
+            },
+            indent=2,
+        )
+        try:
+            fd = os.open(
+                self._lease_path(task_id), os.O_CREAT | os.O_EXCL | os.O_WRONLY
+            )
+        except FileExistsError:
+            return False
+        try:
+            os.write(fd, (payload + "\n").encode("utf-8"))
+        finally:
+            os.close(fd)
+        return True
+
+    def heartbeat(self, task_id: str, worker_id: str) -> None:
+        """Refresh a held lease's mtime (and stamp the wall-clock time).
+
+        Staleness is judged by the lease file's mtime as the *observer* sees
+        it — on a shared filesystem that is the server's clock, which all
+        hosts agree on far better than their own wall clocks.
+        """
+        lease = _read_json(self._lease_path(task_id)) or {}
+        lease.update(worker=worker_id, pid=os.getpid(), heartbeat=time.time())
+        lease.setdefault("claimed_at", lease["heartbeat"])
+        _write_atomic(self._lease_path(task_id), lease)
+
+    def release(self, task_id: str) -> None:
+        try:
+            os.unlink(self._lease_path(task_id))
+        except FileNotFoundError:
+            pass
+
+    def lease_info(self, task_id: str) -> dict[str, Any] | None:
+        return _read_json(self._lease_path(task_id))
+
+    def lease_age_s(self, task_id: str) -> float | None:
+        """Seconds since the lease last heartbeat; None when unleased."""
+        try:
+            mtime = self._lease_path(task_id).stat().st_mtime
+        except FileNotFoundError:
+            return None
+        return max(0.0, time.time() - mtime)
+
+    # -- results --------------------------------------------------------- #
+    def write_result(self, task_id: str, payload: Mapping[str, Any]) -> None:
+        if payload.get("status") not in RESULT_STATUSES:
+            raise ValueError(
+                f"result status must be one of {RESULT_STATUSES}, "
+                f"got {payload.get('status')!r}"
+            )
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        _write_atomic(self._result_path(task_id), dict(payload))
+
+    def read_result(self, task_id: str) -> dict[str, Any] | None:
+        return _read_json(self._result_path(task_id))
+
+    def clear_result(self, task_id: str) -> None:
+        try:
+            os.unlink(self._result_path(task_id))
+        except FileNotFoundError:
+            pass
+
+    # -- robustness primitives ------------------------------------------- #
+    def requeue(self, task_id: str) -> None:
+        """Make a task claimable again: drop its lease and any result."""
+        self.clear_result(task_id)
+        self.release(task_id)
+
+    def quarantine(self, task_id: str, error: str, attempts: int) -> None:
+        """Pull a poison task out of circulation, keeping the evidence."""
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        task_path = self._task_path(task_id)
+        target = self.quarantine_dir / task_path.name
+        try:
+            os.replace(task_path, target)
+        except FileNotFoundError:
+            pass
+        _write_atomic(
+            self.quarantine_dir / f"{task_id}.error.json",
+            {"task_id": task_id, "error": error, "attempts": attempts},
+        )
+        self.requeue(task_id)
+
+    def quarantined_ids(self) -> list[str]:
+        if not self.quarantine_dir.exists():
+            return []
+        return sorted(
+            path.stem for path in self.quarantine_dir.glob("*.json")
+            if not path.name.endswith(".error.json")
+        )
+
+    # -- drain ----------------------------------------------------------- #
+    def request_drain(self) -> None:
+        """Tell every worker to exit instead of claiming more work."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.drain_path.touch()
+
+    def clear_drain(self) -> None:
+        try:
+            os.unlink(self.drain_path)
+        except FileNotFoundError:
+            pass
+
+    def drain_requested(self) -> bool:
+        return self.drain_path.exists()
+
+    # -- observability ---------------------------------------------------- #
+    def status(self, *, lease_timeout_s: float = 30.0) -> dict[str, Any]:
+        """One snapshot of the whole spool: per-state counts plus workers."""
+        counts = {
+            "pending": 0, "running": 0, "stale": 0,
+            "done": 0, "oom": 0, "error": 0,
+        }
+        workers: dict[str, int] = {}
+        for task_id in self.task_ids():
+            result = self.read_result(task_id)
+            if result is not None:
+                counts[result.get("status", "error")] += 1
+                continue
+            age = self.lease_age_s(task_id)
+            if age is None:
+                counts["pending"] += 1
+            elif age > lease_timeout_s:
+                counts["stale"] += 1
+            else:
+                counts["running"] += 1
+                lease = self.lease_info(task_id) or {}
+                worker = str(lease.get("worker", "?"))
+                workers[worker] = workers.get(worker, 0) + 1
+        quarantined = self.quarantined_ids()
+        return {
+            **counts,
+            "quarantined": len(quarantined),
+            "tasks": sum(counts.values()) + len(quarantined),
+            "drain": self.drain_requested(),
+            "workers": workers,
+        }

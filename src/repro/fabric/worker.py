@@ -1,0 +1,232 @@
+"""Fabric worker: claim tasks, memo-check the store, execute, ack.
+
+A worker is a daemon loop over the spool: scan ``tasks/`` in order, claim
+the first task that has neither a lease nor a result (atomic ``O_EXCL``
+lease creation — see :mod:`repro.fabric.queue`), then
+
+1. check the shared :class:`~repro.api.store.ArtifactStore` first when the
+   task asks for reuse — a record filed under the spec's content hash with a
+   matching code-provenance stamp is acked as a hit without executing
+   anything (the store *is* the memo cache, exactly as in
+   ``run_many(reuse=True)``);
+2. execute misses through the one true :func:`repro.api.run`, stamp the
+   task's sweep coordinates, and file the full-detail record into the
+   shared store — the store is also the result transport, the ack only
+   carries the ref;
+3. write the terminal result file and release the lease (in that order, so
+   a task is never simultaneously unleased and unacked, i.e. claimable
+   twice).
+
+While a task runs, a daemon heartbeat thread refreshes the lease mtime
+every ``heartbeat_interval_s``; a worker that dies mid-task (crash, OOM
+kill, lost host) simply stops heartbeating and the coordinator requeues the
+task after ``lease_timeout_s``.  The simulator is deterministic, so a
+re-executed task files a byte-identical record (modulo wall time) under the
+same content hash — a requeue can never fork the results.
+
+Failure acks: :class:`~repro.kvcache.capacity.OutOfMemoryError` is acked as
+``oom`` (deterministic — retrying cannot help; the coordinator decides
+whether it is tolerated), every other exception as ``error`` with the type
+and message (the coordinator owns bounded retry and quarantine).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from typing import TYPE_CHECKING, Any
+
+from .queue import FabricSpool, FabricTask
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.store import ArtifactStore
+
+__all__ = ["FabricWorker"]
+
+#: Test seams (documented, like ``TDPIPE_CODE_FINGERPRINT``): a crash- or
+#: failure-injection hook has to live *inside* the worker process to prove
+#: the lease-expiry and retry paths end to end.
+_ENV_TEST_DELAY = "TDPIPE_FABRIC_TEST_DELAY_S"
+_ENV_TEST_FAIL = "TDPIPE_FABRIC_TEST_FAIL"
+
+
+class _Heartbeat(threading.Thread):
+    """Refresh one task's lease mtime until stopped (daemon thread)."""
+
+    def __init__(
+        self, spool: FabricSpool, task_id: str, worker_id: str, interval_s: float
+    ) -> None:
+        super().__init__(name=f"heartbeat-{task_id}", daemon=True)
+        self.spool = spool
+        self.task_id = task_id
+        self.worker_id = worker_id
+        self.interval_s = interval_s
+        # Not named _stop: Thread's internals own that attribute.
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.wait(self.interval_s):
+            try:
+                self.spool.heartbeat(self.task_id, self.worker_id)
+            except OSError:  # pragma: no cover - transient fs hiccup
+                pass
+
+    def stop(self) -> None:
+        self._halt.set()
+
+
+class FabricWorker:
+    """One worker process' claim-execute-ack loop over a shared spool."""
+
+    def __init__(
+        self,
+        spool: FabricSpool | str | os.PathLike,
+        store: "ArtifactStore | str | os.PathLike",
+        *,
+        worker_id: str | None = None,
+        poll_interval_s: float = 0.2,
+        heartbeat_interval_s: float = 1.0,
+    ) -> None:
+        from ..api.store import as_store
+
+        self.spool = spool if isinstance(spool, FabricSpool) else FabricSpool(spool)
+        self.store = as_store(store)
+        if self.store.lean:
+            raise ValueError(
+                "fabric workers need a full-detail store: lean records cannot "
+                "be reconstructed into the artifacts the coordinator collects"
+            )
+        self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+        self.poll_interval_s = poll_interval_s
+        self.heartbeat_interval_s = heartbeat_interval_s
+
+    # -- the daemon loop ------------------------------------------------- #
+    def run(
+        self,
+        *,
+        max_tasks: int | None = None,
+        idle_exit_s: float | None = None,
+    ) -> dict[str, int]:
+        """Claim and process tasks until drained (or bounded by the knobs).
+
+        ``max_tasks`` caps how many tasks this worker processes;
+        ``idle_exit_s`` exits after that long with nothing claimable
+        (otherwise the worker polls forever, waiting for the drain
+        sentinel).  Returns ``{"claimed", "executed", "reused", "failed"}``.
+        """
+        stats = {"claimed": 0, "executed": 0, "reused": 0, "failed": 0}
+        idle_since: float | None = None
+        while True:
+            if self.spool.drain_requested():
+                break
+            if max_tasks is not None and stats["claimed"] >= max_tasks:
+                break
+            task = self._claim_next()
+            if task is None:
+                now = time.time()
+                idle_since = idle_since if idle_since is not None else now
+                if idle_exit_s is not None and now - idle_since >= idle_exit_s:
+                    break
+                time.sleep(self.poll_interval_s)
+                continue
+            idle_since = None
+            stats["claimed"] += 1
+            outcome = self._run_claimed(task)
+            stats[outcome] += 1
+        return stats
+
+    def _claim_next(self) -> FabricTask | None:
+        for task_id in self.spool.task_ids():
+            if self.spool.read_result(task_id) is not None:
+                continue
+            if self.spool.lease_info(task_id) is not None:
+                continue
+            if not self.spool.claim(task_id, self.worker_id):
+                continue  # lost the race — move on to the next task
+            try:
+                return self.spool.load_task(task_id)
+            except KeyError:
+                # Quarantined between scan and claim; give the lease back.
+                self.spool.release(task_id)
+        return None
+
+    # -- one task --------------------------------------------------------- #
+    def _run_claimed(self, task: FabricTask) -> str:
+        heartbeat = _Heartbeat(
+            self.spool, task.task_id, self.worker_id, self.heartbeat_interval_s
+        )
+        heartbeat.start()
+        try:
+            result = self._execute(task)
+            self.spool.write_result(task.task_id, result)
+        finally:
+            heartbeat.stop()
+            heartbeat.join(timeout=2.0)
+            # Release strictly after the ack: between the two the task holds
+            # both files, never neither, so it cannot be claimed twice.
+            self.spool.release(task.task_id)
+        status = result["status"]
+        if status == "done":
+            return "reused" if result.get("reused") else "executed"
+        return "failed"
+
+    def _execute(self, task: FabricTask) -> dict[str, Any]:
+        from ..api.parallel import stored_artifact_for
+        from ..api.runner import run
+        from ..api.spec import ScenarioSpec
+        from ..api.store.canonical import content_hash
+        from ..kvcache.capacity import OutOfMemoryError
+
+        base = {"worker": self.worker_id, "task_id": task.task_id}
+        try:
+            delay = float(os.environ.get(_ENV_TEST_DELAY, "0") or 0.0)
+            if delay > 0:
+                time.sleep(delay)
+            if os.environ.get(_ENV_TEST_FAIL):
+                raise RuntimeError(f"injected failure ({_ENV_TEST_FAIL})")
+            spec = ScenarioSpec.from_dict(task.spec)
+            if task.reuse:
+                hit = stored_artifact_for(self.store, spec)
+                if hit is not None:
+                    return {
+                        **base,
+                        "status": "done",
+                        "ref": content_hash(spec),
+                        "reused": True,
+                    }
+            artifact = run(spec)
+            if task.overrides:
+                artifact.overrides = dict(task.overrides)
+            ref = self.store.put(artifact)
+            return {**base, "status": "done", "ref": ref, "reused": False}
+        except OutOfMemoryError as exc:
+            return {**base, "status": "oom", "error": str(exc)}
+        except Exception as exc:
+            return {
+                **base,
+                "status": "error",
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+
+
+def _worker_entry(
+    spool_root: str,
+    store_root: str,
+    compress: bool,
+    worker_id: str,
+    poll_interval_s: float,
+    heartbeat_interval_s: float,
+) -> None:
+    """Top-level process entry point for locally spawned workers."""
+    from ..api.store import ArtifactStore
+
+    worker = FabricWorker(
+        FabricSpool(spool_root),
+        ArtifactStore(store_root, compress=compress),
+        worker_id=worker_id,
+        poll_interval_s=poll_interval_s,
+        heartbeat_interval_s=heartbeat_interval_s,
+    )
+    worker.run()

@@ -6,6 +6,7 @@ the perf trajectory CI tracks across PRs via :mod:`repro.perf.trajectory`.
 
 from .harness import format_report, run_perf_suite
 from .trajectory import (
+    DEFAULT_CLUSTER_TOLERANCES,
     DEFAULT_TOLERANCES,
     MetricCheck,
     TrajectoryReport,
@@ -17,6 +18,7 @@ from .trajectory import (
 __all__ = [
     "run_perf_suite",
     "format_report",
+    "DEFAULT_CLUSTER_TOLERANCES",
     "DEFAULT_TOLERANCES",
     "MetricCheck",
     "TrajectoryReport",

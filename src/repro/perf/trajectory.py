@@ -28,6 +28,7 @@ from typing import Any, Iterable, Mapping
 
 __all__ = [
     "DEFAULT_TOLERANCES",
+    "DEFAULT_CLUSTER_TOLERANCES",
     "MetricCheck",
     "TrajectoryReport",
     "compare_perf",
@@ -49,6 +50,21 @@ DEFAULT_TOLERANCES: dict[str, float] = {
     "cluster.requests_per_sec_wall": 0.40,
     "grid.serial_points_per_sec": 0.40,
     "grid.parallel_points_per_sec": 0.40,
+}
+
+#: Trajectory tolerances for ``BENCH_cluster.json`` (the CI benchmark-smoke
+#: record).  Unlike the perf tolerances these guard *simulated* metrics —
+#: deterministic given spec + seed, so the tolerances are tight: small ones
+#: absorb deliberate model refinements between PRs, and ``completed_requests``
+#: is exact (losing requests is a bug, never drift).
+DEFAULT_CLUSTER_TOLERANCES: dict[str, float] = {
+    "throughput_tps": 0.05,
+    "output_throughput_tps": 0.05,
+    "goodput_rps": 0.05,
+    "completed_requests": 0.0,
+    "mean_utilization": 0.10,
+    "slo_attainment.interactive": 0.05,
+    "slo_attainment.batch": 0.05,
 }
 
 
@@ -190,18 +206,21 @@ def compare_perf(
     return report
 
 
-def load_baseline(path: str) -> dict[str, Any] | None:
-    """Read a baseline BENCH_perf.json; None when absent or unreadable.
+def load_baseline(path: str, kind: str = "perf") -> dict[str, Any] | None:
+    """Read a baseline bench record of ``kind``; None when absent/unreadable.
 
     A missing/corrupt baseline is not an error: the first run of a fresh
     cache has nothing to compare against, and the gate simply records the
-    new baseline for next time.
+    new baseline for next time.  ``kind`` selects which bench family the
+    record must belong to (``"perf"`` for BENCH_perf.json, ``"cluster"``
+    for BENCH_cluster.json) so a mis-pointed path cannot silently compare
+    apples to oranges.
     """
     try:
         with open(path) as fh:
             record = json.load(fh)
     except (OSError, json.JSONDecodeError):
         return None
-    if not isinstance(record, dict) or record.get("kind") != "perf":
+    if not isinstance(record, dict) or record.get("kind") != kind:
         return None
     return record

@@ -1,0 +1,479 @@
+"""The distributed sweep fabric must be fault-tolerant and loss-free.
+
+The contracts under test (repro.fabric):
+
+* **serial parity** — a fabric sweep on N workers files records whose
+  content hashes (and bodies, modulo wall time) are identical to a serial
+  ``run_sweep``; the spool is pure coordination, never semantics.
+* **lease-expiry requeue** — SIGKILLing a worker mid-task loses nothing:
+  the stale lease expires, the coordinator requeues, another worker
+  finishes, and the store ends up exactly where the serial run would.
+* **bounded retry + quarantine** — transient errors retry with backoff;
+  a poison task is quarantined after ``max_attempts`` and surfaces as
+  ``SpecExecutionError`` naming its batch index, like the pool backend.
+* **memoizing warm path** — re-submitting against a warm store acks every
+  task as a provenance-matched hit without executing anything.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro import api
+from repro.fabric import (
+    FabricCoordinator,
+    FabricSpool,
+    FabricWorker,
+    run_fabric,
+    spawn_local_workers,
+)
+
+SCALE = 0.02
+
+
+def tiny_specs(n: int = 2) -> list[api.ScenarioSpec]:
+    """The n cheapest distinct engine points (no predictor needed)."""
+    systems = ("TP+SB", "PP+SB", "PP+HB", "TP+HB")[:n]
+    return [
+        api.ScenarioSpec(
+            mode="engine",
+            workload=api.WorkloadSpec(scale=SCALE, seed=0),
+            fleet=api.FleetSpec(node="L20", num_gpus=4, replicas=1),
+            engine=api.EngineSpec(system=system, model="13B"),
+        )
+        for system in systems
+    ]
+
+
+def strip_wall(record: dict) -> dict:
+    return {k: v for k, v in record.items() if k != "wall_time_s"}
+
+
+def canonical(record: dict) -> str:
+    return json.dumps(strip_wall(record), sort_keys=True)
+
+
+def wait_for(predicate, timeout_s: float = 20.0, interval_s: float = 0.02):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval_s)
+    raise AssertionError("condition not reached within the timeout")
+
+
+# --------------------------------------------------------------------- #
+# Spool primitives
+# --------------------------------------------------------------------- #
+class TestFabricSpool:
+    def submit_one(self, tmp_path) -> tuple[FabricSpool, str]:
+        spool = FabricSpool(tmp_path / "spool")
+        spec = tiny_specs(1)[0].resolved()
+        (task_id,) = spool.submit(
+            [spec.to_dict()], names=["t"], overrides=[{"k": 1}]
+        )
+        return spool, task_id
+
+    def test_submit_load_round_trip(self, tmp_path):
+        spool, task_id = self.submit_one(tmp_path)
+        task = spool.load_task(task_id)
+        assert task.index == 0 and task.name == "t"
+        assert task.overrides == {"k": 1}
+        assert api.ScenarioSpec.from_dict(task.spec) == tiny_specs(1)[0].resolved()
+
+    def test_task_ids_sort_in_submission_order(self, tmp_path):
+        spool = FabricSpool(tmp_path / "spool")
+        specs = [s.resolved().to_dict() for s in tiny_specs(3)]
+        ids = spool.submit(specs, names=["a", "b", "c"])
+        assert spool.task_ids() == ids == sorted(ids)
+
+    def test_claim_is_exclusive(self, tmp_path):
+        spool, task_id = self.submit_one(tmp_path)
+        assert spool.claim(task_id, "w1") is True
+        assert spool.claim(task_id, "w2") is False
+        assert spool.lease_info(task_id)["worker"] == "w1"
+        spool.release(task_id)
+        assert spool.lease_info(task_id) is None
+        assert spool.claim(task_id, "w2") is True
+
+    def test_heartbeat_refreshes_lease_age(self, tmp_path):
+        spool, task_id = self.submit_one(tmp_path)
+        spool.claim(task_id, "w1")
+        lease_path = spool._lease_path(task_id)
+        old = lease_path.stat().st_mtime - 60
+        os.utime(lease_path, (old, old))
+        assert spool.lease_age_s(task_id) > 50
+        spool.heartbeat(task_id, "w1")
+        assert spool.lease_age_s(task_id) < 5
+        assert spool.lease_info(task_id)["worker"] == "w1"
+
+    def test_result_status_validated(self, tmp_path):
+        spool, task_id = self.submit_one(tmp_path)
+        with pytest.raises(ValueError, match="status"):
+            spool.write_result(task_id, {"status": "sideways"})
+        spool.write_result(task_id, {"status": "done", "ref": "r"})
+        assert spool.read_result(task_id)["ref"] == "r"
+
+    def test_requeue_clears_lease_and_result(self, tmp_path):
+        spool, task_id = self.submit_one(tmp_path)
+        spool.claim(task_id, "w1")
+        spool.write_result(task_id, {"status": "error", "error": "x"})
+        spool.requeue(task_id)
+        assert spool.lease_info(task_id) is None
+        assert spool.read_result(task_id) is None
+        assert task_id in spool.task_ids()
+
+    def test_quarantine_removes_task_from_circulation(self, tmp_path):
+        spool, task_id = self.submit_one(tmp_path)
+        spool.quarantine(task_id, "poison", attempts=3)
+        assert spool.task_ids() == []
+        assert spool.quarantined_ids() == [task_id]
+        # The evidence and the task body both survive for the post-mortem.
+        assert spool.load_task(task_id).name == "t"
+        error = json.loads(
+            (spool.quarantine_dir / f"{task_id}.error.json").read_text()
+        )
+        assert error["error"] == "poison" and error["attempts"] == 3
+
+    def test_drain_sentinel(self, tmp_path):
+        spool = FabricSpool(tmp_path / "spool")
+        assert not spool.drain_requested()
+        spool.request_drain()
+        assert spool.drain_requested()
+        spool.clear_drain()
+        assert not spool.drain_requested()
+
+    def test_status_counts_every_state(self, tmp_path):
+        spool = FabricSpool(tmp_path / "spool")
+        specs = [s.resolved().to_dict() for s in tiny_specs(4)]
+        ids = spool.submit(specs, names=list("abcd"))
+        spool.claim(ids[0], "w1")
+        spool.write_result(ids[1], {"status": "done", "ref": "r"})
+        spool.claim(ids[2], "w2")
+        stale = spool._lease_path(ids[2])
+        old = stale.stat().st_mtime - 120
+        os.utime(stale, (old, old))
+        snap = spool.status(lease_timeout_s=30.0)
+        assert snap["pending"] == 1 and snap["running"] == 1
+        assert snap["stale"] == 1 and snap["done"] == 1
+        assert snap["tasks"] == 4 and snap["workers"] == {"w1": 1}
+
+
+# --------------------------------------------------------------------- #
+# Serial parity
+# --------------------------------------------------------------------- #
+class TestFabricParity:
+    def test_two_workers_match_serial_store(self, tmp_path):
+        sweep = api.SweepSpec(
+            name="fabric-parity",
+            base=tiny_specs(1)[0],
+            axes=(api.SweepAxis("engine.system", ("TP+SB", "PP+SB")),),
+        )
+        serial_store = api.ArtifactStore(tmp_path / "serial")
+        fabric_store = api.ArtifactStore(tmp_path / "fabric")
+        serial = api.run_sweep(sweep, store=serial_store)
+        fabric = api.run_sweep(
+            sweep, store=fabric_store, backend="fabric", jobs=2
+        )
+        assert sorted(serial_store.refs()) == sorted(fabric_store.refs())
+        for a, b in zip(serial, fabric):
+            assert a.spec == b.spec
+            assert a.result == b.result
+            assert a.overrides == b.overrides
+        for ref in serial_store.refs():
+            assert canonical(serial_store.get_record(ref)) == canonical(
+                fabric_store.get_record(ref)
+            )
+
+    def test_run_many_fabric_backend(self, tmp_path):
+        specs = tiny_specs(2)
+        serial = api.run_many(specs, jobs=1)
+        fabric = api.run_many(specs, backend="fabric", jobs=2)
+        for a, b in zip(serial, fabric):
+            assert a.result == b.result
+            assert api.content_hash(a.spec) == api.content_hash(b.spec)
+
+    def test_even_one_worker_goes_through_the_spool(self, tmp_path):
+        spool = FabricSpool(tmp_path / "spool")
+        store = api.ArtifactStore(tmp_path / "store")
+        artifacts = run_fabric(
+            tiny_specs(1), workers=1, store=store, spool=spool
+        )
+        assert len(artifacts) == 1 and len(store) == 1
+        # The spool kept the full audit trail of the batch.
+        (task_id,) = spool.task_ids()
+        result = spool.read_result(task_id)
+        assert result["status"] == "done"
+        assert result["ref"] == api.content_hash(artifacts[0].spec)
+
+    def test_lean_store_rejected(self, tmp_path):
+        lean = api.ArtifactStore(tmp_path / "lean", lean=True)
+        with pytest.raises(ValueError, match="lean"):
+            run_fabric(tiny_specs(1), workers=1, store=lean)
+        with pytest.raises(ValueError, match="lean"):
+            FabricWorker(FabricSpool(tmp_path / "spool"), lean)
+
+    def test_workers_validated(self, tmp_path):
+        for bad in (0, -2, 1.5, True):
+            with pytest.raises(ValueError, match="workers"):
+                run_fabric(tiny_specs(1), workers=bad)
+
+
+# --------------------------------------------------------------------- #
+# Fault tolerance
+# --------------------------------------------------------------------- #
+class TestFabricFaultTolerance:
+    def test_sigkilled_worker_loses_nothing(self, tmp_path, monkeypatch):
+        """The tentpole robustness pin: kill -9 mid-task, finish anyway.
+
+        A victim worker claims a task and stalls inside it (the documented
+        ``TDPIPE_FABRIC_TEST_DELAY_S`` seam), then dies to SIGKILL — no
+        cleanup, heartbeat stops mid-lease.  The coordinator must expire
+        the lease, requeue, and a healthy worker must complete the batch
+        with store contents identical to a serial run: no task lost, none
+        duplicated.
+        """
+        specs = tiny_specs(2)
+        spool = FabricSpool(tmp_path / "spool")
+        store = api.ArtifactStore(tmp_path / "store")
+        coordinator = FabricCoordinator(
+            spool,
+            store,
+            lease_timeout_s=1.0,
+            max_attempts=3,
+            backoff_base_s=0.05,
+            poll_interval_s=0.02,
+        )
+        task_ids = coordinator.submit(specs)
+
+        monkeypatch.setenv("TDPIPE_FABRIC_TEST_DELAY_S", "60")
+        (victim,) = spawn_local_workers(
+            spool, store, 1, poll_interval_s=0.02, heartbeat_interval_s=0.1
+        )
+        # The env seam is inherited at fork time; clear it immediately so
+        # the healthy worker below executes for real.
+        monkeypatch.delenv("TDPIPE_FABRIC_TEST_DELAY_S")
+        try:
+            wait_for(
+                lambda: any(
+                    spool.lease_info(tid) is not None for tid in task_ids
+                )
+            )
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=10.0)
+            assert not victim.is_alive()
+            killed = [
+                tid for tid in task_ids if spool.lease_info(tid) is not None
+            ]
+            assert killed, "victim died without leaving a lease behind"
+
+            (healthy,) = spawn_local_workers(
+                spool, store, 1, poll_interval_s=0.02, heartbeat_interval_s=0.1
+            )
+            try:
+                coordinator.wait(task_ids, timeout_s=120.0)
+                artifacts = coordinator.collect(task_ids)
+            finally:
+                spool.request_drain()
+                healthy.join(timeout=10.0)
+        finally:
+            if victim.is_alive():  # pragma: no cover - defensive cleanup
+                victim.terminate()
+
+        # The crash was seen and acted on: a lease-expiry requeue happened.
+        assert any(
+            "lease expired" in entry["reason"] for entry in coordinator.requeues
+        )
+        # Nothing lost, nothing duplicated, bodies identical to serial runs.
+        assert len(artifacts) == len(specs) and len(store) == len(specs)
+        serial_store = api.ArtifactStore(tmp_path / "serial")
+        for spec in specs:
+            serial_store.put(api.run(spec))
+        assert sorted(store.refs()) == sorted(serial_store.refs())
+        for ref in store.refs():
+            assert canonical(store.get_record(ref)) == canonical(
+                serial_store.get_record(ref)
+            )
+
+    def test_poison_task_quarantined_after_max_attempts(
+        self, tmp_path, monkeypatch
+    ):
+        spool = FabricSpool(tmp_path / "spool")
+        monkeypatch.setenv("TDPIPE_FABRIC_TEST_FAIL", "boom")
+        with pytest.raises(api.SpecExecutionError) as excinfo:
+            run_fabric(
+                tiny_specs(1),
+                workers=1,
+                spool=spool,
+                store=api.ArtifactStore(tmp_path / "store"),
+                max_attempts=2,
+                backoff_base_s=0.01,
+                lease_timeout_s=30.0,
+            )
+        assert excinfo.value.index == 0
+        assert "quarantined after 2 attempt(s)" in str(excinfo.value)
+        assert "RuntimeError: injected failure" in str(excinfo.value)
+        # The poison task left circulation with its evidence attached.
+        assert spool.task_ids() == []
+        (task_id,) = spool.quarantined_ids()
+        error = json.loads(
+            (spool.quarantine_dir / f"{task_id}.error.json").read_text()
+        )
+        assert error["attempts"] == 2
+
+    def test_transient_error_retries_with_backoff(self, tmp_path):
+        """An error ack is retried after the backoff window, then succeeds."""
+        spool = FabricSpool(tmp_path / "spool")
+        store = api.ArtifactStore(tmp_path / "store")
+        coordinator = FabricCoordinator(
+            spool, store, max_attempts=3, backoff_base_s=0.05
+        )
+        (task_id,) = coordinator.submit(tiny_specs(1))
+        spool.write_result(task_id, {"status": "error", "error": "flaky once"})
+
+        assert coordinator._poll_one(task_id) is False
+        assert coordinator.requeues[-1]["reason"] == "flaky once"
+        # Inside the backoff window the error ack stays put (not claimable).
+        assert coordinator._poll_one(task_id) is False
+        assert spool.read_result(task_id) is not None
+        time.sleep(0.06)
+        assert coordinator._poll_one(task_id) is False  # requeued now
+        assert spool.read_result(task_id) is None
+
+        worker = FabricWorker(
+            spool, store, worker_id="inline", poll_interval_s=0.01
+        )
+        stats = worker.run(max_tasks=1, idle_exit_s=1.0)
+        assert stats == {"claimed": 1, "executed": 1, "reused": 0, "failed": 0}
+        assert coordinator._poll_one(task_id) is True
+        (artifact,) = coordinator.collect([task_id])
+        assert artifact.result is not None and not artifact.reused
+
+    def test_oom_is_terminal_and_collects_like_run_many(self, tmp_path):
+        oversized = api.ScenarioSpec(
+            mode="engine",
+            workload=api.WorkloadSpec(scale=SCALE, seed=0),
+            fleet=api.FleetSpec(node="L20", num_gpus=1, replicas=1),
+            engine=api.EngineSpec(system="TP+SB", model="32B"),
+        )
+        spool = FabricSpool(tmp_path / "spool")
+        store = api.ArtifactStore(tmp_path / "store")
+        coordinator = FabricCoordinator(spool, store)
+        task_ids = coordinator.submit([oversized])
+        worker = FabricWorker(spool, store, worker_id="inline")
+        worker.run(max_tasks=1, idle_exit_s=1.0)
+        coordinator.wait(task_ids, timeout_s=10.0)
+        assert coordinator.collect(task_ids, oom_to_none=True) == [None]
+        assert coordinator.requeues == []  # OOM is never retried
+        from repro.kvcache.capacity import OutOfMemoryError
+
+        with pytest.raises(OutOfMemoryError):
+            coordinator.collect(task_ids, oom_to_none=False)
+
+
+# --------------------------------------------------------------------- #
+# The memoizing warm path
+# --------------------------------------------------------------------- #
+class TestFabricReuse:
+    def test_warm_resubmit_hits_everything(self, tmp_path):
+        specs = tiny_specs(2)
+        store = api.ArtifactStore(tmp_path / "store")
+        cold = run_fabric(specs, workers=2, store=store)
+        assert [a.reused for a in cold] == [False, False]
+        cold_records = {
+            ref: canonical(store.get_record(ref)) for ref in store.refs()
+        }
+
+        warm = run_fabric(specs, workers=2, store=store, reuse=True)
+        assert [a.reused for a in warm] == [True, True]
+        report = api.ReuseReport.from_artifacts(warm)
+        assert (report.hits, report.executed) == (2, 0)
+        assert report.summary() == "reuse: 2/2 hit, 0 executed"
+        # The warm pass executed nothing and rewrote nothing.
+        assert {
+            ref: canonical(store.get_record(ref)) for ref in store.refs()
+        } == cold_records
+        for a, b in zip(cold, warm):
+            assert a.result == b.result and a.overrides == b.overrides
+
+    def test_provenance_mismatch_misses(self, tmp_path, monkeypatch):
+        store = api.ArtifactStore(tmp_path / "store")
+        run_fabric(tiny_specs(1), workers=1, store=store)
+        monkeypatch.setenv("TDPIPE_CODE_FINGERPRINT", "different-code")
+        (artifact,) = run_fabric(
+            tiny_specs(1), workers=1, store=store, reuse=True
+        )
+        assert not artifact.reused  # stale-code record must not be served
+
+
+# --------------------------------------------------------------------- #
+# CLI verbs
+# --------------------------------------------------------------------- #
+class TestFabricCli:
+    def run_cli(self, argv):
+        from repro.cli import main
+
+        return main(argv)
+
+    def spec_file(self, tmp_path) -> str:
+        path = tmp_path / "spec.json"
+        path.write_text(tiny_specs(1)[0].to_json())
+        return str(path)
+
+    def test_submit_worker_status_drain(self, tmp_path, capsys):
+        spool = str(tmp_path / "spool")
+        rc = self.run_cli(
+            ["fabric", "submit", "--spec", self.spec_file(tmp_path),
+             "--spool", spool]
+        )
+        assert rc == 0
+        assert "submitted 1 task(s)" in capsys.readouterr().out
+        rc = self.run_cli(["fabric", "status", "--spool", spool])
+        assert rc == 0 and "pending      1" in capsys.readouterr().out
+        rc = self.run_cli(
+            ["fabric", "worker", "--spool", spool, "--max-tasks", "1",
+             "--worker-id", "cli-test"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0 and "1 claimed, 1 executed" in out
+        rc = self.run_cli(["fabric", "status", "--spool", spool])
+        assert rc == 0 and "done         1" in capsys.readouterr().out
+        rc = self.run_cli(["fabric", "drain", "--spool", spool])
+        assert rc == 0
+        assert FabricSpool(spool).drain_requested()
+        # Records landed in the spool-default store.
+        assert len(api.ArtifactStore(os.path.join(spool, "store"))) == 1
+
+    def test_submit_wait_completes_with_external_worker(self, tmp_path, capsys):
+        spool_dir = tmp_path / "spool"
+        spool = FabricSpool(spool_dir)
+        store = api.ArtifactStore(spool_dir / "store")
+        (worker,) = spawn_local_workers(
+            spool, store, 1, poll_interval_s=0.02, heartbeat_interval_s=0.1
+        )
+        try:
+            rc = self.run_cli(
+                ["fabric", "submit", "--spec", self.spec_file(tmp_path),
+                 "--spool", str(spool_dir), "--wait"]
+            )
+        finally:
+            spool.request_drain()
+            worker.join(timeout=10.0)
+        assert rc == 0
+        assert "throughput" in capsys.readouterr().out
+
+    def test_fabric_flags_gated(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            self.run_cli(["fig11", "--spool", str(tmp_path)])
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            self.run_cli(["fabric", "bogus-verb", "--spool", str(tmp_path)])
+
+    def test_missing_spool_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="--spool"):
+            self.run_cli(["fabric", "status"])

@@ -421,6 +421,27 @@ class TestStoreMaintenance:
         assert report["dropped_entries"] == [dead_ref]
         assert report["entries"] == 2 and len(store) == 2
 
+    def test_gc_dry_run_reports_without_deleting(self, tmp_path, base_artifact):
+        store = self.seeded_store(tmp_path, base_artifact)
+        orphan = store.records_dir / ("e" * 64 + ".json")
+        orphan.write_text("{}\n")
+        dead_ref = store.refs()[1]
+        (store.records_dir / f"{dead_ref}.json").unlink()
+        report = store.gc(dry_run=True)
+        # The report is exactly what a real gc would do...
+        assert report["dry_run"] is True
+        assert report["removed_files"] == [orphan.name]
+        assert report["dropped_entries"] == [dead_ref]
+        assert report["entries"] == 2
+        # ...but nothing was touched: the orphan and the dead entry remain.
+        assert orphan.exists()
+        assert dead_ref in store
+        real = store.gc()
+        assert real["dry_run"] is False
+        assert real["removed_files"] == report["removed_files"]
+        assert real["dropped_entries"] == report["dropped_entries"]
+        assert not orphan.exists() and dead_ref not in store
+
 
 # --------------------------------------------------------------------- #
 # MISSING sentinel: one-sided diffs are explicit, null stays null.

@@ -49,6 +49,37 @@ class TestResolveJobs:
     def test_negative_means_all_cores(self):
         assert resolve_jobs(-1) >= 1
 
+    def test_other_negatives_rejected(self):
+        for bad in (-2, -17):
+            with pytest.raises(ValueError, match="positive integer"):
+                resolve_jobs(bad)
+
+    def test_non_integers_rejected(self):
+        for bad in (1.5, "4", True, False, [2]):
+            with pytest.raises(ValueError, match="must be an integer"):
+                resolve_jobs(bad)
+
+
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self):
+        specs = [point.spec for point in small_sweep().expand()][:1]
+        with pytest.raises(ValueError, match="unknown backend"):
+            api.run_many(specs, backend="carrier-pigeon")
+        with pytest.raises(ValueError, match="unknown backend"):
+            api.run_sweep(small_sweep(), backend="carrier-pigeon")
+
+    def test_serial_backend_forces_one_worker(self):
+        specs = [point.spec for point in small_sweep().expand()][:2]
+        serial = api.run_many(specs, backend="serial", jobs=8)
+        baseline = api.run_many(specs, jobs=1)
+        for a, b in zip(serial, baseline):
+            assert a.result == b.result
+
+    def test_fabric_opts_need_fabric_backend(self):
+        specs = [point.spec for point in small_sweep().expand()][:1]
+        with pytest.raises(ValueError, match="fabric_opts"):
+            api.run_many(specs, fabric_opts={"lease_timeout_s": 5.0})
+
 
 class TestRunManyEquivalence:
     def test_parallel_matches_serial(self):

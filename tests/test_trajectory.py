@@ -13,6 +13,7 @@ import json
 import pytest
 
 from repro.perf.trajectory import (
+    DEFAULT_CLUSTER_TOLERANCES,
     DEFAULT_TOLERANCES,
     compare_perf,
     load_baseline,
@@ -143,3 +144,77 @@ class TestLoadBaseline:
         baseline = load_baseline(str(path))
         assert baseline is not None
         assert compare_perf(baseline, perf_record()).ok
+
+    def test_kind_selects_the_bench_family(self, tmp_path):
+        path = tmp_path / "BENCH_cluster.json"
+        path.write_text(json.dumps(cluster_record()))
+        assert load_baseline(str(path)) is None  # default kind is perf
+        assert load_baseline(str(path), kind="cluster") is not None
+        perf_path = tmp_path / "BENCH_perf.json"
+        perf_path.write_text(json.dumps(perf_record()))
+        assert load_baseline(str(perf_path), kind="cluster") is None
+
+
+def cluster_record(**overrides):
+    """A minimal BENCH_cluster.json-shaped record (flat simulated metrics)."""
+    record = {
+        "kind": "cluster",
+        "throughput_tps": 710.0,
+        "output_throughput_tps": 418.0,
+        "goodput_rps": 1.49,
+        "completed_requests": 100,
+        "mean_utilization": 0.48,
+        "slo_attainment": {"interactive": 1.0, "batch": 1.0},
+    }
+    for path, value in overrides.items():
+        if "." in path:
+            section, _, key = path.partition(".")
+            record[section][key] = value
+        else:
+            record[path] = value
+    return record
+
+
+class TestClusterTrajectory:
+    def test_identical_records_pass(self):
+        report = compare_perf(
+            cluster_record(), cluster_record(),
+            tolerances=DEFAULT_CLUSTER_TOLERANCES,
+        )
+        assert report.ok
+        assert {c.metric for c in report.checks} == set(DEFAULT_CLUSTER_TOLERANCES)
+
+    def test_lost_requests_fail_at_zero_tolerance(self):
+        # completed_requests has tolerance 0.0: losing even one request is
+        # a bug (the simulator is deterministic), never acceptable drift.
+        current = cluster_record(completed_requests=99)
+        report = compare_perf(
+            cluster_record(), current, tolerances=DEFAULT_CLUSTER_TOLERANCES
+        )
+        assert not report.ok
+        assert [c.metric for c in report.failures] == ["completed_requests"]
+
+    def test_throughput_drop_beyond_tolerance_fails(self):
+        current = cluster_record(throughput_tps=600.0)  # 0.85x vs -5%
+        report = compare_perf(
+            cluster_record(), current, tolerances=DEFAULT_CLUSTER_TOLERANCES
+        )
+        assert [c.metric for c in report.failures] == ["throughput_tps"]
+
+    def test_small_drift_within_tolerance_passes(self):
+        current = cluster_record(
+            **{"throughput_tps": 690.0, "slo_attainment.batch": 0.97}
+        )
+        assert compare_perf(
+            cluster_record(), current, tolerances=DEFAULT_CLUSTER_TOLERANCES
+        ).ok
+
+    def test_waivers_apply_to_cluster_metrics_too(self):
+        current = cluster_record(goodput_rps=0.5)
+        report = compare_perf(
+            cluster_record(), current,
+            tolerances=DEFAULT_CLUSTER_TOLERANCES,
+            waivers={"goodput_rps": "slo model rework"},
+        )
+        assert report.ok
+        assert [c.metric for c in report.waived] == ["goodput_rps"]
