@@ -28,11 +28,15 @@ def test_suite_shape_and_record_identity():
         regime_arrivals=2_000,
         cluster_scale=0.02,
         grid_scale=0.02,
+        scale_decisions=400,
+        scale_fleets=(2, 3),
+        scale_requests_per_replica=1,
     )
     assert report["schema_version"] == PERF_SCHEMA_VERSION
     assert report["kind"] == "perf"
     assert set(report) >= {
-        "kernel", "costmodel", "cluster", "grid", "vectorized", "regime"
+        "kernel", "costmodel", "cluster", "cluster_scale", "grid",
+        "vectorized", "regime",
     }
 
     vector = report["vectorized"]
@@ -57,6 +61,22 @@ def test_suite_shape_and_record_identity():
     assert cluster["completed_requests"] > 0
     assert cluster["throughput_tps"] > 0
 
+    scale = report["cluster_scale"]
+    assert scale["fleets"] == [2, 3]
+    for fleet in ("2", "3"):
+        for router in ("jsq", "deadline"):
+            leg = scale["routing"][fleet][router]
+            assert leg["decisions_per_sec"] > 0
+            assert leg["sweep_decisions_per_sec"] > 0
+        # The bench itself gates allocation freedom (it raises on capture),
+        # so a recorded zero is a measurement, not a hope.
+        assert scale["routing"][fleet]["jsq"]["snapshot_captures"] == 0
+        assert scale["e2e"][fleet]["events_per_sec"] > 0
+    # The trajectory gate reads the flattened largest-fleet keys.
+    assert scale["routing_decisions_per_sec_3"] > 0
+    assert scale["routing_speedup_3"] > 0
+    assert scale["cluster_events_per_sec_3"] > 0
+
     grid = report["grid"]
     assert grid["points"] == 7
     assert grid["serial_points_per_sec"] > 0
@@ -66,9 +86,14 @@ def test_suite_shape_and_record_identity():
     text = format_report(report)
     assert "events/s" in text and "speedup" in text
     assert "arrivals/s" in text
+    assert "ctrl-plane: routing" in text and "ctrl-plane: e2e" in text
     # records written before the regime section existed still format
     assert "arrivals/s" not in format_report(
         {k: v for k, v in report.items() if k != "regime"}
+    )
+    # likewise for records predating the cluster_scale section
+    assert "ctrl-plane" not in format_report(
+        {k: v for k, v in report.items() if k != "cluster_scale"}
     )
 
 
@@ -88,6 +113,9 @@ def test_repeat_records_all_samples_and_medians():
         regime_arrivals=1_000,
         cluster_scale=0.02,
         grid_scale=0.02,
+        scale_decisions=400,
+        scale_fleets=(2,),
+        scale_requests_per_replica=1,
     )
     assert report["repeat"] == 3
 

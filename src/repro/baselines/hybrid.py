@@ -65,11 +65,13 @@ class HybridBatchingEngine(InferenceEngine):
             if not bm.can_append(state.request_id, chunk_len):
                 return False
             bm.append(state.request_id, chunk_len)
+            self._notify_load()
             return True
         needed = bm.blocks_needed(chunk_len)
         if needed + self.watermark_blocks > bm.free_blocks:
             return False
         bm.allocate(state.request_id, chunk_len)
+        self._notify_load()
         return True
 
     def _build_chunks(

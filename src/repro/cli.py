@@ -31,6 +31,7 @@ Examples
     tdpipe-bench fabric worker --spool /shared/spool    # on each host
     tdpipe-bench fabric status --spool /shared/spool
     tdpipe-bench fabric drain --spool /shared/spool
+    tdpipe-bench fabric requeue <task-id> --spool /shared/spool
 """
 
 from __future__ import annotations
@@ -459,25 +460,44 @@ def _run_workload(args) -> int:
 
 
 def _run_fabric_cmd(args) -> int:
-    """``fabric submit|worker|status|drain``: the multi-host sweep fabric.
+    """``fabric submit|worker|status|drain|requeue``: the multi-host fabric.
 
     One shared ``--spool`` directory is the whole deployment story: `submit`
     spools a spec batch (and with ``--wait`` shepherds it to completion),
     `worker` runs the claim-execute-ack daemon loop on any host that sees
-    the spool, `status` snapshots per-state task counts, and `drain` tells
-    every worker to exit after its current task.
+    the spool, `status` snapshots per-state task counts, `drain` tells
+    every worker to exit after its current task, and `requeue <task-id>`
+    restores a quarantined task for another attempt (after fixing whatever
+    poisoned it).
     """
     from .fabric import FabricCoordinator, FabricSpool, FabricWorker
 
-    verbs = ("submit", "worker", "status", "drain")
-    if len(args.targets) != 1 or args.targets[0] not in verbs:
-        raise SystemExit(
-            "usage: tdpipe-bench fabric submit|worker|status|drain --spool DIR"
-        )
+    verbs = ("submit", "worker", "status", "drain", "requeue")
+    usage = (
+        "usage: tdpipe-bench fabric submit|worker|status|drain --spool DIR"
+        " | fabric requeue TASK_ID --spool DIR"
+    )
+    if not args.targets or args.targets[0] not in verbs:
+        raise SystemExit(usage)
     verb = args.targets[0]
+    if len(args.targets) != (2 if verb == "requeue" else 1):
+        raise SystemExit(usage)
     if args.spool is None:
         raise SystemExit("`fabric` needs --spool DIR (the shared spool directory)")
     spool = FabricSpool(args.spool)
+    if verb == "requeue":
+        task_id = args.targets[1]
+        try:
+            spool.restore_quarantined(task_id)
+        except KeyError:
+            quarantined = spool.quarantined_ids()
+            listing = ", ".join(quarantined) if quarantined else "none"
+            raise SystemExit(
+                f"task {task_id!r} is not quarantined in {spool.root} "
+                f"(quarantined: {listing})"
+            ) from None
+        print(f"task {task_id} requeued: claimable again in {spool.root}")
+        return 0
     if verb == "status":
         snap = spool.status(lease_timeout_s=args.lease_timeout or 30.0)
         print(f"spool {spool.root}: {snap['tasks']} task(s)"
@@ -579,7 +599,9 @@ def main(argv: list[str] | None = None) -> int:
         help="record: spec file or registry name; replay: ref(s), default all; "
         "diff: two refs (hash, unambiguous prefix, or scenario name); "
         "store: one maintenance action (gc or fsck); "
-        "workload: `preview` plus a regime preset or JSON file",
+        "workload: `preview` plus a regime preset or JSON file; "
+        "fabric: a verb (submit|worker|status|drain, or `requeue` plus a "
+        "task id)",
     )
     parser.add_argument(
         "--scale",

@@ -14,6 +14,7 @@ compatibility; new code should import from this package.
 
 from .autoscaler import Autoscaler
 from .capacity import parse_fleet, replica_capacity_score
+from .incremental import LoadTracker
 from .plane import ControlPlane
 from .routing import (
     ROUTER_NAMES,
@@ -27,12 +28,23 @@ from .routing import (
     StaticRouter,
     make_router,
 )
-from .snapshot import ReplicaSnapshot
+from .snapshot import (
+    ReplicaSnapshot,
+    SnapshotBuffer,
+    SnapshotView,
+    reset_snapshot_capture_count,
+    snapshot_capture_count,
+)
 
 __all__ = [
     "Autoscaler",
     "ControlPlane",
+    "LoadTracker",
     "ReplicaSnapshot",
+    "SnapshotBuffer",
+    "SnapshotView",
+    "snapshot_capture_count",
+    "reset_snapshot_capture_count",
     "Router",
     "RoundRobinRouter",
     "JoinShortestQueueRouter",

@@ -1,0 +1,83 @@
+"""Dirty-tracking substrate for incremental routing state.
+
+The control plane's fast path replaces per-request O(fleet) snapshot sweeps
+with state that is *maintained* instead of recomputed.  That requires an
+invalidation signal, and this module is that signal:
+
+* every replica engine gets a load observer (see
+  :meth:`repro.runtime.base_engine.InferenceEngine.set_load_observer`) that
+  fires whenever a routing-relevant signal changes — queue length, in-system
+  count, KV occupancy, TD-Pipe phase;
+* the observer marks the replica *dirty* in a :class:`LoadTracker`; consumers
+  (routers) re-read only dirty replicas before the next decision;
+* admission-set changes (activate/drain/deactivate, or an external write to
+  ``plane.active``/``plane.draining``) bump a topology *epoch*, telling
+  consumers to rebuild any structure keyed on routable positions.
+
+The contract is deliberately one-sided: **over-notification is always safe**
+(a spurious dirty mark costs one redundant refresh), while a missed
+notification silently desynchronizes the incremental path from the
+``TDPIPE_ROUTING_SWEEP=1`` reference.  Engine code should therefore notify
+on any mutation that *might* change a signal rather than reason about
+whether it did.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["LoadTracker"]
+
+
+class LoadTracker:
+    """Per-consumer dirty sets plus a fleet-topology epoch.
+
+    Each consumer (a router instance, in practice) registers its own dirty
+    set so independent consumers never steal each other's invalidations.
+    Sets start all-dirty: a fresh consumer has seen nothing, so everything
+    needs a first read.  Marks use *global* replica indices; a replica that
+    goes dirty while un-routable simply stays marked until it rejoins the
+    routable set and gets refreshed.
+    """
+
+    __slots__ = ("n", "epoch", "_dirty_sets")
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        #: Bumped on every routable-set change; consumers compare against
+        #: their last-seen value and rebuild position-keyed state on mismatch.
+        self.epoch = 0
+        self._dirty_sets: list[set[int]] = []
+
+    def register(self) -> set[int]:
+        """Add a consumer; returns its (initially all-dirty) dirty set.
+
+        The caller owns the set: it discards indices as it refreshes them.
+        """
+        dirty = set(range(self.n))
+        self._dirty_sets.append(dirty)
+        return dirty
+
+    def observer(self, i: int) -> Callable[[], None]:
+        """A zero-arg callable marking replica ``i`` dirty for all consumers.
+
+        Closes over the consumer list (not a snapshot of it), so consumers
+        registered after the observer was installed still see the marks.
+        """
+        sets = self._dirty_sets
+
+        def _mark() -> None:
+            for dirty in sets:
+                dirty.add(i)
+
+        return _mark
+
+    def mark_all(self) -> None:
+        """Mark every replica dirty for every consumer (full re-read)."""
+        everything = range(self.n)
+        for dirty in self._dirty_sets:
+            dirty.update(everything)
+
+    def bump_epoch(self) -> None:
+        """Record a routable-set change (activate/drain/external flag write)."""
+        self.epoch += 1

@@ -21,12 +21,14 @@ deactivated once it holds no resident requests.
 
 from __future__ import annotations
 
+import os
 from typing import Sequence
 
 from ...sim.engine import Simulator
 from ...workload.request import Request
 from .autoscaler import Autoscaler
 from .capacity import replica_capacity_score
+from .incremental import LoadTracker
 from .routing import Router
 from .snapshot import ReplicaSnapshot
 
@@ -59,10 +61,21 @@ class ControlPlane:
         replicas: Sequence,
         router: Router,
         autoscaler: Autoscaler | None = None,
+        routing_sweep: bool | None = None,
     ) -> None:
         self.replicas = list(replicas)
         self.router = router
         self.autoscaler = autoscaler
+        #: Force the per-request snapshot-sweep routing path (the reference
+        #: implementation) instead of the incremental fast path.  ``None``
+        #: defers to the ``TDPIPE_ROUTING_SWEEP`` environment variable at
+        #: ``begin`` time.
+        self.routing_sweep = routing_sweep
+        #: Dirty-tracking substrate for the incremental routing path; built
+        #: in ``begin`` when the router and every replica support it, else
+        #: None (sweep routing).  Must exist before the _FlagLists below —
+        #: their write hook reads it.
+        self._tracker: LoadTracker | None = None
         n = len(self.replicas)
         #: Throughput score per replica (roofline-derived, hardware-dependent).
         self.capacity_scores = [replica_capacity_score(r) for r in self.replicas]
@@ -101,6 +114,12 @@ class ControlPlane:
         self.timeline.clear()
         self.events.clear()
         self.router.reset(self.replicas)
+        self._tracker = None
+        if self._incremental_routing():
+            self._tracker = LoadTracker(n)
+            for i, replica in enumerate(self.replicas):
+                replica.set_load_observer(self._tracker.observer(i))
+            self.router.bind(self.replicas, self._tracker)
         if self.autoscaler is None:
             initial = n
         else:
@@ -147,9 +166,34 @@ class ControlPlane:
     # ------------------------------------------------------------------ #
     # Admission + routing.
     # ------------------------------------------------------------------ #
+    def _incremental_routing(self) -> bool:
+        """Whether this run can use the incremental routing fast path.
+
+        Requires an opted-in router *and* replicas exposing the load-observer
+        hook (bare test doubles silently fall back to sweeps — a double that
+        never notifies would desynchronize the incremental state).  The
+        ``TDPIPE_ROUTING_SWEEP`` environment variable (or the
+        ``routing_sweep`` constructor flag) forces the sweep reference path.
+        """
+        sweep = self.routing_sweep
+        if sweep is None:
+            sweep = os.environ.get("TDPIPE_ROUTING_SWEEP", "") not in ("", "0")
+        return (
+            not sweep
+            and self.router.supports_incremental
+            and all(
+                callable(getattr(r, "set_load_observer", None))
+                for r in self.replicas
+            )
+        )
+
     def _invalidate_routable(self) -> None:
         self._routable_cache = None
         self._routable_engines = None
+        # A routable-set change invalidates position-keyed router state too:
+        # the epoch bump makes the router rebuild before its next decision.
+        if self._tracker is not None:
+            self._tracker.bump_epoch()
 
     def routable_indices(self) -> list[int]:
         """Replicas eligible for new requests: active and not draining.
@@ -186,7 +230,12 @@ class ControlPlane:
         else:
             routable = self.routable_indices()
             engines = self._routable_engines
-        pos = self.router.choose(request, engines)
+        if self._tracker is not None and not self.router.targets_global_indices:
+            pos = self.router.choose_incremental(
+                request, routable, engines, self._tracker
+            )
+        else:
+            pos = self.router.choose(request, engines)
         if not 0 <= pos < len(engines):
             raise ValueError(
                 f"router {self.router.name!r} chose replica {pos} of {len(engines)}"

@@ -14,6 +14,7 @@ lowest index.
 from __future__ import annotations
 
 import abc
+import heapq
 import math
 from typing import Callable, Sequence
 
@@ -21,7 +22,8 @@ from ...predictor.length_predictor import OutputLengthPredictor
 from ...runtime.base_engine import InferenceEngine
 from ...workload.request import Request
 from .capacity import replica_capacity_score
-from .snapshot import ReplicaSnapshot
+from .incremental import LoadTracker
+from .snapshot import ReplicaSnapshot, SnapshotBuffer
 
 __all__ = [
     "Router",
@@ -52,12 +54,40 @@ class Router(abc.ABC):
     #: plane never re-interprets their choice against a filtered subset.
     targets_global_indices: bool = False
 
+    #: Whether this router implements the dirty-tracked incremental decision
+    #: path (``bind`` + ``choose_incremental``).  The control plane falls
+    #: back to per-request ``choose`` sweeps when False.
+    supports_incremental: bool = False
+
     def reset(self, replicas: Sequence[InferenceEngine]) -> None:
         """Called once before a run; clear any per-run state."""
+
+    def bind(self, replicas: Sequence[InferenceEngine], tracker: LoadTracker) -> None:
+        """Attach incremental state to a fleet (called after ``reset``).
+
+        ``tracker`` is the control plane's :class:`LoadTracker`; routers that
+        support the incremental path register a dirty set here and build
+        their reusable buffers.  The base implementation is a no-op.
+        """
 
     @abc.abstractmethod
     def choose(self, request: Request, replicas: Sequence[InferenceEngine]) -> int:
         """Index of the replica this request should be sent to."""
+
+    def choose_incremental(
+        self,
+        request: Request,
+        routable: Sequence[int],
+        replicas: Sequence[InferenceEngine],
+        tracker: LoadTracker,
+    ) -> int:
+        """Position (within ``routable``) chosen using incremental state.
+
+        Must make the *same decision* ``choose(request, replicas)`` would —
+        the incremental path is an optimization, never a policy change.  The
+        base implementation simply delegates to ``choose``.
+        """
+        return self.choose(request, replicas)
 
     def on_routed(self, request: Request, replica_index: int) -> None:
         """Notification that ``request`` was dispatched to ``replica_index``."""
@@ -81,13 +111,164 @@ class _ScoredRouter(Router):
     #: ``est_wait_s`` (an O(queue) signal to capture).
     needs_queued_tokens = False
 
+    supports_incremental = True
+
+    #: True when ``score`` reads only replica state (never the request), so
+    #: scores can be cached per replica and maintained lazily in a heap.
+    #: Request-dependent policies keep this False and get the allocation-free
+    #: buffer scan instead.  Subclasses that override ``score`` with
+    #: request-dependent logic **must** set this back to False.
+    request_independent = False
+
     def __init__(self) -> None:
         self._cursor = 0
         self._capacity: dict[int, float] = {}
+        self._bound = False
 
     def reset(self, replicas: Sequence[InferenceEngine]) -> None:
         self._cursor = 0
         self._capacity = {id(r): replica_capacity_score(r) for r in replicas}
+        self._bound = False
+
+    # ------------------------------------------------------------------ #
+    # Incremental decision path.
+    # ------------------------------------------------------------------ #
+    def bind(self, replicas: Sequence[InferenceEngine], tracker: LoadTracker) -> None:
+        """Build per-fleet incremental state (buffer, score cache, heap)."""
+        n = len(replicas)
+        self._replicas = list(replicas)
+        self._dirty = tracker.register()
+        self._buf = SnapshotBuffer(
+            [
+                self._capacity.get(id(r)) or replica_capacity_score(r)
+                for r in replicas
+            ]
+        )
+        #: Cached score per *global* replica index (request-independent only).
+        self._scores = [0.0] * n
+        #: Lazy-deletion min-heap of (score, global index); an entry is stale
+        #: when its score no longer matches the cache.
+        self._heap: list[tuple[float, int]] = []
+        #: Position-keyed state for the current topology epoch.
+        self._inc_epoch: int | None = None
+        self._routable: list[int] = []
+        self._pos_of: dict[int, int] = {}
+        #: Reusable per-decision score scratch (request-dependent scan).
+        self._scratch: list[float] = []
+        self._bound = True
+
+    def _rebind_routable(self, routable: Sequence[int], tracker: LoadTracker) -> None:
+        """Rebuild position-keyed state after a routable-set change.
+
+        Runs O(routable) once per topology transition (activate/drain/...),
+        which is rare next to per-request decisions.  Request-independent
+        routers rescore every member because a score may read
+        ``snapshot.index`` — a *position*, which just changed.
+        """
+        self._inc_epoch = tracker.epoch
+        self._routable = list(routable)
+        self._pos_of = {g: p for p, g in enumerate(self._routable)}
+        n = len(self._routable)
+        if len(self._scratch) < n:
+            self._scratch = [0.0] * n
+        if self.request_independent:
+            dirty, buf, scores = self._dirty, self._buf, self._scores
+            nqt = self.needs_queued_tokens
+            for p, g in enumerate(self._routable):
+                if g in dirty:
+                    buf.refresh(g, self._replicas[g], nqt)
+                    dirty.discard(g)
+                scores[g] = self.score(None, buf.view(g, p))
+            self._heap = [(scores[g], g) for g in self._routable]
+            heapq.heapify(self._heap)
+
+    def _refresh_dirty(self) -> None:
+        """Re-read signals + scores of dirtied routable replicas (lazy heap)."""
+        dirty = self._dirty
+        pos_of = self._pos_of
+        marked = [g for g in dirty if g in pos_of]
+        if not marked:
+            return
+        buf, heap, scores = self._buf, self._heap, self._scores
+        nqt = self.needs_queued_tokens
+        for g in marked:
+            buf.refresh(g, self._replicas[g], nqt)
+            dirty.discard(g)
+            s = self.score(None, buf.view(g, pos_of[g]))
+            if s != scores[g]:
+                scores[g] = s
+                heapq.heappush(heap, (s, g))
+        # Stale entries accumulate one push per score change; compact once
+        # they dominate so the heap stays O(routable) in steady state.
+        if len(heap) > 64 and len(heap) > 4 * len(pos_of):
+            fresh = [(scores[g], g) for g in self._routable]
+            heapq.heapify(fresh)
+            self._heap = fresh
+
+    def choose_incremental(
+        self,
+        request: Request,
+        routable: Sequence[int],
+        replicas: Sequence[InferenceEngine],
+        tracker: LoadTracker,
+    ) -> int:
+        """The sweep decision, computed from incrementally maintained state.
+
+        Equivalence argument: cached signals equal live signals (every engine
+        mutation marks its replica dirty, and dirty replicas are re-read
+        here before scoring); scores are computed by the same ``score``
+        method over bit-identical snapshot values; the minimum and the
+        rotating tolerance tie-break then see the same inputs as
+        ``choose``'s full sweep and make the same pick.
+        """
+        if not self._bound:
+            return self.choose(request, replicas)
+        if self._inc_epoch != tracker.epoch:
+            self._rebind_routable(routable, tracker)
+        rel, abs_ = self.tie_rel_tol, self.tie_abs_tol
+        n = len(routable)
+        cursor = self._cursor
+        if self.request_independent:
+            self._refresh_dirty()
+            heap, scores = self._heap, self._scores
+            while heap and heap[0][0] != scores[heap[0][1]]:
+                heapq.heappop(heap)
+            # Heap top is the global minimum over valid + stale entries, and
+            # every routable replica keeps one valid entry, so a non-stale
+            # top *is* min(current scores).
+            best = heap[0][0]
+            for offset in range(n):
+                pos = (cursor + offset) % n
+                if math.isclose(scores[routable[pos]], best, rel_tol=rel, abs_tol=abs_):
+                    return pos
+            return min(range(n), key=lambda p: scores[routable[p]])  # unreachable
+        # Request-dependent scores: refresh dirty signals, then scan the
+        # buffer through the single reusable view — same arithmetic as the
+        # sweep, zero snapshot allocations.
+        dirty = self._dirty
+        if dirty:
+            pos_of = self._pos_of
+            marked = [g for g in dirty if g in pos_of]
+            if marked:
+                buf = self._buf
+                nqt = self.needs_queued_tokens
+                for g in marked:
+                    buf.refresh(g, self._replicas[g], nqt)
+                    dirty.discard(g)
+        buf = self._buf
+        scratch = self._scratch
+        score = self.score
+        best = math.inf
+        for pos in range(n):
+            s = score(request, buf.view(routable[pos], pos))
+            scratch[pos] = s
+            if s < best:
+                best = s
+        for offset in range(n):
+            pos = (cursor + offset) % n
+            if math.isclose(scratch[pos], best, rel_tol=rel, abs_tol=abs_):
+                return pos
+        return scratch.index(best)  # unreachable: best itself always matches
 
     def _snapshot(self, replica: InferenceEngine, index: int) -> ReplicaSnapshot:
         cap = self._capacity.get(id(replica))
@@ -130,6 +311,7 @@ class RoundRobinRouter(_ScoredRouter):
     """
 
     name = "round-robin"
+    request_independent = True
 
     def score(self, request: Request, snapshot: ReplicaSnapshot) -> float:
         return 0.0
@@ -145,6 +327,8 @@ class JoinShortestQueueRouter(_ScoredRouter):
     (router name ``jsq-raw``) is the classic raw-count baseline the
     heterogeneous-fleet experiment compares against.
     """
+
+    request_independent = True
 
     def __init__(self, normalized: bool = True) -> None:
         super().__init__()
@@ -165,6 +349,7 @@ class LeastLoadedKVRouter(_ScoredRouter):
     """
 
     name = "least-kv"
+    request_independent = True
 
     def score(self, request: Request, snapshot: ReplicaSnapshot) -> float:
         # Occupancy dominates; load is a tie-shader well below one block.

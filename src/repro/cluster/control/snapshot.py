@@ -8,13 +8,49 @@ snapshots, never live engines, which makes two guarantees structural:
 ``choose`` cannot mutate replica state, and every policy reads the *same*
 normalization (satisfying "JSQ counts in-system while phase-aware counts
 waiting" drift by construction).
+
+Two representations share the signal definitions:
+
+* :class:`ReplicaSnapshot` — the immutable per-capture dataclass.  One
+  allocation per (replica, decision); the reference semantics, and what the
+  autoscaler and the ``TDPIPE_ROUTING_SWEEP=1`` routing path consume.
+* :class:`SnapshotBuffer` + :class:`SnapshotView` — a reusable
+  struct-of-arrays buffer plus a single mutable view over it, refreshed only
+  for replicas whose load changed since the previous decision.  Zero
+  allocations per decision; the incremental routing fast path.  The view's
+  derived properties (``load``/``queue_load``/``est_wait_s``) use the exact
+  same expressions as the dataclass so scores are bit-identical floats.
+
+``snapshot_capture_count`` counts ``ReplicaSnapshot.capture`` calls so the
+perf harness can *assert* (not assume) that the incremental routing path
+allocates no per-replica snapshots.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["ReplicaSnapshot"]
+__all__ = [
+    "ReplicaSnapshot",
+    "SnapshotBuffer",
+    "SnapshotView",
+    "snapshot_capture_count",
+    "reset_snapshot_capture_count",
+]
+
+#: Number of ReplicaSnapshot.capture calls since the last reset (process
+#: global; a measurement probe, not part of any policy contract).
+_capture_count = 0
+
+
+def snapshot_capture_count() -> int:
+    """Process-wide count of :meth:`ReplicaSnapshot.capture` calls."""
+    return _capture_count
+
+
+def reset_snapshot_capture_count() -> None:
+    global _capture_count
+    _capture_count = 0
 
 
 @dataclass(frozen=True)
@@ -52,6 +88,8 @@ class ReplicaSnapshot:
         ``with_queued_tokens`` opts in to the O(queue) backlog-token sum;
         policies that only read counts keep routing O(1) per replica.
         """
+        global _capture_count
+        _capture_count += 1
         waiting = replica.waiting
         return cls(
             index=index,
@@ -82,3 +120,101 @@ class ReplicaSnapshot:
     def est_wait_s(self) -> float:
         """Estimated seconds of queued prefill work ahead of a newcomer."""
         return self.queued_tokens / self.capacity
+
+
+class SnapshotView:
+    """A mutable, reusable stand-in for :class:`ReplicaSnapshot`.
+
+    One instance is recycled across every replica and every routing decision
+    (the allocation-free fast path).  Field names and derived-property
+    expressions match the dataclass exactly, so ``Router.score`` receives
+    bit-identical values from either representation.  Callers must treat a
+    view as borrowed: it is only valid until the owning buffer's next
+    :meth:`SnapshotBuffer.view` call.
+    """
+
+    __slots__ = (
+        "index",
+        "queue_depth",
+        "in_system",
+        "queued_tokens",
+        "kv_usage",
+        "phase",
+        "capacity",
+    )
+
+    def __init__(self) -> None:
+        self.index = 0
+        self.queue_depth = 0
+        self.in_system = 0
+        self.queued_tokens = 0
+        self.kv_usage = 0.0
+        self.phase: str | None = None
+        self.capacity = 1.0
+
+    @property
+    def load(self) -> float:
+        return self.in_system / self.capacity
+
+    @property
+    def queue_load(self) -> float:
+        return self.queue_depth / self.capacity
+
+    @property
+    def est_wait_s(self) -> float:
+        return self.queued_tokens / self.capacity
+
+
+class SnapshotBuffer:
+    """Struct-of-arrays load signals for a fleet, refreshed replica-by-replica.
+
+    The buffer holds one slot per *global* replica index.  ``refresh(i, ...)``
+    re-reads replica ``i``'s live signals (the same reads as
+    ``ReplicaSnapshot.capture``); ``view(i, index)`` projects slot ``i`` into
+    the single reusable :class:`SnapshotView` with ``index`` set to the
+    caller's position semantics (the sweep path stamps the replica's position
+    in the routable subsequence, so the incremental path does too).
+    """
+
+    __slots__ = (
+        "capacity",
+        "queue_depth",
+        "in_system",
+        "queued_tokens",
+        "kv_usage",
+        "phase",
+        "_view",
+    )
+
+    def __init__(self, capacities) -> None:
+        n = len(capacities)
+        self.capacity = [float(c) for c in capacities]
+        self.queue_depth = [0] * n
+        self.in_system = [0] * n
+        self.queued_tokens = [0] * n
+        self.kv_usage = [0.0] * n
+        self.phase: list[str | None] = [None] * n
+        self._view = SnapshotView()
+
+    def refresh(self, i: int, replica, with_queued_tokens: bool = False) -> None:
+        """Re-read replica ``i``'s live signals into slot ``i``."""
+        waiting = replica.waiting
+        self.queue_depth[i] = len(waiting)
+        self.in_system[i] = replica.in_system
+        self.queued_tokens[i] = (
+            sum(s.prefill_len for s in waiting) if with_queued_tokens else 0
+        )
+        self.kv_usage[i] = replica.block_manager.usage_ratio
+        self.phase[i] = getattr(replica, "phase", None)
+
+    def view(self, i: int, index: int) -> SnapshotView:
+        """Project slot ``i`` into the shared view (borrowed, not owned)."""
+        v = self._view
+        v.index = index
+        v.queue_depth = self.queue_depth[i]
+        v.in_system = self.in_system[i]
+        v.queued_tokens = self.queued_tokens[i]
+        v.kv_usage = self.kv_usage[i]
+        v.phase = self.phase[i]
+        v.capacity = self.capacity[i]
+        return v

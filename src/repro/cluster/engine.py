@@ -50,6 +50,11 @@ class ClusterEngine:
         Optional fleet-sizing policy.  When given, only the autoscaler's
         initial replica set is active at t=0; the rest are provisioned
         headroom it can activate (and later drain) on queue pressure.
+    routing_sweep:
+        Force per-request snapshot-sweep routing (the reference path)
+        instead of the incremental fast path; ``None`` defers to the
+        ``TDPIPE_ROUTING_SWEEP`` environment variable.  Decisions are
+        identical either way — this is a verification/benchmark knob.
 
     Example
     -------
@@ -67,6 +72,7 @@ class ClusterEngine:
         router: str | Router = "round-robin",
         max_events: int | None = None,
         autoscaler: Autoscaler | None = None,
+        routing_sweep: bool | None = None,
     ) -> None:
         if not factories:
             raise ValueError("a cluster needs at least one replica")
@@ -85,7 +91,12 @@ class ClusterEngine:
             router.predictor = next(
                 (r.predictor for r in self.replicas if hasattr(r, "predictor")), None
             )
-        self.control = ControlPlane(self.replicas, router=router, autoscaler=autoscaler)
+        self.control = ControlPlane(
+            self.replicas,
+            router=router,
+            autoscaler=autoscaler,
+            routing_sweep=routing_sweep,
+        )
         self.max_events = max_events
         #: request_id -> replica index, filled in during the run.
         self.assignments: dict[int, int] = {}

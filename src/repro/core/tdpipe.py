@@ -106,12 +106,14 @@ class TDPipeEngine(InferenceEngine):
         if self.phase is not None and end > self._phase_started_at:
             self.phase_spans.append(PhaseSpan(self.phase, self._phase_started_at, end))
         self.phase = None
+        self._notify_load()  # phase is a routing signal (phase-aware router)
 
     def _phase_start(self, phase: str) -> None:
         now = self.sim.now
         self._close_phase(now)
         self.phase = phase
         self._phase_started_at = now
+        self._notify_load()
 
     def _finalize_phases(self) -> None:
         self._close_phase(self.trace.makespan)

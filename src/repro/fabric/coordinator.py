@@ -102,8 +102,15 @@ class FabricCoordinator:
         reuse: bool = False,
         overrides: Sequence[Mapping[str, Any]] | None = None,
         batch: str | None = None,
+        priority: int = 0,
+        priorities: Sequence[int] | None = None,
     ) -> list[str]:
-        """Resolve and spool one task per spec; return task ids in order."""
+        """Resolve and spool one task per spec; return task ids in order.
+
+        ``priority``/``priorities`` set claim tiers (higher first) — an
+        urgent batch submitted into a busy spool jumps the pending queue
+        without disturbing running tasks.
+        """
         resolved = [spec.resolved() for spec in specs]
         task_ids = self.spool.submit(
             [spec.to_dict() for spec in resolved],
@@ -111,6 +118,8 @@ class FabricCoordinator:
             reuse=reuse,
             overrides=overrides,
             batch=batch,
+            priority=priority,
+            priorities=priorities,
         )
         for task_id in task_ids:
             self._watch[task_id] = _TaskWatch()

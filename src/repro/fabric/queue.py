@@ -76,6 +76,9 @@ class FabricTask:
     #: Sweep coordinates, stamped on the artifact before it is filed so
     #: fabric-produced records match serial ``run_sweep`` records.
     overrides: dict[str, Any] = field(default_factory=dict)
+    #: Claim priority: higher claims first; equal priorities keep
+    #: lexicographic (= submission) order.  0 is the default tier.
+    priority: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -85,6 +88,7 @@ class FabricTask:
             "spec": self.spec,
             "reuse": self.reuse,
             "overrides": dict(self.overrides),
+            "priority": self.priority,
         }
 
     @classmethod
@@ -96,6 +100,7 @@ class FabricTask:
             spec=dict(data["spec"]),
             reuse=bool(data.get("reuse", False)),
             overrides=dict(data.get("overrides", {})),
+            priority=int(data.get("priority", 0)),
         )
 
 
@@ -122,6 +127,10 @@ class FabricSpool:
 
     def __init__(self, root: str | os.PathLike) -> None:
         self.root = Path(root)
+        # Task files are immutable once spooled (requeue/quarantine move or
+        # delete them, never rewrite), so priorities can be cached per spool
+        # handle instead of re-reading every task file on every claim scan.
+        self._priority_cache: dict[str, int] = {}
 
     # -- paths ---------------------------------------------------------- #
     @property
@@ -174,16 +183,25 @@ class FabricSpool:
         reuse: bool = False,
         overrides: Sequence[Mapping[str, Any]] | None = None,
         batch: str | None = None,
+        priority: int = 0,
+        priorities: Sequence[int] | None = None,
     ) -> list[str]:
         """Spool one task file per resolved spec; return task ids in order.
 
         Task ids embed the batch prefix and the zero-padded submission index,
         so lexicographic order within a batch *is* submission order and
         workers scanning ``tasks/`` pick work up in a stable sequence.
+        ``priority`` (one tier for the whole batch) or ``priorities`` (one
+        per spec) place tasks in higher-first claim tiers — see
+        :meth:`claim_order`.
         """
         if overrides is not None and len(overrides) != len(spec_dicts):
             raise ValueError(
                 f"got {len(overrides)} override dicts for {len(spec_dicts)} specs"
+            )
+        if priorities is not None and len(priorities) != len(spec_dicts):
+            raise ValueError(
+                f"got {len(priorities)} priorities for {len(spec_dicts)} specs"
             )
         self.ensure_layout()
         batch = batch or self.new_batch_id()
@@ -196,8 +214,10 @@ class FabricSpool:
                 spec=dict(spec),
                 reuse=reuse,
                 overrides=dict(overrides[index]) if overrides is not None else {},
+                priority=int(priorities[index] if priorities is not None else priority),
             )
             _write_atomic(self._task_path(task.task_id), task.to_dict())
+            self._priority_cache[task.task_id] = task.priority
             task_ids.append(task.task_id)
         return task_ids
 
@@ -209,6 +229,25 @@ class FabricSpool:
         return sorted(
             path.stem for path in self.tasks_dir.glob("*.json")
             if not path.name.endswith(".tmp")
+        )
+
+    def task_priority(self, task_id: str) -> int:
+        """The task's claim priority (cached; task files are immutable)."""
+        cached = self._priority_cache.get(task_id)
+        if cached is not None:
+            return cached
+        data = _read_json(self._task_path(task_id))
+        if data is None:
+            return 0  # vanished under us (claimed + completed, or quarantined)
+        priority = int(data.get("priority", 0))
+        self._priority_cache[task_id] = priority
+        return priority
+
+    def claim_order(self) -> list[str]:
+        """Spooled task ids in claim order: highest priority first, then
+        lexicographic (= submission order) within a tier."""
+        return sorted(
+            self.task_ids(), key=lambda tid: (-self.task_priority(tid), tid)
         )
 
     def load_task(self, task_id: str) -> FabricTask:
@@ -316,6 +355,28 @@ class FabricSpool:
             self.quarantine_dir / f"{task_id}.error.json",
             {"task_id": task_id, "error": error, "attempts": attempts},
         )
+        self.requeue(task_id)
+
+    def restore_quarantined(self, task_id: str) -> None:
+        """Put a quarantined task back into circulation (manual recovery).
+
+        The inverse of :meth:`quarantine`: the task file moves back into
+        ``tasks/``, the preserved error evidence is dropped, and any stale
+        lease or result is cleared so the task is immediately claimable.
+        Raises ``KeyError`` when the task is not quarantined — requeuing a
+        live task by mistake should be loud, not a silent no-op.
+        """
+        source = self.quarantine_dir / f"{task_id}.json"
+        if not source.exists():
+            raise KeyError(
+                f"spool {self.root} has no quarantined task {task_id!r}"
+            )
+        self.ensure_layout()
+        os.replace(source, self._task_path(task_id))
+        try:
+            os.unlink(self.quarantine_dir / f"{task_id}.error.json")
+        except FileNotFoundError:
+            pass
         self.requeue(task_id)
 
     def quarantined_ids(self) -> list[str]:

@@ -101,6 +101,10 @@ class FabricWorker:
         self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
         self.poll_interval_s = poll_interval_s
         self.heartbeat_interval_s = heartbeat_interval_s
+        # Provenance stamp cache: the source-tree fingerprint walk is pure
+        # function of this process' code, so one computation serves every
+        # reuse check this worker ever makes (lazily filled on first use).
+        self._stamp: dict[str, str] | None = None
 
     # -- the daemon loop ------------------------------------------------- #
     def run(
@@ -138,7 +142,7 @@ class FabricWorker:
         return stats
 
     def _claim_next(self) -> FabricTask | None:
-        for task_id in self.spool.task_ids():
+        for task_id in self.spool.claim_order():
             if self.spool.read_result(task_id) is not None:
                 continue
             if self.spool.lease_info(task_id) is not None:
@@ -188,7 +192,11 @@ class FabricWorker:
                 raise RuntimeError(f"injected failure ({_ENV_TEST_FAIL})")
             spec = ScenarioSpec.from_dict(task.spec)
             if task.reuse:
-                hit = stored_artifact_for(self.store, spec)
+                if self._stamp is None:
+                    from ..api.provenance import provenance_stamp
+
+                    self._stamp = provenance_stamp()
+                hit = stored_artifact_for(self.store, spec, stamp=self._stamp)
                 if hit is not None:
                     return {
                         **base,

@@ -1,6 +1,6 @@
 """Micro + macro perf benchmarks emitting the ``BENCH_perf.json`` record.
 
-Six sections, cheapest to dearest:
+Seven sections, cheapest to dearest:
 
 * **kernel** — raw event throughput of the discrete-event simulator (a
   self-rescheduling callback storm; no engines, no cost model);
@@ -11,6 +11,11 @@ Six sections, cheapest to dearest:
   lookup throughput, and the vectorized decode-rate-curve throughput;
 * **regime** — arrival-schedule compilation throughput (arrivals/sec) of the
   workload-regime engine on a stretched ``diurnal`` preset with sessions;
+* **cluster_scale** — control-plane scaling: routing decisions/sec on stub
+  fleets of 4/32/128 replicas for both the incremental fast path and the
+  ``TDPIPE_ROUTING_SWEEP`` reference sweep (with destination parity and a
+  zero-snapshot-allocation assertion), plus end-to-end cluster events/sec at
+  the same fleet sizes;
 * **cluster** — one mid-scale heterogeneous cluster run through the spec
   front door (the single-run macro number);
 * **grid** — the fig13 prefill-switch spec grid executed serially and with a
@@ -195,6 +200,188 @@ def bench_regime(target_arrivals: int) -> dict[str, Any]:
 
 
 # --------------------------------------------------------------------- #
+# Control-plane scaling: routing decisions/sec + cluster events/sec vs
+# fleet size.
+# --------------------------------------------------------------------- #
+class _StubBlockManager:
+    __slots__ = ("usage_ratio",)
+
+    def __init__(self) -> None:
+        self.usage_ratio = 0.0
+
+
+class _StubReplica:
+    """Minimal load-signal surface for routing micro-benchmarks.
+
+    Exposes exactly what routers read (waiting/in_system/kv/phase) plus the
+    load-observer hook, so the control plane takes its real incremental path
+    while the benchmark mutates load in O(1) per decision.  No
+    ``stage_models`` attribute, so the capacity score falls back to 1.0.
+    """
+
+    def __init__(self) -> None:
+        self.waiting: list[Any] = []
+        self.in_system = 0
+        self.block_manager = _StubBlockManager()
+        self.phase: str | None = None
+        self._observer: Callable[[], None] | None = None
+
+    def set_load_observer(self, observer: Callable[[], None] | None) -> None:
+        self._observer = observer
+
+    def notify(self) -> None:
+        if self._observer is not None:
+            self._observer()
+
+
+def _bench_routing(
+    router_name: str, fleet: int, decisions: int, sweep: bool
+) -> tuple[float, list[int]]:
+    """Decisions/sec of one routing path; returns (rate, destinations).
+
+    Each decision is followed by an O(1) load mutation (the chosen stub gains
+    one in-system request; once ~3×fleet are in flight the oldest finishes),
+    so the incremental path pays realistic dirty-refresh traffic instead of
+    scoring a frozen fleet.
+    """
+    from collections import deque
+
+    from ..cluster.control.plane import ControlPlane
+    from ..cluster.control.routing import make_router
+    from ..sim.engine import Simulator
+    from ..workload import generate_requests
+
+    stubs = [_StubReplica() for _ in range(fleet)]
+    plane = ControlPlane(stubs, router=make_router(router_name), routing_sweep=sweep)
+    plane.begin(Simulator(), total_requests=decisions)
+    requests = generate_requests(min(decisions, 512), seed=0)
+    n_requests = len(requests)
+    destinations: list[int] = []
+    in_flight: deque[int] = deque()
+    t0 = time.perf_counter()
+    for k in range(decisions):
+        idx = plane.route(requests[k % n_requests])
+        destinations.append(idx)
+        stub = stubs[idx]
+        stub.in_system += 1
+        stub.notify()
+        in_flight.append(idx)
+        if len(in_flight) > 3 * fleet:
+            done = stubs[in_flight.popleft()]
+            done.in_system -= 1
+            done.notify()
+    wall = time.perf_counter() - t0
+    return (decisions / wall if wall > 0 else 0.0), destinations
+
+
+def bench_cluster_scale(
+    decisions: int,
+    fleets: tuple[int, ...] = (4, 32, 128),
+    e2e_requests_per_replica: int = 4,
+) -> dict[str, Any]:
+    """Control-plane cost vs fleet size, incremental path vs reference sweep.
+
+    Two legs per fleet size:
+
+    * **routing micro** — ``jsq`` (the cached-score/lazy-heap path) and
+      ``deadline`` (the request-dependent buffer-scan path) on stub
+      replicas; the sweep leg runs fewer decisions (it is the slow path
+      being measured) and its destinations must equal the incremental leg's
+      prefix — the bench re-verifies parity on every run.  The incremental
+      ``jsq`` leg must allocate **zero** ``ReplicaSnapshot`` captures; a
+      nonzero counter raises, so the allocation-free claim is gated, not
+      assumed.
+    * **end-to-end** — a homogeneous TD-Pipe cluster driven through
+      :class:`~repro.cluster.engine.ClusterEngine` at an arrival rate
+      proportional to the fleet, reporting shared-clock events/sec.
+
+    The largest fleet's numbers are flattened into ``*_per_sec_<N>`` keys so
+    the trajectory gate can track them with plain dotted paths.
+    """
+    from ..cluster.control.snapshot import (
+        reset_snapshot_capture_count,
+        snapshot_capture_count,
+    )
+    from ..cluster.engine import ClusterEngine
+    from ..core.tdpipe import TDPipeEngine
+    from ..hardware.node import make_node
+    from ..models.spec import get_model
+    from ..predictor.length_predictor import OraclePredictor
+    from ..workload import generate_requests, with_poisson_arrivals
+
+    routing: dict[str, Any] = {}
+    for fleet in fleets:
+        sweep_decisions = max(decisions // 8, 200)
+        per_fleet: dict[str, Any] = {"decisions": decisions}
+        for router_name in ("jsq", "deadline"):
+            reset_snapshot_capture_count()
+            inc_rate, inc_dests = _bench_routing(
+                router_name, fleet, decisions, sweep=False
+            )
+            captures = snapshot_capture_count()
+            if router_name == "jsq" and captures:
+                raise RuntimeError(
+                    f"incremental jsq routing allocated {captures} replica "
+                    f"snapshots at fleet={fleet}; the fast path must be "
+                    "allocation-free"
+                )
+            sweep_rate, sweep_dests = _bench_routing(
+                router_name, fleet, sweep_decisions, sweep=True
+            )
+            if inc_dests[: len(sweep_dests)] != sweep_dests:
+                raise RuntimeError(
+                    f"routing parity violation: {router_name} incremental and "
+                    f"sweep paths diverged at fleet={fleet}"
+                )
+            per_fleet[router_name] = {
+                "decisions_per_sec": inc_rate,
+                "sweep_decisions_per_sec": sweep_rate,
+                "speedup": inc_rate / sweep_rate if sweep_rate > 0 else 0.0,
+                "snapshot_captures": captures,
+            }
+        routing[str(fleet)] = per_fleet
+
+    e2e: dict[str, Any] = {}
+    for fleet in fleets:
+        n_requests = e2e_requests_per_replica * fleet
+        requests = with_poisson_arrivals(
+            generate_requests(n_requests, seed=0), 4.0 * fleet, seed=0
+        )
+        cluster = ClusterEngine(
+            [
+                lambda sim: TDPipeEngine(
+                    make_node("L20", 2), get_model("13B"), OraclePredictor(), sim=sim
+                )
+                for _ in range(fleet)
+            ],
+            router="jsq",
+        )
+        t0 = time.perf_counter()
+        result = cluster.run(requests)
+        wall = time.perf_counter() - t0
+        events = cluster.sim.events_processed
+        e2e[str(fleet)] = {
+            "requests": result.completed_requests,
+            "events": events,
+            "wall_s": wall,
+            "events_per_sec": events / wall if wall > 0 else 0.0,
+        }
+
+    top = str(max(fleets))
+    return {
+        "fleets": list(fleets),
+        "routing": routing,
+        "e2e": e2e,
+        f"routing_decisions_per_sec_{top}": routing[top]["jsq"]["decisions_per_sec"],
+        f"routing_sweep_decisions_per_sec_{top}": routing[top]["jsq"][
+            "sweep_decisions_per_sec"
+        ],
+        f"routing_speedup_{top}": routing[top]["jsq"]["speedup"],
+        f"cluster_events_per_sec_{top}": e2e[top]["events_per_sec"],
+    }
+
+
+# --------------------------------------------------------------------- #
 # Macro: one mid-scale cluster run.
 # --------------------------------------------------------------------- #
 def bench_cluster(scale_factor: float) -> dict[str, Any]:
@@ -286,6 +473,9 @@ def run_perf_suite(
     regime_arrivals: int | None = None,
     cluster_scale: float | None = None,
     grid_scale: float | None = None,
+    scale_decisions: int | None = None,
+    scale_fleets: tuple[int, ...] | None = None,
+    scale_requests_per_replica: int | None = None,
 ) -> dict[str, Any]:
     """Run every benchmark section; return the BENCH_perf.json record.
 
@@ -308,6 +498,14 @@ def run_perf_suite(
         # (serialization + reconstruction, ~0.15s) or the speedup number
         # measures IPC, not execution.  0.2 => ~1.7s of compute per point.
         grid_scale = 0.2 if quick else 0.4
+    if scale_decisions is None:
+        scale_decisions = 4_000 if quick else 20_000
+    if scale_fleets is None:
+        # Same fleet sizes in quick mode: the 128-replica routing micro is
+        # cheap, and the trajectory gate needs stable metric keys.
+        scale_fleets = (4, 32, 128)
+    if scale_requests_per_replica is None:
+        scale_requests_per_replica = 2 if quick else 4
     repeat = max(1, repeat)
 
     kernel_samples = _repeated(lambda: bench_kernel(kernel_events), repeat)
@@ -362,6 +560,11 @@ def run_perf_suite(
         "costmodel": costmodel,
         "vectorized": vectorized,
         "regime": regime,
+        "cluster_scale": bench_cluster_scale(
+            scale_decisions,
+            fleets=scale_fleets,
+            e2e_requests_per_replica=scale_requests_per_replica,
+        ),
         "cluster": bench_cluster(cluster_scale),
         "grid": bench_grid(grid_scale, jobs),
     }
@@ -372,6 +575,7 @@ def format_report(report: dict[str, Any]) -> str:
     cost = report["costmodel"]
     vector = report.get("vectorized")
     regime = report.get("regime")
+    scale = report.get("cluster_scale")
     cluster = report["cluster"]
     grid = report["grid"]
     repeat = report.get("repeat", 1)
@@ -404,6 +608,23 @@ def format_report(report: dict[str, Any]) -> str:
                 f"{regime['sessions']:,} sessions in {regime['wall_s']:.2f}s)"
             ]
             if regime is not None
+            else []
+        ),
+        *(
+            [
+                "  ctrl-plane: routing "
+                + ", ".join(
+                    f"fleet {f}: {scale['routing'][str(f)]['jsq']['decisions_per_sec']:,.0f}/s "
+                    f"({scale['routing'][str(f)]['jsq']['speedup']:.1f}x vs sweep)"
+                    for f in scale["fleets"]
+                ),
+                "  ctrl-plane: e2e     "
+                + ", ".join(
+                    f"fleet {f}: {scale['e2e'][str(f)]['events_per_sec']:,.0f} ev/s"
+                    for f in scale["fleets"]
+                ),
+            ]
+            if scale is not None
             else []
         ),
         f"  cluster   : scale {cluster['scale']:g} run in "

@@ -47,6 +47,11 @@ DEFAULT_TOLERANCES: dict[str, float] = {
     "costmodel.prefill_warm_calls_per_sec": 0.35,
     "vectorized.grid_points_per_sec": 0.40,
     "regime.arrivals_per_sec": 0.40,
+    "cluster_scale.routing_decisions_per_sec_128": 0.40,
+    # The incremental-vs-sweep ratio: both sides jitter, but a collapse back
+    # to O(fleet) routing shows up as an order-of-magnitude drop.
+    "cluster_scale.routing_speedup_128": 0.50,
+    "cluster_scale.cluster_events_per_sec_128": 0.40,
     "cluster.requests_per_sec_wall": 0.40,
     "grid.serial_points_per_sec": 0.40,
     "grid.parallel_points_per_sec": 0.40,

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import abc
 from collections import deque
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from ..costmodel.roofline import PrefillChunk, StageCostModel
 from ..costmodel.vectorized import install_default_grids
@@ -117,6 +117,10 @@ class InferenceEngine(abc.ABC):
         self.finished: list[RequestState] = []
         self.inflight: dict[int, BatchTask] = {}
 
+        # Control-plane load observer (see set_load_observer); None when the
+        # engine runs standalone, so notifications cost one attribute read.
+        self._load_observer: Callable[[], None] | None = None
+
         # Single-threaded synchronous driver (baselines only).
         self._driver_free_at = 0.0
 
@@ -213,8 +217,28 @@ class InferenceEngine(abc.ABC):
         needed = self.block_manager.blocks_needed(state.prefill_len)
         return needed + self.watermark_blocks <= self.block_manager.free_blocks
 
+    def set_load_observer(self, observer: Callable[[], None] | None) -> None:
+        """Register a zero-arg callable fired on routing-signal changes.
+
+        The control plane's incremental routers rebuild per-replica state
+        lazily instead of sweeping the fleet per request; this hook is their
+        invalidation source.  The contract is conservative: the engine calls
+        the observer whenever a signal a router might read — waiting-queue
+        length, in-system count, KV occupancy, temporal phase — *may* have
+        changed.  Spurious notifications are harmless (one redundant
+        refresh); missed ones desynchronize routing, so mutation helpers
+        notify unconditionally.
+        """
+        self._load_observer = observer
+
+    def _notify_load(self) -> None:
+        obs = self._load_observer
+        if obs is not None:
+            obs()
+
     def admit(self, state: RequestState) -> None:
         self.block_manager.allocate(state.request_id, state.prefill_len)
+        self._notify_load()
 
     def reserve_decode_tokens(
         self, batch: list[RequestState]
@@ -248,6 +272,7 @@ class InferenceEngine(abc.ABC):
             self.recomputations += 1
         for s in batch:
             self.block_manager.append(s.request_id, 1)
+        self._notify_load()
         return batch, evicted
 
     def driver_delay(self, n_seqs: int) -> float:
@@ -271,6 +296,7 @@ class InferenceEngine(abc.ABC):
         state.finish_time = self.sim.now
         self.stamp_first_token(state)
         self.finished.append(state)
+        self._notify_load()
 
     def stamp_first_token(self, state: RequestState) -> None:
         """Record TTFT the first time a request has produced a token."""
@@ -332,6 +358,7 @@ class InferenceEngine(abc.ABC):
 
     def _admit_arrival(self, state: RequestState) -> None:
         self.waiting.append(state)
+        self._notify_load()
         self._on_arrival(state)
 
     def _on_run_end(self) -> None:
@@ -364,6 +391,7 @@ class InferenceEngine(abc.ABC):
                 self.sim.schedule_at(
                     s.request.arrival_time, lambda st=s: self._admit_arrival(st)
                 )
+        self._notify_load()
         self._bootstrap()
 
     def enqueue(self, request: Request) -> None:

@@ -140,6 +140,39 @@ class TestFabricSpool:
         )
         assert error["error"] == "poison" and error["attempts"] == 3
 
+    def test_priority_claim_order_and_round_trip(self, tmp_path):
+        spool = FabricSpool(tmp_path / "spool")
+        specs = [s.resolved().to_dict() for s in tiny_specs(3)]
+        a, b, c = spool.submit(specs, names=list("abc"), priorities=[0, 7, 7])
+        assert spool.task_ids() == [a, b, c]  # listing stays submission order
+        assert spool.claim_order() == [b, c, a]  # tiers first, then order
+        # Priority survives the trip through the task file (cold cache).
+        fresh = FabricSpool(spool.root)
+        assert fresh.load_task(b).priority == 7
+        assert fresh.task_priority(a) == 0
+        assert fresh.claim_order() == [b, c, a]
+
+    def test_whole_batch_priority_and_validation(self, tmp_path):
+        spool = FabricSpool(tmp_path / "spool")
+        specs = [s.resolved().to_dict() for s in tiny_specs(2)]
+        first = spool.submit(specs, names=["a", "b"])
+        urgent = spool.submit([specs[0]], names=["u"], priority=3)
+        assert spool.claim_order() == urgent + first
+        with pytest.raises(ValueError, match="priorities"):
+            spool.submit(specs, names=["a", "b"], priorities=[1])
+
+    def test_restore_quarantined_round_trip(self, tmp_path):
+        spool, task_id = self.submit_one(tmp_path)
+        with pytest.raises(KeyError, match="no quarantined task"):
+            spool.restore_quarantined(task_id)  # live tasks must be loud
+        spool.quarantine(task_id, "poison", attempts=3)
+        spool.restore_quarantined(task_id)
+        assert spool.task_ids() == [task_id]
+        assert spool.quarantined_ids() == []
+        # The error evidence went with it, and the task is claimable again.
+        assert not (spool.quarantine_dir / f"{task_id}.error.json").exists()
+        assert spool.claim(task_id, "w1") is True
+
     def test_drain_sentinel(self, tmp_path):
         spool = FabricSpool(tmp_path / "spool")
         assert not spool.drain_requested()
@@ -401,6 +434,41 @@ class TestFabricReuse:
         for a, b in zip(cold, warm):
             assert a.result == b.result and a.overrides == b.overrides
 
+    def test_fingerprint_walk_once_per_worker(self, tmp_path, monkeypatch):
+        """One provenance walk serves every reuse check a worker makes."""
+        import repro.api.provenance as provenance
+
+        specs = tiny_specs(2)
+        store = api.ArtifactStore(tmp_path / "store")
+        run_fabric(specs, workers=1, store=store)  # warm the store
+
+        real = provenance.provenance_stamp
+        calls = []
+        monkeypatch.setattr(
+            provenance,
+            "provenance_stamp",
+            lambda *a, **kw: calls.append(1) or real(*a, **kw),
+        )
+        spool = FabricSpool(tmp_path / "spool")
+        coordinator = FabricCoordinator(spool, store, backoff_base_s=0.01)
+        task_ids = coordinator.submit(specs, reuse=True)
+        worker = FabricWorker(spool, store, worker_id="inline")
+        stats = worker.run(max_tasks=2, idle_exit_s=1.0)
+        assert stats["reused"] == 2
+        assert len(calls) == 1  # lazily computed once, then cached
+        coordinator.wait(task_ids, timeout_s=10.0)
+        assert [a.reused for a in coordinator.collect(task_ids)] == [True, True]
+
+    def test_high_priority_task_claimed_first(self, tmp_path):
+        spool = FabricSpool(tmp_path / "spool")
+        store = api.ArtifactStore(tmp_path / "store")
+        coordinator = FabricCoordinator(spool, store)
+        low, high = coordinator.submit(tiny_specs(2), priorities=[0, 5])
+        worker = FabricWorker(spool, store, worker_id="inline")
+        worker.run(max_tasks=1, idle_exit_s=1.0)
+        assert spool.read_result(high) is not None  # jumped the queue
+        assert spool.read_result(low) is None
+
     def test_provenance_mismatch_misses(self, tmp_path, monkeypatch):
         store = api.ArtifactStore(tmp_path / "store")
         run_fabric(tiny_specs(1), workers=1, store=store)
@@ -466,6 +534,43 @@ class TestFabricCli:
             worker.join(timeout=10.0)
         assert rc == 0
         assert "throughput" in capsys.readouterr().out
+
+    def test_requeue_round_trip(self, tmp_path, capsys, monkeypatch):
+        """quarantine -> `fabric requeue` -> worker completes the task."""
+        spool_dir = str(tmp_path / "spool")
+        spool = FabricSpool(spool_dir)
+        store = api.ArtifactStore(os.path.join(spool_dir, "store"))
+        monkeypatch.setenv("TDPIPE_FABRIC_TEST_FAIL", "poison")
+        with pytest.raises(api.SpecExecutionError):
+            run_fabric(
+                tiny_specs(1),
+                workers=1,
+                spool=spool,
+                store=store,
+                max_attempts=1,
+                backoff_base_s=0.01,
+            )
+        monkeypatch.delenv("TDPIPE_FABRIC_TEST_FAIL")
+        (task_id,) = spool.quarantined_ids()
+
+        with pytest.raises(SystemExit, match="not quarantined"):
+            self.run_cli(["fabric", "requeue", "nope", "--spool", spool_dir])
+        rc = self.run_cli(["fabric", "requeue", task_id, "--spool", spool_dir])
+        assert rc == 0 and "requeued" in capsys.readouterr().out
+        assert spool.quarantined_ids() == []
+        assert spool.task_ids() == [task_id]
+
+        spool.clear_drain()  # run_fabric's cleanup left the drain sentinel
+        rc = self.run_cli(
+            ["fabric", "worker", "--spool", spool_dir, "--max-tasks", "1",
+             "--worker-id", "redo"]
+        )
+        assert rc == 0 and "1 executed" in capsys.readouterr().out
+        assert spool.read_result(task_id)["status"] == "done"
+
+    def test_requeue_needs_a_task_id(self, tmp_path):
+        with pytest.raises(SystemExit, match="usage"):
+            self.run_cli(["fabric", "requeue", "--spool", str(tmp_path)])
 
     def test_fabric_flags_gated(self, tmp_path, capsys):
         with pytest.raises(SystemExit):

@@ -1,0 +1,288 @@
+"""The incremental routing fast path must be bit-identical to the sweep.
+
+Contracts under test (the large-fleet control-plane fast path):
+
+* **decision parity** — every dynamic router picks the same destination
+  for every request whether routing cost is paid by re-sweeping the fleet
+  (``TDPIPE_ROUTING_SWEEP=1``, the reference path) or by the incremental
+  dirty-tracking structures, including under autoscaler activations and
+  drains and under externally forced ``active``/``draining`` flag writes;
+* **store identity** — ``api.run`` on a cluster spec files records that
+  are byte-identical (modulo wall time) either way, so the fast path can
+  never fork memoized sweeps;
+* **allocation freedom** — incremental routing with a request-independent
+  router captures zero ``ReplicaSnapshot`` objects; the sweep path
+  captures O(fleet) of them per decision;
+* **graceful fallback** — replicas without the observer hook, or an
+  explicit ``routing_sweep`` override, silently keep the sweep semantics.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import api
+from repro.cluster import ClusterEngine, ControlPlane, make_router
+from repro.cluster.control import (
+    reset_snapshot_capture_count,
+    snapshot_capture_count,
+)
+from repro.cluster.control.autoscaler import Autoscaler
+from repro.cluster.routing import ROUTERS
+from repro.core import TDPipeEngine
+from repro.hardware import make_node
+from repro.models import LLAMA2_13B
+from repro.predictor import OraclePredictor
+from repro.runtime.state import RequestState
+from repro.sim import Simulator
+from repro.workload import (
+    generate_requests,
+    with_poisson_arrivals,
+    with_slo_mix,
+)
+
+#: Every router with per-request dynamics (static needs a fixed plan).
+DYNAMIC_ROUTERS = (*ROUTERS, "jsq-raw")
+
+
+def build(node_name="L20", sim=None):
+    return TDPipeEngine(
+        make_node(node_name, 2), LLAMA2_13B, OraclePredictor(), sim=sim
+    )
+
+
+def mixed_workload(n=48, seed=3):
+    reqs = with_poisson_arrivals(generate_requests(n, seed=seed), 10.0, seed=seed)
+    return with_slo_mix(reqs, "interactive:0.5,batch:0.5", seed=seed)
+
+
+def run_cluster(router, *, sweep, autoscale=True, n=48, seed=3):
+    nodes = ("L20", "A100", "L20", "L20")
+    autoscaler = (
+        Autoscaler(min_replicas=1, interval_s=0.25) if autoscale else None
+    )
+    cluster = ClusterEngine(
+        [lambda sim, node=node: build(node, sim=sim) for node in nodes],
+        router=router,
+        autoscaler=autoscaler,
+        routing_sweep=sweep,
+    )
+    result = cluster.run(mixed_workload(n, seed))
+    return cluster, result
+
+
+class _StubBlockManager:
+    def __init__(self):
+        self.usage_ratio = 0.0
+
+
+class _StubReplica:
+    """Just the routing signal surface: waiting/in_system/kv + the hook."""
+
+    system_name = "stub"
+
+    def __init__(self):
+        self.waiting = []
+        self.in_system = 0
+        self.block_manager = _StubBlockManager()
+        self.phase = None
+        self._observer = None
+
+    def set_load_observer(self, observer):
+        self._observer = observer
+
+    def notify(self):
+        if self._observer is not None:
+            self._observer()
+
+    def admit_fake(self, request):
+        self.waiting.append(RequestState(request))
+        self.in_system += 1
+        self.notify()
+
+    def finish_fake(self):
+        if self.waiting:
+            self.waiting.pop(0)
+        self.in_system -= 1
+        self.block_manager.usage_ratio = max(
+            0.0, self.block_manager.usage_ratio - 0.01
+        )
+        self.notify()
+
+
+def drive_plane(router_name, *, sweep, fleet=6, n=40, flag_script=()):
+    """Route n requests through a stub fleet, applying forced flag writes.
+
+    ``flag_script`` maps a decision step to a list of ``(attr, idx, value)``
+    writes poked straight into ``plane.active``/``plane.draining`` — the
+    external-actor path (operator, test, future policy) that must reset the
+    router's incremental indices via the ``_FlagList`` write hook.
+    Returns the destination sequence.
+    """
+    script = dict(flag_script)
+    stubs = [_StubReplica() for _ in range(fleet)]
+    plane = ControlPlane(
+        stubs, router=make_router(router_name), routing_sweep=sweep
+    )
+    plane.begin(Simulator(), total_requests=n)
+    requests = generate_requests(min(n, 64), seed=0)
+    destinations = []
+    in_flight = []
+    for step in range(n):
+        for attr, idx, value in script.get(step, ()):
+            getattr(plane, attr)[idx] = value
+        idx = plane.route(requests[step % len(requests)])
+        destinations.append(idx)
+        stubs[idx].admit_fake(requests[step % len(requests)])
+        in_flight.append(idx)
+        if len(in_flight) > 2 * fleet:
+            stubs[in_flight.pop(0)].finish_fake()
+    return plane, destinations
+
+
+# --------------------------------------------------------------------- #
+# Decision parity
+# --------------------------------------------------------------------- #
+class TestRoutingParity:
+    @pytest.mark.parametrize("router", DYNAMIC_ROUTERS)
+    def test_cluster_run_parity_with_autoscaler(self, router):
+        """Same destinations and same result on a mixed, autoscaled fleet."""
+        sweep_cluster, sweep_result = run_cluster(router, sweep=True)
+        inc_cluster, inc_result = run_cluster(router, sweep=False)
+        # The fast path actually engaged (and the reference did not).
+        assert sweep_cluster.control._tracker is None
+        assert inc_cluster.control._tracker is not None
+        assert inc_cluster.assignments == sweep_cluster.assignments
+        assert inc_result.completed_requests == sweep_result.completed_requests
+        assert inc_result.makespan == sweep_result.makespan
+        assert (
+            inc_result.requests_per_replica == sweep_result.requests_per_replica
+        )
+
+    @pytest.mark.parametrize("router", DYNAMIC_ROUTERS)
+    def test_forced_flag_writes_keep_parity(self, router):
+        """Externally poked active/draining flags reset incremental state.
+
+        The satellite pin: an external actor writing ``plane.active`` /
+        ``plane.draining`` directly (not through the autoscaler) must
+        invalidate the router's cached indices — destinations stay
+        identical to a sweep plane given the same forced sequence.
+        """
+        script = {
+            5: (("draining", 2, True),),
+            9: (("active", 4, False),),
+            14: (("draining", 2, False), ("active", 4, True)),
+            20: (("active", 0, False), ("active", 1, False)),
+            28: (("active", 0, True), ("active", 1, True)),
+        }
+        _, sweep_dests = drive_plane(
+            router, sweep=True, flag_script=script.items()
+        )
+        plane, inc_dests = drive_plane(
+            router, sweep=False, flag_script=script.items()
+        )
+        assert plane._tracker is not None
+        assert inc_dests == sweep_dests
+
+    def test_flag_write_bumps_topology_epoch(self):
+        plane, _ = drive_plane("jsq", sweep=False, n=4)
+        epoch = plane._tracker.epoch
+        plane.draining[1] = True
+        assert plane._tracker.epoch == epoch + 1
+        plane.active[2] = False
+        assert plane._tracker.epoch == epoch + 2
+
+
+# --------------------------------------------------------------------- #
+# Store identity through api.run
+# --------------------------------------------------------------------- #
+class TestStoreIdentity:
+    @pytest.mark.parametrize("router", ("jsq", "deadline"))
+    def test_records_identical_across_paths(self, tmp_path, router, monkeypatch):
+        spec = api.ScenarioSpec(
+            mode="cluster",
+            workload=api.WorkloadSpec(
+                scale=0.02, seed=0, arrival="poisson", rate_rps=10.0
+            ),
+            fleet=api.FleetSpec(node="L20", num_gpus=4, replicas=2),
+            engine=api.EngineSpec(system="TD-Pipe", model="13B"),
+            control=api.ControlSpec(router=router, autoscale=True),
+        )
+        monkeypatch.setenv("TDPIPE_ROUTING_SWEEP", "1")
+        sweep_store = api.ArtifactStore(tmp_path / "sweep")
+        sweep_store.put(api.run(spec))
+        monkeypatch.delenv("TDPIPE_ROUTING_SWEEP")
+        inc_store = api.ArtifactStore(tmp_path / "inc")
+        inc_store.put(api.run(spec))
+
+        assert sorted(inc_store.refs()) == sorted(sweep_store.refs())
+        for ref in inc_store.refs():
+            a = {
+                k: v
+                for k, v in inc_store.get_record(ref).items()
+                if k != "wall_time_s"
+            }
+            b = {
+                k: v
+                for k, v in sweep_store.get_record(ref).items()
+                if k != "wall_time_s"
+            }
+            assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+# --------------------------------------------------------------------- #
+# Allocation freedom
+# --------------------------------------------------------------------- #
+class TestAllocationFreedom:
+    def test_incremental_jsq_captures_no_snapshots(self):
+        reset_snapshot_capture_count()
+        drive_plane("jsq", sweep=False, n=50)
+        assert snapshot_capture_count() == 0
+
+    def test_sweep_jsq_captures_per_decision(self):
+        reset_snapshot_capture_count()
+        drive_plane("jsq", sweep=True, fleet=6, n=50)
+        # O(routable) captures per decision: at least one per routed request.
+        assert snapshot_capture_count() >= 50
+
+
+# --------------------------------------------------------------------- #
+# Fallback and overrides
+# --------------------------------------------------------------------- #
+class TestFallback:
+    def test_replicas_without_hook_fall_back_to_sweep(self):
+        class Hookless:
+            def __init__(self):
+                self.waiting = []
+                self.in_system = 0
+                self.block_manager = _StubBlockManager()
+
+        plane = ControlPlane(
+            [Hookless() for _ in range(3)], router=make_router("jsq")
+        )
+        plane.begin(Simulator(), total_requests=4)
+        assert plane._tracker is None
+        (req,) = generate_requests(1, seed=0)
+        assert plane.route(req) in range(3)
+
+    def test_env_var_and_ctor_precedence(self, monkeypatch):
+        stubs = [_StubReplica() for _ in range(2)]
+
+        def tracker_with(sweep_env, ctor):
+            if sweep_env is None:
+                monkeypatch.delenv("TDPIPE_ROUTING_SWEEP", raising=False)
+            else:
+                monkeypatch.setenv("TDPIPE_ROUTING_SWEEP", sweep_env)
+            plane = ControlPlane(
+                stubs, router=make_router("jsq"), routing_sweep=ctor
+            )
+            plane.begin(Simulator(), total_requests=0)
+            return plane._tracker
+
+        assert tracker_with(None, None) is not None  # default: fast path
+        assert tracker_with("1", None) is None  # env forces the sweep
+        assert tracker_with("0", None) is not None  # explicit "off" value
+        assert tracker_with("1", False) is not None  # ctor beats the env
+        assert tracker_with(None, True) is None  # ctor forces the sweep

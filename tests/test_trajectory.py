@@ -34,6 +34,11 @@ def perf_record(**overrides):
         },
         "vectorized": {"grid_points_per_sec": 8_000_000.0},
         "regime": {"arrivals_per_sec": 180_000.0},
+        "cluster_scale": {
+            "routing_decisions_per_sec_128": 50_000.0,
+            "routing_speedup_128": 50.0,
+            "cluster_events_per_sec_128": 30_000.0,
+        },
         "cluster": {"requests_per_sec_wall": 900.0},
         "grid": {
             "serial_points_per_sec": 1.5,
